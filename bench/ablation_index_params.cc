@@ -1,0 +1,160 @@
+// Ablations of the index-structure parameters DESIGN.md calls out:
+//
+//   * FM-index: BWT block size (occ checkpoint spacing) and suffix-array
+//     sample rate — index size vs projected query latency;
+//   * IVF-PQ: number of subquantizers M — index size vs recall at fixed
+//     (nprobe, refine).
+//
+// These are the dials that move cpm_r (index storage) against cpq_r
+// (search latency), i.e. movement *along* the Fig 12 sensitivity axes.
+#include <cstdio>
+
+#include <set>
+
+#include "bench/bench_util.h"
+#include "index/fm/fm_index.h"
+#include "index/ivfpq/ivfpq_index.h"
+#include "index/ivfpq/kmeans.h"
+
+namespace rottnest::bench {
+namespace {
+
+format::PageTable OnePageTable() {
+  format::FileMeta meta;
+  meta.schema.columns.push_back({"c", format::PhysicalType::kByteArray, 0});
+  format::RowGroupMeta rg;
+  format::ColumnChunkMeta cc;
+  format::PageMeta pm;
+  pm.offset = 0;
+  pm.size = 1000;
+  pm.num_values = 1000;
+  pm.first_row = 0;
+  cc.pages.push_back(pm);
+  rg.columns.push_back(cc);
+  rg.num_rows = 1000;
+  meta.row_groups.push_back(rg);
+  format::PageTable t;
+  t.AddFile("f", meta, 0);
+  return t;
+}
+
+void FmAblation() {
+  PrintHeader("Ablation", "FM-index block size x sample rate");
+  workload::TextGenerator gen(7);
+  std::string text;
+  for (int i = 0; i < 400; ++i) text += gen.Document(2000);
+  std::printf("text: %.1f MB\n\n", text.size() / 1e6);
+  std::printf("%12s %12s %12s %14s %12s\n", "block_bytes", "sample_rate",
+              "index_MB", "overhead", "latency_ms");
+
+  SimulatedClock clock;
+  objectstore::InMemoryObjectStore store(&clock);
+  ThreadPool pool(4);
+  objectstore::S3Model s3;
+  workload::TextGenerator sampler(7);
+  std::vector<std::string> patterns;
+  for (int i = 0; i < 4; ++i) patterns.push_back(sampler.SamplePattern(1));
+
+  for (uint32_t block : {16u << 10, 64u << 10, 256u << 10}) {
+    for (uint32_t rate : {8u, 32u, 128u}) {
+      index::FmOptions options;
+      options.block_size = block;
+      options.sample_rate = rate;
+      index::FmIndexBuilder builder("c", options);
+      builder.AddPage(Slice(text));
+      Buffer file;
+      if (!builder.Finish(OnePageTable(), &file).ok()) continue;
+      std::string key = "idx/" + std::to_string(block) + "." +
+                        std::to_string(rate);
+      (void)store.Put(key, Slice(file));
+
+      double total_ms = 0;
+      for (const std::string& p : patterns) {
+        objectstore::IoTrace trace;
+        auto reader =
+            index::ComponentFileReader::Open(&store, key, &trace).MoveValue();
+        std::vector<format::PageId> pages;
+        double cpu = TimeSeconds([&] {
+          (void)index::FmLocatePages(reader.get(), &pool, &trace, Slice(p),
+                                     20, &pages);
+        });
+        total_ms += trace.ProjectedLatencyMs(s3) + cpu * 1000;
+      }
+      std::printf("%12u %12u %12.2f %13.0f%% %12.0f\n", block, rate,
+                  file.size() / 1e6, 100.0 * file.size() / text.size(),
+                  total_ms / patterns.size());
+    }
+  }
+  std::printf("\n(smaller blocks / denser samples: bigger index, fewer "
+              "wasted bytes per rank and shorter locate walks — the "
+              "cpm_r-vs-cpq_r dial)\n");
+}
+
+void IvfAblation() {
+  PrintHeader("Ablation", "IVF-PQ subquantizer count M");
+  constexpr uint32_t kDim = 64;
+  constexpr size_t kN = 8000;
+  workload::VectorGenerator gen(11, kDim);
+
+  SimulatedClock clock;
+  objectstore::InMemoryObjectStore store(&clock);
+  ThreadPool pool(4);
+
+  // Ground truth by exhaustive scan.
+  std::vector<std::vector<float>> queries;
+  for (int q = 0; q < 10; ++q) queries.push_back(gen.QueryNear(q * 719, 1.0));
+  std::vector<std::vector<float>> vectors;
+  for (size_t i = 0; i < kN; ++i) vectors.push_back(gen.VectorFor(i));
+  auto exact_top10 = [&](const std::vector<float>& q) {
+    std::vector<std::pair<float, size_t>> d(kN);
+    for (size_t i = 0; i < kN; ++i) {
+      d[i] = {index::SquaredL2(q.data(), vectors[i].data(), kDim), i};
+    }
+    std::partial_sort(d.begin(), d.begin() + 10, d.end());
+    std::set<size_t> ids;
+    for (int i = 0; i < 10; ++i) ids.insert(d[i].second);
+    return ids;
+  };
+
+  std::printf("%6s %12s %10s\n", "M", "index_KB", "recall@10");
+  for (uint32_t m : {2u, 4u, 8u, 16u, 32u}) {
+    index::IvfPqOptions options;
+    options.nlist = 64;
+    options.num_subquantizers = m;
+    index::IvfPqIndexBuilder builder("v", kDim, options);
+    for (size_t i = 0; i < kN; ++i) {
+      builder.Add(vectors[i].data(), static_cast<format::PageId>(0),
+                  static_cast<uint32_t>(i));
+    }
+    Buffer file;
+    if (!builder.Finish(OnePageTable(), &file).ok()) continue;
+    std::string key = "idx/m" + std::to_string(m);
+    (void)store.Put(key, Slice(file));
+    auto reader =
+        index::ComponentFileReader::Open(&store, key, nullptr).MoveValue();
+
+    size_t hits = 0;
+    for (const auto& q : queries) {
+      auto truth = exact_top10(q);
+      std::vector<index::VectorCandidate> got;
+      (void)index::IvfPqSearch(reader.get(), &pool, nullptr, q.data(), kDim,
+                               16, 10, &got);
+      for (const auto& c : got) {
+        if (truth.count(c.row_in_page)) ++hits;
+      }
+    }
+    std::printf("%6u %12.0f %10.3f\n", m, file.size() / 1024.0,
+                static_cast<double>(hits) / (10.0 * queries.size()));
+  }
+  std::printf("\n(more subquantizers: bigger codes, tighter ADC distances, "
+              "higher recall before refinement)\n");
+}
+
+}  // namespace
+}  // namespace rottnest::bench
+
+int main() {
+  rottnest::bench::FmAblation();
+  rottnest::bench::IvfAblation();
+  return 0;
+}

@@ -1,0 +1,222 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace rottnest::bench {
+
+double TimeSeconds(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+std::unique_ptr<Env> Env::Create(const workload::DatasetSpec& spec,
+                                 const core::RottnestOptions& options,
+                                 const format::WriterOptions& writer) {
+  auto env = std::make_unique<Env>();
+  env->spec = spec;
+  env->store =
+      std::make_unique<objectstore::InMemoryObjectStore>(&env->clock);
+  auto table =
+      workload::BuildDataset(env->store.get(), "lake/data", spec, writer);
+  if (!table.ok()) {
+    std::fprintf(stderr, "dataset build failed: %s\n",
+                 table.status().ToString().c_str());
+    std::abort();
+  }
+  env->table = std::move(table).value();
+  env->client = std::make_unique<core::Rottnest>(env->store.get(),
+                                                 env->table.get(), options);
+  auto snap = env->table->GetSnapshot();
+  env->data_bytes = snap.ok() ? snap.value().TotalBytes() : 0;
+  return env;
+}
+
+Status Env::IndexAndCompact(const std::string& column,
+                            index::IndexType type) {
+  Status status;
+  index_build_s += TimeSeconds([&] {
+    auto report = client->Index(column, type);
+    if (!report.ok()) {
+      status = report.status();
+      return;
+    }
+    auto compacted = client->Compact(column, type, UINT64_MAX);
+    if (!compacted.ok()) status = compacted.status();
+  });
+  index_bytes = MeasureIndexBytes();
+  return status;
+}
+
+uint64_t Env::MeasureIndexBytes() const {
+  std::vector<objectstore::ObjectMeta> listing;
+  if (!store->List(client->options().index_dir + "/", &listing).ok()) {
+    return 0;
+  }
+  // Count only live (committed) index files.
+  auto entries = const_cast<core::Rottnest*>(client.get())
+                     ->metadata()
+                     .ReadAll();
+  if (!entries.ok()) return 0;
+  std::set<std::string> live;
+  for (const auto& e : entries.value()) live.insert(e.index_path);
+  uint64_t total = 0;
+  for (const auto& obj : listing) {
+    if (live.count(obj.key)) total += obj.size;
+  }
+  return total;
+}
+
+namespace {
+
+QueryMeasurement Average(const std::vector<QueryMeasurement>& ms) {
+  QueryMeasurement avg;
+  for (const auto& m : ms) {
+    avg.latency_s += m.latency_s;
+    avg.gets += m.gets;
+    avg.matches += m.matches;
+  }
+  if (!ms.empty()) {
+    avg.latency_s /= static_cast<double>(ms.size());
+    avg.gets /= static_cast<double>(ms.size());
+  }
+  return avg;
+}
+
+}  // namespace
+
+QueryMeasurement MeasureSubstring(Env* env, const std::string& column,
+                                  const std::vector<std::string>& patterns,
+                                  size_t k) {
+  std::vector<QueryMeasurement> ms;
+  for (const std::string& pattern : patterns) {
+    objectstore::IoTrace trace;
+    QueryMeasurement m;
+    double cpu = TimeSeconds([&] {
+      auto r = env->client->SearchSubstring(column, pattern, k, -1, &trace);
+      if (r.ok()) m.matches = r.value().matches.size();
+    });
+    m.latency_s = trace.ProjectedLatencyMs(env->s3) / 1000.0 + cpu;
+    m.gets = static_cast<double>(trace.total_gets());
+    ms.push_back(m);
+  }
+  return Average(ms);
+}
+
+QueryMeasurement MeasureUuid(Env* env, const std::string& column,
+                             const std::vector<std::string>& values,
+                             size_t k) {
+  std::vector<QueryMeasurement> ms;
+  for (const std::string& value : values) {
+    objectstore::IoTrace trace;
+    QueryMeasurement m;
+    double cpu = TimeSeconds([&] {
+      auto r = env->client->SearchUuid(column, Slice(value), k, -1, &trace);
+      if (r.ok()) m.matches = r.value().matches.size();
+    });
+    m.latency_s = trace.ProjectedLatencyMs(env->s3) / 1000.0 + cpu;
+    m.gets = static_cast<double>(trace.total_gets());
+    ms.push_back(m);
+  }
+  return Average(ms);
+}
+
+VectorMeasurement MeasureVector(
+    Env* env, const std::string& column,
+    const std::vector<std::vector<float>>& queries, size_t k, uint32_t nprobe,
+    uint32_t refine,
+    const std::vector<std::vector<std::pair<std::string, uint64_t>>>*
+        ground_truth) {
+  VectorMeasurement total;
+  size_t recall_hits = 0, recall_denom = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    objectstore::IoTrace trace;
+    std::vector<core::RowMatch> matches;
+    double cpu = TimeSeconds([&] {
+      auto r = env->client->SearchVector(
+          column, queries[q].data(),
+          static_cast<uint32_t>(queries[q].size()), k, nprobe, refine, -1,
+          &trace);
+      if (r.ok()) matches = std::move(r.value().matches);
+    });
+    total.latency_s += trace.ProjectedLatencyMs(env->s3) / 1000.0 + cpu;
+    total.gets += static_cast<double>(trace.total_gets());
+    total.matches += matches.size();
+    if (ground_truth != nullptr) {
+      std::set<std::pair<std::string, uint64_t>> got;
+      for (const auto& m : matches) got.insert({m.file, m.row});
+      for (const auto& truth : (*ground_truth)[q]) {
+        ++recall_denom;
+        if (got.count(truth)) ++recall_hits;
+      }
+    }
+  }
+  if (!queries.empty()) {
+    total.latency_s /= static_cast<double>(queries.size());
+    total.gets /= static_cast<double>(queries.size());
+  }
+  total.recall = recall_denom == 0
+                     ? 0
+                     : static_cast<double>(recall_hits) / recall_denom;
+  return total;
+}
+
+double MeasureBruteForceSubstring(Env* env, const std::string& pattern,
+                                  size_t workers) {
+  baseline::BruteForceOptions options;
+  options.workers = workers;
+  baseline::BruteForceEngine engine(env->store.get(), env->table.get(),
+                                    options, env->s3);
+  auto r = engine.SearchSubstring("body", pattern, 100);
+  return r.ok() ? r.value().projected_latency_s : 0;
+}
+
+double MeasureBruteForceUuid(Env* env, const std::string& value,
+                             size_t workers) {
+  baseline::BruteForceOptions options;
+  options.workers = workers;
+  baseline::BruteForceEngine engine(env->store.get(), env->table.get(),
+                                    options, env->s3);
+  auto r = engine.SearchUuid("uuid", Slice(value), 100);
+  return r.ok() ? r.value().projected_latency_s : 0;
+}
+
+double MeasureBruteForceVector(Env* env, const std::vector<float>& query,
+                               size_t workers) {
+  baseline::BruteForceOptions options;
+  options.workers = workers;
+  baseline::BruteForceEngine engine(env->store.get(), env->table.get(),
+                                    options, env->s3);
+  auto r = engine.SearchVector("vec", query.data(),
+                               static_cast<uint32_t>(query.size()), 10);
+  return r.ok() ? r.value().projected_latency_s : 0;
+}
+
+std::vector<std::vector<std::pair<std::string, uint64_t>>> VectorGroundTruth(
+    Env* env, const std::vector<std::vector<float>>& queries, size_t k) {
+  baseline::BruteForceOptions options;
+  baseline::BruteForceEngine engine(env->store.get(), env->table.get(),
+                                    options, env->s3);
+  std::vector<std::vector<std::pair<std::string, uint64_t>>> truth;
+  for (const auto& q : queries) {
+    auto r = engine.SearchVector("vec", q.data(),
+                                 static_cast<uint32_t>(q.size()), k);
+    std::vector<std::pair<std::string, uint64_t>> rows;
+    if (r.ok()) {
+      for (const auto& m : r.value().matches) rows.push_back({m.file, m.row});
+    }
+    truth.push_back(std::move(rows));
+  }
+  return truth;
+}
+
+void PrintHeader(const std::string& figure, const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace rottnest::bench

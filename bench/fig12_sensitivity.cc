@@ -1,0 +1,102 @@
+// Reproduces Fig 12: sensitivity of the vector-search (recall 0.92) phase
+// boundaries to scaling cpq_r, ic_r, and the index-storage component of
+// cpm_r by factors {0.25, 0.5, 1, 2, 4}, plus the §VII-D1 observations:
+//   1) cheaper queries help against copy-data, not brute force;
+//      a smaller index does the opposite;
+//   2) cheaper indexing lowers the break-even operating time but not the
+//      long-horizon boundaries.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace rottnest::bench {
+namespace {
+
+using index::IndexType;
+using workload::DatasetSpec;
+
+}  // namespace
+}  // namespace rottnest::bench
+
+int main() {
+  using namespace rottnest;
+  using namespace rottnest::bench;
+
+  // Measure the vector workload at recall ~0.92 (nprobe=4, refine=200).
+  DatasetSpec spec;
+  spec.total_rows = 15000;
+  spec.num_files = 4;
+  spec.doc_chars = 24;
+  spec.vector_dim = 64;
+  core::RottnestOptions options;
+  options.index_dir = "idx/vec";
+  options.ivfpq.nlist = 96;
+  options.ivfpq.num_subquantizers = 8;
+  auto env = Env::Create(spec, options, format::WriterOptions{});
+  (void)env->IndexAndCompact("vec", IndexType::kIvfPq);
+  workload::VectorGenerator vecs(spec.seed, spec.vector_dim);
+  std::vector<std::vector<float>> queries;
+  for (int i = 0; i < 10; ++i) {
+    queries.push_back(vecs.QueryNear(i * 733 % spec.total_rows, 1.0));
+  }
+  VectorMeasurement vm =
+      MeasureVector(env.get(), "vec", queries, 10, 4, 200, nullptr);
+
+  double scale = 1e9 / static_cast<double>(spec.total_rows);
+  rottnest::baseline::BruteForceOptions bf_opts;
+  bf_opts.workers = 8;
+  tco::MeasuredWorkload m;
+  m.data_bytes = static_cast<double>(env->data_bytes);
+  m.index_bytes = static_cast<double>(env->index_bytes);
+  m.rottnest_query_s = vm.latency_s;
+  m.rottnest_gets_per_query = vm.gets;
+  m.brute_force_query_s = rottnest::baseline::BruteForceScanSeconds(
+      static_cast<double>(env->data_bytes) * scale, bf_opts, env->s3);
+  m.index_build_s = env->index_build_s;
+  m.copy_memory_bytes = static_cast<double>(env->data_bytes) * 1.1;
+  m.vector_service = true;
+  tco::CostParams base = tco::DeriveCostParams(m, tco::Pricing{}, scale);
+
+  PrintHeader("Figure 12",
+              "sensitivity of phase boundaries (vector search @0.92)");
+  std::printf("base params: cpm_i=$%.2f cpm_bf=$%.2f cpq_bf=$%.4f "
+              "ic_r=$%.2f cpm_r=$%.2f cpq_r=$%.6f\n\n",
+              base.cpm_i, base.cpm_bf, base.cpq_bf, base.ic_r, base.cpm_r,
+              base.cpq_r);
+
+  const double factors[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+  auto report = [&](const char* param,
+                    const std::function<tco::CostParams(double)>& scaled) {
+    std::printf("--- scaling %s ---\n", param);
+    std::printf("%8s %16s %16s %14s\n", "factor", "bf->rn @10mo",
+                "rn->copy @10mo", "onset_months");
+    for (double f : factors) {
+      tco::CostParams p = scaled(f);
+      tco::Boundaries b = tco::ComputeBoundaries(p, 10);
+      std::printf("%8.2f %16.3g %16.3g %14.3f\n", f, b.bf_to_rottnest,
+                  b.rottnest_to_copy, tco::RottnestOnsetMonths(p));
+    }
+    std::printf("\n");
+  };
+
+  report("cpq_r (search latency)", [&](double f) {
+    tco::CostParams p = base;
+    p.cpq_r *= f;
+    return p;
+  });
+  report("ic_r (indexing cost)", [&](double f) {
+    tco::CostParams p = base;
+    p.ic_r *= f;
+    return p;
+  });
+  report("cpm_r - cpm_bf (index storage)", [&](double f) {
+    tco::CostParams p = base;
+    p.cpm_r = p.cpm_bf + (p.cpm_r - p.cpm_bf) * f;
+    return p;
+  });
+
+  std::printf("(expected per §VII-D1: cpq_r moves only the copy-data "
+              "boundary; index storage moves only the brute-force boundary; "
+              "ic_r moves the onset but not the 10-month boundaries)\n");
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Reproduces Fig 7: phase-change diagrams for (a) substring search and
+// (b) UUID search, plus the §VII-B1 headline numbers (onset in days,
+// Rottnest band width in orders of magnitude at 10 months) and the
+// §VII-D3 QPS ceiling.
+//
+// Method: build each workload at laptop scale, measure per-unit costs
+// (index build compute, index/data bytes, projected per-query latencies for
+// Rottnest and the 8-worker brute-force cluster), then scale linear costs
+// to the paper's dataset sizes (304 GB of text; 2B hashes) and compute the
+// phase diagram from the §VI TCO model.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/generators.h"
+
+namespace rottnest::bench {
+namespace {
+
+using index::IndexType;
+using workload::DatasetSpec;
+
+struct WorkloadResult {
+  tco::CostParams params;
+  double rottnest_query_s = 0;
+  double rottnest_gets = 0;
+  double bf_query_s = 0;
+};
+
+WorkloadResult RunSubstring() {
+  DatasetSpec spec;
+  spec.total_rows = 6000;
+  spec.num_files = 4;
+  spec.doc_chars = 600;
+  spec.vector_dim = 8;
+  core::RottnestOptions options;
+  options.index_dir = "idx/sub";
+  format::WriterOptions writer;
+  writer.target_page_bytes = 64 << 10;
+  writer.target_row_group_bytes = 4 << 20;
+
+  auto env = Env::Create(spec, options, writer);
+  Status s = env->IndexAndCompact("body", IndexType::kFm);
+  if (!s.ok()) std::printf("index failed: %s\n", s.ToString().c_str());
+
+  workload::TextGenerator sampler(spec.seed);
+  std::vector<std::string> patterns;
+  for (int i = 0; i < 8; ++i) patterns.push_back(sampler.SamplePattern(2));
+  QueryMeasurement rq = MeasureSubstring(env.get(), "body", patterns, 10);
+  double bf = MeasureBruteForceSubstring(env.get(), patterns[0], 8);
+
+  // Scale to the paper's 304 GB compressed text corpus.
+  double scale = 304e9 / static_cast<double>(env->data_bytes);
+  tco::MeasuredWorkload m;
+  m.data_bytes = static_cast<double>(env->data_bytes);
+  m.index_bytes = static_cast<double>(env->index_bytes);
+  m.rottnest_query_s = rq.latency_s;
+  m.rottnest_gets_per_query = rq.gets;
+  // Brute-force latency at paper scale: transfer-bound, computed
+  // analytically from the scaled byte count.
+  baseline::BruteForceOptions bf_opts;
+  bf_opts.workers = 8;
+  m.brute_force_query_s = baseline::BruteForceScanSeconds(
+      static_cast<double>(env->data_bytes) * scale, bf_opts, env->s3);
+  m.brute_force_workers = 8;
+  m.index_build_s = env->index_build_s;
+  m.copy_memory_bytes = static_cast<double>(env->data_bytes) * 1.3;
+  WorkloadResult result;
+  result.params = tco::DeriveCostParams(m, tco::Pricing{}, scale);
+  result.rottnest_query_s = rq.latency_s;
+  result.rottnest_gets = rq.gets;
+  result.bf_query_s = bf;
+  return result;
+}
+
+WorkloadResult RunUuid() {
+  DatasetSpec spec;
+  spec.total_rows = 60000;
+  spec.num_files = 4;
+  spec.doc_chars = 24;
+  spec.vector_dim = 8;
+  spec.uuid_bytes = 16;
+  core::RottnestOptions options;
+  options.index_dir = "idx/uuid";
+  format::WriterOptions writer;
+  writer.target_page_bytes = 64 << 10;
+  writer.target_row_group_bytes = 4 << 20;
+
+  auto env = Env::Create(spec, options, writer);
+  Status s = env->IndexAndCompact("uuid", IndexType::kTrie);
+  if (!s.ok()) std::printf("index failed: %s\n", s.ToString().c_str());
+
+  workload::UuidGenerator ids(spec.seed, spec.uuid_bytes);
+  std::vector<std::string> values;
+  for (int i = 0; i < 16; ++i) values.push_back(ids.IdFor(i * 1357 % 60000));
+  QueryMeasurement rq = MeasureUuid(env.get(), "uuid", values, 10);
+  double bf = MeasureBruteForceUuid(env.get(), values[0], 8);
+
+  // Scale to the paper's 2B-hash workload by row count.
+  double scale = 2e9 / static_cast<double>(spec.total_rows);
+  tco::MeasuredWorkload m;
+  m.data_bytes = static_cast<double>(env->data_bytes);
+  m.index_bytes = static_cast<double>(env->index_bytes);
+  m.rottnest_query_s = rq.latency_s;
+  m.rottnest_gets_per_query = rq.gets;
+  baseline::BruteForceOptions bf_opts;
+  bf_opts.workers = 8;
+  m.brute_force_query_s = baseline::BruteForceScanSeconds(
+      static_cast<double>(env->data_bytes) * scale, bf_opts, env->s3);
+  m.brute_force_workers = 8;
+  m.index_build_s = env->index_build_s;
+  m.copy_memory_bytes = static_cast<double>(env->data_bytes) * 1.2;
+  WorkloadResult result;
+  result.params = tco::DeriveCostParams(m, tco::Pricing{}, scale);
+  result.rottnest_query_s = rq.latency_s;
+  result.rottnest_gets = rq.gets;
+  result.bf_query_s = bf;
+  return result;
+}
+
+void Report(const char* name, const WorkloadResult& w) {
+  const tco::CostParams& p = w.params;
+  std::printf("\n[%s] measured: rottnest %.3fs/query (%.0f GETs), "
+              "brute-force(8 workers) %.3fs/query\n",
+              name, w.rottnest_query_s, w.rottnest_gets, w.bf_query_s);
+  std::printf("[%s] paper-scale params: cpm_i=$%.2f/mo cpm_bf=$%.2f/mo "
+              "cpq_bf=$%.5f ic_r=$%.2f cpm_r=$%.2f/mo cpq_r=$%.6f\n",
+              name, p.cpm_i, p.cpm_bf, p.cpq_bf, p.ic_r, p.cpm_r, p.cpq_r);
+
+  std::printf("\nmonths, bf->rottnest boundary (queries), "
+              "rottnest->copy boundary (queries)\n");
+  for (double months : {0.1, 0.3, 1.0, 3.0, 10.0, 30.0}) {
+    tco::Boundaries b = tco::ComputeBoundaries(p, months);
+    std::printf("%6.1f, %.3g, %.3g\n", months, b.bf_to_rottnest,
+                b.rottnest_to_copy);
+  }
+  double onset = tco::RottnestOnsetMonths(p);
+  std::printf("rottnest onset: %.3f months (%.1f days)\n", onset,
+              onset * 30.4);
+  std::printf("rottnest band at 10 months: %.1f orders of magnitude\n",
+              tco::RottnestBandOrders(p, 10));
+  std::printf("S3 throughput cap (5500 GET RPS/prefix): %.0f QPS "
+              "(= %.3g queries over 10 months)\n",
+              tco::RottnestMaxQps(w.rottnest_gets),
+              tco::RottnestMaxQps(w.rottnest_gets) * 3600 * 24 * 30.4 * 10);
+
+  tco::PhaseDiagram d =
+      tco::ComputePhaseDiagram(p, 0.1, 100, 48, 1, 1e9, 24);
+  std::printf("\nphase diagram (C=copy-data, B=brute-force, R=rottnest):\n%s",
+              tco::RenderPhaseDiagram(d).c_str());
+}
+
+}  // namespace
+}  // namespace rottnest::bench
+
+int main() {
+  using namespace rottnest::bench;
+  PrintHeader("Figure 7a", "phase diagram — substring search (C4-scale)");
+  Report("substring", RunSubstring());
+  PrintHeader("Figure 7b", "phase diagram — UUID search (2B hashes)");
+  Report("uuid", RunUuid());
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Reproduces Fig 9: phase diagrams for vector search at recall@10 targets
+// 0.87 / 0.92 / 0.97. nprobe and refine are tuned per target by a sweep
+// against exact ground truth; the headline result is that moving the recall
+// target barely moves the phase boundaries on the log-log plot (§VII-B2).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace rottnest::bench {
+namespace {
+
+using index::IndexType;
+using workload::DatasetSpec;
+
+struct TunedConfig {
+  double target = 0;
+  uint32_t nprobe = 0;
+  uint32_t refine = 0;
+  double recall = 0;
+  double latency_s = 0;
+  double gets = 0;
+};
+
+}  // namespace
+}  // namespace rottnest::bench
+
+int main() {
+  using namespace rottnest;
+  using namespace rottnest::bench;
+
+  DatasetSpec spec;
+  spec.total_rows = 20000;
+  spec.num_files = 4;
+  spec.doc_chars = 24;
+  spec.vector_dim = 64;
+  core::RottnestOptions options;
+  options.index_dir = "idx/vec";
+  options.ivfpq.nlist = 128;
+  options.ivfpq.num_subquantizers = 8;
+  auto env = Env::Create(spec, options, format::WriterOptions{});
+  Status st = env->IndexAndCompact("vec", IndexType::kIvfPq);
+  if (!st.ok()) std::printf("index failed: %s\n", st.ToString().c_str());
+
+  workload::VectorGenerator vecs(spec.seed, spec.vector_dim);
+  std::vector<std::vector<float>> queries;
+  for (int i = 0; i < 12; ++i) {
+    queries.push_back(vecs.QueryNear(i * 1237 % spec.total_rows, 1.0));
+  }
+  auto truth = VectorGroundTruth(env.get(), queries, 10);
+
+  PrintHeader("Figure 9 (tuning)",
+              "recall@10 vs (nprobe, refine) sweep");
+  std::printf("%7s %7s %8s %10s %8s\n", "nprobe", "refine", "recall",
+              "latency_s", "gets");
+  std::vector<TunedConfig> sweep;
+  for (uint32_t nprobe : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    for (uint32_t refine : {20u, 50u, 100u, 200u, 400u}) {
+      VectorMeasurement m =
+          MeasureVector(env.get(), "vec", queries, 10, nprobe, refine, &truth);
+      std::printf("%7u %7u %8.3f %10.3f %8.0f\n", nprobe, refine, m.recall,
+                  m.latency_s, m.gets);
+      sweep.push_back({0, nprobe, refine, m.recall, m.latency_s, m.gets});
+    }
+  }
+
+  // Pick the cheapest config hitting each target.
+  std::vector<TunedConfig> picked;
+  for (double target : {0.87, 0.92, 0.97}) {
+    TunedConfig best;
+    best.target = target;
+    for (const TunedConfig& c : sweep) {
+      if (c.recall + 1e-9 < target) continue;
+      if (best.nprobe == 0 || c.latency_s < best.latency_s) {
+        best = c;
+        best.target = target;
+      }
+    }
+    picked.push_back(best);
+  }
+
+  PrintHeader("Figure 9", "phase diagrams per recall target (SIFT-1B scale)");
+  double scale = 1e9 / static_cast<double>(spec.total_rows);
+  for (const TunedConfig& c : picked) {
+    if (c.nprobe == 0) {
+      std::printf("recall target %.2f: not reachable in sweep\n", c.target);
+      continue;
+    }
+    tco::MeasuredWorkload m;
+    m.data_bytes = static_cast<double>(env->data_bytes);
+    m.index_bytes = static_cast<double>(env->index_bytes);
+    m.rottnest_query_s = c.latency_s;
+    m.rottnest_gets_per_query = c.gets;
+    rottnest::baseline::BruteForceOptions bf_opts;
+    bf_opts.workers = 8;
+    m.brute_force_query_s = rottnest::baseline::BruteForceScanSeconds(
+        static_cast<double>(env->data_bytes) * scale, bf_opts, env->s3);
+    m.index_build_s = env->index_build_s;
+    m.copy_memory_bytes = static_cast<double>(env->data_bytes) * 1.1;
+    m.vector_service = true;  // LanceDB on r6g.xlarge.
+    tco::CostParams p = tco::DeriveCostParams(m, tco::Pricing{}, scale);
+
+    std::printf("\n--- recall target %.2f: nprobe=%u refine=%u "
+                "(achieved %.3f, latency %.3fs) ---\n",
+                c.target, c.nprobe, c.refine, c.recall, c.latency_s);
+    std::printf("params: cpm_i=$%.2f cpm_bf=$%.2f cpq_bf=$%.4f ic_r=$%.2f "
+                "cpm_r=$%.2f cpq_r=$%.6f\n",
+                p.cpm_i, p.cpm_bf, p.cpq_bf, p.ic_r, p.cpm_r, p.cpq_r);
+    for (double months : {1.0, 10.0}) {
+      tco::Boundaries b = tco::ComputeBoundaries(p, months);
+      std::printf("  at %5.1f months: rottnest wins %.3g .. %.3g queries "
+                  "(%.1f orders)\n",
+                  months, b.bf_to_rottnest, b.rottnest_to_copy,
+                  tco::RottnestBandOrders(p, months));
+    }
+    tco::PhaseDiagram d = tco::ComputePhaseDiagram(p, 0.1, 100, 40, 1, 1e9, 16);
+    std::printf("%s", tco::RenderPhaseDiagram(d).c_str());
+  }
+  std::printf("\n(paper: the 0.87 vs 0.97 boundary shift is ~35%% in cpq_r "
+              "but barely visible on the log-log plot)\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// google-benchmark microbenchmarks of the CPU kernels underneath Rottnest:
+// compression, suffix-array construction, page encode/decode, k-means,
+// hashing and varint coding. These bound the compute side of ic_r and
+// cpq_r in the TCO model.
+#include <benchmark/benchmark.h>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "compress/lz.h"
+#include "format/page.h"
+#include "index/fm/suffix_array.h"
+#include "index/ivfpq/kmeans.h"
+
+namespace rottnest {
+namespace {
+
+Buffer MakeTextLike(size_t size, uint64_t seed) {
+  Random rng(seed);
+  static const char* words[] = {"error", "lake", "index", "page",
+                                "vector", "scan", "query", "shard"};
+  Buffer out;
+  out.reserve(size + 8);
+  while (out.size() < size) {
+    const char* w = words[rng.NextZipf(8, 1.1)];
+    while (*w) out.push_back(static_cast<uint8_t>(*w++));
+    out.push_back(' ');
+  }
+  out.resize(size);
+  return out;
+}
+
+void BM_LzCompressText(benchmark::State& state) {
+  Buffer input = MakeTextLike(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    Buffer out = compress::LzCompress(Slice(input));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LzCompressText)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_LzDecompressText(benchmark::State& state) {
+  Buffer input = MakeTextLike(static_cast<size_t>(state.range(0)), 1);
+  Buffer compressed = compress::LzCompress(Slice(input));
+  Buffer out;
+  for (auto _ : state) {
+    (void)compress::LzDecompress(Slice(compressed), input.size(), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LzDecompressText)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_SuffixArrayBuild(benchmark::State& state) {
+  Buffer text = MakeTextLike(static_cast<size_t>(state.range(0)), 2);
+  for (auto& b : text) {
+    if (b == 0) b = 1;
+  }
+  text.push_back(0);
+  for (auto _ : state) {
+    auto sa = index::BuildSuffixArray(Slice(text));
+    benchmark::DoNotOptimize(sa.value().data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SuffixArrayBuild)->Arg(64 << 10)->Arg(512 << 10);
+
+void BM_PageEncodeDecode(benchmark::State& state) {
+  Random rng(3);
+  format::ColumnVector::Strings values;
+  for (int i = 0; i < 1000; ++i) {
+    std::string v;
+    for (int w = 0; w < 20; ++w) {
+      v += "tok" + std::to_string(rng.Uniform(500)) + " ";
+    }
+    values.push_back(std::move(v));
+  }
+  format::ColumnVector col(values);
+  format::ColumnSchema schema{"body", format::PhysicalType::kByteArray, 0};
+  for (auto _ : state) {
+    Buffer page;
+    format::EncodePage(col, 0, col.size(), compress::Codec::kLz, &page);
+    format::ColumnVector decoded;
+    (void)format::DecodePage(Slice(page), schema, &decoded);
+    benchmark::DoNotOptimize(decoded.size());
+  }
+}
+BENCHMARK(BM_PageEncodeDecode);
+
+void BM_KMeansIteration(benchmark::State& state) {
+  Random rng(4);
+  size_t n = 4000, dim = 64;
+  std::vector<float> data(n * dim);
+  for (auto& f : data) f = static_cast<float>(rng.NextGaussian());
+  for (auto _ : state) {
+    auto result = index::TrainKMeans(data.data(), n, dim, 64, 2, 7);
+    benchmark::DoNotOptimize(result.value().centroids.data());
+  }
+}
+BENCHMARK(BM_KMeansIteration);
+
+void BM_Hash64(benchmark::State& state) {
+  Buffer data = MakeTextLike(static_cast<size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hash64(Slice(data)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Hash64)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_VarintRoundTrip(benchmark::State& state) {
+  Random rng(6);
+  std::vector<uint64_t> values(10000);
+  for (auto& v : values) v = rng.Next() >> rng.Uniform(64);
+  for (auto _ : state) {
+    Buffer buf;
+    for (uint64_t v : values) PutVarint64(&buf, v);
+    Decoder dec{Slice(buf)};
+    uint64_t out, sum = 0;
+    while (!dec.exhausted()) {
+      (void)dec.GetVarint64(&out);
+      sum += out;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_VarintRoundTrip);
+
+}  // namespace
+}  // namespace rottnest
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// TCO explorer: the paper's §VI decision tool as a command-line utility.
+// Feed it your workload's six cost parameters (or use the defaults, which
+// are the substring-search numbers from the fig7 bench) and it prints the
+// phase diagram plus the break-even boundaries — "should I index my lake,
+// scan it, or copy it into ElasticSearch?".
+//
+// Usage:
+//   tco_explorer [cpm_i cpm_bf cpq_bf ic_r cpm_r cpq_r]
+//
+// All six values in USD (per month / per query / one-time as per §VI).
+#include <cstdio>
+#include <cstdlib>
+
+#include "tco/tco.h"
+
+int main(int argc, char** argv) {
+  using namespace rottnest::tco;
+
+  CostParams p;
+  // Defaults: the paper-scale substring workload from fig7_phase_diagrams.
+  p.cpm_i = 536.0;
+  p.cpm_bf = 7.0;
+  p.cpq_bf = 0.075;
+  p.ic_r = 31.0;
+  p.cpm_r = 14.7;
+  p.cpq_r = 0.00025;
+  if (argc == 7) {
+    p.cpm_i = std::atof(argv[1]);
+    p.cpm_bf = std::atof(argv[2]);
+    p.cpq_bf = std::atof(argv[3]);
+    p.ic_r = std::atof(argv[4]);
+    p.cpm_r = std::atof(argv[5]);
+    p.cpq_r = std::atof(argv[6]);
+  } else if (argc != 1) {
+    std::printf("usage: %s [cpm_i cpm_bf cpq_bf ic_r cpm_r cpq_r]\n",
+                argv[0]);
+    return 2;
+  }
+
+  std::printf("cost parameters (USD):\n");
+  std::printf("  copy-data   cluster/month  cpm_i  = %10.4f\n", p.cpm_i);
+  std::printf("  brute-force storage/month  cpm_bf = %10.4f\n", p.cpm_bf);
+  std::printf("  brute-force per query      cpq_bf = %10.4f\n", p.cpq_bf);
+  std::printf("  rottnest    indexing       ic_r   = %10.4f\n", p.ic_r);
+  std::printf("  rottnest    storage/month  cpm_r  = %10.4f\n", p.cpm_r);
+  std::printf("  rottnest    per query      cpq_r  = %10.6f\n\n", p.cpq_r);
+
+  std::printf("break-even boundaries (total queries):\n");
+  std::printf("%10s %18s %18s %10s\n", "months", "bf->rottnest",
+              "rottnest->copy", "band(om)");
+  for (double months : {0.25, 1.0, 3.0, 10.0, 36.0}) {
+    Boundaries b = ComputeBoundaries(p, months);
+    std::printf("%10.2f %18.4g %18.4g %10.1f\n", months, b.bf_to_rottnest,
+                b.rottnest_to_copy, RottnestBandOrders(p, months));
+  }
+  double onset = RottnestOnsetMonths(p);
+  std::printf("\nrottnest becomes viable after %.2f months (%.1f days)\n",
+              onset, onset * 30.4);
+
+  PhaseDiagram d = ComputePhaseDiagram(p, 0.1, 100, 56, 1, 1e9, 28);
+  std::printf("\n%s", RenderPhaseDiagram(d).c_str());
+
+  std::printf("\nexample TCO at 10 months, 100k queries:\n");
+  std::printf("  copy-data:   $%.0f\n", TcoCopyData(p, 10, 1e5));
+  std::printf("  brute-force: $%.0f\n", TcoBruteForce(p, 10, 1e5));
+  std::printf("  rottnest:    $%.0f  <- winner: %s\n",
+              TcoRottnest(p, 10, 1e5), ApproachName(Winner(p, 10, 1e5)));
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Brute-force baseline (paper §II-C2): a Spark-like engine that answers
+// search queries by scanning entire column chunks across the snapshot with
+// a cluster of W workers. Latency and cost are projected through the same
+// S3 model as Rottnest: chunks are assigned round-robin; each worker issues
+// its reads sequentially; workers run in parallel; a fixed coordination
+// overhead models task scheduling — reproducing Fig 8a/8b's near-linear
+// scaling that flattens once W approaches the chunk count.
+#ifndef ROTTNEST_BASELINE_BRUTE_FORCE_H_
+#define ROTTNEST_BASELINE_BRUTE_FORCE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/rottnest.h"
+#include "lake/table.h"
+#include "objectstore/io_trace.h"
+
+namespace rottnest::baseline {
+
+/// Cluster configuration and cost model.
+struct BruteForceOptions {
+  size_t workers = 8;
+  /// Per-query fixed overhead: task scheduling + stragglers, seconds.
+  double coordination_overhead_s = 0.4;
+  /// Incremental coordination cost per worker (drives the scaling knee).
+  double per_worker_overhead_s = 0.008;
+  /// Scan throughput of one worker core after bytes arrive (bytes/s).
+  double scan_bytes_per_s = 400e6;
+  /// Concurrent S3 streams per worker (r6i.4xlarge: 16 vCPUs).
+  size_t streams_per_worker = 16;
+  /// Worker NIC limit (r6i.4xlarge: 12.5 Gbit/s).
+  double worker_nic_bytes_per_s = 1.56e9;
+};
+
+/// Result of one brute-force query.
+struct BruteForceResult {
+  std::vector<core::RowMatch> matches;
+  double projected_latency_s = 0;  ///< Under the S3 + cluster model.
+  uint64_t bytes_scanned = 0;
+};
+
+/// Analytic scan-time projection for a dataset of `total_bytes` under the
+/// cluster model (used to extrapolate measured runs to paper scale, where
+/// transfer — not TTFB — dominates). Assumes ~128MB column chunks.
+double BruteForceScanSeconds(double total_bytes,
+                             const BruteForceOptions& options,
+                             const objectstore::S3Model& s3);
+
+/// Full-scan engine over one table snapshot.
+class BruteForceEngine {
+ public:
+  BruteForceEngine(objectstore::ObjectStore* store, lake::Table* table,
+                   BruteForceOptions options,
+                   const objectstore::S3Model& s3 = objectstore::S3Model{});
+
+  /// Exact match on `column` == value.
+  Result<BruteForceResult> SearchUuid(const std::string& column, Slice value,
+                                      size_t k);
+
+  /// Substring containment scan.
+  Result<BruteForceResult> SearchSubstring(const std::string& column,
+                                           const std::string& pattern,
+                                           size_t k);
+
+  /// Exact k-NN scan (perfect recall).
+  Result<BruteForceResult> SearchVector(const std::string& column,
+                                        const float* query, uint32_t dim,
+                                        size_t k);
+
+ private:
+  /// Scans every chunk of `column`, calling `visit(file, first_row, col)`
+  /// per chunk, and fills the latency/bytes projection.
+  Status ScanColumn(
+      const std::string& column,
+      const std::function<void(const std::string&, uint64_t,
+                               const format::ColumnVector&)>& visit,
+      BruteForceResult* result);
+
+  objectstore::ObjectStore* store_;
+  lake::Table* table_;
+  BruteForceOptions options_;
+  objectstore::S3Model s3_;
+  ThreadPool pool_;
+};
+
+}  // namespace rottnest::baseline
+
+#endif  // ROTTNEST_BASELINE_BRUTE_FORCE_H_

@@ -1,0 +1,60 @@
+// Copy-data baseline (paper §II-C1): a dedicated always-on search service
+// (OpenSearch / LanceDB stand-in). The ETL step copies the snapshot into
+// in-memory exact structures; queries are served from RAM at
+// millisecond latencies. Its TCO contribution is the always-on cluster's
+// monthly cost (tco::Pricing), not per-query cost.
+#ifndef ROTTNEST_BASELINE_DEDICATED_SERVICE_H_
+#define ROTTNEST_BASELINE_DEDICATED_SERVICE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rottnest.h"
+#include "lake/table.h"
+
+namespace rottnest::baseline {
+
+/// In-memory exact search over a copied snapshot.
+class DedicatedService {
+ public:
+  /// Copies (ETLs) the latest snapshot of `table` into memory.
+  static Result<std::unique_ptr<DedicatedService>> Ingest(
+      objectstore::ObjectStore* store, lake::Table* table,
+      const std::string& uuid_column, const std::string& text_column,
+      const std::string& vector_column, uint32_t vector_dim);
+
+  /// Exact id lookup (hash map).
+  std::vector<core::RowMatch> SearchUuid(Slice value, size_t k) const;
+
+  /// Substring scan over RAM-resident text.
+  std::vector<core::RowMatch> SearchSubstring(const std::string& pattern,
+                                              size_t k) const;
+
+  /// Exact k-NN over RAM-resident vectors (recall 1.0).
+  std::vector<core::RowMatch> SearchVector(const float* query, uint32_t dim,
+                                           size_t k) const;
+
+  /// Bytes of RAM the copy occupies (drives the cluster sizing cost).
+  uint64_t memory_bytes() const { return memory_bytes_; }
+  uint64_t num_rows() const { return rows_.size(); }
+
+ private:
+  DedicatedService() = default;
+
+  struct Row {
+    std::string file;
+    uint64_t row;
+    std::string text;
+    std::vector<float> vector;
+  };
+
+  std::vector<Row> rows_;
+  std::multimap<std::string, size_t> uuid_index_;
+  uint64_t memory_bytes_ = 0;
+  uint32_t dim_ = 0;
+};
+
+}  // namespace rottnest::baseline
+
+#endif  // ROTTNEST_BASELINE_DEDICATED_SERVICE_H_

@@ -1,0 +1,59 @@
+// Clock abstraction. The object store stamps every object with a time from a
+// single Clock instance — the paper's vacuum timeout argument depends on the
+// store having one global clock (S3's strong consistency implies this).
+// Tests and simulations use SimulatedClock for deterministic, instantly
+// advanceable time.
+#ifndef ROTTNEST_COMMON_CLOCK_H_
+#define ROTTNEST_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace rottnest {
+
+/// Microseconds since an arbitrary epoch.
+using Micros = int64_t;
+
+/// Source of time for the object store and protocol timeouts.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds. Monotonic non-decreasing.
+  virtual Micros NowMicros() const = 0;
+};
+
+/// Wall-clock time from the host.
+class SystemClock : public Clock {
+ public:
+  Micros NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Deterministic clock advanced explicitly by tests / simulations.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(Micros start = 0) : now_(start) {}
+
+  Micros NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  /// Advances time by `delta` microseconds.
+  void Advance(Micros delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  void SetMicros(Micros t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Micros> now_;
+};
+
+}  // namespace rottnest
+
+#endif  // ROTTNEST_COMMON_CLOCK_H_

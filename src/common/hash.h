@@ -1,0 +1,31 @@
+// 64-bit non-cryptographic hashing (xxhash64-style mixing) used for page
+// checksums, key hashing, and deterministic synthetic data generation.
+#ifndef ROTTNEST_COMMON_HASH_H_
+#define ROTTNEST_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/slice.h"
+
+namespace rottnest {
+
+/// Hashes `data` with the given seed. Stable across platforms and runs;
+/// persisted checksums depend on this stability.
+uint64_t Hash64(const uint8_t* data, size_t size, uint64_t seed = 0);
+
+inline uint64_t Hash64(Slice s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// Finalizer-style mix of a single 64-bit value (splitmix64).
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace rottnest
+
+#endif  // ROTTNEST_COMMON_HASH_H_

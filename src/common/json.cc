@@ -1,0 +1,378 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace rottnest {
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text), pos_(0) {}
+
+  Result<Json> Parse() {
+    SkipWs();
+    Json value;
+    Status s = ParseValue(&value);
+    if (!s.ok()) return s;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::Corruption("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Json* out) {
+    if (pos_ >= text_.size()) return Status::Corruption("unexpected end");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"': {
+        std::string s;
+        ROTTNEST_RETURN_NOT_OK(ParseString(&s));
+        *out = Json(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (text_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          *out = Json(true);
+          return Status::OK();
+        }
+        return Status::Corruption("bad literal");
+      case 'f':
+        if (text_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          *out = Json(false);
+          return Status::OK();
+        }
+        return Status::Corruption("bad literal");
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          *out = Json(nullptr);
+          return Status::OK();
+        }
+        return Status::Corruption("bad literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Status::Corruption("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Status::Corruption("truncated \\u escape");
+            }
+            unsigned int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= h - '0';
+              } else if (h >= 'a' && h <= 'f') {
+                code |= h - 'a' + 10;
+              } else if (h >= 'A' && h <= 'F') {
+                code |= h - 'A' + 10;
+              } else {
+                return Status::Corruption("bad \\u escape");
+              }
+            }
+            // Basic-multilingual-plane only; encode as UTF-8.
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            return Status::Corruption("bad escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Status::Corruption("unterminated string");
+  }
+
+  Status ParseNumber(Json* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        // '-'/'+' only valid inside exponents, but lenient parsing is fine
+        // for our own writer's output.
+        is_double = is_double || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Status::Corruption("expected number");
+    std::string token = text_.substr(start, pos_ - start);
+    if (is_double) {
+      *out = Json(std::strtod(token.c_str(), nullptr));
+    } else {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), v);
+      if (ec != std::errc()) return Status::Corruption("bad integer");
+      (void)ptr;
+      *out = Json(v);
+    }
+    return Status::OK();
+  }
+
+  Status ParseObject(Json* out) {
+    Consume('{');
+    Json::Object obj;
+    SkipWs();
+    if (Consume('}')) {
+      *out = Json(std::move(obj));
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      ROTTNEST_RETURN_NOT_OK(ParseString(&key));
+      SkipWs();
+      if (!Consume(':')) return Status::Corruption("expected ':'");
+      SkipWs();
+      Json value;
+      ROTTNEST_RETURN_NOT_OK(ParseValue(&value));
+      obj.emplace(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Status::Corruption("expected ',' or '}'");
+    }
+    *out = Json(std::move(obj));
+    return Status::OK();
+  }
+
+  Status ParseArray(Json* out) {
+    Consume('[');
+    Json::Array arr;
+    SkipWs();
+    if (Consume(']')) {
+      *out = Json(std::move(arr));
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWs();
+      Json value;
+      ROTTNEST_RETURN_NOT_OK(ParseValue(&value));
+      arr.push_back(std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Status::Corruption("expected ',' or ']'");
+    }
+    *out = Json(std::move(arr));
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_;
+};
+
+void DumpTo(const Json& j, std::string* out);
+
+void DumpObject(const Json::Object& obj, std::string* out) {
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : obj) {
+    if (!first) out->push_back(',');
+    first = false;
+    AppendEscaped(k, out);
+    out->push_back(':');
+    DumpTo(v, out);
+  }
+  out->push_back('}');
+}
+
+void DumpArray(const Json::Array& arr, std::string* out) {
+  out->push_back('[');
+  bool first = true;
+  for (const auto& v : arr) {
+    if (!first) out->push_back(',');
+    first = false;
+    DumpTo(v, out);
+  }
+  out->push_back(']');
+}
+
+void DumpTo(const Json& j, std::string* out) {
+  if (j.is_null()) {
+    *out += "null";
+  } else if (j.is_bool()) {
+    *out += j.AsBool() ? "true" : "false";
+  } else if (j.is_int()) {
+    *out += std::to_string(j.AsInt());
+  } else if (j.is_double()) {
+    double d = j.AsDouble();
+    if (std::isfinite(d)) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      *out += buf;
+    } else {
+      *out += "null";  // JSON has no inf/nan.
+    }
+  } else if (j.is_string()) {
+    AppendEscaped(j.AsString(), out);
+  } else if (j.is_array()) {
+    DumpArray(j.AsArray(), out);
+  } else {
+    DumpObject(j.AsObject(), out);
+  }
+}
+
+}  // namespace
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(*this, &out);
+  return out;
+}
+
+Result<Json> Json::Parse(const std::string& text) {
+  Parser p(text);
+  return p.Parse();
+}
+
+Status Json::GetString(const std::string& key, std::string* out) const {
+  Json v;
+  if (!Get(key, &v) || !v.is_string()) {
+    return Status::InvalidArgument("missing string field: " + key);
+  }
+  *out = v.AsString();
+  return Status::OK();
+}
+
+Status Json::GetInt(const std::string& key, int64_t* out) const {
+  Json v;
+  if (!Get(key, &v) || !v.is_number()) {
+    return Status::InvalidArgument("missing int field: " + key);
+  }
+  *out = v.AsInt();
+  return Status::OK();
+}
+
+Status Json::GetBool(const std::string& key, bool* out) const {
+  Json v;
+  if (!Get(key, &v) || !v.is_bool()) {
+    return Status::InvalidArgument("missing bool field: " + key);
+  }
+  *out = v.AsBool();
+  return Status::OK();
+}
+
+Status Json::GetArray(const std::string& key, Array* out) const {
+  Json v;
+  if (!Get(key, &v) || !v.is_array()) {
+    return Status::InvalidArgument("missing array field: " + key);
+  }
+  *out = v.AsArray();
+  return Status::OK();
+}
+
+}  // namespace rottnest

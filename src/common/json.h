@@ -1,0 +1,98 @@
+// Minimal JSON value, writer and parser for transaction-log records and
+// metadata. Supports objects, arrays, strings, integers, doubles, booleans
+// and null — the subset Delta-style logs need.
+#ifndef ROTTNEST_COMMON_JSON_H_
+#define ROTTNEST_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rottnest {
+
+/// A parsed JSON value. Objects keep keys in sorted order (std::map), which
+/// makes serialized log records byte-stable — useful for tests and checksums.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}          // NOLINT
+  Json(bool b) : value_(b) {}                        // NOLINT
+  Json(int64_t i) : value_(i) {}                     // NOLINT
+  Json(int i) : value_(static_cast<int64_t>(i)) {}   // NOLINT
+  Json(uint64_t i) : value_(static_cast<int64_t>(i)) {}  // NOLINT
+  Json(double d) : value_(d) {}                      // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}      // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}    // NOLINT
+  Json(Array a) : value_(std::move(a)) {}            // NOLINT
+  Json(Object o) : value_(std::move(o)) {}           // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  bool AsBool() const { return std::get<bool>(value_); }
+  int64_t AsInt() const {
+    if (is_double()) return static_cast<int64_t>(std::get<double>(value_));
+    return std::get<int64_t>(value_);
+  }
+  double AsDouble() const {
+    if (is_int()) return static_cast<double>(std::get<int64_t>(value_));
+    return std::get<double>(value_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(value_); }
+  const Array& AsArray() const { return std::get<Array>(value_); }
+  Array& AsArray() { return std::get<Array>(value_); }
+  const Object& AsObject() const { return std::get<Object>(value_); }
+  Object& AsObject() { return std::get<Object>(value_); }
+
+  /// Object member access; returns true and sets *out if `key` exists.
+  bool Get(const std::string& key, Json* out) const {
+    if (!is_object()) return false;
+    auto it = AsObject().find(key);
+    if (it == AsObject().end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  /// Convenience typed getters on objects; fail with InvalidArgument when
+  /// the key is missing or of the wrong type.
+  Status GetString(const std::string& key, std::string* out) const;
+  Status GetInt(const std::string& key, int64_t* out) const;
+  Status GetBool(const std::string& key, bool* out) const;
+  Status GetArray(const std::string& key, Array* out) const;
+
+  /// Sets an object member (value must be an object).
+  void Set(const std::string& key, Json value) {
+    AsObject()[key] = std::move(value);
+  }
+
+  /// Serializes to compact JSON text.
+  std::string Dump() const;
+
+  /// Parses JSON text.
+  static Result<Json> Parse(const std::string& text);
+
+  bool operator==(const Json& other) const { return value_ == other.value_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      value_;
+};
+
+}  // namespace rottnest
+
+#endif  // ROTTNEST_COMMON_JSON_H_

@@ -1,0 +1,82 @@
+// Deterministic pseudo-random generator (xoshiro256**) used by the synthetic
+// workload generators and tests. Deterministic seeds keep experiments
+// reproducible run-to-run.
+#ifndef ROTTNEST_COMMON_RANDOM_H_
+#define ROTTNEST_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace rottnest {
+
+/// xoshiro256** PRNG. Not thread-safe; create one per thread.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // Expand the seed with splitmix64 so nearby seeds produce unrelated
+    // streams.
+    for (auto& s : state_) {
+      seed = Mix64(seed);
+      s = seed;
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t* s = state_;
+    uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Zipf-distributed rank in [0, n) with exponent s, via rejection-free
+  /// inverse-CDF over a precomputed-free approximation (sufficient for
+  /// workload shaping). Slower path; cache externally for hot loops.
+  uint64_t NextZipf(uint64_t n, double s) {
+    // Approximate inverse CDF for Zipf: P(X <= k) ~ H_k / H_n; use the
+    // continuous approximation H_k ~ (k^(1-s)-1)/(1-s) for s != 1.
+    double u = NextDouble();
+    if (s == 1.0) {
+      double hn = std::log(static_cast<double>(n) + 1.0);
+      return static_cast<uint64_t>(std::exp(u * hn)) % n;
+    }
+    double oneMinusS = 1.0 - s;
+    double hn = (std::pow(static_cast<double>(n) + 1.0, oneMinusS) - 1.0) /
+                oneMinusS;
+    double k = std::pow(u * hn * oneMinusS + 1.0, 1.0 / oneMinusS) - 1.0;
+    uint64_t r = static_cast<uint64_t>(k);
+    return r >= n ? n - 1 : r;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace rottnest
+
+#endif  // ROTTNEST_COMMON_RANDOM_H_

@@ -1,0 +1,68 @@
+// Slice: a non-owning view over a byte range, in the style of RocksDB's
+// Slice / std::string_view, plus Buffer, an owning byte container.
+#ifndef ROTTNEST_COMMON_SLICE_H_
+#define ROTTNEST_COMMON_SLICE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rottnest {
+
+/// Owning byte buffer used throughout the storage stack.
+using Buffer = std::vector<uint8_t>;
+
+/// Non-owning view of a contiguous byte range. The referenced memory must
+/// outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  /// Views a Buffer. The Buffer must outlive the Slice.
+  explicit Slice(const Buffer& buf) : data_(buf.data()), size_(buf.size()) {}
+  /// Views a string's bytes. The string must outlive the Slice.
+  explicit Slice(const std::string& s)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  explicit Slice(std::string_view s)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  /// Sub-view [offset, offset+len); caller guarantees bounds.
+  Slice Subslice(size_t offset, size_t len) const {
+    return Slice(data_ + offset, len);
+  }
+
+  /// Copies the bytes into an owning string.
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  /// Copies the bytes into an owning Buffer.
+  Buffer ToBuffer() const { return Buffer(data_, data_ + size_); }
+
+  std::string_view ToStringView() const {
+    return std::string_view(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  bool operator==(const Slice& other) const {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data_, other.data_, size_) == 0);
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+}  // namespace rottnest
+
+#endif  // ROTTNEST_COMMON_SLICE_H_

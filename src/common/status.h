@@ -1,0 +1,173 @@
+// Status and Result<T>: exception-free error handling, in the style of
+// RocksDB's Status / Arrow's Result. All fallible library operations return
+// one of these; exceptions are never thrown across API boundaries.
+#ifndef ROTTNEST_COMMON_STATUS_H_
+#define ROTTNEST_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rottnest {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound = 1,        ///< Object / key / file does not exist.
+  kAlreadyExists = 2,   ///< Conditional put failed; version conflict.
+  kInvalidArgument = 3, ///< Caller error: bad parameter or precondition.
+  kCorruption = 4,      ///< Data failed validation (checksum, magic, bounds).
+  kIOError = 5,         ///< Underlying storage failed.
+  kAborted = 6,         ///< Operation aborted (timeout, conflict, injection).
+  kNotSupported = 7,    ///< Operation not implemented for this configuration.
+  kInternal = 8,        ///< Invariant violation inside the library.
+};
+
+/// Returns a human-readable name for `code` ("NotFound", "IOError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// The result of an operation that can fail but returns no value.
+///
+/// A Status is cheap to copy (code + shared message string) and must be
+/// checked by the caller; helper macros ROTTNEST_RETURN_NOT_OK and
+/// ROTTNEST_ASSIGN_OR_RETURN keep call sites terse.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// The result of an operation that can fail or produce a T.
+///
+/// Holds either an error Status or a value. Accessing the value of an
+/// errored Result aborts the process (assert), mirroring Arrow's
+/// Result::ValueOrDie discipline; use ok()/status() to branch.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in functions returning
+  /// Result<T>.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error Status: allows `return Status::NotFound(...)`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Error status, or OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  /// Moves the value out of the Result.
+  T MoveValue() {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& ValueOr(const T& fallback) const {
+    return ok() ? std::get<T>(payload_) : fallback;
+  }
+
+ private:
+  std::variant<Status, T> payload_;
+};
+
+}  // namespace rottnest
+
+/// Propagates a non-OK Status to the caller.
+#define ROTTNEST_RETURN_NOT_OK(expr)           \
+  do {                                         \
+    ::rottnest::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#define ROTTNEST_CONCAT_IMPL(a, b) a##b
+#define ROTTNEST_CONCAT(a, b) ROTTNEST_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define ROTTNEST_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  ROTTNEST_ASSIGN_OR_RETURN_IMPL(                                    \
+      ROTTNEST_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define ROTTNEST_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                   \
+  if (!result_name.ok()) return result_name.status();           \
+  lhs = std::move(result_name).value()
+
+#endif  // ROTTNEST_COMMON_STATUS_H_

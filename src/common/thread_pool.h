@@ -1,0 +1,92 @@
+// Fixed-size thread pool used for parallel index builds, parallel object
+// store reads ("width"), and brute-force scans.
+#ifndef ROTTNEST_COMMON_THREAD_POOL_H_
+#define ROTTNEST_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rottnest {
+
+/// A simple FIFO thread pool. Tasks must not throw (library code is
+/// exception-free); a throwing task terminates the process.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) : shutdown_(false) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and blocks until all
+  /// iterations complete. Iterations are distributed dynamically.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+    if (n == 0) return;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    size_t remaining = n;
+    for (size_t i = 0; i < n; ++i) {
+      Submit([&, i] {
+        fn(i);
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (--remaining == 0) done_cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+        if (shutdown_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool shutdown_;
+};
+
+}  // namespace rottnest
+
+#endif  // ROTTNEST_COMMON_THREAD_POOL_H_

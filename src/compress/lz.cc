@@ -1,0 +1,205 @@
+#include "compress/lz.h"
+
+#include <cstring>
+
+namespace rottnest::compress {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 16;
+constexpr size_t kHashSize = 1u << kHashBits;
+// Matches within the last 12 bytes of input are not emitted (mirrors LZ4's
+// end-of-block restrictions and keeps the decoder's copy loops simple).
+constexpr size_t kLastLiterals = 12;
+
+inline uint32_t Read32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint32_t HashSeq(uint32_t seq) {
+  return (seq * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitLength(Buffer* out, size_t len) {
+  while (len >= 255) {
+    out->push_back(0xff);
+    len -= 255;
+  }
+  out->push_back(static_cast<uint8_t>(len));
+}
+
+void EmitSequence(Buffer* out, const uint8_t* literals, size_t literal_len,
+                  size_t offset, size_t match_len) {
+  size_t lit_token = literal_len < 15 ? literal_len : 15;
+  size_t match_token;
+  bool has_match = match_len >= kMinMatch;
+  if (has_match) {
+    size_t m = match_len - kMinMatch;
+    match_token = m < 15 ? m : 15;
+  } else {
+    match_token = 0;
+  }
+  out->push_back(static_cast<uint8_t>((lit_token << 4) | match_token));
+  if (lit_token == 15) EmitLength(out, literal_len - 15);
+  out->insert(out->end(), literals, literals + literal_len);
+  if (has_match) {
+    out->push_back(static_cast<uint8_t>(offset & 0xff));
+    out->push_back(static_cast<uint8_t>(offset >> 8));
+    if (match_token == 15) EmitLength(out, match_len - kMinMatch - 15);
+  }
+}
+
+}  // namespace
+
+Buffer LzCompress(Slice input) {
+  Buffer out;
+  const uint8_t* base = input.data();
+  const size_t size = input.size();
+  out.reserve(size / 2 + 32);
+
+  if (size < kMinMatch + kLastLiterals) {
+    // Too small to find matches: emit one literal-only sequence.
+    EmitSequence(&out, base, size, 0, 0);
+    return out;
+  }
+
+  // Hash table of candidate positions for 4-byte sequences.
+  std::vector<uint32_t> table(kHashSize, 0);
+  const size_t scan_limit = size - kLastLiterals;
+
+  size_t anchor = 0;  // Start of pending literals.
+  size_t pos = 1;     // Position 0 can never match backwards.
+
+  while (pos + kMinMatch <= scan_limit) {
+    uint32_t h = HashSeq(Read32(base + pos));
+    size_t candidate = table[h];
+    table[h] = static_cast<uint32_t>(pos);
+
+    bool match = candidate < pos && pos - candidate <= kMaxOffset &&
+                 Read32(base + candidate) == Read32(base + pos);
+    if (!match) {
+      ++pos;
+      continue;
+    }
+
+    // Extend the match forward.
+    size_t match_len = kMinMatch;
+    while (pos + match_len < scan_limit &&
+           base[candidate + match_len] == base[pos + match_len]) {
+      ++match_len;
+    }
+    // Extend backwards into pending literals.
+    while (pos > anchor && candidate > 0 &&
+           base[candidate - 1] == base[pos - 1]) {
+      --pos;
+      --candidate;
+      ++match_len;
+    }
+
+    EmitSequence(&out, base + anchor, pos - anchor, pos - candidate,
+                 match_len);
+    pos += match_len;
+    anchor = pos;
+
+    // Seed the table at the position just before the next scan point to
+    // improve density.
+    if (pos + kMinMatch <= scan_limit && pos >= 2) {
+      table[HashSeq(Read32(base + pos - 2))] = static_cast<uint32_t>(pos - 2);
+    }
+  }
+
+  // Final literal-only sequence.
+  EmitSequence(&out, base + anchor, size - anchor, 0, 0);
+  return out;
+}
+
+Status LzDecompress(Slice input, size_t uncompressed_size, Buffer* out) {
+  out->clear();
+  out->reserve(uncompressed_size);
+  const uint8_t* p = input.data();
+  const uint8_t* end = p + input.size();
+
+  auto read_extended = [&](size_t base_len, size_t* len) -> Status {
+    *len = base_len;
+    if (base_len == 15) {
+      uint8_t b;
+      do {
+        if (p >= end) return Status::Corruption("lz: truncated length");
+        b = *p++;
+        *len += b;
+      } while (b == 0xff);
+    }
+    return Status::OK();
+  };
+
+  while (p < end) {
+    uint8_t token = *p++;
+    size_t literal_len;
+    ROTTNEST_RETURN_NOT_OK(read_extended(token >> 4, &literal_len));
+    if (static_cast<size_t>(end - p) < literal_len) {
+      return Status::Corruption("lz: truncated literals");
+    }
+    if (out->size() + literal_len > uncompressed_size) {
+      return Status::Corruption("lz: output overflow (literals)");
+    }
+    out->insert(out->end(), p, p + literal_len);
+    p += literal_len;
+
+    if (p >= end) break;  // Final sequence has no match.
+
+    if (end - p < 2) return Status::Corruption("lz: truncated offset");
+    size_t offset = p[0] | (static_cast<size_t>(p[1]) << 8);
+    p += 2;
+    if (offset == 0 || offset > out->size()) {
+      return Status::Corruption("lz: bad match offset");
+    }
+    size_t match_len;
+    ROTTNEST_RETURN_NOT_OK(read_extended(token & 0x0f, &match_len));
+    match_len += kMinMatch;
+    if (out->size() + match_len > uncompressed_size) {
+      return Status::Corruption("lz: output overflow (match)");
+    }
+    // Byte-by-byte copy: overlapping matches (offset < match_len) are the
+    // run-length case and must replicate bytes produced by this same copy.
+    size_t src = out->size() - offset;
+    for (size_t i = 0; i < match_len; ++i) {
+      out->push_back((*out)[src + i]);
+    }
+  }
+
+  if (out->size() != uncompressed_size) {
+    return Status::Corruption("lz: size mismatch after decompress");
+  }
+  return Status::OK();
+}
+
+Buffer Compress(Codec codec, Slice input) {
+  switch (codec) {
+    case Codec::kNone:
+      return input.ToBuffer();
+    case Codec::kLz:
+      return LzCompress(input);
+  }
+  return input.ToBuffer();
+}
+
+Status Decompress(Codec codec, Slice input, size_t uncompressed_size,
+                  Buffer* out) {
+  switch (codec) {
+    case Codec::kNone:
+      if (input.size() != uncompressed_size) {
+        return Status::Corruption("stored block size mismatch");
+      }
+      *out = input.ToBuffer();
+      return Status::OK();
+    case Codec::kLz:
+      return LzDecompress(input, uncompressed_size, out);
+  }
+  return Status::NotSupported("unknown codec");
+}
+
+}  // namespace rottnest::compress

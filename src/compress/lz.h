@@ -1,0 +1,47 @@
+// From-scratch LZ77 block codec with an LZ4-style token format. Used for
+// page-level compression in the columnar format and component-level
+// compression in index files.
+//
+// Block format (no header; the caller stores the uncompressed size):
+//   repeated sequences of
+//     token byte:   high nibble = literal length (15 => extended),
+//                   low nibble  = match length - kMinMatch (15 => extended)
+//     [extended literal length: 0xff bytes then a final < 0xff byte]
+//     literal bytes
+//     [2-byte little-endian match offset, 1..65535]   (absent in final seq)
+//     [extended match length bytes]                   (absent in final seq)
+// The final sequence has only literals (offset omitted), as in LZ4.
+#ifndef ROTTNEST_COMPRESS_LZ_H_
+#define ROTTNEST_COMPRESS_LZ_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace rottnest::compress {
+
+/// Compresses `input` into an LZ block. Always succeeds; incompressible
+/// input expands by at most ~0.4% + 16 bytes.
+Buffer LzCompress(Slice input);
+
+/// Decompresses a block produced by LzCompress. `uncompressed_size` must be
+/// the exact original size; fails with Corruption on malformed input.
+Status LzDecompress(Slice input, size_t uncompressed_size, Buffer* out);
+
+/// Supported page/component codecs.
+enum class Codec : uint8_t {
+  kNone = 0,  ///< Stored raw.
+  kLz = 1,    ///< LzCompress block.
+};
+
+/// Compresses with the given codec. kNone copies.
+Buffer Compress(Codec codec, Slice input);
+
+/// Inverse of Compress.
+Status Decompress(Codec codec, Slice input, size_t uncompressed_size,
+                  Buffer* out);
+
+}  // namespace rottnest::compress
+
+#endif  // ROTTNEST_COMPRESS_LZ_H_

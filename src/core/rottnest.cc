@@ -1,0 +1,1132 @@
+#include "core/rottnest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <regex>
+#include <set>
+
+#include "common/hash.h"
+#include "format/reader.h"
+#include "index/ivfpq/kmeans.h"
+#include "index/trie/trie_index.h"
+
+namespace rottnest::core {
+
+namespace {
+
+using format::ColumnSchema;
+using format::ColumnVector;
+using format::PageFetch;
+using format::PageId;
+using format::PageTable;
+using format::PhysicalType;
+using index::ComponentFileReader;
+using index::IndexType;
+using lake::DataFile;
+using lake::IndexEntry;
+using lake::Snapshot;
+
+/// Extracts value `row` of a decoded column as raw bytes.
+std::string ValueAt(const ColumnVector& col, size_t row) {
+  switch (col.type()) {
+    case PhysicalType::kByteArray:
+      return col.strings()[row];
+    case PhysicalType::kFixedLenByteArray:
+      return col.fixed().at(row).ToString();
+    case PhysicalType::kInt64: {
+      int64_t v = col.ints()[row];
+      return std::string(reinterpret_cast<const char*>(&v), 8);
+    }
+    case PhysicalType::kDouble: {
+      double v = col.doubles()[row];
+      return std::string(reinterpret_cast<const char*>(&v), 8);
+    }
+  }
+  return {};
+}
+
+/// Caches deletion vectors per data file during one search.
+class DvCache {
+ public:
+  DvCache(lake::Table* table, const Snapshot& snapshot)
+      : table_(table), snapshot_(snapshot) {}
+
+  /// True if (file, row) is deleted in the snapshot.
+  Result<bool> IsDeleted(const std::string& file, uint64_t row) {
+    auto it = cache_.find(file);
+    if (it == cache_.end()) {
+      const DataFile* df = snapshot_.FindFile(file);
+      lake::DeletionVector dv;
+      if (df != nullptr) {
+        ROTTNEST_RETURN_NOT_OK(table_->ReadDeletionVector(*df, &dv));
+      }
+      it = cache_.emplace(file, std::move(dv)).first;
+    }
+    return it->second.Contains(row);
+  }
+
+ private:
+  lake::Table* table_;
+  const Snapshot& snapshot_;
+  std::map<std::string, lake::DeletionVector> cache_;
+};
+
+}  // namespace
+
+struct Rottnest::Plan {
+  Snapshot snapshot;
+  std::vector<IndexEntry> indexes;
+  std::vector<DataFile> unindexed;
+  int column_index = -1;
+};
+
+namespace {
+
+/// Applies the structured-attribute ScanRange (paper §VI): prunes row
+/// groups via min/max statistics and verifies the attribute in situ for
+/// candidate rows. One instance per search; caches readers and attribute
+/// chunks per (file, row group).
+class RangeFilter {
+ public:
+  RangeFilter(objectstore::ObjectStore* store, const format::Schema& schema,
+              const std::optional<ScanRange>& range)
+      : store_(store) {
+    if (!range.has_value()) return;
+    col_idx_ = schema.FindColumn(range->column);
+    range_ = *range;
+    active_ = true;
+  }
+
+  bool active() const { return active_; }
+
+  Status Validate() const {
+    if (active_ && col_idx_ < 0) {
+      return Status::InvalidArgument("no such range column: " +
+                                     range_.column);
+    }
+    return Status::OK();
+  }
+
+  /// True if row group `rg` of the file may contain rows in range.
+  bool RowGroupMayMatch(const format::RowGroupMeta& rg) const {
+    if (!active_) return true;
+    const format::ColumnChunkMeta& cc = rg.columns[col_idx_];
+    if (!cc.has_stats) return true;
+    return cc.min <= range_.max && cc.max >= range_.min;
+  }
+
+  /// True if row `row` (file-global) of `file` is inside the range.
+  /// Reads (and caches) the attribute chunk of the containing row group.
+  Result<bool> RowInRange(const std::string& file, uint64_t row,
+                          objectstore::IoTrace* trace) {
+    if (!active_) return true;
+    ROTTNEST_ASSIGN_OR_RETURN(format::FileReader * reader, Reader(file, trace));
+    const format::FileMeta& meta = reader->meta();
+    // Find the row group containing `row`.
+    size_t g = 0;
+    while (g + 1 < meta.row_groups.size() &&
+           meta.row_groups[g + 1].first_row <= row) {
+      ++g;
+    }
+    const format::RowGroupMeta& rg = meta.row_groups[g];
+    if (!RowGroupMayMatch(rg)) return false;
+    auto key = std::make_pair(file, g);
+    auto it = chunks_.find(key);
+    if (it == chunks_.end()) {
+      format::ColumnVector col;
+      ROTTNEST_RETURN_NOT_OK(
+          reader->ReadColumnChunk(g, col_idx_, trace, &col));
+      it = chunks_.emplace(key, std::move(col)).first;
+    }
+    return range_.Contains(it->second.ints()[row - rg.first_row]);
+  }
+
+  /// Drops matches outside the range.
+  Status FilterMatches(std::vector<RowMatch>* matches,
+                       objectstore::IoTrace* trace) {
+    if (!active_) return Status::OK();
+    std::vector<RowMatch> kept;
+    kept.reserve(matches->size());
+    for (RowMatch& m : *matches) {
+      ROTTNEST_ASSIGN_OR_RETURN(bool in, RowInRange(m.file, m.row, trace));
+      if (in) kept.push_back(std::move(m));
+    }
+    *matches = std::move(kept);
+    return Status::OK();
+  }
+
+ private:
+  Result<format::FileReader*> Reader(const std::string& file,
+                                     objectstore::IoTrace* trace) {
+    auto it = readers_.find(file);
+    if (it == readers_.end()) {
+      ROTTNEST_ASSIGN_OR_RETURN(std::unique_ptr<format::FileReader> r,
+                                format::FileReader::Open(store_, file,
+                                                         trace));
+      it = readers_.emplace(file, std::move(r)).first;
+    }
+    return it->second.get();
+  }
+
+  objectstore::ObjectStore* store_;
+  bool active_ = false;
+  int col_idx_ = -1;
+  ScanRange range_;
+  std::map<std::string, std::unique_ptr<format::FileReader>> readers_;
+  std::map<std::pair<std::string, size_t>, format::ColumnVector> chunks_;
+};
+
+/// Extracts the longest regex-free literal run from an ECMAScript regex —
+/// the substring every match must contain, suitable for FM-index location.
+std::string LongestRegexLiteral(const std::string& pattern) {
+  std::string best, current;
+  auto flush = [&] {
+    // A literal directly before a quantifier is not guaranteed (e.g. the
+    // 'o' in "fo*"); drop its last char from the guaranteed run.
+    if (current.size() > best.size()) best = current;
+    current.clear();
+  };
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    char c = pattern[i];
+    switch (c) {
+      case '\\':
+        // Escaped char: a guaranteed literal only for escaped punctuation.
+        if (i + 1 < pattern.size() && !std::isalnum(static_cast<unsigned char>(
+                                          pattern[i + 1]))) {
+          current.push_back(pattern[i + 1]);
+          ++i;
+        } else {
+          ++i;
+          flush();
+        }
+        break;
+      case '*':
+      case '+':
+      case '?':
+      case '{':
+        // Quantifier: the preceding char was optional/repeated.
+        if (!current.empty()) current.pop_back();
+        flush();
+        // Skip the {...} body.
+        while (c == '{' && i + 1 < pattern.size() && pattern[i] != '}') ++i;
+        break;
+      case '|':
+        // Alternation invalidates any guarantee: nothing is required.
+        return std::string();
+      case '.':
+      case '[':
+      case ']':
+      case '(':
+      case ')':
+      case '^':
+      case '$':
+        flush();
+        // Skip character classes wholesale.
+        if (c == '[') {
+          while (i + 1 < pattern.size() && pattern[i] != ']') ++i;
+        }
+        break;
+      default:
+        current.push_back(c);
+    }
+  }
+  flush();
+  return best;
+}
+
+/// Scans one file's column row by row, honoring the RangeFilter's row-group
+/// pruning and per-row attribute check. `visit(row, value)` runs for rows
+/// passing the range. *scanned reports whether any row group was read.
+Status ScanFileRows(
+    objectstore::ObjectStore* store, const std::string& file, int col_idx,
+    RangeFilter* rf, objectstore::IoTrace* trace, bool* scanned,
+    const std::function<Status(uint64_t, const std::string&)>& visit) {
+  *scanned = false;
+  ROTTNEST_ASSIGN_OR_RETURN(
+      std::unique_ptr<format::FileReader> reader,
+      format::FileReader::Open(store, file, trace));
+  const format::FileMeta& meta = reader->meta();
+  for (size_t g = 0; g < meta.row_groups.size(); ++g) {
+    const format::RowGroupMeta& rg = meta.row_groups[g];
+    if (!rf->RowGroupMayMatch(rg)) continue;  // Min/max pruning.
+    ColumnVector col;
+    ROTTNEST_RETURN_NOT_OK(reader->ReadColumnChunk(g, col_idx, trace, &col));
+    *scanned = true;
+    for (size_t r = 0; r < col.size(); ++r) {
+      uint64_t row = rg.first_row + r;
+      if (rf->active()) {
+        ROTTNEST_ASSIGN_OR_RETURN(bool in, rf->RowInRange(file, row, trace));
+        if (!in) continue;
+      }
+      ROTTNEST_RETURN_NOT_OK(visit(row, ValueAt(col, r)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Rottnest::Rottnest(objectstore::ObjectStore* store, lake::Table* table,
+                   RottnestOptions options)
+    : store_(store),
+      table_(table),
+      options_(std::move(options)),
+      metadata_(store, options_.index_dir),
+      pool_(options_.num_threads) {}
+
+std::string Rottnest::NewIndexName() {
+  // Names must be unique across concurrent clients (the §IV-D proof
+  // assumes uploaded files are owned exclusively by one process), so mix
+  // in per-instance and process-wide entropy, not just the clock.
+  static std::atomic<uint64_t> process_counter{0};
+  uint64_t id = Mix64(static_cast<uint64_t>(store_->clock().NowMicros())) ^
+                Mix64(reinterpret_cast<uintptr_t>(this)) ^
+                Mix64(++name_counter_ * 0x9e37 +
+                      process_counter.fetch_add(1)) ^
+                Hash64(Slice(options_.index_dir));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return options_.index_dir + "/" + buf + ".index";
+}
+
+// ---------------------------------------------------------------------------
+// index
+
+Result<IndexReport> Rottnest::BuildIndexFile(
+    const std::string& column, IndexType type,
+    const std::vector<DataFile>& files) {
+  Micros start = store_->clock().NowMicros();
+  int col_idx = table_->schema().FindColumn(column);
+  if (col_idx < 0) return Status::InvalidArgument("no such column: " + column);
+  const ColumnSchema& col_schema = table_->schema().columns[col_idx];
+
+  PageTable pages;
+  index::TrieIndexBuilder trie_builder(column);
+  index::FmIndexBuilder fm_builder(column, options_.fm);
+  std::unique_ptr<index::IvfPqIndexBuilder> ivf_builder;
+  if (type == IndexType::kIvfPq) {
+    if (col_schema.type != PhysicalType::kFixedLenByteArray ||
+        col_schema.fixed_len % 4 != 0) {
+      return Status::InvalidArgument("vector index needs float fixed-len");
+    }
+    ivf_builder = std::make_unique<index::IvfPqIndexBuilder>(
+        column, col_schema.fixed_len / 4, options_.ivfpq);
+  }
+
+  IndexReport report;
+  for (const DataFile& f : files) {
+    if (store_->clock().NowMicros() - start >= options_.index_timeout_micros) {
+      return Status::Aborted("index operation exceeded timeout");
+    }
+    // If the file was garbage-collected meanwhile, abort and retry later
+    // (paper §IV-A step 2).
+    auto reader_r = format::FileReader::Open(store_, f.path, nullptr);
+    if (!reader_r.ok()) {
+      if (reader_r.status().IsNotFound()) {
+        return Status::Aborted("data file vanished during indexing: " +
+                               f.path);
+      }
+      return reader_r.status();
+    }
+    auto& reader = *reader_r.value();
+    PageId first_page = pages.AddFile(f.path, reader.meta(), col_idx);
+
+    // Feed the builder page by page, in page-table order.
+    PageId page = first_page;
+    for (size_t g = 0; g < reader.meta().row_groups.size(); ++g) {
+      const auto& rg = reader.meta().row_groups[g];
+      // Read the whole chunk once and split by page boundaries.
+      ColumnVector chunk;
+      ROTTNEST_RETURN_NOT_OK(reader.ReadColumnChunk(g, col_idx, nullptr,
+                                                    &chunk));
+      size_t value_index = 0;
+      for (const format::PageMeta& pm : rg.columns[col_idx].pages) {
+        switch (type) {
+          case IndexType::kTrie:
+            for (uint32_t i = 0; i < pm.num_values; ++i) {
+              std::string v = ValueAt(chunk, value_index + i);
+              trie_builder.Add(index::KeyFromValue(Slice(v)), page);
+            }
+            break;
+          case IndexType::kFm: {
+            std::vector<std::string> values;
+            values.reserve(pm.num_values);
+            for (uint32_t i = 0; i < pm.num_values; ++i) {
+              values.push_back(ValueAt(chunk, value_index + i));
+            }
+            fm_builder.AddPageValues(values);
+            break;
+          }
+          case IndexType::kIvfPq:
+            for (uint32_t i = 0; i < pm.num_values; ++i) {
+              Slice v = chunk.fixed().at(value_index + i);
+              ivf_builder->Add(index::VectorFromValue(v), page, i);
+            }
+            break;
+        }
+        ++page;
+        value_index += pm.num_values;
+      }
+    }
+    report.covered_files.push_back(f.path);
+    report.rows += f.rows;
+  }
+
+  Buffer image;
+  switch (type) {
+    case IndexType::kTrie:
+      ROTTNEST_RETURN_NOT_OK(trie_builder.Finish(pages, &image));
+      break;
+    case IndexType::kFm:
+      ROTTNEST_RETURN_NOT_OK(fm_builder.Finish(pages, &image));
+      break;
+    case IndexType::kIvfPq:
+      ROTTNEST_RETURN_NOT_OK(ivf_builder->Finish(pages, &image));
+      break;
+  }
+  if (store_->clock().NowMicros() - start >= options_.index_timeout_micros) {
+    return Status::Aborted("index operation exceeded timeout");
+  }
+
+  // Upload, then commit (upload-before-commit preserves Existence).
+  report.index_path = NewIndexName();
+  ROTTNEST_RETURN_NOT_OK(store_->Put(report.index_path, Slice(image)));
+  return report;
+}
+
+Result<IndexReport> Rottnest::Index(const std::string& column,
+                                    IndexType type) {
+  // Plan: snapshot files not yet indexed for (column, type).
+  ROTTNEST_ASSIGN_OR_RETURN(Snapshot snapshot, table_->GetSnapshot());
+  ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
+                            metadata_.ReadAll());
+  std::set<std::string> indexed;
+  for (const IndexEntry& e : entries) {
+    if (e.column != column || e.index_type != IndexTypeName(type)) continue;
+    indexed.insert(e.covered_files.begin(), e.covered_files.end());
+  }
+  std::vector<DataFile> fresh;
+  uint64_t fresh_rows = 0;
+  for (const DataFile& f : snapshot.files) {
+    if (indexed.count(f.path) == 0) {
+      fresh.push_back(f);
+      fresh_rows += f.rows;
+    }
+  }
+  if (fresh.empty()) return IndexReport{};  // Nothing to do.
+  if (type == IndexType::kIvfPq && fresh_rows < options_.min_vector_index_rows) {
+    return Status::Aborted(
+        "below vector index minimum size; leave to brute-force scan");
+  }
+
+  ROTTNEST_ASSIGN_OR_RETURN(IndexReport report,
+                            BuildIndexFile(column, type, fresh));
+
+  // Commit.
+  IndexEntry entry;
+  entry.index_path = report.index_path;
+  entry.index_type = IndexTypeName(type);
+  entry.column = column;
+  entry.covered_files = report.covered_files;
+  entry.rows = report.rows;
+  entry.created_micros = store_->clock().NowMicros();
+  auto committed = metadata_.Update({entry}, {});
+  if (!committed.ok()) return committed.status();
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// search
+
+Status Rottnest::MakePlan(const std::string& column, IndexType type,
+                          lake::Version snapshot_version,
+                          objectstore::IoTrace* trace, Plan* out) {
+  // Plan cost model: one manifest read + one metadata-table read.
+  if (trace != nullptr) trace->RecordList();
+  ROTTNEST_ASSIGN_OR_RETURN(out->snapshot,
+                            table_->GetSnapshot(snapshot_version));
+  if (trace != nullptr) trace->RecordList();
+  ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
+                            metadata_.ReadAll());
+
+  out->column_index = table_->schema().FindColumn(column);
+  if (out->column_index < 0) {
+    return Status::InvalidArgument("no such column: " + column);
+  }
+
+  std::set<std::string> covered;
+  for (const IndexEntry& e : entries) {
+    if (e.column != column || e.index_type != IndexTypeName(type)) continue;
+    // An index is relevant iff it covers at least one live snapshot file.
+    bool relevant = false;
+    for (const std::string& f : e.covered_files) {
+      if (out->snapshot.ContainsFile(f)) {
+        relevant = true;
+        covered.insert(f);
+      }
+    }
+    if (relevant) out->indexes.push_back(e);
+  }
+  for (const DataFile& f : out->snapshot.files) {
+    if (covered.count(f.path) == 0) out->unindexed.push_back(f);
+  }
+  return Status::OK();
+}
+
+Status Rottnest::ProbePages(const std::vector<PageFetch>& fetches,
+                            const ColumnSchema& column_schema,
+                            objectstore::IoTrace* trace,
+                            std::vector<ColumnVector>* out) {
+  return format::ReadPages(store_, fetches, column_schema, &pool_, trace,
+                           out);
+}
+
+Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
+                                          Slice value, size_t k,
+                                          lake::Version snapshot,
+                                          objectstore::IoTrace* trace) {
+  SearchOptions opts;
+  opts.snapshot = snapshot;
+  opts.trace = trace;
+  return SearchUuid(column, value, k, opts);
+}
+
+Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
+                                          Slice value, size_t k,
+                                          const SearchOptions& opts) {
+  lake::Version snapshot = opts.snapshot;
+  objectstore::IoTrace* trace = opts.trace;
+  Plan plan;
+  ROTTNEST_RETURN_NOT_OK(
+      MakePlan(column, IndexType::kTrie, snapshot, trace, &plan));
+  const ColumnSchema& col_schema =
+      table_->schema().columns[plan.column_index];
+  RangeFilter rf(store_, table_->schema(), opts.range);
+  ROTTNEST_RETURN_NOT_OK(rf.Validate());
+  index::Key128 key = index::KeyFromValue(value);
+
+  SearchResult result;
+  result.indexes_queried = plan.indexes.size();
+  DvCache dvs(table_, plan.snapshot);
+  std::set<std::pair<std::string, uint64_t>> seen;
+
+  // Query index files; collect page fetches (filtered to the snapshot).
+  std::vector<PageFetch> fetches;
+  for (const IndexEntry& entry : plan.indexes) {
+    auto reader_r =
+        ComponentFileReader::Open(store_, entry.index_path, trace);
+    if (!reader_r.ok()) return reader_r.status();
+    std::vector<PageId> hits;
+    ROTTNEST_RETURN_NOT_OK(
+        index::TrieQuery(reader_r.value().get(), &pool_, trace, key, &hits));
+    if (hits.empty()) continue;
+    PageTable pages;
+    ROTTNEST_RETURN_NOT_OK(
+        index::LoadPageTable(reader_r.value().get(), &pool_, trace, &pages));
+    for (PageId p : hits) {
+      // Filter postings pointing outside the snapshot (paper §IV-B step 2).
+      if (!plan.snapshot.ContainsFile(pages.file_of(p))) continue;
+      fetches.push_back(pages.MakeFetch(p));
+    }
+  }
+
+  // In-situ probing: verify candidate pages against the actual value.
+  std::vector<ColumnVector> probed;
+  ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
+  result.pages_probed = fetches.size();
+  for (size_t i = 0; i < fetches.size(); ++i) {
+    for (size_t r = 0; r < probed[i].size(); ++r) {
+      std::string v = ValueAt(probed[i], r);
+      if (Slice(v) == value) {
+        uint64_t row = fetches[i].page.first_row + r;
+        ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
+                                  dvs.IsDeleted(fetches[i].key, row));
+        if (deleted) continue;
+        if (seen.insert({fetches[i].key, row}).second) {
+          result.matches.push_back({fetches[i].key, row, v, 0});
+        }
+      }
+    }
+  }
+  ROTTNEST_RETURN_NOT_OK(rf.FilterMatches(&result.matches, trace));
+
+  // Unindexed fallback: scan only if the exact-match top-k is unsatisfied.
+  if (result.matches.size() < k) {
+    for (const DataFile& f : plan.unindexed) {
+      bool scanned = false;
+      ROTTNEST_RETURN_NOT_OK(ScanFileRows(
+          store_, f.path, plan.column_index, &rf, trace, &scanned,
+          [&](uint64_t row, const std::string& v) -> Status {
+            if (!(Slice(v) == value)) return Status::OK();
+            ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
+                                      dvs.IsDeleted(f.path, row));
+            if (deleted) return Status::OK();
+            if (seen.insert({f.path, row}).second) {
+              result.matches.push_back({f.path, row, v, 0});
+            }
+            return Status::OK();
+          }));
+      if (scanned) ++result.files_scanned;
+      if (result.matches.size() >= k) break;
+    }
+  }
+  if (result.matches.size() > k) result.matches.resize(k);
+  return result;
+}
+
+Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
+                                               const std::string& pattern,
+                                               size_t k,
+                                               lake::Version snapshot,
+                                               objectstore::IoTrace* trace) {
+  SearchOptions opts;
+  opts.snapshot = snapshot;
+  opts.trace = trace;
+  return SearchSubstring(column, pattern, k, opts);
+}
+
+Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
+                                               const std::string& pattern,
+                                               size_t k,
+                                               const SearchOptions& opts) {
+  lake::Version snapshot = opts.snapshot;
+  objectstore::IoTrace* trace = opts.trace;
+  Plan plan;
+  ROTTNEST_RETURN_NOT_OK(
+      MakePlan(column, IndexType::kFm, snapshot, trace, &plan));
+  const ColumnSchema& col_schema =
+      table_->schema().columns[plan.column_index];
+  RangeFilter rf(store_, table_->schema(), opts.range);
+  ROTTNEST_RETURN_NOT_OK(rf.Validate());
+
+  SearchResult result;
+  result.indexes_queried = plan.indexes.size();
+  DvCache dvs(table_, plan.snapshot);
+  std::set<std::pair<std::string, uint64_t>> seen;
+
+  std::vector<PageFetch> fetches;
+  for (const IndexEntry& entry : plan.indexes) {
+    auto reader_r =
+        ComponentFileReader::Open(store_, entry.index_path, trace);
+    if (!reader_r.ok()) return reader_r.status();
+    std::vector<PageId> hits;
+    // Locate generously beyond k: occurrences cluster within pages.
+    ROTTNEST_RETURN_NOT_OK(index::FmLocatePages(
+        reader_r.value().get(), &pool_, trace, Slice(pattern), 4 * k + 16,
+        &hits));
+    if (hits.empty()) continue;
+    PageTable pages;
+    ROTTNEST_RETURN_NOT_OK(
+        index::LoadPageTable(reader_r.value().get(), &pool_, trace, &pages));
+    for (PageId p : hits) {
+      if (!plan.snapshot.ContainsFile(pages.file_of(p))) continue;
+      fetches.push_back(pages.MakeFetch(p));
+    }
+  }
+
+  std::vector<ColumnVector> probed;
+  ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
+  result.pages_probed = fetches.size();
+  for (size_t i = 0; i < fetches.size(); ++i) {
+    for (size_t r = 0; r < probed[i].size(); ++r) {
+      std::string v = ValueAt(probed[i], r);
+      if (v.find(pattern) == std::string::npos) continue;
+      uint64_t row = fetches[i].page.first_row + r;
+      ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
+                                dvs.IsDeleted(fetches[i].key, row));
+      if (deleted) continue;
+      if (seen.insert({fetches[i].key, row}).second) {
+        result.matches.push_back({fetches[i].key, row, v, 0});
+      }
+    }
+  }
+  ROTTNEST_RETURN_NOT_OK(rf.FilterMatches(&result.matches, trace));
+
+  if (result.matches.size() < k) {
+    for (const DataFile& f : plan.unindexed) {
+      bool scanned = false;
+      ROTTNEST_RETURN_NOT_OK(ScanFileRows(
+          store_, f.path, plan.column_index, &rf, trace, &scanned,
+          [&](uint64_t row, const std::string& v) -> Status {
+            if (v.find(pattern) == std::string::npos) return Status::OK();
+            ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
+                                      dvs.IsDeleted(f.path, row));
+            if (deleted) return Status::OK();
+            if (seen.insert({f.path, row}).second) {
+              result.matches.push_back({f.path, row, v, 0});
+            }
+            return Status::OK();
+          }));
+      if (scanned) ++result.files_scanned;
+      if (result.matches.size() >= k) break;
+    }
+  }
+  if (result.matches.size() > k) result.matches.resize(k);
+  return result;
+}
+
+Result<SearchResult> Rottnest::SearchVector(const std::string& column,
+                                            const float* query, uint32_t dim,
+                                            size_t k, uint32_t nprobe,
+                                            uint32_t refine,
+                                            lake::Version snapshot,
+                                            objectstore::IoTrace* trace) {
+  SearchOptions opts;
+  opts.snapshot = snapshot;
+  opts.trace = trace;
+  return SearchVector(column, query, dim, k, nprobe, refine, opts);
+}
+
+Result<SearchResult> Rottnest::SearchVector(const std::string& column,
+                                            const float* query, uint32_t dim,
+                                            size_t k, uint32_t nprobe,
+                                            uint32_t refine,
+                                            const SearchOptions& opts) {
+  lake::Version snapshot = opts.snapshot;
+  objectstore::IoTrace* trace = opts.trace;
+  Plan plan;
+  ROTTNEST_RETURN_NOT_OK(
+      MakePlan(column, IndexType::kIvfPq, snapshot, trace, &plan));
+  const ColumnSchema& col_schema =
+      table_->schema().columns[plan.column_index];
+  if (col_schema.fixed_len != dim * 4) {
+    return Status::InvalidArgument("query dim does not match column");
+  }
+  RangeFilter rf(store_, table_->schema(), opts.range);
+  ROTTNEST_RETURN_NOT_OK(rf.Validate());
+
+  SearchResult result;
+  result.indexes_queried = plan.indexes.size();
+  DvCache dvs(table_, plan.snapshot);
+
+  // Gather approximate candidates across all index files.
+  struct Cand {
+    std::string file;
+    PageId page_in_table;
+    PageFetch fetch;
+    uint32_t row_in_page;
+    float approx;
+  };
+  std::vector<Cand> candidates;
+  for (const IndexEntry& entry : plan.indexes) {
+    auto reader_r =
+        ComponentFileReader::Open(store_, entry.index_path, trace);
+    if (!reader_r.ok()) return reader_r.status();
+    std::vector<index::VectorCandidate> hits;
+    ROTTNEST_RETURN_NOT_OK(index::IvfPqSearch(reader_r.value().get(), &pool_,
+                                              trace, query, dim, nprobe,
+                                              refine, &hits));
+    if (hits.empty()) continue;
+    PageTable pages;
+    ROTTNEST_RETURN_NOT_OK(
+        index::LoadPageTable(reader_r.value().get(), &pool_, trace, &pages));
+    for (const auto& h : hits) {
+      if (!plan.snapshot.ContainsFile(pages.file_of(h.page))) continue;
+      candidates.push_back({pages.file_of(h.page), h.page,
+                            pages.MakeFetch(h.page), h.row_in_page,
+                            h.approx_dist});
+    }
+  }
+
+  // Keep the globally best `refine` candidates for exact reranking.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Cand& a, const Cand& b) { return a.approx < b.approx; });
+  if (candidates.size() > refine) candidates.resize(refine);
+
+  // Fetch candidate pages (deduplicated) in one round.
+  std::map<std::pair<std::string, uint64_t>, size_t> fetch_index;
+  std::vector<PageFetch> fetches;
+  for (const Cand& c : candidates) {
+    auto key = std::make_pair(c.fetch.key, c.fetch.page.offset);
+    if (fetch_index.emplace(key, fetches.size()).second) {
+      fetches.push_back(c.fetch);
+    }
+  }
+  std::vector<ColumnVector> probed;
+  ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
+  result.pages_probed = fetches.size();
+
+  std::set<std::pair<std::string, uint64_t>> seen;
+  std::vector<RowMatch> matches;
+  for (const Cand& c : candidates) {
+    size_t fi = fetch_index.at({c.fetch.key, c.fetch.page.offset});
+    if (c.row_in_page >= probed[fi].size()) continue;
+    Slice raw = probed[fi].fixed().at(c.row_in_page);
+    float dist =
+        index::SquaredL2(query, index::VectorFromValue(raw), dim);
+    uint64_t row = c.fetch.page.first_row + c.row_in_page;
+    ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(c.file, row));
+    if (deleted) continue;
+    if (!seen.insert({c.file, row}).second) continue;
+    matches.push_back({c.file, row, raw.ToString(), dist});
+  }
+  ROTTNEST_RETURN_NOT_OK(rf.FilterMatches(&matches, trace));
+
+  // Scoring queries must rank ALL data: unindexed files are always scanned
+  // exhaustively (paper §IV-B step 3).
+  for (const DataFile& f : plan.unindexed) {
+    bool scanned = false;
+    ROTTNEST_RETURN_NOT_OK(ScanFileRows(
+        store_, f.path, plan.column_index, &rf, trace, &scanned,
+        [&](uint64_t row, const std::string& v) -> Status {
+          float dist = index::SquaredL2(
+              query, reinterpret_cast<const float*>(v.data()), dim);
+          ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
+                                    dvs.IsDeleted(f.path, row));
+          if (deleted) return Status::OK();
+          if (!seen.insert({f.path, row}).second) return Status::OK();
+          matches.push_back({f.path, row, v, dist});
+          return Status::OK();
+        }));
+    if (scanned) ++result.files_scanned;
+  }
+
+  std::sort(matches.begin(), matches.end(),
+            [](const RowMatch& a, const RowMatch& b) {
+              return a.distance < b.distance;
+            });
+  if (matches.size() > k) matches.resize(k);
+  result.matches = std::move(matches);
+  return result;
+}
+
+Result<SearchResult> Rottnest::SearchRegex(const std::string& column,
+                                           const std::string& pattern,
+                                           size_t k,
+                                           const SearchOptions& opts) {
+  std::regex re;
+  // <regex> throws on bad patterns; confine it here and convert to Status
+  // (library code is otherwise exception-free).
+  try {
+    re.assign(pattern, std::regex::ECMAScript);
+  } catch (const std::regex_error& e) {
+    return Status::InvalidArgument(std::string("bad regex: ") + e.what());
+  }
+
+  std::string literal = LongestRegexLiteral(pattern);
+  if (literal.size() >= 3) {
+    // Locate the guaranteed literal through the FM-index, then verify the
+    // full regex in situ on every candidate (the literal-prefilter strategy
+    // of production log search).
+    SearchOptions inner = opts;
+    ROTTNEST_ASSIGN_OR_RETURN(
+        SearchResult candidates,
+        SearchSubstring(column, literal, std::max(k * 8, k + 32), inner));
+    SearchResult result;
+    result.indexes_queried = candidates.indexes_queried;
+    result.files_scanned = candidates.files_scanned;
+    result.pages_probed = candidates.pages_probed;
+    for (RowMatch& m : candidates.matches) {
+      if (std::regex_search(m.value, re)) {
+        result.matches.push_back(std::move(m));
+        if (result.matches.size() >= k) break;
+      }
+    }
+    return result;
+  }
+
+  // No usable literal: brute-force scan every file in the snapshot.
+  Plan plan;
+  ROTTNEST_RETURN_NOT_OK(
+      MakePlan(column, IndexType::kFm, opts.snapshot, opts.trace, &plan));
+  RangeFilter rf(store_, table_->schema(), opts.range);
+  ROTTNEST_RETURN_NOT_OK(rf.Validate());
+  DvCache dvs(table_, plan.snapshot);
+  SearchResult result;
+  for (const DataFile& f : plan.snapshot.files) {
+    bool scanned = false;
+    ROTTNEST_RETURN_NOT_OK(ScanFileRows(
+        store_, f.path, plan.column_index, &rf, opts.trace, &scanned,
+        [&](uint64_t row, const std::string& v) -> Status {
+          if (result.matches.size() >= k) return Status::OK();
+          if (!std::regex_search(v, re)) return Status::OK();
+          ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(f.path, row));
+          if (deleted) return Status::OK();
+          result.matches.push_back({f.path, row, v, 0});
+          return Status::OK();
+        }));
+    if (scanned) ++result.files_scanned;
+    if (result.matches.size() >= k) break;
+  }
+  return result;
+}
+
+Result<uint64_t> Rottnest::CountSubstring(const std::string& column,
+                                          const std::string& pattern,
+                                          const SearchOptions& opts) {
+  if (opts.range.has_value()) {
+    return Status::NotSupported(
+        "CountSubstring does not support ScanRange; use SearchSubstring");
+  }
+  Plan plan;
+  ROTTNEST_RETURN_NOT_OK(
+      MakePlan(column, IndexType::kFm, opts.snapshot, opts.trace, &plan));
+
+  // An index count is exact only when everything it covers is live and
+  // deletion-free; otherwise those files are counted by scanning.
+  std::set<std::string> scan_files;
+  for (const DataFile& f : plan.unindexed) scan_files.insert(f.path);
+
+  uint64_t total = 0;
+  for (const IndexEntry& entry : plan.indexes) {
+    bool exact = true;
+    for (const std::string& f : entry.covered_files) {
+      const DataFile* df = plan.snapshot.FindFile(f);
+      if (df == nullptr || !df->dv_path.empty()) {
+        exact = false;
+        break;
+      }
+    }
+    if (!exact) {
+      for (const std::string& f : entry.covered_files) {
+        if (plan.snapshot.ContainsFile(f)) scan_files.insert(f);
+      }
+      continue;
+    }
+    auto reader_r =
+        ComponentFileReader::Open(store_, entry.index_path, opts.trace);
+    if (!reader_r.ok()) return reader_r.status();
+    uint64_t count = 0;
+    ROTTNEST_RETURN_NOT_OK(index::FmCount(reader_r.value().get(), &pool_,
+                                          opts.trace, Slice(pattern),
+                                          &count));
+    total += count;
+  }
+
+  // Scan path: exact occurrence counting with deletion vectors applied.
+  DvCache dvs(table_, plan.snapshot);
+  for (const std::string& file : scan_files) {
+    auto reader_r = format::FileReader::Open(store_, file, opts.trace);
+    if (!reader_r.ok()) return reader_r.status();
+    ColumnVector col;
+    ROTTNEST_RETURN_NOT_OK(
+        reader_r.value()->ReadColumn(plan.column_index, opts.trace, &col));
+    for (size_t r = 0; r < col.size(); ++r) {
+      ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(file, r));
+      if (deleted) continue;
+      const std::string& v = col.strings()[r];
+      size_t pos = 0;
+      while ((pos = v.find(pattern, pos)) != std::string::npos) {
+        ++total;
+        ++pos;
+      }
+    }
+  }
+  return total;
+}
+
+Result<std::vector<IndexDescription>> Rottnest::DescribeIndexes() {
+  ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
+                            metadata_.ReadAll());
+  ROTTNEST_ASSIGN_OR_RETURN(Snapshot snapshot, table_->GetSnapshot());
+  std::vector<IndexDescription> result;
+  result.reserve(entries.size());
+  for (IndexEntry& e : entries) {
+    IndexDescription d;
+    objectstore::ObjectMeta meta;
+    ROTTNEST_RETURN_NOT_OK(store_->Head(e.index_path, &meta));
+    d.bytes = meta.size;
+    for (const std::string& f : e.covered_files) {
+      if (snapshot.ContainsFile(f)) {
+        d.covers_live_files = true;
+        break;
+      }
+    }
+    d.entry = std::move(e);
+    result.push_back(std::move(d));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// compact
+
+Result<CompactReport> Rottnest::Compact(const std::string& column,
+                                        IndexType type,
+                                        uint64_t small_index_bytes) {
+  Micros start = store_->clock().NowMicros();
+  ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
+                            metadata_.ReadAll());
+
+  // Plan: bin-pack all small index files of (column, type) into one merge.
+  std::vector<IndexEntry> small;
+  for (const IndexEntry& e : entries) {
+    if (e.column != column || e.index_type != IndexTypeName(type)) continue;
+    objectstore::ObjectMeta meta;
+    ROTTNEST_RETURN_NOT_OK(store_->Head(e.index_path, &meta));
+    if (meta.size < small_index_bytes) small.push_back(e);
+  }
+  if (small.size() < 2) return CompactReport{};
+
+  // Merge.
+  std::vector<std::unique_ptr<ComponentFileReader>> readers;
+  std::vector<ComponentFileReader*> raw_readers;
+  for (const IndexEntry& e : small) {
+    auto r = ComponentFileReader::Open(store_, e.index_path, nullptr);
+    if (!r.ok()) return r.status();
+    raw_readers.push_back(r.value().get());
+    readers.push_back(std::move(r).value());
+  }
+  Buffer merged;
+  switch (type) {
+    case IndexType::kTrie:
+      ROTTNEST_RETURN_NOT_OK(
+          index::TrieMerge(raw_readers, &pool_, nullptr, column, &merged));
+      break;
+    case IndexType::kFm:
+      ROTTNEST_RETURN_NOT_OK(index::FmMerge(raw_readers, &pool_, nullptr,
+                                            column, options_.fm, &merged));
+      break;
+    case IndexType::kIvfPq:
+      ROTTNEST_RETURN_NOT_OK(
+          index::IvfPqMerge(raw_readers, &pool_, nullptr, column, &merged));
+      break;
+  }
+  if (store_->clock().NowMicros() - start >= options_.index_timeout_micros) {
+    return Status::Aborted("compact operation exceeded timeout");
+  }
+
+  // Upload, then commit the swap transactionally.
+  CompactReport report;
+  report.merged_path = NewIndexName();
+  ROTTNEST_RETURN_NOT_OK(store_->Put(report.merged_path, Slice(merged)));
+
+  IndexEntry merged_entry;
+  merged_entry.index_path = report.merged_path;
+  merged_entry.index_type = IndexTypeName(type);
+  merged_entry.column = column;
+  uint64_t rows = 0;
+  for (const IndexEntry& e : small) {
+    merged_entry.covered_files.insert(merged_entry.covered_files.end(),
+                                      e.covered_files.begin(),
+                                      e.covered_files.end());
+    rows += e.rows;
+    report.replaced.push_back(e.index_path);
+  }
+  merged_entry.rows = rows;
+  merged_entry.created_micros = store_->clock().NowMicros();
+  auto committed = metadata_.Update({merged_entry}, report.replaced);
+  if (!committed.ok()) return committed.status();
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// vacuum
+
+Result<VacuumReport> Rottnest::Vacuum(lake::Version min_snapshot) {
+  VacuumReport report;
+
+  // Plan: data files live in any snapshot >= min_snapshot.
+  ROTTNEST_ASSIGN_OR_RETURN(Snapshot latest, table_->GetSnapshot());
+  std::set<std::string> active;
+  for (lake::Version v = std::max<lake::Version>(min_snapshot, 0);
+       v <= latest.version; ++v) {
+    auto snap = table_->GetSnapshot(v);
+    if (!snap.ok()) return snap.status();
+    for (const DataFile& f : snap.value().files) active.insert(f.path);
+  }
+
+  // Greedy cover: repeatedly keep the index file covering the most not-yet
+  // covered active data files; stop when coverage cannot grow.
+  ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
+                            metadata_.ReadAll());
+  std::set<std::string> covered;
+  std::set<std::string> keep;
+  for (;;) {
+    const IndexEntry* best = nullptr;
+    size_t best_gain = 0;
+    for (const IndexEntry& e : entries) {
+      if (keep.count(e.index_path)) continue;
+      size_t gain = 0;
+      for (const std::string& f : e.covered_files) {
+        if (active.count(f) != 0 && covered.count(f) == 0) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = &e;
+      }
+    }
+    if (best == nullptr) break;
+    keep.insert(best->index_path);
+    for (const std::string& f : best->covered_files) {
+      if (active.count(f)) covered.insert(f);
+    }
+  }
+
+  // Commit: delete metadata rows for unselected entries.
+  std::vector<std::string> remove;
+  for (const IndexEntry& e : entries) {
+    if (keep.count(e.index_path) == 0) remove.push_back(e.index_path);
+  }
+  if (!remove.empty()) {
+    auto committed = metadata_.Update({}, remove);
+    if (!committed.ok()) return committed.status();
+    report.metadata_entries_removed = remove.size();
+  }
+
+  // Remove: physically delete index objects that are unreferenced AND older
+  // than the index timeout (younger ones may be uncommitted in-flight
+  // uploads — the timeout rule of §IV-C/§IV-D).
+  ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> remaining,
+                            metadata_.ReadAll());
+  std::set<std::string> referenced;
+  for (const IndexEntry& e : remaining) referenced.insert(e.index_path);
+
+  std::vector<objectstore::ObjectMeta> listing;
+  ROTTNEST_RETURN_NOT_OK(store_->List(options_.index_dir + "/", &listing));
+  Micros cutoff =
+      store_->clock().NowMicros() - options_.index_timeout_micros;
+  for (const auto& obj : listing) {
+    // Only touch index files; the metadata table lives under _meta/.
+    if (obj.key.size() < 6 ||
+        obj.key.compare(obj.key.size() - 6, 6, ".index") != 0) {
+      continue;
+    }
+    if (referenced.count(obj.key) != 0) continue;
+    if (obj.created_micros > cutoff) continue;
+    ROTTNEST_RETURN_NOT_OK(store_->Delete(obj.key));
+    ++report.objects_deleted;
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// invariants
+
+Status Rottnest::CheckInvariants() {
+  ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
+                            metadata_.ReadAll());
+  for (const IndexEntry& e : entries) {
+    // Existence: every referenced index file is in the bucket.
+    objectstore::ObjectMeta meta;
+    Status s = store_->Head(e.index_path, &meta);
+    if (!s.ok()) {
+      return Status::Internal("existence invariant violated for " +
+                              e.index_path + ": " + s.ToString());
+    }
+    // Consistency (structural): the file parses and its embedded page
+    // table names exactly the covered files.
+    auto reader = ComponentFileReader::Open(store_, e.index_path, nullptr);
+    if (!reader.ok()) {
+      return Status::Internal("index file unreadable: " + e.index_path);
+    }
+    format::PageTable pages;
+    ROTTNEST_RETURN_NOT_OK(
+        index::LoadPageTable(reader.value().get(), &pool_, nullptr, &pages));
+    std::set<std::string> in_table(pages.files().begin(),
+                                   pages.files().end());
+    std::set<std::string> in_entry(e.covered_files.begin(),
+                                   e.covered_files.end());
+    if (in_table != in_entry) {
+      return Status::Internal("consistency invariant violated for " +
+                              e.index_path);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rottnest::core

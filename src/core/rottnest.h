@@ -1,0 +1,230 @@
+// Rottnest client (paper §IV): the four-API protocol — `index`, `search`,
+// `compact`, `vacuum` — that keeps lightweight secondary indices consistent
+// with a data lake *on demand*, using only strong read-after-write
+// consistency and a global store clock. The two invariants:
+//
+//   Existence   — every index file referenced by the metadata table is
+//                 present in the bucket (upload-before-commit;
+//                 commit-before-delete + timeout guard in vacuum);
+//   Consistency — an index file correctly indexes its data files if they
+//                 still exist (both are immutable).
+//
+// Search plans against a snapshot: indexed files are answered through the
+// index files + in-situ page probes; postings referring to files outside
+// the snapshot are filtered; unindexed files fall back to scanning.
+#ifndef ROTTNEST_CORE_ROTTNEST_H_
+#define ROTTNEST_CORE_ROTTNEST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "index/component_file.h"
+#include "index/fm/fm_index.h"
+#include "index/ivfpq/ivfpq_index.h"
+#include "lake/metadata_table.h"
+#include "lake/table.h"
+#include "objectstore/io_trace.h"
+
+namespace rottnest::core {
+
+/// Client configuration.
+struct RottnestOptions {
+  std::string index_dir;  ///< Object-store prefix for index files.
+  /// Protocol timeout (paper §IV-A step 4): index/compact runs exceeding it
+  /// abort; vacuum may physically delete uncommitted objects older than it.
+  Micros index_timeout_micros = 10LL * 60 * 1'000'000;
+  /// Vector indexing aborts below this row count in favour of brute force
+  /// (paper footnote 2).
+  uint64_t min_vector_index_rows = 0;
+  index::FmOptions fm;
+  index::IvfPqOptions ivfpq;
+  size_t num_threads = 8;
+};
+
+/// One verified search hit.
+struct RowMatch {
+  std::string file;    ///< Data file object key.
+  uint64_t row = 0;    ///< File-global row index.
+  std::string value;   ///< The matched column value (raw bytes).
+  float distance = 0;  ///< Exact distance (vector search only).
+};
+
+/// Search outcome plus plan accounting (used by the TCO benches).
+struct SearchResult {
+  std::vector<RowMatch> matches;
+  size_t indexes_queried = 0;
+  size_t files_scanned = 0;   ///< Unindexed files brute-scanned.
+  size_t pages_probed = 0;    ///< In-situ page reads.
+};
+
+/// Outcome of one `Index` call.
+struct IndexReport {
+  std::string index_path;  ///< Empty if nothing new to index.
+  std::vector<std::string> covered_files;
+  uint64_t rows = 0;
+};
+
+/// Outcome of one `Compact` call.
+struct CompactReport {
+  std::string merged_path;  ///< Empty if nothing was compacted.
+  std::vector<std::string> replaced;
+};
+
+/// Outcome of one `Vacuum` call.
+struct VacuumReport {
+  size_t metadata_entries_removed = 0;
+  size_t objects_deleted = 0;
+};
+
+/// An inclusive range predicate on an int64 column (e.g. a timestamp),
+/// the paper's "structured attribute" filter (§VI): searches prune data
+/// files and row groups via the format's min/max statistics and verify the
+/// attribute in situ for every match.
+struct ScanRange {
+  std::string column;
+  int64_t min = INT64_MIN;
+  int64_t max = INT64_MAX;
+
+  bool Contains(int64_t v) const { return v >= min && v <= max; }
+};
+
+/// Optional knobs common to all search calls.
+struct SearchOptions {
+  lake::Version snapshot = -1;             ///< -1 = latest.
+  objectstore::IoTrace* trace = nullptr;   ///< Access-pattern recording.
+  std::optional<ScanRange> range;          ///< Structured-attribute filter.
+};
+
+/// One committed index entry plus its physical size — `DescribeIndexes`.
+struct IndexDescription {
+  lake::IndexEntry entry;
+  uint64_t bytes = 0;
+  bool covers_live_files = false;  ///< Any covered file in latest snapshot.
+};
+
+/// The Rottnest client. Instances are cheap; every call re-plans against
+/// the current state, so independent processes can run index / search /
+/// compact / vacuum concurrently (the paper's deployment model).
+class Rottnest {
+ public:
+  /// `store` and `table` must outlive the client.
+  Rottnest(objectstore::ObjectStore* store, lake::Table* table,
+           RottnestOptions options);
+
+  /// Indexes data files of the latest snapshot not yet covered for
+  /// (column, type). No-op (empty index_path) when nothing is new.
+  Result<IndexReport> Index(const std::string& column, index::IndexType type);
+
+  /// Exact-match search on a high-cardinality column via the trie index.
+  /// Returns up to k verified matches.
+  Result<SearchResult> SearchUuid(const std::string& column, Slice value,
+                                  size_t k, lake::Version snapshot = -1,
+                                  objectstore::IoTrace* trace = nullptr);
+
+  /// Exact substring search via the FM-index.
+  Result<SearchResult> SearchSubstring(const std::string& column,
+                                       const std::string& pattern, size_t k,
+                                       lake::Version snapshot = -1,
+                                       objectstore::IoTrace* trace = nullptr);
+
+  /// Approximate nearest-neighbour search via IVF-PQ with in-situ
+  /// refinement: `nprobe` lists probed, `refine` full vectors fetched and
+  /// reranked exactly. Unindexed files are always scanned (scoring query).
+  Result<SearchResult> SearchVector(const std::string& column,
+                                    const float* query, uint32_t dim,
+                                    size_t k, uint32_t nprobe,
+                                    uint32_t refine,
+                                    lake::Version snapshot = -1,
+                                    objectstore::IoTrace* trace = nullptr);
+
+  /// Search overloads with full options (snapshot, tracing, and the
+  /// structured-attribute ScanRange filter).
+  Result<SearchResult> SearchUuid(const std::string& column, Slice value,
+                                  size_t k, const SearchOptions& opts);
+  Result<SearchResult> SearchSubstring(const std::string& column,
+                                       const std::string& pattern, size_t k,
+                                       const SearchOptions& opts);
+  Result<SearchResult> SearchVector(const std::string& column,
+                                    const float* query, uint32_t dim,
+                                    size_t k, uint32_t nprobe,
+                                    uint32_t refine,
+                                    const SearchOptions& opts);
+
+  /// Regex search over a text column. The longest literal run (>= 3
+  /// chars) inside the pattern is located through the FM-index and every
+  /// candidate is verified in situ with std::regex (ECMAScript). Patterns
+  /// without a usable literal fall back to brute-force scanning — the same
+  /// strategy production log-search systems use.
+  Result<SearchResult> SearchRegex(const std::string& column,
+                                   const std::string& pattern, size_t k,
+                                   const SearchOptions& opts = {});
+
+  /// Counts occurrences of `pattern` across the snapshot without fetching
+  /// any data pages — FM-index backward search over indexed files plus a
+  /// scan of unindexed ones. The paper's LLM-corpus-exploration workload
+  /// ("is this eval set leaked, and how often?") in one call. The count is
+  /// of substring occurrences, not rows.
+  Result<uint64_t> CountSubstring(const std::string& column,
+                                  const std::string& pattern,
+                                  const SearchOptions& opts = {});
+
+  /// Lists committed index entries with their object sizes and liveness —
+  /// an EXPLAIN-style introspection aid.
+  Result<std::vector<IndexDescription>> DescribeIndexes();
+
+  /// LSM-style index compaction: merges committed index files of
+  /// (column, type) smaller than `small_index_bytes` into one.
+  Result<CompactReport> Compact(const std::string& column,
+                                index::IndexType type,
+                                uint64_t small_index_bytes);
+
+  /// Garbage collection (paper §IV-C): keeps a greedy minimal set of index
+  /// files covering the data files of snapshots >= `min_snapshot`, removes
+  /// the rest from the metadata table, then physically deletes index
+  /// objects that are unreferenced AND older than the index timeout.
+  Result<VacuumReport> Vacuum(lake::Version min_snapshot);
+
+  /// Verifies the Existence invariant (and basic consistency) — used by
+  /// protocol crash tests after every injected failure.
+  Status CheckInvariants();
+
+  lake::MetadataTable& metadata() { return metadata_; }
+  const RottnestOptions& options() const { return options_; }
+
+ private:
+  struct Plan;
+
+  /// Builds one index file covering `files` and returns its object key.
+  Result<IndexReport> BuildIndexFile(
+      const std::string& column, index::IndexType type,
+      const std::vector<lake::DataFile>& files);
+
+  /// Computes which committed index entries apply to the snapshot and
+  /// which snapshot files are unindexed.
+  Status MakePlan(const std::string& column, index::IndexType type,
+                  lake::Version snapshot_version,
+                  objectstore::IoTrace* trace, Plan* out);
+
+  /// Reads the data pages named by `fetches` and returns decoded values,
+  /// one inner vector per page.
+  Status ProbePages(const std::vector<format::PageFetch>& fetches,
+                    const format::ColumnSchema& column_schema,
+                    objectstore::IoTrace* trace,
+                    std::vector<format::ColumnVector>* out);
+
+  std::string NewIndexName();
+
+  objectstore::ObjectStore* store_;
+  lake::Table* table_;
+  RottnestOptions options_;
+  lake::MetadataTable metadata_;
+  ThreadPool pool_;
+  uint64_t name_counter_ = 0;
+};
+
+}  // namespace rottnest::core
+
+#endif  // ROTTNEST_CORE_ROTTNEST_H_

@@ -1,0 +1,54 @@
+// File metadata (the "footer"): schema, row groups, column chunks and
+// per-page byte ranges, plus min/max statistics for predicate pushdown.
+#ifndef ROTTNEST_FORMAT_METADATA_H_
+#define ROTTNEST_FORMAT_METADATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/coding.h"
+#include "format/types.h"
+
+namespace rottnest::format {
+
+/// Byte range and row range of one data page within its file.
+struct PageMeta {
+  uint64_t offset = 0;       ///< Absolute file offset of the page.
+  uint32_t size = 0;         ///< Encoded page size in bytes (header+payload).
+  uint32_t num_values = 0;   ///< Rows stored in this page.
+  uint64_t first_row = 0;    ///< File-global row index of the first value.
+};
+
+/// One column's data within one row group.
+struct ColumnChunkMeta {
+  uint64_t offset = 0;      ///< File offset where the chunk's pages start.
+  uint64_t total_size = 0;  ///< Bytes spanned by all pages of the chunk.
+  bool has_stats = false;   ///< Min/max valid (kInt64 columns only).
+  int64_t min = 0;
+  int64_t max = 0;
+  std::vector<PageMeta> pages;
+};
+
+/// One horizontal slice of the file.
+struct RowGroupMeta {
+  uint64_t num_rows = 0;
+  uint64_t first_row = 0;  ///< File-global row index of the group's start.
+  std::vector<ColumnChunkMeta> columns;
+};
+
+/// Everything a reader needs, stored at the end of the file.
+struct FileMeta {
+  Schema schema;
+  std::vector<RowGroupMeta> row_groups;
+  uint64_t num_rows = 0;
+
+  void Serialize(Buffer* out) const;
+  static Status Deserialize(Slice input, FileMeta* out);
+};
+
+/// File magic, present at both ends of every data file.
+inline constexpr char kFileMagic[4] = {'R', 'N', 'F', '1'};
+
+}  // namespace rottnest::format
+
+#endif  // ROTTNEST_FORMAT_METADATA_H_

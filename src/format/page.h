@@ -1,0 +1,43 @@
+// Data-page encoding: the minimal unit of IO in the columnar format.
+//
+// A page stores up to ~target_page_bytes of raw values for one column,
+// compressed independently — so a reader can fetch and decode any single
+// page without touching the rest of the file (paper §V-A).
+//
+// On-disk page layout:
+//   varint  num_values
+//   varint  uncompressed_size
+//   varint  compressed_size
+//   byte    codec
+//   fixed64 checksum of the compressed payload
+//   payload bytes
+#ifndef ROTTNEST_FORMAT_PAGE_H_
+#define ROTTNEST_FORMAT_PAGE_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "compress/lz.h"
+#include "format/types.h"
+
+namespace rottnest::format {
+
+/// Serializes values [begin, end) of `column` into an encoded+compressed
+/// page appended to `out`. Returns the page's size in bytes.
+size_t EncodePage(const ColumnVector& column, size_t begin, size_t end,
+                  compress::Codec codec, Buffer* out);
+
+/// Decodes one page (starting at the beginning of `page_bytes`) into a
+/// ColumnVector of the alternative for `col`. `consumed` (optional)
+/// receives the page's total encoded length.
+Status DecodePage(Slice page_bytes, const ColumnSchema& col,
+                  ColumnVector* out, size_t* consumed = nullptr);
+
+/// Raw (uncompressed, unencoded) payload size of values [begin, end) — used
+/// by the writer to split chunks into pages of bounded raw size.
+size_t RawValuesSize(const ColumnVector& column, size_t begin, size_t end);
+
+}  // namespace rottnest::format
+
+#endif  // ROTTNEST_FORMAT_PAGE_H_

@@ -1,0 +1,84 @@
+// PageTable: the position map Rottnest keeps alongside its indices
+// (paper §V-A, analogous to NoDB's positional maps). It assigns a dense id
+// to every data page of one column across a set of files, and records each
+// page's byte range — so index posting lists can point at pages and the
+// search path can fetch them without ever reading a file footer.
+#ifndef ROTTNEST_FORMAT_PAGE_TABLE_H_
+#define ROTTNEST_FORMAT_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "format/metadata.h"
+#include "format/reader.h"
+
+namespace rottnest::format {
+
+/// A dense page id within one PageTable.
+using PageId = uint32_t;
+
+/// One page's location: which file, which bytes, which rows.
+struct PageEntry {
+  uint32_t file_index = 0;   ///< Index into PageTable::files().
+  uint64_t offset = 0;       ///< Byte offset of the page in the file.
+  uint32_t size = 0;         ///< Encoded page size in bytes.
+  uint32_t num_values = 0;   ///< Rows in the page.
+  uint64_t first_row = 0;    ///< File-global row index of the first value.
+};
+
+/// Maps PageId -> PageEntry for one column over a set of data files.
+class PageTable {
+ public:
+  PageTable() = default;
+
+  /// Appends all pages of `column_index` in a file described by `meta`,
+  /// registering `file_key`. Returns the PageId assigned to the file's
+  /// first page (page ids are dense and contiguous per file).
+  PageId AddFile(const std::string& file_key, const FileMeta& meta,
+                 size_t column_index);
+
+  size_t num_pages() const { return entries_.size(); }
+  size_t num_files() const { return files_.size(); }
+  const std::vector<std::string>& files() const { return files_; }
+  const PageEntry& entry(PageId id) const { return entries_[id]; }
+  const std::string& file_of(PageId id) const {
+    return files_[entries_[id].file_index];
+  }
+
+  /// Page id range [begin, end) of pages belonging to files_[file_index].
+  std::pair<PageId, PageId> FilePageRange(uint32_t file_index) const;
+
+  /// The PageId containing file-global row `row` of files_[file_index], or
+  /// an error if out of range.
+  Result<PageId> PageOfRow(uint32_t file_index, uint64_t row) const;
+
+  /// Builds a PageFetch for the page-granular reader.
+  PageFetch MakeFetch(PageId id) const {
+    const PageEntry& e = entries_[id];
+    PageMeta pm;
+    pm.offset = e.offset;
+    pm.size = e.size;
+    pm.num_values = e.num_values;
+    pm.first_row = e.first_row;
+    return PageFetch{files_[e.file_index], pm};
+  }
+
+  void Serialize(Buffer* out) const;
+  static Status Deserialize(Decoder* dec, PageTable* out);
+
+  /// Merges `other` into this table, returning the PageId offset added to
+  /// all of `other`'s ids (used by index compaction).
+  PageId Absorb(const PageTable& other);
+
+ private:
+  std::vector<std::string> files_;
+  std::vector<PageEntry> entries_;
+  /// First PageId of each file (parallel to files_), for range queries.
+  std::vector<PageId> file_first_page_;
+};
+
+}  // namespace rottnest::format
+
+#endif  // ROTTNEST_FORMAT_PAGE_TABLE_H_

@@ -1,0 +1,74 @@
+// Readers for the columnar format.
+//
+// FileReader is the *traditional* reader: it opens the footer and reads
+// whole column chunks (what Spark/Trino-style engines do — Fig 5 left).
+//
+// ReadPages is Rottnest's *custom page-granular* reader: given page byte
+// ranges from a PageTable, it fetches exactly those pages with parallel
+// range requests and bypasses the file footer entirely (Fig 5 right).
+#ifndef ROTTNEST_FORMAT_READER_H_
+#define ROTTNEST_FORMAT_READER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "format/metadata.h"
+#include "format/types.h"
+#include "objectstore/io_trace.h"
+#include "objectstore/object_store.h"
+
+namespace rottnest::format {
+
+/// Footer-driven reader over a file in object storage.
+class FileReader {
+ public:
+  /// Opens `key`: reads the footer (1 HEAD + 1-2 range GETs) and parses
+  /// metadata. `trace` may be null.
+  static Result<std::unique_ptr<FileReader>> Open(
+      objectstore::ObjectStore* store, std::string key,
+      objectstore::IoTrace* trace);
+
+  const FileMeta& meta() const { return meta_; }
+  const std::string& key() const { return key_; }
+
+  /// Reads and decodes one whole column chunk (one range GET spanning all
+  /// of the chunk's pages). This is the traditional access path.
+  Status ReadColumnChunk(size_t row_group, size_t column,
+                         objectstore::IoTrace* trace, ColumnVector* out);
+
+  /// Reads an entire column across all row groups (full-column scan, as a
+  /// brute-force engine would).
+  Status ReadColumn(size_t column, objectstore::IoTrace* trace,
+                    ColumnVector* out);
+
+ private:
+  FileReader(objectstore::ObjectStore* store, std::string key, FileMeta meta)
+      : store_(store), key_(std::move(key)), meta_(std::move(meta)) {}
+
+  objectstore::ObjectStore* store_;
+  std::string key_;
+  FileMeta meta_;
+};
+
+/// A page to fetch: where it lives and how to decode it.
+struct PageFetch {
+  std::string key;       ///< Object key of the data file.
+  PageMeta page;         ///< Byte range and row range.
+};
+
+/// Fetches and decodes `pages` (one parallel round of range GETs, no footer
+/// read). Results align positionally with `pages`.
+Status ReadPages(objectstore::ObjectStore* store,
+                 const std::vector<PageFetch>& pages,
+                 const ColumnSchema& column_schema, ThreadPool* pool,
+                 objectstore::IoTrace* trace, std::vector<ColumnVector>* out);
+
+/// Parses a complete in-memory file image's footer (no object store) —
+/// used right after writing, before upload.
+Status ParseFileMeta(Slice file, FileMeta* out);
+
+}  // namespace rottnest::format
+
+#endif  // ROTTNEST_FORMAT_READER_H_

@@ -1,0 +1,78 @@
+#include "format/types.h"
+
+namespace rottnest::format {
+
+const char* PhysicalTypeName(PhysicalType t) {
+  switch (t) {
+    case PhysicalType::kInt64:
+      return "int64";
+    case PhysicalType::kDouble:
+      return "double";
+    case PhysicalType::kByteArray:
+      return "byte_array";
+    case PhysicalType::kFixedLenByteArray:
+      return "fixed_len_byte_array";
+  }
+  return "unknown";
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& other) {
+  switch (type()) {
+    case PhysicalType::kInt64:
+      ints().insert(ints().end(), other.ints().begin(), other.ints().end());
+      break;
+    case PhysicalType::kDouble:
+      doubles().insert(doubles().end(), other.doubles().begin(),
+                       other.doubles().end());
+      break;
+    case PhysicalType::kByteArray:
+      strings().insert(strings().end(), other.strings().begin(),
+                       other.strings().end());
+      break;
+    case PhysicalType::kFixedLenByteArray:
+      fixed().data.insert(fixed().data.end(), other.fixed().data.begin(),
+                          other.fixed().data.end());
+      break;
+  }
+}
+
+ColumnVector MakeEmptyColumn(const ColumnSchema& col) {
+  switch (col.type) {
+    case PhysicalType::kInt64:
+      return ColumnVector(ColumnVector::Ints{});
+    case PhysicalType::kDouble:
+      return ColumnVector(ColumnVector::Doubles{});
+    case PhysicalType::kByteArray:
+      return ColumnVector(ColumnVector::Strings{});
+    case PhysicalType::kFixedLenByteArray: {
+      FlatFixed f;
+      f.elem_size = col.fixed_len;
+      return ColumnVector(std::move(f));
+    }
+  }
+  return ColumnVector(ColumnVector::Ints{});
+}
+
+Status RowBatch::Validate() const {
+  if (columns.size() != schema.columns.size()) {
+    return Status::InvalidArgument("column count does not match schema");
+  }
+  size_t rows = num_rows();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].type() != schema.columns[i].type) {
+      return Status::InvalidArgument("column type mismatch at " +
+                                     schema.columns[i].name);
+    }
+    if (columns[i].size() != rows) {
+      return Status::InvalidArgument("ragged columns in batch");
+    }
+    if (schema.columns[i].type == PhysicalType::kFixedLenByteArray &&
+        columns[i].fixed().elem_size != schema.columns[i].fixed_len) {
+      return Status::InvalidArgument("fixed_len mismatch at " +
+                                     schema.columns[i].name);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rottnest::format

@@ -1,0 +1,134 @@
+// Schema and in-memory column representations for the columnar file format
+// (a faithful simplification of Parquet: files -> row groups -> column
+// chunks -> compressed data pages, with a footer carrying all metadata).
+#ifndef ROTTNEST_FORMAT_TYPES_H_
+#define ROTTNEST_FORMAT_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace rottnest::format {
+
+/// Physical storage type of a column.
+enum class PhysicalType : uint8_t {
+  kInt64 = 0,             ///< 64-bit signed integers (timestamps, ids).
+  kDouble = 1,            ///< 64-bit floats.
+  kByteArray = 2,         ///< Variable-length byte strings (text, blobs).
+  kFixedLenByteArray = 3, ///< Fixed-size values (UUIDs, embedding vectors).
+};
+
+const char* PhysicalTypeName(PhysicalType t);
+
+/// One column's declaration.
+struct ColumnSchema {
+  std::string name;
+  PhysicalType type = PhysicalType::kInt64;
+  /// Element size in bytes; only meaningful for kFixedLenByteArray
+  /// (e.g. 16 for UUIDs, 512 for 128-dim float32 vectors).
+  uint32_t fixed_len = 0;
+};
+
+/// An ordered list of columns.
+struct Schema {
+  std::vector<ColumnSchema> columns;
+
+  /// Index of the column named `name`, or -1.
+  int FindColumn(const std::string& name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Fixed-length values stored back-to-back in a flat buffer.
+struct FlatFixed {
+  Buffer data;
+  uint32_t elem_size = 0;
+
+  size_t size() const { return elem_size == 0 ? 0 : data.size() / elem_size; }
+  Slice at(size_t i) const {
+    return Slice(data.data() + i * elem_size, elem_size);
+  }
+  void Append(Slice value) {
+    data.insert(data.end(), value.data(), value.data() + value.size());
+  }
+  bool operator==(const FlatFixed& o) const {
+    return elem_size == o.elem_size && data == o.data;
+  }
+};
+
+/// In-memory values of one column (or a slice of one). Variant alternatives
+/// correspond 1:1 to PhysicalType.
+class ColumnVector {
+ public:
+  using Ints = std::vector<int64_t>;
+  using Doubles = std::vector<double>;
+  using Strings = std::vector<std::string>;
+
+  ColumnVector() : values_(Ints{}) {}
+  explicit ColumnVector(Ints v) : values_(std::move(v)) {}
+  explicit ColumnVector(Doubles v) : values_(std::move(v)) {}
+  explicit ColumnVector(Strings v) : values_(std::move(v)) {}
+  explicit ColumnVector(FlatFixed v) : values_(std::move(v)) {}
+
+  PhysicalType type() const {
+    switch (values_.index()) {
+      case 0:
+        return PhysicalType::kInt64;
+      case 1:
+        return PhysicalType::kDouble;
+      case 2:
+        return PhysicalType::kByteArray;
+      default:
+        return PhysicalType::kFixedLenByteArray;
+    }
+  }
+
+  size_t size() const {
+    if (auto* v = std::get_if<Ints>(&values_)) return v->size();
+    if (auto* v = std::get_if<Doubles>(&values_)) return v->size();
+    if (auto* v = std::get_if<Strings>(&values_)) return v->size();
+    return std::get<FlatFixed>(values_).size();
+  }
+
+  const Ints& ints() const { return std::get<Ints>(values_); }
+  Ints& ints() { return std::get<Ints>(values_); }
+  const Doubles& doubles() const { return std::get<Doubles>(values_); }
+  Doubles& doubles() { return std::get<Doubles>(values_); }
+  const Strings& strings() const { return std::get<Strings>(values_); }
+  Strings& strings() { return std::get<Strings>(values_); }
+  const FlatFixed& fixed() const { return std::get<FlatFixed>(values_); }
+  FlatFixed& fixed() { return std::get<FlatFixed>(values_); }
+
+  /// Appends all values of `other` (same alternative) to this vector.
+  void AppendFrom(const ColumnVector& other);
+
+  bool operator==(const ColumnVector& o) const { return values_ == o.values_; }
+
+ private:
+  std::variant<Ints, Doubles, Strings, FlatFixed> values_;
+};
+
+/// Creates an empty ColumnVector of the right alternative for `col`.
+ColumnVector MakeEmptyColumn(const ColumnSchema& col);
+
+/// A batch of rows: one ColumnVector per schema column, equal lengths.
+struct RowBatch {
+  Schema schema;
+  std::vector<ColumnVector> columns;
+
+  size_t num_rows() const { return columns.empty() ? 0 : columns[0].size(); }
+
+  /// Verifies column count/types/lengths match the schema.
+  Status Validate() const;
+};
+
+}  // namespace rottnest::format
+
+#endif  // ROTTNEST_FORMAT_TYPES_H_

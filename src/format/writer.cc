@@ -1,0 +1,160 @@
+#include "format/writer.h"
+
+#include <algorithm>
+
+#include "format/page.h"
+
+namespace rottnest::format {
+
+FileWriter::FileWriter(Schema schema, WriterOptions options)
+    : schema_(std::move(schema)), options_(options) {
+  for (const ColumnSchema& col : schema_.columns) {
+    pending_.push_back(MakeEmptyColumn(col));
+  }
+  file_.insert(file_.end(), kFileMagic, kFileMagic + 4);
+  meta_.schema = schema_;
+}
+
+Status FileWriter::Append(const RowBatch& batch) {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  ROTTNEST_RETURN_NOT_OK(batch.Validate());
+  if (batch.schema.columns.size() != schema_.columns.size()) {
+    return Status::InvalidArgument("batch schema mismatch");
+  }
+  for (size_t c = 0; c < pending_.size(); ++c) {
+    if (batch.columns[c].type() != schema_.columns[c].type) {
+      return Status::InvalidArgument("batch column type mismatch");
+    }
+    pending_[c].AppendFrom(batch.columns[c]);
+    pending_raw_bytes_ += RawValuesSize(batch.columns[c], 0,
+                                        batch.columns[c].size());
+  }
+  while (pending_raw_bytes_ >= options_.target_row_group_bytes &&
+         pending_[0].size() > 0) {
+    FlushRowGroup();
+  }
+  return Status::OK();
+}
+
+void FileWriter::FlushRowGroup() {
+  size_t total_rows = pending_[0].size();
+  if (total_rows == 0) return;
+
+  // Cut the group at target_row_group_bytes of raw data (all columns).
+  size_t rows = total_rows;
+  size_t acc = 0;
+  for (size_t r = 0; r < total_rows; ++r) {
+    for (const ColumnVector& col : pending_) {
+      acc += RawValuesSize(col, r, r + 1);
+    }
+    if (acc >= options_.target_row_group_bytes) {
+      rows = r + 1;
+      break;
+    }
+  }
+
+  RowGroupMeta rg;
+  rg.num_rows = rows;
+  rg.first_row = rows_written_;
+
+  for (size_t c = 0; c < pending_.size(); ++c) {
+    const ColumnVector& col = pending_[c];
+    ColumnChunkMeta cc;
+    cc.offset = file_.size();
+
+    // Min/max statistics for integer columns (predicate pushdown).
+    if (col.type() == PhysicalType::kInt64 && rows > 0) {
+      cc.has_stats = true;
+      cc.min = *std::min_element(col.ints().begin(),
+                                 col.ints().begin() + rows);
+      cc.max = *std::max_element(col.ints().begin(),
+                                 col.ints().begin() + rows);
+    }
+
+    // Split the chunk into pages of bounded raw size. Pages are cut by
+    // accumulating value sizes; a single huge value still gets its own page.
+    size_t begin = 0;
+    while (begin < rows) {
+      size_t end = begin;
+      size_t raw = 0;
+      while (end < rows) {
+        size_t value_size = RawValuesSize(col, end, end + 1);
+        if (end > begin && raw + value_size > options_.target_page_bytes) {
+          break;
+        }
+        raw += value_size;
+        ++end;
+      }
+      PageMeta pm;
+      pm.offset = file_.size();
+      pm.num_values = static_cast<uint32_t>(end - begin);
+      pm.first_row = rows_written_ + begin;
+      size_t page_size = EncodePage(col, begin, end, options_.codec, &file_);
+      pm.size = static_cast<uint32_t>(page_size);
+      cc.pages.push_back(pm);
+      begin = end;
+    }
+    cc.total_size = file_.size() - cc.offset;
+    rg.columns.push_back(std::move(cc));
+  }
+
+  meta_.row_groups.push_back(std::move(rg));
+  rows_written_ += rows;
+
+  // Keep any rows beyond the cut for the next group.
+  for (size_t c = 0; c < pending_.size(); ++c) {
+    ColumnVector rest = MakeEmptyColumn(schema_.columns[c]);
+    ColumnVector& col = pending_[c];
+    switch (col.type()) {
+      case PhysicalType::kInt64:
+        rest.ints().assign(col.ints().begin() + rows, col.ints().end());
+        break;
+      case PhysicalType::kDouble:
+        rest.doubles().assign(col.doubles().begin() + rows,
+                              col.doubles().end());
+        break;
+      case PhysicalType::kByteArray:
+        rest.strings().assign(
+            std::make_move_iterator(col.strings().begin() + rows),
+            std::make_move_iterator(col.strings().end()));
+        break;
+      case PhysicalType::kFixedLenByteArray:
+        rest.fixed().data.assign(
+            col.fixed().data.begin() + rows * col.fixed().elem_size,
+            col.fixed().data.end());
+        break;
+    }
+    col = std::move(rest);
+  }
+  pending_raw_bytes_ = 0;
+  for (const ColumnVector& col : pending_) {
+    pending_raw_bytes_ += RawValuesSize(col, 0, col.size());
+  }
+}
+
+Status FileWriter::Finish(Buffer* file) {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  while (pending_[0].size() > 0) FlushRowGroup();
+  meta_.num_rows = rows_written_;
+
+  Buffer footer;
+  meta_.Serialize(&footer);
+  file_.insert(file_.end(), footer.begin(), footer.end());
+  PutFixed32(&file_, static_cast<uint32_t>(footer.size()));
+  file_.insert(file_.end(), kFileMagic, kFileMagic + 4);
+
+  *file = std::move(file_);
+  finished_ = true;
+  return Status::OK();
+}
+
+Status WriteSingleFile(const RowBatch& batch, const WriterOptions& options,
+                       Buffer* file, FileMeta* meta) {
+  FileWriter writer(batch.schema, options);
+  ROTTNEST_RETURN_NOT_OK(writer.Append(batch));
+  ROTTNEST_RETURN_NOT_OK(writer.Finish(file));
+  if (meta != nullptr) *meta = writer.meta();
+  return Status::OK();
+}
+
+}  // namespace rottnest::format

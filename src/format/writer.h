@@ -1,0 +1,58 @@
+// Columnar file writer. Buffers row batches and produces the complete file
+// image (magic, row groups of page-compressed column chunks, footer).
+#ifndef ROTTNEST_FORMAT_WRITER_H_
+#define ROTTNEST_FORMAT_WRITER_H_
+
+#include <cstdint>
+
+#include "compress/lz.h"
+#include "format/metadata.h"
+#include "format/types.h"
+
+namespace rottnest::format {
+
+/// Writer knobs. The defaults mirror common Parquet writer behaviour at a
+/// laptop-friendly scale: pages cut at ~1MB of raw values, row groups at
+/// ~16MB raw.
+struct WriterOptions {
+  size_t target_page_bytes = 1 << 20;        ///< Raw bytes per page.
+  size_t target_row_group_bytes = 16 << 20;  ///< Raw bytes per row group.
+  compress::Codec codec = compress::Codec::kLz;
+};
+
+/// Accumulates batches and emits one file. Single-threaded use.
+class FileWriter {
+ public:
+  FileWriter(Schema schema, WriterOptions options);
+
+  /// Appends a batch (validated against the schema).
+  Status Append(const RowBatch& batch);
+
+  /// Flushes pending rows and finalizes the footer. The writer cannot be
+  /// reused afterwards. On success `file` holds the complete file bytes and
+  /// meta() describes them.
+  Status Finish(Buffer* file);
+
+  /// Valid after Finish.
+  const FileMeta& meta() const { return meta_; }
+
+ private:
+  void FlushRowGroup();
+
+  Schema schema_;
+  WriterOptions options_;
+  std::vector<ColumnVector> pending_;  ///< Buffered values per column.
+  size_t pending_raw_bytes_ = 0;
+  uint64_t rows_written_ = 0;
+  Buffer file_;
+  FileMeta meta_;
+  bool finished_ = false;
+};
+
+/// Convenience: writes `batch` as a single file.
+Status WriteSingleFile(const RowBatch& batch, const WriterOptions& options,
+                       Buffer* file, FileMeta* meta);
+
+}  // namespace rottnest::format
+
+#endif  // ROTTNEST_FORMAT_WRITER_H_

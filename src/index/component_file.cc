@@ -1,0 +1,199 @@
+#include "index/component_file.h"
+
+#include <cstring>
+
+#include "objectstore/read_batch.h"
+
+namespace rottnest::index {
+
+constexpr char ComponentFileWriter::kMagic[4];
+
+const char* IndexTypeName(IndexType t) {
+  switch (t) {
+    case IndexType::kTrie:
+      return "trie";
+    case IndexType::kFm:
+      return "fm";
+    case IndexType::kIvfPq:
+      return "ivfpq";
+  }
+  return "unknown";
+}
+
+Status ComponentFileWriter::AddComponent(const std::string& name,
+                                         Slice payload) {
+  if (finished_) return Status::InvalidArgument("writer finished");
+  for (const Entry& e : entries_) {
+    if (e.name == name) {
+      return Status::InvalidArgument("duplicate component: " + name);
+    }
+  }
+  Buffer compressed = compress::LzCompress(payload);
+  uint8_t codec = static_cast<uint8_t>(compress::Codec::kLz);
+  if (compressed.size() >= payload.size()) {
+    compressed = payload.ToBuffer();
+    codec = static_cast<uint8_t>(compress::Codec::kNone);
+  }
+  Entry e;
+  e.name = name;
+  e.offset = file_.size();
+  e.compressed_size = static_cast<uint32_t>(compressed.size());
+  e.uncompressed_size = static_cast<uint32_t>(payload.size());
+  e.codec = codec;
+  entries_.push_back(std::move(e));
+  file_.insert(file_.end(), compressed.begin(), compressed.end());
+  return Status::OK();
+}
+
+Status ComponentFileWriter::Finish(Buffer* out) {
+  if (finished_) return Status::InvalidArgument("writer finished");
+  Buffer dir;
+  dir.push_back(static_cast<uint8_t>(type_));
+  PutLengthPrefixedString(&dir, column_);
+  PutVarint64(&dir, entries_.size());
+  for (const Entry& e : entries_) {
+    PutLengthPrefixedString(&dir, e.name);
+    PutVarint64(&dir, e.offset);
+    PutVarint32(&dir, e.compressed_size);
+    PutVarint32(&dir, e.uncompressed_size);
+    dir.push_back(e.codec);
+  }
+  file_.insert(file_.end(), dir.begin(), dir.end());
+  PutFixed32(&file_, static_cast<uint32_t>(dir.size()));
+  file_.insert(file_.end(), kMagic, kMagic + 4);
+  *out = std::move(file_);
+  finished_ = true;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ComponentFileReader>> ComponentFileReader::Open(
+    objectstore::ObjectStore* store, std::string key,
+    objectstore::IoTrace* trace, size_t tail_bytes) {
+  objectstore::ObjectMeta meta;
+  ROTTNEST_RETURN_NOT_OK(store->Head(key, &meta));
+  if (meta.size < 12) return Status::Corruption("index file too small");
+
+  uint64_t tail_len = std::min<uint64_t>(meta.size, tail_bytes);
+  Buffer tail;
+  if (trace != nullptr) trace->BeginRound();
+  ROTTNEST_RETURN_NOT_OK(
+      store->GetRange(key, meta.size - tail_len, tail_len, &tail));
+  if (trace != nullptr) trace->RecordGet(tail.size());
+
+  if (std::memcmp(tail.data() + tail.size() - 4, ComponentFileWriter::kMagic,
+                  4) != 0) {
+    return Status::Corruption("bad index magic: " + key);
+  }
+  uint32_t dir_len = DecodeFixed32(tail.data() + tail.size() - 8);
+  if (static_cast<uint64_t>(dir_len) + 12 > meta.size) {
+    return Status::Corruption("directory length exceeds file");
+  }
+  if (dir_len + 8 > tail.size()) {
+    // Directory bigger than the tail read: fetch it exactly (rare; only for
+    // indices with very many components).
+    if (trace != nullptr) trace->BeginRound();
+    ROTTNEST_RETURN_NOT_OK(store->GetRange(key, meta.size - 8 - dir_len,
+                                           dir_len + 8, &tail));
+    if (trace != nullptr) trace->RecordGet(tail.size());
+    tail_len = dir_len + 8;
+  }
+
+  std::unique_ptr<ComponentFileReader> reader(
+      new ComponentFileReader(store, std::move(key)));
+  Slice dir(tail.data() + tail.size() - 8 - dir_len, dir_len);
+  Decoder dec(dir);
+  Slice type_byte;
+  ROTTNEST_RETURN_NOT_OK(dec.GetBytes(1, &type_byte));
+  if (type_byte[0] > static_cast<uint8_t>(IndexType::kIvfPq)) {
+    return Status::Corruption("bad index type");
+  }
+  reader->type_ = static_cast<IndexType>(type_byte[0]);
+  ROTTNEST_RETURN_NOT_OK(dec.GetLengthPrefixedString(&reader->column_));
+  uint64_t num_entries;
+  ROTTNEST_RETURN_NOT_OK(dec.GetVarint64(&num_entries));
+  uint64_t tail_start = meta.size - tail_len;
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    Entry e;
+    ROTTNEST_RETURN_NOT_OK(dec.GetLengthPrefixedString(&e.name));
+    ROTTNEST_RETURN_NOT_OK(dec.GetVarint64(&e.offset));
+    ROTTNEST_RETURN_NOT_OK(dec.GetVarint32(&e.compressed_size));
+    ROTTNEST_RETURN_NOT_OK(dec.GetVarint32(&e.uncompressed_size));
+    Slice codec;
+    ROTTNEST_RETURN_NOT_OK(dec.GetBytes(1, &codec));
+    e.codec = codec[0];
+
+    // Pre-decompress components fully contained in the tail we already have.
+    if (e.offset >= tail_start) {
+      Slice payload(tail.data() + (e.offset - tail_start), e.compressed_size);
+      Buffer raw;
+      ROTTNEST_RETURN_NOT_OK(compress::Decompress(
+          static_cast<compress::Codec>(e.codec), payload, e.uncompressed_size,
+          &raw));
+      reader->cache_.emplace(e.name, std::move(raw));
+    }
+    std::string name = e.name;
+    reader->directory_.emplace(std::move(name), std::move(e));
+  }
+  if (!dec.exhausted()) return Status::Corruption("trailing directory bytes");
+  return reader;
+}
+
+std::vector<std::string> ComponentFileReader::ComponentNames() const {
+  std::vector<std::string> names;
+  names.reserve(directory_.size());
+  for (const auto& [name, e] : directory_) names.push_back(name);
+  return names;
+}
+
+Status ComponentFileReader::ReadComponents(
+    const std::vector<std::string>& names, ThreadPool* pool,
+    objectstore::IoTrace* trace, std::vector<Buffer>* out) {
+  out->clear();
+  out->resize(names.size());
+
+  // Collect the cache misses into one batch.
+  std::vector<objectstore::RangeRequest> requests;
+  std::vector<size_t> miss_positions;
+  for (size_t i = 0; i < names.size(); ++i) {
+    auto dir_it = directory_.find(names[i]);
+    if (dir_it == directory_.end()) {
+      return Status::NotFound("no such component: " + names[i]);
+    }
+    auto cache_it = cache_.find(names[i]);
+    if (cache_it != cache_.end()) {
+      (*out)[i] = cache_it->second;
+      continue;
+    }
+    requests.push_back(
+        {key_, dir_it->second.offset, dir_it->second.compressed_size});
+    miss_positions.push_back(i);
+  }
+  if (requests.empty()) return Status::OK();
+
+  std::vector<Buffer> raw;
+  ROTTNEST_RETURN_NOT_OK(
+      objectstore::ReadBatch(store_, requests, pool, trace, &raw));
+  for (size_t m = 0; m < miss_positions.size(); ++m) {
+    size_t i = miss_positions[m];
+    const Entry& e = directory_.at(names[i]);
+    Buffer decompressed;
+    ROTTNEST_RETURN_NOT_OK(compress::Decompress(
+        static_cast<compress::Codec>(e.codec), Slice(raw[m]),
+        e.uncompressed_size, &decompressed));
+    cache_[names[i]] = decompressed;
+    (*out)[i] = std::move(decompressed);
+  }
+  return Status::OK();
+}
+
+Status ComponentFileReader::ReadComponent(const std::string& name,
+                                          ThreadPool* pool,
+                                          objectstore::IoTrace* trace,
+                                          Buffer* out) {
+  std::vector<Buffer> results;
+  ROTTNEST_RETURN_NOT_OK(ReadComponents({name}, pool, trace, &results));
+  *out = std::move(results[0]);
+  return Status::OK();
+}
+
+}  // namespace rottnest::index

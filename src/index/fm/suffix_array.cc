@@ -1,0 +1,224 @@
+#include "index/fm/suffix_array.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rottnest::index {
+
+namespace {
+
+// SA-IS core, generic over the (possibly renamed) alphabet. `s` has length
+// n with s[n-1] the unique smallest symbol (0).
+void SaIsRec(const int64_t* s, int64_t* sa, int64_t n, int64_t alphabet) {
+  if (n == 1) {
+    sa[0] = 0;
+    return;
+  }
+  if (n == 2) {
+    sa[0] = 1;
+    sa[1] = 0;
+    return;
+  }
+
+  // Type classification: S-type (true) or L-type (false).
+  std::vector<bool> is_s(n);
+  is_s[n - 1] = true;
+  for (int64_t i = n - 2; i >= 0; --i) {
+    is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+  }
+  auto is_lms = [&](int64_t i) {
+    return i > 0 && is_s[i] && !is_s[i - 1];
+  };
+
+  // Bucket boundaries by symbol.
+  std::vector<int64_t> bucket_sizes(alphabet, 0);
+  for (int64_t i = 0; i < n; ++i) bucket_sizes[s[i]]++;
+  std::vector<int64_t> bucket_starts(alphabet), bucket_ends(alphabet);
+  auto reset_buckets = [&] {
+    int64_t sum = 0;
+    for (int64_t c = 0; c < alphabet; ++c) {
+      bucket_starts[c] = sum;
+      sum += bucket_sizes[c];
+      bucket_ends[c] = sum;
+    }
+  };
+
+  // Induced sort: given LMS suffixes placed at their bucket ends (already
+  // in sa), induce L-type then S-type suffixes.
+  auto induce = [&] {
+    reset_buckets();
+    std::vector<int64_t> heads = bucket_starts;
+    // Left-to-right pass: induce L-types.
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t j = sa[i] - 1;
+      if (sa[i] > 0 && !is_s[j]) {
+        sa[heads[s[j]]++] = j;
+      }
+    }
+    // Right-to-left pass: induce S-types.
+    std::vector<int64_t> tails = bucket_ends;
+    for (int64_t i = n - 1; i >= 0; --i) {
+      int64_t j = sa[i] - 1;
+      if (sa[i] > 0 && is_s[j]) {
+        sa[--tails[s[j]]] = j;
+      }
+    }
+  };
+
+  // Stage 1: place LMS suffixes in arbitrary (position) order, induce, and
+  // read off the sorted LMS substrings.
+  std::fill(sa, sa + n, -1);
+  reset_buckets();
+  {
+    std::vector<int64_t> tails = bucket_ends;
+    for (int64_t i = 1; i < n; ++i) {
+      if (is_lms(i)) sa[--tails[s[i]]] = i;
+    }
+  }
+  induce();
+
+  // Collect sorted LMS positions.
+  std::vector<int64_t> lms_sorted;
+  for (int64_t i = 0; i < n; ++i) {
+    if (sa[i] >= 0 && is_lms(sa[i])) lms_sorted.push_back(sa[i]);
+  }
+  int64_t num_lms = static_cast<int64_t>(lms_sorted.size());
+
+  // Name LMS substrings; equal substrings get equal names.
+  std::vector<int64_t> name_of(n, -1);
+  int64_t names = 0;
+  int64_t prev = -1;
+  for (int64_t k = 0; k < num_lms; ++k) {
+    int64_t cur = lms_sorted[k];
+    bool differ = prev < 0;
+    if (!differ) {
+      // Compare LMS substrings starting at prev and cur.
+      for (int64_t d = 0;; ++d) {
+        bool prev_lms = d > 0 && is_lms(prev + d);
+        bool cur_lms = d > 0 && is_lms(cur + d);
+        if (prev + d >= n || cur + d >= n || s[prev + d] != s[cur + d] ||
+            is_s[prev + d] != is_s[cur + d]) {
+          differ = true;
+          break;
+        }
+        if (prev_lms || cur_lms) {
+          differ = !(prev_lms && cur_lms);
+          break;
+        }
+      }
+    }
+    if (differ) ++names;
+    name_of[cur] = names - 1;
+    prev = cur;
+  }
+
+  // Build the reduced problem: names of LMS positions in text order.
+  std::vector<int64_t> lms_positions;
+  std::vector<int64_t> reduced;
+  for (int64_t i = 0; i < n; ++i) {
+    if (is_lms(i)) {
+      lms_positions.push_back(i);
+      reduced.push_back(name_of[i]);
+    }
+  }
+
+  std::vector<int64_t> lms_order(num_lms);
+  if (names < num_lms) {
+    // Names collide: recurse.
+    std::vector<int64_t> sub_sa(num_lms);
+    SaIsRec(reduced.data(), sub_sa.data(), num_lms, names);
+    for (int64_t k = 0; k < num_lms; ++k) lms_order[k] = sub_sa[k];
+  } else {
+    // Names unique: order directly.
+    for (int64_t k = 0; k < num_lms; ++k) lms_order[reduced[k]] = k;
+  }
+
+  // Stage 2: place LMS suffixes in their true sorted order, induce.
+  std::fill(sa, sa + n, -1);
+  reset_buckets();
+  {
+    std::vector<int64_t> tails = bucket_ends;
+    for (int64_t k = num_lms - 1; k >= 0; --k) {
+      int64_t pos = lms_positions[lms_order[k]];
+      sa[--tails[s[pos]]] = pos;
+    }
+  }
+  induce();
+}
+
+}  // namespace
+
+Result<std::vector<int64_t>> BuildSuffixArray(Slice text) {
+  int64_t n = static_cast<int64_t>(text.size());
+  if (n == 0) return Status::InvalidArgument("empty text");
+  if (text[n - 1] != 0) {
+    return Status::InvalidArgument("text must end with 0x00 sentinel");
+  }
+  for (int64_t i = 0; i < n - 1; ++i) {
+    if (text[i] == 0) {
+      return Status::InvalidArgument("sentinel byte inside text");
+    }
+  }
+  std::vector<int64_t> s(n);
+  for (int64_t i = 0; i < n; ++i) s[i] = text[i];
+  std::vector<int64_t> sa(n);
+  SaIsRec(s.data(), sa.data(), n, 256);
+  return sa;
+}
+
+Buffer BwtFromSuffixArray(Slice text, const std::vector<int64_t>& sa) {
+  Buffer bwt(sa.size());
+  size_t n = text.size();
+  for (size_t i = 0; i < sa.size(); ++i) {
+    bwt[i] = sa[i] == 0 ? text[n - 1] : text[sa[i] - 1];
+  }
+  return bwt;
+}
+
+Result<Buffer> InvertBwt(Slice bwt) {
+  size_t n = bwt.size();
+  if (n == 0) return Status::InvalidArgument("empty bwt");
+  // LF mapping via counting sort of (symbol, occurrence rank).
+  std::vector<int64_t> counts(256, 0);
+  for (size_t i = 0; i < n; ++i) counts[bwt[i]]++;
+  if (counts[0] != 1) {
+    return Status::InvalidArgument("InvertBwt requires exactly one sentinel");
+  }
+  std::vector<int64_t> starts(256, 0);
+  int64_t sum = 0;
+  for (int c = 0; c < 256; ++c) {
+    starts[c] = sum;
+    sum += counts[c];
+  }
+  std::vector<int64_t> lf(n);
+  std::vector<int64_t> seen(256, 0);
+  for (size_t i = 0; i < n; ++i) {
+    lf[i] = starts[bwt[i]] + seen[bwt[i]]++;
+  }
+  // Walk backwards from the sentinel row (row 0 holds the full text's
+  // rotation starting at the sentinel).
+  Buffer text(n);
+  int64_t row = 0;
+  for (size_t k = 0; k < n; ++k) {
+    text[n - 1 - k] = bwt[row];
+    row = lf[row];
+  }
+  // text currently ends with ...sentinel? The walk writes text[n-1]=bwt[0]
+  // which is the char before the sentinel; rotate: the sentinel is the
+  // first char written... Verify and normalize so output ends with 0x00.
+  // bwt[0] corresponds to the suffix "$", so bwt[0] = last char before $.
+  // The loop above reconstructs the text already in the right order except
+  // the sentinel lands at position... validate:
+  if (text[n - 1] != 0) {
+    // Rotate left by one if the sentinel ended up first.
+    if (text[0] == 0) {
+      Buffer rotated(text.begin() + 1, text.end());
+      rotated.push_back(0);
+      return rotated;
+    }
+    return Status::Corruption("bwt inversion failed");
+  }
+  return text;
+}
+
+}  // namespace rottnest::index

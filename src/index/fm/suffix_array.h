@@ -1,0 +1,28 @@
+// Suffix-array construction via SA-IS (Nong, Zhang & Chan) — linear time,
+// used to build the BWT for the substring-search FM-index (paper §V-C2).
+#ifndef ROTTNEST_INDEX_FM_SUFFIX_ARRAY_H_
+#define ROTTNEST_INDEX_FM_SUFFIX_ARRAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace rottnest::index {
+
+/// Builds the suffix array of `text`. The final byte must be 0x00 and 0x00
+/// must not occur anywhere else (the unique smallest sentinel).
+Result<std::vector<int64_t>> BuildSuffixArray(Slice text);
+
+/// Derives the BWT from a text and its suffix array:
+/// bwt[i] = text[sa[i] - 1], with the sentinel wrapping to text[n-1].
+Buffer BwtFromSuffixArray(Slice text, const std::vector<int64_t>& sa);
+
+/// Inverts a single-string BWT (with exactly one 0x00 sentinel) back to the
+/// original text. Used by tests and for merge verification.
+Result<Buffer> InvertBwt(Slice bwt);
+
+}  // namespace rottnest::index
+
+#endif  // ROTTNEST_INDEX_FM_SUFFIX_ARRAY_H_

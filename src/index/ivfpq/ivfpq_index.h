@@ -1,0 +1,90 @@
+// Vector ANN index (paper §V-C3): IVF-PQ, the centroid-based structure the
+// paper picks over graph indices because object-storage search cost is
+// dominated by access depth, not distance computations.
+//
+// Structure:
+//   * coarse quantizer: nlist k-means centroids;
+//   * product quantizer: M subspaces × 256 codewords each;
+//   * inverted lists: per coarse centroid, the member vectors as
+//     (page, row-in-page, M-byte PQ code) — one component per list.
+//
+// Components (roots written last so they ride the tail read): pagetable,
+// list.L ..., codebooks, centroids, meta. A search reads the tail (meta +
+// centroids + codebooks), then the `nprobe` probed lists in ONE parallel
+// round — two dependent rounds total. Candidates are reranked by the core
+// via in-situ page reads (`refine`, paper §VII-B2).
+//
+// Merging keeps the first input's codebooks, decodes other inputs' codes to
+// reconstructed vectors and re-encodes them (double quantization) — the
+// bounded-cost alternative to retraining from raw data.
+#ifndef ROTTNEST_INDEX_IVFPQ_IVFPQ_INDEX_H_
+#define ROTTNEST_INDEX_IVFPQ_IVFPQ_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "format/page_table.h"
+#include "index/component_file.h"
+
+namespace rottnest::index {
+
+/// IVF-PQ build knobs.
+struct IvfPqOptions {
+  uint32_t nlist = 64;             ///< Coarse centroids (inverted lists).
+  uint32_t num_subquantizers = 16; ///< PQ segments M; dim % M must be 0.
+  uint32_t kmeans_iterations = 10;
+  uint64_t seed = 0x5eed;
+  /// Cap on vectors used for training (sampled deterministically).
+  uint32_t max_training_vectors = 20000;
+};
+
+/// One approximate search candidate, to be reranked in situ.
+struct VectorCandidate {
+  format::PageId page = 0;
+  uint32_t row_in_page = 0;
+  float approx_dist = 0.0f;  ///< ADC (PQ) distance to the query.
+};
+
+/// Accumulates vectors and emits an IVF-PQ index file.
+class IvfPqIndexBuilder {
+ public:
+  IvfPqIndexBuilder(std::string column, uint32_t dim, IvfPqOptions options)
+      : column_(std::move(column)), dim_(dim), options_(options) {}
+
+  /// Registers a vector living at (page, row_in_page).
+  void Add(const float* vector, format::PageId page, uint32_t row_in_page);
+
+  size_t num_vectors() const { return locations_.size(); }
+
+  /// Trains quantizers and builds the index file image.
+  Status Finish(const format::PageTable& pages, Buffer* out);
+
+ private:
+  std::string column_;
+  uint32_t dim_;
+  IvfPqOptions options_;
+  std::vector<float> vectors_;  ///< Row-major.
+  std::vector<std::pair<format::PageId, uint32_t>> locations_;
+};
+
+/// Probes the `nprobe` nearest inverted lists and returns up to
+/// `max_candidates` ADC-ranked candidates (ascending distance).
+Status IvfPqSearch(ComponentFileReader* reader, ThreadPool* pool,
+                   objectstore::IoTrace* trace, const float* query,
+                   uint32_t dim, uint32_t nprobe, size_t max_candidates,
+                   std::vector<VectorCandidate>* out);
+
+/// Merges IVF-PQ index files (first input's quantizers survive).
+Status IvfPqMerge(const std::vector<ComponentFileReader*>& inputs,
+                  ThreadPool* pool, objectstore::IoTrace* trace,
+                  const std::string& column, Buffer* out);
+
+/// Reads vector floats out of a fixed-len column value.
+inline const float* VectorFromValue(Slice value) {
+  return reinterpret_cast<const float*>(value.data());
+}
+
+}  // namespace rottnest::index
+
+#endif  // ROTTNEST_INDEX_IVFPQ_IVFPQ_INDEX_H_

@@ -1,0 +1,144 @@
+#include "index/ivfpq/kmeans.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/random.h"
+
+namespace rottnest::index {
+
+float SquaredL2(const float* a, const float* b, size_t dim) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < dim; ++i) {
+    float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+Result<KMeansResult> TrainKMeans(const float* data, size_t n, size_t dim,
+                                 uint32_t k, uint32_t iterations,
+                                 uint64_t seed) {
+  if (n == 0 || dim == 0) return Status::InvalidArgument("no training data");
+  k = static_cast<uint32_t>(std::min<size_t>(k, n));
+  Random rng(seed);
+
+  KMeansResult result;
+  result.k = k;
+  result.dim = static_cast<uint32_t>(dim);
+  result.centroids.resize(static_cast<size_t>(k) * dim);
+  result.assignments.assign(n, 0);
+
+  // k-means++ seeding: first centroid uniform, then proportional to the
+  // squared distance to the nearest chosen centroid.
+  std::vector<float> min_dist(n, std::numeric_limits<float>::max());
+  size_t first = rng.Uniform(n);
+  std::memcpy(result.centroids.data(), data + first * dim,
+              dim * sizeof(float));
+  for (uint32_t c = 1; c < k; ++c) {
+    double total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      float d = SquaredL2(data + i * dim,
+                          result.centroids.data() + (c - 1) * dim, dim);
+      min_dist[i] = std::min(min_dist[i], d);
+      total += min_dist[i];
+    }
+    size_t chosen = 0;
+    if (total > 0) {
+      double target = rng.NextDouble() * total;
+      double acc = 0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += min_dist[i];
+        if (acc >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.Uniform(n);
+    }
+    std::memcpy(result.centroids.data() + c * dim, data + chosen * dim,
+                dim * sizeof(float));
+  }
+
+  // Lloyd iterations.
+  std::vector<double> sums(static_cast<size_t>(k) * dim);
+  std::vector<uint64_t> counts(k);
+  for (uint32_t iter = 0; iter < iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t best = NearestCentroid(result.centroids, k,
+                                      static_cast<uint32_t>(dim),
+                                      data + i * dim);
+      if (best != result.assignments[i]) {
+        result.assignments[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t a = result.assignments[i];
+      counts[a]++;
+      for (size_t d = 0; d < dim; ++d) {
+        sums[a * dim + d] += data[i * dim + d];
+      }
+    }
+    for (uint32_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: reseed from a random vector.
+        size_t pick = rng.Uniform(n);
+        std::memcpy(result.centroids.data() + c * dim, data + pick * dim,
+                    dim * sizeof(float));
+        continue;
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        result.centroids[c * dim + d] =
+            static_cast<float>(sums[c * dim + d] / counts[c]);
+      }
+    }
+  }
+  // Final assignment pass against the last centroid update.
+  for (size_t i = 0; i < n; ++i) {
+    result.assignments[i] = NearestCentroid(
+        result.centroids, k, static_cast<uint32_t>(dim), data + i * dim);
+  }
+  return result;
+}
+
+uint32_t NearestCentroid(const std::vector<float>& centroids, uint32_t k,
+                         uint32_t dim, const float* vec) {
+  uint32_t best = 0;
+  float best_dist = std::numeric_limits<float>::max();
+  for (uint32_t c = 0; c < k; ++c) {
+    float d = SquaredL2(vec, centroids.data() + static_cast<size_t>(c) * dim,
+                        dim);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<uint32_t> NearestCentroids(const std::vector<float>& centroids,
+                                       uint32_t k, uint32_t dim,
+                                       const float* vec, uint32_t m) {
+  std::vector<std::pair<float, uint32_t>> dists;
+  dists.reserve(k);
+  for (uint32_t c = 0; c < k; ++c) {
+    dists.emplace_back(
+        SquaredL2(vec, centroids.data() + static_cast<size_t>(c) * dim, dim),
+        c);
+  }
+  m = std::min(m, k);
+  std::partial_sort(dists.begin(), dists.begin() + m, dists.end());
+  std::vector<uint32_t> result(m);
+  for (uint32_t i = 0; i < m; ++i) result[i] = dists[i].second;
+  return result;
+}
+
+}  // namespace rottnest::index

@@ -1,0 +1,42 @@
+// Lloyd's k-means with k-means++ seeding: the training primitive for both
+// the IVF coarse quantizer and the per-subspace product-quantizer codebooks
+// (paper §V-C3).
+#ifndef ROTTNEST_INDEX_IVFPQ_KMEANS_H_
+#define ROTTNEST_INDEX_IVFPQ_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rottnest::index {
+
+/// Squared Euclidean distance between two `dim`-dimensional vectors.
+float SquaredL2(const float* a, const float* b, size_t dim);
+
+/// k-means result: k centroids of `dim` floats, row-major.
+struct KMeansResult {
+  std::vector<float> centroids;  ///< k * dim floats.
+  std::vector<uint32_t> assignments;  ///< Per training vector.
+  uint32_t k = 0;
+  uint32_t dim = 0;
+};
+
+/// Trains k centroids over `n` vectors (row-major `data`, n*dim floats).
+/// k is clamped to n. Deterministic for a given seed.
+Result<KMeansResult> TrainKMeans(const float* data, size_t n, size_t dim,
+                                 uint32_t k, uint32_t iterations,
+                                 uint64_t seed);
+
+/// Index of the centroid closest to `vec`.
+uint32_t NearestCentroid(const std::vector<float>& centroids, uint32_t k,
+                         uint32_t dim, const float* vec);
+
+/// Indices of the `m` nearest centroids, closest first.
+std::vector<uint32_t> NearestCentroids(const std::vector<float>& centroids,
+                                       uint32_t k, uint32_t dim,
+                                       const float* vec, uint32_t m);
+
+}  // namespace rottnest::index
+
+#endif  // ROTTNEST_INDEX_IVFPQ_KMEANS_H_

@@ -1,0 +1,47 @@
+#include "lake/deletion_vector.h"
+
+#include <algorithm>
+
+#include "compress/bitpack.h"
+
+namespace rottnest::lake {
+
+DeletionVector::DeletionVector(std::vector<uint64_t> rows)
+    : rows_(std::move(rows)) {
+  std::sort(rows_.begin(), rows_.end());
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+}
+
+bool DeletionVector::Contains(uint64_t row) const {
+  return std::binary_search(rows_.begin(), rows_.end(), row);
+}
+
+void DeletionVector::Union(const DeletionVector& other) {
+  std::vector<uint64_t> merged;
+  merged.reserve(rows_.size() + other.rows_.size());
+  std::merge(rows_.begin(), rows_.end(), other.rows_.begin(),
+             other.rows_.end(), std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  rows_ = std::move(merged);
+}
+
+void DeletionVector::Serialize(Buffer* out) const {
+  compress::DeltaEncodeSorted(rows_, out);
+}
+
+Status DeletionVector::Deserialize(Slice input, DeletionVector* out) {
+  Decoder dec(input);
+  ROTTNEST_RETURN_NOT_OK(compress::DeltaDecodeSorted(&dec, &out->rows_));
+  if (!dec.exhausted()) {
+    return Status::Corruption("trailing bytes in deletion vector");
+  }
+  // DeltaDecodeSorted guarantees non-decreasing; reject duplicates.
+  for (size_t i = 1; i < out->rows_.size(); ++i) {
+    if (out->rows_[i] == out->rows_[i - 1]) {
+      return Status::Corruption("duplicate row in deletion vector");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rottnest::lake

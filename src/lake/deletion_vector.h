@@ -1,0 +1,41 @@
+// Deletion vectors: per-data-file sets of deleted row indexes, stored as
+// separate objects (as in Delta Lake / Iceberg v2). Data files stay
+// immutable; a delete commits a new table version where the file carries a
+// deletion-vector reference.
+#ifndef ROTTNEST_LAKE_DELETION_VECTOR_H_
+#define ROTTNEST_LAKE_DELETION_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace rottnest::lake {
+
+/// A sorted set of deleted row indexes within one data file.
+class DeletionVector {
+ public:
+  DeletionVector() = default;
+
+  /// Builds from row indexes (deduplicated and sorted internally).
+  explicit DeletionVector(std::vector<uint64_t> rows);
+
+  bool Contains(uint64_t row) const;
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const std::vector<uint64_t>& rows() const { return rows_; }
+
+  /// Set-union with another vector (merging successive deletes).
+  void Union(const DeletionVector& other);
+
+  void Serialize(Buffer* out) const;
+  static Status Deserialize(Slice input, DeletionVector* out);
+
+ private:
+  std::vector<uint64_t> rows_;
+};
+
+}  // namespace rottnest::lake
+
+#endif  // ROTTNEST_LAKE_DELETION_VECTOR_H_

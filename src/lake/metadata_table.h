@@ -1,0 +1,49 @@
+// The Rottnest metadata table (paper §IV): a transactional record of which
+// index files exist and which Parquet data files each one covers. The paper
+// implements it as a Delta table; here it shares the same TxnLog machinery
+// as the data lake, giving the same transactional insert/delete semantics.
+#ifndef ROTTNEST_LAKE_METADATA_TABLE_H_
+#define ROTTNEST_LAKE_METADATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "lake/txn_log.h"
+
+namespace rottnest::lake {
+
+/// One committed index file.
+struct IndexEntry {
+  std::string index_path;  ///< Object key of the index file.
+  std::string index_type;  ///< "trie", "fm", or "ivfpq".
+  std::string column;      ///< Indexed column name.
+  std::vector<std::string> covered_files;  ///< Data files it indexes.
+  uint64_t rows = 0;                       ///< Rows covered.
+  Micros created_micros = 0;               ///< Commit-time store clock.
+};
+
+/// Transactional index registry under `<prefix>/_meta`.
+class MetadataTable {
+ public:
+  MetadataTable(objectstore::ObjectStore* store, const std::string& prefix)
+      : store_(store), log_(store, prefix + "/_meta") {}
+
+  /// Atomically inserts `added` and deletes the entries whose index_path is
+  /// in `removed`. One commit — concurrent calls serialize through the log.
+  Result<Version> Update(const std::vector<IndexEntry>& added,
+                         const std::vector<std::string>& removed);
+
+  /// All currently committed entries.
+  Result<std::vector<IndexEntry>> ReadAll();
+
+  TxnLog& log() { return log_; }
+
+ private:
+  objectstore::ObjectStore* store_;
+  TxnLog log_;
+};
+
+}  // namespace rottnest::lake
+
+#endif  // ROTTNEST_LAKE_METADATA_TABLE_H_

@@ -1,0 +1,95 @@
+#include "lake/txn_log.h"
+
+#include <cstdio>
+
+namespace rottnest::lake {
+
+namespace {
+constexpr int kMaxCommitRetries = 256;
+}  // namespace
+
+std::string TxnLog::KeyFor(Version version) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%020lld",
+                static_cast<long long>(version));
+  return prefix_ + "/" + buf + ".json";
+}
+
+Status TxnLog::Commit(Version version, const std::vector<Json>& actions) {
+  std::string body;
+  for (const Json& a : actions) {
+    body += a.Dump();
+    body.push_back('\n');
+  }
+  return store_->PutIfAbsent(KeyFor(version), Slice(body));
+}
+
+Result<Version> TxnLog::CommitNext(const std::vector<Json>& actions) {
+  ROTTNEST_ASSIGN_OR_RETURN(Version latest, LatestVersionOrMinusOne());
+  for (int attempt = 0; attempt < kMaxCommitRetries; ++attempt) {
+    Version candidate = latest + 1 + attempt;
+    Status s = Commit(candidate, actions);
+    if (s.ok()) return candidate;
+    if (!s.IsAlreadyExists()) return s;
+  }
+  return Status::Aborted("commit contention exceeded retry budget");
+}
+
+Result<Version> TxnLog::LatestVersion() {
+  ROTTNEST_ASSIGN_OR_RETURN(Version v, LatestVersionOrMinusOne());
+  if (v < 0) return Status::NotFound("empty log: " + prefix_);
+  return v;
+}
+
+Result<Version> TxnLog::LatestVersionOrMinusOne() {
+  std::vector<objectstore::ObjectMeta> listing;
+  ROTTNEST_RETURN_NOT_OK(store_->List(prefix_ + "/", &listing));
+  Version latest = -1;
+  for (const auto& obj : listing) {
+    // Keys are zero-padded so lexicographic order == numeric order; parse
+    // the basename defensively anyway.
+    size_t slash = obj.key.rfind('/');
+    std::string base = obj.key.substr(slash + 1);
+    if (base.size() < 6 || base.compare(base.size() - 5, 5, ".json") != 0) {
+      continue;
+    }
+    Version v = std::strtoll(base.c_str(), nullptr, 10);
+    if (v > latest) latest = v;
+  }
+  return latest;
+}
+
+Status TxnLog::ReadVersion(Version version, std::vector<Json>* actions) {
+  Buffer body;
+  ROTTNEST_RETURN_NOT_OK(store_->Get(KeyFor(version), &body));
+  actions->clear();
+  std::string text(body.begin(), body.end());
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    ROTTNEST_ASSIGN_OR_RETURN(Json j, Json::Parse(line));
+    actions->push_back(std::move(j));
+  }
+  return Status::OK();
+}
+
+Result<Version> TxnLog::Replay(Version version, std::vector<Json>* actions) {
+  actions->clear();
+  if (version < 0) {
+    auto latest = LatestVersion();
+    if (!latest.ok()) return latest.status();
+    version = latest.value();
+  }
+  for (Version v = 0; v <= version; ++v) {
+    std::vector<Json> batch;
+    ROTTNEST_RETURN_NOT_OK(ReadVersion(v, &batch));
+    for (Json& j : batch) actions->push_back(std::move(j));
+  }
+  return version;
+}
+
+}  // namespace rottnest::lake

@@ -1,0 +1,61 @@
+// Versioned transaction log on object storage, in the style of Delta Lake's
+// _delta_log. A commit writes JSON-lines of actions to
+// "<prefix>/<20-digit version>.json" with a conditional put; the first
+// writer of a version wins and losers retry on the next version. Strong
+// read-after-write consistency (provided by the object store) makes the
+// latest version discoverable with a LIST.
+#ifndef ROTTNEST_LAKE_TXN_LOG_H_
+#define ROTTNEST_LAKE_TXN_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "objectstore/object_store.h"
+
+namespace rottnest::lake {
+
+/// A table/log version number. Version 0 is the first commit.
+using Version = int64_t;
+
+/// Versioned action log under `prefix` in `store`.
+class TxnLog {
+ public:
+  /// Neither argument is owned; `store` must outlive the log.
+  TxnLog(objectstore::ObjectStore* store, std::string prefix)
+      : store_(store), prefix_(std::move(prefix)) {}
+
+  /// Attempts to commit `actions` as `version`. Fails with AlreadyExists if
+  /// another writer committed that version first.
+  Status Commit(Version version, const std::vector<Json>& actions);
+
+  /// Commits `actions` at the next available version, retrying on
+  /// conflicts. Returns the committed version.
+  Result<Version> CommitNext(const std::vector<Json>& actions);
+
+  /// Highest committed version, or NotFound if the log is empty.
+  Result<Version> LatestVersion();
+
+  /// Reads the actions of one version.
+  Status ReadVersion(Version version, std::vector<Json>* actions);
+
+  /// Reads all actions of versions [0, version] in commit order.
+  /// version < 0 means latest. Returns the version actually read.
+  Result<Version> Replay(Version version, std::vector<Json>* actions);
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  std::string KeyFor(Version version) const;
+
+  /// Like LatestVersion but returns -1 (not an error) for an empty log.
+  Result<Version> LatestVersionOrMinusOne();
+
+  objectstore::ObjectStore* store_;
+  std::string prefix_;
+};
+
+}  // namespace rottnest::lake
+
+#endif  // ROTTNEST_LAKE_TXN_LOG_H_

@@ -1,0 +1,208 @@
+// Access-pattern recording and the S3 latency/cost model.
+//
+// Object storage favors wide parallel requests over deep dependent chains
+// (paper §V-B). To project realistic S3 latencies from in-memory runs, a
+// query records its access pattern as a sequence of *rounds*: all requests
+// issued within a round are concurrent; consecutive rounds are dependent.
+// Simulated latency is then
+//     sum over rounds of [ TTFB + max_request_bytes / effective_bandwidth ]
+//   + recorded compute time,
+// which reproduces the paper's Fig 10a behaviour: latency flat in request
+// size until ~1 MB, then linear, roughly independent of concurrency until
+// the instance bandwidth saturates.
+#ifndef ROTTNEST_OBJECTSTORE_IO_TRACE_H_
+#define ROTTNEST_OBJECTSTORE_IO_TRACE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "objectstore/object_store.h"
+
+namespace rottnest::objectstore {
+
+/// Latency and pricing parameters for an S3-like store accessed from an EC2
+/// instance. Defaults are calibrated to the paper's measurements.
+struct S3Model {
+  double ttfb_ms = 30.0;             ///< Time to first byte per request.
+  double per_stream_mbps = 90.0;     ///< MB/s for a single GET stream.
+  double instance_gbps = 12.5;       ///< Instance NIC: 100 Gbit/s = 12.5 GB/s.
+  double list_ms = 60.0;             ///< Per LIST request.
+  double get_cost_usd = 0.4e-6;      ///< $ per GET request.
+  double put_cost_usd = 5.0e-6;      ///< $ per PUT/LIST request.
+  double max_get_rps_per_prefix = 5500.0;  ///< S3 GET throttle limit.
+
+  /// Latency of one round of `concurrency` parallel reads of `bytes` each
+  /// (max bytes among them), in milliseconds.
+  double RoundLatencyMs(uint64_t max_bytes, size_t concurrency) const {
+    double per_stream = per_stream_mbps * 1e6;  // bytes/s
+    double instance = instance_gbps * 1e9;      // bytes/s
+    double bw = std::min(per_stream,
+                         instance / std::max<size_t>(concurrency, 1));
+    return ttfb_ms + static_cast<double>(max_bytes) / bw * 1000.0;
+  }
+};
+
+/// One round of concurrent requests.
+struct IoRound {
+  std::vector<uint64_t> request_bytes;  ///< Size of each concurrent request.
+  bool is_list = false;                 ///< LIST rounds cost list_ms.
+};
+
+/// Records the access pattern of one logical operation (a search, an index
+/// build, ...). Thread-safe: parallel reads within a round may come from a
+/// thread pool.
+class IoTrace {
+ public:
+  IoTrace() = default;
+
+  /// Starts a new dependent round. All requests recorded until the next
+  /// BeginRound are treated as concurrent.
+  void BeginRound() {
+    std::lock_guard<std::mutex> lock(mu_);
+    rounds_.emplace_back();
+  }
+
+  /// Records one GET of `bytes` in the current round (opens a round if none).
+  void RecordGet(uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rounds_.empty()) rounds_.emplace_back();
+    rounds_.back().request_bytes.push_back(bytes);
+    total_gets_ += 1;
+    total_bytes_ += bytes;
+  }
+
+  /// Records one LIST in its own round.
+  void RecordList() {
+    std::lock_guard<std::mutex> lock(mu_);
+    rounds_.emplace_back();
+    rounds_.back().is_list = true;
+    total_lists_ += 1;
+  }
+
+  /// Adds CPU time (decode, distance computations, scan) to the projection.
+  void AddComputeMicros(Micros micros) {
+    std::lock_guard<std::mutex> lock(mu_);
+    compute_micros_ += micros;
+  }
+
+  /// Number of dependent rounds (the access *depth*).
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t d = 0;
+    for (const auto& r : rounds_) {
+      if (r.is_list || !r.request_bytes.empty()) ++d;
+    }
+    return d;
+  }
+
+  uint64_t total_gets() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_gets_;
+  }
+  uint64_t total_lists() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_lists_;
+  }
+  uint64_t total_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_bytes_;
+  }
+  Micros compute_micros() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return compute_micros_;
+  }
+
+  /// Projected end-to-end latency on S3, in milliseconds.
+  double ProjectedLatencyMs(const S3Model& model) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    double ms = 0;
+    for (const auto& r : rounds_) {
+      if (r.is_list) {
+        ms += model.list_ms;
+        continue;
+      }
+      if (r.request_bytes.empty()) continue;
+      uint64_t max_bytes =
+          *std::max_element(r.request_bytes.begin(), r.request_bytes.end());
+      ms += model.RoundLatencyMs(max_bytes, r.request_bytes.size());
+    }
+    return ms + static_cast<double>(compute_micros_) / 1000.0;
+  }
+
+  /// Projected request cost in USD.
+  double RequestCostUsd(const S3Model& model) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(total_gets_) * model.get_cost_usd +
+           static_cast<double>(total_lists_) * model.put_cost_usd;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    rounds_.clear();
+    total_gets_ = total_lists_ = total_bytes_ = 0;
+    compute_micros_ = 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<IoRound> rounds_;
+  uint64_t total_gets_ = 0;
+  uint64_t total_lists_ = 0;
+  uint64_t total_bytes_ = 0;
+  Micros compute_micros_ = 0;
+};
+
+/// ObjectStore decorator that records reads/lists into an IoTrace.
+/// Writes pass through unrecorded (index-build cost is accounted as compute).
+class TracedObjectStore : public ObjectStore {
+ public:
+  /// Neither pointer is owned; both must outlive this object.
+  TracedObjectStore(ObjectStore* inner, IoTrace* trace)
+      : inner_(inner), trace_(trace) {}
+
+  Status Put(const std::string& key, Slice data) override {
+    return inner_->Put(key, data);
+  }
+  Status PutIfAbsent(const std::string& key, Slice data) override {
+    return inner_->PutIfAbsent(key, data);
+  }
+  Status Get(const std::string& key, Buffer* out) override {
+    Status s = inner_->Get(key, out);
+    if (s.ok()) trace_->RecordGet(out->size());
+    return s;
+  }
+  Status GetRange(const std::string& key, uint64_t offset, uint64_t length,
+                  Buffer* out) override {
+    Status s = inner_->GetRange(key, offset, length, out);
+    if (s.ok()) trace_->RecordGet(out->size());
+    return s;
+  }
+  Status Head(const std::string& key, ObjectMeta* out) override {
+    return inner_->Head(key, out);
+  }
+  Status List(const std::string& prefix,
+              std::vector<ObjectMeta>* out) override {
+    Status s = inner_->List(prefix, out);
+    if (s.ok()) trace_->RecordList();
+    return s;
+  }
+  Status Delete(const std::string& key) override {
+    return inner_->Delete(key);
+  }
+  const Clock& clock() const override { return inner_->clock(); }
+  const IoStats& stats() const override { return inner_->stats(); }
+
+  IoTrace* trace() { return trace_; }
+
+ private:
+  ObjectStore* inner_;
+  IoTrace* trace_;
+};
+
+}  // namespace rottnest::objectstore
+
+#endif  // ROTTNEST_OBJECTSTORE_IO_TRACE_H_

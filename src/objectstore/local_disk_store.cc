@@ -1,0 +1,162 @@
+#include "objectstore/local_disk_store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace rottnest::objectstore {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Keys are stored with '/' preserved as directory separators; a ".obj"
+// suffix distinguishes object files from directories so that a key can be a
+// proper prefix of another key.
+constexpr const char* kSuffix = ".obj";
+
+std::string KeyFromPath(const fs::path& root, const fs::path& file) {
+  std::string rel = fs::relative(file, root).generic_string();
+  return rel.substr(0, rel.size() - 4);  // strip ".obj"
+}
+
+}  // namespace
+
+LocalDiskObjectStore::LocalDiskObjectStore(std::string root,
+                                           const Clock* clock)
+    : root_(std::move(root)), clock_(clock) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+}
+
+std::string LocalDiskObjectStore::PathFor(const std::string& key) const {
+  return root_ + "/" + key + kSuffix;
+}
+
+Status LocalDiskObjectStore::Put(const std::string& key, Slice data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
+  fs::path p = PathFor(key);
+  std::error_code ec;
+  fs::create_directories(p.parent_path(), ec);
+  // Write to a temp file then rename for atomicity on the local FS. (The
+  // Rottnest protocol does not rely on this; it is local hygiene only.)
+  fs::path tmp = p;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open for write: " + tmp.string());
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) return Status::IOError("short write: " + tmp.string());
+  }
+  fs::rename(tmp, p, ec);
+  if (ec) return Status::IOError("rename failed: " + ec.message());
+  return Status::OK();
+}
+
+Status LocalDiskObjectStore::PutIfAbsent(const std::string& key, Slice data) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fs::exists(PathFor(key))) {
+      stats_.puts.fetch_add(1, std::memory_order_relaxed);
+      return Status::AlreadyExists("object exists: " + key);
+    }
+  }
+  return Put(key, data);
+}
+
+Status LocalDiskObjectStore::Get(const std::string& key, Buffer* out) {
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  std::ifstream in(PathFor(key), std::ios::binary | std::ios::ate);
+  if (!in) return Status::NotFound("no such object: " + key);
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  out->resize(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(out->data()), size);
+  if (!in) return Status::IOError("short read: " + key);
+  stats_.bytes_read.fetch_add(out->size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status LocalDiskObjectStore::GetRange(const std::string& key, uint64_t offset,
+                                      uint64_t length, Buffer* out) {
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  std::ifstream in(PathFor(key), std::ios::binary | std::ios::ate);
+  if (!in) return Status::NotFound("no such object: " + key);
+  uint64_t size = static_cast<uint64_t>(in.tellg());
+  if (offset > size) {
+    return Status::InvalidArgument("range offset past end of object");
+  }
+  uint64_t n = std::min<uint64_t>(length, size - offset);
+  in.seekg(static_cast<std::streamoff>(offset));
+  out->resize(static_cast<size_t>(n));
+  in.read(reinterpret_cast<char*>(out->data()),
+          static_cast<std::streamsize>(n));
+  if (!in) return Status::IOError("short range read: " + key);
+  stats_.bytes_read.fetch_add(n, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status LocalDiskObjectStore::Head(const std::string& key, ObjectMeta* out) {
+  stats_.heads.fetch_add(1, std::memory_order_relaxed);
+  std::error_code ec;
+  fs::path p = PathFor(key);
+  auto size = fs::file_size(p, ec);
+  if (ec) return Status::NotFound("no such object: " + key);
+  out->key = key;
+  out->size = size;
+  auto mtime = fs::last_write_time(p, ec);
+  out->created_micros =
+      ec ? 0
+         : std::chrono::duration_cast<std::chrono::microseconds>(
+               mtime.time_since_epoch())
+               .count();
+  return Status::OK();
+}
+
+Status LocalDiskObjectStore::List(const std::string& prefix,
+                                  std::vector<ObjectMeta>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.lists.fetch_add(1, std::memory_order_relaxed);
+  out->clear();
+  std::error_code ec;
+  fs::path root(root_);
+  if (!fs::exists(root)) return Status::OK();
+  for (auto it = fs::recursive_directory_iterator(root, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) return Status::IOError("list failed: " + ec.message());
+    if (!it->is_regular_file()) continue;
+    std::string name = it->path().generic_string();
+    if (name.size() < 4 || name.compare(name.size() - 4, 4, kSuffix) != 0) {
+      continue;
+    }
+    std::string key = KeyFromPath(root, it->path());
+    if (key.compare(0, prefix.size(), prefix) != 0) continue;
+    ObjectMeta m;
+    m.key = key;
+    m.size = it->file_size(ec);
+    auto mtime = fs::last_write_time(it->path(), ec);
+    m.created_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                           mtime.time_since_epoch())
+                           .count();
+    out->push_back(std::move(m));
+  }
+  std::sort(out->begin(), out->end(),
+            [](const ObjectMeta& a, const ObjectMeta& b) {
+              return a.key < b.key;
+            });
+  return Status::OK();
+}
+
+Status LocalDiskObjectStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.deletes.fetch_add(1, std::memory_order_relaxed);
+  std::error_code ec;
+  fs::remove(PathFor(key), ec);
+  return Status::OK();
+}
+
+}  // namespace rottnest::objectstore

@@ -1,0 +1,45 @@
+// Object store backed by a local directory — lets examples persist data
+// across runs. Keys map to files under a root; '/' in keys becomes
+// directories. Provides the same strong-consistency semantics as the
+// in-memory store (local filesystems are strongly consistent).
+#ifndef ROTTNEST_OBJECTSTORE_LOCAL_DISK_STORE_H_
+#define ROTTNEST_OBJECTSTORE_LOCAL_DISK_STORE_H_
+
+#include <mutex>
+#include <string>
+
+#include "objectstore/object_store.h"
+
+namespace rottnest::objectstore {
+
+class LocalDiskObjectStore : public ObjectStore {
+ public:
+  /// `root` is created if missing. `clock` must outlive the store.
+  LocalDiskObjectStore(std::string root, const Clock* clock);
+
+  Status Put(const std::string& key, Slice data) override;
+  Status PutIfAbsent(const std::string& key, Slice data) override;
+  Status Get(const std::string& key, Buffer* out) override;
+  Status GetRange(const std::string& key, uint64_t offset, uint64_t length,
+                  Buffer* out) override;
+  Status Head(const std::string& key, ObjectMeta* out) override;
+  Status List(const std::string& prefix,
+              std::vector<ObjectMeta>* out) override;
+  Status Delete(const std::string& key) override;
+
+  const Clock& clock() const override { return *clock_; }
+  const IoStats& stats() const override { return stats_; }
+
+ private:
+  std::string PathFor(const std::string& key) const;
+
+  std::string root_;
+  const Clock* clock_;
+  // Serializes PutIfAbsent (existence check + write) and key-space scans.
+  mutable std::mutex mu_;
+  IoStats stats_;
+};
+
+}  // namespace rottnest::objectstore
+
+#endif  // ROTTNEST_OBJECTSTORE_LOCAL_DISK_STORE_H_

@@ -1,0 +1,114 @@
+#include "objectstore/object_store.h"
+
+namespace rottnest::objectstore {
+
+Status InMemoryObjectStore::MaybeFail(const char* op, const std::string& key) {
+  // Caller holds mu_.
+  if (failure_point_) return failure_point_(op, key);
+  return Status::OK();
+}
+
+Status InMemoryObjectStore::Put(const std::string& key, Slice data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ROTTNEST_RETURN_NOT_OK(MaybeFail("put", key));
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
+  Entry& e = objects_[key];
+  e.data = data.ToBuffer();
+  e.created_micros = clock_->NowMicros();
+  return Status::OK();
+}
+
+Status InMemoryObjectStore::PutIfAbsent(const std::string& key, Slice data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ROTTNEST_RETURN_NOT_OK(MaybeFail("put_if_absent", key));
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  if (objects_.count(key) != 0) {
+    return Status::AlreadyExists("object exists: " + key);
+  }
+  stats_.bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
+  Entry& e = objects_[key];
+  e.data = data.ToBuffer();
+  e.created_micros = clock_->NowMicros();
+  return Status::OK();
+}
+
+Status InMemoryObjectStore::Get(const std::string& key, Buffer* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ROTTNEST_RETURN_NOT_OK(MaybeFail("get", key));
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("no such object: " + key);
+  *out = it->second.data;
+  stats_.bytes_read.fetch_add(out->size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status InMemoryObjectStore::GetRange(const std::string& key, uint64_t offset,
+                                     uint64_t length, Buffer* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ROTTNEST_RETURN_NOT_OK(MaybeFail("get", key));
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("no such object: " + key);
+  const Buffer& data = it->second.data;
+  if (offset > data.size()) {
+    return Status::InvalidArgument("range offset past end of object");
+  }
+  uint64_t avail = data.size() - offset;
+  uint64_t n = std::min<uint64_t>(length, avail);
+  out->assign(data.begin() + offset, data.begin() + offset + n);
+  stats_.bytes_read.fetch_add(n, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status InMemoryObjectStore::Head(const std::string& key, ObjectMeta* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ROTTNEST_RETURN_NOT_OK(MaybeFail("head", key));
+  stats_.heads.fetch_add(1, std::memory_order_relaxed);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("no such object: " + key);
+  out->key = key;
+  out->size = it->second.data.size();
+  out->created_micros = it->second.created_micros;
+  return Status::OK();
+}
+
+Status InMemoryObjectStore::List(const std::string& prefix,
+                                 std::vector<ObjectMeta>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ROTTNEST_RETURN_NOT_OK(MaybeFail("list", prefix));
+  stats_.lists.fetch_add(1, std::memory_order_relaxed);
+  out->clear();
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    ObjectMeta m;
+    m.key = it->first;
+    m.size = it->second.data.size();
+    m.created_micros = it->second.created_micros;
+    out->push_back(std::move(m));
+  }
+  return Status::OK();
+}
+
+Status InMemoryObjectStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ROTTNEST_RETURN_NOT_OK(MaybeFail("delete", key));
+  stats_.deletes.fetch_add(1, std::memory_order_relaxed);
+  objects_.erase(key);
+  return Status::OK();
+}
+
+uint64_t InMemoryObjectStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [k, e] : objects_) total += e.data.size();
+  return total;
+}
+
+size_t InMemoryObjectStore::ObjectCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+}  // namespace rottnest::objectstore

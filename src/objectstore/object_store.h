@@ -1,0 +1,151 @@
+// Object storage abstraction: the S3 substrate Rottnest runs on.
+//
+// The protocol's correctness (paper §IV-D) relies on exactly two storage
+// properties, both provided here:
+//   1. strong read-after-write consistency (a Get after a successful Put
+//      observes the object; List observes committed objects), and
+//   2. a single global clock stamping object creation times (used by the
+//      vacuum timeout rule).
+// Additionally, PutIfAbsent provides the conditional-put primitive used to
+// commit transaction-log versions (as in Delta on S3 with conditional
+// writes). No atomic rename is required anywhere.
+#ifndef ROTTNEST_OBJECTSTORE_OBJECT_STORE_H_
+#define ROTTNEST_OBJECTSTORE_OBJECT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace rottnest::objectstore {
+
+/// Metadata for a stored object.
+struct ObjectMeta {
+  std::string key;
+  uint64_t size = 0;
+  Micros created_micros = 0;  ///< Store-clock creation time.
+};
+
+/// Aggregate request counters, used for cost accounting ($ per request) and
+/// throughput-cap analysis (5500 GET RPS per prefix).
+struct IoStats {
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> puts{0};
+  std::atomic<uint64_t> lists{0};
+  std::atomic<uint64_t> deletes{0};
+  std::atomic<uint64_t> heads{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+
+  void Reset() {
+    gets = puts = lists = deletes = heads = 0;
+    bytes_read = bytes_written = 0;
+  }
+};
+
+/// Abstract object store. Implementations must be thread-safe.
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  /// Stores (or overwrites) `key`.
+  virtual Status Put(const std::string& key, Slice data) = 0;
+
+  /// Stores `key` only if it does not exist; AlreadyExists otherwise.
+  /// This is the commit primitive for transaction logs.
+  virtual Status PutIfAbsent(const std::string& key, Slice data) = 0;
+
+  /// Reads the whole object.
+  virtual Status Get(const std::string& key, Buffer* out) = 0;
+
+  /// Byte-range read of [offset, offset+length). Reading past the end is
+  /// truncated (like HTTP range requests); offset >= size is InvalidArgument.
+  virtual Status GetRange(const std::string& key, uint64_t offset,
+                          uint64_t length, Buffer* out) = 0;
+
+  /// Object metadata without the body.
+  virtual Status Head(const std::string& key, ObjectMeta* out) = 0;
+
+  /// Lists all objects whose key starts with `prefix`, sorted by key.
+  virtual Status List(const std::string& prefix,
+                      std::vector<ObjectMeta>* out) = 0;
+
+  /// Deletes the object. Deleting a missing key succeeds (idempotent).
+  virtual Status Delete(const std::string& key) = 0;
+
+  /// Store clock (global; stamps created_micros).
+  virtual const Clock& clock() const = 0;
+
+  /// Cumulative request counters.
+  virtual const IoStats& stats() const = 0;
+};
+
+/// Failure injection hook: called before each mutating/reading operation
+/// with the op name ("put", "get", ...) and key; returning non-OK makes the
+/// operation fail with that status. Used by protocol crash tests.
+using FailurePoint =
+    std::function<Status(const std::string& op, const std::string& key)>;
+
+/// In-memory object store with strong read-after-write consistency.
+///
+/// All operations are linearizable (single mutex). Object creation times
+/// come from the injected Clock, giving simulations a deterministic global
+/// clock.
+class InMemoryObjectStore : public ObjectStore {
+ public:
+  /// `clock` must outlive the store.
+  explicit InMemoryObjectStore(const Clock* clock) : clock_(clock) {}
+
+  Status Put(const std::string& key, Slice data) override;
+  Status PutIfAbsent(const std::string& key, Slice data) override;
+  Status Get(const std::string& key, Buffer* out) override;
+  Status GetRange(const std::string& key, uint64_t offset, uint64_t length,
+                  Buffer* out) override;
+  Status Head(const std::string& key, ObjectMeta* out) override;
+  Status List(const std::string& prefix,
+              std::vector<ObjectMeta>* out) override;
+  Status Delete(const std::string& key) override;
+
+  const Clock& clock() const override { return *clock_; }
+  const IoStats& stats() const override { return stats_; }
+  IoStats& mutable_stats() { return stats_; }
+
+  /// Installs (or clears, with nullptr semantics via empty function) the
+  /// failure-injection hook.
+  void SetFailurePoint(FailurePoint fp) {
+    std::lock_guard<std::mutex> lock(mu_);
+    failure_point_ = std::move(fp);
+  }
+
+  /// Total bytes currently stored (for storage-cost accounting).
+  uint64_t TotalBytes() const;
+
+  /// Number of objects currently stored.
+  size_t ObjectCount() const;
+
+ private:
+  struct Entry {
+    Buffer data;
+    Micros created_micros = 0;
+  };
+
+  Status MaybeFail(const char* op, const std::string& key);
+
+  const Clock* clock_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> objects_;
+  FailurePoint failure_point_;
+  IoStats stats_;
+};
+
+}  // namespace rottnest::objectstore
+
+#endif  // ROTTNEST_OBJECTSTORE_OBJECT_STORE_H_

@@ -1,0 +1,44 @@
+#include "objectstore/read_batch.h"
+
+#include <mutex>
+
+namespace rottnest::objectstore {
+
+Status ReadBatch(ObjectStore* store, const std::vector<RangeRequest>& requests,
+                 ThreadPool* pool, IoTrace* trace,
+                 std::vector<Buffer>* results) {
+  results->clear();
+  results->resize(requests.size());
+  if (requests.empty()) return Status::OK();
+  if (trace != nullptr) trace->BeginRound();
+
+  std::mutex err_mu;
+  Status first_error;
+
+  auto do_one = [&](size_t i) {
+    const RangeRequest& req = requests[i];
+    Buffer out;
+    Status s;
+    if (req.length == 0 && req.offset == 0) {
+      s = store->Get(req.key, &out);
+    } else {
+      s = store->GetRange(req.key, req.offset, req.length, &out);
+    }
+    if (s.ok()) {
+      if (trace != nullptr) trace->RecordGet(out.size());
+      (*results)[i] = std::move(out);
+    } else {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error.ok()) first_error = s;
+    }
+  };
+
+  if (pool != nullptr && requests.size() > 1) {
+    pool->ParallelFor(requests.size(), do_one);
+  } else {
+    for (size_t i = 0; i < requests.size(); ++i) do_one(i);
+  }
+  return first_error;
+}
+
+}  // namespace rottnest::objectstore

@@ -1,0 +1,33 @@
+// Parallel batched byte-range reads: the "width" primitive of §V-B. All
+// requests in one batch are issued concurrently and count as one dependent
+// round in the IoTrace.
+#ifndef ROTTNEST_OBJECTSTORE_READ_BATCH_H_
+#define ROTTNEST_OBJECTSTORE_READ_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "objectstore/io_trace.h"
+#include "objectstore/object_store.h"
+
+namespace rottnest::objectstore {
+
+/// One byte-range read request. length == 0 means "whole object".
+struct RangeRequest {
+  std::string key;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+/// Issues all `requests` concurrently on `pool` (or inline when pool is
+/// null), recording them as one round in `trace` (if non-null). Results are
+/// positionally aligned with requests. Returns the first error encountered,
+/// with all other requests still attempted.
+Status ReadBatch(ObjectStore* store, const std::vector<RangeRequest>& requests,
+                 ThreadPool* pool, IoTrace* trace,
+                 std::vector<Buffer>* results);
+
+}  // namespace rottnest::objectstore
+
+#endif  // ROTTNEST_OBJECTSTORE_READ_BATCH_H_

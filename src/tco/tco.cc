@@ -1,0 +1,209 @@
+#include "tco/tco.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rottnest::tco {
+
+namespace {
+constexpr double kGb = 1e9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+const char* ApproachName(Approach a) {
+  switch (a) {
+    case Approach::kCopyData:
+      return "copy-data";
+    case Approach::kBruteForce:
+      return "brute-force";
+    case Approach::kRottnest:
+      return "rottnest";
+  }
+  return "unknown";
+}
+
+double TcoCopyData(const CostParams& p, double months, double queries) {
+  (void)queries;  // Folded into the always-on cluster cost.
+  return p.cpm_i * months;
+}
+
+double TcoBruteForce(const CostParams& p, double months, double queries) {
+  return p.cpm_bf * months + p.cpq_bf * queries;
+}
+
+double TcoRottnest(const CostParams& p, double months, double queries) {
+  return p.ic_r + p.cpm_r * months + p.cpq_r * queries;
+}
+
+Approach Winner(const CostParams& p, double months, double queries) {
+  double copy = TcoCopyData(p, months, queries);
+  double bf = TcoBruteForce(p, months, queries);
+  double rn = TcoRottnest(p, months, queries);
+  if (rn <= bf && rn <= copy) return Approach::kRottnest;
+  if (bf <= copy) return Approach::kBruteForce;
+  return Approach::kCopyData;
+}
+
+PhaseDiagram ComputePhaseDiagram(const CostParams& p, double m_lo,
+                                 double m_hi, size_t m_steps, double q_lo,
+                                 double q_hi, size_t q_steps) {
+  PhaseDiagram d;
+  for (size_t i = 0; i < m_steps; ++i) {
+    double t = m_steps == 1 ? 0 : static_cast<double>(i) / (m_steps - 1);
+    d.months.push_back(m_lo * std::pow(m_hi / m_lo, t));
+  }
+  for (size_t i = 0; i < q_steps; ++i) {
+    double t = q_steps == 1 ? 0 : static_cast<double>(i) / (q_steps - 1);
+    d.queries.push_back(q_lo * std::pow(q_hi / q_lo, t));
+  }
+  d.winner.resize(m_steps * q_steps);
+  for (size_t qi = 0; qi < q_steps; ++qi) {
+    for (size_t mi = 0; mi < m_steps; ++mi) {
+      d.winner[qi * m_steps + mi] = Winner(p, d.months[mi], d.queries[qi]);
+    }
+  }
+  return d;
+}
+
+Boundaries ComputeBoundaries(const CostParams& p, double months, double q_lo,
+                             double q_hi) {
+  Boundaries b;
+  b.months = months;
+
+  // Rottnest vs brute force: TCO difference is linear in queries —
+  //   (ic_r + cpm_r m) - cpm_bf m = (cpq_bf - cpq_r) q  at the boundary.
+  double fixed_gap = (p.ic_r + p.cpm_r * months) - p.cpm_bf * months;
+  double per_query_gain = p.cpq_bf - p.cpq_r;
+  if (per_query_gain <= 0) {
+    b.bf_to_rottnest = fixed_gap <= 0 ? 0 : kInf;
+  } else if (fixed_gap <= 0) {
+    b.bf_to_rottnest = 0;  // Rottnest cheaper even at zero queries.
+  } else {
+    b.bf_to_rottnest = fixed_gap / per_query_gain;
+  }
+
+  // Rottnest vs copy-data: cpm_i m = ic_r + cpm_r m + cpq_r q.
+  double budget = p.cpm_i * months - p.ic_r - p.cpm_r * months;
+  if (p.cpq_r <= 0) {
+    b.rottnest_to_copy = budget >= 0 ? kInf : 0;
+  } else if (budget < 0) {
+    b.rottnest_to_copy = 0;  // Copy-data already cheaper at zero queries.
+  } else {
+    b.rottnest_to_copy = budget / p.cpq_r;
+  }
+  (void)q_lo;
+  (void)q_hi;
+  return b;
+}
+
+double RottnestOnsetMonths(const CostParams& p, double q_lo, double q_hi) {
+  // Scan log-spaced months for the first where a Rottnest-winning query
+  // count exists.
+  for (double m = 1e-3; m <= 1e3; m *= 1.02) {
+    Boundaries b = ComputeBoundaries(p, m, q_lo, q_hi);
+    if (b.bf_to_rottnest < b.rottnest_to_copy &&
+        b.bf_to_rottnest < kInf) {
+      // Verify with an actual winner evaluation mid-band.
+      double q = b.bf_to_rottnest == 0
+                     ? std::min(1.0, b.rottnest_to_copy / 2)
+                     : b.bf_to_rottnest * 1.01;
+      if (Winner(p, m, q) == Approach::kRottnest) return m;
+    }
+  }
+  return kInf;
+}
+
+double RottnestBandOrders(const CostParams& p, double months) {
+  Boundaries b = ComputeBoundaries(p, months);
+  double lo = std::max(b.bf_to_rottnest, 1.0);
+  double hi = b.rottnest_to_copy;
+  if (!(hi > lo)) return 0;
+  if (hi == kInf) return kInf;
+  return std::log10(hi / lo);
+}
+
+std::string RenderPhaseDiagram(const PhaseDiagram& d) {
+  // Rows top-down from the highest query count (like the paper's axes).
+  std::string out;
+  for (size_t qi = d.queries.size(); qi-- > 0;) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%8.1e | ", d.queries[qi]);
+    out += buf;
+    for (size_t mi = 0; mi < d.months.size(); ++mi) {
+      switch (d.At(qi, mi)) {
+        case Approach::kCopyData:
+          out += 'C';
+          break;
+        case Approach::kBruteForce:
+          out += 'B';
+          break;
+        case Approach::kRottnest:
+          out += 'R';
+          break;
+      }
+    }
+    out += '\n';
+  }
+  out += "  queries +-";
+  out.append(d.months.size(), '-');
+  out += "\n            months ";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2g .. %.2g\n", d.months.front(),
+                d.months.back());
+  out += buf;
+  return out;
+}
+
+std::string PhaseDiagramCsv(const PhaseDiagram& d) {
+  std::string out = "months,queries,winner\n";
+  for (size_t qi = 0; qi < d.queries.size(); ++qi) {
+    for (size_t mi = 0; mi < d.months.size(); ++mi) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%.6g,%.6g,%s\n", d.months[mi],
+                    d.queries[qi], ApproachName(d.At(qi, mi)));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+CostParams DeriveCostParams(const MeasuredWorkload& m, const Pricing& price,
+                            double scale_factor) {
+  CostParams p;
+  double data_gb = m.data_bytes * scale_factor / kGb;
+  double index_gb = m.index_bytes * scale_factor / kGb;
+
+  // Copy-data: 3 always-on nodes sized to hold the copy (one node per
+  // 256 GB of copy, min 3 replicas as in the paper's 3-node clusters) plus
+  // EBS for 3 index replicas.
+  double node_hourly =
+      m.vector_service ? price.r6g_xlarge_hourly : price.r6g_large_hourly;
+  double copy_gb = m.copy_memory_bytes * scale_factor / kGb;
+  double nodes = std::max(3.0, std::ceil(copy_gb / 256.0) * 3.0);
+  p.cpm_i = nodes * node_hourly * price.hours_per_month +
+            3.0 * copy_gb * price.ebs_gb_month;
+
+  // Brute force: S3 storage of the compressed data; queries on the worker
+  // cluster (latency x cluster hourly cost), scan work scaling with data.
+  p.cpm_bf = data_gb * price.s3_gb_month;
+  double bf_cluster_hourly =
+      static_cast<double>(m.brute_force_workers) * price.r6i_4xlarge_hourly;
+  p.cpq_bf = m.brute_force_query_s * bf_cluster_hourly / 3600.0;
+
+  // Rottnest: index build compute (single instance), storage of data +
+  // index, single-instance queries. Post-compaction query latency is
+  // ~scale-invariant (§VII-D2), so cpq_r does NOT scale.
+  p.ic_r = m.index_build_s * scale_factor * price.r6i_4xlarge_hourly / 3600.0;
+  p.cpm_r = (data_gb + index_gb) * price.s3_gb_month;
+  p.cpq_r = m.rottnest_query_s * price.r6i_4xlarge_hourly / 3600.0 +
+            m.rottnest_gets_per_query * price.s3_get_per_million / 1e6;
+  return p;
+}
+
+double RottnestMaxQps(double gets_per_query, double max_get_rps_per_prefix) {
+  if (gets_per_query <= 0) return kInf;
+  return max_get_rps_per_prefix / gets_per_query;
+}
+
+}  // namespace rottnest::tco

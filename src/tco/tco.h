@@ -1,0 +1,130 @@
+// TCO evaluation framework (paper §VI): total cost of ownership of the
+// three approaches — copy-data, brute-force, and Rottnest — as a function
+// of operating duration (months) and total normalized query count, plus the
+// phase-diagram computation behind Figs 7, 9, 11 and 12.
+#ifndef ROTTNEST_TCO_TCO_H_
+#define ROTTNEST_TCO_TCO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rottnest::tco {
+
+/// AWS price constants used throughout the evaluation (us-east-1,
+/// on-demand, 2024/25 price book — the paper's configuration).
+struct Pricing {
+  double r6i_4xlarge_hourly = 1.008;   ///< Brute-force worker (16 vCPU).
+  double r6g_large_hourly = 0.1008;    ///< Copy-data cluster node.
+  double r6g_xlarge_hourly = 0.2016;   ///< LanceDB node (vector).
+  double s3_gb_month = 0.023;          ///< Object-storage $/GB-month.
+  double ebs_gb_month = 0.08;          ///< gp3 EBS $/GB-month (copy data).
+  double s3_get_per_million = 0.40;
+  double hours_per_month = 730.0;
+};
+
+/// The six model parameters of §VI (all USD).
+struct CostParams {
+  double cpm_i = 0;   ///< Copy-data: $/month (always-on cluster + EBS x3).
+  double cpm_bf = 0;  ///< Brute force: $/month (S3 storage of the data).
+  double cpq_bf = 0;  ///< Brute force: $/query.
+  double ic_r = 0;    ///< Rottnest: one-time indexing cost.
+  double cpm_r = 0;   ///< Rottnest: $/month (data + index storage).
+  double cpq_r = 0;   ///< Rottnest: $/query.
+};
+
+/// The three contenders.
+enum class Approach : int {
+  kCopyData = 0,
+  kBruteForce = 1,
+  kRottnest = 2,
+};
+
+const char* ApproachName(Approach a);
+
+/// TCO of each approach at (months, queries), per the §VI formulas.
+double TcoCopyData(const CostParams& p, double months, double queries);
+double TcoBruteForce(const CostParams& p, double months, double queries);
+double TcoRottnest(const CostParams& p, double months, double queries);
+
+/// The approach with the lowest TCO at (months, queries).
+Approach Winner(const CostParams& p, double months, double queries);
+
+/// A log-log grid of winners: the phase diagram of Figs 7/9.
+struct PhaseDiagram {
+  std::vector<double> months;   ///< Grid columns (log-spaced).
+  std::vector<double> queries;  ///< Grid rows (log-spaced).
+  std::vector<Approach> winner; ///< Row-major [query][month].
+
+  Approach At(size_t qi, size_t mi) const {
+    return winner[qi * months.size() + mi];
+  }
+};
+
+/// Computes the winner grid over months in [m_lo, m_hi] and queries in
+/// [q_lo, q_hi], both log-spaced with the given resolution.
+PhaseDiagram ComputePhaseDiagram(const CostParams& p, double m_lo,
+                                 double m_hi, size_t m_steps, double q_lo,
+                                 double q_hi, size_t q_steps);
+
+/// Phase boundaries at one month column: the query counts where the winner
+/// changes (e.g. brute-force -> Rottnest -> copy-data), found by bisection.
+struct Boundaries {
+  double months = 0;
+  /// Query count above which Rottnest beats brute force (or +inf if never,
+  /// 0 if always).
+  double bf_to_rottnest = 0;
+  /// Query count above which copy-data beats Rottnest (+inf if never).
+  double rottnest_to_copy = 0;
+};
+
+Boundaries ComputeBoundaries(const CostParams& p, double months,
+                             double q_lo = 1e-2, double q_hi = 1e12);
+
+/// Earliest operating time (months) at which Rottnest wins anywhere on the
+/// query axis — the "break-even" onset (e.g. the ~1-2 days of §VII-B1).
+double RottnestOnsetMonths(const CostParams& p, double q_lo = 1e-2,
+                           double q_hi = 1e12);
+
+/// Width (in orders of magnitude of query count) of the Rottnest-optimal
+/// band at `months` — the "spans 4 orders of magnitude" metric.
+double RottnestBandOrders(const CostParams& p, double months);
+
+/// Renders an ASCII phase diagram (one char per cell: C/B/R).
+std::string RenderPhaseDiagram(const PhaseDiagram& diagram);
+
+/// CSV rows "months,queries,winner" for external plotting.
+std::string PhaseDiagramCsv(const PhaseDiagram& diagram);
+
+// -- Parameter derivation -----------------------------------------------------
+
+/// Inputs measured from the simulation; converted into CostParams.
+struct MeasuredWorkload {
+  double data_bytes = 0;          ///< Compressed data size on S3.
+  double index_bytes = 0;         ///< Rottnest index size on S3.
+  double rottnest_query_s = 0;    ///< Projected single-instance latency.
+  double rottnest_gets_per_query = 0;
+  /// Per-query brute-force latency AT TARGET SCALE (compute it with
+  /// baseline::BruteForceScanSeconds on the scaled byte count; it is NOT
+  /// multiplied by scale_factor).
+  double brute_force_query_s = 0;
+  size_t brute_force_workers = 8;
+  double index_build_s = 0;       ///< Compute time to build + compact.
+  double copy_memory_bytes = 0;   ///< RAM footprint of the dedicated copy.
+  bool vector_service = false;    ///< Copy-data uses r6g.xlarge (LanceDB).
+};
+
+/// Derives the §VI cost parameters from measurements, scaled so that the
+/// modeled dataset represents `scale_factor` x the measured one (costs that
+/// are linear in data size scale; cpq_r stays constant post-compaction, the
+/// §VII-D2 observation).
+CostParams DeriveCostParams(const MeasuredWorkload& m, const Pricing& price,
+                            double scale_factor = 1.0);
+
+/// §VII-D3: the S3 request-rate throughput ceiling on Rottnest QPS.
+double RottnestMaxQps(double gets_per_query,
+                      double max_get_rps_per_prefix = 5500.0);
+
+}  // namespace rottnest::tco
+
+#endif  // ROTTNEST_TCO_TCO_H_

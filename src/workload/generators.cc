@@ -1,0 +1,164 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace rottnest::workload {
+
+namespace {
+
+// Pronounceable word from a hash: consonant-vowel syllables.
+std::string WordFromHash(uint64_t h, size_t syllables) {
+  static const char* kConsonants = "bcdfghjklmnprstvwz";
+  static const char* kVowels = "aeiou";
+  std::string word;
+  for (size_t s = 0; s < syllables; ++s) {
+    word.push_back(kConsonants[h % 18]);
+    h /= 18;
+    word.push_back(kVowels[h % 5]);
+    h /= 5;
+    if (h == 0) h = Mix64(s + 1);
+  }
+  return word;
+}
+
+}  // namespace
+
+TextGenerator::TextGenerator(uint64_t seed, size_t vocabulary) : rng_(seed) {
+  vocabulary_.reserve(vocabulary);
+  for (size_t i = 0; i < vocabulary; ++i) {
+    vocabulary_.push_back(WordFromHash(Mix64(seed * 131 + i), 2 + i % 3));
+  }
+}
+
+std::string TextGenerator::Document(size_t target_chars) {
+  std::string doc;
+  doc.reserve(target_chars + 32);
+  size_t sentence_words = 0;
+  while (doc.size() < target_chars) {
+    doc += vocabulary_[rng_.NextZipf(vocabulary_.size(), 1.1)];
+    if (++sentence_words >= 6 + rng_.Uniform(10)) {
+      doc += ". ";
+      sentence_words = 0;
+    } else {
+      doc.push_back(' ');
+    }
+  }
+  return doc;
+}
+
+std::string TextGenerator::SamplePattern(int words) {
+  std::string pattern;
+  for (int w = 0; w < words; ++w) {
+    if (w > 0) pattern.push_back(' ');
+    // Bias toward the mid-frequency band: frequent enough to occur,
+    // selective enough to be a real search.
+    size_t rank = 8 + rng_.Uniform(std::min<size_t>(120, vocabulary_.size() - 8));
+    pattern += vocabulary_[rank];
+  }
+  return pattern;
+}
+
+std::string TextGenerator::MissingPattern() {
+  return "zzqxv" + WordFromHash(rng_.Next(), 4) + "xqzzv";
+}
+
+std::string UuidGenerator::IdFor(uint64_t i) const {
+  std::string id(hash_bytes_, '\0');
+  // Seed-dependent but ordinal-stable.
+  uint64_t base = Hash64(reinterpret_cast<const uint8_t*>(&i), 8,
+                         /*seed=*/0x9e3779b9 ^ hash_bytes_);
+  for (size_t b = 0; b < hash_bytes_; b += 8) {
+    uint64_t word = Mix64(base + b / 8);
+    for (size_t j = 0; j < 8 && b + j < hash_bytes_; ++j) {
+      id[b + j] = static_cast<char>(word >> (8 * j));
+    }
+  }
+  return id;
+}
+
+VectorGenerator::VectorGenerator(uint64_t seed, uint32_t dim,
+                                 uint32_t clusters)
+    : seed_(seed), dim_(dim), clusters_(clusters) {
+  Random rng(seed * 977 + 5);
+  centers_.resize(static_cast<size_t>(clusters) * dim);
+  for (auto& c : centers_) {
+    c = static_cast<float>(rng.NextGaussian() * 25.0);
+  }
+}
+
+std::vector<float> VectorGenerator::VectorFor(uint64_t i) const {
+  Random rng(Mix64(seed_ * 31 + i));
+  uint32_t cluster = static_cast<uint32_t>(Mix64(i) % clusters_);
+  std::vector<float> v(dim_);
+  for (uint32_t d = 0; d < dim_; ++d) {
+    v[d] = centers_[static_cast<size_t>(cluster) * dim_ + d] +
+           static_cast<float>(rng.NextGaussian());
+  }
+  return v;
+}
+
+std::vector<float> VectorGenerator::QueryNear(uint64_t i,
+                                              double jitter) const {
+  std::vector<float> v = VectorFor(i);
+  Random rng(Mix64(i * 7919 + seed_));
+  for (auto& x : v) x += static_cast<float>(rng.NextGaussian() * jitter);
+  return v;
+}
+
+format::Schema DatasetSchema(const DatasetSpec& spec) {
+  format::Schema s;
+  s.columns.push_back({"ts", format::PhysicalType::kInt64, 0});
+  s.columns.push_back({"uuid", format::PhysicalType::kFixedLenByteArray,
+                       static_cast<uint32_t>(spec.uuid_bytes)});
+  s.columns.push_back({"body", format::PhysicalType::kByteArray, 0});
+  s.columns.push_back({"vec", format::PhysicalType::kFixedLenByteArray,
+                       spec.vector_dim * 4});
+  return s;
+}
+
+Result<std::unique_ptr<lake::Table>> BuildDataset(
+    objectstore::ObjectStore* store, const std::string& root,
+    const DatasetSpec& spec, format::WriterOptions writer_options) {
+  ROTTNEST_ASSIGN_OR_RETURN(
+      std::unique_ptr<lake::Table> table,
+      lake::Table::Create(store, root, DatasetSchema(spec), writer_options));
+
+  TextGenerator text(spec.seed);
+  UuidGenerator uuids(spec.seed, spec.uuid_bytes);
+  VectorGenerator vectors(spec.seed, spec.vector_dim);
+
+  uint64_t row = 0;
+  for (size_t f = 0; f < spec.num_files; ++f) {
+    uint64_t rows_in_file =
+        spec.total_rows / spec.num_files +
+        (f < spec.total_rows % spec.num_files ? 1 : 0);
+    format::RowBatch batch;
+    batch.schema = DatasetSchema(spec);
+    format::ColumnVector::Ints ts;
+    format::FlatFixed ids;
+    ids.elem_size = static_cast<uint32_t>(spec.uuid_bytes);
+    format::ColumnVector::Strings bodies;
+    format::FlatFixed vecs;
+    vecs.elem_size = spec.vector_dim * 4;
+    for (uint64_t i = 0; i < rows_in_file; ++i, ++row) {
+      ts.push_back(static_cast<int64_t>(1'700'000'000 + row));
+      std::string id = uuids.IdFor(row);
+      ids.Append(Slice(id));
+      bodies.push_back(text.Document(spec.doc_chars));
+      std::vector<float> v = vectors.VectorFor(row);
+      vecs.Append(Slice(reinterpret_cast<const uint8_t*>(v.data()),
+                        v.size() * 4));
+    }
+    batch.columns.emplace_back(std::move(ts));
+    batch.columns.emplace_back(std::move(ids));
+    batch.columns.emplace_back(std::move(bodies));
+    batch.columns.emplace_back(std::move(vecs));
+    auto appended = table->Append(batch);
+    if (!appended.ok()) return appended.status();
+  }
+  return table;
+}
+
+}  // namespace rottnest::workload

@@ -1,0 +1,104 @@
+// Synthetic workload generators standing in for the paper's datasets:
+// FineWeb/C4 web text -> Zipfian web-like text; 2B enterprise hashes ->
+// uniform random hashes; SIFT-1B -> clustered Gaussian-mixture vectors.
+// All deterministic under a seed so experiments reproduce exactly.
+#ifndef ROTTNEST_WORKLOAD_GENERATORS_H_
+#define ROTTNEST_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "format/types.h"
+#include "lake/table.h"
+
+namespace rottnest::workload {
+
+/// Web-like text: Zipf-distributed vocabulary, sentence structure, document
+/// lengths mirroring crawl data. Used for the substring-search workload.
+class TextGenerator {
+ public:
+  explicit TextGenerator(uint64_t seed, size_t vocabulary = 8192);
+
+  /// One document of roughly `target_chars` characters.
+  std::string Document(size_t target_chars);
+
+  /// A substring-search pattern sampled from the generated vocabulary
+  /// (guaranteed to have non-trivial selectivity).
+  std::string SamplePattern(int words = 2);
+
+  /// A pattern that almost surely does not occur.
+  std::string MissingPattern();
+
+ private:
+  Random rng_;
+  std::vector<std::string> vocabulary_;
+};
+
+/// High-cardinality identifiers: `hash_bytes`-byte uniform random values
+/// (16 for UUIDs, 128 to mirror the paper's hash workload).
+class UuidGenerator {
+ public:
+  UuidGenerator(uint64_t seed, size_t hash_bytes = 16)
+      : rng_(seed), hash_bytes_(hash_bytes) {}
+
+  /// The id for ordinal `i` — stable, so queries can target known rows.
+  std::string IdFor(uint64_t i) const;
+
+  size_t hash_bytes() const { return hash_bytes_; }
+
+ private:
+  Random rng_;
+  size_t hash_bytes_;
+};
+
+/// SIFT-like vectors: a mixture of `clusters` Gaussians in `dim`
+/// dimensions; real embedding collections are similarly clustered, which is
+/// what gives IVF indices their advantage.
+class VectorGenerator {
+ public:
+  VectorGenerator(uint64_t seed, uint32_t dim = 128, uint32_t clusters = 64);
+
+  /// The vector for ordinal `i` (deterministic).
+  std::vector<float> VectorFor(uint64_t i) const;
+
+  /// A query vector near (but not equal to) vector `i`.
+  std::vector<float> QueryNear(uint64_t i, double jitter = 0.3) const;
+
+  uint32_t dim() const { return dim_; }
+
+ private:
+  uint64_t seed_;
+  uint32_t dim_;
+  uint32_t clusters_;
+  std::vector<float> centers_;
+};
+
+/// Populates a lake table (schema: ts, uuid, body, vec) with `total_rows`
+/// across `num_files` files. Returns the per-column generators' seeds via
+/// the fixed seed convention so searches can target known rows.
+struct DatasetSpec {
+  uint64_t total_rows = 10000;
+  size_t num_files = 4;
+  uint64_t seed = 42;
+  size_t doc_chars = 400;    ///< Text column chars per row.
+  uint32_t vector_dim = 32;  ///< Kept small for laptop-scale runs.
+  size_t uuid_bytes = 16;
+};
+
+/// The canonical experiment schema.
+format::Schema DatasetSchema(const DatasetSpec& spec);
+
+/// Creates and fills a table at `root`. Rows are numbered 0..total_rows-1;
+/// row i has uuid UuidGenerator(seed).IdFor(i), text from
+/// TextGenerator(seed + file hash...), and vector VectorGenerator(seed).
+Result<std::unique_ptr<lake::Table>> BuildDataset(
+    objectstore::ObjectStore* store, const std::string& root,
+    const DatasetSpec& spec,
+    format::WriterOptions writer_options = format::WriterOptions{});
+
+}  // namespace rottnest::workload
+
+#endif  // ROTTNEST_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,54 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace rottnest {
+namespace {
+
+TEST(HashTest, Deterministic) {
+  std::string data = "the quick brown fox";
+  EXPECT_EQ(Hash64(Slice(data)), Hash64(Slice(data)));
+}
+
+TEST(HashTest, SeedChangesResult) {
+  std::string data = "payload";
+  EXPECT_NE(Hash64(Slice(data), 0), Hash64(Slice(data), 1));
+}
+
+TEST(HashTest, EmptyInputIsStable) {
+  EXPECT_EQ(Hash64(nullptr, 0), Hash64(nullptr, 0));
+}
+
+TEST(HashTest, AllLengthsUpTo128DontCollideTrivially) {
+  // Exercises every tail-handling path (0..31 bytes and the 32-byte loop).
+  std::set<uint64_t> seen;
+  std::string data(128, '\0');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i);
+  for (size_t len = 0; len <= 128; ++len) {
+    seen.insert(Hash64(reinterpret_cast<const uint8_t*>(data.data()), len));
+  }
+  EXPECT_EQ(seen.size(), 129u);
+}
+
+TEST(HashTest, SingleBitFlipsChangeHash) {
+  std::string a(64, 'a');
+  uint64_t base = Hash64(Slice(a));
+  for (size_t i = 0; i < a.size(); ++i) {
+    std::string b = a;
+    b[i] ^= 1;
+    EXPECT_NE(Hash64(Slice(b)), base) << "byte " << i;
+  }
+}
+
+TEST(HashTest, Mix64IsBijectiveish) {
+  // Distinct small inputs must map to distinct outputs.
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) seen.insert(Mix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace rottnest

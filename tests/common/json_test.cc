@@ -1,0 +1,118 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace rottnest {
+namespace {
+
+TEST(JsonTest, DumpScalars) {
+  EXPECT_EQ(Json(nullptr).Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(int64_t{42}).Dump(), "42");
+  EXPECT_EQ(Json(int64_t{-7}).Dump(), "-7");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, DumpObjectSortedKeys) {
+  Json::Object obj;
+  obj["zeta"] = Json(1);
+  obj["alpha"] = Json(2);
+  Json j(std::move(obj));
+  EXPECT_EQ(j.Dump(), "{\"alpha\":2,\"zeta\":1}");
+}
+
+TEST(JsonTest, DumpNested) {
+  Json::Object inner;
+  inner["path"] = Json("a.parquet");
+  inner["rows"] = Json(int64_t{100});
+  Json::Array arr;
+  arr.push_back(Json(std::move(inner)));
+  Json::Object root;
+  root["add"] = Json(std::move(arr));
+  Json j(std::move(root));
+  EXPECT_EQ(j.Dump(), "{\"add\":[{\"path\":\"a.parquet\",\"rows\":100}]}");
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  const char* text =
+      "{\"add\":[{\"path\":\"a.parquet\",\"rows\":100}],"
+      "\"flag\":true,\"nothing\":null,\"pi\":3.5}";
+  auto r = Json::Parse(text);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().Dump(), text);
+}
+
+TEST(JsonTest, ParseEscapes) {
+  auto r = Json::Parse("\"line\\nbreak \\\"quoted\\\" back\\\\slash\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().AsString(), "line\nbreak \"quoted\" back\\slash");
+}
+
+TEST(JsonTest, ParseUnicodeEscape) {
+  auto r = Json::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().AsString(), "A\xc3\xa9");
+}
+
+TEST(JsonTest, EscapeRoundTrip) {
+  Json j(std::string("a\"b\\c\nd\te\x01f"));
+  auto r = Json::Parse(j.Dump());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().AsString(), j.AsString());
+}
+
+TEST(JsonTest, ParseNegativeAndLargeInts) {
+  auto r = Json::Parse("[-9223372036854775808,9223372036854775807,0]");
+  ASSERT_TRUE(r.ok());
+  const auto& arr = r.value().AsArray();
+  EXPECT_EQ(arr[0].AsInt(), INT64_MIN);
+  EXPECT_EQ(arr[1].AsInt(), INT64_MAX);
+  EXPECT_EQ(arr[2].AsInt(), 0);
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\"}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("{} extra").ok());
+}
+
+TEST(JsonTest, TypedGetters) {
+  auto r = Json::Parse(
+      "{\"name\":\"idx\",\"rows\":42,\"ok\":true,\"files\":[\"a\",\"b\"]}");
+  ASSERT_TRUE(r.ok());
+  const Json& j = r.value();
+
+  std::string name;
+  ASSERT_TRUE(j.GetString("name", &name).ok());
+  EXPECT_EQ(name, "idx");
+
+  int64_t rows;
+  ASSERT_TRUE(j.GetInt("rows", &rows).ok());
+  EXPECT_EQ(rows, 42);
+
+  bool ok;
+  ASSERT_TRUE(j.GetBool("ok", &ok).ok());
+  EXPECT_TRUE(ok);
+
+  Json::Array files;
+  ASSERT_TRUE(j.GetArray("files", &files).ok());
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[1].AsString(), "b");
+
+  EXPECT_TRUE(j.GetString("missing", &name).IsInvalidArgument());
+  EXPECT_TRUE(j.GetInt("name", &rows).IsInvalidArgument());
+}
+
+TEST(JsonTest, GetOnNonObjectReturnsFalse) {
+  Json j(int64_t{5});
+  Json out;
+  EXPECT_FALSE(j.Get("key", &out));
+}
+
+}  // namespace
+}  // namespace rottnest

@@ -1,0 +1,97 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace rottnest {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing.parquet");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing.parquet");
+  EXPECT_EQ(s.ToString(), "NotFound: missing.parquet");
+}
+
+TEST(StatusTest, AllConstructorsMapToPredicates) {
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IOError("disk on fire"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = r.MoveValue();
+  EXPECT_EQ(v, "payload");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnNotOk(int x, int* out) {
+  ROTTNEST_RETURN_NOT_OK(FailIfNegative(x));
+  *out = x * 2;
+  return Status::OK();
+}
+
+TEST(MacroTest, ReturnNotOkPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UsesReturnNotOk(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  EXPECT_TRUE(UsesReturnNotOk(-1, &out).IsInvalidArgument());
+}
+
+Result<int> MakeValue(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return x + 1;
+}
+
+Status UsesAssignOrReturn(int x, int* out) {
+  ROTTNEST_ASSIGN_OR_RETURN(int v, MakeValue(x));
+  *out = v;
+  return Status::OK();
+}
+
+TEST(MacroTest, AssignOrReturn) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(7, &out).ok());
+  EXPECT_EQ(out, 8);
+  EXPECT_TRUE(UsesAssignOrReturn(-2, &out).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace rottnest

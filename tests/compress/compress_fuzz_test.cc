@@ -1,0 +1,113 @@
+// Fuzz-style robustness: decompressors must reject (never crash on)
+// arbitrarily corrupted input, and compressors must round-trip adversarial
+// entropy profiles.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "compress/lz.h"
+
+namespace rottnest::compress {
+namespace {
+
+TEST(LzFuzzTest, RandomCorruptionNeverCrashes) {
+  Random rng(2025);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Produce a legitimate block, then corrupt it.
+    size_t n = 64 + rng.Uniform(4096);
+    Buffer input(n);
+    for (auto& b : input) {
+      b = static_cast<uint8_t>('a' + rng.Uniform(4));  // compressible
+    }
+    Buffer compressed = LzCompress(Slice(input));
+    Buffer corrupt = compressed;
+    int flips = 1 + static_cast<int>(rng.Uniform(8));
+    for (int f = 0; f < flips; ++f) {
+      corrupt[rng.Uniform(corrupt.size())] ^=
+          static_cast<uint8_t>(1 + rng.Uniform(255));
+    }
+    Buffer out;
+    Status s = LzDecompress(Slice(corrupt), input.size(), &out);
+    // Either it detects corruption, or the flip was in literal bytes and
+    // decoding "succeeds" with different content — both acceptable; the
+    // page layer's checksum catches the latter. Crashing is the only
+    // failure mode.
+    if (s.ok()) {
+      EXPECT_EQ(out.size(), input.size());
+    }
+  }
+}
+
+TEST(LzFuzzTest, RandomGarbageInputNeverCrashes) {
+  Random rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t n = 1 + rng.Uniform(2048);
+    Buffer garbage(n);
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.Next());
+    Buffer out;
+    (void)LzDecompress(Slice(garbage), 1 + rng.Uniform(8192), &out);
+  }
+}
+
+TEST(LzFuzzTest, AdversarialEntropyProfilesRoundTrip) {
+  Random rng(31);
+  for (int trial = 0; trial < 60; ++trial) {
+    Buffer input;
+    int segments = 1 + static_cast<int>(rng.Uniform(12));
+    for (int s = 0; s < segments; ++s) {
+      size_t len = rng.Uniform(8000);
+      switch (rng.Uniform(5)) {
+        case 0:  // constant run
+          input.insert(input.end(), len, static_cast<uint8_t>(rng.Next()));
+          break;
+        case 1:  // random bytes
+          for (size_t i = 0; i < len; ++i) {
+            input.push_back(static_cast<uint8_t>(rng.Next()));
+          }
+          break;
+        case 2: {  // short period
+          size_t period = 1 + rng.Uniform(7);
+          for (size_t i = 0; i < len; ++i) {
+            input.push_back(static_cast<uint8_t>('A' + i % period));
+          }
+          break;
+        }
+        case 3: {  // copy of an earlier window (long-range match)
+          if (!input.empty()) {
+            size_t start = rng.Uniform(input.size());
+            size_t copy = std::min(len, input.size() - start);
+            // Note: iterators into the same vector — reserve to avoid
+            // reallocation during self-append.
+            input.reserve(input.size() + copy);
+            for (size_t i = 0; i < copy; ++i) {
+              input.push_back(input[start + i]);
+            }
+          }
+          break;
+        }
+        default:  // ascii-ish text
+          for (size_t i = 0; i < len; ++i) {
+            input.push_back(static_cast<uint8_t>(' ' + rng.Uniform(94)));
+          }
+      }
+    }
+    Buffer compressed = LzCompress(Slice(input));
+    Buffer out;
+    ASSERT_TRUE(LzDecompress(Slice(compressed), input.size(), &out).ok())
+        << "trial " << trial << " n=" << input.size();
+    ASSERT_EQ(out, input) << "trial " << trial;
+  }
+}
+
+TEST(LzFuzzTest, AllByteValuesRoundTrip) {
+  Buffer input;
+  for (int rep = 0; rep < 64; ++rep) {
+    for (int b = 0; b < 256; ++b) input.push_back(static_cast<uint8_t>(b));
+  }
+  Buffer compressed = LzCompress(Slice(input));
+  Buffer out;
+  ASSERT_TRUE(LzDecompress(Slice(compressed), input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+}  // namespace
+}  // namespace rottnest::compress

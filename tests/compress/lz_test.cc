@@ -1,0 +1,190 @@
+#include "compress/lz.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+
+namespace rottnest::compress {
+namespace {
+
+Buffer MakeBuffer(const std::string& s) {
+  return Buffer(s.begin(), s.end());
+}
+
+void ExpectRoundTrip(const Buffer& input) {
+  Buffer compressed = LzCompress(Slice(input));
+  Buffer out;
+  Status s = LzDecompress(Slice(compressed), input.size(), &out);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(out, input);
+}
+
+TEST(LzTest, Empty) { ExpectRoundTrip({}); }
+
+TEST(LzTest, TinyInputs) {
+  for (size_t n = 1; n <= 20; ++n) {
+    Buffer input(n);
+    for (size_t i = 0; i < n; ++i) input[i] = static_cast<uint8_t>(i * 37);
+    ExpectRoundTrip(input);
+  }
+}
+
+TEST(LzTest, HighlyRepetitiveCompressesWell) {
+  Buffer input = MakeBuffer(std::string(100000, 'a'));
+  Buffer compressed = LzCompress(Slice(input));
+  EXPECT_LT(compressed.size(), input.size() / 50);
+  Buffer out;
+  ASSERT_TRUE(LzDecompress(Slice(compressed), input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(LzTest, RepeatedPhraseCompresses) {
+  std::string phrase = "the data lake stores parquet files on object storage ";
+  std::string text;
+  for (int i = 0; i < 1000; ++i) text += phrase;
+  Buffer input = MakeBuffer(text);
+  Buffer compressed = LzCompress(Slice(input));
+  EXPECT_LT(compressed.size(), input.size() / 10);
+  ExpectRoundTrip(input);
+}
+
+TEST(LzTest, RandomBytesRoundTrip) {
+  Random rng(5);
+  Buffer input(65536);
+  for (auto& b : input) b = static_cast<uint8_t>(rng.Next());
+  Buffer compressed = LzCompress(Slice(input));
+  // Incompressible data must not expand much.
+  EXPECT_LT(compressed.size(), input.size() + input.size() / 128 + 64);
+  ExpectRoundTrip(input);
+}
+
+TEST(LzTest, MixedEntropyRoundTrip) {
+  Random rng(9);
+  Buffer input;
+  for (int block = 0; block < 50; ++block) {
+    if (block % 2 == 0) {
+      uint8_t c = static_cast<uint8_t>(rng.Next());
+      input.insert(input.end(), 500 + rng.Uniform(2000), c);
+    } else {
+      for (size_t i = rng.Uniform(3000); i > 0; --i) {
+        input.push_back(static_cast<uint8_t>(rng.Next()));
+      }
+    }
+  }
+  ExpectRoundTrip(input);
+}
+
+TEST(LzTest, LongMatchesAndLongLiterals) {
+  // > 255-byte extended lengths on both sides.
+  Random rng(11);
+  Buffer input;
+  for (int i = 0; i < 5000; ++i) {
+    input.push_back(static_cast<uint8_t>(rng.Next()));  // literals
+  }
+  Buffer run(10000, 0x42);
+  input.insert(input.end(), run.begin(), run.end());  // long match
+  for (int i = 0; i < 5000; ++i) {
+    input.push_back(static_cast<uint8_t>(rng.Next()));
+  }
+  ExpectRoundTrip(input);
+}
+
+TEST(LzTest, OverlappingMatchPeriodicity) {
+  // Period-3 pattern forces overlapping copies (offset < match length).
+  Buffer input;
+  for (int i = 0; i < 30000; ++i) input.push_back("abc"[i % 3]);
+  Buffer compressed = LzCompress(Slice(input));
+  EXPECT_LT(compressed.size(), 1000u);
+  ExpectRoundTrip(input);
+}
+
+TEST(LzTest, FarMatchesBeyondWindowAreNotUsed) {
+  // Two identical 1KB blocks separated by > 64KB of random data: the second
+  // block cannot reference the first (offset > 65535) but must still decode.
+  Random rng(13);
+  Buffer block(1024);
+  for (auto& b : block) b = static_cast<uint8_t>(rng.Next());
+  Buffer input = block;
+  for (int i = 0; i < 70000; ++i) {
+    input.push_back(static_cast<uint8_t>(rng.Next()));
+  }
+  input.insert(input.end(), block.begin(), block.end());
+  ExpectRoundTrip(input);
+}
+
+TEST(LzTest, DecompressRejectsWrongSize) {
+  Buffer input = MakeBuffer("hello world hello world hello world hello");
+  Buffer compressed = LzCompress(Slice(input));
+  Buffer out;
+  EXPECT_TRUE(
+      LzDecompress(Slice(compressed), input.size() + 1, &out).IsCorruption());
+  EXPECT_TRUE(
+      LzDecompress(Slice(compressed), input.size() - 1, &out).IsCorruption());
+}
+
+TEST(LzTest, DecompressRejectsTruncated) {
+  std::string text;
+  for (int i = 0; i < 100; ++i) text += "repetitive repetitive ";
+  Buffer input = MakeBuffer(text);
+  Buffer compressed = LzCompress(Slice(input));
+  Buffer out;
+  for (size_t cut : {size_t{1}, compressed.size() / 2, compressed.size() - 1}) {
+    Status s = LzDecompress(Slice(compressed.data(), cut), input.size(), &out);
+    EXPECT_FALSE(s.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(LzTest, DecompressRejectsBadOffset) {
+  // Hand-craft a block with an offset pointing before the stream start.
+  Buffer bad;
+  bad.push_back(0x14);  // 1 literal, match_len 4+4... token=(1<<4)|0
+  bad[0] = (1 << 4) | 0;
+  bad.push_back('x');   // literal
+  bad.push_back(0x09);  // offset low = 9 > produced bytes (1)
+  bad.push_back(0x00);  // offset high
+  Buffer out;
+  EXPECT_TRUE(LzDecompress(Slice(bad), 100, &out).IsCorruption());
+}
+
+TEST(LzTest, CodecDispatch) {
+  Buffer input = MakeBuffer("some page payload for codec dispatch testing");
+  for (Codec codec : {Codec::kNone, Codec::kLz}) {
+    Buffer compressed = Compress(codec, Slice(input));
+    Buffer out;
+    ASSERT_TRUE(Decompress(codec, Slice(compressed), input.size(), &out).ok());
+    EXPECT_EQ(out, input);
+  }
+}
+
+TEST(LzTest, CodecNoneSizeMismatchFails) {
+  Buffer input = MakeBuffer("abc");
+  Buffer out;
+  EXPECT_TRUE(
+      Decompress(Codec::kNone, Slice(input), 5, &out).IsCorruption());
+}
+
+// Property sweep: many sizes and entropy profiles round-trip.
+class LzRoundTripTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LzRoundTripTest, TextLikeRoundTrip) {
+  size_t size = GetParam();
+  Random rng(size);
+  static const char* words[] = {"lake", "index", "parquet", "search",
+                                "vector", "page",  "trie",    "scan"};
+  std::string text;
+  while (text.size() < size) {
+    text += words[rng.Uniform(8)];
+    text.push_back(' ');
+  }
+  text.resize(size);
+  ExpectRoundTrip(MakeBuffer(text));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LzRoundTripTest,
+                         ::testing::Values(1, 13, 64, 100, 1000, 4096, 65535,
+                                           65536, 65537, 300000));
+
+}  // namespace
+}  // namespace rottnest::compress

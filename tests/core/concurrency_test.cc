@@ -1,0 +1,201 @@
+// Concurrency tests: the paper's deployment model runs `search`, `index`,
+// `compact` and `vacuum` from independent processes against shared object
+// storage. Here they run from concurrent threads against one store; every
+// search must return correct results at every interleaving, and the
+// invariants must hold throughout.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/random.h"
+#include "core/rottnest.h"
+#include "objectstore/object_store.h"
+
+namespace rottnest::core {
+namespace {
+
+using format::ColumnVector;
+using format::PhysicalType;
+using format::RowBatch;
+using format::Schema;
+using index::IndexType;
+using lake::Table;
+using objectstore::InMemoryObjectStore;
+
+Schema MakeSchema() {
+  Schema s;
+  s.columns.push_back({"uuid", PhysicalType::kFixedLenByteArray, 16});
+  return s;
+}
+
+std::string UuidFor(uint64_t id) {
+  std::string u(16, '\0');
+  uint64_t hi = Mix64(id), lo = Mix64(id ^ 0xc0ffee);
+  for (int i = 0; i < 8; ++i) {
+    u[i] = static_cast<char>(hi >> (56 - 8 * i));
+    u[8 + i] = static_cast<char>(lo >> (56 - 8 * i));
+  }
+  return u;
+}
+
+RowBatch MakeBatch(uint64_t first, size_t rows) {
+  RowBatch b;
+  b.schema = MakeSchema();
+  format::FlatFixed uuids;
+  uuids.elem_size = 16;
+  for (size_t i = 0; i < rows; ++i) {
+    std::string u = UuidFor(first + i);
+    uuids.Append(Slice(u));
+  }
+  b.columns.emplace_back(std::move(uuids));
+  return b;
+}
+
+RottnestOptions Options() {
+  RottnestOptions options;
+  options.index_dir = "idx/c";
+  options.num_threads = 2;
+  return options;
+}
+
+TEST(ConcurrencyTest, SearchersRunDuringIndexingAndCompaction) {
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  auto table = Table::Create(&store, "lake/c", MakeSchema()).MoveValue();
+
+  // Seed with two indexed files so searchers always have work.
+  Rottnest maintainer(&store, table.get(), Options());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(table->Append(MakeBatch(i * 100, 100)).ok());
+    ASSERT_TRUE(maintainer.Index("uuid", IndexType::kTrie).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> searches{0};
+  std::atomic<int> failures{0};
+
+  // Three independent searcher "processes".
+  std::vector<std::thread> searchers;
+  for (int t = 0; t < 3; ++t) {
+    searchers.emplace_back([&, t] {
+      Rottnest client(&store, table.get(), Options());
+      Random rng(t + 1);
+      while (!stop.load()) {
+        uint64_t id = rng.Uniform(200);
+        std::string u = UuidFor(id);
+        auto r = client.SearchUuid("uuid", Slice(u), 3);
+        if (!r.ok() || r.value().matches.empty()) {
+          failures.fetch_add(1);
+        }
+        searches.fetch_add(1);
+      }
+    });
+  }
+
+  // Maintenance loop: append + index + compact + vacuum concurrently.
+  for (int round = 0; round < 6; ++round) {
+    ASSERT_TRUE(table->Append(MakeBatch(200 + round * 50, 50)).ok());
+    ASSERT_TRUE(maintainer.Index("uuid", IndexType::kTrie).ok());
+    if (round % 2 == 1) {
+      ASSERT_TRUE(
+          maintainer.Compact("uuid", IndexType::kTrie, UINT64_MAX).ok());
+      // Vacuum with a live timeout: uncommitted-looking young files are
+      // protected, so concurrent searches never lose their index files.
+      auto latest = table->GetSnapshot().MoveValue().version;
+      ASSERT_TRUE(maintainer.Vacuum(latest).ok());
+    }
+  }
+  stop.store(true);
+  for (auto& t : searchers) t.join();
+
+  EXPECT_GT(searches.load(), 10);
+  EXPECT_EQ(failures.load(), 0) << "some search lost rows mid-maintenance";
+  ASSERT_TRUE(maintainer.CheckInvariants().ok());
+}
+
+TEST(ConcurrencyTest, ConcurrentIndexersOnDifferentColumnsCommute) {
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  Schema schema;
+  schema.columns.push_back({"uuid", PhysicalType::kFixedLenByteArray, 16});
+  schema.columns.push_back({"body", PhysicalType::kByteArray, 0});
+  auto table = Table::Create(&store, "lake/c2", schema).MoveValue();
+
+  RowBatch b;
+  b.schema = schema;
+  format::FlatFixed uuids;
+  uuids.elem_size = 16;
+  ColumnVector::Strings bodies;
+  for (int i = 0; i < 300; ++i) {
+    std::string u = UuidFor(i);
+    uuids.Append(Slice(u));
+    bodies.push_back("payload number " + std::to_string(i));
+  }
+  b.columns.emplace_back(std::move(uuids));
+  b.columns.emplace_back(std::move(bodies));
+  ASSERT_TRUE(table->Append(b).ok());
+
+  std::thread t1([&] {
+    Rottnest c(&store, table.get(), Options());
+    ASSERT_TRUE(c.Index("uuid", IndexType::kTrie).ok());
+  });
+  std::thread t2([&] {
+    RottnestOptions options = Options();
+    options.fm.block_size = 2048;
+    Rottnest c(&store, table.get(), options);
+    ASSERT_TRUE(c.Index("body", IndexType::kFm).ok());
+  });
+  t1.join();
+  t2.join();
+
+  Rottnest client(&store, table.get(), Options());
+  ASSERT_TRUE(client.CheckInvariants().ok());
+  auto uuid_r = client.SearchUuid("uuid", Slice(UuidFor(42)), 3);
+  ASSERT_TRUE(uuid_r.ok());
+  EXPECT_EQ(uuid_r.value().matches.size(), 1u);
+  EXPECT_EQ(uuid_r.value().files_scanned, 0u);
+  auto sub_r = client.SearchSubstring("body", "number 42", 3);
+  ASSERT_TRUE(sub_r.ok());
+  EXPECT_FALSE(sub_r.value().matches.empty());
+  EXPECT_EQ(sub_r.value().files_scanned, 0u);
+}
+
+TEST(ConcurrencyTest, LakeWritersAndIndexersInterleave) {
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  auto table = Table::Create(&store, "lake/c3", MakeSchema()).MoveValue();
+
+  constexpr int kBatches = 12;
+  std::thread writer([&] {
+    lake::Table* t = table.get();
+    for (int i = 0; i < kBatches; ++i) {
+      ASSERT_TRUE(t->Append(MakeBatch(i * 20, 20)).ok());
+    }
+  });
+
+  Rottnest indexer(&store, table.get(), Options());
+  for (int i = 0; i < 10; ++i) {
+    auto r = indexer.Index("uuid", IndexType::kTrie);
+    // May be a no-op when the writer is between commits; never an error.
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  writer.join();
+  // One final pass so everything committed is indexed or scannable.
+  ASSERT_TRUE(indexer.Index("uuid", IndexType::kTrie).ok());
+
+  ASSERT_TRUE(indexer.CheckInvariants().ok());
+  // Everything ever written is findable (indexed or via fallback scan).
+  Rottnest client(&store, table.get(), Options());
+  auto snap = table->GetSnapshot().MoveValue();
+  uint64_t total = snap.TotalRows();
+  ASSERT_GT(total, 0u);
+  for (uint64_t probe : {uint64_t{0}, total / 2, total - 1}) {
+    auto r = client.SearchUuid("uuid", Slice(UuidFor(probe)), 3);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().matches.size(), 1u) << probe;
+  }
+}
+
+}  // namespace
+}  // namespace rottnest::core

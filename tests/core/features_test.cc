@@ -1,0 +1,329 @@
+// Tests for the extension features: structured-attribute (ScanRange)
+// filtering via min/max statistics, regex search with FM-index literal
+// prefiltering, and index introspection.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/rottnest.h"
+#include "objectstore/object_store.h"
+
+namespace rottnest::core {
+namespace {
+
+using format::ColumnVector;
+using format::PhysicalType;
+using format::RowBatch;
+using format::Schema;
+using index::IndexType;
+using lake::Table;
+using objectstore::InMemoryObjectStore;
+using objectstore::IoTrace;
+
+Schema MakeSchema() {
+  Schema s;
+  s.columns.push_back({"ts", PhysicalType::kInt64, 0});
+  s.columns.push_back({"uuid", PhysicalType::kFixedLenByteArray, 16});
+  s.columns.push_back({"body", PhysicalType::kByteArray, 0});
+  return s;
+}
+
+std::string UuidFor(uint64_t id) {
+  std::string u(16, '\0');
+  uint64_t hi = Mix64(id), lo = Mix64(id ^ 0xfeed);
+  for (int i = 0; i < 8; ++i) {
+    u[i] = static_cast<char>(hi >> (56 - 8 * i));
+    u[8 + i] = static_cast<char>(lo >> (56 - 8 * i));
+  }
+  return u;
+}
+
+class FeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    format::WriterOptions writer;
+    writer.target_page_bytes = 2 << 10;
+    writer.target_row_group_bytes = 8 << 10;  // Several groups per file.
+    table_ =
+        Table::Create(&store_, "lake/f", MakeSchema(), writer).MoveValue();
+    RottnestOptions options;
+    options.index_dir = "idx/f";
+    options.fm.block_size = 2048;
+    client_ = std::make_unique<Rottnest>(&store_, table_.get(), options);
+  }
+
+  // Rows get ts = first_ts + i; duplicated uuid key every 50 rows.
+  void Append(int64_t first_ts, size_t rows) {
+    RowBatch b;
+    b.schema = MakeSchema();
+    ColumnVector::Ints ts;
+    format::FlatFixed uuids;
+    uuids.elem_size = 16;
+    ColumnVector::Strings bodies;
+    for (size_t i = 0; i < rows; ++i) {
+      int64_t t = first_ts + static_cast<int64_t>(i);
+      ts.push_back(t);
+      std::string u = UuidFor(static_cast<uint64_t>(t % 50));  // Repeats!
+      uuids.Append(Slice(u));
+      bodies.push_back("ts=" + std::to_string(t) +
+                       (t % 25 == 0 ? " ERROR code-500 retry" : " info ok"));
+    }
+    b.columns.emplace_back(std::move(ts));
+    b.columns.emplace_back(std::move(uuids));
+    b.columns.emplace_back(std::move(bodies));
+    ASSERT_TRUE(table_->Append(b).ok());
+  }
+
+  SimulatedClock clock_;
+  InMemoryObjectStore store_{&clock_};
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<Rottnest> client_;
+};
+
+TEST_F(FeaturesTest, RangeFilterNarrowsUuidMatches) {
+  Append(0, 500);
+  ASSERT_TRUE(client_->Index("uuid", IndexType::kTrie).ok());
+
+  // Key UuidFor(0) occurs at ts = 0, 50, 100, ... 450 (10 times).
+  std::string key = UuidFor(0);
+  auto all = client_->SearchUuid("uuid", Slice(key), 100);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().matches.size(), 10u);
+
+  SearchOptions opts;
+  opts.range = ScanRange{"ts", 100, 249};
+  auto filtered = client_->SearchUuid("uuid", Slice(key), 100, opts);
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  EXPECT_EQ(filtered.value().matches.size(), 3u);  // ts 100, 150, 200.
+}
+
+TEST_F(FeaturesTest, RangeFilterAppliesToUnindexedScan) {
+  Append(0, 500);  // No index: pure scan path.
+  std::string key = UuidFor(0);
+  SearchOptions opts;
+  opts.range = ScanRange{"ts", 0, 99};
+  auto r = client_->SearchUuid("uuid", Slice(key), 100, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().matches.size(), 2u);  // ts 0 and 50.
+}
+
+TEST_F(FeaturesTest, RangeFilterPrunesWholeFilesByStats) {
+  Append(0, 300);     // File A: ts 0..299.
+  Append(1000, 300);  // File B: ts 1000..1299.
+
+  // Range entirely within file B: file A must be pruned by min/max stats
+  // (zero row groups read -> not counted as scanned).
+  SearchOptions opts;
+  opts.range = ScanRange{"ts", 1000, 1099};
+  auto r = client_->SearchUuid("uuid", Slice(UuidFor(0)), 100, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().files_scanned, 1u);
+  for (const RowMatch& m : r.value().matches) {
+    EXPECT_GE(m.row, 0u);
+  }
+  EXPECT_EQ(r.value().matches.size(), 2u);  // ts 1000 and 1050.
+}
+
+TEST_F(FeaturesTest, RangeFilterOnSubstring) {
+  Append(0, 500);
+  ASSERT_TRUE(client_->Index("body", IndexType::kFm).ok());
+  SearchOptions opts;
+  opts.range = ScanRange{"ts", 100, 200};
+  auto r = client_->SearchSubstring("body", "ERROR", 100, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // ERROR at ts % 25 == 0 within [100, 200]: 100,125,150,175,200.
+  EXPECT_EQ(r.value().matches.size(), 5u);
+  for (const RowMatch& m : r.value().matches) {
+    EXPECT_NE(m.value.find("ERROR"), std::string::npos);
+  }
+}
+
+TEST_F(FeaturesTest, RangeFilterUnknownColumnFails) {
+  Append(0, 10);
+  SearchOptions opts;
+  opts.range = ScanRange{"nope", 0, 1};
+  auto r = client_->SearchUuid("uuid", Slice(UuidFor(0)), 10, opts);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(FeaturesTest, EmptyRangeYieldsNothing) {
+  Append(0, 100);
+  ASSERT_TRUE(client_->Index("uuid", IndexType::kTrie).ok());
+  SearchOptions opts;
+  opts.range = ScanRange{"ts", 5000, 6000};
+  auto r = client_->SearchUuid("uuid", Slice(UuidFor(0)), 10, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().matches.empty());
+}
+
+TEST_F(FeaturesTest, RegexWithLiteralUsesIndex) {
+  Append(0, 500);
+  ASSERT_TRUE(client_->Index("body", IndexType::kFm).ok());
+  auto r = client_->SearchRegex("body", "ERROR code-[0-9]+ retry", 10);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(r.value().matches.empty());
+  EXPECT_GE(r.value().indexes_queried, 1u);  // Used the FM index.
+  EXPECT_EQ(r.value().files_scanned, 0u);    // No brute-force needed.
+  for (const RowMatch& m : r.value().matches) {
+    EXPECT_NE(m.value.find("ERROR code-500"), std::string::npos);
+  }
+}
+
+TEST_F(FeaturesTest, RegexRejectsNonMatchingCandidates) {
+  Append(0, 500);
+  ASSERT_TRUE(client_->Index("body", IndexType::kFm).ok());
+  // "ERROR" occurs but never followed by code-9xx.
+  auto r = client_->SearchRegex("body", "ERROR code-9[0-9][0-9]", 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().matches.empty());
+}
+
+TEST_F(FeaturesTest, RegexWithoutLiteralFallsBackToScan) {
+  Append(0, 200);
+  ASSERT_TRUE(client_->Index("body", IndexType::kFm).ok());
+  auto r = client_->SearchRegex("body", "[A-Z]{5}", 10);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(r.value().matches.empty());  // Matches "ERROR".
+  EXPECT_GE(r.value().files_scanned, 1u);   // Scan path.
+}
+
+TEST_F(FeaturesTest, RegexAnchorsAndClasses) {
+  Append(0, 200);
+  ASSERT_TRUE(client_->Index("body", IndexType::kFm).ok());
+  auto r = client_->SearchRegex("body", "^ts=100 ", 10);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().matches.size(), 1u);
+  EXPECT_EQ(r.value().matches[0].value.rfind("ts=100 ", 0), 0u);
+}
+
+TEST_F(FeaturesTest, BadRegexIsInvalidArgument) {
+  Append(0, 10);
+  auto r = client_->SearchRegex("body", "([unclosed", 10);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(FeaturesTest, RegexHonorsRange) {
+  Append(0, 500);
+  ASSERT_TRUE(client_->Index("body", IndexType::kFm).ok());
+  SearchOptions opts;
+  opts.range = ScanRange{"ts", 0, 99};
+  auto r = client_->SearchRegex("body", "ERROR code-\\d+", 10, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().matches.size(), 4u);  // ts 0, 25, 50, 75.
+}
+
+TEST_F(FeaturesTest, RegexAlternationFallsBackToScan) {
+  Append(0, 200);
+  ASSERT_TRUE(client_->Index("body", IndexType::kFm).ok());
+  // Alternation invalidates any guaranteed literal: must scan, and must
+  // still find both branches.
+  auto r = client_->SearchRegex("body", "ERROR|ts=50 ", 300);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(r.value().files_scanned, 1u);
+  size_t errors = 0, ts50 = 0;
+  for (const RowMatch& m : r.value().matches) {
+    if (m.value.find("ERROR") != std::string::npos) ++errors;
+    if (m.value.rfind("ts=50 ", 0) == 0) ++ts50;
+  }
+  EXPECT_EQ(errors, 8u);  // ts 0,25,...,175.
+  EXPECT_EQ(ts50, 1u);
+}
+
+TEST_F(FeaturesTest, RegexQuantifierDoesNotOverTrustLiteral) {
+  Append(0, 200);
+  ASSERT_TRUE(client_->Index("body", IndexType::kFm).ok());
+  // "ERRORS?" must match "ERROR" even though the trailing 'S' is optional:
+  // the extracted literal must exclude the quantified character.
+  auto r = client_->SearchRegex("body", "ERRORS? code", 10);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r.value().matches.empty());
+}
+
+TEST_F(FeaturesTest, RegexDotAndClassesSplitLiterals) {
+  Append(0, 200);
+  ASSERT_TRUE(client_->Index("body", IndexType::kFm).ok());
+  // The guaranteed literal is "retry" (after the class), not "code-".
+  auto r = client_->SearchRegex("body", "code.[0-9]+ retry", 10);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(r.value().matches.empty());
+  for (const RowMatch& m : r.value().matches) {
+    EXPECT_NE(m.value.find("code-500 retry"), std::string::npos);
+  }
+}
+
+TEST_F(FeaturesTest, CountSubstringMatchesGroundTruth) {
+  Append(0, 500);
+  ASSERT_TRUE(client_->Index("body", IndexType::kFm).ok());
+  // "ERROR" occurs once per row where ts % 25 == 0: 20 rows.
+  auto count = client_->CountSubstring("body", "ERROR");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count.value(), 20u);
+  // "info ok" occurs once per remaining row: 480.
+  count = client_->CountSubstring("body", "info ok");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 480u);
+  // Substring occurrences, not rows: "0" appears in many ts= strings.
+  count = client_->CountSubstring("body", "ts=10");
+  ASSERT_TRUE(count.ok());
+  // ts=10 itself plus ts=100..109 -> 11 occurrences of the prefix.
+  EXPECT_EQ(count.value(), 11u);
+}
+
+TEST_F(FeaturesTest, CountSubstringMixesIndexAndScan) {
+  Append(0, 250);
+  ASSERT_TRUE(client_->Index("body", IndexType::kFm).ok());
+  Append(250, 250);  // Unindexed tail counted by scanning.
+  auto count = client_->CountSubstring("body", "ERROR");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 20u);
+}
+
+TEST_F(FeaturesTest, CountSubstringFallsBackOnDeletionVectors) {
+  Append(0, 500);
+  ASSERT_TRUE(client_->Index("body", IndexType::kFm).ok());
+  // Delete ts=0 (an ERROR row): the index alone would overcount, so the
+  // implementation must scan the DV'd file and return the exact count.
+  ASSERT_TRUE(table_
+                  ->DeleteWhere("ts",
+                                [](const ColumnVector& col, size_t r) {
+                                  return col.ints()[r] == 0;
+                                })
+                  .ok());
+  auto count = client_->CountSubstring("body", "ERROR");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 19u);
+}
+
+TEST_F(FeaturesTest, CountSubstringRejectsRange) {
+  Append(0, 10);
+  SearchOptions opts;
+  opts.range = ScanRange{"ts", 0, 5};
+  auto count = client_->CountSubstring("body", "x", opts);
+  EXPECT_TRUE(count.status().IsNotSupported());
+}
+
+TEST_F(FeaturesTest, DescribeIndexesReportsLiveness) {
+  Append(0, 200);
+  ASSERT_TRUE(client_->Index("uuid", IndexType::kTrie).ok());
+  ASSERT_TRUE(client_->Index("body", IndexType::kFm).ok());
+
+  auto described = client_->DescribeIndexes();
+  ASSERT_TRUE(described.ok());
+  ASSERT_EQ(described.value().size(), 2u);
+  for (const IndexDescription& d : described.value()) {
+    EXPECT_GT(d.bytes, 0u);
+    EXPECT_TRUE(d.covers_live_files);
+    EXPECT_EQ(d.entry.covered_files.size(), 1u);
+  }
+
+  // Lake compaction makes the indexes stale.
+  Append(200, 200);
+  ASSERT_TRUE(table_->CompactFiles(UINT64_MAX).ok());
+  described = client_->DescribeIndexes();
+  ASSERT_TRUE(described.ok());
+  for (const IndexDescription& d : described.value()) {
+    EXPECT_FALSE(d.covers_live_files);
+  }
+}
+
+}  // namespace
+}  // namespace rottnest::core

@@ -1,0 +1,195 @@
+#include "index/component_file.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "objectstore/object_store.h"
+
+namespace rottnest::index {
+namespace {
+
+using objectstore::InMemoryObjectStore;
+using objectstore::IoTrace;
+
+Buffer Bytes(const std::string& s) { return Buffer(s.begin(), s.end()); }
+
+class ComponentFileTest : public ::testing::Test {
+ protected:
+  SimulatedClock clock_;
+  InMemoryObjectStore store_{&clock_};
+};
+
+TEST_F(ComponentFileTest, WriteReadRoundTrip) {
+  ComponentFileWriter writer(IndexType::kTrie, "uuid");
+  ASSERT_TRUE(writer.AddComponent("leaf.0", Slice(Bytes("leafdata0"))).ok());
+  ASSERT_TRUE(writer.AddComponent("leaf.1", Slice(Bytes("leafdata1"))).ok());
+  ASSERT_TRUE(writer.AddComponent("root", Slice(Bytes("rootdata"))).ok());
+  Buffer file;
+  ASSERT_TRUE(writer.Finish(&file).ok());
+  ASSERT_TRUE(store_.Put("idx/a.index", Slice(file)).ok());
+
+  auto reader_r = ComponentFileReader::Open(&store_, "idx/a.index", nullptr);
+  ASSERT_TRUE(reader_r.ok()) << reader_r.status().ToString();
+  auto& reader = *reader_r.value();
+  EXPECT_EQ(reader.type(), IndexType::kTrie);
+  EXPECT_EQ(reader.column(), "uuid");
+  EXPECT_TRUE(reader.HasComponent("leaf.0"));
+  EXPECT_TRUE(reader.HasComponent("root"));
+  EXPECT_FALSE(reader.HasComponent("ghost"));
+
+  Buffer payload;
+  ASSERT_TRUE(reader.ReadComponent("leaf.1", nullptr, nullptr, &payload).ok());
+  EXPECT_EQ(payload, Bytes("leafdata1"));
+  ASSERT_TRUE(reader.ReadComponent("root", nullptr, nullptr, &payload).ok());
+  EXPECT_EQ(payload, Bytes("rootdata"));
+}
+
+TEST_F(ComponentFileTest, DuplicateComponentRejected) {
+  ComponentFileWriter writer(IndexType::kFm, "body");
+  ASSERT_TRUE(writer.AddComponent("x", Slice(Bytes("a"))).ok());
+  EXPECT_TRUE(writer.AddComponent("x", Slice(Bytes("b"))).IsInvalidArgument());
+}
+
+TEST_F(ComponentFileTest, CompressibleComponentsShrink) {
+  ComponentFileWriter writer(IndexType::kFm, "body");
+  Buffer big(1 << 20, 0x61);  // 1MB of 'a'.
+  ASSERT_TRUE(writer.AddComponent("x", Slice(big)).ok());
+  Buffer file;
+  ASSERT_TRUE(writer.Finish(&file).ok());
+  EXPECT_LT(file.size(), big.size() / 50);
+
+  ASSERT_TRUE(store_.Put("k", Slice(file)).ok());
+  auto reader = ComponentFileReader::Open(&store_, "k", nullptr).MoveValue();
+  Buffer payload;
+  ASSERT_TRUE(reader->ReadComponent("x", nullptr, nullptr, &payload).ok());
+  EXPECT_EQ(payload, big);
+}
+
+TEST_F(ComponentFileTest, TailComponentsCostNoExtraIo) {
+  // A component written last is served from the tail read: Open + read of
+  // the last component = exactly 1 GET.
+  ComponentFileWriter writer(IndexType::kTrie, "uuid");
+  Random rng(7);
+  Buffer big(512 << 10);
+  for (auto& b : big) b = static_cast<uint8_t>(rng.Next());  // incompressible
+  ASSERT_TRUE(writer.AddComponent("bulk", Slice(big)).ok());
+  ASSERT_TRUE(writer.AddComponent("root", Slice(Bytes("tiny root"))).ok());
+  Buffer file;
+  ASSERT_TRUE(writer.Finish(&file).ok());
+  ASSERT_TRUE(store_.Put("k", Slice(file)).ok());
+
+  IoTrace trace;
+  auto reader = ComponentFileReader::Open(&store_, "k", &trace).MoveValue();
+  Buffer payload;
+  ASSERT_TRUE(reader->ReadComponent("root", nullptr, &trace, &payload).ok());
+  EXPECT_EQ(payload, Bytes("tiny root"));
+  EXPECT_EQ(trace.total_gets(), 1u);  // Tail read only.
+  EXPECT_EQ(trace.depth(), 1u);
+
+  // The bulk component needs one more dependent round.
+  ASSERT_TRUE(reader->ReadComponent("bulk", nullptr, &trace, &payload).ok());
+  EXPECT_EQ(payload, big);
+  EXPECT_EQ(trace.total_gets(), 2u);
+  EXPECT_EQ(trace.depth(), 2u);
+}
+
+TEST_F(ComponentFileTest, BatchReadIsOneRound) {
+  ComponentFileWriter writer(IndexType::kIvfPq, "vec");
+  Random rng(9);
+  for (int i = 0; i < 16; ++i) {
+    Buffer data(32 << 10);
+    for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+    ASSERT_TRUE(
+        writer.AddComponent("list." + std::to_string(i), Slice(data)).ok());
+  }
+  Buffer file;
+  ASSERT_TRUE(writer.Finish(&file).ok());
+  ASSERT_TRUE(store_.Put("k", Slice(file)).ok());
+
+  IoTrace trace;
+  ThreadPool pool(4);
+  auto reader = ComponentFileReader::Open(&store_, "k", &trace).MoveValue();
+  size_t depth_after_open = trace.depth();
+  std::vector<Buffer> results;
+  ASSERT_TRUE(reader
+                  ->ReadComponents({"list.3", "list.7", "list.11"}, &pool,
+                                   &trace, &results)
+                  .ok());
+  EXPECT_EQ(results.size(), 3u);
+  EXPECT_EQ(trace.depth(), depth_after_open + 1);  // One round for all three.
+}
+
+TEST_F(ComponentFileTest, CachedComponentsAreFree) {
+  ComponentFileWriter writer(IndexType::kTrie, "u");
+  Random rng(3);
+  Buffer data(300 << 10);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  ASSERT_TRUE(writer.AddComponent("big", Slice(data)).ok());
+  Buffer file;
+  ASSERT_TRUE(writer.Finish(&file).ok());
+  ASSERT_TRUE(store_.Put("k", Slice(file)).ok());
+
+  auto reader = ComponentFileReader::Open(&store_, "k", nullptr).MoveValue();
+  Buffer payload;
+  ASSERT_TRUE(reader->ReadComponent("big", nullptr, nullptr, &payload).ok());
+  uint64_t gets = store_.stats().gets.load();
+  ASSERT_TRUE(reader->ReadComponent("big", nullptr, nullptr, &payload).ok());
+  EXPECT_EQ(store_.stats().gets.load(), gets);  // Second read cached.
+}
+
+TEST_F(ComponentFileTest, MissingComponentIsNotFound) {
+  ComponentFileWriter writer(IndexType::kTrie, "u");
+  ASSERT_TRUE(writer.AddComponent("a", Slice(Bytes("x"))).ok());
+  Buffer file;
+  ASSERT_TRUE(writer.Finish(&file).ok());
+  ASSERT_TRUE(store_.Put("k", Slice(file)).ok());
+  auto reader = ComponentFileReader::Open(&store_, "k", nullptr).MoveValue();
+  Buffer payload;
+  EXPECT_TRUE(
+      reader->ReadComponent("nope", nullptr, nullptr, &payload).IsNotFound());
+}
+
+TEST_F(ComponentFileTest, CorruptFileRejected) {
+  Buffer junk(64, 0x11);
+  ASSERT_TRUE(store_.Put("junk", Slice(junk)).ok());
+  EXPECT_TRUE(
+      ComponentFileReader::Open(&store_, "junk", nullptr).status()
+          .IsCorruption());
+}
+
+TEST_F(ComponentFileTest, TinyTailReadStillWorks) {
+  // Force the directory to exceed the tail read so the two-step open path
+  // runs.
+  ComponentFileWriter writer(IndexType::kTrie, "u");
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(writer
+                    .AddComponent("component-with-a-long-name-" +
+                                      std::to_string(i),
+                                  Slice(Bytes("payload" + std::to_string(i))))
+                    .ok());
+  }
+  Buffer file;
+  ASSERT_TRUE(writer.Finish(&file).ok());
+  ASSERT_TRUE(store_.Put("k", Slice(file)).ok());
+  auto reader_r =
+      ComponentFileReader::Open(&store_, "k", nullptr, /*tail_bytes=*/64);
+  ASSERT_TRUE(reader_r.ok()) << reader_r.status().ToString();
+  Buffer payload;
+  ASSERT_TRUE(reader_r.value()
+                  ->ReadComponent("component-with-a-long-name-137", nullptr,
+                                  nullptr, &payload)
+                  .ok());
+  EXPECT_EQ(payload, Bytes("payload137"));
+}
+
+TEST_F(ComponentFileTest, EmptyIndexFileRoundTrips) {
+  ComponentFileWriter writer(IndexType::kFm, "body");
+  Buffer file;
+  ASSERT_TRUE(writer.Finish(&file).ok());
+  ASSERT_TRUE(store_.Put("k", Slice(file)).ok());
+  auto reader = ComponentFileReader::Open(&store_, "k", nullptr).MoveValue();
+  EXPECT_TRUE(reader->ComponentNames().empty());
+}
+
+}  // namespace
+}  // namespace rottnest::index

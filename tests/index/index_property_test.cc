@@ -1,0 +1,335 @@
+// Property-style parameterized sweeps over index configurations: every
+// (block size, sample rate) FM configuration and every (nlist, m) IVF-PQ
+// configuration must preserve correctness; tries must survive adversarial
+// key distributions.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "index/fm/fm_index.h"
+#include "index/ivfpq/ivfpq_index.h"
+#include "index/trie/trie_index.h"
+#include "objectstore/object_store.h"
+
+namespace rottnest::index {
+namespace {
+
+using objectstore::InMemoryObjectStore;
+
+format::PageTable OnePageTable() {
+  format::FileMeta meta;
+  meta.schema.columns.push_back({"c", format::PhysicalType::kByteArray, 0});
+  format::RowGroupMeta rg;
+  format::ColumnChunkMeta cc;
+  format::PageMeta pm;
+  pm.offset = 0;
+  pm.size = 100;
+  pm.num_values = 100;
+  pm.first_row = 0;
+  cc.pages.push_back(pm);
+  rg.columns.push_back(cc);
+  rg.num_rows = 100;
+  meta.row_groups.push_back(rg);
+  format::PageTable t;
+  t.AddFile("f", meta, 0);
+  return t;
+}
+
+uint64_t NaiveCount(const std::string& text, const std::string& pattern) {
+  uint64_t count = 0;
+  size_t pos = 0;
+  while ((pos = text.find(pattern, pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  return count;
+}
+
+// -- FM configuration sweep ---------------------------------------------------
+
+class FmConfigTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(FmConfigTest, CountCorrectUnderAllConfigs) {
+  auto [block_size, sample_rate] = GetParam();
+  FmOptions options;
+  options.block_size = block_size;
+  options.sample_rate = sample_rate;
+
+  Random rng(block_size * 131 + sample_rate);
+  std::string text;
+  for (int i = 0; i < 20000; ++i) {
+    text.push_back('a' + static_cast<char>(rng.Uniform(5)));
+  }
+
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  ThreadPool pool(2);
+  FmIndexBuilder builder("c", options);
+  builder.AddPage(Slice(text));
+  Buffer file;
+  ASSERT_TRUE(builder.Finish(OnePageTable(), &file).ok());
+  ASSERT_TRUE(store.Put("idx", Slice(file)).ok());
+  auto reader = ComponentFileReader::Open(&store, "idx", nullptr).MoveValue();
+
+  std::string all = text + '\x01';
+  for (int trial = 0; trial < 8; ++trial) {
+    size_t len = 1 + rng.Uniform(5);
+    size_t pos = rng.Uniform(text.size() - len);
+    std::string pattern = text.substr(pos, len);
+    uint64_t count;
+    ASSERT_TRUE(
+        FmCount(reader.get(), &pool, nullptr, Slice(pattern), &count).ok());
+    EXPECT_EQ(count, NaiveCount(all, pattern))
+        << "bs=" << block_size << " k=" << sample_rate << " pat=" << pattern;
+  }
+  // Locating must also succeed (exercises mark/ssa under each config).
+  std::vector<format::PageId> pages;
+  std::string pattern = text.substr(100, 3);
+  ASSERT_TRUE(FmLocatePages(reader.get(), &pool, nullptr, Slice(pattern), 20,
+                            &pages)
+                  .ok());
+  EXPECT_EQ(pages, (std::vector<format::PageId>{0}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, FmConfigTest,
+    ::testing::Combine(::testing::Values(256u, 1024u, 8192u, 65536u),
+                       ::testing::Values(2u, 8u, 32u)));
+
+// -- IVF-PQ configuration sweep -----------------------------------------------
+
+class IvfConfigTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(IvfConfigTest, ExactVectorAlwaysRetrievableWithFullProbe) {
+  auto [nlist, m] = GetParam();
+  constexpr uint32_t kDim = 16;
+  IvfPqOptions options;
+  options.nlist = nlist;
+  options.num_subquantizers = m;
+
+  Random rng(nlist * 7 + m);
+  constexpr size_t kN = 600;
+  std::vector<float> vectors(kN * kDim);
+  for (auto& v : vectors) v = static_cast<float>(rng.NextGaussian() * 5);
+
+  IvfPqIndexBuilder builder("v", kDim, options);
+  for (size_t i = 0; i < kN; ++i) {
+    builder.Add(vectors.data() + i * kDim, static_cast<format::PageId>(i / 100),
+                static_cast<uint32_t>(i % 100));
+  }
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  ThreadPool pool(2);
+  Buffer file;
+  ASSERT_TRUE(builder.Finish(OnePageTable(), &file).ok());
+  ASSERT_TRUE(store.Put("idx", Slice(file)).ok());
+  auto reader = ComponentFileReader::Open(&store, "idx", nullptr).MoveValue();
+
+  // Query with stored vectors: full probing must surface the exact row.
+  int found = 0;
+  for (size_t q = 0; q < 20; ++q) {
+    size_t pick = q * 29 % kN;
+    std::vector<VectorCandidate> got;
+    ASSERT_TRUE(IvfPqSearch(reader.get(), &pool, nullptr,
+                            vectors.data() + pick * kDim, kDim, nlist, kN,
+                            &got)
+                    .ok());
+    for (const auto& c : got) {
+      if (c.page == pick / 100 && c.row_in_page == pick % 100) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(found, 20) << "nlist=" << nlist << " m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, IvfConfigTest,
+                         ::testing::Combine(::testing::Values(1u, 8u, 64u),
+                                            ::testing::Values(2u, 4u, 16u)));
+
+// -- Trie adversarial keys ----------------------------------------------------
+
+TEST(TrieAdversarialTest, SharedLongPrefixes) {
+  // Keys differing only in the last few bits force maximal truncation
+  // depth (LCP up to 124 bits).
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  ThreadPool pool(2);
+  TrieIndexBuilder builder("u");
+  constexpr int kN = 500;
+  for (int i = 0; i < kN; ++i) {
+    Key128 k{0x0123456789abcdefULL, 0xfedcba9876543200ULL + i};
+    builder.Add(k, static_cast<format::PageId>(i % 7));
+  }
+  Buffer file;
+  ASSERT_TRUE(builder.Finish(format::PageTable{}, &file).ok());
+  ASSERT_TRUE(store.Put("idx", Slice(file)).ok());
+  auto reader = ComponentFileReader::Open(&store, "idx", nullptr).MoveValue();
+  for (int i = 0; i < kN; i += 37) {
+    Key128 k{0x0123456789abcdefULL, 0xfedcba9876543200ULL + i};
+    std::vector<format::PageId> pages;
+    ASSERT_TRUE(TrieQuery(reader.get(), &pool, nullptr, k, &pages).ok());
+    ASSERT_EQ(pages.size(), 1u) << i;
+    EXPECT_EQ(pages[0], static_cast<format::PageId>(i % 7));
+  }
+}
+
+TEST(TrieAdversarialTest, SkewedFirstByteDistribution) {
+  // All keys start with the same byte: the root LUT routes them to a
+  // narrow band of leaves; routing must still work.
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  ThreadPool pool(2);
+  TrieIndexBuilder builder("u");
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    Key128 k{0xAA00000000000000ULL | Mix64(i) >> 16, Mix64(i ^ 0x9)};
+    builder.Add(k, static_cast<format::PageId>(i % 3));
+  }
+  Buffer file;
+  ASSERT_TRUE(builder.Finish(format::PageTable{}, &file).ok());
+  ASSERT_TRUE(store.Put("idx", Slice(file)).ok());
+  auto reader = ComponentFileReader::Open(&store, "idx", nullptr).MoveValue();
+  for (int i = 0; i < kN; i += 997) {
+    Key128 k{0xAA00000000000000ULL | Mix64(i) >> 16, Mix64(i ^ 0x9)};
+    std::vector<format::PageId> pages;
+    ASSERT_TRUE(TrieQuery(reader.get(), &pool, nullptr, k, &pages).ok());
+    ASSERT_FALSE(pages.empty()) << i;
+    EXPECT_EQ(pages[0], static_cast<format::PageId>(i % 3));
+  }
+}
+
+TEST(TrieAdversarialTest, IdenticalKeysManyPages) {
+  // One key in hundreds of pages: postings list must survive leaf
+  // serialization and truncation to 128 bits (single key -> bits = 9).
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  ThreadPool pool(2);
+  TrieIndexBuilder builder("u");
+  Key128 k{42, 43};
+  for (int p = 0; p < 500; ++p) {
+    builder.Add(k, static_cast<format::PageId>(p));
+  }
+  Buffer file;
+  ASSERT_TRUE(builder.Finish(format::PageTable{}, &file).ok());
+  ASSERT_TRUE(store.Put("idx", Slice(file)).ok());
+  auto reader = ComponentFileReader::Open(&store, "idx", nullptr).MoveValue();
+  std::vector<format::PageId> pages;
+  ASSERT_TRUE(TrieQuery(reader.get(), &pool, nullptr, k, &pages).ok());
+  EXPECT_EQ(pages.size(), 500u);
+}
+
+TEST(FmMergeAssociativityTest, ThreeWayMergeOrderIndependentCounts) {
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  ThreadPool pool(2);
+  FmOptions options;
+  options.block_size = 512;
+  options.sample_rate = 4;
+
+  std::vector<std::string> texts = {"gattaca gattaca", "cacatag tagtag",
+                                    "attagatta gatta"};
+  for (size_t i = 0; i < texts.size(); ++i) {
+    FmIndexBuilder builder("c", options);
+    builder.AddPage(Slice(texts[i]));
+    Buffer file;
+    ASSERT_TRUE(builder.Finish(OnePageTable(), &file).ok());
+    ASSERT_TRUE(store.Put("idx/" + std::to_string(i), Slice(file)).ok());
+  }
+  auto r0 = ComponentFileReader::Open(&store, "idx/0", nullptr).MoveValue();
+  auto r1 = ComponentFileReader::Open(&store, "idx/1", nullptr).MoveValue();
+  auto r2 = ComponentFileReader::Open(&store, "idx/2", nullptr).MoveValue();
+
+  // ((0+1)+2) vs (0+(1+2)): occurrence counts must agree.
+  Buffer m01, m01_2;
+  ASSERT_TRUE(FmMerge({r0.get(), r1.get()}, &pool, nullptr, "c", options,
+                      &m01)
+                  .ok());
+  ASSERT_TRUE(store.Put("idx/m01", Slice(m01)).ok());
+  auto rm01 = ComponentFileReader::Open(&store, "idx/m01", nullptr).MoveValue();
+  ASSERT_TRUE(FmMerge({rm01.get(), r2.get()}, &pool, nullptr, "c", options,
+                      &m01_2)
+                  .ok());
+  ASSERT_TRUE(store.Put("idx/m01_2", Slice(m01_2)).ok());
+
+  Buffer m12, m0_12;
+  ASSERT_TRUE(FmMerge({r1.get(), r2.get()}, &pool, nullptr, "c", options,
+                      &m12)
+                  .ok());
+  ASSERT_TRUE(store.Put("idx/m12", Slice(m12)).ok());
+  auto rm12 = ComponentFileReader::Open(&store, "idx/m12", nullptr).MoveValue();
+  ASSERT_TRUE(FmMerge({r0.get(), rm12.get()}, &pool, nullptr, "c", options,
+                      &m0_12)
+                  .ok());
+  ASSERT_TRUE(store.Put("idx/m0_12", Slice(m0_12)).ok());
+
+  auto ra =
+      ComponentFileReader::Open(&store, "idx/m01_2", nullptr).MoveValue();
+  auto rb =
+      ComponentFileReader::Open(&store, "idx/m0_12", nullptr).MoveValue();
+  for (const std::string& pattern :
+       {std::string("gatta"), std::string("tag"), std::string("ca"),
+        std::string("atta")}) {
+    uint64_t ca, cb;
+    ASSERT_TRUE(FmCount(ra.get(), &pool, nullptr, Slice(pattern), &ca).ok());
+    ASSERT_TRUE(FmCount(rb.get(), &pool, nullptr, Slice(pattern), &cb).ok());
+    EXPECT_EQ(ca, cb) << pattern;
+    uint64_t expect = 0;
+    for (const std::string& t : texts) {
+      expect += NaiveCount(t + '\x01', pattern);
+    }
+    EXPECT_EQ(ca, expect) << pattern;
+  }
+}
+
+TEST(IvfMergeTest, ThreeWayMergeKeepsAllVectors) {
+  constexpr uint32_t kDim = 8;
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  ThreadPool pool(2);
+  IvfPqOptions options;
+  options.nlist = 4;
+  options.num_subquantizers = 2;
+
+  std::vector<std::unique_ptr<ComponentFileReader>> readers;
+  std::vector<ComponentFileReader*> raw;
+  size_t total = 0;
+  for (int part = 0; part < 3; ++part) {
+    Random rng(part + 1);
+    IvfPqIndexBuilder builder("v", kDim, options);
+    size_t n = 100 + part * 50;
+    total += n;
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<float> v(kDim);
+      for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+      builder.Add(v.data(), static_cast<format::PageId>(i / 100),
+                  static_cast<uint32_t>(i % 100));
+    }
+    Buffer file;
+    ASSERT_TRUE(builder.Finish(OnePageTable(), &file).ok());
+    std::string key = "idx/" + std::to_string(part);
+    ASSERT_TRUE(store.Put(key, Slice(file)).ok());
+    auto r = ComponentFileReader::Open(&store, key, nullptr).MoveValue();
+    raw.push_back(r.get());
+    readers.push_back(std::move(r));
+  }
+  Buffer merged;
+  ASSERT_TRUE(IvfPqMerge(raw, &pool, nullptr, "v", &merged).ok());
+  ASSERT_TRUE(store.Put("idx/m", Slice(merged)).ok());
+  auto rm = ComponentFileReader::Open(&store, "idx/m", nullptr).MoveValue();
+
+  // Full probe with max candidates returns every stored vector.
+  std::vector<float> q(kDim, 0.0f);
+  std::vector<VectorCandidate> got;
+  ASSERT_TRUE(
+      IvfPqSearch(rm.get(), &pool, nullptr, q.data(), kDim, 4, 10000, &got)
+          .ok());
+  EXPECT_EQ(got.size(), total);
+}
+
+}  // namespace
+}  // namespace rottnest::index

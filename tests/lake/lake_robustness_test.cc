@@ -1,0 +1,174 @@
+// Robustness tests for the transaction log and table: corrupted log
+// entries, interleaved writers, log gaps, and snapshot edge cases.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/random.h"
+#include "lake/table.h"
+#include "objectstore/object_store.h"
+
+namespace rottnest::lake {
+namespace {
+
+using format::ColumnVector;
+using format::PhysicalType;
+using format::RowBatch;
+using format::Schema;
+using objectstore::InMemoryObjectStore;
+
+Schema OneColSchema() {
+  Schema s;
+  s.columns.push_back({"v", PhysicalType::kInt64, 0});
+  return s;
+}
+
+RowBatch IntBatch(int64_t first, size_t rows) {
+  RowBatch b;
+  b.schema = OneColSchema();
+  ColumnVector::Ints v;
+  for (size_t i = 0; i < rows; ++i) v.push_back(first + static_cast<int64_t>(i));
+  b.columns.emplace_back(std::move(v));
+  return b;
+}
+
+TEST(LakeRobustnessTest, CorruptedLogEntryIsDetected) {
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  auto table = Table::Create(&store, "t", OneColSchema()).MoveValue();
+  ASSERT_TRUE(table->Append(IntBatch(0, 10)).ok());
+
+  // Corrupt the version-1 log object.
+  std::string key = "t/_log/00000000000000000001.json";
+  Buffer garbage(50, '{');
+  ASSERT_TRUE(store.Put(key, Slice(garbage)).ok());
+  auto snap = table->GetSnapshot();
+  EXPECT_FALSE(snap.ok());
+}
+
+TEST(LakeRobustnessTest, UnknownActionsAreIgnoredForwardCompat) {
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  auto table = Table::Create(&store, "t", OneColSchema()).MoveValue();
+  ASSERT_TRUE(table->Append(IntBatch(0, 10)).ok());
+  // A future writer adds an action kind this reader does not know.
+  ASSERT_TRUE(table->log()
+                  .Commit(2, {Json::Parse("{\"zOrderBy\":{\"col\":\"v\"}}")
+                                  .MoveValue()})
+                  .ok());
+  auto snap = table->GetSnapshot();
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap.value().version, 2);
+  EXPECT_EQ(snap.value().files.size(), 1u);
+}
+
+TEST(LakeRobustnessTest, SnapshotOfEmptyTable) {
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  auto table = Table::Create(&store, "t", OneColSchema()).MoveValue();
+  auto snap = table->GetSnapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap.value().version, 0);
+  EXPECT_TRUE(snap.value().files.empty());
+  EXPECT_EQ(snap.value().TotalRows(), 0u);
+}
+
+TEST(LakeRobustnessTest, SnapshotBeyondLatestFails) {
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  auto table = Table::Create(&store, "t", OneColSchema()).MoveValue();
+  auto snap = table->GetSnapshot(5);
+  EXPECT_FALSE(snap.ok());
+}
+
+TEST(LakeRobustnessTest, ConcurrentAppendersAllCommit) {
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  ASSERT_TRUE(Table::Create(&store, "t", OneColSchema()).ok());
+
+  constexpr int kWriters = 6;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      // Independent Table instances, like separate processes.
+      auto table = Table::Open(&store, "t").MoveValue();
+      for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(table->Append(IntBatch(w * 100 + i * 10, 10)).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  auto table = Table::Open(&store, "t").MoveValue();
+  auto snap = table->GetSnapshot().MoveValue();
+  EXPECT_EQ(snap.files.size(), kWriters * 3u);
+  EXPECT_EQ(snap.TotalRows(), kWriters * 30u);
+}
+
+TEST(LakeRobustnessTest, DeleteEverythingThenCompact) {
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  auto table = Table::Create(&store, "t", OneColSchema()).MoveValue();
+  ASSERT_TRUE(table->Append(IntBatch(0, 20)).ok());
+  ASSERT_TRUE(table->Append(IntBatch(20, 20)).ok());
+  ASSERT_TRUE(table
+                  ->DeleteWhere("v", [](const ColumnVector&, size_t) {
+                    return true;  // Delete every row.
+                  })
+                  .ok());
+  auto snap = table->GetSnapshot().MoveValue();
+  for (const DataFile& f : snap.files) {
+    DeletionVector dv;
+    ASSERT_TRUE(table->ReadDeletionVector(f, &dv).ok());
+    EXPECT_EQ(dv.size(), 20u);
+  }
+  // Compaction rewrites to an empty file.
+  ASSERT_TRUE(table->CompactFiles(UINT64_MAX).ok());
+  snap = table->GetSnapshot().MoveValue();
+  ASSERT_EQ(snap.files.size(), 1u);
+  EXPECT_EQ(snap.TotalRows(), 0u);
+}
+
+TEST(LakeRobustnessTest, TimeTravelThroughDeleteHistory) {
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  auto table = Table::Create(&store, "t", OneColSchema()).MoveValue();
+  auto v1 = table->Append(IntBatch(0, 10)).MoveValue();
+  auto v2 = table
+                ->DeleteWhere("v",
+                              [](const ColumnVector& col, size_t r) {
+                                return col.ints()[r] < 5;
+                              })
+                .MoveValue();
+  // At v1 the file has no deletion vector; at v2 it does.
+  auto snap1 = table->GetSnapshot(v1).MoveValue();
+  EXPECT_TRUE(snap1.files[0].dv_path.empty());
+  auto snap2 = table->GetSnapshot(v2).MoveValue();
+  EXPECT_FALSE(snap2.files[0].dv_path.empty());
+}
+
+TEST(JsonRobustnessTest, DeepNestingRoundTrips) {
+  std::string text;
+  for (int i = 0; i < 60; ++i) text += "{\"a\":[";
+  text += "1";
+  for (int i = 0; i < 60; ++i) text += "]}";
+  auto r = Json::Parse(text);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Dump(), text);
+}
+
+TEST(JsonRobustnessTest, GarbageNeverCrashes) {
+  Random rng(4242);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string garbage;
+    size_t n = rng.Uniform(100);
+    static const char chars[] = "{}[]\",:0123456789.eE+-truefalsn\\ ";
+    for (size_t i = 0; i < n; ++i) {
+      garbage.push_back(chars[rng.Uniform(sizeof(chars) - 1)]);
+    }
+    (void)Json::Parse(garbage);  // Must not crash; errors are fine.
+  }
+}
+
+}  // namespace
+}  // namespace rottnest::lake

@@ -1,0 +1,82 @@
+#include "lake/metadata_table.h"
+
+#include <gtest/gtest.h>
+
+#include "objectstore/object_store.h"
+
+namespace rottnest::lake {
+namespace {
+
+using objectstore::InMemoryObjectStore;
+
+IndexEntry MakeEntry(const std::string& path,
+                     std::vector<std::string> covered) {
+  IndexEntry e;
+  e.index_path = path;
+  e.index_type = "trie";
+  e.column = "uuid";
+  e.covered_files = std::move(covered);
+  e.rows = 1000;
+  e.created_micros = 42;
+  return e;
+}
+
+class MetadataTableTest : public ::testing::Test {
+ protected:
+  SimulatedClock clock_;
+  InMemoryObjectStore store_{&clock_};
+  MetadataTable meta_{&store_, "idx"};
+};
+
+TEST_F(MetadataTableTest, EmptyReadsEmpty) {
+  auto entries = meta_.ReadAll();
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  EXPECT_TRUE(entries.value().empty());
+}
+
+TEST_F(MetadataTableTest, InsertAndRead) {
+  ASSERT_TRUE(
+      meta_.Update({MakeEntry("idx/a.index", {"d/1.lake", "d/2.lake"})}, {})
+          .ok());
+  auto entries = meta_.ReadAll().MoveValue();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].index_path, "idx/a.index");
+  EXPECT_EQ(entries[0].index_type, "trie");
+  EXPECT_EQ(entries[0].column, "uuid");
+  EXPECT_EQ(entries[0].covered_files,
+            (std::vector<std::string>{"d/1.lake", "d/2.lake"}));
+  EXPECT_EQ(entries[0].rows, 1000u);
+  EXPECT_EQ(entries[0].created_micros, 42);
+}
+
+TEST_F(MetadataTableTest, AtomicSwapOnCompaction) {
+  ASSERT_TRUE(meta_.Update({MakeEntry("idx/a.index", {"d/1.lake"})}, {}).ok());
+  ASSERT_TRUE(meta_.Update({MakeEntry("idx/b.index", {"d/2.lake"})}, {}).ok());
+  // Compaction: one transaction removes a & b, adds merged.
+  ASSERT_TRUE(meta_
+                  .Update({MakeEntry("idx/merged.index",
+                                     {"d/1.lake", "d/2.lake"})},
+                          {"idx/a.index", "idx/b.index"})
+                  .ok());
+  auto entries = meta_.ReadAll().MoveValue();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].index_path, "idx/merged.index");
+}
+
+TEST_F(MetadataTableTest, RemoveMissingIsTolerated) {
+  ASSERT_TRUE(meta_.Update({}, {"idx/never-existed.index"}).ok());
+  EXPECT_TRUE(meta_.ReadAll().MoveValue().empty());
+}
+
+TEST_F(MetadataTableTest, MultipleEntriesPersistAcrossReopen) {
+  ASSERT_TRUE(meta_.Update({MakeEntry("idx/a.index", {"d/1.lake"}),
+                            MakeEntry("idx/b.index", {"d/2.lake"})},
+                           {})
+                  .ok());
+  MetadataTable reopened(&store_, "idx");
+  auto entries = reopened.ReadAll().MoveValue();
+  EXPECT_EQ(entries.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rottnest::lake

@@ -1,0 +1,122 @@
+#include "lake/txn_log.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "objectstore/object_store.h"
+
+namespace rottnest::lake {
+namespace {
+
+using objectstore::InMemoryObjectStore;
+
+class TxnLogTest : public ::testing::Test {
+ protected:
+  SimulatedClock clock_;
+  InMemoryObjectStore store_{&clock_};
+};
+
+Json Action(const std::string& kind, int64_t id) {
+  Json::Object payload;
+  payload["id"] = Json(id);
+  Json::Object action;
+  action[kind] = Json(std::move(payload));
+  return Json(std::move(action));
+}
+
+TEST_F(TxnLogTest, EmptyLogHasNoLatest) {
+  TxnLog log(&store_, "t/_log");
+  EXPECT_TRUE(log.LatestVersion().status().IsNotFound());
+}
+
+TEST_F(TxnLogTest, CommitAndRead) {
+  TxnLog log(&store_, "t/_log");
+  ASSERT_TRUE(log.Commit(0, {Action("add", 1), Action("add", 2)}).ok());
+  std::vector<Json> actions;
+  ASSERT_TRUE(log.ReadVersion(0, &actions).ok());
+  ASSERT_EQ(actions.size(), 2u);
+  Json payload;
+  ASSERT_TRUE(actions[1].Get("add", &payload));
+  int64_t id;
+  ASSERT_TRUE(payload.GetInt("id", &id).ok());
+  EXPECT_EQ(id, 2);
+}
+
+TEST_F(TxnLogTest, CommitConflictDetected) {
+  TxnLog log(&store_, "t/_log");
+  ASSERT_TRUE(log.Commit(0, {Action("a", 1)}).ok());
+  EXPECT_TRUE(log.Commit(0, {Action("b", 2)}).IsAlreadyExists());
+}
+
+TEST_F(TxnLogTest, CommitNextSkipsPastConflicts) {
+  TxnLog log(&store_, "t/_log");
+  ASSERT_TRUE(log.Commit(0, {Action("a", 0)}).ok());
+  ASSERT_TRUE(log.Commit(1, {Action("a", 1)}).ok());
+  auto v = log.CommitNext({Action("b", 2)});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 2);
+  auto latest = log.LatestVersion();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest.value(), 2);
+}
+
+TEST_F(TxnLogTest, ConcurrentCommittersGetDistinctVersions) {
+  TxnLog log(&store_, "t/_log");
+  constexpr int kWriters = 8;
+  std::vector<std::thread> threads;
+  std::vector<Version> got(kWriters, -1);
+  for (int i = 0; i < kWriters; ++i) {
+    threads.emplace_back([&, i] {
+      TxnLog local(&store_, "t/_log");
+      auto v = local.CommitNext({Action("w", i)});
+      ASSERT_TRUE(v.ok());
+      got[i] = v.value();
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::sort(got.begin(), got.end());
+  for (int i = 0; i < kWriters; ++i) {
+    EXPECT_EQ(got[i], i) << "versions must be dense and unique";
+  }
+}
+
+TEST_F(TxnLogTest, ReplayConcatenatesInOrder) {
+  TxnLog log(&store_, "t/_log");
+  ASSERT_TRUE(log.Commit(0, {Action("x", 0)}).ok());
+  ASSERT_TRUE(log.Commit(1, {Action("x", 1), Action("x", 2)}).ok());
+  ASSERT_TRUE(log.Commit(2, {Action("x", 3)}).ok());
+
+  std::vector<Json> actions;
+  auto v = log.Replay(-1, &actions);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 2);
+  ASSERT_EQ(actions.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    Json payload;
+    ASSERT_TRUE(actions[i].Get("x", &payload));
+    int64_t id;
+    ASSERT_TRUE(payload.GetInt("id", &id).ok());
+    EXPECT_EQ(id, i);
+  }
+}
+
+TEST_F(TxnLogTest, ReplayToSpecificVersion) {
+  TxnLog log(&store_, "t/_log");
+  ASSERT_TRUE(log.Commit(0, {Action("x", 0)}).ok());
+  ASSERT_TRUE(log.Commit(1, {Action("x", 1)}).ok());
+  std::vector<Json> actions;
+  auto v = log.Replay(0, &actions);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 0);
+  EXPECT_EQ(actions.size(), 1u);
+}
+
+TEST_F(TxnLogTest, SeparateLogsAreIndependent) {
+  TxnLog a(&store_, "a/_log"), b(&store_, "b/_log");
+  ASSERT_TRUE(a.Commit(0, {Action("x", 1)}).ok());
+  EXPECT_TRUE(b.LatestVersion().status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace rottnest::lake

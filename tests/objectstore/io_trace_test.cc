@@ -1,0 +1,206 @@
+#include "objectstore/io_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "objectstore/read_batch.h"
+
+namespace rottnest::objectstore {
+namespace {
+
+Buffer Bytes(const std::string& s) { return Buffer(s.begin(), s.end()); }
+
+TEST(S3ModelTest, LatencyFlatUntilOneMegabyte) {
+  // Reproduces the Fig 10a observation: read latency is stable in request
+  // size until ~1MB, then grows linearly.
+  S3Model model;
+  double lat_1kb = model.RoundLatencyMs(1 << 10, 1);
+  double lat_256kb = model.RoundLatencyMs(256 << 10, 1);
+  double lat_1mb = model.RoundLatencyMs(1 << 20, 1);
+  double lat_64mb = model.RoundLatencyMs(64 << 20, 1);
+  // Small reads are dominated by TTFB: within 15% of each other.
+  EXPECT_LT(lat_256kb / lat_1kb, 1.15);
+  // 64MB is dominated by transfer: ~64x the 1MB transfer time.
+  EXPECT_GT(lat_64mb / lat_1mb, 10.0);
+}
+
+TEST(S3ModelTest, ConcurrencyOnlyMattersWhenNicSaturates) {
+  S3Model model;
+  // 512 concurrent 256KB reads: NIC at 12.5 GB/s shared by 512 streams is
+  // ~24 MB/s/stream, still transfer-cheap at 256KB.
+  double lat_1 = model.RoundLatencyMs(256 << 10, 1);
+  double lat_512 = model.RoundLatencyMs(256 << 10, 512);
+  EXPECT_LT(lat_512 / lat_1, 1.5);
+  // At 16MB per request, 512-way concurrency saturates the NIC.
+  double big_1 = model.RoundLatencyMs(16 << 20, 1);
+  double big_512 = model.RoundLatencyMs(16 << 20, 512);
+  EXPECT_GT(big_512 / big_1, 3.0);
+}
+
+TEST(IoTraceTest, DepthCountsDependentRounds) {
+  IoTrace trace;
+  trace.BeginRound();
+  trace.RecordGet(1000);
+  trace.RecordGet(2000);  // Same round: concurrent.
+  trace.BeginRound();
+  trace.RecordGet(500);  // Dependent second round.
+  EXPECT_EQ(trace.depth(), 2u);
+  EXPECT_EQ(trace.total_gets(), 3u);
+  EXPECT_EQ(trace.total_bytes(), 3500u);
+}
+
+TEST(IoTraceTest, EmptyRoundsDoNotCountTowardDepth) {
+  IoTrace trace;
+  trace.BeginRound();
+  trace.BeginRound();
+  trace.RecordGet(100);
+  EXPECT_EQ(trace.depth(), 1u);
+}
+
+TEST(IoTraceTest, ProjectedLatencySumsRounds) {
+  S3Model model;
+  model.ttfb_ms = 30.0;
+  IoTrace trace;
+  trace.BeginRound();
+  trace.RecordGet(100);
+  trace.BeginRound();
+  trace.RecordGet(100);
+  trace.BeginRound();
+  trace.RecordGet(100);
+  double ms = trace.ProjectedLatencyMs(model);
+  // Three dependent rounds of tiny reads: ~3 * ttfb.
+  EXPECT_NEAR(ms, 90.0, 1.0);
+}
+
+TEST(IoTraceTest, ParallelReadsInOneRoundCostOneTtfb) {
+  S3Model model;
+  IoTrace wide, deep;
+  wide.BeginRound();
+  for (int i = 0; i < 10; ++i) wide.RecordGet(1000);
+  for (int i = 0; i < 10; ++i) {
+    deep.BeginRound();
+    deep.RecordGet(1000);
+  }
+  // The width-over-depth principle of §V-B.
+  EXPECT_LT(wide.ProjectedLatencyMs(model) * 5,
+            deep.ProjectedLatencyMs(model));
+}
+
+TEST(IoTraceTest, ComputeTimeAddsToLatency) {
+  S3Model model;
+  IoTrace trace;
+  trace.AddComputeMicros(50'000);
+  EXPECT_NEAR(trace.ProjectedLatencyMs(model), 50.0, 0.01);
+}
+
+TEST(IoTraceTest, ListRoundsUseListLatency) {
+  S3Model model;
+  model.list_ms = 60.0;
+  IoTrace trace;
+  trace.RecordList();
+  EXPECT_NEAR(trace.ProjectedLatencyMs(model), 60.0, 0.01);
+  EXPECT_EQ(trace.total_lists(), 1u);
+}
+
+TEST(IoTraceTest, RequestCost) {
+  S3Model model;
+  IoTrace trace;
+  trace.BeginRound();
+  for (int i = 0; i < 1000; ++i) trace.RecordGet(10);
+  double usd = trace.RequestCostUsd(model);
+  EXPECT_NEAR(usd, 1000 * model.get_cost_usd, 1e-9);
+}
+
+TEST(IoTraceTest, ResetClears) {
+  IoTrace trace;
+  trace.BeginRound();
+  trace.RecordGet(100);
+  trace.AddComputeMicros(1000);
+  trace.Reset();
+  EXPECT_EQ(trace.depth(), 0u);
+  EXPECT_EQ(trace.total_gets(), 0u);
+  EXPECT_EQ(trace.compute_micros(), 0);
+}
+
+TEST(TracedStoreTest, RecordsGetsAndLists) {
+  SimulatedClock clock;
+  InMemoryObjectStore inner(&clock);
+  ASSERT_TRUE(inner.Put("k", Slice(Bytes("0123456789"))).ok());
+  IoTrace trace;
+  TracedObjectStore traced(&inner, &trace);
+  Buffer out;
+  ASSERT_TRUE(traced.Get("k", &out).ok());
+  ASSERT_TRUE(traced.GetRange("k", 0, 4, &out).ok());
+  std::vector<ObjectMeta> listing;
+  ASSERT_TRUE(traced.List("", &listing).ok());
+  EXPECT_EQ(trace.total_gets(), 2u);
+  EXPECT_EQ(trace.total_bytes(), 14u);
+  EXPECT_EQ(trace.total_lists(), 1u);
+}
+
+TEST(ReadBatchTest, ReadsAllRequestsAsOneRound) {
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        store.Put("obj" + std::to_string(i), Slice(Bytes("payload" + std::to_string(i))))
+            .ok());
+  }
+  ThreadPool pool(4);
+  IoTrace trace;
+  std::vector<RangeRequest> requests;
+  for (int i = 0; i < 8; ++i) {
+    requests.push_back({"obj" + std::to_string(i), 0, 0});
+  }
+  std::vector<Buffer> results;
+  ASSERT_TRUE(ReadBatch(&store, requests, &pool, &trace, &results).ok());
+  ASSERT_EQ(results.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(results[i], Bytes("payload" + std::to_string(i)));
+  }
+  EXPECT_EQ(trace.depth(), 1u);  // One round despite 8 requests.
+  EXPECT_EQ(trace.total_gets(), 8u);
+}
+
+TEST(ReadBatchTest, RangeRequests) {
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  ASSERT_TRUE(store.Put("k", Slice(Bytes("0123456789"))).ok());
+  std::vector<RangeRequest> requests = {{"k", 2, 3}, {"k", 5, 2}};
+  std::vector<Buffer> results;
+  ASSERT_TRUE(ReadBatch(&store, requests, nullptr, nullptr, &results).ok());
+  EXPECT_EQ(results[0], Bytes("234"));
+  EXPECT_EQ(results[1], Bytes("56"));
+}
+
+TEST(ReadBatchTest, MissingKeyReportsErrorButReadsRest) {
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  ASSERT_TRUE(store.Put("present", Slice(Bytes("v"))).ok());
+  ThreadPool pool(2);
+  std::vector<RangeRequest> requests = {{"present", 0, 0}, {"absent", 0, 0}};
+  std::vector<Buffer> results;
+  Status s = ReadBatch(&store, requests, &pool, nullptr, &results);
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(results[0], Bytes("v"));
+}
+
+TEST(ReadBatchTest, EmptyBatchIsNoop) {
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  IoTrace trace;
+  std::vector<Buffer> results;
+  ASSERT_TRUE(ReadBatch(&store, {}, nullptr, &trace, &results).ok());
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(trace.depth(), 0u);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsAllIterations) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace rottnest::objectstore

@@ -1,0 +1,236 @@
+#include "objectstore/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "objectstore/local_disk_store.h"
+
+namespace rottnest::objectstore {
+namespace {
+
+Buffer Bytes(const std::string& s) { return Buffer(s.begin(), s.end()); }
+
+class InMemoryStoreTest : public ::testing::Test {
+ protected:
+  SimulatedClock clock_;
+  InMemoryObjectStore store_{&clock_};
+};
+
+TEST_F(InMemoryStoreTest, PutGetRoundTrip) {
+  Buffer data = Bytes("hello object storage");
+  ASSERT_TRUE(store_.Put("bucket/key", Slice(data)).ok());
+  Buffer out;
+  ASSERT_TRUE(store_.Get("bucket/key", &out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(InMemoryStoreTest, GetMissingIsNotFound) {
+  Buffer out;
+  EXPECT_TRUE(store_.Get("nope", &out).IsNotFound());
+}
+
+TEST_F(InMemoryStoreTest, ReadAfterWriteConsistency) {
+  // A Get immediately after Put must observe the object — the protocol's
+  // foundational storage property.
+  for (int i = 0; i < 100; ++i) {
+    std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(store_.Put(key, Slice(Bytes(key))).ok());
+    Buffer out;
+    ASSERT_TRUE(store_.Get(key, &out).ok());
+    EXPECT_EQ(out, Bytes(key));
+  }
+}
+
+TEST_F(InMemoryStoreTest, PutOverwrites) {
+  ASSERT_TRUE(store_.Put("k", Slice(Bytes("v1"))).ok());
+  ASSERT_TRUE(store_.Put("k", Slice(Bytes("v2"))).ok());
+  Buffer out;
+  ASSERT_TRUE(store_.Get("k", &out).ok());
+  EXPECT_EQ(out, Bytes("v2"));
+}
+
+TEST_F(InMemoryStoreTest, PutIfAbsentConflicts) {
+  ASSERT_TRUE(store_.PutIfAbsent("log/0", Slice(Bytes("commit-a"))).ok());
+  Status s = store_.PutIfAbsent("log/0", Slice(Bytes("commit-b")));
+  EXPECT_TRUE(s.IsAlreadyExists());
+  Buffer out;
+  ASSERT_TRUE(store_.Get("log/0", &out).ok());
+  EXPECT_EQ(out, Bytes("commit-a"));  // Loser must not clobber the winner.
+}
+
+TEST_F(InMemoryStoreTest, PutIfAbsentIsAtomicUnderRaces) {
+  // N threads race to commit the same log version; exactly one must win.
+  constexpr int kThreads = 16;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      Buffer payload = Bytes("writer-" + std::to_string(i));
+      if (store_.PutIfAbsent("log/42", Slice(payload)).ok()) {
+        winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(winners.load(), 1);
+}
+
+TEST_F(InMemoryStoreTest, GetRange) {
+  ASSERT_TRUE(store_.Put("k", Slice(Bytes("0123456789"))).ok());
+  Buffer out;
+  ASSERT_TRUE(store_.GetRange("k", 2, 3, &out).ok());
+  EXPECT_EQ(out, Bytes("234"));
+  // Range past end truncates like HTTP.
+  ASSERT_TRUE(store_.GetRange("k", 8, 100, &out).ok());
+  EXPECT_EQ(out, Bytes("89"));
+  // Offset beyond the object is an error.
+  EXPECT_TRUE(store_.GetRange("k", 11, 1, &out).IsInvalidArgument());
+}
+
+TEST_F(InMemoryStoreTest, HeadReportsSizeAndTimestamp) {
+  clock_.SetMicros(5000);
+  ASSERT_TRUE(store_.Put("k", Slice(Bytes("abcd"))).ok());
+  ObjectMeta meta;
+  ASSERT_TRUE(store_.Head("k", &meta).ok());
+  EXPECT_EQ(meta.size, 4u);
+  EXPECT_EQ(meta.created_micros, 5000);
+  EXPECT_TRUE(store_.Head("missing", &meta).IsNotFound());
+}
+
+TEST_F(InMemoryStoreTest, TimestampsFollowGlobalClock) {
+  clock_.SetMicros(100);
+  ASSERT_TRUE(store_.Put("a", Slice(Bytes("x"))).ok());
+  clock_.Advance(900);
+  ASSERT_TRUE(store_.Put("b", Slice(Bytes("x"))).ok());
+  ObjectMeta ma, mb;
+  ASSERT_TRUE(store_.Head("a", &ma).ok());
+  ASSERT_TRUE(store_.Head("b", &mb).ok());
+  EXPECT_EQ(ma.created_micros, 100);
+  EXPECT_EQ(mb.created_micros, 1000);
+}
+
+TEST_F(InMemoryStoreTest, ListByPrefixSorted) {
+  for (const char* k : {"idx/b", "idx/a", "data/x", "idx/c", "other"}) {
+    ASSERT_TRUE(store_.Put(k, Slice(Bytes("v"))).ok());
+  }
+  std::vector<ObjectMeta> listing;
+  ASSERT_TRUE(store_.List("idx/", &listing).ok());
+  ASSERT_EQ(listing.size(), 3u);
+  EXPECT_EQ(listing[0].key, "idx/a");
+  EXPECT_EQ(listing[1].key, "idx/b");
+  EXPECT_EQ(listing[2].key, "idx/c");
+}
+
+TEST_F(InMemoryStoreTest, ListEmptyPrefixListsAll) {
+  ASSERT_TRUE(store_.Put("a", Slice(Bytes("v"))).ok());
+  ASSERT_TRUE(store_.Put("b", Slice(Bytes("v"))).ok());
+  std::vector<ObjectMeta> listing;
+  ASSERT_TRUE(store_.List("", &listing).ok());
+  EXPECT_EQ(listing.size(), 2u);
+}
+
+TEST_F(InMemoryStoreTest, DeleteIsIdempotent) {
+  ASSERT_TRUE(store_.Put("k", Slice(Bytes("v"))).ok());
+  ASSERT_TRUE(store_.Delete("k").ok());
+  Buffer out;
+  EXPECT_TRUE(store_.Get("k", &out).IsNotFound());
+  EXPECT_TRUE(store_.Delete("k").ok());  // Second delete still OK.
+}
+
+TEST_F(InMemoryStoreTest, StatsCountRequests) {
+  Buffer out;
+  ASSERT_TRUE(store_.Put("k", Slice(Bytes("0123456789"))).ok());
+  ASSERT_TRUE(store_.Get("k", &out).ok());
+  ASSERT_TRUE(store_.GetRange("k", 0, 4, &out).ok());
+  std::vector<ObjectMeta> listing;
+  ASSERT_TRUE(store_.List("", &listing).ok());
+  ASSERT_TRUE(store_.Delete("k").ok());
+  EXPECT_EQ(store_.stats().puts.load(), 1u);
+  EXPECT_EQ(store_.stats().gets.load(), 2u);
+  EXPECT_EQ(store_.stats().lists.load(), 1u);
+  EXPECT_EQ(store_.stats().deletes.load(), 1u);
+  EXPECT_EQ(store_.stats().bytes_written.load(), 10u);
+  EXPECT_EQ(store_.stats().bytes_read.load(), 14u);
+}
+
+TEST_F(InMemoryStoreTest, FailureInjection) {
+  store_.SetFailurePoint([](const std::string& op, const std::string& key) {
+    if (op == "put" && key == "poison") {
+      return Status::IOError("injected");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(store_.Put("poison", Slice(Bytes("v"))).IsIOError());
+  EXPECT_TRUE(store_.Put("fine", Slice(Bytes("v"))).ok());
+  store_.SetFailurePoint(nullptr);
+  EXPECT_TRUE(store_.Put("poison", Slice(Bytes("v"))).ok());
+}
+
+TEST_F(InMemoryStoreTest, TotalBytesAndObjectCount) {
+  ASSERT_TRUE(store_.Put("a", Slice(Bytes("12345"))).ok());
+  ASSERT_TRUE(store_.Put("b", Slice(Bytes("123"))).ok());
+  EXPECT_EQ(store_.TotalBytes(), 8u);
+  EXPECT_EQ(store_.ObjectCount(), 2u);
+}
+
+class LocalDiskStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("rottnest_store_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(root_);
+    store_ = std::make_unique<LocalDiskObjectStore>(root_.string(), &clock_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::filesystem::path root_;
+  SystemClock clock_;
+  std::unique_ptr<LocalDiskObjectStore> store_;
+};
+
+TEST_F(LocalDiskStoreTest, PutGetRoundTrip) {
+  Buffer data = Bytes("persisted payload");
+  ASSERT_TRUE(store_->Put("tables/t1/part-0.parquet", Slice(data)).ok());
+  Buffer out;
+  ASSERT_TRUE(store_->Get("tables/t1/part-0.parquet", &out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(LocalDiskStoreTest, GetRangeAndHead) {
+  ASSERT_TRUE(store_->Put("k", Slice(Bytes("0123456789"))).ok());
+  Buffer out;
+  ASSERT_TRUE(store_->GetRange("k", 3, 4, &out).ok());
+  EXPECT_EQ(out, Bytes("3456"));
+  ObjectMeta meta;
+  ASSERT_TRUE(store_->Head("k", &meta).ok());
+  EXPECT_EQ(meta.size, 10u);
+}
+
+TEST_F(LocalDiskStoreTest, PutIfAbsent) {
+  ASSERT_TRUE(store_->PutIfAbsent("log/0", Slice(Bytes("a"))).ok());
+  EXPECT_TRUE(store_->PutIfAbsent("log/0", Slice(Bytes("b"))).IsAlreadyExists());
+}
+
+TEST_F(LocalDiskStoreTest, ListNestedKeys) {
+  ASSERT_TRUE(store_->Put("t/log/0", Slice(Bytes("v"))).ok());
+  ASSERT_TRUE(store_->Put("t/log/1", Slice(Bytes("v"))).ok());
+  ASSERT_TRUE(store_->Put("t/data/a", Slice(Bytes("v"))).ok());
+  std::vector<ObjectMeta> listing;
+  ASSERT_TRUE(store_->List("t/log/", &listing).ok());
+  ASSERT_EQ(listing.size(), 2u);
+  EXPECT_EQ(listing[0].key, "t/log/0");
+  EXPECT_EQ(listing[1].key, "t/log/1");
+}
+
+TEST_F(LocalDiskStoreTest, DeleteAndMissing) {
+  ASSERT_TRUE(store_->Put("k", Slice(Bytes("v"))).ok());
+  ASSERT_TRUE(store_->Delete("k").ok());
+  Buffer out;
+  EXPECT_TRUE(store_->Get("k", &out).IsNotFound());
+}
+
+}  // namespace
+}  // namespace rottnest::objectstore

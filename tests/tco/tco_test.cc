@@ -1,0 +1,181 @@
+#include "tco/tco.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rottnest::tco {
+namespace {
+
+// A parameter set shaped like the paper's substring-search workload:
+// expensive brute-force queries, always-on copy cluster, cheap Rottnest
+// queries with modest index/storage overhead.
+CostParams PaperLike() {
+  CostParams p;
+  p.cpm_i = 250.0;    // 3-node cluster + EBS.
+  p.cpm_bf = 7.0;     // ~300GB on S3.
+  p.cpq_bf = 0.10;    // 8 big workers for ~45s.
+  p.ic_r = 40.0;      // One-time indexing.
+  p.cpm_r = 13.0;     // Data + index storage.
+  p.cpq_r = 0.0015;   // Single instance, seconds.
+  return p;
+}
+
+TEST(TcoTest, FormulasMatchDefinition) {
+  CostParams p = PaperLike();
+  EXPECT_DOUBLE_EQ(TcoCopyData(p, 10, 12345), 2500.0);
+  EXPECT_DOUBLE_EQ(TcoBruteForce(p, 10, 100), 70.0 + 10.0);
+  EXPECT_DOUBLE_EQ(TcoRottnest(p, 10, 1000), 40.0 + 130.0 + 1.5);
+}
+
+TEST(TcoTest, WinnerRegionsAreOrderedByQueryLoad) {
+  CostParams p = PaperLike();
+  // At a fixed 10 months: few queries -> brute force; moderate ->
+  // Rottnest; huge -> copy data. (The Fig 2 / Fig 7 vertical ordering.)
+  EXPECT_EQ(Winner(p, 10, 1), Approach::kBruteForce);
+  EXPECT_EQ(Winner(p, 10, 1e4), Approach::kRottnest);
+  EXPECT_EQ(Winner(p, 10, 1e7), Approach::kCopyData);
+}
+
+TEST(TcoTest, BoundariesBracketTheRottnestBand) {
+  CostParams p = PaperLike();
+  Boundaries b = ComputeBoundaries(p, 10);
+  ASSERT_GT(b.bf_to_rottnest, 0);
+  ASSERT_LT(b.bf_to_rottnest, b.rottnest_to_copy);
+  // Exactly at the boundaries the winner flips.
+  EXPECT_EQ(Winner(p, 10, b.bf_to_rottnest * 0.5), Approach::kBruteForce);
+  EXPECT_EQ(Winner(p, 10, b.bf_to_rottnest * 2.0), Approach::kRottnest);
+  EXPECT_EQ(Winner(p, 10, b.rottnest_to_copy * 0.5), Approach::kRottnest);
+  EXPECT_EQ(Winner(p, 10, b.rottnest_to_copy * 2.0), Approach::kCopyData);
+}
+
+TEST(TcoTest, BandSpansOrdersOfMagnitude) {
+  CostParams p = PaperLike();
+  // The paper reports ~4 orders of magnitude at 10 months.
+  double orders = RottnestBandOrders(p, 10);
+  EXPECT_GT(orders, 2.0);
+}
+
+TEST(TcoTest, OnsetIsEarly) {
+  CostParams p = PaperLike();
+  double onset = RottnestOnsetMonths(p);
+  // Substring search: ~2 days in the paper; ours must be well under a
+  // month for paper-like parameters.
+  EXPECT_LT(onset, 1.0);
+  EXPECT_GT(onset, 0.0);
+}
+
+TEST(TcoTest, ExpensiveIndexDelaysOnset) {
+  CostParams cheap = PaperLike();
+  CostParams expensive = PaperLike();
+  expensive.ic_r *= 16;
+  EXPECT_GT(RottnestOnsetMonths(expensive), RottnestOnsetMonths(cheap));
+}
+
+TEST(TcoTest, LowerCpqExtendsBandUpward) {
+  // §VII-D1 observation 1: decreasing cpq_r pushes the copy-data boundary
+  // up, with no effect on the brute-force boundary direction.
+  CostParams base = PaperLike();
+  CostParams faster = base;
+  faster.cpq_r /= 4;
+  Boundaries b0 = ComputeBoundaries(base, 10);
+  Boundaries b1 = ComputeBoundaries(faster, 10);
+  EXPECT_GT(b1.rottnest_to_copy, b0.rottnest_to_copy);
+  EXPECT_LE(b1.bf_to_rottnest, b0.bf_to_rottnest * 1.0001);
+}
+
+TEST(TcoTest, SmallerIndexExtendsBandDownward) {
+  // §VII-D1 observation 1 (dual): decreasing cpm_r mainly helps against
+  // brute force on long horizons.
+  CostParams base = PaperLike();
+  CostParams smaller = base;
+  smaller.cpm_r = base.cpm_bf + (base.cpm_r - base.cpm_bf) / 4;
+  Boundaries b0 = ComputeBoundaries(base, 24);
+  Boundaries b1 = ComputeBoundaries(smaller, 24);
+  EXPECT_LT(b1.bf_to_rottnest, b0.bf_to_rottnest);
+}
+
+TEST(TcoTest, IndexLargerThanDataCurvesBoundaryUp) {
+  // §VII-B1: when the index is almost as large as the data (substring
+  // case), the bf->rottnest boundary grows with months (curves up);
+  // with a tiny index (UUID case) it stays nearly flat.
+  CostParams heavy = PaperLike();  // cpm_r ~ 2x cpm_bf.
+  double heavy_1 = ComputeBoundaries(heavy, 1).bf_to_rottnest;
+  double heavy_20 = ComputeBoundaries(heavy, 20).bf_to_rottnest;
+  EXPECT_GT(heavy_20 / heavy_1, 2.0);
+
+  CostParams light = PaperLike();
+  light.cpm_r = light.cpm_bf * 1.01;
+  double light_1 = ComputeBoundaries(light, 1).bf_to_rottnest;
+  double light_20 = ComputeBoundaries(light, 20).bf_to_rottnest;
+  EXPECT_LT(light_20 / light_1, 1.5);
+}
+
+TEST(TcoTest, PhaseDiagramGridConsistentWithWinner) {
+  CostParams p = PaperLike();
+  PhaseDiagram d = ComputePhaseDiagram(p, 0.1, 100, 24, 1, 1e8, 24);
+  ASSERT_EQ(d.months.size(), 24u);
+  ASSERT_EQ(d.queries.size(), 24u);
+  for (size_t qi = 0; qi < 24; qi += 5) {
+    for (size_t mi = 0; mi < 24; mi += 5) {
+      EXPECT_EQ(d.At(qi, mi), Winner(p, d.months[mi], d.queries[qi]));
+    }
+  }
+  // All three regions appear.
+  bool has[3] = {false, false, false};
+  for (Approach a : d.winner) has[static_cast<int>(a)] = true;
+  EXPECT_TRUE(has[0] && has[1] && has[2]);
+}
+
+TEST(TcoTest, RenderAndCsvProduceOutput) {
+  CostParams p = PaperLike();
+  PhaseDiagram d = ComputePhaseDiagram(p, 0.1, 100, 10, 1, 1e8, 10);
+  std::string art = RenderPhaseDiagram(d);
+  EXPECT_NE(art.find('R'), std::string::npos);
+  EXPECT_NE(art.find('B'), std::string::npos);
+  std::string csv = PhaseDiagramCsv(d);
+  EXPECT_NE(csv.find("months,queries,winner"), std::string::npos);
+  EXPECT_NE(csv.find("rottnest"), std::string::npos);
+}
+
+TEST(TcoTest, DeriveCostParamsScalesLinearly) {
+  MeasuredWorkload m;
+  m.data_bytes = 1e9;
+  m.index_bytes = 2e8;
+  m.rottnest_query_s = 2.0;
+  m.rottnest_gets_per_query = 50;
+  m.brute_force_query_s = 30.0;  // Already at target scale.
+  m.brute_force_workers = 8;
+  m.index_build_s = 600;
+  m.copy_memory_bytes = 1.2e9;
+  Pricing price;
+
+  CostParams p1 = DeriveCostParams(m, price, 1.0);
+  CostParams p10 = DeriveCostParams(m, price, 10.0);
+  // Storage / indexing / brute-force query costs scale with data size...
+  EXPECT_NEAR(p10.cpm_bf, 10 * p1.cpm_bf, 1e-9);
+  EXPECT_NEAR(p10.ic_r, 10 * p1.ic_r, 1e-9);
+  EXPECT_NEAR(p10.cpq_bf, p1.cpq_bf, 1e-9);  // Caller pre-scales BF time.
+  // ...but Rottnest per-query cost does not (§VII-D2, post-compaction).
+  EXPECT_NEAR(p10.cpq_r, p1.cpq_r, 1e-12);
+  EXPECT_GT(p1.cpm_i, 0);
+  EXPECT_GT(p1.cpq_r, 0);
+}
+
+TEST(TcoTest, RottnestQpsCap) {
+  // 5500 GET RPS / prefix with ~55-550 GETs/query -> 10-100 QPS (§VII-D3).
+  EXPECT_NEAR(RottnestMaxQps(55), 100.0, 1e-9);
+  EXPECT_NEAR(RottnestMaxQps(550), 10.0, 1e-9);
+}
+
+TEST(TcoTest, DegenerateParamsStillPickAWinner) {
+  CostParams p;  // All zero: ties broken toward Rottnest <= bf <= copy.
+  EXPECT_EQ(Winner(p, 1, 1), Approach::kRottnest);
+  p.cpq_r = 1.0;
+  p.cpq_bf = 0.5;  // Rottnest never wins on queries.
+  Boundaries b = ComputeBoundaries(p, 1);
+  EXPECT_EQ(b.bf_to_rottnest, 0.0);  // fixed gap 0 -> wins at 0 queries...
+}
+
+}  // namespace
+}  // namespace rottnest::tco
