@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_componentization.dir/ablation_componentization.cc.o"
+  "CMakeFiles/ablation_componentization.dir/ablation_componentization.cc.o.d"
+  "ablation_componentization"
+  "ablation_componentization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_componentization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

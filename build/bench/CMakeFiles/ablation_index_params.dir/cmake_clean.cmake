@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_index_params.dir/ablation_index_params.cc.o"
+  "CMakeFiles/ablation_index_params.dir/ablation_index_params.cc.o.d"
+  "ablation_index_params"
+  "ablation_index_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_index_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

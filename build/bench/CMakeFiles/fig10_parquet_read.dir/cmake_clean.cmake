@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_parquet_read.dir/fig10_parquet_read.cc.o"
+  "CMakeFiles/fig10_parquet_read.dir/fig10_parquet_read.cc.o.d"
+  "fig10_parquet_read"
+  "fig10_parquet_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_parquet_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

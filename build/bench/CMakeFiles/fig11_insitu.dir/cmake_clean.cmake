@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_insitu.dir/fig11_insitu.cc.o"
+  "CMakeFiles/fig11_insitu.dir/fig11_insitu.cc.o.d"
+  "fig11_insitu"
+  "fig11_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_compaction.dir/fig13_compaction.cc.o"
+  "CMakeFiles/fig13_compaction.dir/fig13_compaction.cc.o.d"
+  "fig13_compaction"
+  "fig13_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_phase_diagrams.dir/fig7_phase_diagrams.cc.o"
+  "CMakeFiles/fig7_phase_diagrams.dir/fig7_phase_diagrams.cc.o.d"
+  "fig7_phase_diagrams"
+  "fig7_phase_diagrams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_phase_diagrams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_vector_phase.dir/fig9_vector_phase.cc.o"
+  "CMakeFiles/fig9_vector_phase.dir/fig9_vector_phase.cc.o.d"
+  "fig9_vector_phase"
+  "fig9_vector_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_vector_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rottnest_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/rottnest_bench_util.dir/bench_util.cc.o.d"
+  "librottnest_bench_util.a"
+  "librottnest_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rottnest_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librottnest_bench_util.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rottnest_baseline.dir/brute_force.cc.o"
+  "CMakeFiles/rottnest_baseline.dir/brute_force.cc.o.d"
+  "CMakeFiles/rottnest_baseline.dir/dedicated_service.cc.o"
+  "CMakeFiles/rottnest_baseline.dir/dedicated_service.cc.o.d"
+  "librottnest_baseline.a"
+  "librottnest_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rottnest_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rottnest_common.dir/hash.cc.o"
+  "CMakeFiles/rottnest_common.dir/hash.cc.o.d"
+  "CMakeFiles/rottnest_common.dir/json.cc.o"
+  "CMakeFiles/rottnest_common.dir/json.cc.o.d"
+  "CMakeFiles/rottnest_common.dir/status.cc.o"
+  "CMakeFiles/rottnest_common.dir/status.cc.o.d"
+  "librottnest_common.a"
+  "librottnest_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rottnest_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

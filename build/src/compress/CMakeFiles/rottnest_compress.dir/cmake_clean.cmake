@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rottnest_compress.dir/bitpack.cc.o"
+  "CMakeFiles/rottnest_compress.dir/bitpack.cc.o.d"
+  "CMakeFiles/rottnest_compress.dir/lz.cc.o"
+  "CMakeFiles/rottnest_compress.dir/lz.cc.o.d"
+  "librottnest_compress.a"
+  "librottnest_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rottnest_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rottnest_core.dir/rottnest.cc.o"
+  "CMakeFiles/rottnest_core.dir/rottnest.cc.o.d"
+  "librottnest_core.a"
+  "librottnest_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rottnest_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

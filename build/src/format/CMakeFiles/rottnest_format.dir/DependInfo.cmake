@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/metadata.cc" "src/format/CMakeFiles/rottnest_format.dir/metadata.cc.o" "gcc" "src/format/CMakeFiles/rottnest_format.dir/metadata.cc.o.d"
+  "/root/repo/src/format/page.cc" "src/format/CMakeFiles/rottnest_format.dir/page.cc.o" "gcc" "src/format/CMakeFiles/rottnest_format.dir/page.cc.o.d"
+  "/root/repo/src/format/page_table.cc" "src/format/CMakeFiles/rottnest_format.dir/page_table.cc.o" "gcc" "src/format/CMakeFiles/rottnest_format.dir/page_table.cc.o.d"
+  "/root/repo/src/format/reader.cc" "src/format/CMakeFiles/rottnest_format.dir/reader.cc.o" "gcc" "src/format/CMakeFiles/rottnest_format.dir/reader.cc.o.d"
+  "/root/repo/src/format/types.cc" "src/format/CMakeFiles/rottnest_format.dir/types.cc.o" "gcc" "src/format/CMakeFiles/rottnest_format.dir/types.cc.o.d"
+  "/root/repo/src/format/writer.cc" "src/format/CMakeFiles/rottnest_format.dir/writer.cc.o" "gcc" "src/format/CMakeFiles/rottnest_format.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rottnest_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/rottnest_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectstore/CMakeFiles/rottnest_objectstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

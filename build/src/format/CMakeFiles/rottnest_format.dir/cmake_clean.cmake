@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rottnest_format.dir/metadata.cc.o"
+  "CMakeFiles/rottnest_format.dir/metadata.cc.o.d"
+  "CMakeFiles/rottnest_format.dir/page.cc.o"
+  "CMakeFiles/rottnest_format.dir/page.cc.o.d"
+  "CMakeFiles/rottnest_format.dir/page_table.cc.o"
+  "CMakeFiles/rottnest_format.dir/page_table.cc.o.d"
+  "CMakeFiles/rottnest_format.dir/reader.cc.o"
+  "CMakeFiles/rottnest_format.dir/reader.cc.o.d"
+  "CMakeFiles/rottnest_format.dir/types.cc.o"
+  "CMakeFiles/rottnest_format.dir/types.cc.o.d"
+  "CMakeFiles/rottnest_format.dir/writer.cc.o"
+  "CMakeFiles/rottnest_format.dir/writer.cc.o.d"
+  "librottnest_format.a"
+  "librottnest_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rottnest_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

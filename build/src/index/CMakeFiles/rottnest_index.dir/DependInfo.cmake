@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/component_file.cc" "src/index/CMakeFiles/rottnest_index.dir/component_file.cc.o" "gcc" "src/index/CMakeFiles/rottnest_index.dir/component_file.cc.o.d"
+  "/root/repo/src/index/fm/fm_index.cc" "src/index/CMakeFiles/rottnest_index.dir/fm/fm_index.cc.o" "gcc" "src/index/CMakeFiles/rottnest_index.dir/fm/fm_index.cc.o.d"
+  "/root/repo/src/index/fm/suffix_array.cc" "src/index/CMakeFiles/rottnest_index.dir/fm/suffix_array.cc.o" "gcc" "src/index/CMakeFiles/rottnest_index.dir/fm/suffix_array.cc.o.d"
+  "/root/repo/src/index/ivfpq/ivfpq_index.cc" "src/index/CMakeFiles/rottnest_index.dir/ivfpq/ivfpq_index.cc.o" "gcc" "src/index/CMakeFiles/rottnest_index.dir/ivfpq/ivfpq_index.cc.o.d"
+  "/root/repo/src/index/ivfpq/kmeans.cc" "src/index/CMakeFiles/rottnest_index.dir/ivfpq/kmeans.cc.o" "gcc" "src/index/CMakeFiles/rottnest_index.dir/ivfpq/kmeans.cc.o.d"
+  "/root/repo/src/index/trie/trie_index.cc" "src/index/CMakeFiles/rottnest_index.dir/trie/trie_index.cc.o" "gcc" "src/index/CMakeFiles/rottnest_index.dir/trie/trie_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rottnest_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/rottnest_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/rottnest_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectstore/CMakeFiles/rottnest_objectstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

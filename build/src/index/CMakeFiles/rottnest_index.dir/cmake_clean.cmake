@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rottnest_index.dir/component_file.cc.o"
+  "CMakeFiles/rottnest_index.dir/component_file.cc.o.d"
+  "CMakeFiles/rottnest_index.dir/fm/fm_index.cc.o"
+  "CMakeFiles/rottnest_index.dir/fm/fm_index.cc.o.d"
+  "CMakeFiles/rottnest_index.dir/fm/suffix_array.cc.o"
+  "CMakeFiles/rottnest_index.dir/fm/suffix_array.cc.o.d"
+  "CMakeFiles/rottnest_index.dir/ivfpq/ivfpq_index.cc.o"
+  "CMakeFiles/rottnest_index.dir/ivfpq/ivfpq_index.cc.o.d"
+  "CMakeFiles/rottnest_index.dir/ivfpq/kmeans.cc.o"
+  "CMakeFiles/rottnest_index.dir/ivfpq/kmeans.cc.o.d"
+  "CMakeFiles/rottnest_index.dir/trie/trie_index.cc.o"
+  "CMakeFiles/rottnest_index.dir/trie/trie_index.cc.o.d"
+  "librottnest_index.a"
+  "librottnest_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rottnest_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

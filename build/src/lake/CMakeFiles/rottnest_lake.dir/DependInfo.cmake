@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lake/deletion_vector.cc" "src/lake/CMakeFiles/rottnest_lake.dir/deletion_vector.cc.o" "gcc" "src/lake/CMakeFiles/rottnest_lake.dir/deletion_vector.cc.o.d"
+  "/root/repo/src/lake/metadata_table.cc" "src/lake/CMakeFiles/rottnest_lake.dir/metadata_table.cc.o" "gcc" "src/lake/CMakeFiles/rottnest_lake.dir/metadata_table.cc.o.d"
+  "/root/repo/src/lake/table.cc" "src/lake/CMakeFiles/rottnest_lake.dir/table.cc.o" "gcc" "src/lake/CMakeFiles/rottnest_lake.dir/table.cc.o.d"
+  "/root/repo/src/lake/txn_log.cc" "src/lake/CMakeFiles/rottnest_lake.dir/txn_log.cc.o" "gcc" "src/lake/CMakeFiles/rottnest_lake.dir/txn_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rottnest_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/rottnest_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectstore/CMakeFiles/rottnest_objectstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/rottnest_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rottnest_lake.dir/deletion_vector.cc.o"
+  "CMakeFiles/rottnest_lake.dir/deletion_vector.cc.o.d"
+  "CMakeFiles/rottnest_lake.dir/metadata_table.cc.o"
+  "CMakeFiles/rottnest_lake.dir/metadata_table.cc.o.d"
+  "CMakeFiles/rottnest_lake.dir/table.cc.o"
+  "CMakeFiles/rottnest_lake.dir/table.cc.o.d"
+  "CMakeFiles/rottnest_lake.dir/txn_log.cc.o"
+  "CMakeFiles/rottnest_lake.dir/txn_log.cc.o.d"
+  "librottnest_lake.a"
+  "librottnest_lake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rottnest_lake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

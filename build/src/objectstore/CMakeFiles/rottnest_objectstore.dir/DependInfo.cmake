@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objectstore/local_disk_store.cc" "src/objectstore/CMakeFiles/rottnest_objectstore.dir/local_disk_store.cc.o" "gcc" "src/objectstore/CMakeFiles/rottnest_objectstore.dir/local_disk_store.cc.o.d"
+  "/root/repo/src/objectstore/object_store.cc" "src/objectstore/CMakeFiles/rottnest_objectstore.dir/object_store.cc.o" "gcc" "src/objectstore/CMakeFiles/rottnest_objectstore.dir/object_store.cc.o.d"
+  "/root/repo/src/objectstore/read_batch.cc" "src/objectstore/CMakeFiles/rottnest_objectstore.dir/read_batch.cc.o" "gcc" "src/objectstore/CMakeFiles/rottnest_objectstore.dir/read_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rottnest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rottnest_objectstore.dir/local_disk_store.cc.o"
+  "CMakeFiles/rottnest_objectstore.dir/local_disk_store.cc.o.d"
+  "CMakeFiles/rottnest_objectstore.dir/object_store.cc.o"
+  "CMakeFiles/rottnest_objectstore.dir/object_store.cc.o.d"
+  "CMakeFiles/rottnest_objectstore.dir/read_batch.cc.o"
+  "CMakeFiles/rottnest_objectstore.dir/read_batch.cc.o.d"
+  "librottnest_objectstore.a"
+  "librottnest_objectstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rottnest_objectstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rottnest_objectstore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rottnest_tco.dir/tco.cc.o"
+  "CMakeFiles/rottnest_tco.dir/tco.cc.o.d"
+  "librottnest_tco.a"
+  "librottnest_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rottnest_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

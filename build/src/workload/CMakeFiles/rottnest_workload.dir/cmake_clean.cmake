@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rottnest_workload.dir/generators.cc.o"
+  "CMakeFiles/rottnest_workload.dir/generators.cc.o.d"
+  "librottnest_workload.a"
+  "librottnest_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rottnest_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

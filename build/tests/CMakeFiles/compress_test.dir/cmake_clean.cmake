@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_test.dir/compress/bitpack_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/bitpack_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/compress_fuzz_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/compress_fuzz_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/lz_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/lz_test.cc.o.d"
+  "compress_test"
+  "compress_test.pdb"
+  "compress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

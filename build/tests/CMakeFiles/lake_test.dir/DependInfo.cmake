@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lake/lake_robustness_test.cc" "tests/CMakeFiles/lake_test.dir/lake/lake_robustness_test.cc.o" "gcc" "tests/CMakeFiles/lake_test.dir/lake/lake_robustness_test.cc.o.d"
+  "/root/repo/tests/lake/metadata_table_test.cc" "tests/CMakeFiles/lake_test.dir/lake/metadata_table_test.cc.o" "gcc" "tests/CMakeFiles/lake_test.dir/lake/metadata_table_test.cc.o.d"
+  "/root/repo/tests/lake/table_test.cc" "tests/CMakeFiles/lake_test.dir/lake/table_test.cc.o" "gcc" "tests/CMakeFiles/lake_test.dir/lake/table_test.cc.o.d"
+  "/root/repo/tests/lake/txn_log_test.cc" "tests/CMakeFiles/lake_test.dir/lake/txn_log_test.cc.o" "gcc" "tests/CMakeFiles/lake_test.dir/lake/txn_log_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lake/CMakeFiles/rottnest_lake.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/rottnest_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/rottnest_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectstore/CMakeFiles/rottnest_objectstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rottnest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

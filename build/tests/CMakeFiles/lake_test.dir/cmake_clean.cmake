@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_test.dir/lake/lake_robustness_test.cc.o"
+  "CMakeFiles/lake_test.dir/lake/lake_robustness_test.cc.o.d"
+  "CMakeFiles/lake_test.dir/lake/metadata_table_test.cc.o"
+  "CMakeFiles/lake_test.dir/lake/metadata_table_test.cc.o.d"
+  "CMakeFiles/lake_test.dir/lake/table_test.cc.o"
+  "CMakeFiles/lake_test.dir/lake/table_test.cc.o.d"
+  "CMakeFiles/lake_test.dir/lake/txn_log_test.cc.o"
+  "CMakeFiles/lake_test.dir/lake/txn_log_test.cc.o.d"
+  "lake_test"
+  "lake_test.pdb"
+  "lake_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

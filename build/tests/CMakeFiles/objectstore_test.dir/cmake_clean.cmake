@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objectstore_test.dir/objectstore/io_trace_test.cc.o"
+  "CMakeFiles/objectstore_test.dir/objectstore/io_trace_test.cc.o.d"
+  "CMakeFiles/objectstore_test.dir/objectstore/object_store_test.cc.o"
+  "CMakeFiles/objectstore_test.dir/objectstore/object_store_test.cc.o.d"
+  "objectstore_test"
+  "objectstore_test.pdb"
+  "objectstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objectstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
