@@ -22,6 +22,8 @@ enum class StatusCode {
   kAborted = 6,         ///< Operation aborted (timeout, conflict, injection).
   kNotSupported = 7,    ///< Operation not implemented for this configuration.
   kInternal = 8,        ///< Invariant violation inside the library.
+  kUnavailable = 9,     ///< Transient storage fault (S3 503 SlowDown); safe
+                        ///< to retry with backoff.
 };
 
 /// Returns a human-readable name for `code` ("NotFound", "IOError", ...).
@@ -62,6 +64,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -74,6 +79,7 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -237,6 +237,44 @@ std::string LongestRegexLiteral(const std::string& pattern) {
   return best;
 }
 
+/// Graceful-degradation bookkeeping (one instance per search): index files
+/// that fail to open or query — missing object, truncated tail, checksum
+/// mismatch — are skipped and their covered files demoted to the brute-scan
+/// path, so a corrupt index degrades performance instead of failing the
+/// query. The degradation is reported through SearchResult.
+class DegradedIndexes {
+ public:
+  void RecordSuccess(const IndexEntry& e) {
+    ok_covered_.insert(e.covered_files.begin(), e.covered_files.end());
+  }
+
+  void RecordFailure(const IndexEntry& e, SearchResult* result) {
+    failed_.push_back(&e);
+    ++result->indexes_degraded;
+    result->degraded_indexes.push_back(e.index_path);
+  }
+
+  /// Snapshot files whose only index coverage failed — these must be
+  /// scanned unconditionally so the result set matches a fault-free query.
+  std::vector<const DataFile*> FilesToScan(const Snapshot& snapshot) const {
+    std::vector<const DataFile*> out;
+    std::set<std::string> emitted;
+    for (const IndexEntry* e : failed_) {
+      for (const std::string& f : e->covered_files) {
+        if (ok_covered_.count(f) != 0) continue;  // Still covered elsewhere.
+        const DataFile* df = snapshot.FindFile(f);
+        if (df == nullptr) continue;
+        if (emitted.insert(f).second) out.push_back(df);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::set<std::string> ok_covered_;
+  std::vector<const IndexEntry*> failed_;
+};
+
 /// Scans one file's column row by row, honoring the RangeFilter's row-group
 /// pruning and per-row attribute check. `visit(row, value)` runs for rows
 /// passing the range. *scanned reports whether any row group was read.
@@ -510,29 +548,41 @@ Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
   index::Key128 key = index::KeyFromValue(value);
 
   SearchResult result;
-  result.indexes_queried = plan.indexes.size();
   DvCache dvs(table_, plan.snapshot);
   std::set<std::pair<std::string, uint64_t>> seen;
 
   // Query index files; collect page fetches (filtered to the snapshot).
+  // A failing index degrades to scanning its covered files (below) rather
+  // than failing the whole query.
   std::vector<PageFetch> fetches;
+  DegradedIndexes degraded;
   for (const IndexEntry& entry : plan.indexes) {
-    auto reader_r =
-        ComponentFileReader::Open(store_, entry.index_path, trace);
-    if (!reader_r.ok()) return reader_r.status();
-    std::vector<PageId> hits;
-    ROTTNEST_RETURN_NOT_OK(
-        index::TrieQuery(reader_r.value().get(), &pool_, trace, key, &hits));
-    if (hits.empty()) continue;
-    PageTable pages;
-    ROTTNEST_RETURN_NOT_OK(
-        index::LoadPageTable(reader_r.value().get(), &pool_, trace, &pages));
-    for (PageId p : hits) {
-      // Filter postings pointing outside the snapshot (paper §IV-B step 2).
-      if (!plan.snapshot.ContainsFile(pages.file_of(p))) continue;
-      fetches.push_back(pages.MakeFetch(p));
+    Status qs = [&]() -> Status {
+      ROTTNEST_ASSIGN_OR_RETURN(
+          std::unique_ptr<ComponentFileReader> reader,
+          ComponentFileReader::Open(store_, entry.index_path, trace));
+      std::vector<PageId> hits;
+      ROTTNEST_RETURN_NOT_OK(
+          index::TrieQuery(reader.get(), &pool_, trace, key, &hits));
+      if (hits.empty()) return Status::OK();
+      PageTable pages;
+      ROTTNEST_RETURN_NOT_OK(
+          index::LoadPageTable(reader.get(), &pool_, trace, &pages));
+      for (PageId p : hits) {
+        // Filter postings pointing outside the snapshot (paper §IV-B
+        // step 2).
+        if (!plan.snapshot.ContainsFile(pages.file_of(p))) continue;
+        fetches.push_back(pages.MakeFetch(p));
+      }
+      return Status::OK();
+    }();
+    if (qs.ok()) {
+      degraded.RecordSuccess(entry);
+    } else {
+      degraded.RecordFailure(entry, &result);
     }
   }
+  result.indexes_queried = plan.indexes.size() - result.indexes_degraded;
 
   // In-situ probing: verify candidate pages against the actual value.
   std::vector<ColumnVector> probed;
@@ -554,23 +604,33 @@ Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
   }
   ROTTNEST_RETURN_NOT_OK(rf.FilterMatches(&result.matches, trace));
 
+  // Degraded fallback: files whose only index coverage failed are scanned
+  // unconditionally (a fault-free query would have consulted their index
+  // regardless of k).
+  auto scan_for_value = [&](const std::string& file) -> Status {
+    bool scanned = false;
+    ROTTNEST_RETURN_NOT_OK(ScanFileRows(
+        store_, file, plan.column_index, &rf, trace, &scanned,
+        [&](uint64_t row, const std::string& v) -> Status {
+          if (!(Slice(v) == value)) return Status::OK();
+          ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(file, row));
+          if (deleted) return Status::OK();
+          if (seen.insert({file, row}).second) {
+            result.matches.push_back({file, row, v, 0});
+          }
+          return Status::OK();
+        }));
+    if (scanned) ++result.files_scanned;
+    return Status::OK();
+  };
+  for (const DataFile* f : degraded.FilesToScan(plan.snapshot)) {
+    ROTTNEST_RETURN_NOT_OK(scan_for_value(f->path));
+  }
+
   // Unindexed fallback: scan only if the exact-match top-k is unsatisfied.
   if (result.matches.size() < k) {
     for (const DataFile& f : plan.unindexed) {
-      bool scanned = false;
-      ROTTNEST_RETURN_NOT_OK(ScanFileRows(
-          store_, f.path, plan.column_index, &rf, trace, &scanned,
-          [&](uint64_t row, const std::string& v) -> Status {
-            if (!(Slice(v) == value)) return Status::OK();
-            ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
-                                      dvs.IsDeleted(f.path, row));
-            if (deleted) return Status::OK();
-            if (seen.insert({f.path, row}).second) {
-              result.matches.push_back({f.path, row, v, 0});
-            }
-            return Status::OK();
-          }));
-      if (scanned) ++result.files_scanned;
+      ROTTNEST_RETURN_NOT_OK(scan_for_value(f.path));
       if (result.matches.size() >= k) break;
     }
   }
@@ -604,29 +664,37 @@ Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
   ROTTNEST_RETURN_NOT_OK(rf.Validate());
 
   SearchResult result;
-  result.indexes_queried = plan.indexes.size();
   DvCache dvs(table_, plan.snapshot);
   std::set<std::pair<std::string, uint64_t>> seen;
 
   std::vector<PageFetch> fetches;
+  DegradedIndexes degraded;
   for (const IndexEntry& entry : plan.indexes) {
-    auto reader_r =
-        ComponentFileReader::Open(store_, entry.index_path, trace);
-    if (!reader_r.ok()) return reader_r.status();
-    std::vector<PageId> hits;
-    // Locate generously beyond k: occurrences cluster within pages.
-    ROTTNEST_RETURN_NOT_OK(index::FmLocatePages(
-        reader_r.value().get(), &pool_, trace, Slice(pattern), 4 * k + 16,
-        &hits));
-    if (hits.empty()) continue;
-    PageTable pages;
-    ROTTNEST_RETURN_NOT_OK(
-        index::LoadPageTable(reader_r.value().get(), &pool_, trace, &pages));
-    for (PageId p : hits) {
-      if (!plan.snapshot.ContainsFile(pages.file_of(p))) continue;
-      fetches.push_back(pages.MakeFetch(p));
+    Status qs = [&]() -> Status {
+      ROTTNEST_ASSIGN_OR_RETURN(
+          std::unique_ptr<ComponentFileReader> reader,
+          ComponentFileReader::Open(store_, entry.index_path, trace));
+      std::vector<PageId> hits;
+      // Locate generously beyond k: occurrences cluster within pages.
+      ROTTNEST_RETURN_NOT_OK(index::FmLocatePages(
+          reader.get(), &pool_, trace, Slice(pattern), 4 * k + 16, &hits));
+      if (hits.empty()) return Status::OK();
+      PageTable pages;
+      ROTTNEST_RETURN_NOT_OK(
+          index::LoadPageTable(reader.get(), &pool_, trace, &pages));
+      for (PageId p : hits) {
+        if (!plan.snapshot.ContainsFile(pages.file_of(p))) continue;
+        fetches.push_back(pages.MakeFetch(p));
+      }
+      return Status::OK();
+    }();
+    if (qs.ok()) {
+      degraded.RecordSuccess(entry);
+    } else {
+      degraded.RecordFailure(entry, &result);
     }
   }
+  result.indexes_queried = plan.indexes.size() - result.indexes_degraded;
 
   std::vector<ColumnVector> probed;
   ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
@@ -646,22 +714,31 @@ Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
   }
   ROTTNEST_RETURN_NOT_OK(rf.FilterMatches(&result.matches, trace));
 
+  // Degraded fallback first (unconditional), then the unindexed fallback
+  // (only if top-k is unsatisfied).
+  auto scan_for_pattern = [&](const std::string& file) -> Status {
+    bool scanned = false;
+    ROTTNEST_RETURN_NOT_OK(ScanFileRows(
+        store_, file, plan.column_index, &rf, trace, &scanned,
+        [&](uint64_t row, const std::string& v) -> Status {
+          if (v.find(pattern) == std::string::npos) return Status::OK();
+          ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(file, row));
+          if (deleted) return Status::OK();
+          if (seen.insert({file, row}).second) {
+            result.matches.push_back({file, row, v, 0});
+          }
+          return Status::OK();
+        }));
+    if (scanned) ++result.files_scanned;
+    return Status::OK();
+  };
+  for (const DataFile* f : degraded.FilesToScan(plan.snapshot)) {
+    ROTTNEST_RETURN_NOT_OK(scan_for_pattern(f->path));
+  }
+
   if (result.matches.size() < k) {
     for (const DataFile& f : plan.unindexed) {
-      bool scanned = false;
-      ROTTNEST_RETURN_NOT_OK(ScanFileRows(
-          store_, f.path, plan.column_index, &rf, trace, &scanned,
-          [&](uint64_t row, const std::string& v) -> Status {
-            if (v.find(pattern) == std::string::npos) return Status::OK();
-            ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
-                                      dvs.IsDeleted(f.path, row));
-            if (deleted) return Status::OK();
-            if (seen.insert({f.path, row}).second) {
-              result.matches.push_back({f.path, row, v, 0});
-            }
-            return Status::OK();
-          }));
-      if (scanned) ++result.files_scanned;
+      ROTTNEST_RETURN_NOT_OK(scan_for_pattern(f.path));
       if (result.matches.size() >= k) break;
     }
   }
@@ -700,7 +777,6 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
   ROTTNEST_RETURN_NOT_OK(rf.Validate());
 
   SearchResult result;
-  result.indexes_queried = plan.indexes.size();
   DvCache dvs(table_, plan.snapshot);
 
   // Gather approximate candidates across all index files.
@@ -712,25 +788,35 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
     float approx;
   };
   std::vector<Cand> candidates;
+  DegradedIndexes degraded;
   for (const IndexEntry& entry : plan.indexes) {
-    auto reader_r =
-        ComponentFileReader::Open(store_, entry.index_path, trace);
-    if (!reader_r.ok()) return reader_r.status();
-    std::vector<index::VectorCandidate> hits;
-    ROTTNEST_RETURN_NOT_OK(index::IvfPqSearch(reader_r.value().get(), &pool_,
-                                              trace, query, dim, nprobe,
-                                              refine, &hits));
-    if (hits.empty()) continue;
-    PageTable pages;
-    ROTTNEST_RETURN_NOT_OK(
-        index::LoadPageTable(reader_r.value().get(), &pool_, trace, &pages));
-    for (const auto& h : hits) {
-      if (!plan.snapshot.ContainsFile(pages.file_of(h.page))) continue;
-      candidates.push_back({pages.file_of(h.page), h.page,
-                            pages.MakeFetch(h.page), h.row_in_page,
-                            h.approx_dist});
+    Status qs = [&]() -> Status {
+      ROTTNEST_ASSIGN_OR_RETURN(
+          std::unique_ptr<ComponentFileReader> reader,
+          ComponentFileReader::Open(store_, entry.index_path, trace));
+      std::vector<index::VectorCandidate> hits;
+      ROTTNEST_RETURN_NOT_OK(index::IvfPqSearch(reader.get(), &pool_, trace,
+                                                query, dim, nprobe, refine,
+                                                &hits));
+      if (hits.empty()) return Status::OK();
+      PageTable pages;
+      ROTTNEST_RETURN_NOT_OK(
+          index::LoadPageTable(reader.get(), &pool_, trace, &pages));
+      for (const auto& h : hits) {
+        if (!plan.snapshot.ContainsFile(pages.file_of(h.page))) continue;
+        candidates.push_back({pages.file_of(h.page), h.page,
+                              pages.MakeFetch(h.page), h.row_in_page,
+                              h.approx_dist});
+      }
+      return Status::OK();
+    }();
+    if (qs.ok()) {
+      degraded.RecordSuccess(entry);
+    } else {
+      degraded.RecordFailure(entry, &result);
     }
   }
+  result.indexes_queried = plan.indexes.size() - result.indexes_degraded;
 
   // Keep the globally best `refine` candidates for exact reranking.
   std::sort(candidates.begin(), candidates.end(),
@@ -767,19 +853,25 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
   ROTTNEST_RETURN_NOT_OK(rf.FilterMatches(&matches, trace));
 
   // Scoring queries must rank ALL data: unindexed files are always scanned
-  // exhaustively (paper §IV-B step 3).
-  for (const DataFile& f : plan.unindexed) {
+  // exhaustively (paper §IV-B step 3), and so are files whose only index
+  // coverage degraded.
+  std::vector<const DataFile*> to_scan;
+  for (const DataFile& f : plan.unindexed) to_scan.push_back(&f);
+  for (const DataFile* f : degraded.FilesToScan(plan.snapshot)) {
+    to_scan.push_back(f);
+  }
+  for (const DataFile* f : to_scan) {
+    const std::string& path = f->path;
     bool scanned = false;
     ROTTNEST_RETURN_NOT_OK(ScanFileRows(
-        store_, f.path, plan.column_index, &rf, trace, &scanned,
+        store_, path, plan.column_index, &rf, trace, &scanned,
         [&](uint64_t row, const std::string& v) -> Status {
           float dist = index::SquaredL2(
               query, reinterpret_cast<const float*>(v.data()), dim);
-          ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
-                                    dvs.IsDeleted(f.path, row));
+          ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(path, row));
           if (deleted) return Status::OK();
-          if (!seen.insert({f.path, row}).second) return Status::OK();
-          matches.push_back({f.path, row, v, dist});
+          if (!seen.insert({path, row}).second) return Status::OK();
+          matches.push_back({path, row, v, dist});
           return Status::OK();
         }));
     if (scanned) ++result.files_scanned;
@@ -820,6 +912,8 @@ Result<SearchResult> Rottnest::SearchRegex(const std::string& column,
     result.indexes_queried = candidates.indexes_queried;
     result.files_scanned = candidates.files_scanned;
     result.pages_probed = candidates.pages_probed;
+    result.indexes_degraded = candidates.indexes_degraded;
+    result.degraded_indexes = std::move(candidates.degraded_indexes);
     for (RowMatch& m : candidates.matches) {
       if (std::regex_search(m.value, re)) {
         result.matches.push_back(std::move(m));
@@ -872,6 +966,8 @@ Result<uint64_t> Rottnest::CountSubstring(const std::string& column,
   for (const DataFile& f : plan.unindexed) scan_files.insert(f.path);
 
   uint64_t total = 0;
+  std::set<std::string> exact_counted;   // Files counted via an index.
+  std::set<std::string> degraded_files;  // Covered by failed indexes only.
   for (const IndexEntry& entry : plan.indexes) {
     bool exact = true;
     for (const std::string& f : entry.covered_files) {
@@ -887,14 +983,29 @@ Result<uint64_t> Rottnest::CountSubstring(const std::string& column,
       }
       continue;
     }
-    auto reader_r =
-        ComponentFileReader::Open(store_, entry.index_path, opts.trace);
-    if (!reader_r.ok()) return reader_r.status();
     uint64_t count = 0;
-    ROTTNEST_RETURN_NOT_OK(index::FmCount(reader_r.value().get(), &pool_,
-                                          opts.trace, Slice(pattern),
-                                          &count));
+    Status qs = [&]() -> Status {
+      ROTTNEST_ASSIGN_OR_RETURN(
+          std::unique_ptr<ComponentFileReader> reader,
+          ComponentFileReader::Open(store_, entry.index_path, opts.trace));
+      return index::FmCount(reader.get(), &pool_, opts.trace, Slice(pattern),
+                            &count);
+    }();
+    if (!qs.ok()) {
+      // Degrade an unreadable index to scanning its covered files.
+      for (const std::string& f : entry.covered_files) {
+        if (plan.snapshot.ContainsFile(f)) degraded_files.insert(f);
+      }
+      continue;
+    }
     total += count;
+    exact_counted.insert(entry.covered_files.begin(),
+                         entry.covered_files.end());
+  }
+  // Files already counted through a healthy index must not be re-counted by
+  // the degraded-scan path.
+  for (const std::string& f : degraded_files) {
+    if (exact_counted.count(f) == 0) scan_files.insert(f);
   }
 
   // Scan path: exact occurrence counting with deletion vectors applied.

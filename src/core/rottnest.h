@@ -58,6 +58,11 @@ struct SearchResult {
   size_t indexes_queried = 0;
   size_t files_scanned = 0;   ///< Unindexed files brute-scanned.
   size_t pages_probed = 0;    ///< In-situ page reads.
+  /// Graceful degradation: index files that could not be read (missing,
+  /// truncated, checksum mismatch) are skipped and their covered files
+  /// answered through the brute-scan path instead of failing the query.
+  size_t indexes_degraded = 0;                ///< Unreadable indexes skipped.
+  std::vector<std::string> degraded_indexes;  ///< Their object keys.
 };
 
 /// Outcome of one `Index` call.

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/hash.h"
 #include "objectstore/read_batch.h"
 
 namespace rottnest::index {
@@ -40,6 +41,7 @@ Status ComponentFileWriter::AddComponent(const std::string& name,
   e.compressed_size = static_cast<uint32_t>(compressed.size());
   e.uncompressed_size = static_cast<uint32_t>(payload.size());
   e.codec = codec;
+  e.checksum = Hash64(Slice(compressed));
   entries_.push_back(std::move(e));
   file_.insert(file_.end(), compressed.begin(), compressed.end());
   return Status::OK();
@@ -57,8 +59,10 @@ Status ComponentFileWriter::Finish(Buffer* out) {
     PutVarint32(&dir, e.compressed_size);
     PutVarint32(&dir, e.uncompressed_size);
     dir.push_back(e.codec);
+    PutFixed64(&dir, e.checksum);
   }
   file_.insert(file_.end(), dir.begin(), dir.end());
+  PutFixed64(&file_, Hash64(Slice(dir)));
   PutFixed32(&file_, static_cast<uint32_t>(dir.size()));
   file_.insert(file_.end(), kMagic, kMagic + 4);
   *out = std::move(file_);
@@ -71,7 +75,7 @@ Result<std::unique_ptr<ComponentFileReader>> ComponentFileReader::Open(
     objectstore::IoTrace* trace, size_t tail_bytes) {
   objectstore::ObjectMeta meta;
   ROTTNEST_RETURN_NOT_OK(store->Head(key, &meta));
-  if (meta.size < 12) return Status::Corruption("index file too small");
+  if (meta.size < 20) return Status::Corruption("index file too small");
 
   uint64_t tail_len = std::min<uint64_t>(meta.size, tail_bytes);
   Buffer tail;
@@ -85,22 +89,27 @@ Result<std::unique_ptr<ComponentFileReader>> ComponentFileReader::Open(
     return Status::Corruption("bad index magic: " + key);
   }
   uint32_t dir_len = DecodeFixed32(tail.data() + tail.size() - 8);
-  if (static_cast<uint64_t>(dir_len) + 12 > meta.size) {
+  if (static_cast<uint64_t>(dir_len) + 20 > meta.size) {
     return Status::Corruption("directory length exceeds file");
   }
-  if (dir_len + 8 > tail.size()) {
+  if (dir_len + 16 > tail.size()) {
     // Directory bigger than the tail read: fetch it exactly (rare; only for
     // indices with very many components).
     if (trace != nullptr) trace->BeginRound();
-    ROTTNEST_RETURN_NOT_OK(store->GetRange(key, meta.size - 8 - dir_len,
-                                           dir_len + 8, &tail));
+    ROTTNEST_RETURN_NOT_OK(store->GetRange(key, meta.size - 16 - dir_len,
+                                           dir_len + 16, &tail));
     if (trace != nullptr) trace->RecordGet(tail.size());
-    tail_len = dir_len + 8;
+    tail_len = dir_len + 16;
   }
 
   std::unique_ptr<ComponentFileReader> reader(
       new ComponentFileReader(store, std::move(key)));
-  Slice dir(tail.data() + tail.size() - 8 - dir_len, dir_len);
+  Slice dir(tail.data() + tail.size() - 16 - dir_len, dir_len);
+  uint64_t dir_checksum = DecodeFixed64(tail.data() + tail.size() - 16);
+  if (Hash64(dir) != dir_checksum) {
+    return Status::Corruption("index directory checksum mismatch: " +
+                              reader->key_);
+  }
   Decoder dec(dir);
   Slice type_byte;
   ROTTNEST_RETURN_NOT_OK(dec.GetBytes(1, &type_byte));
@@ -121,10 +130,15 @@ Result<std::unique_ptr<ComponentFileReader>> ComponentFileReader::Open(
     Slice codec;
     ROTTNEST_RETURN_NOT_OK(dec.GetBytes(1, &codec));
     e.codec = codec[0];
+    ROTTNEST_RETURN_NOT_OK(dec.GetFixed64(&e.checksum));
 
     // Pre-decompress components fully contained in the tail we already have.
     if (e.offset >= tail_start) {
       Slice payload(tail.data() + (e.offset - tail_start), e.compressed_size);
+      if (Hash64(payload) != e.checksum) {
+        return Status::Corruption("component checksum mismatch: " + e.name +
+                                  " in " + reader->key_);
+      }
       Buffer raw;
       ROTTNEST_RETURN_NOT_OK(compress::Decompress(
           static_cast<compress::Codec>(e.codec), payload, e.uncompressed_size,
@@ -176,6 +190,10 @@ Status ComponentFileReader::ReadComponents(
   for (size_t m = 0; m < miss_positions.size(); ++m) {
     size_t i = miss_positions[m];
     const Entry& e = directory_.at(names[i]);
+    if (Hash64(Slice(raw[m])) != e.checksum) {
+      return Status::Corruption("component checksum mismatch: " + names[i] +
+                                " in " + key_);
+    }
     Buffer decompressed;
     ROTTNEST_RETURN_NOT_OK(compress::Decompress(
         static_cast<compress::Codec>(e.codec), Slice(raw[m]),

@@ -10,8 +10,14 @@
 // Layout:
 //   [4-byte magic "RNI1"]
 //   [component payloads, back-to-back, each compressed]
-//   [directory: per component name/offset/sizes/codec, plus index metadata]
-//   [fixed32 directory length]["RNI1"]
+//   [directory: per component name/offset/sizes/codec/checksum, plus index
+//    metadata]
+//   [fixed64 directory checksum][fixed32 directory length]["RNI1"]
+//
+// Integrity: the directory carries a Hash64 checksum of itself (verified at
+// open) and of every compressed component payload (verified on read), so a
+// truncated or bit-flipped index body surfaces as Corruption instead of
+// being silently accepted — magic bytes alone only catch missing tails.
 //
 // Components written *last* land in the speculative tail read and cost no
 // extra round — writers should emit leaves first and roots last.
@@ -68,6 +74,7 @@ class ComponentFileWriter {
     uint32_t compressed_size;
     uint32_t uncompressed_size;
     uint8_t codec;
+    uint64_t checksum;  ///< Hash64 of the compressed payload bytes.
   };
 
   IndexType type_;

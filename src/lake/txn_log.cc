@@ -5,7 +5,7 @@
 namespace rottnest::lake {
 
 namespace {
-constexpr int kMaxCommitRetries = 256;
+constexpr int kMaxCommitRetries = 32;
 }  // namespace
 
 std::string TxnLog::KeyFor(Version version) const {
@@ -26,11 +26,21 @@ Status TxnLog::Commit(Version version, const std::vector<Json>& actions) {
 
 Result<Version> TxnLog::CommitNext(const std::vector<Json>& actions) {
   ROTTNEST_ASSIGN_OR_RETURN(Version latest, LatestVersionOrMinusOne());
+  Version candidate = latest + 1;
+  Random rng(commit_policy_.jitter_seed ^ Hash64(Slice(prefix_)));
   for (int attempt = 0; attempt < kMaxCommitRetries; ++attempt) {
-    Version candidate = latest + 1 + attempt;
     Status s = Commit(candidate, actions);
     if (s.ok()) return candidate;
     if (!s.IsAlreadyExists()) return s;
+    // Lost the race for `candidate`. Back off (contention signal), then
+    // re-list to land on the real tail rather than probing versions blindly
+    // — under heavy contention a blind `latest + 1 + attempt` walk issues
+    // one failed conditional put per intervening commit.
+    if (sleep_) {
+      sleep_(commit_policy_.BackoffFor(attempt + 1, &rng));
+    }
+    ROTTNEST_ASSIGN_OR_RETURN(latest, LatestVersionOrMinusOne());
+    candidate = std::max(candidate + 1, latest + 1);
   }
   return Status::Aborted("commit contention exceeded retry budget");
 }

@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/random.h"
 #include "objectstore/object_store.h"
+#include "objectstore/retry.h"
 
 namespace rottnest::lake {
 
@@ -31,8 +33,20 @@ class TxnLog {
   Status Commit(Version version, const std::vector<Json>& actions);
 
   /// Commits `actions` at the next available version, retrying on
-  /// conflicts. Returns the committed version.
+  /// conflicts. Each conflict re-lists the log to land on the real tail
+  /// (not a blind probe), backing off per the commit policy (see
+  /// SetCommitBackoff). Returns the committed version.
   Result<Version> CommitNext(const std::vector<Json>& actions);
+
+  /// Configures contention backoff for CommitNext. `policy` shapes the
+  /// waits; `sleep` performs them (pass objectstore::SimulatedSleeper in
+  /// simulations so backoff advances simulated time, or leave empty for an
+  /// eager retry loop).
+  void SetCommitBackoff(objectstore::RetryPolicy policy,
+                        objectstore::SleepFn sleep) {
+    commit_policy_ = policy;
+    sleep_ = std::move(sleep);
+  }
 
   /// Highest committed version, or NotFound if the log is empty.
   Result<Version> LatestVersion();
@@ -54,6 +68,8 @@ class TxnLog {
 
   objectstore::ObjectStore* store_;
   std::string prefix_;
+  objectstore::RetryPolicy commit_policy_;
+  objectstore::SleepFn sleep_;
 };
 
 }  // namespace rottnest::lake

@@ -1,0 +1,105 @@
+#include "objectstore/fault_injection.h"
+
+namespace rottnest::objectstore {
+
+namespace {
+
+Status CrashStatus(const char* op) {
+  return Status::IOError(std::string("injected crash at op ") + op);
+}
+
+}  // namespace
+
+Status FaultInjectingStore::Apply(const char* op, const std::string& key,
+                                  bool is_write,
+                                  const std::function<Status()>& fn) {
+  FailurePoint hook;
+  Status injected;       // OK means no fault drawn.
+  bool execute = true;   // Whether the backing operation runs at all.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t my_index = op_counter_++;
+    fault_stats_.ops.fetch_add(1, std::memory_order_relaxed);
+    hook = failure_point_;
+
+    if (crashed_) {
+      // The process is "dead": refuse everything until ClearCrash.
+      fault_stats_.crash_refusals.fetch_add(1, std::memory_order_relaxed);
+      return CrashStatus(op);
+    }
+    auto it = schedule_.find(my_index);
+    if (it != schedule_.end()) {
+      injected = it->second.status;
+      execute = it->second.side_effect_lands;
+      fault_stats_.scheduled_injected.fetch_add(1, std::memory_order_relaxed);
+    } else if (crash_at_.has_value() && *crash_at_ == my_index) {
+      crashed_ = true;
+      injected = CrashStatus(op);
+      execute = (crash_mode_ == CrashMode::kAfterOp);
+    } else if (options_.transient_fault_rate > 0 &&
+               rng_.NextDouble() < options_.transient_fault_rate) {
+      injected = Status::Unavailable(std::string("injected transient fault (") +
+                                     op + " " + key + ")");
+      execute = false;
+      fault_stats_.transient_injected.fetch_add(1, std::memory_order_relaxed);
+    } else if (is_write && options_.ambiguous_put_rate > 0 &&
+               rng_.NextDouble() < options_.ambiguous_put_rate) {
+      // The write will land but the caller sees an error — as when an S3
+      // PUT times out after the server applied it.
+      injected = Status::Unavailable(std::string("injected ambiguous outcome (") +
+                                     op + " " + key + ")");
+      execute = true;
+      fault_stats_.ambiguous_injected.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Hook and backing store run lock-free so they may re-enter this store.
+  if (hook) ROTTNEST_RETURN_NOT_OK(hook(op, key));
+  if (!execute) return injected;
+  Status real = fn();
+  if (!injected.ok()) {
+    // An ambiguous fault only masks a *successful* operation; a genuine
+    // failure (e.g. PutIfAbsent conflict) is reported truthfully.
+    return real.ok() ? injected : real;
+  }
+  return real;
+}
+
+Status FaultInjectingStore::Put(const std::string& key, Slice data) {
+  return Apply("put", key, /*is_write=*/true,
+               [&] { return inner_->Put(key, data); });
+}
+
+Status FaultInjectingStore::PutIfAbsent(const std::string& key, Slice data) {
+  return Apply("put_if_absent", key, /*is_write=*/true,
+               [&] { return inner_->PutIfAbsent(key, data); });
+}
+
+Status FaultInjectingStore::Get(const std::string& key, Buffer* out) {
+  return Apply("get", key, /*is_write=*/false,
+               [&] { return inner_->Get(key, out); });
+}
+
+Status FaultInjectingStore::GetRange(const std::string& key, uint64_t offset,
+                                     uint64_t length, Buffer* out) {
+  return Apply("get", key, /*is_write=*/false,
+               [&] { return inner_->GetRange(key, offset, length, out); });
+}
+
+Status FaultInjectingStore::Head(const std::string& key, ObjectMeta* out) {
+  return Apply("head", key, /*is_write=*/false,
+               [&] { return inner_->Head(key, out); });
+}
+
+Status FaultInjectingStore::List(const std::string& prefix,
+                                 std::vector<ObjectMeta>* out) {
+  return Apply("list", prefix, /*is_write=*/false,
+               [&] { return inner_->List(prefix, out); });
+}
+
+Status FaultInjectingStore::Delete(const std::string& key) {
+  return Apply("delete", key, /*is_write=*/true,
+               [&] { return inner_->Delete(key); });
+}
+
+}  // namespace rottnest::objectstore

@@ -1,0 +1,162 @@
+// Chaos layer for object storage: a decorator injecting the fault taxonomy
+// of real cloud stores into any backing ObjectStore, deterministically.
+//
+// Fault classes (see DESIGN.md "Fault model & retry semantics"):
+//   * transient errors    — S3 503 SlowDown / throttling; the request never
+//                           executes and is safe to retry (Unavailable);
+//   * ambiguous outcomes  — the nastiest S3 failure mode: a Put/PutIfAbsent
+//                           *lands* but the caller sees an error (timeout
+//                           after the server applied the write);
+//   * crashes             — a countdown kills the process at the Nth store
+//                           operation; every later operation fails too, so a
+//                           truncated run looks exactly like a crashed one;
+//   * scripted faults     — a schedule pinning specific op indices to
+//                           specific outcomes, for directed tests.
+//
+// All randomized decisions come from one seeded PRNG: the same seed over the
+// same operation sequence reproduces the same injected faults, so any chaos
+// test failure replays exactly. Subsumes and generalizes the old
+// InMemoryObjectStore::SetFailurePoint hook (which still works here, and now
+// over LocalDiskObjectStore too).
+#ifndef ROTTNEST_OBJECTSTORE_FAULT_INJECTION_H_
+#define ROTTNEST_OBJECTSTORE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/random.h"
+#include "objectstore/object_store.h"
+
+namespace rottnest::objectstore {
+
+/// Whether a crash fires before or after the victim operation's side effect.
+/// kBeforeOp models a process dying mid-request (the write is lost);
+/// kAfterOp models dying after the server applied it (the write survives but
+/// the process never observed success) — together they cover both halves of
+/// every operation's crash window.
+enum class CrashMode {
+  kBeforeOp,
+  kAfterOp,
+};
+
+/// Randomized fault configuration. Rates are probabilities in [0, 1].
+struct FaultOptions {
+  uint64_t seed = 0;                 ///< PRNG seed; same seed ⇒ same faults.
+  double transient_fault_rate = 0;   ///< Unavailable on any op, no effect.
+  double ambiguous_put_rate = 0;     ///< Put/PutIfAbsent lands, caller errors.
+};
+
+/// Counters of injected faults (monotonic; for assertions and reporting).
+struct FaultStats {
+  std::atomic<uint64_t> ops{0};                 ///< Operations intercepted.
+  std::atomic<uint64_t> transient_injected{0};  ///< Transient errors served.
+  std::atomic<uint64_t> ambiguous_injected{0};  ///< Landed-but-errored puts.
+  std::atomic<uint64_t> scheduled_injected{0};  ///< Scripted faults served.
+  std::atomic<uint64_t> crash_refusals{0};      ///< Ops refused post-crash.
+};
+
+/// ObjectStore decorator injecting deterministic faults. Thread-safe; the
+/// fault decision is made under an internal mutex but the backing store (and
+/// any failure-point hook) is invoked outside it, so hooks may re-enter the
+/// store (e.g. to simulate a concurrent writer at an exact protocol point).
+class FaultInjectingStore : public ObjectStore {
+ public:
+  /// `inner` must outlive the decorator.
+  explicit FaultInjectingStore(ObjectStore* inner, FaultOptions options = {})
+      : inner_(inner), options_(options), rng_(options.seed) {}
+
+  Status Put(const std::string& key, Slice data) override;
+  Status PutIfAbsent(const std::string& key, Slice data) override;
+  Status Get(const std::string& key, Buffer* out) override;
+  Status GetRange(const std::string& key, uint64_t offset, uint64_t length,
+                  Buffer* out) override;
+  Status Head(const std::string& key, ObjectMeta* out) override;
+  Status List(const std::string& prefix,
+              std::vector<ObjectMeta>* out) override;
+  Status Delete(const std::string& key) override;
+
+  const Clock& clock() const override { return inner_->clock(); }
+  const IoStats& stats() const override { return inner_->stats(); }
+
+  /// Installs (or clears, with an empty function) a failure-point hook,
+  /// called before each operation executes; a non-OK return fails the op
+  /// with no side effect. Runs without internal locks held.
+  void SetFailurePoint(FailurePoint fp) {
+    std::lock_guard<std::mutex> lock(mu_);
+    failure_point_ = std::move(fp);
+  }
+
+  /// Arms a crash at absolute operation index `op_index` (0-based over the
+  /// store's lifetime; combine with op_count() for "N ops from now"). The
+  /// victim op fails per `mode`, and every subsequent op fails until
+  /// ClearCrash() — the store behaves like a dead process.
+  void SetCrashAtOp(uint64_t op_index, CrashMode mode) {
+    std::lock_guard<std::mutex> lock(mu_);
+    crash_at_ = op_index;
+    crash_mode_ = mode;
+    crashed_ = false;
+  }
+
+  /// Disarms any pending crash and revives a crashed store ("restart").
+  void ClearCrash() {
+    std::lock_guard<std::mutex> lock(mu_);
+    crash_at_.reset();
+    crashed_ = false;
+  }
+
+  /// True once an armed crash has fired (and ClearCrash was not called).
+  bool crashed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashed_;
+  }
+
+  /// Scripts the outcome of the op at absolute index `op_index`: the caller
+  /// sees `status`; the operation's side effect executes iff
+  /// `side_effect_lands` (an ambiguous outcome when true).
+  void ScheduleFault(uint64_t op_index, Status status,
+                     bool side_effect_lands) {
+    std::lock_guard<std::mutex> lock(mu_);
+    schedule_[op_index] = {std::move(status), side_effect_lands};
+  }
+
+  /// Total operations intercepted so far.
+  uint64_t op_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return op_counter_;
+  }
+
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  ObjectStore* inner() { return inner_; }
+
+ private:
+  struct ScheduledFault {
+    Status status;
+    bool side_effect_lands;
+  };
+
+  /// Runs one operation through the fault model. `is_write` enables
+  /// ambiguous-outcome injection; `fn` performs the backing operation.
+  Status Apply(const char* op, const std::string& key, bool is_write,
+               const std::function<Status()>& fn);
+
+  ObjectStore* inner_;
+  FaultOptions options_;
+  mutable std::mutex mu_;
+  Random rng_;
+  uint64_t op_counter_ = 0;
+  FailurePoint failure_point_;
+  std::optional<uint64_t> crash_at_;
+  CrashMode crash_mode_ = CrashMode::kBeforeOp;
+  bool crashed_ = false;
+  std::map<uint64_t, ScheduledFault> schedule_;
+  FaultStats fault_stats_;
+};
+
+}  // namespace rottnest::objectstore
+
+#endif  // ROTTNEST_OBJECTSTORE_FAULT_INJECTION_H_

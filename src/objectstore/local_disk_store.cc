@@ -90,6 +90,11 @@ Status LocalDiskObjectStore::GetRange(const std::string& key, uint64_t offset,
   if (offset > size) {
     return Status::InvalidArgument("range offset past end of object");
   }
+  if (offset == size) {
+    // Zero-length read at EOF: valid per HTTP range semantics.
+    out->clear();
+    return Status::OK();
+  }
   uint64_t n = std::min<uint64_t>(length, size - offset);
   in.seekg(static_cast<std::streamoff>(offset));
   out->resize(static_cast<size_t>(n));

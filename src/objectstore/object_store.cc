@@ -55,6 +55,11 @@ Status InMemoryObjectStore::GetRange(const std::string& key, uint64_t offset,
   if (offset > data.size()) {
     return Status::InvalidArgument("range offset past end of object");
   }
+  if (offset == data.size()) {
+    // Zero-length read at EOF: valid per HTTP range semantics.
+    out->clear();
+    return Status::OK();
+  }
   uint64_t avail = data.size() - offset;
   uint64_t n = std::min<uint64_t>(length, avail);
   out->assign(data.begin() + offset, data.begin() + offset + n);

@@ -67,7 +67,9 @@ class ObjectStore {
   virtual Status Get(const std::string& key, Buffer* out) = 0;
 
   /// Byte-range read of [offset, offset+length). Reading past the end is
-  /// truncated (like HTTP range requests); offset >= size is InvalidArgument.
+  /// truncated (like HTTP range requests); offset == size yields an empty
+  /// buffer (a zero-length suffix read); only offset > size is
+  /// InvalidArgument.
   virtual Status GetRange(const std::string& key, uint64_t offset,
                           uint64_t length, Buffer* out) = 0;
 

@@ -1,0 +1,134 @@
+#include "objectstore/retry.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace rottnest::objectstore {
+
+SleepFn SimulatedSleeper(SimulatedClock* clock) {
+  return [clock](Micros wait) { clock->Advance(wait); };
+}
+
+Micros RetryPolicy::BackoffFor(int retry, Random* rng) const {
+  double wait = static_cast<double>(initial_backoff_micros) *
+                std::pow(multiplier, retry - 1);
+  wait = std::min(wait, static_cast<double>(max_backoff_micros));
+  // Deterministic jitter: shave off up to `jitter` of the wait so retrying
+  // clients desynchronize instead of thundering back in lockstep.
+  if (jitter > 0 && rng != nullptr) {
+    wait -= wait * jitter * rng->NextDouble();
+  }
+  return std::max<Micros>(static_cast<Micros>(wait), 1);
+}
+
+void RetryingStore::Backoff(int retry) {
+  Micros wait;
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    wait = policy_.BackoffFor(retry, &rng_);
+  }
+  retry_stats_.backoff_micros.fetch_add(wait, std::memory_order_relaxed);
+  if (sleep_) sleep_(wait);
+}
+
+Status RetryingStore::RetryLoop(const std::function<Status()>& attempt) {
+  retry_stats_.operations.fetch_add(1, std::memory_order_relaxed);
+  Status last;
+  for (int i = 0; i < policy_.max_attempts; ++i) {
+    if (i > 0) {
+      retry_stats_.retries.fetch_add(1, std::memory_order_relaxed);
+      Backoff(i);
+    }
+    retry_stats_.attempts.fetch_add(1, std::memory_order_relaxed);
+    last = attempt();
+    if (!last.IsUnavailable()) return last;
+  }
+  retry_stats_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+  return last;
+}
+
+Status RetryingStore::Put(const std::string& key, Slice data) {
+  // Puts are last-writer-wins overwrites: replaying one is harmless.
+  return RetryLoop([&] { return inner_->Put(key, data); });
+}
+
+Status RetryingStore::PutIfAbsent(const std::string& key, Slice data) {
+  retry_stats_.operations.fetch_add(1, std::memory_order_relaxed);
+  // Conditional puts cannot be blindly retried: an ambiguous failure may
+  // mean our write landed, and a naive retry would then read AlreadyExists
+  // and report a successful commit as a conflict. Once any attempt ends
+  // ambiguously, conflicts are resolved by fetching the object and
+  // comparing it to what we tried to write.
+  auto resolve = [&](Status* out) -> bool {
+    Buffer existing;
+    Status g = inner_->Get(key, &existing);
+    if (g.ok()) {
+      bool ours = existing.size() == data.size() &&
+                  (data.size() == 0 ||
+                   std::memcmp(existing.data(), data.data(), data.size()) == 0);
+      if (ours) {
+        retry_stats_.ambiguous_resolved.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        *out = Status::OK();
+      } else {
+        *out = Status::AlreadyExists("object exists: " + key);
+      }
+      return true;
+    }
+    if (!g.IsNotFound() && !g.IsUnavailable()) {
+      *out = g;  // Unexpected read failure: surface it.
+      return true;
+    }
+    return false;  // NotFound (didn't land) or transient: keep trying.
+  };
+
+  bool ambiguous = false;
+  Status last;
+  for (int i = 0; i < policy_.max_attempts; ++i) {
+    if (i > 0) {
+      retry_stats_.retries.fetch_add(1, std::memory_order_relaxed);
+      Backoff(i);
+    }
+    retry_stats_.attempts.fetch_add(1, std::memory_order_relaxed);
+    last = inner_->PutIfAbsent(key, data);
+    if (last.ok()) return last;
+    if (last.IsAlreadyExists()) {
+      if (!ambiguous) return last;  // Genuine conflict: someone else won.
+      Status resolved;
+      if (resolve(&resolved)) return resolved;
+      continue;  // Resolution was itself transient; back off and retry.
+    }
+    if (!last.IsUnavailable()) return last;
+    // Transient error on a conditional put: the write may have landed.
+    ambiguous = true;
+    Status resolved;
+    if (resolve(&resolved)) return resolved;
+  }
+  retry_stats_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+  return last;
+}
+
+Status RetryingStore::Get(const std::string& key, Buffer* out) {
+  return RetryLoop([&] { return inner_->Get(key, out); });
+}
+
+Status RetryingStore::GetRange(const std::string& key, uint64_t offset,
+                               uint64_t length, Buffer* out) {
+  return RetryLoop([&] { return inner_->GetRange(key, offset, length, out); });
+}
+
+Status RetryingStore::Head(const std::string& key, ObjectMeta* out) {
+  return RetryLoop([&] { return inner_->Head(key, out); });
+}
+
+Status RetryingStore::List(const std::string& prefix,
+                           std::vector<ObjectMeta>* out) {
+  return RetryLoop([&] { return inner_->List(prefix, out); });
+}
+
+Status RetryingStore::Delete(const std::string& key) {
+  // Deletes are idempotent (deleting a missing key succeeds).
+  return RetryLoop([&] { return inner_->Delete(key); });
+}
+
+}  // namespace rottnest::objectstore

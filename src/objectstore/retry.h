@@ -1,0 +1,115 @@
+// Retry/backoff stack for object storage: a decorator that absorbs the
+// transient faults cloud stores emit as a matter of course (throttling,
+// 503s, timeouts) so the layers above see them only when a retry budget is
+// truly exhausted.
+//
+// Retry safety is per operation (see DESIGN.md "Fault model & retry
+// semantics"):
+//   * Get/GetRange/Head/List  — read-only, always safe to retry;
+//   * Put/Delete              — idempotent (last-writer-wins / delete-of-
+//                               missing succeeds), safe to retry;
+//   * PutIfAbsent             — NOT blindly retryable: an ambiguous error
+//     may mean our write landed, and a retry would then see AlreadyExists
+//     and mis-report a successful commit as a conflict (double-counting a
+//     txn-log version). Resolved by Get-and-compare: if the stored bytes
+//     equal what we tried to write, the commit was ours and succeeded.
+//
+// Backoff is capped exponential with deterministic jitter, and *sleeping*
+// is pluggable: simulations pass a SimulatedClock-advancing sleeper so
+// backoff consumes simulated time, never wall time.
+#ifndef ROTTNEST_OBJECTSTORE_RETRY_H_
+#define ROTTNEST_OBJECTSTORE_RETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "objectstore/object_store.h"
+
+namespace rottnest::objectstore {
+
+/// Advances time during a backoff wait. Simulations pass
+/// SimulatedSleeper(&clock); production would block the thread.
+using SleepFn = std::function<void(Micros)>;
+
+/// A SleepFn that advances `clock` instead of blocking — backoff consumes
+/// simulated time, keeping chaos tests instant and deterministic.
+SleepFn SimulatedSleeper(SimulatedClock* clock);
+
+/// Capped exponential backoff with deterministic jitter.
+struct RetryPolicy {
+  int max_attempts = 8;                       ///< Total tries per operation.
+  Micros initial_backoff_micros = 10'000;     ///< Wait before 2nd attempt.
+  Micros max_backoff_micros = 5'000'000;      ///< Cap on any single wait.
+  double multiplier = 2.0;                    ///< Exponential growth factor.
+  double jitter = 0.5;                        ///< Fraction of wait randomized.
+  uint64_t jitter_seed = 0x0badcafe;          ///< Same seed ⇒ same waits.
+
+  /// The wait before retry number `retry` (1-based), jittered by `rng`.
+  Micros BackoffFor(int retry, Random* rng) const;
+};
+
+/// Cumulative retry accounting across all operations of one RetryingStore.
+struct RetryStats {
+  std::atomic<uint64_t> operations{0};          ///< Logical ops issued.
+  std::atomic<uint64_t> attempts{0};            ///< Physical attempts (≥ ops).
+  std::atomic<uint64_t> retries{0};             ///< Attempts after the first.
+  std::atomic<uint64_t> budget_exhausted{0};    ///< Ops that ran out of tries.
+  std::atomic<uint64_t> ambiguous_resolved{0};  ///< PutIfAbsent outcomes
+                                                ///< settled by Get-compare.
+  std::atomic<uint64_t> backoff_micros{0};      ///< Total time slept.
+};
+
+/// ObjectStore decorator retrying transient (Unavailable) failures with
+/// policy-driven backoff. Other error codes pass through untouched — a
+/// NotFound or AlreadyExists is an answer, not a fault. Thread-safe.
+class RetryingStore : public ObjectStore {
+ public:
+  /// `inner` must outlive the decorator. `sleep` may be empty (no waiting
+  /// between attempts — still correct, just an eager retry loop).
+  RetryingStore(ObjectStore* inner, RetryPolicy policy, SleepFn sleep = {})
+      : inner_(inner),
+        policy_(policy),
+        sleep_(std::move(sleep)),
+        rng_(policy.jitter_seed) {}
+
+  Status Put(const std::string& key, Slice data) override;
+  Status PutIfAbsent(const std::string& key, Slice data) override;
+  Status Get(const std::string& key, Buffer* out) override;
+  Status GetRange(const std::string& key, uint64_t offset, uint64_t length,
+                  Buffer* out) override;
+  Status Head(const std::string& key, ObjectMeta* out) override;
+  Status List(const std::string& prefix,
+              std::vector<ObjectMeta>* out) override;
+  Status Delete(const std::string& key) override;
+
+  const Clock& clock() const override { return inner_->clock(); }
+  const IoStats& stats() const override { return inner_->stats(); }
+
+  const RetryStats& retry_stats() const { return retry_stats_; }
+  const RetryPolicy& policy() const { return policy_; }
+  ObjectStore* inner() { return inner_; }
+
+ private:
+  /// Runs `attempt` under the retry budget, waiting between tries.
+  /// Only Unavailable triggers a retry.
+  Status RetryLoop(const std::function<Status()>& attempt);
+
+  /// Waits out the backoff before 1-based retry number `retry`.
+  void Backoff(int retry);
+
+  ObjectStore* inner_;
+  RetryPolicy policy_;
+  SleepFn sleep_;
+  std::mutex rng_mu_;
+  Random rng_;
+  RetryStats retry_stats_;
+};
+
+}  // namespace rottnest::objectstore
+
+#endif  // ROTTNEST_OBJECTSTORE_RETRY_H_

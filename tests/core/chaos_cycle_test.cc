@@ -1,0 +1,353 @@
+// Chaos testing of the full protocol cycle: the ISSUE's acceptance bar is
+// that a seeded 10% transient-fault / 10% ambiguous-write object store,
+// wrapped in the retrying store, completes index -> search -> compact ->
+// vacuum with EXACTLY the same search answers as a fault-free run — plus
+// graceful degradation tests for searches over corrupt or missing index
+// objects (§V: a broken index must demote its files to a brute scan, never
+// break the query).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "common/random.h"
+#include "core/rottnest.h"
+#include "objectstore/fault_injection.h"
+#include "objectstore/object_store.h"
+#include "objectstore/retry.h"
+
+namespace rottnest::core {
+namespace {
+
+using format::ColumnVector;
+using format::PhysicalType;
+using format::RowBatch;
+using format::Schema;
+using index::IndexType;
+using lake::Table;
+using objectstore::FaultInjectingStore;
+using objectstore::FaultOptions;
+using objectstore::InMemoryObjectStore;
+using objectstore::RetryingStore;
+using objectstore::RetryPolicy;
+using objectstore::SimulatedSleeper;
+
+constexpr uint32_t kDim = 16;
+
+Schema MakeSchema() {
+  Schema s;
+  s.columns.push_back({"uuid", PhysicalType::kFixedLenByteArray, 16});
+  s.columns.push_back({"body", PhysicalType::kByteArray, 0});
+  s.columns.push_back({"vec", PhysicalType::kFixedLenByteArray, kDim * 4});
+  return s;
+}
+
+std::string UuidFor(uint64_t id) {
+  std::string u(16, '\0');
+  uint64_t hi = Mix64(id), lo = Mix64(id ^ 0xabcdef);
+  for (int i = 0; i < 8; ++i) {
+    u[i] = static_cast<char>(hi >> (56 - 8 * i));
+    u[8 + i] = static_cast<char>(lo >> (56 - 8 * i));
+  }
+  return u;
+}
+
+std::vector<float> VecFor(uint64_t id) {
+  Random rng(id * 7 + 3);
+  std::vector<float> v(kDim);
+  uint64_t cluster = id % 8;
+  for (uint32_t d = 0; d < kDim; ++d) {
+    v[d] = static_cast<float>((cluster == d % 8 ? 50.0 : 0.0) +
+                              rng.NextGaussian() * 0.1);
+  }
+  return v;
+}
+
+RottnestOptions Options() {
+  RottnestOptions options;
+  options.index_dir = "idx/t";
+  options.ivfpq.nlist = 16;
+  options.ivfpq.num_subquantizers = 4;
+  options.fm.block_size = 2048;
+  options.fm.sample_rate = 8;
+  // Generous: retry backoff advances the simulated clock DURING index ops,
+  // and the timeout abort must not fire because of our own backoff waits.
+  options.index_timeout_micros = 600LL * 1'000'000;
+  return options;
+}
+
+format::WriterOptions WriterOpts() {
+  format::WriterOptions w;
+  w.target_page_bytes = 2048;
+  w.target_row_group_bytes = 32 << 10;
+  return w;
+}
+
+void AppendRows(Table* table, uint64_t first_id, size_t rows) {
+  RowBatch b;
+  b.schema = MakeSchema();
+  format::FlatFixed uuids;
+  uuids.elem_size = 16;
+  ColumnVector::Strings bodies;
+  format::FlatFixed vecs;
+  vecs.elem_size = kDim * 4;
+  for (size_t i = 0; i < rows; ++i) {
+    uint64_t id = first_id + i;
+    std::string u = UuidFor(id);
+    uuids.Append(Slice(u));
+    bodies.push_back("row " + std::to_string(id) + " token" +
+                     std::to_string(id % 7) + " payload");
+    std::vector<float> v = VecFor(id);
+    vecs.Append(Slice(reinterpret_cast<const uint8_t*>(v.data()), kDim * 4));
+  }
+  b.columns.emplace_back(std::move(uuids));
+  b.columns.emplace_back(std::move(bodies));
+  b.columns.emplace_back(std::move(vecs));
+  ASSERT_TRUE(table->Append(b).ok());
+}
+
+/// Search answers reduced to a comparable form. File paths are excluded —
+/// object names may embed timestamps, and the chaos world's clock runs
+/// ahead of the reference world's by the accumulated backoff.
+using MatchSet = std::multiset<std::pair<uint64_t, std::string>>;
+
+MatchSet Reduce(const SearchResult& r) {
+  MatchSet out;
+  for (const RowMatch& m : r.matches) out.emplace(m.row, m.value);
+  return out;
+}
+
+/// The answers collected by one full protocol cycle.
+struct CycleAnswers {
+  std::vector<MatchSet> uuid_hits;
+  MatchSet substring_hits;
+  uint64_t substring_count = 0;
+  MatchSet vector_hits;
+  std::vector<MatchSet> post_vacuum_uuid_hits;
+  MatchSet post_vacuum_substring_hits;
+  uint64_t post_vacuum_count = 0;
+};
+
+/// Runs the full index -> search -> compact -> vacuum cycle against an
+/// arbitrary store stack and records every search answer.
+void RunCycle(objectstore::ObjectStore* store, SimulatedClock* clock,
+              CycleAnswers* answers) {
+  auto table = Table::Create(store, "lake/t", MakeSchema(), WriterOpts())
+                   .MoveValue();
+  Rottnest client(store, table.get(), Options());
+
+  AppendRows(table.get(), 0, 200);
+  AppendRows(table.get(), 200, 200);
+  ASSERT_TRUE(client.Index("uuid", IndexType::kTrie).ok());
+  ASSERT_TRUE(client.Index("body", IndexType::kFm).ok());
+  ASSERT_TRUE(client.Index("vec", IndexType::kIvfPq).ok());
+
+  for (uint64_t id : {0ULL, 77ULL, 399ULL}) {
+    std::string u = UuidFor(id);
+    auto r = client.SearchUuid("uuid", Slice(u), 10);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    answers->uuid_hits.push_back(Reduce(r.value()));
+  }
+  {
+    auto r = client.SearchSubstring("body", "token3", 500);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    answers->substring_hits = Reduce(r.value());
+    auto c = client.CountSubstring("body", "token3");
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    answers->substring_count = c.value();
+    std::vector<float> q = VecFor(5);
+    auto v = client.SearchVector("vec", q.data(), kDim, 10, /*nprobe=*/16,
+                                 /*refine=*/64);
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    answers->vector_hits = Reduce(v.value());
+  }
+
+  // Grow, re-index, compact the small trie indexes, vacuum the replaced
+  // objects once they age past the timeout.
+  AppendRows(table.get(), 400, 200);
+  ASSERT_TRUE(client.Index("uuid", IndexType::kTrie).ok());
+  ASSERT_TRUE(client.Index("body", IndexType::kFm).ok());
+  ASSERT_TRUE(client.Compact("uuid", IndexType::kTrie, UINT64_MAX).ok());
+  clock->Advance(Options().index_timeout_micros + 60LL * 1'000'000);
+  auto latest = table->GetSnapshot();
+  ASSERT_TRUE(latest.ok());
+  ASSERT_TRUE(client.Vacuum(latest.value().version).ok());
+
+  for (uint64_t id : {3ULL, 250ULL, 567ULL}) {
+    std::string u = UuidFor(id);
+    auto r = client.SearchUuid("uuid", Slice(u), 10);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    answers->post_vacuum_uuid_hits.push_back(Reduce(r.value()));
+  }
+  auto r = client.SearchSubstring("body", "token5", 500);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  answers->post_vacuum_substring_hits = Reduce(r.value());
+  auto c = client.CountSubstring("body", "token5");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  answers->post_vacuum_count = c.value();
+
+  ASSERT_TRUE(client.CheckInvariants().ok());
+}
+
+TEST(ChaosCycleTest, FullCycleMatchesFaultFreeRun) {
+  // Reference: fault-free world.
+  CycleAnswers expected;
+  {
+    SimulatedClock clock;
+    InMemoryObjectStore store(&clock);
+    RunCycle(&store, &clock, &expected);
+  }
+  ASSERT_FALSE(::testing::Test::HasFailure());
+  // Every probed id exists exactly once.
+  for (const MatchSet& hits : expected.uuid_hits) EXPECT_EQ(hits.size(), 1u);
+  EXPECT_FALSE(expected.substring_hits.empty());
+  EXPECT_GT(expected.substring_count, 0u);
+  EXPECT_FALSE(expected.vector_hits.empty());
+
+  // Chaos: 10% transient faults + 10% ambiguous writes, absorbed by the
+  // retrying store over simulated time.
+  CycleAnswers actual;
+  SimulatedClock clock;
+  InMemoryObjectStore inner(&clock);
+  FaultOptions fopts;
+  fopts.seed = 20260806;
+  fopts.transient_fault_rate = 0.1;
+  fopts.ambiguous_put_rate = 0.1;
+  FaultInjectingStore faulty(&inner, fopts);
+  RetryPolicy policy;  // 8 attempts: P(8 consecutive faults) ~ 1e-8.
+  policy.initial_backoff_micros = 1000;
+  policy.max_backoff_micros = 8000;
+  RetryingStore store(&faulty, policy, SimulatedSleeper(&clock));
+  RunCycle(&store, &clock, &actual);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  // The cycle really ran through faults, and the budget never ran dry.
+  EXPECT_GT(faulty.fault_stats().transient_injected.load(), 0u);
+  EXPECT_GT(faulty.fault_stats().ambiguous_injected.load(), 0u);
+  EXPECT_GT(store.retry_stats().retries.load(), 0u);
+  EXPECT_EQ(store.retry_stats().budget_exhausted.load(), 0u);
+
+  // Identical answers, byte for byte.
+  EXPECT_EQ(actual.uuid_hits, expected.uuid_hits);
+  EXPECT_EQ(actual.substring_hits, expected.substring_hits);
+  EXPECT_EQ(actual.substring_count, expected.substring_count);
+  EXPECT_EQ(actual.vector_hits, expected.vector_hits);
+  EXPECT_EQ(actual.post_vacuum_uuid_hits, expected.post_vacuum_uuid_hits);
+  EXPECT_EQ(actual.post_vacuum_substring_hits,
+            expected.post_vacuum_substring_hits);
+  EXPECT_EQ(actual.post_vacuum_count, expected.post_vacuum_count);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: corrupt / missing index objects demote their covered
+// files to a brute scan instead of failing the query.
+
+class DegradationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = Table::Create(&store_, "lake/t", MakeSchema(), WriterOpts())
+                 .MoveValue();
+    client_ = std::make_unique<Rottnest>(&store_, table_.get(), Options());
+    AppendRows(table_.get(), 0, 300);
+  }
+
+  /// The single committed index entry's object key.
+  std::string OnlyIndexPath() {
+    auto entries = client_->metadata().ReadAll();
+    EXPECT_TRUE(entries.ok());
+    EXPECT_EQ(entries.value().size(), 1u);
+    return entries.value()[0].index_path;
+  }
+
+  void CorruptObject(const std::string& key) {
+    Buffer buf;
+    ASSERT_TRUE(store_.Get(key, &buf).ok());
+    ASSERT_GT(buf.size(), 30u);
+    buf[buf.size() / 3] ^= 0xff;  // Mid-file bit flips hit a checksum.
+    ASSERT_TRUE(store_.Put(key, Slice(buf)).ok());
+  }
+
+  SimulatedClock clock_;
+  InMemoryObjectStore store_{&clock_};
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<Rottnest> client_;
+};
+
+TEST_F(DegradationTest, CorruptTrieIndexDegradesToScan) {
+  ASSERT_TRUE(client_->Index("uuid", IndexType::kTrie).ok());
+  std::string path = OnlyIndexPath();
+
+  std::string u = UuidFor(123);
+  auto healthy = client_->SearchUuid("uuid", Slice(u), 10);
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_EQ(healthy.value().matches.size(), 1u);
+  EXPECT_EQ(healthy.value().indexes_degraded, 0u);
+
+  CorruptObject(path);
+  auto degraded = client_->SearchUuid("uuid", Slice(u), 10);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  ASSERT_EQ(degraded.value().matches.size(), 1u);
+  EXPECT_EQ(degraded.value().matches[0].value, u);
+  EXPECT_EQ(degraded.value().indexes_degraded, 1u);
+  ASSERT_EQ(degraded.value().degraded_indexes.size(), 1u);
+  EXPECT_EQ(degraded.value().degraded_indexes[0], path);
+  EXPECT_EQ(degraded.value().indexes_queried, 0u);
+  EXPECT_GE(degraded.value().files_scanned, 1u);
+  // Search degrades gracefully, but the auditor still flags the corrupt
+  // object (the Consistency check opens every referenced index).
+  EXPECT_FALSE(client_->CheckInvariants().ok());
+}
+
+TEST_F(DegradationTest, MissingIndexObjectDegradesToScan) {
+  ASSERT_TRUE(client_->Index("uuid", IndexType::kTrie).ok());
+  std::string path = OnlyIndexPath();
+  ASSERT_TRUE(store_.Delete(path).ok());
+
+  std::string u = UuidFor(42);
+  auto r = client_->SearchUuid("uuid", Slice(u), 10);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().matches.size(), 1u);
+  EXPECT_EQ(r.value().indexes_degraded, 1u);
+  // A MISSING referenced object, unlike a corrupt one, IS an Existence
+  // invariant violation — search degrades, but the auditor reports it.
+  EXPECT_FALSE(client_->CheckInvariants().ok());
+}
+
+TEST_F(DegradationTest, SubstringSearchAndCountSurviveCorruption) {
+  ASSERT_TRUE(client_->Index("body", IndexType::kFm).ok());
+  std::string path = OnlyIndexPath();
+
+  auto before = client_->SearchSubstring("body", "token4", 500);
+  ASSERT_TRUE(before.ok());
+  auto count_before = client_->CountSubstring("body", "token4");
+  ASSERT_TRUE(count_before.ok());
+  EXPECT_GT(count_before.value(), 0u);
+
+  CorruptObject(path);
+  auto after = client_->SearchSubstring("body", "token4", 500);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.value().indexes_degraded, 1u);
+  EXPECT_EQ(Reduce(after.value()), Reduce(before.value()));
+  auto count_after = client_->CountSubstring("body", "token4");
+  ASSERT_TRUE(count_after.ok()) << count_after.status().ToString();
+  EXPECT_EQ(count_after.value(), count_before.value());
+}
+
+TEST_F(DegradationTest, VectorSearchSurvivesCorruption) {
+  ASSERT_TRUE(client_->Index("vec", IndexType::kIvfPq).ok());
+  std::string path = OnlyIndexPath();
+  CorruptObject(path);
+
+  std::vector<float> q = VecFor(9);
+  auto r = client_->SearchVector("vec", q.data(), kDim, 5, /*nprobe=*/16,
+                                 /*refine=*/32);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().indexes_degraded, 1u);
+  // The degraded path exact-scans the covered file, so the true nearest
+  // neighbours come back even without the index.
+  ASSERT_FALSE(r.value().matches.empty());
+  EXPECT_EQ(r.value().matches[0].row, 9u);
+}
+
+}  // namespace
+}  // namespace rottnest::core

@@ -182,6 +182,78 @@ TEST_F(ComponentFileTest, TinyTailReadStillWorks) {
   EXPECT_EQ(payload, Bytes("payload137"));
 }
 
+TEST_F(ComponentFileTest, BitFlipInPayloadIsCorruption) {
+  // A single flipped bit anywhere in a component payload must surface as
+  // Corruption — at open for tail-cached components, at read for fetched
+  // ones — never as silently wrong data.
+  ComponentFileWriter writer(IndexType::kTrie, "u");
+  Random rng(11);
+  Buffer bulk(400 << 10);  // Incompressible, larger than the 256KB tail.
+  for (auto& b : bulk) b = static_cast<uint8_t>(rng.Next());
+  ASSERT_TRUE(writer.AddComponent("bulk", Slice(bulk)).ok());
+  ASSERT_TRUE(writer.AddComponent("root", Slice(Bytes("root payload"))).ok());
+  Buffer file;
+  ASSERT_TRUE(writer.Finish(&file).ok());
+
+  // Flip a bit early in the file: inside `bulk`, outside the tail read.
+  Buffer corrupt = file;
+  corrupt[100] ^= 0x01;
+  ASSERT_TRUE(store_.Put("k", Slice(corrupt)).ok());
+  auto reader_r = ComponentFileReader::Open(&store_, "k", nullptr);
+  ASSERT_TRUE(reader_r.ok()) << reader_r.status().ToString();
+  Buffer payload;
+  // `root` is tail-cached and intact.
+  ASSERT_TRUE(
+      reader_r.value()->ReadComponent("root", nullptr, nullptr, &payload).ok());
+  // `bulk` is fetched — and fails its checksum.
+  EXPECT_TRUE(reader_r.value()
+                  ->ReadComponent("bulk", nullptr, nullptr, &payload)
+                  .IsCorruption());
+
+  // Flip a bit in the tail instead: open itself fails (either the flipped
+  // byte hits a tail-cached payload or the directory).
+  corrupt = file;
+  corrupt[file.size() - 40] ^= 0x01;
+  ASSERT_TRUE(store_.Put("k2", Slice(corrupt)).ok());
+  EXPECT_TRUE(ComponentFileReader::Open(&store_, "k2", nullptr)
+                  .status()
+                  .IsCorruption());
+}
+
+TEST_F(ComponentFileTest, TruncatedFileIsRejected) {
+  ComponentFileWriter writer(IndexType::kTrie, "u");
+  ASSERT_TRUE(writer.AddComponent("a", Slice(Bytes("payload-a"))).ok());
+  ASSERT_TRUE(writer.AddComponent("b", Slice(Bytes("payload-b"))).ok());
+  Buffer file;
+  ASSERT_TRUE(writer.Finish(&file).ok());
+  // Every truncation point must fail Open cleanly — bad magic, short
+  // directory, or checksum mismatch — never parse garbage.
+  for (size_t keep : {file.size() - 1, file.size() - 5, file.size() / 2,
+                      size_t{21}, size_t{1}}) {
+    Buffer cut(file.begin(), file.begin() + keep);
+    ASSERT_TRUE(store_.Put("t", Slice(cut)).ok());
+    EXPECT_FALSE(ComponentFileReader::Open(&store_, "t", nullptr).ok())
+        << "kept " << keep << " of " << file.size();
+  }
+}
+
+TEST_F(ComponentFileTest, DirectoryChecksumCoversEntries) {
+  // Corrupting the directory region itself (not a payload) is detected by
+  // the directory checksum before any entry is trusted.
+  ComponentFileWriter writer(IndexType::kFm, "body");
+  ASSERT_TRUE(writer.AddComponent("x", Slice(Bytes("data"))).ok());
+  Buffer file;
+  ASSERT_TRUE(writer.Finish(&file).ok());
+  // The directory sits just before the 16-byte checksum+length footer and
+  // the 4-byte magic; flip a byte 22 from the end (inside the directory).
+  Buffer corrupt = file;
+  corrupt[file.size() - 22] ^= 0xFF;
+  ASSERT_TRUE(store_.Put("k", Slice(corrupt)).ok());
+  EXPECT_TRUE(ComponentFileReader::Open(&store_, "k", nullptr)
+                  .status()
+                  .IsCorruption());
+}
+
 TEST_F(ComponentFileTest, EmptyIndexFileRoundTrips) {
   ComponentFileWriter writer(IndexType::kFm, "body");
   Buffer file;

@@ -4,7 +4,9 @@
 
 #include <thread>
 
+#include "objectstore/fault_injection.h"
 #include "objectstore/object_store.h"
+#include "objectstore/retry.h"
 
 namespace rottnest::lake {
 namespace {
@@ -110,6 +112,61 @@ TEST_F(TxnLogTest, ReplayToSpecificVersion) {
   ASSERT_TRUE(v.ok());
   EXPECT_EQ(v.value(), 0);
   EXPECT_EQ(actions.size(), 1u);
+}
+
+TEST_F(TxnLogTest, CommitNextRelistsToTailUnderContention) {
+  // A conflict re-lists the log and jumps to the real tail instead of
+  // probing `latest + 1 + attempt` blindly — a burst of N intervening
+  // commits costs one extra conditional put, not N.
+  objectstore::FaultInjectingStore faulty(&store_);
+  TxnLog log(&faulty, "t/_log");
+  ASSERT_TRUE(log.Commit(0, {Action("a", 0)}).ok());
+
+  bool burst_done = false;
+  faulty.SetFailurePoint(
+      [&](const std::string& op, const std::string& key) -> Status {
+        if (op == "put_if_absent" && !burst_done) {
+          burst_done = true;
+          // Five rival commits land just before our conditional put.
+          TxnLog rival(&store_, "t/_log");
+          for (int i = 0; i < 5; ++i) {
+            EXPECT_TRUE(rival.CommitNext({Action("rival", i)}).ok());
+          }
+        }
+        return Status::OK();
+      });
+  uint64_t puts_before = store_.stats().puts.load();
+  auto v = log.CommitNext({Action("b", 9)});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 6);  // Versions 1..5 went to the rival.
+  // Total conditional puts: 5 rival + 2 ours (the conflicted probe and the
+  // re-listed tail commit). A blind probe walk would have spent 6.
+  EXPECT_EQ(store_.stats().puts.load() - puts_before, 7u);
+}
+
+TEST_F(TxnLogTest, CommitBackoffConsumesSimulatedTime) {
+  objectstore::FaultInjectingStore faulty(&store_);
+  TxnLog log(&faulty, "t/_log");
+  objectstore::RetryPolicy policy;
+  policy.initial_backoff_micros = 50'000;
+  log.SetCommitBackoff(policy, objectstore::SimulatedSleeper(&clock_));
+
+  bool fired = false;
+  faulty.SetFailurePoint(
+      [&](const std::string& op, const std::string& key) -> Status {
+        if (op == "put_if_absent" && !fired) {
+          fired = true;
+          TxnLog rival(&store_, "t/_log");
+          EXPECT_TRUE(rival.CommitNext({Action("rival", 0)}).ok());
+        }
+        return Status::OK();
+      });
+  Micros before = clock_.NowMicros();
+  auto v = log.CommitNext({Action("b", 1)});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 1);  // The rival took version 0.
+  // The contention backoff advanced the simulated clock, not wall time.
+  EXPECT_GT(clock_.NowMicros(), before);
 }
 
 TEST_F(TxnLogTest, SeparateLogsAreIndependent) {

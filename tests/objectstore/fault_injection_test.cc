@@ -1,0 +1,223 @@
+#include "objectstore/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "objectstore/local_disk_store.h"
+
+namespace rottnest::objectstore {
+namespace {
+
+Buffer Bytes(const std::string& s) { return Buffer(s.begin(), s.end()); }
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  SimulatedClock clock_;
+  InMemoryObjectStore inner_{&clock_};
+};
+
+TEST_F(FaultInjectionTest, NoFaultsIsTransparent) {
+  FaultInjectingStore store(&inner_);
+  ASSERT_TRUE(store.Put("k", Slice(Bytes("v"))).ok());
+  Buffer out;
+  ASSERT_TRUE(store.Get("k", &out).ok());
+  EXPECT_EQ(out, Bytes("v"));
+  ObjectMeta meta;
+  ASSERT_TRUE(store.Head("k", &meta).ok());
+  EXPECT_EQ(meta.size, 1u);
+  std::vector<ObjectMeta> listing;
+  ASSERT_TRUE(store.List("", &listing).ok());
+  EXPECT_EQ(listing.size(), 1u);
+  ASSERT_TRUE(store.Delete("k").ok());
+  EXPECT_EQ(store.op_count(), 5u);
+  EXPECT_EQ(store.fault_stats().ops.load(), 5u);
+  EXPECT_EQ(store.fault_stats().transient_injected.load(), 0u);
+}
+
+TEST_F(FaultInjectionTest, TransientFaultsAreDeterministicPerSeed) {
+  // The same seed over the same op sequence must inject at the same ops.
+  auto run = [&](uint64_t seed) {
+    InMemoryObjectStore inner(&clock_);
+    FaultOptions opts;
+    opts.seed = seed;
+    opts.transient_fault_rate = 0.3;
+    FaultInjectingStore store(&inner, opts);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 200; ++i) {
+      Status s = store.Put("k" + std::to_string(i), Slice(Bytes("v")));
+      EXPECT_TRUE(s.ok() || s.IsUnavailable());
+      outcomes.push_back(s.ok());
+    }
+    return outcomes;
+  };
+  auto a = run(7);
+  auto b = run(7);
+  auto c = run(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 2^-200 chance of colliding.
+  // A 30% rate over 200 ops injects a plausible number of faults.
+  size_t failures = 0;
+  for (bool ok : a) failures += ok ? 0 : 1;
+  EXPECT_GT(failures, 20u);
+  EXPECT_LT(failures, 120u);
+}
+
+TEST_F(FaultInjectionTest, TransientFaultHasNoSideEffect) {
+  FaultOptions opts;
+  opts.seed = 1;
+  opts.transient_fault_rate = 1.0;  // Every op fails.
+  FaultInjectingStore store(&inner_, opts);
+  EXPECT_TRUE(store.Put("k", Slice(Bytes("v"))).IsUnavailable());
+  Buffer out;
+  EXPECT_TRUE(inner_.Get("k", &out).IsNotFound());  // Write never executed.
+  EXPECT_EQ(store.fault_stats().transient_injected.load(), 1u);
+}
+
+TEST_F(FaultInjectionTest, AmbiguousPutLandsButReportsError) {
+  FaultOptions opts;
+  opts.seed = 1;
+  opts.ambiguous_put_rate = 1.0;
+  FaultInjectingStore store(&inner_, opts);
+  EXPECT_TRUE(store.Put("k", Slice(Bytes("v"))).IsUnavailable());
+  Buffer out;
+  ASSERT_TRUE(inner_.Get("k", &out).ok());  // ...but the write landed.
+  EXPECT_EQ(out, Bytes("v"));
+  // Reads are never ambiguous.
+  ASSERT_TRUE(store.Get("k", &out).ok());
+  EXPECT_EQ(store.fault_stats().ambiguous_injected.load(), 1u);
+}
+
+TEST_F(FaultInjectionTest, AmbiguousPutIfAbsentKeepsGenuineConflict) {
+  // Ambiguity masks success, never a real AlreadyExists: the caller must
+  // still learn it lost a commit race.
+  ASSERT_TRUE(inner_.Put("log/0", Slice(Bytes("winner"))).ok());
+  FaultOptions opts;
+  opts.seed = 1;
+  opts.ambiguous_put_rate = 1.0;
+  FaultInjectingStore store(&inner_, opts);
+  EXPECT_TRUE(store.PutIfAbsent("log/0", Slice(Bytes("loser")))
+                  .IsAlreadyExists());
+  Buffer out;
+  ASSERT_TRUE(inner_.Get("log/0", &out).ok());
+  EXPECT_EQ(out, Bytes("winner"));
+}
+
+TEST_F(FaultInjectionTest, CrashBeforeOpLosesTheWrite) {
+  FaultInjectingStore store(&inner_);
+  ASSERT_TRUE(store.Put("a", Slice(Bytes("v"))).ok());  // op 0
+  store.SetCrashAtOp(1, CrashMode::kBeforeOp);
+  EXPECT_TRUE(store.Put("b", Slice(Bytes("v"))).IsIOError());  // op 1: dies.
+  EXPECT_TRUE(store.crashed());
+  Buffer out;
+  EXPECT_TRUE(inner_.Get("b", &out).IsNotFound());
+  // A dead process cannot issue more requests.
+  EXPECT_TRUE(store.Get("a", &out).IsIOError());
+  EXPECT_GE(store.fault_stats().crash_refusals.load(), 1u);
+  // Restart revives it.
+  store.ClearCrash();
+  EXPECT_FALSE(store.crashed());
+  ASSERT_TRUE(store.Get("a", &out).ok());
+}
+
+TEST_F(FaultInjectionTest, CrashAfterOpKeepsTheWrite) {
+  FaultInjectingStore store(&inner_);
+  store.SetCrashAtOp(0, CrashMode::kAfterOp);
+  EXPECT_TRUE(store.Put("k", Slice(Bytes("v"))).IsIOError());
+  Buffer out;
+  ASSERT_TRUE(inner_.Get("k", &out).ok());  // The write survived the crash.
+  EXPECT_EQ(out, Bytes("v"));
+}
+
+TEST_F(FaultInjectionTest, ScheduledFaultFiresAtExactOp) {
+  FaultInjectingStore store(&inner_);
+  store.ScheduleFault(1, Status::Unavailable("scripted"),
+                      /*side_effect_lands=*/false);
+  ASSERT_TRUE(store.Put("a", Slice(Bytes("v"))).ok());            // op 0
+  EXPECT_TRUE(store.Put("b", Slice(Bytes("v"))).IsUnavailable()); // op 1
+  ASSERT_TRUE(store.Put("c", Slice(Bytes("v"))).ok());            // op 2
+  Buffer out;
+  EXPECT_TRUE(inner_.Get("b", &out).IsNotFound());
+  EXPECT_EQ(store.fault_stats().scheduled_injected.load(), 1u);
+
+  // A scheduled ambiguous fault: the op lands but errors.
+  store.ScheduleFault(store.op_count(), Status::Unavailable("ambiguous"),
+                      /*side_effect_lands=*/true);
+  EXPECT_TRUE(store.Put("d", Slice(Bytes("v"))).IsUnavailable());
+  ASSERT_TRUE(inner_.Get("d", &out).ok());
+}
+
+TEST_F(FaultInjectionTest, FailurePointHookSubsumesInMemoryHook) {
+  // The old InMemoryObjectStore::SetFailurePoint contract, now layered over
+  // any store.
+  FaultInjectingStore store(&inner_);
+  store.SetFailurePoint([](const std::string& op, const std::string& key) {
+    if (op == "put" && key == "poison") return Status::IOError("injected");
+    return Status::OK();
+  });
+  EXPECT_TRUE(store.Put("poison", Slice(Bytes("v"))).IsIOError());
+  EXPECT_TRUE(store.Put("fine", Slice(Bytes("v"))).ok());
+  Buffer out;
+  EXPECT_TRUE(inner_.Get("poison", &out).IsNotFound());  // No side effect.
+  store.SetFailurePoint(nullptr);
+  EXPECT_TRUE(store.Put("poison", Slice(Bytes("v"))).ok());
+}
+
+TEST_F(FaultInjectionTest, HookMayReenterTheStore) {
+  // Hooks run without internal locks held, so a hook can issue store ops —
+  // the mechanism protocol tests use to interleave a concurrent writer at
+  // an exact point (e.g. a commit racing vacuum between list and delete).
+  FaultInjectingStore store(&inner_);
+  bool fired = false;
+  store.SetFailurePoint(
+      [&](const std::string& op, const std::string& key) -> Status {
+        if (op == "delete" && !fired) {
+          fired = true;
+          return store.Put("concurrent", Slice(Bytes("w")));
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(store.Put("victim", Slice(Bytes("v"))).ok());
+  ASSERT_TRUE(store.Delete("victim").ok());
+  EXPECT_TRUE(fired);
+  Buffer out;
+  ASSERT_TRUE(inner_.Get("concurrent", &out).ok());
+}
+
+TEST_F(FaultInjectionTest, WorksOverLocalDiskStore) {
+  auto root = std::filesystem::temp_directory_path() /
+              ("rottnest_fault_test_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(root);
+  {
+    SystemClock disk_clock;
+    LocalDiskObjectStore disk(root.string(), &disk_clock);
+    FaultOptions opts;
+    opts.seed = 3;
+    opts.transient_fault_rate = 1.0;
+    FaultInjectingStore store(&disk, opts);
+    EXPECT_TRUE(store.Put("k", Slice(Bytes("v"))).IsUnavailable());
+    Buffer out;
+    EXPECT_TRUE(disk.Get("k", &out).IsNotFound());
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST_F(FaultInjectionTest, GetRangeAndListAreInterceptedToo) {
+  ASSERT_TRUE(inner_.Put("k", Slice(Bytes("0123456789"))).ok());
+  FaultOptions opts;
+  opts.seed = 1;
+  opts.transient_fault_rate = 1.0;
+  FaultInjectingStore store(&inner_, opts);
+  Buffer out;
+  EXPECT_TRUE(store.Get("k", &out).IsUnavailable());
+  EXPECT_TRUE(store.GetRange("k", 0, 4, &out).IsUnavailable());
+  ObjectMeta meta;
+  EXPECT_TRUE(store.Head("k", &meta).IsUnavailable());
+  std::vector<ObjectMeta> listing;
+  EXPECT_TRUE(store.List("", &listing).IsUnavailable());
+  EXPECT_TRUE(store.Delete("k").IsUnavailable());
+  EXPECT_EQ(store.fault_stats().transient_injected.load(), 5u);
+}
+
+}  // namespace
+}  // namespace rottnest::objectstore

@@ -90,6 +90,22 @@ TEST_F(InMemoryStoreTest, GetRange) {
   EXPECT_TRUE(store_.GetRange("k", 11, 1, &out).IsInvalidArgument());
 }
 
+TEST_F(InMemoryStoreTest, GetRangeAtEndIsEmpty) {
+  // offset == size is a zero-length suffix read, not an error — readers
+  // computing "tail of length L" with L == 0 must not have to special-case.
+  ASSERT_TRUE(store_.Put("k", Slice(Bytes("0123456789"))).ok());
+  Buffer out = Bytes("stale");
+  ASSERT_TRUE(store_.GetRange("k", 10, 5, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(store_.GetRange("k", 10, 0, &out).ok());
+  EXPECT_TRUE(out.empty());
+  // An empty object admits only the offset-0 empty read.
+  ASSERT_TRUE(store_.Put("empty", Slice()).ok());
+  ASSERT_TRUE(store_.GetRange("empty", 0, 4, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(store_.GetRange("empty", 1, 1, &out).IsInvalidArgument());
+}
+
 TEST_F(InMemoryStoreTest, HeadReportsSizeAndTimestamp) {
   clock_.SetMicros(5000);
   ASSERT_TRUE(store_.Put("k", Slice(Bytes("abcd"))).ok());
@@ -207,6 +223,14 @@ TEST_F(LocalDiskStoreTest, GetRangeAndHead) {
   ObjectMeta meta;
   ASSERT_TRUE(store_->Head("k", &meta).ok());
   EXPECT_EQ(meta.size, 10u);
+}
+
+TEST_F(LocalDiskStoreTest, GetRangeAtEndIsEmpty) {
+  ASSERT_TRUE(store_->Put("k", Slice(Bytes("0123456789"))).ok());
+  Buffer out = Bytes("stale");
+  ASSERT_TRUE(store_->GetRange("k", 10, 5, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(store_->GetRange("k", 11, 1, &out).IsInvalidArgument());
 }
 
 TEST_F(LocalDiskStoreTest, PutIfAbsent) {

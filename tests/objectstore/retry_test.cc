@@ -1,0 +1,172 @@
+#include "objectstore/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "objectstore/fault_injection.h"
+
+namespace rottnest::objectstore {
+namespace {
+
+Buffer Bytes(const std::string& s) { return Buffer(s.begin(), s.end()); }
+
+class RetryTest : public ::testing::Test {
+ protected:
+  RetryPolicy FastPolicy() {
+    RetryPolicy p;
+    p.max_attempts = 5;
+    p.initial_backoff_micros = 1000;
+    p.max_backoff_micros = 8000;
+    return p;
+  }
+
+  SimulatedClock clock_;
+  InMemoryObjectStore inner_{&clock_};
+};
+
+TEST_F(RetryTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy p;
+  p.initial_backoff_micros = 1000;
+  p.max_backoff_micros = 6000;
+  p.multiplier = 2.0;
+  p.jitter = 0;  // Deterministic shape without jitter.
+  EXPECT_EQ(p.BackoffFor(1, nullptr), 1000);
+  EXPECT_EQ(p.BackoffFor(2, nullptr), 2000);
+  EXPECT_EQ(p.BackoffFor(3, nullptr), 4000);
+  EXPECT_EQ(p.BackoffFor(4, nullptr), 6000);  // Capped.
+  EXPECT_EQ(p.BackoffFor(10, nullptr), 6000);
+}
+
+TEST_F(RetryTest, JitterIsDeterministicAndOnlyShortens) {
+  RetryPolicy p;
+  p.initial_backoff_micros = 10000;
+  p.jitter = 0.5;
+  Random rng_a(42), rng_b(42);
+  for (int retry = 1; retry <= 6; ++retry) {
+    Micros a = p.BackoffFor(retry, &rng_a);
+    Micros b = p.BackoffFor(retry, &rng_b);
+    EXPECT_EQ(a, b);  // Same seed, same waits.
+    Micros full = p.BackoffFor(retry, nullptr);
+    EXPECT_LE(a, full);           // Jitter shaves, never extends.
+    EXPECT_GE(a, full / 2 - 1);   // ...by at most the jitter fraction.
+  }
+}
+
+TEST_F(RetryTest, AbsorbsTransientFaults) {
+  FaultInjectingStore faulty(&inner_);
+  // Ops 0 and 1 (the first two attempts) fail transiently; the third lands.
+  faulty.ScheduleFault(0, Status::Unavailable("x"), false);
+  faulty.ScheduleFault(1, Status::Unavailable("x"), false);
+  RetryingStore store(&faulty, FastPolicy(), SimulatedSleeper(&clock_));
+  ASSERT_TRUE(store.Put("k", Slice(Bytes("v"))).ok());
+  Buffer out;
+  ASSERT_TRUE(inner_.Get("k", &out).ok());
+  EXPECT_EQ(store.retry_stats().operations.load(), 1u);
+  EXPECT_EQ(store.retry_stats().attempts.load(), 3u);
+  EXPECT_EQ(store.retry_stats().retries.load(), 2u);
+  EXPECT_EQ(store.retry_stats().budget_exhausted.load(), 0u);
+}
+
+TEST_F(RetryTest, BackoffAdvancesSimulatedTimeOnly) {
+  FaultInjectingStore faulty(&inner_);
+  faulty.ScheduleFault(0, Status::Unavailable("x"), false);
+  RetryingStore store(&faulty, FastPolicy(), SimulatedSleeper(&clock_));
+  Micros before = clock_.NowMicros();
+  ASSERT_TRUE(store.Put("k", Slice(Bytes("v"))).ok());
+  Micros slept = clock_.NowMicros() - before;
+  EXPECT_GT(slept, 0);
+  EXPECT_EQ(static_cast<uint64_t>(slept),
+            store.retry_stats().backoff_micros.load());
+}
+
+TEST_F(RetryTest, BudgetExhaustionSurfacesUnavailable) {
+  FaultOptions opts;
+  opts.seed = 1;
+  opts.transient_fault_rate = 1.0;  // Nothing ever succeeds.
+  FaultInjectingStore faulty(&inner_, opts);
+  RetryingStore store(&faulty, FastPolicy(), SimulatedSleeper(&clock_));
+  Buffer out;
+  EXPECT_TRUE(store.Get("k", &out).IsUnavailable());
+  EXPECT_EQ(store.retry_stats().attempts.load(), 5u);
+  EXPECT_EQ(store.retry_stats().budget_exhausted.load(), 1u);
+}
+
+TEST_F(RetryTest, NonTransientErrorsAreNotRetried) {
+  RetryingStore store(&inner_, FastPolicy(), SimulatedSleeper(&clock_));
+  Buffer out;
+  EXPECT_TRUE(store.Get("missing", &out).IsNotFound());
+  EXPECT_EQ(store.retry_stats().attempts.load(), 1u);  // An answer, not a fault.
+  EXPECT_EQ(store.retry_stats().retries.load(), 0u);
+}
+
+TEST_F(RetryTest, AmbiguousPutIfAbsentResolvesToSuccess) {
+  // The nastiest case: our conditional put LANDS but we see an error. A
+  // blind retry would hit AlreadyExists and report a lost race; the store
+  // must instead recognize the object as ours.
+  FaultInjectingStore faulty(&inner_);
+  faulty.ScheduleFault(0, Status::Unavailable("timeout"),
+                       /*side_effect_lands=*/true);
+  RetryingStore store(&faulty, FastPolicy(), SimulatedSleeper(&clock_));
+  ASSERT_TRUE(store.PutIfAbsent("log/7", Slice(Bytes("mine"))).ok());
+  EXPECT_EQ(store.retry_stats().ambiguous_resolved.load(), 1u);
+  Buffer out;
+  ASSERT_TRUE(inner_.Get("log/7", &out).ok());
+  EXPECT_EQ(out, Bytes("mine"));
+}
+
+TEST_F(RetryTest, AmbiguousPutIfAbsentResolvesToConflict) {
+  // Transient error on the conditional put, and meanwhile someone ELSE
+  // committed the version: resolution must report the lost race.
+  FaultInjectingStore faulty(&inner_);
+  faulty.ScheduleFault(0, Status::Unavailable("timeout"),
+                       /*side_effect_lands=*/false);
+  // The concurrent winner lands right after our failed attempt.
+  bool raced = false;
+  faulty.SetFailurePoint(
+      [&](const std::string& op, const std::string& key) -> Status {
+        if (op == "get" && !raced) {
+          raced = true;
+          return inner_.Put("log/7", Slice(Bytes("theirs")));
+        }
+        return Status::OK();
+      });
+  RetryingStore store(&faulty, FastPolicy(), SimulatedSleeper(&clock_));
+  EXPECT_TRUE(store.PutIfAbsent("log/7", Slice(Bytes("mine")))
+                  .IsAlreadyExists());
+  Buffer out;
+  ASSERT_TRUE(inner_.Get("log/7", &out).ok());
+  EXPECT_EQ(out, Bytes("theirs"));
+}
+
+TEST_F(RetryTest, FirstAttemptConflictIsGenuine) {
+  // Without any ambiguity, AlreadyExists passes straight through.
+  ASSERT_TRUE(inner_.Put("log/0", Slice(Bytes("winner"))).ok());
+  RetryingStore store(&inner_, FastPolicy(), SimulatedSleeper(&clock_));
+  EXPECT_TRUE(store.PutIfAbsent("log/0", Slice(Bytes("mine")))
+                  .IsAlreadyExists());
+  EXPECT_EQ(store.retry_stats().attempts.load(), 1u);
+  EXPECT_EQ(store.retry_stats().ambiguous_resolved.load(), 0u);
+}
+
+TEST_F(RetryTest, HighFaultRateStillCompletesEventually) {
+  // Determinism + budget: a 30% fault rate over many ops completes with
+  // zero exhausted budgets under an 8-attempt policy.
+  FaultOptions opts;
+  opts.seed = 99;
+  opts.transient_fault_rate = 0.3;
+  FaultInjectingStore faulty(&inner_, opts);
+  RetryPolicy policy;  // Default: 8 attempts.
+  policy.initial_backoff_micros = 100;
+  RetryingStore store(&faulty, policy, SimulatedSleeper(&clock_));
+  for (int i = 0; i < 100; ++i) {
+    std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(store.Put(key, Slice(Bytes(key))).ok());
+    Buffer out;
+    ASSERT_TRUE(store.Get(key, &out).ok());
+    EXPECT_EQ(out, Bytes(key));
+  }
+  EXPECT_EQ(store.retry_stats().budget_exhausted.load(), 0u);
+  EXPECT_GT(store.retry_stats().retries.load(), 0u);
+}
+
+}  // namespace
+}  // namespace rottnest::objectstore
