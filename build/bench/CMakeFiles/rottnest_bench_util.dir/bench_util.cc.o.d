@@ -246,10 +246,7 @@ bench/CMakeFiles/rottnest_bench_util.dir/bench_util.cc.o: \
  /root/repo/src/format/metadata.h /root/repo/src/format/types.h \
  /root/repo/src/format/reader.h /root/repo/src/index/ivfpq/ivfpq_index.h \
  /root/repo/src/lake/metadata_table.h /root/repo/src/lake/txn_log.h \
- /root/repo/src/common/json.h /root/repo/src/lake/table.h \
- /root/repo/src/format/writer.h /root/repo/src/lake/deletion_vector.h \
- /root/repo/src/baseline/dedicated_service.h /root/repo/src/tco/tco.h \
- /root/repo/src/workload/generators.h /root/repo/src/common/random.h \
+ /root/repo/src/common/json.h /root/repo/src/common/random.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -272,5 +269,9 @@ bench/CMakeFiles/rottnest_bench_util.dir/bench_util.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/hash.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/objectstore/retry.h /root/repo/src/lake/table.h \
+ /root/repo/src/format/writer.h /root/repo/src/lake/deletion_vector.h \
+ /root/repo/src/baseline/dedicated_service.h /root/repo/src/tco/tco.h \
+ /root/repo/src/workload/generators.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_drill.dir/chaos_drill.cpp.o"
+  "CMakeFiles/chaos_drill.dir/chaos_drill.cpp.o.d"
+  "chaos_drill"
+  "chaos_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

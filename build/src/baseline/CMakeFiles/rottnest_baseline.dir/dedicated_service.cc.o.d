@@ -245,6 +245,29 @@ src/baseline/CMakeFiles/rottnest_baseline.dir/dedicated_service.cc.o: \
  /root/repo/src/format/metadata.h /root/repo/src/format/types.h \
  /root/repo/src/format/reader.h /root/repo/src/index/ivfpq/ivfpq_index.h \
  /root/repo/src/lake/metadata_table.h /root/repo/src/lake/txn_log.h \
- /root/repo/src/common/json.h /root/repo/src/lake/table.h \
+ /root/repo/src/common/json.h /root/repo/src/common/random.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/hash.h \
+ /root/repo/src/objectstore/retry.h /root/repo/src/lake/table.h \
  /root/repo/src/format/writer.h /root/repo/src/lake/deletion_vector.h \
  /root/repo/src/index/ivfpq/kmeans.h

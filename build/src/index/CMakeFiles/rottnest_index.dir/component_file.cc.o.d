@@ -237,5 +237,5 @@ src/index/CMakeFiles/rottnest_index.dir/component_file.cc.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/objectstore/object_store.h \
+ /root/repo/src/objectstore/object_store.h /root/repo/src/common/hash.h \
  /root/repo/src/objectstore/read_batch.h

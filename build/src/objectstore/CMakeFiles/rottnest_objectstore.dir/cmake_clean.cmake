@@ -1,10 +1,14 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/rottnest_objectstore.dir/fault_injection.cc.o"
+  "CMakeFiles/rottnest_objectstore.dir/fault_injection.cc.o.d"
   "CMakeFiles/rottnest_objectstore.dir/local_disk_store.cc.o"
   "CMakeFiles/rottnest_objectstore.dir/local_disk_store.cc.o.d"
   "CMakeFiles/rottnest_objectstore.dir/object_store.cc.o"
   "CMakeFiles/rottnest_objectstore.dir/object_store.cc.o.d"
   "CMakeFiles/rottnest_objectstore.dir/read_batch.cc.o"
   "CMakeFiles/rottnest_objectstore.dir/read_batch.cc.o.d"
+  "CMakeFiles/rottnest_objectstore.dir/retry.cc.o"
+  "CMakeFiles/rottnest_objectstore.dir/retry.cc.o.d"
   "librottnest_objectstore.a"
   "librottnest_objectstore.pdb"
 )

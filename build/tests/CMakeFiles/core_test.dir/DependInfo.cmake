@@ -8,7 +8,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/chaos_cycle_test.cc" "tests/CMakeFiles/core_test.dir/core/chaos_cycle_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/chaos_cycle_test.cc.o.d"
   "/root/repo/tests/core/concurrency_test.cc" "tests/CMakeFiles/core_test.dir/core/concurrency_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/concurrency_test.cc.o.d"
+  "/root/repo/tests/core/crash_schedule_test.cc" "tests/CMakeFiles/core_test.dir/core/crash_schedule_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/crash_schedule_test.cc.o.d"
   "/root/repo/tests/core/features_test.cc" "tests/CMakeFiles/core_test.dir/core/features_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/features_test.cc.o.d"
   "/root/repo/tests/core/protocol_test.cc" "tests/CMakeFiles/core_test.dir/core/protocol_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/protocol_test.cc.o.d"
   "/root/repo/tests/core/rottnest_search_test.cc" "tests/CMakeFiles/core_test.dir/core/rottnest_search_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/rottnest_search_test.cc.o.d"

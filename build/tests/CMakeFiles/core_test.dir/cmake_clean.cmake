@@ -1,6 +1,10 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/chaos_cycle_test.cc.o"
+  "CMakeFiles/core_test.dir/core/chaos_cycle_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/concurrency_test.cc.o"
   "CMakeFiles/core_test.dir/core/concurrency_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/crash_schedule_test.cc.o"
+  "CMakeFiles/core_test.dir/core/crash_schedule_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/features_test.cc.o"
   "CMakeFiles/core_test.dir/core/features_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/protocol_test.cc.o"

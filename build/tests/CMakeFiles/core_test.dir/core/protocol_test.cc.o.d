@@ -339,5 +339,6 @@ tests/CMakeFiles/core_test.dir/core/protocol_test.cc.o: \
  /root/repo/src/format/metadata.h /root/repo/src/format/types.h \
  /root/repo/src/format/reader.h /root/repo/src/index/ivfpq/ivfpq_index.h \
  /root/repo/src/lake/metadata_table.h /root/repo/src/lake/txn_log.h \
- /root/repo/src/common/json.h /root/repo/src/lake/table.h \
- /root/repo/src/format/writer.h /root/repo/src/lake/deletion_vector.h
+ /root/repo/src/common/json.h /root/repo/src/objectstore/retry.h \
+ /root/repo/src/lake/table.h /root/repo/src/format/writer.h \
+ /root/repo/src/lake/deletion_vector.h

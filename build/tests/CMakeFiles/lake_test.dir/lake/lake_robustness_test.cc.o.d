@@ -331,4 +331,4 @@ tests/CMakeFiles/lake_test.dir/lake/lake_robustness_test.cc.o: \
  /root/repo/src/lake/txn_log.h /root/repo/src/common/json.h \
  /root/repo/src/objectstore/object_store.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/clock.h \
- /usr/include/c++/12/chrono
+ /usr/include/c++/12/chrono /root/repo/src/objectstore/retry.h

@@ -213,9 +213,32 @@ tests/CMakeFiles/lake_test.dir/lake/metadata_table_test.cc.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/common/status.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/objectstore/object_store.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/random.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/hash.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/common/slice.h /root/repo/src/objectstore/object_store.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
@@ -223,9 +246,9 @@ tests/CMakeFiles/lake_test.dir/lake/metadata_table_test.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/slice.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/objectstore/retry.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/cstddef \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/x86_64-linux-gnu/sys/stat.h \

@@ -8,8 +8,10 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/objectstore/fault_injection_test.cc" "tests/CMakeFiles/objectstore_test.dir/objectstore/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/objectstore_test.dir/objectstore/fault_injection_test.cc.o.d"
   "/root/repo/tests/objectstore/io_trace_test.cc" "tests/CMakeFiles/objectstore_test.dir/objectstore/io_trace_test.cc.o" "gcc" "tests/CMakeFiles/objectstore_test.dir/objectstore/io_trace_test.cc.o.d"
   "/root/repo/tests/objectstore/object_store_test.cc" "tests/CMakeFiles/objectstore_test.dir/objectstore/object_store_test.cc.o" "gcc" "tests/CMakeFiles/objectstore_test.dir/objectstore/object_store_test.cc.o.d"
+  "/root/repo/tests/objectstore/retry_test.cc" "tests/CMakeFiles/objectstore_test.dir/objectstore/retry_test.cc.o" "gcc" "tests/CMakeFiles/objectstore_test.dir/objectstore/retry_test.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -1,8 +1,12 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/objectstore_test.dir/objectstore/fault_injection_test.cc.o"
+  "CMakeFiles/objectstore_test.dir/objectstore/fault_injection_test.cc.o.d"
   "CMakeFiles/objectstore_test.dir/objectstore/io_trace_test.cc.o"
   "CMakeFiles/objectstore_test.dir/objectstore/io_trace_test.cc.o.d"
   "CMakeFiles/objectstore_test.dir/objectstore/object_store_test.cc.o"
   "CMakeFiles/objectstore_test.dir/objectstore/object_store_test.cc.o.d"
+  "CMakeFiles/objectstore_test.dir/objectstore/retry_test.cc.o"
+  "CMakeFiles/objectstore_test.dir/objectstore/retry_test.cc.o.d"
   "objectstore_test"
   "objectstore_test.pdb"
   "objectstore_test[1]_tests.cmake"
