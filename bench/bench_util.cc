@@ -94,9 +94,11 @@ QueryMeasurement MeasureSubstring(Env* env, const std::string& column,
   std::vector<QueryMeasurement> ms;
   for (const std::string& pattern : patterns) {
     objectstore::IoTrace trace;
+    core::SearchOptions opts;
+    opts.trace = &trace;
     QueryMeasurement m;
     double cpu = TimeSeconds([&] {
-      auto r = env->client->SearchSubstring(column, pattern, k, -1, &trace);
+      auto r = env->client->SearchSubstring(column, pattern, k, opts);
       if (r.ok()) m.matches = r.value().matches.size();
     });
     m.latency_s = trace.ProjectedLatencyMs(env->s3) / 1000.0 + cpu;
@@ -112,9 +114,11 @@ QueryMeasurement MeasureUuid(Env* env, const std::string& column,
   std::vector<QueryMeasurement> ms;
   for (const std::string& value : values) {
     objectstore::IoTrace trace;
+    core::SearchOptions opts;
+    opts.trace = &trace;
     QueryMeasurement m;
     double cpu = TimeSeconds([&] {
-      auto r = env->client->SearchUuid(column, Slice(value), k, -1, &trace);
+      auto r = env->client->SearchUuid(column, Slice(value), k, opts);
       if (r.ok()) m.matches = r.value().matches.size();
     });
     m.latency_s = trace.ProjectedLatencyMs(env->s3) / 1000.0 + cpu;
@@ -134,12 +138,14 @@ VectorMeasurement MeasureVector(
   size_t recall_hits = 0, recall_denom = 0;
   for (size_t q = 0; q < queries.size(); ++q) {
     objectstore::IoTrace trace;
+    core::SearchOptions opts;
+    opts.trace = &trace;
+    opts.vector = {nprobe, refine};
     std::vector<core::RowMatch> matches;
     double cpu = TimeSeconds([&] {
       auto r = env->client->SearchVector(
           column, queries[q].data(),
-          static_cast<uint32_t>(queries[q].size()), k, nprobe, refine, -1,
-          &trace);
+          static_cast<uint32_t>(queries[q].size()), k, opts);
       if (r.ok()) matches = std::move(r.value().matches);
     });
     total.latency_s += trace.ProjectedLatencyMs(env->s3) / 1000.0 + cpu;

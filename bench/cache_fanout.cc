@@ -1,0 +1,222 @@
+// Measures the client-side CachingStore + multi-index search fan-out:
+//
+//   (1) Hot vs cold query latency: a cold query pays the full S3-projected
+//       round trips; a hot query's index components (and probed pages) are
+//       all served from the client cache, so it pays CPU only. Physical
+//       requests are taken from the backing store's IoStats — the hot pass
+//       must show ZERO object-store GETs.
+//   (2) Dependent-round depth: with N index files per plan, the fan-out
+//       planner runs the per-index chains concurrently and merges their
+//       traces (depth = max of chains), where a serial planner would pay
+//       the chains back to back (depth ~ sum).
+//
+// Results are printed as a report and recorded into BENCH_cache.json.
+#include <atomic>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+#include "workload/generators.h"
+
+namespace rottnest::bench {
+namespace {
+
+using index::IndexType;
+using objectstore::IoTrace;
+
+constexpr size_t kFiles = 6;         // Index files per multi-index plan.
+constexpr size_t kRowsPerFile = 5000;
+constexpr size_t kQueries = 16;
+
+format::Schema UuidSchema() {
+  format::Schema s;
+  s.columns.push_back({"uuid", format::PhysicalType::kFixedLenByteArray, 16});
+  return s;
+}
+
+/// A lake whose uuid column is covered by `files` separate index files
+/// (append + index per batch, no compaction), so a search plan fans out
+/// across `files` concurrent index chains.
+struct World {
+  SimulatedClock clock;
+  std::unique_ptr<objectstore::InMemoryObjectStore> store;
+  std::unique_ptr<lake::Table> table;
+  std::unique_ptr<core::Rottnest> client;
+};
+
+std::unique_ptr<World> BuildWorld(size_t files, uint64_t cache_bytes) {
+  auto w = std::make_unique<World>();
+  w->store = std::make_unique<objectstore::InMemoryObjectStore>(&w->clock);
+  format::WriterOptions writer;
+  writer.target_page_bytes = 16 << 10;
+  writer.target_row_group_bytes = 1 << 20;
+  w->table = lake::Table::Create(w->store.get(), "lake/data", UuidSchema(),
+                                 writer)
+                 .MoveValue();
+  core::RottnestOptions options;
+  options.index_dir = "idx/cache";
+  options.cache_bytes = cache_bytes;
+  w->client = std::make_unique<core::Rottnest>(w->store.get(),
+                                               w->table.get(), options);
+  workload::UuidGenerator ids(42);
+  for (size_t f = 0; f < files; ++f) {
+    format::RowBatch b;
+    b.schema = UuidSchema();
+    format::FlatFixed uuids;
+    uuids.elem_size = 16;
+    for (size_t i = 0; i < kRowsPerFile; ++i) {
+      std::string u = ids.IdFor(f * kRowsPerFile + i);
+      uuids.Append(Slice(u));
+    }
+    b.columns.emplace_back(std::move(uuids));
+    if (!w->table->Append(b).ok()) std::abort();
+    if (!w->client->Index("uuid", IndexType::kTrie).ok()) std::abort();
+  }
+  return w;
+}
+
+size_t MeasureDepth(World* w, const std::string& value) {
+  IoTrace trace;
+  core::SearchOptions opts;
+  opts.trace = &trace;
+  auto r = w->client->SearchUuid("uuid", Slice(value), 5, opts);
+  if (!r.ok()) std::abort();
+  return trace.depth();
+}
+
+}  // namespace
+}  // namespace rottnest::bench
+
+int main() {
+  using namespace rottnest;
+  using namespace rottnest::bench;
+
+  PrintHeader("BENCH_cache",
+              "Client-side cache + multi-index search fan-out");
+  objectstore::S3Model s3;
+  workload::UuidGenerator ids(42);
+
+  // --- (2) Dependent-round depth: fan-out vs projected serial planner. ---
+  auto solo = BuildWorld(1, 0);
+  size_t depth_single = MeasureDepth(solo.get(), ids.IdFor(123));
+  auto multi = BuildWorld(kFiles, 0);
+  size_t depth_fanout = MeasureDepth(multi.get(), ids.IdFor(123));
+  // A serial planner pays each index chain back to back before the final
+  // page-probe round; the fan-out planner pays max(chains) + probe.
+  size_t depth_serial = kFiles * (depth_single - 1) + 1;
+  std::printf("depth: single-index chain %zu rounds; %zu-index plan "
+              "fan-out %zu rounds (serial projection %zu)\n",
+              depth_single, kFiles, depth_fanout, depth_serial);
+
+  // --- (1) Hot vs cold latency with the cache enabled. ---
+  //
+  // A hot query still re-reads the MUTABLE state — txn log and index
+  // metadata — to resolve the latest snapshot; those reads are uncacheable
+  // by design and are reported separately. Every IMMUTABLE read (index
+  // components, page tables, data pages) must come from the cache: the
+  // probe below counts physical GETs against `.index` objects and the
+  // cache layer's own IoStats count physical reads through the cache —
+  // both must be zero when hot.
+  auto w = BuildWorld(kFiles, 256 << 20);
+  std::atomic<uint64_t> index_object_gets{0};
+  w->store->SetFailurePoint(
+      [&index_object_gets](const std::string& op, const std::string& key) {
+        if (op == "get" && key.size() >= 6 &&
+            key.compare(key.size() - 6, 6, ".index") == 0) {
+          index_object_gets.fetch_add(1);
+        }
+        return Status::OK();
+      });
+  double cold_ms = 0, hot_ms = 0;
+  uint64_t cold_gets = 0, hot_meta_gets = 0, hot_index_gets = 0;
+  uint64_t hot_cached_reads = 0;  // Physical GETs issued BY the cache, hot.
+  uint64_t cold_misses = 0, hot_hits = 0, hot_misses = 0;
+  for (size_t q = 0; q < kQueries; ++q) {
+    std::string value = ids.IdFor((q * 1777) % (kFiles * kRowsPerFile));
+    // Cold: first touch of this query's index components and pages.
+    {
+      IoTrace trace;
+      core::SearchOptions opts;
+      opts.trace = &trace;
+      uint64_t before = w->store->stats().gets.load();
+      core::SearchResult result;
+      double cpu = TimeSeconds([&] {
+        auto r = w->client->SearchUuid("uuid", Slice(value), 5, opts);
+        if (!r.ok() || r.value().matches.empty()) std::abort();
+        result = std::move(r).value();
+      });
+      cold_gets += w->store->stats().gets.load() - before;
+      cold_misses += result.cache_misses;
+      cold_ms += trace.ProjectedLatencyMs(s3) + cpu * 1000.0;
+    }
+    // Hot: identical query again; all immutable reads served locally, so
+    // the S3 projection drops to the snapshot-resolution metadata reads
+    // (a constant 2 dependent rounds: txn log, then metadata log).
+    {
+      uint64_t before = w->store->stats().gets.load();
+      uint64_t idx_before = index_object_gets.load();
+      uint64_t cache_before = w->client->cache()->stats().gets.load();
+      core::SearchResult result;
+      double cpu = TimeSeconds([&] {
+        auto r = w->client->SearchUuid("uuid", Slice(value), 5);
+        if (!r.ok() || r.value().matches.empty()) std::abort();
+        result = std::move(r).value();
+      });
+      hot_meta_gets += w->store->stats().gets.load() - before;
+      hot_index_gets += index_object_gets.load() - idx_before;
+      hot_cached_reads += w->client->cache()->stats().gets.load() -
+                          cache_before;
+      hot_hits += result.cache_hits;
+      hot_misses += result.cache_misses;
+      hot_ms += cpu * 1000.0 + 2.0 * s3.ttfb_ms;
+    }
+  }
+  w->store->SetFailurePoint({});
+  double n = static_cast<double>(kQueries);
+  std::printf("cold: %.2f ms/query, %.1f physical GETs/query, "
+              "%.1f cache misses/query\n",
+              cold_ms / n, cold_gets / n, cold_misses / n);
+  std::printf("hot:  %.2f ms/query, %.1f metadata GETs/query, "
+              "%.1f index-component GETs/query, %.1f cache hits/query, "
+              "%.1f misses/query\n",
+              hot_ms / n, hot_meta_gets / n, hot_index_gets / n,
+              hot_hits / n, hot_misses / n);
+  const auto& cache_stats = w->client->cache()->stats();
+  std::printf("cache: %llu resident bytes, %llu evictions\n",
+              static_cast<unsigned long long>(cache_stats.cache_bytes.load()),
+              static_cast<unsigned long long>(
+                  cache_stats.cache_evictions.load()));
+  if (hot_index_gets != 0 || hot_cached_reads != 0 || hot_misses != 0) {
+    std::fprintf(stderr,
+                 "FAIL: hot queries were not fully cached (%llu index GETs, "
+                 "%llu cache-layer GETs, %llu misses; want 0)\n",
+                 static_cast<unsigned long long>(hot_index_gets),
+                 static_cast<unsigned long long>(hot_cached_reads),
+                 static_cast<unsigned long long>(hot_misses));
+    return 1;
+  }
+
+  Json::Object root;
+  root["files"] = Json(static_cast<uint64_t>(kFiles));
+  root["rows_per_file"] = Json(static_cast<uint64_t>(kRowsPerFile));
+  root["queries"] = Json(static_cast<uint64_t>(kQueries));
+  root["cold_ms_per_query"] = Json(cold_ms / n);
+  root["hot_ms_per_query"] = Json(hot_ms / n);
+  root["cold_physical_gets_per_query"] = Json(cold_gets / n);
+  root["hot_metadata_gets_per_query"] = Json(hot_meta_gets / n);
+  root["hot_index_component_gets_per_query"] = Json(hot_index_gets / n);
+  root["hot_cache_hits_per_query"] = Json(hot_hits / n);
+  root["hot_cache_misses_per_query"] = Json(hot_misses / n);
+  root["depth_single_index"] = Json(static_cast<uint64_t>(depth_single));
+  root["depth_fanout"] = Json(static_cast<uint64_t>(depth_fanout));
+  root["depth_serial_projection"] = Json(static_cast<uint64_t>(depth_serial));
+  std::FILE* f = std::fopen("BENCH_cache.json", "w");
+  if (f != nullptr) {
+    std::string text = Json(root).Dump();
+    std::fputs(text.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote BENCH_cache.json\n");
+  }
+  return 0;
+}

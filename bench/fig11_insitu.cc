@@ -48,10 +48,12 @@ int main() {
 
   // Measure the real configuration with a detailed trace.
   objectstore::IoTrace trace;
+  core::SearchOptions opts;
+  opts.trace = &trace;
   size_t pages_probed = 0;
   double cpu_s = TimeSeconds([&] {
     for (const std::string& v : values) {
-      auto r = env->client->SearchUuid("uuid", Slice(v), 10, -1, &trace);
+      auto r = env->client->SearchUuid("uuid", Slice(v), 10, opts);
       if (r.ok()) pages_probed += r.value().pages_probed;
     }
   });

@@ -159,7 +159,24 @@ int main(int argc, char** argv) {
   // 3. Graceful degradation: flip one byte in a committed index object.
   auto entries = client.metadata().ReadAll();
   CHECK_OK(entries);
-  const std::string& victim = entries.value()[0].index_path;
+  // Corrupt the index of the column the degraded search below queries:
+  // ReadAll orders entries by object name, which is randomized per
+  // process, so entries[0] could just as well be the body index.
+  std::string victim;
+  for (const auto& e : entries.value()) {
+    if (e.column == "uuid") {
+      victim = e.index_path;
+      break;
+    }
+  }
+  if (victim.empty()) {
+    std::printf("FAILED: no uuid index entry to corrupt; registry:\n");
+    for (const auto& e : entries.value()) {
+      std::printf("  %s %s %s\n", e.column.c_str(), e.index_type.c_str(),
+                  e.index_path.c_str());
+    }
+    return 1;
+  }
   Buffer bytes;
   CHECK_OK(inner.Get(victim, &bytes));
   bytes[bytes.size() / 3] ^= 0xff;

@@ -142,8 +142,10 @@ int main() {
 
   // 3c. Vector search with in-situ refinement.
   std::vector<float> query = EmbeddingFor(42);
+  core::SearchOptions vec_opts;
+  vec_opts.vector = {/*nprobe=*/8, /*refine=*/32};
   auto vec_result = client.SearchVector("embedding", query.data(), kDim,
-                                        /*k=*/3, /*nprobe=*/8, /*refine=*/32);
+                                        /*k=*/3, vec_opts);
   CHECK_OK(vec_result);
   std::printf("vector search: top distance %.4f (expect ~0: exact vector)\n",
               vec_result.value().matches[0].distance);

@@ -100,8 +100,11 @@ int main() {
     double gets = 0;
     for (size_t q = 0; q < kQueries; ++q) {
       objectstore::IoTrace trace;
+      core::SearchOptions opts;
+      opts.trace = &trace;
+      opts.vector = {d.nprobe, d.refine};
       auto r = client.SearchVector("embedding", queries[q].data(), kDim,
-                                   kTopK, d.nprobe, d.refine, -1, &trace);
+                                   kTopK, opts);
       if (!r.ok()) return 1;
       gets += static_cast<double>(trace.total_gets());
       for (const auto& m : r.value().matches) {

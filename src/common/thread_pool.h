@@ -3,9 +3,11 @@
 #ifndef ROTTNEST_COMMON_THREAD_POOL_H_
 #define ROTTNEST_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -48,21 +50,55 @@ class ThreadPool {
   }
 
   /// Runs `fn(i)` for i in [0, n) across the pool and blocks until all
-  /// iterations complete. Iterations are distributed dynamically.
+  /// iterations complete. Iterations are claimed dynamically from a shared
+  /// counter, and the CALLING thread participates in the claiming loop, so
+  /// ParallelFor may be nested arbitrarily (a pool task may itself call
+  /// ParallelFor — the search planner fans out per-index tasks whose index
+  /// queries fan out component reads): even with every worker busy, the
+  /// caller drains its own iterations and progress is guaranteed — the old
+  /// submit-and-wait scheme deadlocked once blocked outer tasks occupied
+  /// all workers.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     if (n == 0) return;
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-    size_t remaining = n;
-    for (size_t i = 0; i < n; ++i) {
-      Submit([&, i] {
-        fn(i);
-        std::lock_guard<std::mutex> lock(done_mu);
-        if (--remaining == 0) done_cv.notify_one();
-      });
+    if (n == 1) {
+      fn(0);
+      return;
     }
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return remaining == 0; });
+    struct State {
+      std::atomic<size_t> next{0};
+      std::atomic<size_t> done{0};
+      size_t n = 0;
+      const std::function<void(size_t)>* fn = nullptr;
+      std::mutex mu;
+      std::condition_variable cv;
+    };
+    auto state = std::make_shared<State>();
+    state->n = n;
+    state->fn = &fn;
+    // Claims iterations until none remain. Late-arriving helpers (scheduled
+    // behind other work) find the counter exhausted and exit without ever
+    // touching `fn` — which is why the caller may safely return (and destroy
+    // `fn`) as soon as all n iterations are DONE, not when all helpers ran.
+    auto work = [](const std::shared_ptr<State>& st) {
+      for (;;) {
+        size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= st->n) return;
+        (*st->fn)(i);
+        if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == st->n) {
+          std::lock_guard<std::mutex> lock(st->mu);
+          st->cv.notify_all();
+        }
+      }
+    };
+    size_t helpers = std::min(workers_.size(), n - 1);
+    for (size_t h = 0; h < helpers; ++h) {
+      Submit([state, work] { work(state); });
+    }
+    work(state);
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == state->n;
+    });
   }
 
  private:

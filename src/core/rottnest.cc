@@ -305,6 +305,37 @@ Status ScanFileRows(
   return Status::OK();
 }
 
+/// Runs `task(i, trace_i)` for every applicable index of a plan
+/// concurrently on `pool` — fan-out ACROSS indexes, on top of whatever
+/// within-index parallelism each task already uses. Per-task IoTraces are
+/// zipped into `trace` via MergeParallel, so the recorded dependent-round
+/// depth is the depth of the deepest single index chain rather than the
+/// sum over indexes (§V-B: width is cheap, depth is not). Statuses come
+/// back positionally so the caller can apply its degraded-index policy per
+/// entry in plan order — aggregation stays deterministic regardless of how
+/// the tasks interleave.
+std::vector<Status> FanOutIndexQueries(
+    ThreadPool* pool, size_t n, objectstore::IoTrace* trace,
+    const std::function<Status(size_t, objectstore::IoTrace*)>& task) {
+  std::vector<Status> statuses(n);
+  if (n == 0) return statuses;
+  if (n == 1) {  // Nothing concurrent to model; record into the parent.
+    statuses[0] = task(0, trace);
+    return statuses;
+  }
+  std::vector<objectstore::IoTrace> children(trace != nullptr ? n : 0);
+  pool->ParallelFor(n, [&](size_t i) {
+    statuses[i] = task(i, trace != nullptr ? &children[i] : nullptr);
+  });
+  if (trace != nullptr) {
+    std::vector<const objectstore::IoTrace*> ptrs;
+    ptrs.reserve(children.size());
+    for (const auto& c : children) ptrs.push_back(&c);
+    trace->MergeParallel(ptrs);
+  }
+  return statuses;
+}
+
 }  // namespace
 
 Rottnest::Rottnest(objectstore::ObjectStore* store, lake::Table* table,
@@ -313,7 +344,32 @@ Rottnest::Rottnest(objectstore::ObjectStore* store, lake::Table* table,
       table_(table),
       options_(std::move(options)),
       metadata_(store, options_.index_dir),
-      pool_(options_.num_threads) {}
+      pool_(options_.num_threads) {
+  if (options_.cache_bytes > 0) {
+    objectstore::CacheOptions copts;
+    copts.capacity_bytes = options_.cache_bytes;
+    copts.shards = options_.cache_shards;
+    cache_store_ =
+        std::make_unique<objectstore::CachingStore>(store_, copts);
+  }
+}
+
+Rottnest::CacheCounters Rottnest::SnapshotCacheCounters() const {
+  CacheCounters c;
+  if (cache_store_ != nullptr) {
+    c.hits = cache_store_->stats().cache_hits.load();
+    c.misses = cache_store_->stats().cache_misses.load();
+  }
+  return c;
+}
+
+void Rottnest::ReportCacheDelta(const CacheCounters& before,
+                                SearchResult* result) {
+  if (cache_store_ == nullptr) return;
+  result->cache_hits = cache_store_->stats().cache_hits.load() - before.hits;
+  result->cache_misses =
+      cache_store_->stats().cache_misses.load() - before.misses;
+}
 
 std::string Rottnest::NewIndexName() {
   // Names must be unique across concurrent clients (the §IV-D proof
@@ -519,31 +575,21 @@ Status Rottnest::ProbePages(const std::vector<PageFetch>& fetches,
                             const ColumnSchema& column_schema,
                             objectstore::IoTrace* trace,
                             std::vector<ColumnVector>* out) {
-  return format::ReadPages(store_, fetches, column_schema, &pool_, trace,
-                           out);
-}
-
-Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
-                                          Slice value, size_t k,
-                                          lake::Version snapshot,
-                                          objectstore::IoTrace* trace) {
-  SearchOptions opts;
-  opts.snapshot = snapshot;
-  opts.trace = trace;
-  return SearchUuid(column, value, k, opts);
+  return format::ReadPages(read_store(), fetches, column_schema, &pool_,
+                           trace, out);
 }
 
 Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
                                           Slice value, size_t k,
                                           const SearchOptions& opts) {
-  lake::Version snapshot = opts.snapshot;
   objectstore::IoTrace* trace = opts.trace;
+  CacheCounters cache_before = SnapshotCacheCounters();
   Plan plan;
   ROTTNEST_RETURN_NOT_OK(
-      MakePlan(column, IndexType::kTrie, snapshot, trace, &plan));
+      MakePlan(column, IndexType::kTrie, opts.snapshot, trace, &plan));
   const ColumnSchema& col_schema =
       table_->schema().columns[plan.column_index];
-  RangeFilter rf(store_, table_->schema(), opts.range);
+  RangeFilter rf(read_store(), table_->schema(), opts.range);
   ROTTNEST_RETURN_NOT_OK(rf.Validate());
   index::Key128 key = index::KeyFromValue(value);
 
@@ -551,35 +597,42 @@ Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
   DvCache dvs(table_, plan.snapshot);
   std::set<std::pair<std::string, uint64_t>> seen;
 
-  // Query index files; collect page fetches (filtered to the snapshot).
-  // A failing index degrades to scanning its covered files (below) rather
-  // than failing the whole query.
+  // Fan out: query the applicable index files concurrently, each task
+  // collecting page fetches (filtered to the snapshot) into its own slot,
+  // then aggregate in plan order. A failing index degrades to scanning its
+  // covered files (below) rather than failing the whole query.
+  std::vector<std::vector<PageFetch>> per_index(plan.indexes.size());
+  std::vector<Status> statuses = FanOutIndexQueries(
+      &pool_, plan.indexes.size(), trace,
+      [&](size_t i, objectstore::IoTrace* t) -> Status {
+        const IndexEntry& entry = plan.indexes[i];
+        ROTTNEST_ASSIGN_OR_RETURN(
+            std::unique_ptr<ComponentFileReader> reader,
+            ComponentFileReader::Open(read_store(), entry.index_path, t));
+        std::vector<PageId> hits;
+        ROTTNEST_RETURN_NOT_OK(
+            index::TrieQuery(reader.get(), &pool_, t, key, &hits));
+        if (hits.empty()) return Status::OK();
+        PageTable pages;
+        ROTTNEST_RETURN_NOT_OK(
+            index::LoadPageTable(reader.get(), &pool_, t, &pages));
+        for (PageId p : hits) {
+          // Filter postings pointing outside the snapshot (paper §IV-B
+          // step 2).
+          if (!plan.snapshot.ContainsFile(pages.file_of(p))) continue;
+          per_index[i].push_back(pages.MakeFetch(p));
+        }
+        return Status::OK();
+      });
   std::vector<PageFetch> fetches;
   DegradedIndexes degraded;
-  for (const IndexEntry& entry : plan.indexes) {
-    Status qs = [&]() -> Status {
-      ROTTNEST_ASSIGN_OR_RETURN(
-          std::unique_ptr<ComponentFileReader> reader,
-          ComponentFileReader::Open(store_, entry.index_path, trace));
-      std::vector<PageId> hits;
-      ROTTNEST_RETURN_NOT_OK(
-          index::TrieQuery(reader.get(), &pool_, trace, key, &hits));
-      if (hits.empty()) return Status::OK();
-      PageTable pages;
-      ROTTNEST_RETURN_NOT_OK(
-          index::LoadPageTable(reader.get(), &pool_, trace, &pages));
-      for (PageId p : hits) {
-        // Filter postings pointing outside the snapshot (paper §IV-B
-        // step 2).
-        if (!plan.snapshot.ContainsFile(pages.file_of(p))) continue;
-        fetches.push_back(pages.MakeFetch(p));
-      }
-      return Status::OK();
-    }();
-    if (qs.ok()) {
-      degraded.RecordSuccess(entry);
+  for (size_t i = 0; i < plan.indexes.size(); ++i) {
+    if (statuses[i].ok()) {
+      degraded.RecordSuccess(plan.indexes[i]);
+      fetches.insert(fetches.end(), per_index[i].begin(),
+                     per_index[i].end());
     } else {
-      degraded.RecordFailure(entry, &result);
+      degraded.RecordFailure(plan.indexes[i], &result);
     }
   }
   result.indexes_queried = plan.indexes.size() - result.indexes_degraded;
@@ -610,7 +663,7 @@ Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
   auto scan_for_value = [&](const std::string& file) -> Status {
     bool scanned = false;
     ROTTNEST_RETURN_NOT_OK(ScanFileRows(
-        store_, file, plan.column_index, &rf, trace, &scanned,
+        read_store(), file, plan.column_index, &rf, trace, &scanned,
         [&](uint64_t row, const std::string& v) -> Status {
           if (!(Slice(v) == value)) return Status::OK();
           ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(file, row));
@@ -635,63 +688,61 @@ Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
     }
   }
   if (result.matches.size() > k) result.matches.resize(k);
+  ReportCacheDelta(cache_before, &result);
   return result;
 }
 
 Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
                                                const std::string& pattern,
                                                size_t k,
-                                               lake::Version snapshot,
-                                               objectstore::IoTrace* trace) {
-  SearchOptions opts;
-  opts.snapshot = snapshot;
-  opts.trace = trace;
-  return SearchSubstring(column, pattern, k, opts);
-}
-
-Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
-                                               const std::string& pattern,
-                                               size_t k,
                                                const SearchOptions& opts) {
-  lake::Version snapshot = opts.snapshot;
   objectstore::IoTrace* trace = opts.trace;
+  CacheCounters cache_before = SnapshotCacheCounters();
   Plan plan;
   ROTTNEST_RETURN_NOT_OK(
-      MakePlan(column, IndexType::kFm, snapshot, trace, &plan));
+      MakePlan(column, IndexType::kFm, opts.snapshot, trace, &plan));
   const ColumnSchema& col_schema =
       table_->schema().columns[plan.column_index];
-  RangeFilter rf(store_, table_->schema(), opts.range);
+  RangeFilter rf(read_store(), table_->schema(), opts.range);
   ROTTNEST_RETURN_NOT_OK(rf.Validate());
 
   SearchResult result;
   DvCache dvs(table_, plan.snapshot);
   std::set<std::pair<std::string, uint64_t>> seen;
 
+  // Fan out across the applicable FM-indexes (same shape as SearchUuid):
+  // per-task fetch slots, plan-order aggregation, per-entry degradation.
+  std::vector<std::vector<PageFetch>> per_index(plan.indexes.size());
+  std::vector<Status> statuses = FanOutIndexQueries(
+      &pool_, plan.indexes.size(), trace,
+      [&](size_t i, objectstore::IoTrace* t) -> Status {
+        const IndexEntry& entry = plan.indexes[i];
+        ROTTNEST_ASSIGN_OR_RETURN(
+            std::unique_ptr<ComponentFileReader> reader,
+            ComponentFileReader::Open(read_store(), entry.index_path, t));
+        std::vector<PageId> hits;
+        // Locate generously beyond k: occurrences cluster within pages.
+        ROTTNEST_RETURN_NOT_OK(index::FmLocatePages(
+            reader.get(), &pool_, t, Slice(pattern), 4 * k + 16, &hits));
+        if (hits.empty()) return Status::OK();
+        PageTable pages;
+        ROTTNEST_RETURN_NOT_OK(
+            index::LoadPageTable(reader.get(), &pool_, t, &pages));
+        for (PageId p : hits) {
+          if (!plan.snapshot.ContainsFile(pages.file_of(p))) continue;
+          per_index[i].push_back(pages.MakeFetch(p));
+        }
+        return Status::OK();
+      });
   std::vector<PageFetch> fetches;
   DegradedIndexes degraded;
-  for (const IndexEntry& entry : plan.indexes) {
-    Status qs = [&]() -> Status {
-      ROTTNEST_ASSIGN_OR_RETURN(
-          std::unique_ptr<ComponentFileReader> reader,
-          ComponentFileReader::Open(store_, entry.index_path, trace));
-      std::vector<PageId> hits;
-      // Locate generously beyond k: occurrences cluster within pages.
-      ROTTNEST_RETURN_NOT_OK(index::FmLocatePages(
-          reader.get(), &pool_, trace, Slice(pattern), 4 * k + 16, &hits));
-      if (hits.empty()) return Status::OK();
-      PageTable pages;
-      ROTTNEST_RETURN_NOT_OK(
-          index::LoadPageTable(reader.get(), &pool_, trace, &pages));
-      for (PageId p : hits) {
-        if (!plan.snapshot.ContainsFile(pages.file_of(p))) continue;
-        fetches.push_back(pages.MakeFetch(p));
-      }
-      return Status::OK();
-    }();
-    if (qs.ok()) {
-      degraded.RecordSuccess(entry);
+  for (size_t i = 0; i < plan.indexes.size(); ++i) {
+    if (statuses[i].ok()) {
+      degraded.RecordSuccess(plan.indexes[i]);
+      fetches.insert(fetches.end(), per_index[i].begin(),
+                     per_index[i].end());
     } else {
-      degraded.RecordFailure(entry, &result);
+      degraded.RecordFailure(plan.indexes[i], &result);
     }
   }
   result.indexes_queried = plan.indexes.size() - result.indexes_degraded;
@@ -719,7 +770,7 @@ Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
   auto scan_for_pattern = [&](const std::string& file) -> Status {
     bool scanned = false;
     ROTTNEST_RETURN_NOT_OK(ScanFileRows(
-        store_, file, plan.column_index, &rf, trace, &scanned,
+        read_store(), file, plan.column_index, &rf, trace, &scanned,
         [&](uint64_t row, const std::string& v) -> Status {
           if (v.find(pattern) == std::string::npos) return Status::OK();
           ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(file, row));
@@ -743,43 +794,40 @@ Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
     }
   }
   if (result.matches.size() > k) result.matches.resize(k);
+  ReportCacheDelta(cache_before, &result);
   return result;
 }
 
 Result<SearchResult> Rottnest::SearchVector(const std::string& column,
                                             const float* query, uint32_t dim,
-                                            size_t k, uint32_t nprobe,
-                                            uint32_t refine,
-                                            lake::Version snapshot,
-                                            objectstore::IoTrace* trace) {
-  SearchOptions opts;
-  opts.snapshot = snapshot;
-  opts.trace = trace;
-  return SearchVector(column, query, dim, k, nprobe, refine, opts);
-}
-
-Result<SearchResult> Rottnest::SearchVector(const std::string& column,
-                                            const float* query, uint32_t dim,
-                                            size_t k, uint32_t nprobe,
-                                            uint32_t refine,
+                                            size_t k,
                                             const SearchOptions& opts) {
-  lake::Version snapshot = opts.snapshot;
   objectstore::IoTrace* trace = opts.trace;
+  CacheCounters cache_before = SnapshotCacheCounters();
+  // Per-query knobs default from the client's IvfPqOptions (v2 API).
+  const uint32_t nprobe = opts.vector.nprobe != 0
+                              ? opts.vector.nprobe
+                              : options_.ivfpq.default_nprobe;
+  const uint32_t refine = opts.vector.refine != 0
+                              ? opts.vector.refine
+                              : options_.ivfpq.default_refine;
   Plan plan;
   ROTTNEST_RETURN_NOT_OK(
-      MakePlan(column, IndexType::kIvfPq, snapshot, trace, &plan));
+      MakePlan(column, IndexType::kIvfPq, opts.snapshot, trace, &plan));
   const ColumnSchema& col_schema =
       table_->schema().columns[plan.column_index];
   if (col_schema.fixed_len != dim * 4) {
     return Status::InvalidArgument("query dim does not match column");
   }
-  RangeFilter rf(store_, table_->schema(), opts.range);
+  RangeFilter rf(read_store(), table_->schema(), opts.range);
   ROTTNEST_RETURN_NOT_OK(rf.Validate());
 
   SearchResult result;
   DvCache dvs(table_, plan.snapshot);
 
-  // Gather approximate candidates across all index files.
+  // Gather approximate candidates across all index files — one fan-out
+  // task per index, aggregated in plan order so the global refine cut is
+  // deterministic.
   struct Cand {
     std::string file;
     PageId page_in_table;
@@ -787,33 +835,39 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
     uint32_t row_in_page;
     float approx;
   };
+  std::vector<std::vector<Cand>> per_index(plan.indexes.size());
+  std::vector<Status> statuses = FanOutIndexQueries(
+      &pool_, plan.indexes.size(), trace,
+      [&](size_t i, objectstore::IoTrace* t) -> Status {
+        const IndexEntry& entry = plan.indexes[i];
+        ROTTNEST_ASSIGN_OR_RETURN(
+            std::unique_ptr<ComponentFileReader> reader,
+            ComponentFileReader::Open(read_store(), entry.index_path, t));
+        std::vector<index::VectorCandidate> hits;
+        ROTTNEST_RETURN_NOT_OK(index::IvfPqSearch(reader.get(), &pool_, t,
+                                                  query, dim, nprobe, refine,
+                                                  &hits));
+        if (hits.empty()) return Status::OK();
+        PageTable pages;
+        ROTTNEST_RETURN_NOT_OK(
+            index::LoadPageTable(reader.get(), &pool_, t, &pages));
+        for (const auto& h : hits) {
+          if (!plan.snapshot.ContainsFile(pages.file_of(h.page))) continue;
+          per_index[i].push_back({pages.file_of(h.page), h.page,
+                                  pages.MakeFetch(h.page), h.row_in_page,
+                                  h.approx_dist});
+        }
+        return Status::OK();
+      });
   std::vector<Cand> candidates;
   DegradedIndexes degraded;
-  for (const IndexEntry& entry : plan.indexes) {
-    Status qs = [&]() -> Status {
-      ROTTNEST_ASSIGN_OR_RETURN(
-          std::unique_ptr<ComponentFileReader> reader,
-          ComponentFileReader::Open(store_, entry.index_path, trace));
-      std::vector<index::VectorCandidate> hits;
-      ROTTNEST_RETURN_NOT_OK(index::IvfPqSearch(reader.get(), &pool_, trace,
-                                                query, dim, nprobe, refine,
-                                                &hits));
-      if (hits.empty()) return Status::OK();
-      PageTable pages;
-      ROTTNEST_RETURN_NOT_OK(
-          index::LoadPageTable(reader.get(), &pool_, trace, &pages));
-      for (const auto& h : hits) {
-        if (!plan.snapshot.ContainsFile(pages.file_of(h.page))) continue;
-        candidates.push_back({pages.file_of(h.page), h.page,
-                              pages.MakeFetch(h.page), h.row_in_page,
-                              h.approx_dist});
-      }
-      return Status::OK();
-    }();
-    if (qs.ok()) {
-      degraded.RecordSuccess(entry);
+  for (size_t i = 0; i < plan.indexes.size(); ++i) {
+    if (statuses[i].ok()) {
+      degraded.RecordSuccess(plan.indexes[i]);
+      candidates.insert(candidates.end(), per_index[i].begin(),
+                        per_index[i].end());
     } else {
-      degraded.RecordFailure(entry, &result);
+      degraded.RecordFailure(plan.indexes[i], &result);
     }
   }
   result.indexes_queried = plan.indexes.size() - result.indexes_degraded;
@@ -864,7 +918,7 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
     const std::string& path = f->path;
     bool scanned = false;
     ROTTNEST_RETURN_NOT_OK(ScanFileRows(
-        store_, path, plan.column_index, &rf, trace, &scanned,
+        read_store(), path, plan.column_index, &rf, trace, &scanned,
         [&](uint64_t row, const std::string& v) -> Status {
           float dist = index::SquaredL2(
               query, reinterpret_cast<const float*>(v.data()), dim);
@@ -883,6 +937,7 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
             });
   if (matches.size() > k) matches.resize(k);
   result.matches = std::move(matches);
+  ReportCacheDelta(cache_before, &result);
   return result;
 }
 
@@ -914,6 +969,8 @@ Result<SearchResult> Rottnest::SearchRegex(const std::string& column,
     result.pages_probed = candidates.pages_probed;
     result.indexes_degraded = candidates.indexes_degraded;
     result.degraded_indexes = std::move(candidates.degraded_indexes);
+    result.cache_hits = candidates.cache_hits;
+    result.cache_misses = candidates.cache_misses;
     for (RowMatch& m : candidates.matches) {
       if (std::regex_search(m.value, re)) {
         result.matches.push_back(std::move(m));
@@ -924,17 +981,18 @@ Result<SearchResult> Rottnest::SearchRegex(const std::string& column,
   }
 
   // No usable literal: brute-force scan every file in the snapshot.
+  CacheCounters cache_before = SnapshotCacheCounters();
   Plan plan;
   ROTTNEST_RETURN_NOT_OK(
       MakePlan(column, IndexType::kFm, opts.snapshot, opts.trace, &plan));
-  RangeFilter rf(store_, table_->schema(), opts.range);
+  RangeFilter rf(read_store(), table_->schema(), opts.range);
   ROTTNEST_RETURN_NOT_OK(rf.Validate());
   DvCache dvs(table_, plan.snapshot);
   SearchResult result;
   for (const DataFile& f : plan.snapshot.files) {
     bool scanned = false;
     ROTTNEST_RETURN_NOT_OK(ScanFileRows(
-        store_, f.path, plan.column_index, &rf, opts.trace, &scanned,
+        read_store(), f.path, plan.column_index, &rf, opts.trace, &scanned,
         [&](uint64_t row, const std::string& v) -> Status {
           if (result.matches.size() >= k) return Status::OK();
           if (!std::regex_search(v, re)) return Status::OK();
@@ -946,6 +1004,7 @@ Result<SearchResult> Rottnest::SearchRegex(const std::string& column,
     if (scanned) ++result.files_scanned;
     if (result.matches.size() >= k) break;
   }
+  ReportCacheDelta(cache_before, &result);
   return result;
 }
 
@@ -965,9 +1024,9 @@ Result<uint64_t> Rottnest::CountSubstring(const std::string& column,
   std::set<std::string> scan_files;
   for (const DataFile& f : plan.unindexed) scan_files.insert(f.path);
 
-  uint64_t total = 0;
-  std::set<std::string> exact_counted;   // Files counted via an index.
-  std::set<std::string> degraded_files;  // Covered by failed indexes only.
+  // Partition first (pure plan state, no IO): an index can answer exactly
+  // only when everything it covers is live and deletion-free.
+  std::vector<const IndexEntry*> exact_entries;
   for (const IndexEntry& entry : plan.indexes) {
     bool exact = true;
     for (const std::string& f : entry.covered_files) {
@@ -983,22 +1042,35 @@ Result<uint64_t> Rottnest::CountSubstring(const std::string& column,
       }
       continue;
     }
-    uint64_t count = 0;
-    Status qs = [&]() -> Status {
-      ROTTNEST_ASSIGN_OR_RETURN(
-          std::unique_ptr<ComponentFileReader> reader,
-          ComponentFileReader::Open(store_, entry.index_path, opts.trace));
-      return index::FmCount(reader.get(), &pool_, opts.trace, Slice(pattern),
-                            &count);
-    }();
-    if (!qs.ok()) {
+    exact_entries.push_back(&entry);
+  }
+
+  // Fan out the FM-index backward-search counts across the exact indexes.
+  std::vector<uint64_t> counts(exact_entries.size(), 0);
+  std::vector<Status> statuses = FanOutIndexQueries(
+      &pool_, exact_entries.size(), opts.trace,
+      [&](size_t i, objectstore::IoTrace* t) -> Status {
+        ROTTNEST_ASSIGN_OR_RETURN(
+            std::unique_ptr<ComponentFileReader> reader,
+            ComponentFileReader::Open(read_store(),
+                                      exact_entries[i]->index_path, t));
+        return index::FmCount(reader.get(), &pool_, t, Slice(pattern),
+                              &counts[i]);
+      });
+
+  uint64_t total = 0;
+  std::set<std::string> exact_counted;   // Files counted via an index.
+  std::set<std::string> degraded_files;  // Covered by failed indexes only.
+  for (size_t i = 0; i < exact_entries.size(); ++i) {
+    const IndexEntry& entry = *exact_entries[i];
+    if (!statuses[i].ok()) {
       // Degrade an unreadable index to scanning its covered files.
       for (const std::string& f : entry.covered_files) {
         if (plan.snapshot.ContainsFile(f)) degraded_files.insert(f);
       }
       continue;
     }
-    total += count;
+    total += counts[i];
     exact_counted.insert(entry.covered_files.begin(),
                          entry.covered_files.end());
   }
@@ -1011,7 +1083,7 @@ Result<uint64_t> Rottnest::CountSubstring(const std::string& column,
   // Scan path: exact occurrence counting with deletion vectors applied.
   DvCache dvs(table_, plan.snapshot);
   for (const std::string& file : scan_files) {
-    auto reader_r = format::FileReader::Open(store_, file, opts.trace);
+    auto reader_r = format::FileReader::Open(read_store(), file, opts.trace);
     if (!reader_r.ok()) return reader_r.status();
     ColumnVector col;
     ROTTNEST_RETURN_NOT_OK(
@@ -1030,16 +1102,21 @@ Result<uint64_t> Rottnest::CountSubstring(const std::string& column,
   return total;
 }
 
-Result<std::vector<IndexDescription>> Rottnest::DescribeIndexes() {
+Result<std::vector<IndexDescription>> Rottnest::DescribeIndexes(
+    const SearchOptions& opts) {
+  // Same plan-state cost model as a search: metadata table + manifest.
+  if (opts.trace != nullptr) opts.trace->RecordList();
   ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
                             metadata_.ReadAll());
-  ROTTNEST_ASSIGN_OR_RETURN(Snapshot snapshot, table_->GetSnapshot());
+  if (opts.trace != nullptr) opts.trace->RecordList();
+  ROTTNEST_ASSIGN_OR_RETURN(Snapshot snapshot,
+                            table_->GetSnapshot(opts.snapshot));
   std::vector<IndexDescription> result;
   result.reserve(entries.size());
   for (IndexEntry& e : entries) {
     IndexDescription d;
     objectstore::ObjectMeta meta;
-    ROTTNEST_RETURN_NOT_OK(store_->Head(e.index_path, &meta));
+    ROTTNEST_RETURN_NOT_OK(read_store()->Head(e.index_path, &meta));
     d.bytes = meta.size;
     for (const std::string& f : e.covered_files) {
       if (snapshot.ContainsFile(f)) {
@@ -1142,9 +1219,16 @@ Result<VacuumReport> Rottnest::Vacuum(lake::Version min_snapshot) {
   }
 
   // Greedy cover: repeatedly keep the index file covering the most not-yet
-  // covered active data files; stop when coverage cannot grow.
+  // covered active data files; stop when coverage cannot grow. Coverage is
+  // tracked per (column, index_type): an fm index on one column cannot
+  // shadow a trie on another just because both span the same data files —
+  // treating them as interchangeable would vacuum away a live index
+  // (which ReadAll's name-sorted order made nondeterministic to boot).
   ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
                             metadata_.ReadAll());
+  auto cover_key = [](const IndexEntry& e, const std::string& f) {
+    return e.column + '\x1f' + e.index_type + '\x1f' + f;
+  };
   std::set<std::string> covered;
   std::set<std::string> keep;
   for (;;) {
@@ -1154,7 +1238,9 @@ Result<VacuumReport> Rottnest::Vacuum(lake::Version min_snapshot) {
       if (keep.count(e.index_path)) continue;
       size_t gain = 0;
       for (const std::string& f : e.covered_files) {
-        if (active.count(f) != 0 && covered.count(f) == 0) ++gain;
+        if (active.count(f) != 0 && covered.count(cover_key(e, f)) == 0) {
+          ++gain;
+        }
       }
       if (gain > best_gain) {
         best_gain = gain;
@@ -1164,7 +1250,7 @@ Result<VacuumReport> Rottnest::Vacuum(lake::Version min_snapshot) {
     if (best == nullptr) break;
     keep.insert(best->index_path);
     for (const std::string& f : best->covered_files) {
-      if (active.count(f)) covered.insert(f);
+      if (active.count(f)) covered.insert(cover_key(*best, f));
     }
   }
 
@@ -1208,11 +1294,14 @@ Result<VacuumReport> Rottnest::Vacuum(lake::Version min_snapshot) {
 // ---------------------------------------------------------------------------
 // invariants
 
-Status Rottnest::CheckInvariants() {
+Status Rottnest::CheckInvariants(const SearchOptions& opts) {
+  if (opts.trace != nullptr) opts.trace->RecordList();
   ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
                             metadata_.ReadAll());
   for (const IndexEntry& e : entries) {
-    // Existence: every referenced index file is in the bucket.
+    // Existence: every referenced index file is in the bucket. This probe
+    // deliberately bypasses the client cache — the audit must observe the
+    // bucket itself, not a cached copy of it.
     objectstore::ObjectMeta meta;
     Status s = store_->Head(e.index_path, &meta);
     if (!s.ok()) {
@@ -1220,14 +1309,16 @@ Status Rottnest::CheckInvariants() {
                               e.index_path + ": " + s.ToString());
     }
     // Consistency (structural): the file parses and its embedded page
-    // table names exactly the covered files.
-    auto reader = ComponentFileReader::Open(store_, e.index_path, nullptr);
+    // table names exactly the covered files. Immutable content, so the
+    // cached read path is sound here.
+    auto reader =
+        ComponentFileReader::Open(read_store(), e.index_path, opts.trace);
     if (!reader.ok()) {
       return Status::Internal("index file unreadable: " + e.index_path);
     }
     format::PageTable pages;
-    ROTTNEST_RETURN_NOT_OK(
-        index::LoadPageTable(reader.value().get(), &pool_, nullptr, &pages));
+    ROTTNEST_RETURN_NOT_OK(index::LoadPageTable(reader.value().get(), &pool_,
+                                                opts.trace, &pages));
     std::set<std::string> in_table(pages.files().begin(),
                                    pages.files().end());
     std::set<std::string> in_entry(e.covered_files.begin(),

@@ -12,6 +12,41 @@
 // Search plans against a snapshot: indexed files are answered through the
 // index files + in-situ page probes; postings referring to files outside
 // the snapshot are filtered; unindexed files fall back to scanning.
+//
+// ## The stable v2 search API
+//
+// Every read-side entry point takes exactly one optional `SearchOptions`
+// argument carrying the cross-cutting knobs — snapshot pin, IoTrace
+// recording, the structured-attribute ScanRange filter, and the vector
+// search parameters (`SearchOptions::vector`, defaulting from
+// `IvfPqOptions`):
+//
+//   SearchUuid(column, value, k, opts)        — trie exact match
+//   SearchSubstring(column, pattern, k, opts) — FM-index substring
+//   SearchRegex(column, pattern, k, opts)     — literal-prefiltered regex
+//   SearchVector(column, query, dim, k, opts) — IVF-PQ ANN + in-situ rerank
+//   CountSubstring(column, pattern, opts)     — occurrence counting
+//   DescribeIndexes(opts)                     — EXPLAIN-style introspection
+//   CheckInvariants(opts)                     — protocol invariant audit
+//
+// The pre-v2 positional `(snapshot, trace)` overloads are gone; there is
+// exactly one public signature per search kind. Introspection shares the
+// same shape: `DescribeIndexes` computes liveness against `opts.snapshot`
+// and `CheckInvariants` records its reads into `opts.trace` (its existence
+// probes intentionally bypass the client cache — an audit must observe the
+// bucket, not the cache).
+//
+// ## Caching & fan-out (the query hot path)
+//
+// With `RottnestOptions::cache_bytes > 0` the client routes every
+// index-component, footer and data-page read through a process-wide sharded
+// read-through LRU (`objectstore::CachingStore`) — sound because index and
+// data files are immutable — and repeated queries touch the object store
+// only for snapshot/metadata state. Searches additionally fan out across
+// the applicable index files of a plan on the client thread pool, so the
+// dependent-GET depth of a multi-index snapshot is the depth of ONE index
+// chain, not their sum (§V-B). Per-query cache accounting is reported in
+// `SearchResult`; aggregate counters live in the cache's `IoStats`.
 #ifndef ROTTNEST_CORE_ROTTNEST_H_
 #define ROTTNEST_CORE_ROTTNEST_H_
 
@@ -26,6 +61,7 @@
 #include "index/ivfpq/ivfpq_index.h"
 #include "lake/metadata_table.h"
 #include "lake/table.h"
+#include "objectstore/caching_store.h"
 #include "objectstore/io_trace.h"
 
 namespace rottnest::core {
@@ -42,6 +78,13 @@ struct RottnestOptions {
   index::FmOptions fm;
   index::IvfPqOptions ivfpq;
   size_t num_threads = 8;
+  /// Byte budget for the client-side read-through cache over index
+  /// components, file footers and data pages (0 = caching off). Safe at any
+  /// size: the cached objects are immutable, so entries never go stale —
+  /// they only age out of the LRU.
+  uint64_t cache_bytes = 0;
+  /// Shards of the cache (mutex-per-shard; contention knob, not capacity).
+  size_t cache_shards = 16;
 };
 
 /// One verified search hit.
@@ -63,6 +106,12 @@ struct SearchResult {
   /// answered through the brute-scan path instead of failing the query.
   size_t indexes_degraded = 0;                ///< Unreadable indexes skipped.
   std::vector<std::string> degraded_indexes;  ///< Their object keys.
+  /// Per-query client-cache accounting (0 when the cache is off). Under
+  /// concurrent searches on one client these are deltas of shared counters,
+  /// so a query may be attributed a neighbour's hits — accounting, not
+  /// correctness.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 };
 
 /// Outcome of one `Index` call.
@@ -96,11 +145,21 @@ struct ScanRange {
   bool Contains(int64_t v) const { return v >= min && v <= max; }
 };
 
-/// Optional knobs common to all search calls.
+/// Vector (ANN) search parameters, folded into SearchOptions so every
+/// search kind has one signature. Zero means "use the client's
+/// IvfPqOptions default" (default_nprobe / default_refine).
+struct VectorSearchParams {
+  uint32_t nprobe = 0;  ///< Inverted lists probed.
+  uint32_t refine = 0;  ///< Candidates exactly reranked in situ.
+};
+
+/// Optional knobs common to all search calls (the one options argument of
+/// the v2 API — see the header comment).
 struct SearchOptions {
-  lake::Version snapshot = -1;             ///< -1 = latest.
+  lake::Version snapshot{-1};              ///< -1 = latest.
   objectstore::IoTrace* trace = nullptr;   ///< Access-pattern recording.
   std::optional<ScanRange> range;          ///< Structured-attribute filter.
+  VectorSearchParams vector;               ///< SearchVector only.
 };
 
 /// One committed index entry plus its physical size — `DescribeIndexes`.
@@ -126,37 +185,20 @@ class Rottnest {
   /// Exact-match search on a high-cardinality column via the trie index.
   /// Returns up to k verified matches.
   Result<SearchResult> SearchUuid(const std::string& column, Slice value,
-                                  size_t k, lake::Version snapshot = -1,
-                                  objectstore::IoTrace* trace = nullptr);
+                                  size_t k, const SearchOptions& opts = {});
 
   /// Exact substring search via the FM-index.
   Result<SearchResult> SearchSubstring(const std::string& column,
                                        const std::string& pattern, size_t k,
-                                       lake::Version snapshot = -1,
-                                       objectstore::IoTrace* trace = nullptr);
+                                       const SearchOptions& opts = {});
 
   /// Approximate nearest-neighbour search via IVF-PQ with in-situ
-  /// refinement: `nprobe` lists probed, `refine` full vectors fetched and
-  /// reranked exactly. Unindexed files are always scanned (scoring query).
+  /// refinement: `opts.vector.nprobe` lists probed, `opts.vector.refine`
+  /// full vectors fetched and reranked exactly (0 = the IvfPqOptions
+  /// defaults). Unindexed files are always scanned (scoring query).
   Result<SearchResult> SearchVector(const std::string& column,
                                     const float* query, uint32_t dim,
-                                    size_t k, uint32_t nprobe,
-                                    uint32_t refine,
-                                    lake::Version snapshot = -1,
-                                    objectstore::IoTrace* trace = nullptr);
-
-  /// Search overloads with full options (snapshot, tracing, and the
-  /// structured-attribute ScanRange filter).
-  Result<SearchResult> SearchUuid(const std::string& column, Slice value,
-                                  size_t k, const SearchOptions& opts);
-  Result<SearchResult> SearchSubstring(const std::string& column,
-                                       const std::string& pattern, size_t k,
-                                       const SearchOptions& opts);
-  Result<SearchResult> SearchVector(const std::string& column,
-                                    const float* query, uint32_t dim,
-                                    size_t k, uint32_t nprobe,
-                                    uint32_t refine,
-                                    const SearchOptions& opts);
+                                    size_t k, const SearchOptions& opts = {});
 
   /// Regex search over a text column. The longest literal run (>= 3
   /// chars) inside the pattern is located through the FM-index and every
@@ -177,8 +219,11 @@ class Rottnest {
                                   const SearchOptions& opts = {});
 
   /// Lists committed index entries with their object sizes and liveness —
-  /// an EXPLAIN-style introspection aid.
-  Result<std::vector<IndexDescription>> DescribeIndexes();
+  /// an EXPLAIN-style introspection aid. Liveness is computed against
+  /// `opts.snapshot` (-1 = latest); plan-state reads are recorded into
+  /// `opts.trace`.
+  Result<std::vector<IndexDescription>> DescribeIndexes(
+      const SearchOptions& opts = {});
 
   /// LSM-style index compaction: merges committed index files of
   /// (column, type) smaller than `small_index_bytes` into one.
@@ -193,11 +238,20 @@ class Rottnest {
   Result<VacuumReport> Vacuum(lake::Version min_snapshot);
 
   /// Verifies the Existence invariant (and basic consistency) — used by
-  /// protocol crash tests after every injected failure.
-  Status CheckInvariants();
+  /// protocol crash tests after every injected failure. Shares the
+  /// SearchOptions plumbing (`opts.trace` records the audit's reads); the
+  /// invariants themselves are global, so `opts.snapshot` does not narrow
+  /// them, and existence probes deliberately bypass the client cache.
+  Status CheckInvariants(const SearchOptions& opts = {});
 
   lake::MetadataTable& metadata() { return metadata_; }
   const RottnestOptions& options() const { return options_; }
+
+  /// The client-side cache, or nullptr when cache_bytes == 0. Exposes
+  /// hit/miss/evict/bytes counters through its IoStats.
+  const objectstore::CachingStore* cache() const {
+    return cache_store_.get();
+  }
 
  private:
   struct Plan;
@@ -222,9 +276,27 @@ class Rottnest {
 
   std::string NewIndexName();
 
+  /// The store immutable reads go through: the cache when enabled, the raw
+  /// store otherwise. Metadata/txn-log reads and writes stay on `store_`.
+  objectstore::ObjectStore* read_store() {
+    return cache_store_ != nullptr
+               ? static_cast<objectstore::ObjectStore*>(cache_store_.get())
+               : store_;
+  }
+
+  /// Captures the cache counters before a query so the delta can be
+  /// reported in SearchResult.
+  struct CacheCounters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  CacheCounters SnapshotCacheCounters() const;
+  void ReportCacheDelta(const CacheCounters& before, SearchResult* result);
+
   objectstore::ObjectStore* store_;
   lake::Table* table_;
   RottnestOptions options_;
+  std::unique_ptr<objectstore::CachingStore> cache_store_;
   lake::MetadataTable metadata_;
   ThreadPool pool_;
   uint64_t name_counter_ = 0;

@@ -37,6 +37,11 @@ struct IvfPqOptions {
   uint64_t seed = 0x5eed;
   /// Cap on vectors used for training (sampled deterministically).
   uint32_t max_training_vectors = 20000;
+  /// Search-time defaults, used when SearchOptions.vector leaves
+  /// nprobe/refine at 0 (the v2 search API folds the per-query knobs into
+  /// SearchOptions::VectorSearchParams and defaults them from here).
+  uint32_t default_nprobe = 16;    ///< Inverted lists probed per query.
+  uint32_t default_refine = 64;    ///< Candidates exactly reranked in situ.
 };
 
 /// One approximate search candidate, to be reranked in situ.

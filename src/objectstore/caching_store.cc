@@ -1,0 +1,206 @@
+#include "objectstore/caching_store.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace rottnest::objectstore {
+
+namespace {
+
+/// Fixed bookkeeping overhead charged per entry on top of the payload, so a
+/// flood of tiny entries (Head metadata, short ranges) still respects the
+/// byte budget.
+constexpr uint64_t kEntryOverhead = 64;
+
+}  // namespace
+
+size_t CachingStore::EntryKeyHash::operator()(const EntryKey& k) const {
+  uint64_t h = Hash64(Slice(k.key));
+  h ^= Mix64(k.offset * 0x9e3779b97f4a7c15ull + k.length);
+  return static_cast<size_t>(h);
+}
+
+CachingStore::CachingStore(ObjectStore* inner, CacheOptions options)
+    : inner_(inner), options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  shard_capacity_ = options_.capacity_bytes / options_.shards;
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+CachingStore::Shard& CachingStore::ShardFor(const EntryKey& k) {
+  return *shards_[EntryKeyHash{}(k) % shards_.size()];
+}
+
+bool CachingStore::Lookup(const EntryKey& k, Buffer* data, ObjectMeta* meta) {
+  Shard& shard = ShardFor(k);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(k);
+  if (it == shard.index.end()) return false;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // Promote.
+  if (data != nullptr) *data = it->second->data;
+  if (meta != nullptr) *meta = it->second->meta;
+  return true;
+}
+
+void CachingStore::Insert(EntryKey k, const Buffer* data,
+                          const ObjectMeta* meta) {
+  Entry e;
+  e.charge = kEntryOverhead + k.key.size() + (data != nullptr ? data->size() : 0);
+  if (e.charge > shard_capacity_) return;  // Never cache past the budget.
+  e.key = k;
+  if (data != nullptr) e.data = *data;
+  if (meta != nullptr) e.meta = *meta;
+
+  Shard& shard = ShardFor(k);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(k);
+  if (it != shard.index.end()) {
+    // A concurrent miss on the same range already populated it (objects are
+    // immutable, so the payloads are identical); just promote.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  uint64_t charge = e.charge;
+  shard.bytes += charge;
+  shard.lru.push_front(std::move(e));
+  shard.index.emplace(std::move(k), shard.lru.begin());
+  stats_.cache_bytes.fetch_add(charge);
+  EvictLocked(shard);
+}
+
+void CachingStore::EvictLocked(Shard& shard) {
+  while (shard.bytes > shard_capacity_ && !shard.lru.empty()) {
+    Entry& victim = shard.lru.back();
+    shard.bytes -= victim.charge;
+    stats_.cache_bytes.fetch_sub(victim.charge);
+    stats_.cache_evictions.fetch_add(1);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+  }
+}
+
+Status CachingStore::Get(const std::string& key, Buffer* out) {
+  EntryKey k{key, 0, kWholeObject};
+  if (Lookup(k, out, nullptr)) {
+    stats_.cache_hits.fetch_add(1);
+    return Status::OK();
+  }
+  stats_.cache_misses.fetch_add(1);
+  ROTTNEST_RETURN_NOT_OK(inner_->Get(key, out));
+  stats_.gets.fetch_add(1);
+  stats_.bytes_read.fetch_add(out->size());
+  Insert(std::move(k), out, nullptr);
+  return Status::OK();
+}
+
+Status CachingStore::GetRange(const std::string& key, uint64_t offset,
+                              uint64_t length, Buffer* out) {
+  EntryKey k{key, offset, length};
+  if (Lookup(k, out, nullptr)) {
+    stats_.cache_hits.fetch_add(1);
+    return Status::OK();
+  }
+  stats_.cache_misses.fetch_add(1);
+  ROTTNEST_RETURN_NOT_OK(inner_->GetRange(key, offset, length, out));
+  stats_.gets.fetch_add(1);
+  stats_.bytes_read.fetch_add(out->size());
+  Insert(std::move(k), out, nullptr);
+  return Status::OK();
+}
+
+Status CachingStore::Head(const std::string& key, ObjectMeta* out) {
+  if (!options_.cache_heads) {
+    stats_.heads.fetch_add(1);
+    return inner_->Head(key, out);
+  }
+  EntryKey k{key, kHeadEntry, 0};
+  if (Lookup(k, nullptr, out)) {
+    stats_.cache_hits.fetch_add(1);
+    return Status::OK();
+  }
+  stats_.cache_misses.fetch_add(1);
+  ROTTNEST_RETURN_NOT_OK(inner_->Head(key, out));
+  stats_.heads.fetch_add(1);
+  Insert(std::move(k), nullptr, out);
+  return Status::OK();
+}
+
+Status CachingStore::Put(const std::string& key, Slice data) {
+  Invalidate(key);  // Overwrites are outside the immutability contract.
+  Status s = inner_->Put(key, data);
+  if (s.ok()) {
+    stats_.puts.fetch_add(1);
+    stats_.bytes_written.fetch_add(data.size());
+  }
+  return s;
+}
+
+Status CachingStore::PutIfAbsent(const std::string& key, Slice data) {
+  Status s = inner_->PutIfAbsent(key, data);
+  if (s.ok()) {
+    stats_.puts.fetch_add(1);
+    stats_.bytes_written.fetch_add(data.size());
+  }
+  return s;
+}
+
+Status CachingStore::List(const std::string& prefix,
+                          std::vector<ObjectMeta>* out) {
+  stats_.lists.fetch_add(1);
+  return inner_->List(prefix, out);
+}
+
+Status CachingStore::Delete(const std::string& key) {
+  Invalidate(key);  // A vacuumed key must not resurrect from cache.
+  Status s = inner_->Delete(key);
+  if (s.ok()) stats_.deletes.fetch_add(1);
+  return s;
+}
+
+void CachingStore::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const Entry& e : shard->lru) stats_.cache_bytes.fetch_sub(e.charge);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+void CachingStore::Invalidate(const std::string& key) {
+  // Entries of one object may land in any shard (the offset participates in
+  // the shard hash), so scan them all. Mutations are rare in this workload;
+  // reads never pay this cost.
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.key == key) {
+        shard->bytes -= it->charge;
+        stats_.cache_bytes.fetch_sub(it->charge);
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+uint64_t CachingStore::ResidentBytes() const {
+  return stats_.cache_bytes.load();
+}
+
+size_t CachingStore::EntryCount() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->lru.size();
+  }
+  return n;
+}
+
+}  // namespace rottnest::objectstore

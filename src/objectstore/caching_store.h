@@ -1,0 +1,139 @@
+// Client-side read-through cache for object storage (the Airphant lesson:
+// object-store indexes are only competitive when the hot index blocks stop
+// being re-fetched on every query).
+//
+// CachingStore is an ObjectStore decorator with a sharded (N-way,
+// mutex-per-shard) LRU over byte-range reads, keyed on (key, offset, length)
+// and bounded by a byte budget split evenly across shards. It is safe by
+// construction for the Rottnest workload: index files and data files are
+// immutable once uploaded, so a cached range can never go stale — entries
+// are never invalidated by content change, and keys removed by vacuum
+// simply age out of the LRU. The two mutation paths that *could* break that
+// assumption (an overwriting Put, a Delete) defensively drop the key's
+// entries anyway, so the decorator stays a faithful ObjectStore even for
+// non-Rottnest callers.
+//
+// What is cached:
+//   * GetRange(key, offset, length)  — keyed exactly on the request triple;
+//   * Get(key)                       — keyed as (key, 0, kWholeObject);
+//   * Head(key)                      — object metadata, tiny entries that
+//                                      spare the open-path HEAD round-trip.
+// Lists always pass through (they observe mutable namespace state).
+//
+// Placement in the store stack (see DESIGN.md "Client-side caching & search
+// fan-out"): the cache sits ABOVE RetryingStore/FaultInjectingStore —
+//     CachingStore -> RetryingStore -> FaultInjectingStore -> backing store
+// — so hits skip the retry machinery entirely and misses inherit its fault
+// absorption; a fault-injected read error is returned, never cached.
+//
+// Accounting: stats() exposes this decorator's own IoStats, where gets /
+// heads / bytes_read count only *physical* requests forwarded to the inner
+// store and cache_hits / cache_misses / cache_evictions / cache_bytes count
+// cache events. Thread-safe throughout; misses fetch without holding any
+// shard mutex, so concurrent readers only serialize on bookkeeping.
+#ifndef ROTTNEST_OBJECTSTORE_CACHING_STORE_H_
+#define ROTTNEST_OBJECTSTORE_CACHING_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "objectstore/object_store.h"
+
+namespace rottnest::objectstore {
+
+/// Cache shape knobs.
+struct CacheOptions {
+  uint64_t capacity_bytes = 64ull << 20;  ///< Total payload budget.
+  size_t shards = 16;                     ///< Independent LRU shards.
+  bool cache_heads = true;                ///< Also cache Head() metadata.
+};
+
+/// Sharded read-through LRU cache over an ObjectStore. `inner` must outlive
+/// the decorator.
+class CachingStore : public ObjectStore {
+ public:
+  CachingStore(ObjectStore* inner, CacheOptions options);
+
+  // Cached read paths.
+  Status Get(const std::string& key, Buffer* out) override;
+  Status GetRange(const std::string& key, uint64_t offset, uint64_t length,
+                  Buffer* out) override;
+  Status Head(const std::string& key, ObjectMeta* out) override;
+
+  // Pass-through (writes invalidate the key's entries defensively).
+  Status Put(const std::string& key, Slice data) override;
+  Status PutIfAbsent(const std::string& key, Slice data) override;
+  Status List(const std::string& prefix,
+              std::vector<ObjectMeta>* out) override;
+  Status Delete(const std::string& key) override;
+
+  const Clock& clock() const override { return inner_->clock(); }
+  const IoStats& stats() const override { return stats_; }
+
+  /// Drops every cached entry (budget and shards unchanged).
+  void Clear();
+
+  /// Drops all entries of `key` (any offset/length, plus its Head entry).
+  void Invalidate(const std::string& key);
+
+  /// Current resident payload bytes / entry count across all shards.
+  uint64_t ResidentBytes() const;
+  size_t EntryCount() const;
+
+  const CacheOptions& options() const { return options_; }
+  ObjectStore* inner() { return inner_; }
+
+ private:
+  /// Sentinel length marking a whole-object Get() entry.
+  static constexpr uint64_t kWholeObject = ~0ull;
+  /// Sentinel offset marking a Head() metadata entry.
+  static constexpr uint64_t kHeadEntry = ~0ull;
+
+  struct EntryKey {
+    std::string key;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    bool operator==(const EntryKey& o) const {
+      return offset == o.offset && length == o.length && key == o.key;
+    }
+  };
+  struct EntryKeyHash {
+    size_t operator()(const EntryKey& k) const;
+  };
+  struct Entry {
+    EntryKey key;
+    Buffer data;        ///< Range/whole-object payload.
+    ObjectMeta meta;    ///< Head payload (offset == kHeadEntry entries).
+    uint64_t charge = 0;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  ///< Front = most recently used.
+    std::unordered_map<EntryKey, std::list<Entry>::iterator, EntryKeyHash>
+        index;
+    uint64_t bytes = 0;
+  };
+
+  Shard& ShardFor(const EntryKey& k);
+  /// Looks `k` up in its shard; on hit promotes to MRU and copies out.
+  bool Lookup(const EntryKey& k, Buffer* data, ObjectMeta* meta);
+  /// Inserts (or refreshes) `k`, charging its payload and evicting LRU
+  /// entries past the shard budget.
+  void Insert(EntryKey k, const Buffer* data, const ObjectMeta* meta);
+  void EvictLocked(Shard& shard);
+
+  ObjectStore* inner_;
+  CacheOptions options_;
+  uint64_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable IoStats stats_;
+};
+
+}  // namespace rottnest::objectstore
+
+#endif  // ROTTNEST_OBJECTSTORE_CACHING_STORE_H_

@@ -89,6 +89,51 @@ class IoTrace {
     compute_micros_ += micros;
   }
 
+  /// Snapshot of the recorded rounds (for merging and inspection).
+  std::vector<IoRound> rounds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rounds_;
+  }
+
+  /// Folds the traces of tasks that ran CONCURRENTLY (the search planner's
+  /// per-index fan-out) into this trace: round j of every child lands in
+  /// one merged round, so the merged depth is the MAX of the children's
+  /// depths — the §V-B width/depth model for parallel dependent chains —
+  /// instead of their sum, which is what recording children sequentially
+  /// would claim. Child compute is folded as the max too (the chains
+  /// overlap in wall-clock). Children must be quiescent when merged.
+  void MergeParallel(const std::vector<const IoTrace*>& children) {
+    std::vector<std::vector<IoRound>> snaps;
+    Micros max_compute = 0;
+    uint64_t gets = 0, lists = 0, bytes = 0;
+    size_t max_depth = 0;
+    for (const IoTrace* c : children) {
+      if (c == nullptr) continue;
+      snaps.push_back(c->rounds());
+      max_depth = std::max(max_depth, snaps.back().size());
+      max_compute = std::max(max_compute, c->compute_micros());
+      gets += c->total_gets();
+      lists += c->total_lists();
+      bytes += c->total_bytes();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t j = 0; j < max_depth; ++j) {
+      IoRound merged;
+      for (const auto& snap : snaps) {
+        if (j >= snap.size()) continue;
+        merged.is_list = merged.is_list || snap[j].is_list;
+        merged.request_bytes.insert(merged.request_bytes.end(),
+                                    snap[j].request_bytes.begin(),
+                                    snap[j].request_bytes.end());
+      }
+      rounds_.push_back(std::move(merged));
+    }
+    total_gets_ += gets;
+    total_lists_ += lists;
+    total_bytes_ += bytes;
+    compute_micros_ += max_compute;
+  }
+
   /// Number of dependent rounds (the access *depth*).
   size_t depth() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -121,14 +166,16 @@ class IoTrace {
     std::lock_guard<std::mutex> lock(mu_);
     double ms = 0;
     for (const auto& r : rounds_) {
-      if (r.is_list) {
-        ms += model.list_ms;
-        continue;
+      // A merged fan-out round may hold a LIST and GETs concurrently; the
+      // round costs whichever side is slower.
+      double round_ms = r.is_list ? model.list_ms : 0;
+      if (!r.request_bytes.empty()) {
+        uint64_t max_bytes =
+            *std::max_element(r.request_bytes.begin(), r.request_bytes.end());
+        round_ms = std::max(
+            round_ms, model.RoundLatencyMs(max_bytes, r.request_bytes.size()));
       }
-      if (r.request_bytes.empty()) continue;
-      uint64_t max_bytes =
-          *std::max_element(r.request_bytes.begin(), r.request_bytes.end());
-      ms += model.RoundLatencyMs(max_bytes, r.request_bytes.size());
+      ms += round_ms;
     }
     return ms + static_cast<double>(compute_micros_) / 1000.0;
   }

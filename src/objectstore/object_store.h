@@ -35,7 +35,10 @@ struct ObjectMeta {
 };
 
 /// Aggregate request counters, used for cost accounting ($ per request) and
-/// throughput-cap analysis (5500 GET RPS per prefix).
+/// throughput-cap analysis (5500 GET RPS per prefix). The cache_* fields are
+/// populated only by CachingStore (zero elsewhere): hits are reads served
+/// without touching the backing store, so on a CachingStore the gets/heads
+/// counters reflect *physical* requests (misses) only.
 struct IoStats {
   std::atomic<uint64_t> gets{0};
   std::atomic<uint64_t> puts{0};
@@ -44,10 +47,17 @@ struct IoStats {
   std::atomic<uint64_t> heads{0};
   std::atomic<uint64_t> bytes_read{0};
   std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> cache_hits{0};       ///< Reads served from cache.
+  std::atomic<uint64_t> cache_misses{0};     ///< Reads that hit the store.
+  std::atomic<uint64_t> cache_evictions{0};  ///< Entries aged out by budget.
+  /// Resident cache payload bytes — a gauge owned by the cache, not a
+  /// monotonic counter; excluded from Reset().
+  std::atomic<uint64_t> cache_bytes{0};
 
   void Reset() {
     gets = puts = lists = deletes = heads = 0;
     bytes_read = bytes_written = 0;
+    cache_hits = cache_misses = cache_evictions = 0;
   }
 };
 

@@ -28,6 +28,11 @@ Status ReadBatch(ObjectStore* store, const std::vector<RangeRequest>& requests,
       if (trace != nullptr) trace->RecordGet(out.size());
       (*results)[i] = std::move(out);
     } else {
+      // Error contract (see header): the slot must be a zero-length buffer,
+      // not whatever partial state this worker's store call left in `out`
+      // or a previous occupant of the slot (callers may pass a recycled
+      // results vector).
+      (*results)[i] = Buffer();
       std::lock_guard<std::mutex> lock(err_mu);
       if (first_error.ok()) first_error = s;
     }

@@ -23,7 +23,11 @@ struct RangeRequest {
 /// Issues all `requests` concurrently on `pool` (or inline when pool is
 /// null), recording them as one round in `trace` (if non-null). Results are
 /// positionally aligned with requests. Returns the first error encountered,
-/// with all other requests still attempted.
+/// with all other requests still attempted. Error contract: a failed
+/// request leaves a ZERO-LENGTH buffer at its position — never whatever
+/// partial bytes the store wrote before failing — so a caller that decides
+/// to tolerate the error (degraded reads) can distinguish "failed slot"
+/// from data without consulting per-slot statuses.
 Status ReadBatch(ObjectStore* store, const std::vector<RangeRequest>& requests,
                  ThreadPool* pool, IoTrace* trace,
                  std::vector<Buffer>* results);

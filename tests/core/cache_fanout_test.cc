@@ -1,0 +1,248 @@
+// Integration tests for the client-side cache + multi-index search fan-out
+// (the "Client-side caching & search fan-out" section of DESIGN.md):
+//   * cached and uncached clients return byte-identical matches;
+//   * a hot cache answers repeat queries with ZERO object-store GETs for
+//     index components (enforced with a failure point, not just counters);
+//   * fanning out across N index files keeps the dependent-round depth of
+//     the IoTrace at one index chain, not N chains.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/rottnest.h"
+#include "objectstore/object_store.h"
+
+namespace rottnest::core {
+namespace {
+
+using format::ColumnVector;
+using format::PhysicalType;
+using format::RowBatch;
+using format::Schema;
+using index::IndexType;
+using lake::Table;
+using objectstore::InMemoryObjectStore;
+using objectstore::IoTrace;
+
+constexpr uint32_t kDim = 16;
+
+Schema MakeSchema() {
+  Schema s;
+  s.columns.push_back({"uuid", PhysicalType::kFixedLenByteArray, 16});
+  s.columns.push_back({"body", PhysicalType::kByteArray, 0});
+  s.columns.push_back({"vec", PhysicalType::kFixedLenByteArray, kDim * 4});
+  return s;
+}
+
+std::string UuidFor(uint64_t id) {
+  std::string u(16, '\0');
+  uint64_t hi = Mix64(id), lo = Mix64(id ^ 0xabcdef);
+  for (int i = 0; i < 8; ++i) {
+    u[i] = static_cast<char>(hi >> (56 - 8 * i));
+    u[8 + i] = static_cast<char>(lo >> (56 - 8 * i));
+  }
+  return u;
+}
+
+std::vector<float> VecFor(uint64_t id) {
+  Random rng(id * 7 + 3);
+  std::vector<float> v(kDim);
+  uint64_t cluster = id % 8;
+  for (uint32_t d = 0; d < kDim; ++d) {
+    v[d] = static_cast<float>((cluster == d % 8 ? 50.0 : 0.0) +
+                              rng.NextGaussian() * 0.1);
+  }
+  return v;
+}
+
+RottnestOptions Options(uint64_t cache_bytes) {
+  RottnestOptions options;
+  options.index_dir = "idx/t";
+  options.ivfpq.nlist = 16;
+  options.ivfpq.num_subquantizers = 4;
+  options.fm.block_size = 2048;
+  options.fm.sample_rate = 8;
+  options.cache_bytes = cache_bytes;
+  return options;
+}
+
+/// A self-contained lake: clock + store + table, with helpers to append
+/// batches and build a multi-file index plan. Tests instantiate as many
+/// worlds as they need (e.g. to compare trace depths across index counts).
+struct World {
+  SimulatedClock clock;
+  InMemoryObjectStore store{&clock};
+  std::unique_ptr<Table> table;
+
+  World() {
+    format::WriterOptions w;
+    w.target_page_bytes = 2048;  // Many small pages.
+    w.target_row_group_bytes = 32 << 10;
+    table = Table::Create(&store, "lake/t", MakeSchema(), w).MoveValue();
+  }
+
+  void Append(uint64_t first_id, size_t rows) {
+    RowBatch b;
+    b.schema = MakeSchema();
+    format::FlatFixed uuids;
+    uuids.elem_size = 16;
+    ColumnVector::Strings bodies;
+    format::FlatFixed vecs;
+    vecs.elem_size = kDim * 4;
+    for (size_t i = 0; i < rows; ++i) {
+      uint64_t id = first_id + i;
+      std::string u = UuidFor(id);
+      uuids.Append(Slice(u));
+      bodies.push_back("row " + std::to_string(id) + " token" +
+                       std::to_string(id % 7) + " payload");
+      std::vector<float> v = VecFor(id);
+      vecs.Append(
+          Slice(reinterpret_cast<const uint8_t*>(v.data()), kDim * 4));
+    }
+    b.columns.emplace_back(std::move(uuids));
+    b.columns.emplace_back(std::move(bodies));
+    b.columns.emplace_back(std::move(vecs));
+    ASSERT_TRUE(table->Append(b).ok());
+  }
+
+  /// Appends `files` batches of 200 rows, indexing after each, so every
+  /// (column, type) pair ends up with `files` separate index entries — a
+  /// multi-index plan that exercises the fan-out.
+  void BuildMultiIndex(Rottnest* client, size_t files) {
+    for (size_t f = 0; f < files; ++f) {
+      Append(f * 200, 200);
+      ASSERT_TRUE(client->Index("uuid", IndexType::kTrie).ok());
+      ASSERT_TRUE(client->Index("body", IndexType::kFm).ok());
+      ASSERT_TRUE(client->Index("vec", IndexType::kIvfPq).ok());
+    }
+  }
+};
+
+void ExpectSameMatches(const SearchResult& a, const SearchResult& b) {
+  ASSERT_EQ(a.matches.size(), b.matches.size());
+  for (size_t i = 0; i < a.matches.size(); ++i) {
+    EXPECT_EQ(a.matches[i].file, b.matches[i].file);
+    EXPECT_EQ(a.matches[i].row, b.matches[i].row);
+    EXPECT_EQ(a.matches[i].value, b.matches[i].value);
+    EXPECT_EQ(a.matches[i].distance, b.matches[i].distance);
+  }
+}
+
+TEST(CacheFanoutTest, CachedAndUncachedSearchesAreByteIdentical) {
+  World w;
+  Rottnest uncached(&w.store, w.table.get(), Options(0));
+  w.BuildMultiIndex(&uncached, 3);
+  Rottnest cached(&w.store, w.table.get(), Options(64 << 20));
+  EXPECT_EQ(uncached.cache(), nullptr);
+  ASSERT_NE(cached.cache(), nullptr);
+
+  for (uint64_t id : {7ULL, 250ULL, 599ULL}) {
+    std::string u = UuidFor(id);
+    auto a = uncached.SearchUuid("uuid", Slice(u), 5);
+    auto b = cached.SearchUuid("uuid", Slice(u), 5);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectSameMatches(a.value(), b.value());
+    EXPECT_EQ(a.value().matches.size(), 1u);
+  }
+  {
+    auto a = uncached.SearchSubstring("body", "token3", 100);
+    auto b = cached.SearchSubstring("body", "token3", 100);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectSameMatches(a.value(), b.value());
+  }
+  {
+    std::vector<float> q = VecFor(42);
+    auto a = uncached.SearchVector("vec", q.data(), kDim, 10);
+    auto b = cached.SearchVector("vec", q.data(), kDim, 10);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectSameMatches(a.value(), b.value());
+  }
+  {
+    auto a = uncached.CountSubstring("body", "token5");
+    auto b = cached.CountSubstring("body", "token5");
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value(), b.value());
+  }
+  // Repeat with the cache warm: still identical, and served from cache.
+  {
+    std::string u = UuidFor(250);
+    auto a = uncached.SearchUuid("uuid", Slice(u), 5);
+    auto b = cached.SearchUuid("uuid", Slice(u), 5);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectSameMatches(a.value(), b.value());
+    EXPECT_GT(b.value().cache_hits, 0u);
+    EXPECT_EQ(b.value().cache_misses, 0u);
+  }
+}
+
+TEST(CacheFanoutTest, HotCacheQueriesNeverTouchIndexObjects) {
+  World w;
+  Rottnest client(&w.store, w.table.get(), Options(64 << 20));
+  w.BuildMultiIndex(&client, 2);
+
+  // Warm the read path once.
+  std::string u = UuidFor(123);
+  auto cold = client.SearchUuid("uuid", Slice(u), 5);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold.value().matches.size(), 1u);
+  EXPECT_GT(cold.value().cache_misses, 0u);
+
+  // From now on, ANY object-store read of an index object fails hard. A hot
+  // query must not notice: every index component comes from the cache.
+  w.store.SetFailurePoint([](const std::string& op, const std::string& key) {
+    bool is_read = op == "get" || op == "head";
+    if (is_read && key.size() >= 6 &&
+        key.compare(key.size() - 6, 6, ".index") == 0) {
+      return Status::Unavailable("index objects are off limits when hot");
+    }
+    return Status::OK();
+  });
+  auto hot = client.SearchUuid("uuid", Slice(u), 5);
+  ASSERT_TRUE(hot.ok()) << hot.status().ToString();
+  ExpectSameMatches(cold.value(), hot.value());
+  EXPECT_GT(hot.value().cache_hits, 0u);
+  EXPECT_EQ(hot.value().cache_misses, 0u);
+  w.store.SetFailurePoint({});
+
+  // Counter view of the same fact: a repeat query adds zero physical GETs
+  // through the cache.
+  uint64_t physical_gets = client.cache()->stats().gets.load();
+  auto again = client.SearchUuid("uuid", Slice(u), 5);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(client.cache()->stats().gets.load(), physical_gets);
+}
+
+TEST(CacheFanoutTest, FanOutKeepsTraceDepthAtOneIndexChain) {
+  // With per-index chains running concurrently and merged via
+  // MergeParallel, a three-index plan's dependent-round depth must stay at
+  // one index chain (±1 round of slack for the page-probe round) — serial
+  // execution would be deeper by two whole extra chains.
+  auto depth_with = [](size_t files, size_t* indexes_queried) {
+    World w;
+    Rottnest client(&w.store, w.table.get(), Options(0));
+    w.BuildMultiIndex(&client, files);
+    IoTrace trace;
+    SearchOptions opts;
+    opts.trace = &trace;
+    std::string u = UuidFor(42);
+    auto r = client.SearchUuid("uuid", Slice(u), 5, opts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (r.ok()) *indexes_queried = r.value().indexes_queried;
+    return trace.depth();
+  };
+
+  size_t solo_queried = 0, multi_queried = 0;
+  size_t depth1 = depth_with(1, &solo_queried);
+  size_t depth3 = depth_with(3, &multi_queried);
+  EXPECT_EQ(solo_queried, 1u);
+  EXPECT_EQ(multi_queried, 3u);
+  ASSERT_GT(depth1, 0u);
+  EXPECT_LE(depth3, depth1 + 1);
+}
+
+}  // namespace
+}  // namespace rottnest::core

@@ -129,12 +129,15 @@ struct CycleAnswers {
 };
 
 /// Runs the full index -> search -> compact -> vacuum cycle against an
-/// arbitrary store stack and records every search answer.
+/// arbitrary store stack and records every search answer. `cache_bytes > 0`
+/// enables the client-side read-through cache on top of the stack.
 void RunCycle(objectstore::ObjectStore* store, SimulatedClock* clock,
-              CycleAnswers* answers) {
+              CycleAnswers* answers, uint64_t cache_bytes = 0) {
   auto table = Table::Create(store, "lake/t", MakeSchema(), WriterOpts())
                    .MoveValue();
-  Rottnest client(store, table.get(), Options());
+  RottnestOptions options = Options();
+  options.cache_bytes = cache_bytes;
+  Rottnest client(store, table.get(), options);
 
   AppendRows(table.get(), 0, 200);
   AppendRows(table.get(), 200, 200);
@@ -156,8 +159,9 @@ void RunCycle(objectstore::ObjectStore* store, SimulatedClock* clock,
     ASSERT_TRUE(c.ok()) << c.status().ToString();
     answers->substring_count = c.value();
     std::vector<float> q = VecFor(5);
-    auto v = client.SearchVector("vec", q.data(), kDim, 10, /*nprobe=*/16,
-                                 /*refine=*/64);
+    SearchOptions vopts;
+    vopts.vector = {/*nprobe=*/16, /*refine=*/64};
+    auto v = client.SearchVector("vec", q.data(), kDim, 10, vopts);
     ASSERT_TRUE(v.ok()) << v.status().ToString();
     answers->vector_hits = Reduce(v.value());
   }
@@ -236,6 +240,43 @@ TEST(ChaosCycleTest, FullCycleMatchesFaultFreeRun) {
   EXPECT_EQ(actual.post_vacuum_substring_hits,
             expected.post_vacuum_substring_hits);
   EXPECT_EQ(actual.post_vacuum_count, expected.post_vacuum_count);
+}
+
+TEST(ChaosCycleTest, CachedCycleMatchesUncachedUnderChaos) {
+  // The same chaos stack twice — once bare, once with the client cache on
+  // top. The cache changes which physical ops reach the faulty store (hits
+  // never do), so the injected faults land on different requests in the two
+  // worlds; the answers must be identical regardless, and the protocol
+  // invariants must hold with the cache in the read path.
+  auto run = [](uint64_t cache_bytes, CycleAnswers* answers) {
+    SimulatedClock clock;
+    InMemoryObjectStore inner(&clock);
+    FaultOptions fopts;
+    fopts.seed = 20260806;
+    fopts.transient_fault_rate = 0.1;
+    fopts.ambiguous_put_rate = 0.1;
+    FaultInjectingStore faulty(&inner, fopts);
+    RetryPolicy policy;
+    policy.initial_backoff_micros = 1000;
+    policy.max_backoff_micros = 8000;
+    RetryingStore store(&faulty, policy, SimulatedSleeper(&clock));
+    RunCycle(&store, &clock, answers, cache_bytes);
+    EXPECT_GT(faulty.fault_stats().transient_injected.load(), 0u);
+  };
+  CycleAnswers uncached, cached;
+  run(0, &uncached);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+  run(32ull << 20, &cached);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  EXPECT_EQ(cached.uuid_hits, uncached.uuid_hits);
+  EXPECT_EQ(cached.substring_hits, uncached.substring_hits);
+  EXPECT_EQ(cached.substring_count, uncached.substring_count);
+  EXPECT_EQ(cached.vector_hits, uncached.vector_hits);
+  EXPECT_EQ(cached.post_vacuum_uuid_hits, uncached.post_vacuum_uuid_hits);
+  EXPECT_EQ(cached.post_vacuum_substring_hits,
+            uncached.post_vacuum_substring_hits);
+  EXPECT_EQ(cached.post_vacuum_count, uncached.post_vacuum_count);
 }
 
 // ---------------------------------------------------------------------------
@@ -339,8 +380,9 @@ TEST_F(DegradationTest, VectorSearchSurvivesCorruption) {
   CorruptObject(path);
 
   std::vector<float> q = VecFor(9);
-  auto r = client_->SearchVector("vec", q.data(), kDim, 5, /*nprobe=*/16,
-                                 /*refine=*/32);
+  SearchOptions vopts;
+  vopts.vector = {/*nprobe=*/16, /*refine=*/32};
+  auto r = client_->SearchVector("vec", q.data(), kDim, 5, vopts);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r.value().indexes_degraded, 1u);
   // The degraded path exact-scans the covered file, so the true nearest

@@ -93,6 +93,12 @@ TEST(ConcurrencyTest, SearchersRunDuringIndexingAndCompaction) {
     });
   }
 
+  // Every searcher must be up and searching before maintenance starts, and
+  // maintenance must not declare victory until searches kept flowing after
+  // it — otherwise a fast maintenance loop can finish before the searcher
+  // threads even construct their clients and the test overlaps nothing.
+  while (searches.load() < 3) std::this_thread::yield();
+
   // Maintenance loop: append + index + compact + vacuum concurrently.
   for (int round = 0; round < 6; ++round) {
     ASSERT_TRUE(table->Append(MakeBatch(200 + round * 50, 50)).ok());
@@ -106,6 +112,8 @@ TEST(ConcurrencyTest, SearchersRunDuringIndexingAndCompaction) {
       ASSERT_TRUE(maintainer.Vacuum(latest).ok());
     }
   }
+  int at_end = searches.load();
+  while (searches.load() < at_end + 10) std::this_thread::yield();
   stop.store(true);
   for (auto& t : searchers) t.join();
 

@@ -288,6 +288,62 @@ TEST_F(ProtocolTest, VacuumKeepsIndexesForRetainedSnapshots) {
   ASSERT_TRUE(client_->CheckInvariants().ok());
 }
 
+TEST(VacuumCoverTest, KeepsIndexesOfEveryColumnAndType) {
+  // Regression: the vacuum greedy cover used to track covered data files
+  // globally, so an index on one column could "cover" the files of another
+  // column's index and vacuum would delete a live entry (which entry lost
+  // depended on ReadAll's randomized name order). Coverage is per
+  // (column, index_type); with one index per column over the same files,
+  // vacuum must keep both.
+  SimulatedClock clock;
+  InMemoryObjectStore store(&clock);
+  Schema schema;
+  schema.columns.push_back({"uuid", PhysicalType::kFixedLenByteArray, 16});
+  schema.columns.push_back({"body", PhysicalType::kByteArray, 0});
+  auto table = Table::Create(&store, "lake/vc", schema).MoveValue();
+
+  RowBatch b;
+  b.schema = schema;
+  format::FlatFixed uuids;
+  uuids.elem_size = 16;
+  ColumnVector::Strings bodies;
+  for (int i = 0; i < 200; ++i) {
+    std::string u = UuidFor(i);
+    uuids.Append(Slice(u));
+    bodies.push_back("payload number " + std::to_string(i));
+  }
+  b.columns.emplace_back(std::move(uuids));
+  b.columns.emplace_back(std::move(bodies));
+  ASSERT_TRUE(table->Append(b).ok());
+
+  RottnestOptions options;
+  options.index_dir = "idx/vc";
+  options.index_timeout_micros = 60LL * 1'000'000;
+  options.fm.block_size = 2048;
+  Rottnest client(&store, table.get(), options);
+  ASSERT_TRUE(client.Index("uuid", IndexType::kTrie).ok());
+  ASSERT_TRUE(client.Index("body", IndexType::kFm).ok());
+
+  clock.Advance(options.index_timeout_micros + 1'000'000);
+  auto latest = table->GetSnapshot().MoveValue();
+  auto vac = client.Vacuum(latest.version);
+  ASSERT_TRUE(vac.ok()) << vac.status().ToString();
+  EXPECT_EQ(vac.value().metadata_entries_removed, 0u);
+  EXPECT_EQ(vac.value().objects_deleted, 0u);
+  ASSERT_TRUE(client.CheckInvariants().ok());
+
+  // Both searches stay index-served — no brute-scan fallback for a column
+  // whose index was wrongly vacuumed.
+  auto u = client.SearchUuid("uuid", Slice(UuidFor(42)), 5);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u.value().matches.size(), 1u);
+  EXPECT_EQ(u.value().files_scanned, 0u);
+  auto s = client.SearchSubstring("body", "number 42", 5);
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(s.value().matches.empty());
+  EXPECT_EQ(s.value().files_scanned, 0u);
+}
+
 TEST_F(ProtocolTest, ConcurrentIndexersDoNotViolateInvariants) {
   // The paper allows (discourages, but allows) concurrent indexers on the
   // same column: both commit, files get doubly indexed, nothing breaks.

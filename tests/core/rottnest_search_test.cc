@@ -215,8 +215,9 @@ TEST_F(RottnestSearchTest, VectorSearchFindsNearestNeighbours) {
   // Query with the exact stored vector of id 42: its own row must rank
   // first with distance ~0.
   std::vector<float> q = VecFor(42);
-  auto result = client_->SearchVector("vec", q.data(), kDim, 10,
-                                      /*nprobe=*/16, /*refine=*/50);
+  SearchOptions opts;
+  opts.vector = {/*nprobe=*/16, /*refine=*/50};
+  auto result = client_->SearchVector("vec", q.data(), kDim, 10, opts);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_GE(result.value().matches.size(), 10u);
   EXPECT_NEAR(result.value().matches[0].distance, 0.0, 1e-3);
@@ -233,7 +234,9 @@ TEST_F(RottnestSearchTest, VectorSearchAlwaysScansUnindexed) {
   Append(400, 100);  // Unindexed rows.
 
   std::vector<float> q = VecFor(450);  // Lives in the unindexed file.
-  auto result = client_->SearchVector("vec", q.data(), kDim, 5, 16, 50);
+  SearchOptions opts;
+  opts.vector = {/*nprobe=*/16, /*refine=*/50};
+  auto result = client_->SearchVector("vec", q.data(), kDim, 5, opts);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value().files_scanned, 1u);  // Scoring queries must scan.
   ASSERT_FALSE(result.value().matches.empty());
@@ -294,8 +297,9 @@ TEST_F(RottnestSearchTest, TimeTravelSearchesOldSnapshot) {
   Append(200, 200);
 
   // Searching the old snapshot must not see (or scan) the new file.
-  auto result =
-      client_->SearchUuid("uuid", Slice(UuidFor(250)), 5, snap1.version);
+  SearchOptions pinned;
+  pinned.snapshot = snap1.version;
+  auto result = client_->SearchUuid("uuid", Slice(UuidFor(250)), 5, pinned);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result.value().matches.empty());
   EXPECT_EQ(result.value().files_scanned, 0u);
@@ -327,7 +331,9 @@ TEST_F(RottnestSearchTest, SearchRecordsTraceRounds) {
   Append(0, 400);
   ASSERT_TRUE(client_->Index("uuid", IndexType::kTrie).ok());
   IoTrace trace;
-  auto result = client_->SearchUuid("uuid", Slice(UuidFor(3)), 5, -1, &trace);
+  SearchOptions opts;
+  opts.trace = &trace;
+  auto result = client_->SearchUuid("uuid", Slice(UuidFor(3)), 5, opts);
   ASSERT_TRUE(result.ok());
   EXPECT_GT(trace.total_gets(), 0u);
   EXPECT_GT(trace.total_lists(), 0u);

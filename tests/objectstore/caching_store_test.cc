@@ -1,0 +1,251 @@
+// Unit tests for the sharded read-through CachingStore: read-through
+// semantics, LRU capacity enforcement, hit/miss/evict accounting, shard
+// behavior, invalidation, error paths, and concurrent readers (the latter
+// doubles as the TSan target — see .github/workflows/sanitize.yml).
+#include "objectstore/caching_store.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "objectstore/fault_injection.h"
+#include "objectstore/object_store.h"
+
+namespace rottnest::objectstore {
+namespace {
+
+Buffer Bytes(const std::string& s) { return Buffer(s.begin(), s.end()); }
+
+class CachingStoreTest : public ::testing::Test {
+ protected:
+  void PutObject(const std::string& key, size_t size, char fill = 'x') {
+    std::string v(size, fill);
+    ASSERT_TRUE(inner_.Put(key, Slice(v)).ok());
+  }
+
+  SimulatedClock clock_;
+  InMemoryObjectStore inner_{&clock_};
+};
+
+TEST_F(CachingStoreTest, ReadThroughServesRepeatsFromCache) {
+  PutObject("a", 100);
+  CachingStore cache(&inner_, {});
+
+  Buffer first, second;
+  ASSERT_TRUE(cache.GetRange("a", 10, 20, &first).ok());
+  ASSERT_TRUE(cache.GetRange("a", 10, 20, &second).ok());
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.size(), 20u);
+
+  // One physical GET; the repeat was a hit.
+  EXPECT_EQ(inner_.stats().gets.load(), 1u);
+  EXPECT_EQ(cache.stats().gets.load(), 1u);
+  EXPECT_EQ(cache.stats().cache_hits.load(), 1u);
+  EXPECT_EQ(cache.stats().cache_misses.load(), 1u);
+}
+
+TEST_F(CachingStoreTest, DistinctRangesAreDistinctEntries) {
+  PutObject("a", 100);
+  CachingStore cache(&inner_, {});
+
+  Buffer out;
+  ASSERT_TRUE(cache.GetRange("a", 0, 10, &out).ok());
+  ASSERT_TRUE(cache.GetRange("a", 0, 20, &out).ok());  // Different length.
+  ASSERT_TRUE(cache.GetRange("a", 5, 10, &out).ok());  // Different offset.
+  ASSERT_TRUE(cache.Get("a", &out).ok());              // Whole object.
+  EXPECT_EQ(cache.stats().cache_misses.load(), 4u);
+  EXPECT_EQ(cache.EntryCount(), 4u);
+
+  // Each repeats as its own hit.
+  ASSERT_TRUE(cache.GetRange("a", 0, 10, &out).ok());
+  ASSERT_TRUE(cache.Get("a", &out).ok());
+  EXPECT_EQ(cache.stats().cache_hits.load(), 2u);
+}
+
+TEST_F(CachingStoreTest, WholeObjectGetRoundTrips) {
+  ASSERT_TRUE(inner_.Put("k", Slice(Bytes("hello world"))).ok());
+  CachingStore cache(&inner_, {});
+  Buffer a, b;
+  ASSERT_TRUE(cache.Get("k", &a).ok());
+  ASSERT_TRUE(cache.Get("k", &b).ok());
+  EXPECT_EQ(a, Bytes("hello world"));
+  EXPECT_EQ(b, Bytes("hello world"));
+  EXPECT_EQ(inner_.stats().gets.load(), 1u);
+}
+
+TEST_F(CachingStoreTest, CapacityEvictsLeastRecentlyUsed) {
+  for (int i = 0; i < 8; ++i) PutObject("k" + std::to_string(i), 1000);
+  CacheOptions opts;
+  opts.shards = 1;  // One LRU so eviction order is fully observable.
+  // Room for ~3 entries of ~1066 charge (payload + key + overhead).
+  opts.capacity_bytes = 3400;
+  CachingStore cache(&inner_, opts);
+
+  Buffer out;
+  ASSERT_TRUE(cache.Get("k0", &out).ok());
+  ASSERT_TRUE(cache.Get("k1", &out).ok());
+  ASSERT_TRUE(cache.Get("k2", &out).ok());
+  EXPECT_EQ(cache.stats().cache_evictions.load(), 0u);
+  EXPECT_EQ(cache.EntryCount(), 3u);
+
+  // Touch k0 so k1 becomes the LRU victim.
+  ASSERT_TRUE(cache.Get("k0", &out).ok());
+  ASSERT_TRUE(cache.Get("k3", &out).ok());  // Evicts k1.
+  EXPECT_EQ(cache.stats().cache_evictions.load(), 1u);
+
+  uint64_t gets_before = inner_.stats().gets.load();
+  ASSERT_TRUE(cache.Get("k0", &out).ok());  // Still resident.
+  ASSERT_TRUE(cache.Get("k3", &out).ok());  // Still resident.
+  EXPECT_EQ(inner_.stats().gets.load(), gets_before);
+  ASSERT_TRUE(cache.Get("k1", &out).ok());  // Evicted: physical re-fetch.
+  EXPECT_EQ(inner_.stats().gets.load(), gets_before + 1);
+
+  EXPECT_LE(cache.ResidentBytes(), opts.capacity_bytes);
+  EXPECT_EQ(cache.ResidentBytes(), cache.stats().cache_bytes.load());
+}
+
+TEST_F(CachingStoreTest, EntriesLargerThanShardBudgetAreNotCached) {
+  PutObject("big", 10000);
+  CacheOptions opts;
+  opts.capacity_bytes = 8000;
+  opts.shards = 4;  // 2000 bytes per shard < the object.
+  CachingStore cache(&inner_, opts);
+
+  Buffer out;
+  ASSERT_TRUE(cache.Get("big", &out).ok());
+  ASSERT_TRUE(cache.Get("big", &out).ok());
+  EXPECT_EQ(cache.stats().cache_hits.load(), 0u);  // Never resident.
+  EXPECT_EQ(cache.EntryCount(), 0u);
+  EXPECT_EQ(inner_.stats().gets.load(), 2u);
+}
+
+TEST_F(CachingStoreTest, ShardsEvictIndependently) {
+  // Fill well past total capacity across many keys: every shard must end at
+  // or under its own slice of the budget.
+  for (int i = 0; i < 64; ++i) PutObject("k" + std::to_string(i), 500);
+  CacheOptions opts;
+  opts.capacity_bytes = 8192;
+  opts.shards = 4;
+  CachingStore cache(&inner_, opts);
+  Buffer out;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(cache.Get("k" + std::to_string(i), &out).ok());
+  }
+  EXPECT_GT(cache.stats().cache_evictions.load(), 0u);
+  EXPECT_LE(cache.ResidentBytes(), opts.capacity_bytes);
+  EXPECT_GT(cache.EntryCount(), 0u);
+}
+
+TEST_F(CachingStoreTest, HeadIsCachedWhenEnabled) {
+  PutObject("a", 123);
+  CachingStore cache(&inner_, {});
+  ObjectMeta m1, m2;
+  ASSERT_TRUE(cache.Head("a", &m1).ok());
+  ASSERT_TRUE(cache.Head("a", &m2).ok());
+  EXPECT_EQ(m1.size, 123u);
+  EXPECT_EQ(m2.size, 123u);
+  EXPECT_EQ(inner_.stats().heads.load(), 1u);
+  EXPECT_EQ(cache.stats().cache_hits.load(), 1u);
+
+  CacheOptions no_heads;
+  no_heads.cache_heads = false;
+  CachingStore passthrough(&inner_, no_heads);
+  ASSERT_TRUE(passthrough.Head("a", &m1).ok());
+  ASSERT_TRUE(passthrough.Head("a", &m1).ok());
+  EXPECT_EQ(passthrough.stats().cache_hits.load(), 0u);
+  EXPECT_EQ(inner_.stats().heads.load(), 3u);
+}
+
+TEST_F(CachingStoreTest, PutAndDeleteInvalidate) {
+  PutObject("a", 50, 'x');
+  CachingStore cache(&inner_, {});
+  Buffer out;
+  ASSERT_TRUE(cache.GetRange("a", 0, 10, &out).ok());
+  ObjectMeta meta;
+  ASSERT_TRUE(cache.Head("a", &meta).ok());
+  EXPECT_EQ(cache.EntryCount(), 2u);
+
+  // Overwrite through the cache: stale bytes must not survive.
+  std::string v(50, 'y');
+  ASSERT_TRUE(cache.Put("a", Slice(v)).ok());
+  EXPECT_EQ(cache.EntryCount(), 0u);
+  ASSERT_TRUE(cache.GetRange("a", 0, 10, &out).ok());
+  EXPECT_EQ(out, Bytes("yyyyyyyyyy"));
+
+  // Delete through the cache: the key must not resurrect from cache.
+  ASSERT_TRUE(cache.Delete("a").ok());
+  EXPECT_EQ(cache.EntryCount(), 0u);
+  EXPECT_TRUE(cache.GetRange("a", 0, 10, &out).IsNotFound());
+}
+
+TEST_F(CachingStoreTest, ClearDropsEverything) {
+  PutObject("a", 100);
+  PutObject("b", 100);
+  CachingStore cache(&inner_, {});
+  Buffer out;
+  ASSERT_TRUE(cache.Get("a", &out).ok());
+  ASSERT_TRUE(cache.Get("b", &out).ok());
+  EXPECT_GT(cache.ResidentBytes(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.EntryCount(), 0u);
+  EXPECT_EQ(cache.ResidentBytes(), 0u);
+  ASSERT_TRUE(cache.Get("a", &out).ok());  // Re-fetches, re-caches.
+  EXPECT_EQ(inner_.stats().gets.load(), 3u);
+}
+
+TEST_F(CachingStoreTest, ErrorsAreNeverCached) {
+  PutObject("a", 100);
+  FaultInjectingStore faulty(&inner_);
+  CachingStore cache(&faulty, {});
+
+  // Every read fails at the inner store: nothing may enter the cache.
+  faulty.SetFailurePoint([](const std::string&, const std::string&) {
+    return Status::Unavailable("injected");
+  });
+  Buffer out;
+  EXPECT_TRUE(cache.GetRange("a", 0, 10, &out).IsUnavailable());
+  EXPECT_EQ(cache.EntryCount(), 0u);
+
+  // Once the store heals, the same read succeeds and caches normally.
+  faulty.SetFailurePoint({});
+  ASSERT_TRUE(cache.GetRange("a", 0, 10, &out).ok());
+  ASSERT_TRUE(cache.GetRange("a", 0, 10, &out).ok());
+  EXPECT_EQ(cache.stats().cache_hits.load(), 1u);
+}
+
+TEST_F(CachingStoreTest, ConcurrentReadersUnderEvictionPressure) {
+  // Budget far below the working set, so readers race against constant
+  // eviction; run under ROTTNEST_SANITIZE=thread to verify the locking.
+  constexpr int kKeys = 32;
+  for (int i = 0; i < kKeys; ++i) PutObject("k" + std::to_string(i), 400);
+  CacheOptions opts;
+  opts.capacity_bytes = 4096;
+  opts.shards = 4;
+  CachingStore cache(&inner_, opts);
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < 400; ++i) {
+        std::string key = "k" + std::to_string((i * 7 + t * 13) % kKeys);
+        Buffer out;
+        ASSERT_TRUE(cache.Get(key, &out).ok());
+        ASSERT_EQ(out.size(), 400u);
+        ObjectMeta meta;
+        ASSERT_TRUE(cache.Head(key, &meta).ok());
+        ASSERT_EQ(meta.size, 400u);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(cache.stats().cache_hits.load() +
+                cache.stats().cache_misses.load(),
+            4u * 400u * 2u);
+  EXPECT_LE(cache.ResidentBytes(), opts.capacity_bytes);
+}
+
+}  // namespace
+}  // namespace rottnest::objectstore

@@ -1,0 +1,76 @@
+// ReadBatch contract tests, notably the error contract: a failed request
+// must leave a ZERO-LENGTH buffer at its position — never stale bytes from
+// a recycled results vector — so degraded-read callers can tell failed
+// slots from data positionally.
+#include "objectstore/read_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "objectstore/fault_injection.h"
+#include "objectstore/object_store.h"
+
+namespace rottnest::objectstore {
+namespace {
+
+class ReadBatchContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string a(100, 'a'), b(100, 'b'), c(100, 'c');
+    ASSERT_TRUE(inner_.Put("a", Slice(a)).ok());
+    ASSERT_TRUE(inner_.Put("b", Slice(b)).ok());
+    ASSERT_TRUE(inner_.Put("c", Slice(c)).ok());
+  }
+
+  SimulatedClock clock_;
+  InMemoryObjectStore inner_{&clock_};
+};
+
+TEST_F(ReadBatchContractTest, ResultsAlignPositionally) {
+  std::vector<RangeRequest> reqs = {
+      {"a", 0, 10}, {"b", 50, 10}, {"c", 0, 0} /* whole object */};
+  std::vector<Buffer> results;
+  ASSERT_TRUE(ReadBatch(&inner_, reqs, nullptr, nullptr, &results).ok());
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0], Buffer(10, 'a'));
+  EXPECT_EQ(results[1], Buffer(10, 'b'));
+  EXPECT_EQ(results[2], Buffer(100, 'c'));
+}
+
+TEST_F(ReadBatchContractTest, FailedRequestLeavesZeroLengthBuffer) {
+  FaultInjectingStore faulty(&inner_);
+  faulty.SetFailurePoint([](const std::string&, const std::string& key) {
+    return key == "b" ? Status::Unavailable("injected") : Status::OK();
+  });
+
+  std::vector<RangeRequest> reqs = {{"a", 0, 10}, {"b", 0, 10}, {"c", 0, 10}};
+  // Recycle a results vector with stale garbage in every slot: the failed
+  // slot must come back zero-length, not keep its previous occupant.
+  std::vector<Buffer> results(3, Buffer(99, 'Z'));
+  Status s = ReadBatch(&faulty, reqs, nullptr, nullptr, &results);
+  EXPECT_TRUE(s.IsUnavailable());
+
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0], Buffer(10, 'a'));  // Others still attempted.
+  EXPECT_TRUE(results[1].empty());         // The contract under test.
+  EXPECT_EQ(results[2], Buffer(10, 'c'));
+}
+
+TEST_F(ReadBatchContractTest, FailedSlotIsZeroLengthUnderParallelExecution) {
+  FaultInjectingStore faulty(&inner_);
+  faulty.SetFailurePoint([](const std::string&, const std::string& key) {
+    return key == "a" ? Status::Unavailable("injected") : Status::OK();
+  });
+  ThreadPool pool(4);
+  std::vector<RangeRequest> reqs = {{"a", 0, 10}, {"b", 0, 10}, {"c", 0, 10}};
+  std::vector<Buffer> results(3, Buffer(99, 'Z'));
+  EXPECT_TRUE(
+      ReadBatch(&faulty, reqs, &pool, nullptr, &results).IsUnavailable());
+  EXPECT_TRUE(results[0].empty());
+  EXPECT_EQ(results[1], Buffer(10, 'b'));
+  EXPECT_EQ(results[2], Buffer(10, 'c'));
+}
+
+}  // namespace
+}  // namespace rottnest::objectstore
