@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_fanout.dir/cache_fanout.cc.o"
+  "CMakeFiles/cache_fanout.dir/cache_fanout.cc.o.d"
+  "cache_fanout"
+  "cache_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

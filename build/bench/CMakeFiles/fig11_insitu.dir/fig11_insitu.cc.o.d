@@ -218,11 +218,11 @@ bench/CMakeFiles/fig11_insitu.dir/fig11_insitu.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/baseline/brute_force.h \
- /root/repo/src/common/thread_pool.h \
+ /root/repo/src/common/thread_pool.h /usr/include/c++/12/atomic \
  /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -272,5 +272,7 @@ bench/CMakeFiles/fig11_insitu.dir/fig11_insitu.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/hash.h \
  /root/repo/src/objectstore/retry.h /root/repo/src/lake/table.h \
  /root/repo/src/format/writer.h /root/repo/src/lake/deletion_vector.h \
+ /root/repo/src/objectstore/caching_store.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/baseline/dedicated_service.h /root/repo/src/tco/tco.h \
  /root/repo/src/workload/generators.h

@@ -214,10 +214,10 @@ examples/CMakeFiles/log_analytics.dir/log_analytics.cpp.o: \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/thread_pool.h \
- /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/atomic /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -277,5 +277,7 @@ examples/CMakeFiles/log_analytics.dir/log_analytics.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/hash.h \
  /root/repo/src/objectstore/retry.h /root/repo/src/lake/table.h \
  /root/repo/src/format/writer.h /root/repo/src/lake/deletion_vector.h \
+ /root/repo/src/objectstore/caching_store.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/objectstore/local_disk_store.h \
  /root/repo/src/workload/generators.h

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objectstore/caching_store.cc" "src/objectstore/CMakeFiles/rottnest_objectstore.dir/caching_store.cc.o" "gcc" "src/objectstore/CMakeFiles/rottnest_objectstore.dir/caching_store.cc.o.d"
   "/root/repo/src/objectstore/fault_injection.cc" "src/objectstore/CMakeFiles/rottnest_objectstore.dir/fault_injection.cc.o" "gcc" "src/objectstore/CMakeFiles/rottnest_objectstore.dir/fault_injection.cc.o.d"
   "/root/repo/src/objectstore/local_disk_store.cc" "src/objectstore/CMakeFiles/rottnest_objectstore.dir/local_disk_store.cc.o" "gcc" "src/objectstore/CMakeFiles/rottnest_objectstore.dir/local_disk_store.cc.o.d"
   "/root/repo/src/objectstore/object_store.cc" "src/objectstore/CMakeFiles/rottnest_objectstore.dir/object_store.cc.o" "gcc" "src/objectstore/CMakeFiles/rottnest_objectstore.dir/object_store.cc.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/rottnest_objectstore.dir/caching_store.cc.o"
+  "CMakeFiles/rottnest_objectstore.dir/caching_store.cc.o.d"
   "CMakeFiles/rottnest_objectstore.dir/fault_injection.cc.o"
   "CMakeFiles/rottnest_objectstore.dir/fault_injection.cc.o.d"
   "CMakeFiles/rottnest_objectstore.dir/local_disk_store.cc.o"

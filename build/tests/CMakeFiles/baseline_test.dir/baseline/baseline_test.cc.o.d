@@ -343,5 +343,7 @@ tests/CMakeFiles/baseline_test.dir/baseline/baseline_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/hash.h \
  /root/repo/src/objectstore/retry.h /root/repo/src/lake/table.h \
  /root/repo/src/format/writer.h /root/repo/src/lake/deletion_vector.h \
+ /root/repo/src/objectstore/caching_store.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/baseline/dedicated_service.h \
  /root/repo/src/workload/generators.h

@@ -341,4 +341,6 @@ tests/CMakeFiles/core_test.dir/core/features_test.cc.o: \
  /root/repo/src/lake/metadata_table.h /root/repo/src/lake/txn_log.h \
  /root/repo/src/common/json.h /root/repo/src/objectstore/retry.h \
  /root/repo/src/lake/table.h /root/repo/src/format/writer.h \
- /root/repo/src/lake/deletion_vector.h
+ /root/repo/src/lake/deletion_vector.h \
+ /root/repo/src/objectstore/caching_store.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/objectstore/fault_injection_test.cc" "tests/CMakeFiles/objectstore_test.dir/objectstore/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/objectstore_test.dir/objectstore/fault_injection_test.cc.o.d"
   "/root/repo/tests/objectstore/io_trace_test.cc" "tests/CMakeFiles/objectstore_test.dir/objectstore/io_trace_test.cc.o" "gcc" "tests/CMakeFiles/objectstore_test.dir/objectstore/io_trace_test.cc.o.d"
   "/root/repo/tests/objectstore/object_store_test.cc" "tests/CMakeFiles/objectstore_test.dir/objectstore/object_store_test.cc.o" "gcc" "tests/CMakeFiles/objectstore_test.dir/objectstore/object_store_test.cc.o.d"
+  "/root/repo/tests/objectstore/read_batch_test.cc" "tests/CMakeFiles/objectstore_test.dir/objectstore/read_batch_test.cc.o" "gcc" "tests/CMakeFiles/objectstore_test.dir/objectstore/read_batch_test.cc.o.d"
   "/root/repo/tests/objectstore/retry_test.cc" "tests/CMakeFiles/objectstore_test.dir/objectstore/retry_test.cc.o" "gcc" "tests/CMakeFiles/objectstore_test.dir/objectstore/retry_test.cc.o.d"
   )
 

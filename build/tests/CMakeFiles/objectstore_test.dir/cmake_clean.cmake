@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/objectstore_test.dir/objectstore/io_trace_test.cc.o.d"
   "CMakeFiles/objectstore_test.dir/objectstore/object_store_test.cc.o"
   "CMakeFiles/objectstore_test.dir/objectstore/object_store_test.cc.o.d"
+  "CMakeFiles/objectstore_test.dir/objectstore/read_batch_test.cc.o"
+  "CMakeFiles/objectstore_test.dir/objectstore/read_batch_test.cc.o.d"
   "CMakeFiles/objectstore_test.dir/objectstore/retry_test.cc.o"
   "CMakeFiles/objectstore_test.dir/objectstore/retry_test.cc.o.d"
   "objectstore_test"

@@ -7,6 +7,7 @@
 include("/root/repo/build/tests/common_test[1]_include.cmake")
 include("/root/repo/build/tests/compress_test[1]_include.cmake")
 include("/root/repo/build/tests/objectstore_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
 include("/root/repo/build/tests/format_test[1]_include.cmake")
 include("/root/repo/build/tests/lake_test[1]_include.cmake")
 include("/root/repo/build/tests/index_test[1]_include.cmake")
