@@ -44,7 +44,7 @@ Status Env::IndexAndCompact(const std::string& column,
       status = report.status();
       return;
     }
-    auto compacted = client->Compact(column, type, UINT64_MAX);
+    auto compacted = client->Compact(column, type);
     if (!compacted.ok()) status = compacted.status();
   });
   index_bytes = MeasureIndexBytes();

@@ -92,7 +92,7 @@ Row RunOne(const char* column, IndexType type, size_t files,
   row.live_indexes_before =
       env->client->metadata().ReadAll().MoveValue().size();
   row.uncompacted_s = measure();
-  (void)env->client->Compact(column, type, UINT64_MAX);
+  (void)env->client->Compact(column, type);
   row.live_indexes_after =
       env->client->metadata().ReadAll().MoveValue().size();
   row.compacted_s = measure();

@@ -1,0 +1,237 @@
+// Measures the parallel maintenance pipeline on the Fig 13 compaction
+// workload (UUID/trie, one data file per ingestion increment):
+//
+//   (1) Index build: one Index() call covering `kFiles` fresh data files.
+//       The serial build stages the per-file chains (footer + page reads)
+//       back to back; the width-8 pipeline overlaps them in waves, so the
+//       S3-projected end-to-end build time (dependent rounds + measured
+//       CPU) collapses while the REQUEST footprint — and therefore the
+//       simulated request cost — stays exactly the same.
+//   (2) Compact: merging `kFiles` small index files, serial vs concurrent
+//       prefetch of the inputs.
+//
+// Results are printed as a report and recorded into BENCH_index.json.
+// Exits non-zero if the width-8 pipeline fails the acceptance gates:
+// >= 2x projected end-to-end speedup, at no increase in request cost.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+
+namespace rottnest::bench {
+namespace {
+
+using index::IndexType;
+using workload::DatasetSpec;
+
+constexpr size_t kFiles = 48;
+constexpr size_t kRowsPerFile = 2000;  // Fig 13(b) UUID workload.
+constexpr size_t kParallelism = 8;
+
+/// One measured maintenance run.
+struct Run {
+  double cpu_s = 0;      ///< Measured wall-clock of the call.
+  double sim_ms = 0;     ///< S3-projected latency of its dependent rounds.
+  double cost_usd = 0;   ///< Simulated request cost.
+  uint64_t gets = 0;
+  size_t depth = 0;
+
+  double EndToEndSeconds() const { return sim_ms / 1000.0 + cpu_s; }
+};
+
+Run FromReport(const core::MaintenanceStats& stats, double cpu_s) {
+  Run r;
+  r.cpu_s = cpu_s;
+  r.sim_ms = stats.simulated_latency_ms;
+  r.cost_usd = stats.simulated_cost_usd;
+  r.gets = stats.gets;
+  r.depth = stats.io_depth;
+  return r;
+}
+
+DatasetSpec SpecFor(size_t files) {
+  DatasetSpec spec;
+  spec.total_rows = files * kRowsPerFile;
+  spec.num_files = files;
+  spec.doc_chars = 24;
+  spec.vector_dim = 8;
+  return spec;
+}
+
+core::RottnestOptions Options() {
+  core::RottnestOptions options;
+  options.index_dir = "idx/build";
+  return options;
+}
+
+format::WriterOptions WriterOpts() {
+  format::WriterOptions writer;
+  writer.target_page_bytes = 32 << 10;
+  return writer;
+}
+
+/// (1) One Index() call over kFiles fresh files at the given width.
+Run RunIndexBuild(size_t parallelism) {
+  auto env = Env::Create(SpecFor(kFiles), Options(), WriterOpts());
+  core::MaintenanceOptions opts;
+  opts.parallelism = parallelism;
+  core::IndexReport report;
+  double cpu = TimeSeconds([&] {
+    auto r = env->client->Index("uuid", IndexType::kTrie, opts);
+    if (!r.ok() || r.value().index_path.empty()) std::abort();
+    report = std::move(r).value();
+  });
+  if (report.covered_files.size() != kFiles) std::abort();
+  return FromReport(report.stats, cpu);
+}
+
+/// (2) Compact() over kFiles single-increment index files (the Fig 13
+/// steady-state: append + index per increment, then one merge).
+Run RunCompact(size_t parallelism) {
+  auto env = Env::Create(SpecFor(1), Options(), WriterOpts());
+  if (!env->client->Index("uuid", IndexType::kTrie).ok()) std::abort();
+  workload::TextGenerator text(env->spec.seed + 1);
+  workload::UuidGenerator ids(env->spec.seed, env->spec.uuid_bytes);
+  workload::VectorGenerator vecs(env->spec.seed, env->spec.vector_dim);
+  uint64_t next_row = kRowsPerFile;
+  for (size_t f = 1; f < kFiles; ++f) {
+    format::RowBatch batch;
+    batch.schema = workload::DatasetSchema(env->spec);
+    format::ColumnVector::Ints ts;
+    format::FlatFixed uuid_col;
+    uuid_col.elem_size = static_cast<uint32_t>(env->spec.uuid_bytes);
+    format::ColumnVector::Strings bodies;
+    format::FlatFixed vec_col;
+    vec_col.elem_size = env->spec.vector_dim * 4;
+    for (size_t i = 0; i < kRowsPerFile; ++i, ++next_row) {
+      ts.push_back(static_cast<int64_t>(next_row));
+      std::string id = ids.IdFor(next_row);
+      uuid_col.Append(Slice(id));
+      bodies.push_back(text.Document(env->spec.doc_chars));
+      std::vector<float> v = vecs.VectorFor(next_row);
+      vec_col.Append(Slice(reinterpret_cast<const uint8_t*>(v.data()),
+                           v.size() * 4));
+    }
+    batch.columns.emplace_back(std::move(ts));
+    batch.columns.emplace_back(std::move(uuid_col));
+    batch.columns.emplace_back(std::move(bodies));
+    batch.columns.emplace_back(std::move(vec_col));
+    if (!env->table->Append(batch).ok()) std::abort();
+    if (!env->client->Index("uuid", IndexType::kTrie).ok()) std::abort();
+    env->clock.Advance(1'000'000);  // Distinct commit stamps per increment.
+  }
+
+  core::MaintenanceOptions opts;
+  opts.parallelism = parallelism;
+  core::CompactReport report;
+  double cpu = TimeSeconds([&] {
+    auto r = env->client->Compact("uuid", IndexType::kTrie, opts);
+    if (!r.ok() || r.value().merged_path.empty()) std::abort();
+    report = std::move(r).value();
+  });
+  if (report.replaced.size() != kFiles) std::abort();
+  return FromReport(report.stats, cpu);
+}
+
+void Print(const char* what, const Run& serial, const Run& parallel) {
+  std::printf("%s:\n", what);
+  std::printf("  serial   (width 1): %7.3f s end-to-end "
+              "(%6.1f ms S3 rounds + %6.1f ms cpu), depth %4zu, "
+              "%5llu GETs, $%.6f\n",
+              serial.EndToEndSeconds(), serial.sim_ms, serial.cpu_s * 1000.0,
+              serial.depth, static_cast<unsigned long long>(serial.gets),
+              serial.cost_usd);
+  std::printf("  parallel (width %zu): %7.3f s end-to-end "
+              "(%6.1f ms S3 rounds + %6.1f ms cpu), depth %4zu, "
+              "%5llu GETs, $%.6f\n",
+              kParallelism, parallel.EndToEndSeconds(), parallel.sim_ms,
+              parallel.cpu_s * 1000.0, parallel.depth,
+              static_cast<unsigned long long>(parallel.gets),
+              parallel.cost_usd);
+  std::printf("  speedup: %.2fx\n",
+              serial.EndToEndSeconds() / parallel.EndToEndSeconds());
+}
+
+void Record(Json::Object* root, const char* prefix, const Run& serial,
+            const Run& parallel) {
+  Json::Object o;
+  o["serial_s"] = Json(serial.EndToEndSeconds());
+  o["parallel_s"] = Json(parallel.EndToEndSeconds());
+  o["speedup"] = Json(serial.EndToEndSeconds() / parallel.EndToEndSeconds());
+  o["serial_cpu_s"] = Json(serial.cpu_s);
+  o["parallel_cpu_s"] = Json(parallel.cpu_s);
+  o["serial_sim_ms"] = Json(serial.sim_ms);
+  o["parallel_sim_ms"] = Json(parallel.sim_ms);
+  o["serial_depth"] = Json(static_cast<uint64_t>(serial.depth));
+  o["parallel_depth"] = Json(static_cast<uint64_t>(parallel.depth));
+  o["serial_gets"] = Json(serial.gets);
+  o["parallel_gets"] = Json(parallel.gets);
+  o["serial_cost_usd"] = Json(serial.cost_usd);
+  o["parallel_cost_usd"] = Json(parallel.cost_usd);
+  (*root)[prefix] = Json(o);
+}
+
+/// Acceptance gates: >= 2x projected end-to-end at width 8, and the wide
+/// pipeline must not issue a single request more than the serial one.
+bool Gate(const char* what, const Run& serial, const Run& parallel) {
+  bool ok = true;
+  double speedup = serial.EndToEndSeconds() / parallel.EndToEndSeconds();
+  if (speedup < 2.0) {
+    std::fprintf(stderr, "FAIL: %s speedup %.2fx at width %zu (want >= 2x)\n",
+                 what, speedup, kParallelism);
+    ok = false;
+  }
+  if (parallel.gets > serial.gets || parallel.cost_usd > serial.cost_usd) {
+    std::fprintf(stderr,
+                 "FAIL: %s parallel build costs more (%llu GETs $%.6f vs "
+                 "%llu GETs $%.6f serial)\n",
+                 what, static_cast<unsigned long long>(parallel.gets),
+                 parallel.cost_usd,
+                 static_cast<unsigned long long>(serial.gets),
+                 serial.cost_usd);
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace
+}  // namespace rottnest::bench
+
+int main() {
+  using namespace rottnest;
+  using namespace rottnest::bench;
+
+  PrintHeader("BENCH_index",
+              "maintenance pipeline: serial vs parallel Index / Compact");
+  std::printf("workload: %zu data files x %zu rows (Fig 13 UUID/trie)\n\n",
+              kFiles, kRowsPerFile);
+
+  Run index_serial = RunIndexBuild(1);
+  Run index_parallel = RunIndexBuild(kParallelism);
+  Print("index build (one call, 48 fresh files)", index_serial,
+        index_parallel);
+
+  Run compact_serial = RunCompact(1);
+  Run compact_parallel = RunCompact(kParallelism);
+  Print("compact (merge 48 small index files)", compact_serial,
+        compact_parallel);
+
+  bool ok = Gate("index build", index_serial, index_parallel);
+  ok = Gate("compact", compact_serial, compact_parallel) && ok;
+
+  Json::Object root;
+  root["files"] = Json(static_cast<uint64_t>(kFiles));
+  root["rows_per_file"] = Json(static_cast<uint64_t>(kRowsPerFile));
+  root["parallelism"] = Json(static_cast<uint64_t>(kParallelism));
+  Record(&root, "index_build", index_serial, index_parallel);
+  Record(&root, "compact", compact_serial, compact_parallel);
+  std::FILE* f = std::fopen("BENCH_index.json", "w");
+  if (f != nullptr) {
+    std::string text = Json(root).Dump();
+    std::fputs(text.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_index.json\n");
+  }
+  return ok ? 0 : 1;
+}

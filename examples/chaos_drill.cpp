@@ -132,7 +132,7 @@ int main(int argc, char** argv) {
   std::printf("substring 'CRITICAL': %zu matches\n",
               sub_result.value().matches.size());
 
-  CHECK_OK(client.Compact("uuid", index::IndexType::kTrie, UINT64_MAX));
+  CHECK_OK(client.Compact("uuid", index::IndexType::kTrie));
   clock.Advance(options.index_timeout_micros + 1);
   auto latest = table->GetSnapshot().value().version;
   auto vac = client.Vacuum(latest);

@@ -168,7 +168,7 @@ int main() {
   for (auto [column, type] :
        {std::pair{"pod_uuid", index::IndexType::kTrie},
         std::pair{"line", index::IndexType::kFm}}) {
-    auto compacted = client.Compact(column, type, UINT64_MAX);
+    auto compacted = client.Compact(column, type);
     if (compacted.ok() && !compacted.value().merged_path.empty()) {
       std::printf("compacted %zu %s index files into one\n",
                   compacted.value().replaced.size(), column);

@@ -176,7 +176,7 @@ int main() {
               survivor.value().files_scanned);
 
   // 5. Index maintenance: compact index files, vacuum dead ones.
-  CHECK_OK(client.Compact("uuid", index::IndexType::kTrie, UINT64_MAX));
+  CHECK_OK(client.Compact("uuid", index::IndexType::kTrie));
   clock.Advance(options.index_timeout_micros + 1);
   auto latest = table->GetSnapshot().value().version;
   auto vac = client.Vacuum(latest);

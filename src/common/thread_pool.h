@@ -59,9 +59,18 @@ class ThreadPool {
   /// submit-and-wait scheme deadlocked once blocked outer tasks occupied
   /// all workers.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+    ParallelFor(n, workers_.size() + 1, fn);
+  }
+
+  /// Bounded variant: at most `max_parallelism` threads (the caller plus
+  /// helpers) claim iterations — the maintenance pipeline's parallelism
+  /// knob. `max_parallelism <= 1` degenerates to a plain serial loop on the
+  /// calling thread.
+  void ParallelFor(size_t n, size_t max_parallelism,
+                   const std::function<void(size_t)>& fn) {
     if (n == 0) return;
-    if (n == 1) {
-      fn(0);
+    if (n == 1 || max_parallelism <= 1) {
+      for (size_t i = 0; i < n; ++i) fn(i);
       return;
     }
     struct State {
@@ -90,7 +99,7 @@ class ThreadPool {
         }
       }
     };
-    size_t helpers = std::min(workers_.size(), n - 1);
+    size_t helpers = std::min({workers_.size(), n - 1, max_parallelism - 1});
     for (size_t h = 0; h < helpers; ++h) {
       Submit([state, work] { work(state); });
     }

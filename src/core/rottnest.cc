@@ -336,6 +336,26 @@ std::vector<Status> FanOutIndexQueries(
   return statuses;
 }
 
+/// Merges per-item IoTraces into `trace` the way the maintenance pipeline
+/// actually overlaps them: waves of `parallelism` concurrent chains, waves
+/// paid sequentially. At width 1 this degenerates to appending every chain
+/// back to back, so the recorded depth — and the projected latency derived
+/// from it — honestly reflects the resolved pipeline width. Width changes
+/// the trace, never the bytes; request/byte totals are width-invariant.
+void MergeWaves(objectstore::IoTrace* trace,
+                const std::vector<objectstore::IoTrace>& children,
+                size_t parallelism) {
+  if (trace == nullptr) return;
+  if (parallelism == 0) parallelism = 1;
+  for (size_t begin = 0; begin < children.size(); begin += parallelism) {
+    size_t end = std::min(children.size(), begin + parallelism);
+    std::vector<const objectstore::IoTrace*> wave;
+    wave.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) wave.push_back(&children[i]);
+    trace->MergeParallel(wave);
+  }
+}
+
 }  // namespace
 
 Rottnest::Rottnest(objectstore::ObjectStore* store, lake::Table* table,
@@ -388,12 +408,144 @@ std::string Rottnest::NewIndexName() {
 }
 
 // ---------------------------------------------------------------------------
+// maintenance plumbing
+
+Rottnest::MaintenancePlan Rottnest::ResolveMaintenance(
+    const MaintenanceOptions& opts, Micros start) const {
+  MaintenancePlan plan;
+  plan.parallelism = opts.parallelism != 0 ? opts.parallelism
+                     : options_.num_threads != 0 ? options_.num_threads
+                                                 : 1;
+  plan.byte_budget = opts.byte_budget;
+  Micros budget = opts.time_budget_micros != 0 ? opts.time_budget_micros
+                                               : options_.index_timeout_micros;
+  plan.deadline = start + budget;
+  return plan;
+}
+
+void Rottnest::FinishMaintenanceStats(
+    objectstore::IoTrace* local, const MaintenanceOptions& opts,
+    const MaintenancePlan& plan,
+    std::chrono::steady_clock::time_point wall_start,
+    MaintenanceStats* stats) const {
+  objectstore::S3Model s3;
+  stats->gets = local->total_gets();
+  stats->lists = local->total_lists();
+  stats->bytes_read = local->total_bytes();
+  stats->io_depth = local->depth();
+  stats->simulated_latency_ms = local->ProjectedLatencyMs(s3);
+  stats->simulated_cost_usd = local->RequestCostUsd(s3);
+  stats->wall_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  stats->parallelism = plan.parallelism;
+  stats->dry_run = opts.dry_run;
+  // Single-child MergeParallel = sequential append of this op's rounds.
+  if (opts.trace != nullptr) opts.trace->MergeParallel({local});
+}
+
+// ---------------------------------------------------------------------------
 // index
+
+namespace {
+
+/// One data file's extracted index inputs, produced off-thread by the
+/// staging stage of the Index pipeline. Page ids are file-relative; the
+/// consumer offsets them by the file's first page-table id when folding
+/// into the builders.
+struct StagedFile {
+  format::FileMeta meta;
+  uint64_t staged_bytes = 0;  ///< Rough footprint, for the byte budget.
+  std::vector<std::pair<index::Key128, PageId>> trie_postings;
+  std::vector<Buffer> fm_page_texts;  ///< One prepared text per page.
+  std::vector<float> vectors;         ///< Row-major.
+  std::vector<std::pair<PageId, uint32_t>> vector_locations;
+};
+
+/// Stage one data file: download + decode its column chunks and extract
+/// the per-page index inputs (keys / prepared texts / vectors). Pure apart
+/// from object-store reads, so any thread may run it; all ordering happens
+/// at the consumer. The deadline is checked per column chunk (page batch),
+/// not per file, so one huge file cannot blow past the time budget.
+Status StageFile(objectstore::ObjectStore* store, const DataFile& f,
+                 int col_idx, IndexType type, Micros deadline,
+                 objectstore::IoTrace* trace, StagedFile* out) {
+  if (store->clock().NowMicros() >= deadline) {
+    return Status::Aborted("index operation exceeded timeout");
+  }
+  // If the file was garbage-collected meanwhile, abort and retry later
+  // (paper §IV-A step 2).
+  auto reader_r = format::FileReader::Open(store, f.path, trace);
+  if (!reader_r.ok()) {
+    if (reader_r.status().IsNotFound()) {
+      return Status::Aborted("data file vanished during indexing: " + f.path);
+    }
+    return reader_r.status();
+  }
+  auto& reader = *reader_r.value();
+  out->meta = reader.meta();
+
+  PageId page = 0;
+  for (size_t g = 0; g < reader.meta().row_groups.size(); ++g) {
+    if (store->clock().NowMicros() >= deadline) {
+      return Status::Aborted("index operation exceeded timeout");
+    }
+    const auto& rg = reader.meta().row_groups[g];
+    // Read the whole chunk once and split by page boundaries.
+    ColumnVector chunk;
+    ROTTNEST_RETURN_NOT_OK(reader.ReadColumnChunk(g, col_idx, trace, &chunk));
+    size_t value_index = 0;
+    for (const format::PageMeta& pm : rg.columns[col_idx].pages) {
+      switch (type) {
+        case IndexType::kTrie:
+          for (uint32_t i = 0; i < pm.num_values; ++i) {
+            std::string v = ValueAt(chunk, value_index + i);
+            out->trie_postings.emplace_back(index::KeyFromValue(Slice(v)),
+                                            page);
+          }
+          break;
+        case IndexType::kFm: {
+          std::vector<std::string> values;
+          values.reserve(pm.num_values);
+          for (uint32_t i = 0; i < pm.num_values; ++i) {
+            values.push_back(ValueAt(chunk, value_index + i));
+          }
+          Buffer prepared;
+          index::FmIndexBuilder::PreparePageText(values, &prepared);
+          out->fm_page_texts.push_back(std::move(prepared));
+          break;
+        }
+        case IndexType::kIvfPq:
+          for (uint32_t i = 0; i < pm.num_values; ++i) {
+            Slice v = chunk.fixed().at(value_index + i);
+            const float* vec = index::VectorFromValue(v);
+            out->vectors.insert(out->vectors.end(), vec,
+                                vec + v.size() / sizeof(float));
+            out->vector_locations.emplace_back(page, i);
+          }
+          break;
+      }
+      ++page;
+      value_index += pm.num_values;
+    }
+  }
+
+  uint64_t bytes =
+      out->trie_postings.size() * sizeof(std::pair<index::Key128, PageId>) +
+      out->vectors.size() * sizeof(float) +
+      out->vector_locations.size() * sizeof(std::pair<PageId, uint32_t>);
+  for (const Buffer& b : out->fm_page_texts) bytes += b.size();
+  out->staged_bytes = std::max<uint64_t>(bytes, 1);
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<IndexReport> Rottnest::BuildIndexFile(
     const std::string& column, IndexType type,
-    const std::vector<DataFile>& files) {
-  Micros start = store_->clock().NowMicros();
+    const std::vector<DataFile>& files, const MaintenancePlan& plan,
+    objectstore::IoTrace* trace) {
   int col_idx = table_->schema().FindColumn(column);
   if (col_idx < 0) return Status::InvalidArgument("no such column: " + column);
   const ColumnSchema& col_schema = table_->schema().columns[col_idx];
@@ -402,87 +554,173 @@ Result<IndexReport> Rottnest::BuildIndexFile(
   index::TrieIndexBuilder trie_builder(column);
   index::FmIndexBuilder fm_builder(column, options_.fm);
   std::unique_ptr<index::IvfPqIndexBuilder> ivf_builder;
+  uint32_t dim = 0;
   if (type == IndexType::kIvfPq) {
     if (col_schema.type != PhysicalType::kFixedLenByteArray ||
         col_schema.fixed_len % 4 != 0) {
       return Status::InvalidArgument("vector index needs float fixed-len");
     }
-    ivf_builder = std::make_unique<index::IvfPqIndexBuilder>(
-        column, col_schema.fixed_len / 4, options_.ivfpq);
+    dim = col_schema.fixed_len / 4;
+    ivf_builder = std::make_unique<index::IvfPqIndexBuilder>(column, dim,
+                                                             options_.ivfpq);
   }
+
+  // Producer/consumer pipeline: up to plan.parallelism threads (the caller
+  // plus pool helpers) stage files — download + decompress + extract — while
+  // the calling thread folds staged files into the builders STRICTLY in
+  // file order, so the builders see exactly the serial feed and the emitted
+  // object is byte-identical at any thread count. Files are claimed in
+  // order; a byte budget stalls staging ahead of the consumer, except for
+  // the head-of-line file, which is always admitted so progress is
+  // guaranteed. Each staging records into its own IoTrace; the per-file
+  // traces are merged below in waves of plan.parallelism concurrent chains
+  // (MergeWaves), so depth honestly tracks the pipeline width.
+  const size_t n = files.size();
+  std::vector<StagedFile> staged(n);
+  std::vector<objectstore::IoTrace> child_traces(n);
+  std::vector<Status> statuses(n, Status::OK());
+  std::vector<char> done(n, 0);
+
+  struct PipelineState {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t next_claim = 0;
+    size_t next_consume = 0;
+    uint64_t staged_bytes = 0;
+    bool quit = false;
+    size_t active_helpers = 0;
+  } pipe;
+
+  auto stage_one = [&](size_t i) {
+    StagedFile sf;
+    Status s = StageFile(store_, files[i], col_idx, type, plan.deadline,
+                         &child_traces[i], &sf);
+    std::lock_guard<std::mutex> lock(pipe.mu);
+    staged[i] = std::move(sf);
+    statuses[i] = std::move(s);
+    done[i] = 1;
+    pipe.staged_bytes += staged[i].staged_bytes;
+    pipe.cv.notify_all();
+  };
+
+  auto helper_loop = [&] {
+    for (;;) {
+      size_t i;
+      {
+        std::unique_lock<std::mutex> lock(pipe.mu);
+        pipe.cv.wait(lock, [&] {
+          if (pipe.quit || pipe.next_claim >= n) return true;
+          // Budget admission; the head-of-line file is always admitted.
+          return plan.byte_budget == 0 ||
+                 pipe.staged_bytes < plan.byte_budget ||
+                 pipe.next_claim == pipe.next_consume;
+        });
+        if (pipe.quit || pipe.next_claim >= n) {
+          --pipe.active_helpers;
+          pipe.cv.notify_all();
+          return;
+        }
+        i = pipe.next_claim++;
+      }
+      stage_one(i);
+    }
+  };
+
+  size_t helpers = 0;
+  if (n > 1 && plan.parallelism > 1) {
+    helpers = std::min({plan.parallelism - 1, n - 1, pool_.num_threads()});
+    pipe.active_helpers = helpers;
+    for (size_t h = 0; h < helpers; ++h) pool_.Submit(helper_loop);
+  }
+  // The helpers reference this stack frame: every exit path below must run
+  // this join first.
+  auto join_helpers = [&] {
+    std::unique_lock<std::mutex> lock(pipe.mu);
+    pipe.quit = true;
+    pipe.cv.notify_all();
+    pipe.cv.wait(lock, [&] { return pipe.active_helpers == 0; });
+  };
 
   IndexReport report;
-  for (const DataFile& f : files) {
-    if (store_->clock().NowMicros() - start >= options_.index_timeout_micros) {
-      return Status::Aborted("index operation exceeded timeout");
-    }
-    // If the file was garbage-collected meanwhile, abort and retry later
-    // (paper §IV-A step 2).
-    auto reader_r = format::FileReader::Open(store_, f.path, nullptr);
-    if (!reader_r.ok()) {
-      if (reader_r.status().IsNotFound()) {
-        return Status::Aborted("data file vanished during indexing: " +
-                               f.path);
+  Status pipeline_status = Status::OK();
+  for (size_t i = 0; i < n; ++i) {
+    // Stage inline if no helper has claimed file i yet — the consumer
+    // never blocks behind an unclaimed head-of-line file (and this is the
+    // whole loop when parallelism == 1).
+    bool stage_inline = false;
+    {
+      std::lock_guard<std::mutex> lock(pipe.mu);
+      if (pipe.next_claim == i) {
+        pipe.next_claim = i + 1;
+        stage_inline = true;
       }
-      return reader_r.status();
     }
-    auto& reader = *reader_r.value();
-    PageId first_page = pages.AddFile(f.path, reader.meta(), col_idx);
+    if (stage_inline) stage_one(i);
+    {
+      std::unique_lock<std::mutex> lock(pipe.mu);
+      pipe.cv.wait(lock, [&] { return done[i] != 0; });
+    }
+    if (!statuses[i].ok()) {
+      pipeline_status = statuses[i];
+      break;
+    }
 
-    // Feed the builder page by page, in page-table order.
-    PageId page = first_page;
-    for (size_t g = 0; g < reader.meta().row_groups.size(); ++g) {
-      const auto& rg = reader.meta().row_groups[g];
-      // Read the whole chunk once and split by page boundaries.
-      ColumnVector chunk;
-      ROTTNEST_RETURN_NOT_OK(reader.ReadColumnChunk(g, col_idx, nullptr,
-                                                    &chunk));
-      size_t value_index = 0;
-      for (const format::PageMeta& pm : rg.columns[col_idx].pages) {
-        switch (type) {
-          case IndexType::kTrie:
-            for (uint32_t i = 0; i < pm.num_values; ++i) {
-              std::string v = ValueAt(chunk, value_index + i);
-              trie_builder.Add(index::KeyFromValue(Slice(v)), page);
-            }
-            break;
-          case IndexType::kFm: {
-            std::vector<std::string> values;
-            values.reserve(pm.num_values);
-            for (uint32_t i = 0; i < pm.num_values; ++i) {
-              values.push_back(ValueAt(chunk, value_index + i));
-            }
-            fm_builder.AddPageValues(values);
-            break;
-          }
-          case IndexType::kIvfPq:
-            for (uint32_t i = 0; i < pm.num_values; ++i) {
-              Slice v = chunk.fixed().at(value_index + i);
-              ivf_builder->Add(index::VectorFromValue(v), page, i);
-            }
-            break;
+    // Fold into the builders in file order.
+    StagedFile& sf = staged[i];
+    PageId first_page = pages.AddFile(files[i].path, sf.meta, col_idx);
+    switch (type) {
+      case IndexType::kTrie:
+        for (const auto& [key, page] : sf.trie_postings) {
+          trie_builder.Add(key, first_page + page);
         }
-        ++page;
-        value_index += pm.num_values;
-      }
+        break;
+      case IndexType::kFm:
+        for (const Buffer& text : sf.fm_page_texts) {
+          fm_builder.AddPreparedPage(Slice(text));
+        }
+        break;
+      case IndexType::kIvfPq:
+        for (size_t v = 0; v < sf.vector_locations.size(); ++v) {
+          ivf_builder->Add(sf.vectors.data() + v * dim,
+                           first_page + sf.vector_locations[v].first,
+                           sf.vector_locations[v].second);
+        }
+        break;
     }
-    report.covered_files.push_back(f.path);
-    report.rows += f.rows;
+    report.covered_files.push_back(files[i].path);
+    report.rows += files[i].rows;
+
+    // Release the byte budget and wake stalled stagers.
+    {
+      std::lock_guard<std::mutex> lock(pipe.mu);
+      pipe.staged_bytes -= sf.staged_bytes;
+      pipe.next_consume = i + 1;
+      pipe.cv.notify_all();
+    }
+    staged[i] = StagedFile();  // Free the staged payload eagerly.
   }
+  if (helpers > 0) join_helpers();
+
+  // Merge per-file traces in file order — also on failure, so aborted ops
+  // still account for the IO they did. Waves of plan.parallelism chains
+  // overlap; serial builds pay the chains back to back.
+  MergeWaves(trace, child_traces, plan.parallelism);
+  ROTTNEST_RETURN_NOT_OK(pipeline_status);
 
   Buffer image;
+  ThreadPool* finish_pool = plan.parallelism > 1 ? &pool_ : nullptr;
   switch (type) {
     case IndexType::kTrie:
-      ROTTNEST_RETURN_NOT_OK(trie_builder.Finish(pages, &image));
+      ROTTNEST_RETURN_NOT_OK(trie_builder.Finish(pages, finish_pool, &image));
       break;
     case IndexType::kFm:
-      ROTTNEST_RETURN_NOT_OK(fm_builder.Finish(pages, &image));
+      ROTTNEST_RETURN_NOT_OK(fm_builder.Finish(pages, finish_pool, &image));
       break;
     case IndexType::kIvfPq:
-      ROTTNEST_RETURN_NOT_OK(ivf_builder->Finish(pages, &image));
+      ROTTNEST_RETURN_NOT_OK(ivf_builder->Finish(pages, finish_pool, &image));
       break;
   }
-  if (store_->clock().NowMicros() - start >= options_.index_timeout_micros) {
+  if (store_->clock().NowMicros() >= plan.deadline) {
     return Status::Aborted("index operation exceeded timeout");
   }
 
@@ -492,10 +730,18 @@ Result<IndexReport> Rottnest::BuildIndexFile(
   return report;
 }
 
-Result<IndexReport> Rottnest::Index(const std::string& column,
-                                    IndexType type) {
-  // Plan: snapshot files not yet indexed for (column, type).
+Result<IndexReport> Rottnest::Index(const std::string& column, IndexType type,
+                                    const MaintenanceOptions& opts) {
+  auto wall_start = std::chrono::steady_clock::now();
+  Micros start = store_->clock().NowMicros();
+  MaintenancePlan plan = ResolveMaintenance(opts, start);
+  objectstore::IoTrace local;
+
+  // Plan: snapshot files not yet indexed for (column, type). Cost model:
+  // one manifest read + one metadata-table read.
+  local.RecordList();
   ROTTNEST_ASSIGN_OR_RETURN(Snapshot snapshot, table_->GetSnapshot());
+  local.RecordList();
   ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
                             metadata_.ReadAll());
   std::set<std::string> indexed;
@@ -511,14 +757,25 @@ Result<IndexReport> Rottnest::Index(const std::string& column,
       fresh_rows += f.rows;
     }
   }
-  if (fresh.empty()) return IndexReport{};  // Nothing to do.
-  if (type == IndexType::kIvfPq && fresh_rows < options_.min_vector_index_rows) {
+  IndexReport report;
+  if (fresh.empty()) {  // Nothing to do.
+    FinishMaintenanceStats(&local, opts, plan, wall_start, &report.stats);
+    return report;
+  }
+  if (type == IndexType::kIvfPq &&
+      fresh_rows < options_.min_vector_index_rows) {
     return Status::Aborted(
         "below vector index minimum size; leave to brute-force scan");
   }
+  if (opts.dry_run) {
+    for (const DataFile& f : fresh) report.covered_files.push_back(f.path);
+    report.rows = fresh_rows;
+    FinishMaintenanceStats(&local, opts, plan, wall_start, &report.stats);
+    return report;
+  }
 
-  ROTTNEST_ASSIGN_OR_RETURN(IndexReport report,
-                            BuildIndexFile(column, type, fresh));
+  ROTTNEST_ASSIGN_OR_RETURN(report,
+                            BuildIndexFile(column, type, fresh, plan, &local));
 
   // Commit.
   IndexEntry entry;
@@ -530,6 +787,7 @@ Result<IndexReport> Rottnest::Index(const std::string& column,
   entry.created_micros = store_->clock().NowMicros();
   auto committed = metadata_.Update({entry}, {});
   if (!committed.ok()) return committed.status();
+  FinishMaintenanceStats(&local, opts, plan, wall_start, &report.stats);
   return report;
 }
 
@@ -1135,8 +1393,13 @@ Result<std::vector<IndexDescription>> Rottnest::DescribeIndexes(
 
 Result<CompactReport> Rottnest::Compact(const std::string& column,
                                         IndexType type,
-                                        uint64_t small_index_bytes) {
+                                        const MaintenanceOptions& opts) {
+  auto wall_start = std::chrono::steady_clock::now();
   Micros start = store_->clock().NowMicros();
+  MaintenancePlan plan = ResolveMaintenance(opts, start);
+  objectstore::IoTrace local;
+
+  local.RecordList();
   ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
                             metadata_.ReadAll());
 
@@ -1146,40 +1409,103 @@ Result<CompactReport> Rottnest::Compact(const std::string& column,
     if (e.column != column || e.index_type != IndexTypeName(type)) continue;
     objectstore::ObjectMeta meta;
     ROTTNEST_RETURN_NOT_OK(store_->Head(e.index_path, &meta));
-    if (meta.size < small_index_bytes) small.push_back(e);
+    if (meta.size < opts.small_index_bytes) small.push_back(e);
   }
-  if (small.size() < 2) return CompactReport{};
+  CompactReport report;
+  if (small.size() < 2) {
+    FinishMaintenanceStats(&local, opts, plan, wall_start, &report.stats);
+    return report;
+  }
 
-  // Merge.
-  std::vector<std::unique_ptr<ComponentFileReader>> readers;
-  std::vector<ComponentFileReader*> raw_readers;
-  for (const IndexEntry& e : small) {
-    auto r = ComponentFileReader::Open(store_, e.index_path, nullptr);
-    if (!r.ok()) return r.status();
-    raw_readers.push_back(r.value().get());
-    readers.push_back(std::move(r).value());
+  // Deterministic merge order. ReadAll orders entries by index path, and
+  // index object names are randomized — so two processes compacting
+  // identical logical state would otherwise merge in different orders and
+  // emit different (equally valid) bytes. Sort by commit time, then first
+  // covered file, then path, so the output depends only on logical state.
+  std::sort(small.begin(), small.end(),
+            [](const IndexEntry& a, const IndexEntry& b) {
+              if (a.created_micros != b.created_micros) {
+                return a.created_micros < b.created_micros;
+              }
+              const std::string& fa =
+                  a.covered_files.empty() ? a.index_path : a.covered_files[0];
+              const std::string& fb =
+                  b.covered_files.empty() ? b.index_path : b.covered_files[0];
+              if (fa != fb) return fa < fb;
+              return a.index_path < b.index_path;
+            });
+
+  if (opts.dry_run) {
+    for (const IndexEntry& e : small) report.replaced.push_back(e.index_path);
+    FinishMaintenanceStats(&local, opts, plan, wall_start, &report.stats);
+    return report;
   }
+
+  // Open every input and prefetch its components concurrently (one IoTrace
+  // per input, merged as parallel chains). Prefetching stops once the
+  // cumulative input size exceeds the byte budget; unprefetched inputs are
+  // instead streamed leaf-by-leaf during the merge.
+  const size_t k = small.size();
+  std::vector<std::unique_ptr<ComponentFileReader>> readers(k);
+  std::vector<objectstore::IoTrace> child_traces(k);
+  std::vector<Status> open_statuses(k, Status::OK());
+  std::vector<char> prefetch(k, 0);
+  {
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < k; ++i) {
+      objectstore::ObjectMeta meta;
+      if (store_->Head(small[i].index_path, &meta).ok()) {
+        cumulative += meta.size;
+      }
+      prefetch[i] =
+          (plan.byte_budget == 0 || cumulative <= plan.byte_budget) ? 1 : 0;
+    }
+  }
+  pool_.ParallelFor(k, plan.parallelism, [&](size_t i) {
+    auto r = ComponentFileReader::Open(store_, small[i].index_path,
+                                       &child_traces[i]);
+    if (!r.ok()) {
+      open_statuses[i] = r.status();
+      return;
+    }
+    readers[i] = std::move(r).value();
+    if (prefetch[i]) {
+      std::vector<Buffer> ignored;
+      open_statuses[i] = readers[i]->ReadComponents(
+          readers[i]->ComponentNames(), nullptr, &child_traces[i], &ignored);
+    }
+  });
+  MergeWaves(&local, child_traces, plan.parallelism);
+  for (size_t i = 0; i < k; ++i) {
+    if (!open_statuses[i].ok()) return open_statuses[i];
+  }
+  std::vector<ComponentFileReader*> raw_readers;
+  raw_readers.reserve(k);
+  for (const auto& r : readers) raw_readers.push_back(r.get());
+
+  // Merge (streaming; prefetched components are cache hits, so a fully
+  // prefetched merge performs no further rounds).
+  ThreadPool* merge_pool = plan.parallelism > 1 ? &pool_ : nullptr;
   Buffer merged;
   switch (type) {
     case IndexType::kTrie:
       ROTTNEST_RETURN_NOT_OK(
-          index::TrieMerge(raw_readers, &pool_, nullptr, column, &merged));
+          index::TrieMerge(raw_readers, merge_pool, &local, column, &merged));
       break;
     case IndexType::kFm:
-      ROTTNEST_RETURN_NOT_OK(index::FmMerge(raw_readers, &pool_, nullptr,
+      ROTTNEST_RETURN_NOT_OK(index::FmMerge(raw_readers, merge_pool, &local,
                                             column, options_.fm, &merged));
       break;
     case IndexType::kIvfPq:
-      ROTTNEST_RETURN_NOT_OK(
-          index::IvfPqMerge(raw_readers, &pool_, nullptr, column, &merged));
+      ROTTNEST_RETURN_NOT_OK(index::IvfPqMerge(raw_readers, merge_pool,
+                                               &local, column, &merged));
       break;
   }
-  if (store_->clock().NowMicros() - start >= options_.index_timeout_micros) {
+  if (store_->clock().NowMicros() >= plan.deadline) {
     return Status::Aborted("compact operation exceeded timeout");
   }
 
   // Upload, then commit the swap transactionally.
-  CompactReport report;
   report.merged_path = NewIndexName();
   ROTTNEST_RETURN_NOT_OK(store_->Put(report.merged_path, Slice(merged)));
 
@@ -1199,20 +1525,28 @@ Result<CompactReport> Rottnest::Compact(const std::string& column,
   merged_entry.created_micros = store_->clock().NowMicros();
   auto committed = metadata_.Update({merged_entry}, report.replaced);
   if (!committed.ok()) return committed.status();
+  FinishMaintenanceStats(&local, opts, plan, wall_start, &report.stats);
   return report;
 }
 
 // ---------------------------------------------------------------------------
 // vacuum
 
-Result<VacuumReport> Rottnest::Vacuum(lake::Version min_snapshot) {
+Result<VacuumReport> Rottnest::Vacuum(lake::Version min_snapshot,
+                                      const MaintenanceOptions& opts) {
+  auto wall_start = std::chrono::steady_clock::now();
+  Micros start = store_->clock().NowMicros();
+  MaintenancePlan plan = ResolveMaintenance(opts, start);
+  objectstore::IoTrace local;
   VacuumReport report;
 
   // Plan: data files live in any snapshot >= min_snapshot.
+  local.RecordList();
   ROTTNEST_ASSIGN_OR_RETURN(Snapshot latest, table_->GetSnapshot());
   std::set<std::string> active;
   for (lake::Version v = std::max<lake::Version>(min_snapshot, 0);
        v <= latest.version; ++v) {
+    local.RecordList();
     auto snap = table_->GetSnapshot(v);
     if (!snap.ok()) return snap.status();
     for (const DataFile& f : snap.value().files) active.insert(f.path);
@@ -1224,6 +1558,7 @@ Result<VacuumReport> Rottnest::Vacuum(lake::Version min_snapshot) {
   // shadow a trie on another just because both span the same data files —
   // treating them as interchangeable would vacuum away a live index
   // (which ReadAll's name-sorted order made nondeterministic to boot).
+  local.RecordList();
   ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
                             metadata_.ReadAll());
   auto cover_key = [](const IndexEntry& e, const std::string& f) {
@@ -1254,29 +1589,39 @@ Result<VacuumReport> Rottnest::Vacuum(lake::Version min_snapshot) {
     }
   }
 
-  // Commit: delete metadata rows for unselected entries.
+  // Commit: delete metadata rows for unselected entries (reported but not
+  // applied under dry_run).
   std::vector<std::string> remove;
   for (const IndexEntry& e : entries) {
     if (keep.count(e.index_path) == 0) remove.push_back(e.index_path);
   }
-  if (!remove.empty()) {
+  report.removed_entries = remove;
+  report.metadata_entries_removed = remove.size();
+  if (!remove.empty() && !opts.dry_run) {
     auto committed = metadata_.Update({}, remove);
     if (!committed.ok()) return committed.status();
-    report.metadata_entries_removed = remove.size();
   }
 
   // Remove: physically delete index objects that are unreferenced AND older
   // than the index timeout (younger ones may be uncommitted in-flight
   // uploads — the timeout rule of §IV-C/§IV-D).
-  ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> remaining,
-                            metadata_.ReadAll());
   std::set<std::string> referenced;
-  for (const IndexEntry& e : remaining) referenced.insert(e.index_path);
+  if (opts.dry_run) {
+    // Metadata was not updated: the post-commit reference set is `keep`.
+    referenced = keep;
+  } else {
+    local.RecordList();
+    ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> remaining,
+                              metadata_.ReadAll());
+    for (const IndexEntry& e : remaining) referenced.insert(e.index_path);
+  }
 
+  local.RecordList();
   std::vector<objectstore::ObjectMeta> listing;
   ROTTNEST_RETURN_NOT_OK(store_->List(options_.index_dir + "/", &listing));
   Micros cutoff =
       store_->clock().NowMicros() - options_.index_timeout_micros;
+  std::vector<std::string> deletable;
   for (const auto& obj : listing) {
     // Only touch index files; the metadata table lives under _meta/.
     if (obj.key.size() < 6 ||
@@ -1285,9 +1630,26 @@ Result<VacuumReport> Rottnest::Vacuum(lake::Version min_snapshot) {
     }
     if (referenced.count(obj.key) != 0) continue;
     if (obj.created_micros > cutoff) continue;
-    ROTTNEST_RETURN_NOT_OK(store_->Delete(obj.key));
+    deletable.push_back(obj.key);
+  }
+  if (opts.dry_run) {
+    report.deleted_objects = deletable;
+    report.objects_deleted = deletable.size();
+    FinishMaintenanceStats(&local, opts, plan, wall_start, &report.stats);
+    return report;
+  }
+
+  // Physical deletes are independent: fan out on the pipeline width.
+  std::vector<Status> delete_statuses(deletable.size(), Status::OK());
+  pool_.ParallelFor(deletable.size(), plan.parallelism, [&](size_t i) {
+    delete_statuses[i] = store_->Delete(deletable[i]);
+  });
+  for (size_t i = 0; i < deletable.size(); ++i) {
+    if (!delete_statuses[i].ok()) return delete_statuses[i];
+    report.deleted_objects.push_back(deletable[i]);
     ++report.objects_deleted;
   }
+  FinishMaintenanceStats(&local, opts, plan, wall_start, &report.stats);
   return report;
 }
 

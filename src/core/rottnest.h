@@ -36,6 +36,32 @@
 // probes intentionally bypass the client cache — an audit must observe the
 // bucket, not the cache).
 //
+// ## The v2 maintenance API
+//
+// The write-side mirrors the search shape: every maintenance entry point
+// takes exactly one optional `MaintenanceOptions` argument —
+//
+//   Index(column, type, opts)   — cover fresh snapshot files
+//   Compact(column, type, opts) — LSM-style small-index merge
+//   Vacuum(min_snapshot, opts)  — metadata GC + physical deletion
+//
+// carrying the cross-cutting maintenance knobs: `parallelism` (pipeline
+// width; output bytes are identical at ANY setting), `byte_budget`
+// (bounded-memory staging/prefetch), `time_budget_micros` (overrides the
+// client timeout; enforced per page batch, not per file), `dry_run`
+// (plan + report without mutating anything) and an `IoTrace*`. Each report
+// carries `MaintenanceStats`: request/byte totals, dependent-round depth
+// (parallel chains merged via the MergeParallel max-depth convention) and
+// the simulated S3 latency/cost those imply. The pre-v2 positional
+// signatures (`Compact(column, type, small_index_bytes)`) are gone.
+//
+// Internally `Index` runs a producer/consumer pipeline: worker threads
+// stage per-file column extraction (download + decompress + key/text/vector
+// extraction) while the calling thread folds staged files into the index
+// builders strictly in file order — so the emitted index object is
+// byte-identical to the serial build. `Compact` prefetches its inputs
+// concurrently (up to `byte_budget`) and streams the merge.
+//
 // ## Caching & fan-out (the query hot path)
 //
 // With `RottnestOptions::cache_bytes > 0` the client routes every
@@ -50,6 +76,7 @@
 #ifndef ROTTNEST_CORE_ROTTNEST_H_
 #define ROTTNEST_CORE_ROTTNEST_H_
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <string>
@@ -114,23 +141,73 @@ struct SearchResult {
   uint64_t cache_misses = 0;
 };
 
+/// Optional knobs common to all maintenance calls (the one options
+/// argument of the v2 write-side API — see the header comment).
+struct MaintenanceOptions {
+  /// Pipeline width: staging/prefetch threads plus parallel component
+  /// builds. 0 = RottnestOptions::num_threads; 1 = fully serial. The
+  /// emitted index objects are byte-identical at any setting.
+  size_t parallelism = 0;
+  /// Cap on bytes staged ahead of the consumer (Index) or prefetched
+  /// (Compact). 0 = unbounded. The head-of-line file is always admitted,
+  /// so any budget still makes progress.
+  uint64_t byte_budget = 0;
+  /// Overrides RottnestOptions::index_timeout_micros for this call
+  /// (0 = use the client default). Enforced per page batch.
+  Micros time_budget_micros = 0;
+  /// Plan and report (covered files, rows, merge inputs, deletions)
+  /// without writing objects or committing metadata.
+  bool dry_run = false;
+  /// Access-pattern recording. Per-file / per-input chains are merged in
+  /// waves of `parallelism` concurrent chains (waves sequential), so the
+  /// recorded depth — and the simulated latency derived from it — reflects
+  /// the pipeline width actually requested. Request/byte totals and the
+  /// emitted bytes are width-invariant.
+  objectstore::IoTrace* trace = nullptr;
+  /// Compact only: merge committed index files smaller than this.
+  uint64_t small_index_bytes = UINT64_MAX;
+};
+
+/// IO/cost accounting attached to every maintenance report.
+struct MaintenanceStats {
+  uint64_t gets = 0;
+  uint64_t lists = 0;
+  uint64_t bytes_read = 0;
+  /// Dependent-request depth: parallel chains overlap in waves of
+  /// `parallelism`, so depth shrinks as the pipeline widens.
+  size_t io_depth = 0;
+  /// End-to-end simulated latency (S3Model: rounds + compute) and request
+  /// cost for this operation's reads.
+  double simulated_latency_ms = 0;
+  double simulated_cost_usd = 0;
+  /// Measured wall-clock of the call.
+  uint64_t wall_micros = 0;
+  size_t parallelism = 0;  ///< Resolved pipeline width actually used.
+  bool dry_run = false;
+};
+
 /// Outcome of one `Index` call.
 struct IndexReport {
-  std::string index_path;  ///< Empty if nothing new to index.
+  std::string index_path;  ///< Empty if nothing new to index (or dry run).
   std::vector<std::string> covered_files;
   uint64_t rows = 0;
+  MaintenanceStats stats;
 };
 
 /// Outcome of one `Compact` call.
 struct CompactReport {
-  std::string merged_path;  ///< Empty if nothing was compacted.
+  std::string merged_path;  ///< Empty if nothing was compacted (or dry run).
   std::vector<std::string> replaced;
+  MaintenanceStats stats;
 };
 
 /// Outcome of one `Vacuum` call.
 struct VacuumReport {
   size_t metadata_entries_removed = 0;
   size_t objects_deleted = 0;
+  std::vector<std::string> removed_entries;  ///< Index paths GC'd from metadata.
+  std::vector<std::string> deleted_objects;  ///< Object keys physically deleted.
+  MaintenanceStats stats;
 };
 
 /// An inclusive range predicate on an int64 column (e.g. a timestamp),
@@ -179,8 +256,11 @@ class Rottnest {
            RottnestOptions options);
 
   /// Indexes data files of the latest snapshot not yet covered for
-  /// (column, type). No-op (empty index_path) when nothing is new.
-  Result<IndexReport> Index(const std::string& column, index::IndexType type);
+  /// (column, type). No-op (empty index_path) when nothing is new. Runs
+  /// the parallel staging pipeline described in the header comment; the
+  /// index object is byte-identical at any `opts.parallelism`.
+  Result<IndexReport> Index(const std::string& column, index::IndexType type,
+                            const MaintenanceOptions& opts = {});
 
   /// Exact-match search on a high-cardinality column via the trie index.
   /// Returns up to k verified matches.
@@ -226,16 +306,21 @@ class Rottnest {
       const SearchOptions& opts = {});
 
   /// LSM-style index compaction: merges committed index files of
-  /// (column, type) smaller than `small_index_bytes` into one.
+  /// (column, type) smaller than `opts.small_index_bytes` into one. Merge
+  /// inputs are ordered deterministically (by commit time, then coverage,
+  /// then path), prefetched concurrently up to `opts.byte_budget`, and
+  /// streamed through bounded-memory merges.
   Result<CompactReport> Compact(const std::string& column,
                                 index::IndexType type,
-                                uint64_t small_index_bytes);
+                                const MaintenanceOptions& opts = {});
 
   /// Garbage collection (paper §IV-C): keeps a greedy minimal set of index
   /// files covering the data files of snapshots >= `min_snapshot`, removes
   /// the rest from the metadata table, then physically deletes index
   /// objects that are unreferenced AND older than the index timeout.
-  Result<VacuumReport> Vacuum(lake::Version min_snapshot);
+  /// Physical deletes fan out on `opts.parallelism`.
+  Result<VacuumReport> Vacuum(lake::Version min_snapshot,
+                              const MaintenanceOptions& opts = {});
 
   /// Verifies the Existence invariant (and basic consistency) — used by
   /// protocol crash tests after every injected failure. Shares the
@@ -256,10 +341,31 @@ class Rottnest {
  private:
   struct Plan;
 
+  /// Per-call maintenance knobs after defaulting against RottnestOptions.
+  struct MaintenancePlan {
+    size_t parallelism = 1;
+    uint64_t byte_budget = 0;  ///< 0 = unbounded.
+    Micros deadline = 0;       ///< Absolute store-clock deadline.
+  };
+  MaintenancePlan ResolveMaintenance(const MaintenanceOptions& opts,
+                                     Micros start) const;
+
+  /// Fills `stats` from the op-local trace + wall clock and appends the
+  /// local trace to `opts.trace` (if any).
+  void FinishMaintenanceStats(objectstore::IoTrace* local,
+                              const MaintenanceOptions& opts,
+                              const MaintenancePlan& plan,
+                              std::chrono::steady_clock::time_point wall_start,
+                              MaintenanceStats* stats) const;
+
   /// Builds one index file covering `files` and returns its object key.
-  Result<IndexReport> BuildIndexFile(
-      const std::string& column, index::IndexType type,
-      const std::vector<lake::DataFile>& files);
+  /// Stages per-file extraction on up to `plan.parallelism` threads while
+  /// the calling thread feeds builders in file order (see header comment).
+  Result<IndexReport> BuildIndexFile(const std::string& column,
+                                     index::IndexType type,
+                                     const std::vector<lake::DataFile>& files,
+                                     const MaintenancePlan& plan,
+                                     objectstore::IoTrace* trace);
 
   /// Computes which committed index entries apply to the snapshot and
   /// which snapshot files are unindexed.

@@ -7,6 +7,21 @@
 
 namespace rottnest::index {
 
+namespace {
+
+/// The AddComponent compression policy — LZ unless incompressible —
+/// factored out so AddComponents can run it off-thread.
+void CompressPayload(Slice payload, Buffer* compressed, uint8_t* codec) {
+  *compressed = compress::LzCompress(payload);
+  *codec = static_cast<uint8_t>(compress::Codec::kLz);
+  if (compressed->size() >= payload.size()) {
+    *compressed = payload.ToBuffer();
+    *codec = static_cast<uint8_t>(compress::Codec::kNone);
+  }
+}
+
+}  // namespace
+
 constexpr char ComponentFileWriter::kMagic[4];
 
 const char* IndexTypeName(IndexType t) {
@@ -21,29 +36,56 @@ const char* IndexTypeName(IndexType t) {
   return "unknown";
 }
 
-Status ComponentFileWriter::AddComponent(const std::string& name,
-                                         Slice payload) {
+Status ComponentFileWriter::AppendCompressed(const std::string& name,
+                                             size_t uncompressed_size,
+                                             Buffer compressed,
+                                             uint8_t codec) {
   if (finished_) return Status::InvalidArgument("writer finished");
   for (const Entry& e : entries_) {
     if (e.name == name) {
       return Status::InvalidArgument("duplicate component: " + name);
     }
   }
-  Buffer compressed = compress::LzCompress(payload);
-  uint8_t codec = static_cast<uint8_t>(compress::Codec::kLz);
-  if (compressed.size() >= payload.size()) {
-    compressed = payload.ToBuffer();
-    codec = static_cast<uint8_t>(compress::Codec::kNone);
-  }
   Entry e;
   e.name = name;
   e.offset = file_.size();
   e.compressed_size = static_cast<uint32_t>(compressed.size());
-  e.uncompressed_size = static_cast<uint32_t>(payload.size());
+  e.uncompressed_size = static_cast<uint32_t>(uncompressed_size);
   e.codec = codec;
   e.checksum = Hash64(Slice(compressed));
   entries_.push_back(std::move(e));
   file_.insert(file_.end(), compressed.begin(), compressed.end());
+  return Status::OK();
+}
+
+Status ComponentFileWriter::AddComponent(const std::string& name,
+                                         Slice payload) {
+  Buffer compressed;
+  uint8_t codec = 0;
+  CompressPayload(payload, &compressed, &codec);
+  return AppendCompressed(name, payload.size(), std::move(compressed), codec);
+}
+
+Status ComponentFileWriter::AddComponents(
+    const std::vector<std::string>& names, const std::vector<Buffer>& payloads,
+    ThreadPool* pool) {
+  if (names.size() != payloads.size()) {
+    return Status::InvalidArgument("names/payloads size mismatch");
+  }
+  std::vector<Buffer> compressed(payloads.size());
+  std::vector<uint8_t> codecs(payloads.size(), 0);
+  auto compress_one = [&](size_t i) {
+    CompressPayload(Slice(payloads[i]), &compressed[i], &codecs[i]);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(payloads.size(), compress_one);
+  } else {
+    for (size_t i = 0; i < payloads.size(); ++i) compress_one(i);
+  }
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    ROTTNEST_RETURN_NOT_OK(AppendCompressed(
+        names[i], payloads[i].size(), std::move(compressed[i]), codecs[i]));
+  }
   return Status::OK();
 }
 

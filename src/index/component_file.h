@@ -59,6 +59,14 @@ class ComponentFileWriter {
   /// the payload is incompressible.
   Status AddComponent(const std::string& name, Slice payload);
 
+  /// Appends several components in order. Payload compression — the
+  /// CPU-heavy part — runs in parallel on `pool` (nullptr = inline);
+  /// directory entries and the file image are appended serially in input
+  /// order, so the image is byte-identical to equivalent AddComponent
+  /// calls at any thread count.
+  Status AddComponents(const std::vector<std::string>& names,
+                       const std::vector<Buffer>& payloads, ThreadPool* pool);
+
   /// Finalizes and returns the file image.
   Status Finish(Buffer* out);
 
@@ -67,6 +75,10 @@ class ComponentFileWriter {
  private:
   static constexpr char kMagic[4] = {'R', 'N', 'I', '1'};
   friend class ComponentFileReader;
+
+  /// Appends an already-compressed payload plus its directory entry.
+  Status AppendCompressed(const std::string& name, size_t uncompressed_size,
+                          Buffer compressed, uint8_t codec);
 
   struct Entry {
     std::string name;
@@ -116,6 +128,10 @@ class ComponentFileReader {
   /// Single-component convenience.
   Status ReadComponent(const std::string& name, ThreadPool* pool,
                        objectstore::IoTrace* trace, Buffer* out);
+
+  /// Drops one component from the decompressed cache. Streaming merges
+  /// bound their working set by evicting leaves after consuming them.
+  void Evict(const std::string& name) { cache_.erase(name); }
 
  private:
   ComponentFileReader(objectstore::ObjectStore* store, std::string key)

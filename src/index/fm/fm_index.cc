@@ -93,7 +93,7 @@ struct FmContent {
 };
 
 Status EmitFmFile(const std::string& column, const FmOptions& options,
-                  const FmContent& content, Buffer* out) {
+                  const FmContent& content, ThreadPool* pool, Buffer* out) {
   const Buffer& bwt = content.bwt;
   uint64_t n = bwt.size();
   FmMeta meta;
@@ -115,11 +115,18 @@ Status EmitFmFile(const std::string& column, const FmOptions& options,
 
   ComponentFileWriter writer(IndexType::kFm, column);
 
-  // Page table first (leaf-most), then bulk blocks, then small roots last.
+  // Components are built serially in emission order — page table first
+  // (leaf-most), then bulk blocks, then small roots last — and appended in
+  // one AddComponents call so their compression fans out on `pool` without
+  // changing the file bytes. The occ/rank checkpoints are running prefix
+  // sums, so payload construction itself stays a serial scan.
+  std::vector<std::string> names;
+  std::vector<Buffer> payloads;
+
   Buffer table_buf;
   content.pages.Serialize(&table_buf);
-  ROTTNEST_RETURN_NOT_OK(
-      writer.AddComponent(kPageTableComponent, Slice(table_buf)));
+  names.push_back(kPageTableComponent);
+  payloads.push_back(std::move(table_buf));
 
   // BWT blocks, each prefixed with its occ checkpoint.
   uint64_t bs = options.block_size;
@@ -133,7 +140,8 @@ Status EmitFmFile(const std::string& column, const FmOptions& options,
       block.push_back(bwt[i]);
       running[bwt[i]]++;
     }
-    ROTTNEST_RETURN_NOT_OK(writer.AddComponent(BwtName(b), Slice(block)));
+    names.push_back(BwtName(b));
+    payloads.push_back(std::move(block));
   }
 
   // Mark blocks: rank checkpoint + bitvector words.
@@ -156,7 +164,8 @@ Status EmitFmFile(const std::string& column, const FmOptions& options,
       }
     }
     if (bit != 0) PutFixed64(&block, word);
-    ROTTNEST_RETURN_NOT_OK(writer.AddComponent(MarkName(b), Slice(block)));
+    names.push_back(MarkName(b));
+    payloads.push_back(std::move(block));
   }
 
   // Sampled-position blocks, bit-packed.
@@ -170,19 +179,24 @@ Status EmitFmFile(const std::string& column, const FmOptions& options,
                                 content.samples.begin() + end);
     Buffer block;
     compress::BitPack(slice, meta.pos_bits, &block);
-    ROTTNEST_RETURN_NOT_OK(writer.AddComponent(SsaName(b), Slice(block)));
+    names.push_back(SsaName(b));
+    payloads.push_back(std::move(block));
     if (end == content.samples.size()) break;
   }
 
   // Page bounds.
   Buffer bounds;
   compress::DeltaEncodeSorted(content.page_offsets, &bounds);
-  ROTTNEST_RETURN_NOT_OK(writer.AddComponent(kBoundsComponent, Slice(bounds)));
+  names.push_back(kBoundsComponent);
+  payloads.push_back(std::move(bounds));
 
   // Meta last: rides the directory tail read.
   Buffer meta_buf;
   SerializeMeta(meta, &meta_buf);
-  ROTTNEST_RETURN_NOT_OK(writer.AddComponent(kMetaComponent, Slice(meta_buf)));
+  names.push_back(kMetaComponent);
+  payloads.push_back(std::move(meta_buf));
+
+  ROTTNEST_RETURN_NOT_OK(writer.AddComponents(names, payloads, pool));
   return writer.Finish(out);
 }
 
@@ -530,20 +544,33 @@ void FmIndexBuilder::AddPage(Slice page_text) {
 }
 
 void FmIndexBuilder::AddPageValues(const std::vector<std::string>& values) {
-  page_offsets_.push_back(text_.size());
+  Buffer prepared;
+  PreparePageText(values, &prepared);
+  AddPreparedPage(Slice(prepared));
+}
+
+void FmIndexBuilder::PreparePageText(const std::vector<std::string>& values,
+                                     Buffer* out) {
+  out->clear();
   for (const std::string& v : values) {
-    size_t start = text_.size();
-    text_.insert(text_.end(), v.begin(), v.end());
-    for (size_t i = start; i < text_.size(); ++i) {
-      if (text_[i] == kSentinel || text_[i] == kSeparator) {
-        text_[i] = kReplacement;
+    size_t start = out->size();
+    out->insert(out->end(), v.begin(), v.end());
+    for (size_t i = start; i < out->size(); ++i) {
+      if ((*out)[i] == kSentinel || (*out)[i] == kSeparator) {
+        (*out)[i] = kReplacement;
       }
     }
-    text_.push_back(kSeparator);
+    out->push_back(kSeparator);
   }
 }
 
-Status FmIndexBuilder::Finish(const format::PageTable& pages, Buffer* out) {
+void FmIndexBuilder::AddPreparedPage(Slice prepared) {
+  page_offsets_.push_back(text_.size());
+  text_.insert(text_.end(), prepared.data(), prepared.data() + prepared.size());
+}
+
+Status FmIndexBuilder::Finish(const format::PageTable& pages, ThreadPool* pool,
+                              Buffer* out) {
   Buffer text = text_;
   text.push_back(kSentinel);
 
@@ -563,7 +590,7 @@ Status FmIndexBuilder::Finish(const format::PageTable& pages, Buffer* out) {
   content.string_starts = {0};
   content.page_offsets = page_offsets_;
   content.pages = pages;
-  return EmitFmFile(column_, options_, content, out);
+  return EmitFmFile(column_, options_, content, pool, out);
 }
 
 Status FmCount(ComponentFileReader* reader, ThreadPool* pool,
@@ -694,7 +721,7 @@ Status FmMerge(const std::vector<ComponentFileReader*>& inputs,
     ROTTNEST_RETURN_NOT_OK(MergePair(merged, next, options, &combined));
     merged = std::move(combined);
   }
-  return EmitFmFile(column, options, merged, out);
+  return EmitFmFile(column, options, merged, pool, out);
 }
 
 }  // namespace rottnest::index

@@ -63,8 +63,24 @@ class FmIndexBuilder {
   /// across values.
   void AddPageValues(const std::vector<std::string>& values);
 
+  /// Renders one page's values into the exact byte form AddPageValues
+  /// appends (sanitized, separator-joined). Pure, so the parallel build
+  /// pipeline can run it off-thread per staged file.
+  static void PreparePageText(const std::vector<std::string>& values,
+                              Buffer* out);
+
+  /// Appends one page already rendered by PreparePageText.
+  void AddPreparedPage(Slice prepared);
+
   /// Builds the index file image covering the added pages.
-  Status Finish(const format::PageTable& pages, Buffer* out);
+  Status Finish(const format::PageTable& pages, Buffer* out) {
+    return Finish(pages, nullptr, out);
+  }
+
+  /// Parallel variant: component payload compression fans out on `pool`
+  /// (nullptr = inline). Suffix-array construction stays serial — the
+  /// emitted image is byte-identical at any thread count.
+  Status Finish(const format::PageTable& pages, ThreadPool* pool, Buffer* out);
 
  private:
   std::string column_;

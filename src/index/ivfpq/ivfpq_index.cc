@@ -161,28 +161,37 @@ Status EmitIvfFile(const std::string& column, const IvfMeta& meta,
                    const std::vector<float>& centroids,
                    const std::vector<float>& codebooks,
                    const std::vector<std::vector<ListEntry>>& lists,
-                   const format::PageTable& pages, Buffer* out) {
+                   const format::PageTable& pages, ThreadPool* pool,
+                   Buffer* out) {
   ComponentFileWriter writer(IndexType::kIvfPq, column);
-  Buffer table_buf;
-  pages.Serialize(&table_buf);
-  ROTTNEST_RETURN_NOT_OK(
-      writer.AddComponent(kPageTableComponent, Slice(table_buf)));
-  for (uint32_t l = 0; l < meta.nlist; ++l) {
-    Buffer list_buf;
-    SerializeList(lists[l], meta.m, &list_buf);
-    ROTTNEST_RETURN_NOT_OK(writer.AddComponent(ListName(l), Slice(list_buf)));
+
+  // Serialize lists in parallel (component order is fixed up front, so the
+  // file bytes do not depend on thread count), then append everything in
+  // one AddComponents call so compression rides `pool` too.
+  std::vector<std::string> names;
+  std::vector<Buffer> payloads;
+  names.reserve(meta.nlist + 4);
+  payloads.resize(meta.nlist + 4);
+
+  names.push_back(kPageTableComponent);
+  pages.Serialize(&payloads[0]);
+  for (uint32_t l = 0; l < meta.nlist; ++l) names.push_back(ListName(l));
+  auto serialize_list = [&](size_t l) {
+    SerializeList(lists[l], meta.m, &payloads[1 + l]);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(meta.nlist, serialize_list);
+  } else {
+    for (uint32_t l = 0; l < meta.nlist; ++l) serialize_list(l);
   }
-  Buffer books_buf;
-  PutFloats(codebooks.data(), codebooks.size(), &books_buf);
-  ROTTNEST_RETURN_NOT_OK(
-      writer.AddComponent(kCodebooksComponent, Slice(books_buf)));
-  Buffer cent_buf;
-  PutFloats(centroids.data(), centroids.size(), &cent_buf);
-  ROTTNEST_RETURN_NOT_OK(
-      writer.AddComponent(kCentroidsComponent, Slice(cent_buf)));
-  Buffer meta_buf;
-  SerializeMeta(meta, &meta_buf);
-  ROTTNEST_RETURN_NOT_OK(writer.AddComponent(kMetaComponent, Slice(meta_buf)));
+  names.push_back(kCodebooksComponent);
+  PutFloats(codebooks.data(), codebooks.size(), &payloads[1 + meta.nlist]);
+  names.push_back(kCentroidsComponent);
+  PutFloats(centroids.data(), centroids.size(), &payloads[2 + meta.nlist]);
+  names.push_back(kMetaComponent);
+  SerializeMeta(meta, &payloads[3 + meta.nlist]);
+
+  ROTTNEST_RETURN_NOT_OK(writer.AddComponents(names, payloads, pool));
   return writer.Finish(out);
 }
 
@@ -217,7 +226,7 @@ void IvfPqIndexBuilder::Add(const float* vector, format::PageId page,
 }
 
 Status IvfPqIndexBuilder::Finish(const format::PageTable& pages,
-                                 Buffer* out) {
+                                 ThreadPool* pool, Buffer* out) {
   size_t n = locations_.size();
   if (n == 0) return Status::InvalidArgument("no vectors to index");
   if (dim_ % options_.num_subquantizers != 0) {
@@ -276,19 +285,32 @@ Status IvfPqIndexBuilder::Finish(const format::PageTable& pages,
     }
   }
 
-  // Assign and encode every vector.
+  // Assign and encode every vector. Both steps are pure per vector, so
+  // they fan out on `pool` into per-vector slots; the inverted lists are
+  // then filled serially in vector order, keeping list contents (and the
+  // file bytes) identical to the serial build.
+  std::vector<uint32_t> assignment(n);
+  std::vector<std::vector<uint8_t>> codes(n);
+  auto encode_one = [&](size_t i) {
+    const float* vec = vectors_.data() + i * dim_;
+    assignment[i] = NearestCentroid(coarse.centroids, meta.nlist, dim_, vec);
+    codes[i] = PqEncode(codebooks, meta, vec);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(n, encode_one);
+  } else {
+    for (size_t i = 0; i < n; ++i) encode_one(i);
+  }
   std::vector<std::vector<ListEntry>> lists(meta.nlist);
   for (size_t i = 0; i < n; ++i) {
-    const float* vec = vectors_.data() + i * dim_;
-    uint32_t list = NearestCentroid(coarse.centroids, meta.nlist, dim_, vec);
     ListEntry e;
     e.page = locations_[i].first;
     e.row_in_page = locations_[i].second;
-    e.code = PqEncode(codebooks, meta, vec);
-    lists[list].push_back(std::move(e));
+    e.code = std::move(codes[i]);
+    lists[assignment[i]].push_back(std::move(e));
   }
   return EmitIvfFile(column_, meta, coarse.centroids, codebooks, lists, pages,
-                     out);
+                     pool, out);
 }
 
 Status IvfPqSearch(ComponentFileReader* reader, ThreadPool* pool,
@@ -400,11 +422,14 @@ Status IvfPqMerge(const std::vector<ComponentFileReader*>& inputs,
         moved.code = PqEncode(codebooks, meta, reconstructed.data());
         lists[list].push_back(std::move(moved));
       }
+      // Bound the working set: the serialized list is folded into the
+      // output's entry vectors above, so its cached payload is dead weight.
+      input->Evict(ListName(l));
     }
   }
   meta.num_vectors = total_vectors;
   return EmitIvfFile(column, meta, centroids, codebooks, lists, merged_pages,
-                     out);
+                     pool, out);
 }
 
 }  // namespace rottnest::index

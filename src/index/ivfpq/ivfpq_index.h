@@ -63,7 +63,16 @@ class IvfPqIndexBuilder {
   size_t num_vectors() const { return locations_.size(); }
 
   /// Trains quantizers and builds the index file image.
-  Status Finish(const format::PageTable& pages, Buffer* out);
+  Status Finish(const format::PageTable& pages, Buffer* out) {
+    return Finish(pages, nullptr, out);
+  }
+
+  /// Parallel variant: per-vector assignment + PQ encoding (the dominant
+  /// CPU cost) and component compression fan out on `pool` (nullptr =
+  /// inline). Training is deterministic and serial; inverted lists are
+  /// filled in vector order, so the image is byte-identical at any thread
+  /// count.
+  Status Finish(const format::PageTable& pages, ThreadPool* pool, Buffer* out);
 
  private:
   std::string column_;

@@ -92,10 +92,34 @@ Status DeserializeRoot(Slice payload, Root* out) {
   return Status::OK();
 }
 
-/// Writes sorted, prefix-free entries + page table into an index file.
+// First-byte lookup table: lut[b] = last leaf whose first key's top byte
+// is <= b (i.e. the leaf a key starting with byte b lands in or before).
+void BuildRootLut(Root* root) {
+  root->lut.assign(256, 0);
+  for (int b = 0; b < 256; ++b) {
+    uint32_t leaf = 0;
+    Key128 probe;
+    probe.hi = static_cast<uint64_t>(b) << 56;
+    for (size_t l = 0; l < root->first_keys.size(); ++l) {
+      // Compare by the padded key: leaves whose first key <= end of byte
+      // range b (probe with all lower bits set).
+      Key128 end = probe;
+      end.hi |= 0x00ffffffffffffffULL;
+      end.lo = ~0ULL;
+      if (!(end < root->first_keys[l])) leaf = static_cast<uint32_t>(l);
+    }
+    root->lut[b] = leaf;
+  }
+}
+
+/// Writes sorted, prefix-free entries + page table into an index file. Leaf
+/// serialization and compression fan out on `pool`; the leaf partition is
+/// computed serially first and components are appended in fixed order, so
+/// the image does not depend on thread count.
 Status WriteTrieFile(const std::string& column,
                      const std::vector<TrieEntry>& entries,
-                     const format::PageTable& pages, Buffer* out) {
+                     const format::PageTable& pages, ThreadPool* pool,
+                     Buffer* out) {
   ComponentFileWriter writer(IndexType::kTrie, column);
 
   Buffer table_buf;
@@ -103,42 +127,43 @@ Status WriteTrieFile(const std::string& column,
   ROTTNEST_RETURN_NOT_OK(
       writer.AddComponent(kPageTableComponent, Slice(table_buf)));
 
-  Root root;
+  // Partition entries into leaves (serial: the split points define the
+  // file layout and must not depend on scheduling).
+  std::vector<std::pair<size_t, size_t>> leaf_ranges;
   size_t i = 0;
-  size_t leaf_index = 0;
   while (i < entries.size()) {
-    Buffer leaf;
     size_t begin = i;
     size_t bytes = 0;
     while (i < entries.size() && (i == begin || bytes < kTargetLeafBytes)) {
       bytes += EntrySize(entries[i]);
       ++i;
     }
-    PutVarint64(&leaf, i - begin);
-    for (size_t j = begin; j < i; ++j) SerializeEntry(entries[j], &leaf);
-    ROTTNEST_RETURN_NOT_OK(
-        writer.AddComponent(LeafName(leaf_index), Slice(leaf)));
-    root.first_keys.push_back(entries[begin].key);
-    ++leaf_index;
+    leaf_ranges.emplace_back(begin, i);
   }
 
-  // First-byte lookup table: lut[b] = last leaf whose first key's top byte
-  // is <= b (i.e. the leaf a key starting with byte b lands in or before).
-  root.lut.assign(256, 0);
-  for (int b = 0; b < 256; ++b) {
-    uint32_t leaf = 0;
-    Key128 probe;
-    probe.hi = static_cast<uint64_t>(b) << 56;
-    for (size_t l = 0; l < root.first_keys.size(); ++l) {
-      // Compare by the padded key: leaves whose first key <= end of byte
-      // range b (probe with all lower bits set).
-      Key128 end = probe;
-      end.hi |= 0x00ffffffffffffffULL;
-      end.lo = ~0ULL;
-      if (!(end < root.first_keys[l])) leaf = static_cast<uint32_t>(l);
+  std::vector<std::string> leaf_names(leaf_ranges.size());
+  std::vector<Buffer> leaf_bodies(leaf_ranges.size());
+  auto serialize_leaf = [&](size_t l) {
+    auto [begin, end] = leaf_ranges[l];
+    leaf_names[l] = LeafName(l);
+    PutVarint64(&leaf_bodies[l], end - begin);
+    for (size_t j = begin; j < end; ++j) {
+      SerializeEntry(entries[j], &leaf_bodies[l]);
     }
-    root.lut[b] = leaf;
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(leaf_ranges.size(), serialize_leaf);
+  } else {
+    for (size_t l = 0; l < leaf_ranges.size(); ++l) serialize_leaf(l);
   }
+  ROTTNEST_RETURN_NOT_OK(writer.AddComponents(leaf_names, leaf_bodies, pool));
+
+  Root root;
+  root.first_keys.reserve(leaf_ranges.size());
+  for (const auto& [begin, end] : leaf_ranges) {
+    root.first_keys.push_back(entries[begin].key);
+  }
+  BuildRootLut(&root);
 
   Buffer root_buf;
   SerializeRoot(root, &root_buf);
@@ -146,6 +171,145 @@ Status WriteTrieFile(const std::string& column,
   ROTTNEST_RETURN_NOT_OK(writer.AddComponent(kRootComponent, Slice(root_buf)));
   return writer.Finish(out);
 }
+
+/// Leaf component names in numeric order. ComponentNames() is
+/// lexicographic ("leaf.10" < "leaf.2"), which would scramble a streaming
+/// merge's key order.
+std::vector<std::string> OrderedLeafNames(const ComponentFileReader& input) {
+  size_t count = 0;
+  for (const std::string& name : input.ComponentNames()) {
+    if (name.rfind("leaf.", 0) == 0) ++count;
+  }
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (size_t i = 0; i < count; ++i) names.push_back(LeafName(i));
+  return names;
+}
+
+/// Streams one input's entries in key order, holding a single parsed leaf
+/// at a time and evicting each leaf from the reader cache once consumed.
+class TrieLeafStream {
+ public:
+  TrieLeafStream(ComponentFileReader* input, format::PageId page_offset,
+                 ThreadPool* pool, objectstore::IoTrace* trace)
+      : input_(input),
+        page_offset_(page_offset),
+        leaf_names_(OrderedLeafNames(*input)),
+        pool_(pool),
+        trace_(trace) {}
+
+  /// Loads the first leaf. Must be called once before current()/Advance().
+  Status Init() { return LoadNextLeaf(); }
+
+  bool exhausted() const { return exhausted_; }
+  TrieEntry& current() { return entries_[pos_]; }
+  const TrieEntry& current() const { return entries_[pos_]; }
+
+  Status Advance() {
+    if (++pos_ < entries_.size()) return Status::OK();
+    return LoadNextLeaf();
+  }
+
+ private:
+  Status LoadNextLeaf() {
+    for (;;) {
+      if (next_leaf_ > 0) input_->Evict(leaf_names_[next_leaf_ - 1]);
+      if (next_leaf_ >= leaf_names_.size()) {
+        exhausted_ = true;
+        entries_.clear();
+        return Status::OK();
+      }
+      Buffer buf;
+      ROTTNEST_RETURN_NOT_OK(
+          input_->ReadComponent(leaf_names_[next_leaf_], pool_, trace_, &buf));
+      ++next_leaf_;
+      entries_.clear();
+      ROTTNEST_RETURN_NOT_OK(ParseTrieLeaf(Slice(buf), &entries_));
+      pos_ = 0;
+      if (entries_.empty()) continue;  // Defensive: skip empty leaves.
+      for (TrieEntry& e : entries_) {
+        for (format::PageId& p : e.pages) p += page_offset_;
+      }
+      return Status::OK();
+    }
+  }
+
+  ComponentFileReader* input_;
+  format::PageId page_offset_;
+  std::vector<std::string> leaf_names_;
+  ThreadPool* pool_;
+  objectstore::IoTrace* trace_;
+  std::vector<TrieEntry> entries_;
+  size_t pos_ = 0;
+  size_t next_leaf_ = 0;
+  bool exhausted_ = false;
+};
+
+/// Accumulates merged entries and emits output leaves as they fill,
+/// replicating WriteTrieFile's partition rule (first entry always admitted,
+/// further entries while the leaf is under kTargetLeafBytes) so a streaming
+/// merge writes the same bytes as the buffered path. Completed leaf bodies
+/// are flushed in small batches so compression can ride `pool` while peak
+/// memory stays O(batch × leaf).
+class TrieLeafEmitter {
+ public:
+  TrieLeafEmitter(ComponentFileWriter* writer, ThreadPool* pool)
+      : writer_(writer), pool_(pool) {}
+
+  Status Append(const TrieEntry& e) {
+    if (count_ > 0 && bytes_ >= kTargetLeafBytes) {
+      ROTTNEST_RETURN_NOT_OK(CloseLeaf());
+    }
+    if (count_ == 0) first_keys_.push_back(e.key);
+    bytes_ += EntrySize(e);
+    SerializeEntry(e, &body_);
+    ++count_;
+    return Status::OK();
+  }
+
+  /// Flushes the trailing leaf and fills `root` (first keys + LUT).
+  Status Close(Root* root) {
+    if (count_ > 0) ROTTNEST_RETURN_NOT_OK(CloseLeaf());
+    ROTTNEST_RETURN_NOT_OK(FlushBatch());
+    root->first_keys = std::move(first_keys_);
+    BuildRootLut(root);
+    return Status::OK();
+  }
+
+ private:
+  static constexpr size_t kFlushBatchLeaves = 8;
+
+  Status CloseLeaf() {
+    Buffer leaf;
+    PutVarint64(&leaf, count_);
+    leaf.insert(leaf.end(), body_.begin(), body_.end());
+    pending_names_.push_back(LeafName(next_leaf_++));
+    pending_bodies_.push_back(std::move(leaf));
+    body_.clear();
+    bytes_ = 0;
+    count_ = 0;
+    if (pending_bodies_.size() >= kFlushBatchLeaves) return FlushBatch();
+    return Status::OK();
+  }
+
+  Status FlushBatch() {
+    if (pending_bodies_.empty()) return Status::OK();
+    Status s = writer_->AddComponents(pending_names_, pending_bodies_, pool_);
+    pending_names_.clear();
+    pending_bodies_.clear();
+    return s;
+  }
+
+  ComponentFileWriter* writer_;
+  ThreadPool* pool_;
+  Buffer body_;
+  size_t bytes_ = 0;
+  uint64_t count_ = 0;
+  size_t next_leaf_ = 0;
+  std::vector<Key128> first_keys_;
+  std::vector<std::string> pending_names_;
+  std::vector<Buffer> pending_bodies_;
+};
 
 }  // namespace
 
@@ -188,7 +352,8 @@ void TrieIndexBuilder::Add(Key128 key, format::PageId page) {
   postings_.emplace_back(key, page);
 }
 
-Status TrieIndexBuilder::Finish(const format::PageTable& pages, Buffer* out) {
+Status TrieIndexBuilder::Finish(const format::PageTable& pages,
+                                ThreadPool* pool, Buffer* out) {
   std::sort(postings_.begin(), postings_.end(),
             [](const auto& a, const auto& b) {
               if (!(a.first == b.first)) return a.first < b.first;
@@ -228,7 +393,7 @@ Status TrieIndexBuilder::Finish(const format::PageTable& pages, Buffer* out) {
     e.pages = std::move(grouped[i].pages);
     entries.push_back(std::move(e));
   }
-  return WriteTrieFile(column_, entries, pages, out);
+  return WriteTrieFile(column_, entries, pages, pool, out);
 }
 
 Status ParseTrieLeaf(Slice payload, std::vector<TrieEntry>* out) {
@@ -307,9 +472,13 @@ Status LoadPageTable(ComponentFileReader* reader, ThreadPool* pool,
 Status TrieMerge(const std::vector<ComponentFileReader*>& inputs,
                  ThreadPool* pool, objectstore::IoTrace* trace,
                  const std::string& column, Buffer* out) {
+  // Absorb every input page table first: the merged table is the
+  // concatenation of the inputs' tables and is complete before any entry
+  // streams, so the "pagetable" component can be written in its usual
+  // first-component slot.
   format::PageTable merged_pages;
-  std::vector<TrieEntry> all;
-
+  std::vector<TrieLeafStream> streams;
+  streams.reserve(inputs.size());
   for (ComponentFileReader* input : inputs) {
     if (input->type() != IndexType::kTrie) {
       return Status::InvalidArgument("merge input is not a trie index");
@@ -317,49 +486,66 @@ Status TrieMerge(const std::vector<ComponentFileReader*>& inputs,
     format::PageTable table;
     ROTTNEST_RETURN_NOT_OK(LoadPageTable(input, pool, trace, &table));
     format::PageId offset = merged_pages.Absorb(table);
-
-    // Read all leaves of this input in one round.
-    std::vector<std::string> leaf_names;
-    for (const std::string& name : input->ComponentNames()) {
-      if (name.rfind("leaf.", 0) == 0) leaf_names.push_back(name);
-    }
-    std::vector<Buffer> leaves;
-    ROTTNEST_RETURN_NOT_OK(
-        input->ReadComponents(leaf_names, pool, trace, &leaves));
-    for (const Buffer& leaf : leaves) {
-      std::vector<TrieEntry> entries;
-      ROTTNEST_RETURN_NOT_OK(ParseTrieLeaf(Slice(leaf), &entries));
-      for (TrieEntry& e : entries) {
-        for (format::PageId& p : e.pages) p += offset;
-        all.push_back(std::move(e));
-      }
-    }
+    streams.emplace_back(input, offset, pool, trace);
   }
+  for (TrieLeafStream& s : streams) ROTTNEST_RETURN_NOT_OK(s.Init());
 
-  std::sort(all.begin(), all.end(), [](const TrieEntry& a, const TrieEntry& b) {
-    if (!(a.key == b.key)) return a.key < b.key;
-    return a.bits < b.bits;
-  });
+  ComponentFileWriter writer(IndexType::kTrie, column);
+  Buffer table_buf;
+  merged_pages.Serialize(&table_buf);
+  ROTTNEST_RETURN_NOT_OK(
+      writer.AddComponent(kPageTableComponent, Slice(table_buf)));
 
-  // Coalesce prefix collisions between inputs: if a previous entry's
-  // truncated key is a prefix of the current one, fold the current entry's
-  // postings into it (bounded false positives instead of re-truncation,
-  // which would require the original full keys).
-  std::vector<TrieEntry> merged;
-  for (TrieEntry& e : all) {
-    if (!merged.empty()) {
-      TrieEntry& prev = merged.back();
-      if (prev.bits <= e.bits && e.key.Truncate(prev.bits) == prev.key) {
-        prev.pages.insert(prev.pages.end(), e.pages.begin(), e.pages.end());
-        std::sort(prev.pages.begin(), prev.pages.end());
-        prev.pages.erase(std::unique(prev.pages.begin(), prev.pages.end()),
-                         prev.pages.end());
+  // K-way merge by (key, bits), earliest input winning ties. The sorted
+  // stream is coalesced on the fly: if the previous entry's truncated key
+  // is a prefix of the current one, fold the current entry's postings into
+  // it (bounded false positives instead of re-truncation, which would
+  // require the original full keys). Equal (key, bits) entries always
+  // coalesce and their pages are sorted + deduplicated, so the output is
+  // independent of input order among ties.
+  TrieLeafEmitter emitter(&writer, pool);
+  TrieEntry pending;
+  bool has_pending = false;
+  for (;;) {
+    int best = -1;
+    for (size_t i = 0; i < streams.size(); ++i) {
+      if (streams[i].exhausted()) continue;
+      if (best < 0) {
+        best = static_cast<int>(i);
         continue;
       }
+      const TrieEntry& a = streams[i].current();
+      const TrieEntry& b = streams[best].current();
+      if (!(a.key == b.key) ? a.key < b.key : a.bits < b.bits) {
+        best = static_cast<int>(i);
+      }
     }
-    merged.push_back(std::move(e));
+    if (best < 0) break;
+    TrieEntry e = std::move(streams[best].current());
+    ROTTNEST_RETURN_NOT_OK(streams[best].Advance());
+    if (has_pending && pending.bits <= e.bits &&
+        e.key.Truncate(pending.bits) == pending.key) {
+      pending.pages.insert(pending.pages.end(), e.pages.begin(),
+                           e.pages.end());
+      std::sort(pending.pages.begin(), pending.pages.end());
+      pending.pages.erase(
+          std::unique(pending.pages.begin(), pending.pages.end()),
+          pending.pages.end());
+      continue;
+    }
+    if (has_pending) ROTTNEST_RETURN_NOT_OK(emitter.Append(pending));
+    pending = std::move(e);
+    has_pending = true;
   }
-  return WriteTrieFile(column, merged, merged_pages, out);
+  if (has_pending) ROTTNEST_RETURN_NOT_OK(emitter.Append(pending));
+
+  Root root;
+  ROTTNEST_RETURN_NOT_OK(emitter.Close(&root));
+  Buffer root_buf;
+  SerializeRoot(root, &root_buf);
+  // Root written last so it lands in the tail read.
+  ROTTNEST_RETURN_NOT_OK(writer.AddComponent(kRootComponent, Slice(root_buf)));
+  return writer.Finish(out);
 }
 
 }  // namespace rottnest::index

@@ -66,7 +66,15 @@ class TrieIndexBuilder {
 
   /// Builds the index file image. `pages` is embedded as the "pagetable"
   /// component so searches can resolve page ids without other metadata.
-  Status Finish(const format::PageTable& pages, Buffer* out);
+  Status Finish(const format::PageTable& pages, Buffer* out) {
+    return Finish(pages, nullptr, out);
+  }
+
+  /// Parallel variant: leaf serialization and compression fan out on `pool`
+  /// (nullptr = inline). The emitted image is byte-identical at any thread
+  /// count — the leaf partition and the append order are fixed before any
+  /// work is distributed.
+  Status Finish(const format::PageTable& pages, ThreadPool* pool, Buffer* out);
 
  private:
   std::string column_;
@@ -98,6 +106,11 @@ Status LoadPageTable(ComponentFileReader* reader, ThreadPool* pool,
 /// postings are remapped accordingly. Colliding truncated keys (one a
 /// prefix of another) are coalesced, trading false positives for bounded
 /// merge cost — as §V-C1 prescribes.
+///
+/// The merge streams: a k-way merge holds one parsed leaf per input (leaves
+/// are evicted from the reader cache once consumed) and emits output leaves
+/// as they fill, so peak memory is O(inputs × leaf) instead of the sum of
+/// all input entries. Output bytes are independent of `pool`.
 Status TrieMerge(const std::vector<ComponentFileReader*>& inputs,
                  ThreadPool* pool, objectstore::IoTrace* trace,
                  const std::string& column, Buffer* out);

@@ -171,7 +171,7 @@ void RunCycle(objectstore::ObjectStore* store, SimulatedClock* clock,
   AppendRows(table.get(), 400, 200);
   ASSERT_TRUE(client.Index("uuid", IndexType::kTrie).ok());
   ASSERT_TRUE(client.Index("body", IndexType::kFm).ok());
-  ASSERT_TRUE(client.Compact("uuid", IndexType::kTrie, UINT64_MAX).ok());
+  ASSERT_TRUE(client.Compact("uuid", IndexType::kTrie).ok());
   clock->Advance(Options().index_timeout_micros + 60LL * 1'000'000);
   auto latest = table->GetSnapshot();
   ASSERT_TRUE(latest.ok());

@@ -105,7 +105,7 @@ TEST(ConcurrencyTest, SearchersRunDuringIndexingAndCompaction) {
     ASSERT_TRUE(maintainer.Index("uuid", IndexType::kTrie).ok());
     if (round % 2 == 1) {
       ASSERT_TRUE(
-          maintainer.Compact("uuid", IndexType::kTrie, UINT64_MAX).ok());
+          maintainer.Compact("uuid", IndexType::kTrie).ok());
       // Vacuum with a live timeout: uncommitted-looking young files are
       // protected, so concurrent searches never lose their index files.
       auto latest = table->GetSnapshot().MoveValue().version;

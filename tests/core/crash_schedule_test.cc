@@ -184,7 +184,7 @@ TEST(CrashScheduleTest, CompactSurvivesEveryCrashPoint) {
     }
   };
   sc.victim = [](World& w) {
-    return w.client->Compact("uuid", IndexType::kTrie, UINT64_MAX).status();
+    return w.client->Compact("uuid", IndexType::kTrie).status();
   };
   sc.probe_id = 90;
   size_t schedules = ExploreScenario(sc);
@@ -200,7 +200,7 @@ TEST(CrashScheduleTest, VacuumSurvivesEveryCrashPoint) {
       w.Append(static_cast<uint64_t>(i) * 40, 40);
       ASSERT_TRUE(w.client->Index("uuid", IndexType::kTrie).ok());
     }
-    ASSERT_TRUE(w.client->Compact("uuid", IndexType::kTrie, UINT64_MAX).ok());
+    ASSERT_TRUE(w.client->Compact("uuid", IndexType::kTrie).ok());
     // Age everything past the timeout so vacuum may physically delete the
     // replaced index files.
     w.clock.Advance(Options().index_timeout_micros + 1'000'000);
@@ -310,7 +310,7 @@ TEST(CrashScheduleTest, ExplorerCoversAtLeastFiftySchedules) {
         }
       },
       [](World& w) {
-        return w.client->Compact("uuid", IndexType::kTrie, UINT64_MAX)
+        return w.client->Compact("uuid", IndexType::kTrie)
             .status();
       });
   total += footprint(
@@ -320,7 +320,7 @@ TEST(CrashScheduleTest, ExplorerCoversAtLeastFiftySchedules) {
           ASSERT_TRUE(w.client->Index("uuid", IndexType::kTrie).ok());
         }
         ASSERT_TRUE(
-            w.client->Compact("uuid", IndexType::kTrie, UINT64_MAX).ok());
+            w.client->Compact("uuid", IndexType::kTrie).ok());
         w.clock.Advance(Options().index_timeout_micros + 1'000'000);
       },
       [](World& w) {

@@ -185,7 +185,7 @@ TEST_F(ProtocolTest, CompactionSwapsEntriesAtomically) {
   auto entries = client_->metadata().ReadAll().MoveValue();
   ASSERT_EQ(entries.size(), 4u);
 
-  auto report = client_->Compact("uuid", IndexType::kTrie, UINT64_MAX);
+  auto report = client_->Compact("uuid", IndexType::kTrie);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report.value().replaced.size(), 4u);
 
@@ -213,7 +213,7 @@ TEST_F(ProtocolTest, CompactionFailureBeforeCommitKeepsOldEntries) {
     }
     return Status::OK();
   });
-  EXPECT_FALSE(client_->Compact("uuid", IndexType::kTrie, UINT64_MAX).ok());
+  EXPECT_FALSE(client_->Compact("uuid", IndexType::kTrie).ok());
   store_.SetFailurePoint(nullptr);
 
   // Old entries intact; search unaffected.
@@ -230,7 +230,7 @@ TEST_F(ProtocolTest, VacuumRemovesReplacedIndexFiles) {
     Append(i * 100, 100);
     ASSERT_TRUE(client_->Index("uuid", IndexType::kTrie).ok());
   }
-  ASSERT_TRUE(client_->Compact("uuid", IndexType::kTrie, UINT64_MAX).ok());
+  ASSERT_TRUE(client_->Compact("uuid", IndexType::kTrie).ok());
   EXPECT_EQ(CountIndexObjects(), 4u);  // 3 old + merged.
 
   clock_.Advance(Options().index_timeout_micros + 1'000'000);
@@ -383,7 +383,7 @@ TEST_F(ProtocolTest, RandomizedCrashRecoveryFuzz) {
           return Status::OK();
         });
     (void)client_->Index("uuid", IndexType::kTrie);
-    (void)client_->Compact("uuid", IndexType::kTrie, UINT64_MAX);
+    (void)client_->Compact("uuid", IndexType::kTrie);
     store_.SetFailurePoint(nullptr);
 
     ASSERT_TRUE(client_->CheckInvariants().ok()) << "round " << round;
@@ -395,7 +395,7 @@ TEST_F(ProtocolTest, RandomizedCrashRecoveryFuzz) {
   }
   // Converge: a clean index + compact + vacuum leaves a tidy state.
   ASSERT_TRUE(client_->Index("uuid", IndexType::kTrie).ok());
-  ASSERT_TRUE(client_->Compact("uuid", IndexType::kTrie, UINT64_MAX).ok());
+  ASSERT_TRUE(client_->Compact("uuid", IndexType::kTrie).ok());
   clock_.Advance(Options().index_timeout_micros + 1'000'000);
   auto latest = table_->GetSnapshot().MoveValue();
   ASSERT_TRUE(client_->Vacuum(latest.version).ok());
