@@ -1,0 +1,313 @@
+// Measures the anti-entropy subsystem on the steady-state lake shape (one
+// index object per ingestion increment, the Fig 13 workload before
+// compaction):
+//
+//   (1) Scrub: a deep audit of `kFiles` committed index objects, serial vs
+//       width-8. Each per-index audit is an independent HEAD + tail-read
+//       chain, so the parallel scrub overlaps them in waves: the
+//       S3-projected end-to-end time collapses while the REQUEST footprint
+//       (and therefore the simulated request cost) is width-invariant.
+//   (2) A full scrub -> repair cycle: `kRotten` objects suffer post-commit
+//       rot, the scrub must report EXACTLY those (no false positives), and
+//       Repair (quarantine + rebuild + GC) must restore a clean scrub.
+//
+// Results are printed as a report and recorded into BENCH_scrub.json.
+// Exits non-zero if width-8 Scrub fails the acceptance gates (>= 2x
+// projected end-to-end speedup at identical request counts) or the repair
+// cycle does not converge.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+
+namespace rottnest::bench {
+namespace {
+
+using index::IndexType;
+using workload::DatasetSpec;
+
+constexpr size_t kFiles = 48;
+constexpr size_t kRowsPerFile = 2000;
+constexpr size_t kRotten = 6;
+constexpr size_t kParallelism = 8;
+
+struct Run {
+  double cpu_s = 0;
+  double sim_ms = 0;
+  double cost_usd = 0;
+  uint64_t gets = 0;
+  size_t depth = 0;
+
+  double EndToEndSeconds() const { return sim_ms / 1000.0 + cpu_s; }
+};
+
+Run FromStats(const core::MaintenanceStats& stats, double cpu_s) {
+  Run r;
+  r.cpu_s = cpu_s;
+  r.sim_ms = stats.simulated_latency_ms;
+  r.cost_usd = stats.simulated_cost_usd;
+  r.gets = stats.gets;
+  r.depth = stats.io_depth;
+  return r;
+}
+
+DatasetSpec SpecFor(size_t files) {
+  DatasetSpec spec;
+  spec.total_rows = files * kRowsPerFile;
+  spec.num_files = files;
+  spec.doc_chars = 24;
+  spec.vector_dim = 8;
+  return spec;
+}
+
+core::RottnestOptions Options() {
+  core::RottnestOptions options;
+  options.index_dir = "idx/scrub";
+  return options;
+}
+
+format::WriterOptions WriterOpts() {
+  format::WriterOptions writer;
+  writer.target_page_bytes = 32 << 10;
+  return writer;
+}
+
+/// The steady-state lake: kFiles increments, each appended and indexed
+/// separately, leaving kFiles committed index objects to audit.
+std::unique_ptr<Env> BuildIncrementalEnv() {
+  auto env = Env::Create(SpecFor(1), Options(), WriterOpts());
+  if (!env->client->Index("uuid", IndexType::kTrie).ok()) std::abort();
+  workload::TextGenerator text(env->spec.seed + 1);
+  workload::UuidGenerator ids(env->spec.seed, env->spec.uuid_bytes);
+  workload::VectorGenerator vecs(env->spec.seed, env->spec.vector_dim);
+  uint64_t next_row = kRowsPerFile;
+  for (size_t f = 1; f < kFiles; ++f) {
+    format::RowBatch batch;
+    batch.schema = workload::DatasetSchema(env->spec);
+    format::ColumnVector::Ints ts;
+    format::FlatFixed uuid_col;
+    uuid_col.elem_size = static_cast<uint32_t>(env->spec.uuid_bytes);
+    format::ColumnVector::Strings bodies;
+    format::FlatFixed vec_col;
+    vec_col.elem_size = env->spec.vector_dim * 4;
+    for (size_t i = 0; i < kRowsPerFile; ++i, ++next_row) {
+      ts.push_back(static_cast<int64_t>(next_row));
+      std::string id = ids.IdFor(next_row);
+      uuid_col.Append(Slice(id));
+      bodies.push_back(text.Document(env->spec.doc_chars));
+      std::vector<float> v = vecs.VectorFor(next_row);
+      vec_col.Append(Slice(reinterpret_cast<const uint8_t*>(v.data()),
+                           v.size() * 4));
+    }
+    batch.columns.emplace_back(std::move(ts));
+    batch.columns.emplace_back(std::move(uuid_col));
+    batch.columns.emplace_back(std::move(bodies));
+    batch.columns.emplace_back(std::move(vec_col));
+    if (!env->table->Append(batch).ok()) std::abort();
+    if (!env->client->Index("uuid", IndexType::kTrie).ok()) std::abort();
+    env->clock.Advance(1'000'000);
+  }
+  return env;
+}
+
+/// Deep scrub at the given width; aborts unless it audited
+/// `expect_indexes` committed entries (0 = don't care).
+Run RunScrub(Env* env, size_t parallelism, size_t expect_indexes,
+             core::ScrubReport* out) {
+  core::ScrubOptions opts;
+  opts.parallelism = parallelism;
+  core::ScrubReport report;
+  double cpu = TimeSeconds([&] {
+    auto r = env->client->Scrub(opts);
+    if (!r.ok()) std::abort();
+    report = std::move(r).value();
+  });
+  if (expect_indexes != 0 && report.indexes_checked != expect_indexes) {
+    std::abort();
+  }
+  if (out != nullptr) *out = report;
+  return FromStats(report.stats, cpu);
+}
+
+void Print(const char* what, const Run& serial, const Run& parallel) {
+  std::printf("%s:\n", what);
+  std::printf("  serial   (width 1): %7.3f s end-to-end "
+              "(%6.1f ms S3 rounds + %6.1f ms cpu), depth %4zu, "
+              "%5llu GETs, $%.6f\n",
+              serial.EndToEndSeconds(), serial.sim_ms, serial.cpu_s * 1000.0,
+              serial.depth, static_cast<unsigned long long>(serial.gets),
+              serial.cost_usd);
+  std::printf("  parallel (width %zu): %7.3f s end-to-end "
+              "(%6.1f ms S3 rounds + %6.1f ms cpu), depth %4zu, "
+              "%5llu GETs, $%.6f\n",
+              kParallelism, parallel.EndToEndSeconds(), parallel.sim_ms,
+              parallel.cpu_s * 1000.0, parallel.depth,
+              static_cast<unsigned long long>(parallel.gets),
+              parallel.cost_usd);
+  std::printf("  speedup: %.2fx\n",
+              serial.EndToEndSeconds() / parallel.EndToEndSeconds());
+}
+
+void Record(Json::Object* root, const char* prefix, const Run& serial,
+            const Run& parallel) {
+  Json::Object o;
+  o["serial_s"] = Json(serial.EndToEndSeconds());
+  o["parallel_s"] = Json(parallel.EndToEndSeconds());
+  o["speedup"] = Json(serial.EndToEndSeconds() / parallel.EndToEndSeconds());
+  o["serial_sim_ms"] = Json(serial.sim_ms);
+  o["parallel_sim_ms"] = Json(parallel.sim_ms);
+  o["serial_depth"] = Json(static_cast<uint64_t>(serial.depth));
+  o["parallel_depth"] = Json(static_cast<uint64_t>(parallel.depth));
+  o["serial_gets"] = Json(serial.gets);
+  o["parallel_gets"] = Json(parallel.gets);
+  o["serial_cost_usd"] = Json(serial.cost_usd);
+  o["parallel_cost_usd"] = Json(parallel.cost_usd);
+  (*root)[prefix] = Json(o);
+}
+
+bool Gate(const char* what, const Run& serial, const Run& parallel) {
+  bool ok = true;
+  double speedup = serial.EndToEndSeconds() / parallel.EndToEndSeconds();
+  if (speedup < 2.0) {
+    std::fprintf(stderr, "FAIL: %s speedup %.2fx at width %zu (want >= 2x)\n",
+                 what, speedup, kParallelism);
+    ok = false;
+  }
+  if (parallel.gets != serial.gets) {
+    std::fprintf(stderr,
+                 "FAIL: %s request count is not width-invariant "
+                 "(%llu GETs parallel vs %llu serial)\n",
+                 what, static_cast<unsigned long long>(parallel.gets),
+                 static_cast<unsigned long long>(serial.gets));
+    ok = false;
+  }
+  if (parallel.cost_usd > serial.cost_usd) {
+    std::fprintf(stderr, "FAIL: %s parallel audit costs more ($%.6f vs $%.6f)\n",
+                 what, parallel.cost_usd, serial.cost_usd);
+    ok = false;
+  }
+  return ok;
+}
+
+size_t Errors(const core::ScrubReport& r) {
+  size_t n = 0;
+  for (const auto& f : r.findings) {
+    if (f.severity == core::ScrubSeverity::kError) ++n;
+  }
+  return n;
+}
+
+/// (2) Rot kRotten objects, scrub, repair, scrub again. Returns false if
+/// the scrub misreports or the repair does not converge.
+bool RunRepairCycle(Json::Object* root) {
+  auto env = BuildIncrementalEnv();
+  auto entries = env->client->metadata().ReadAll();
+  if (!entries.ok() || entries.value().size() != kFiles) std::abort();
+  // Post-commit rot on every 8th object: a mid-file bit flip, the damage a
+  // deep scrub must localize.
+  std::vector<std::string> rotten;
+  for (size_t i = 0; i < kRotten; ++i) {
+    const std::string& key = entries.value()[i * 8].index_path;
+    Buffer buf;
+    if (!env->store->Get(key, &buf).ok()) std::abort();
+    buf[buf.size() / 3] ^= 0xff;
+    if (!env->store->Put(key, Slice(buf)).ok()) std::abort();
+    rotten.push_back(key);
+  }
+
+  core::ScrubReport found;
+  RunScrub(env.get(), kParallelism, kFiles, &found);
+  bool ok = true;
+  if (Errors(found) != kRotten) {
+    std::fprintf(stderr, "FAIL: scrub reported %zu errors, injected %zu\n",
+                 Errors(found), kRotten);
+    ok = false;
+  }
+
+  core::RepairReport repaired;
+  core::RepairOptions ropts;
+  ropts.parallelism = kParallelism;
+  double repair_cpu = TimeSeconds([&] {
+    auto r = env->client->Repair(found, ropts);
+    if (!r.ok()) std::abort();
+    repaired = std::move(r).value();
+  });
+  Run repair = FromStats(repaired.stats, repair_cpu);
+  if (repaired.quarantined.size() != kRotten) {
+    std::fprintf(stderr, "FAIL: repair quarantined %zu of %zu rotten\n",
+                 repaired.quarantined.size(), kRotten);
+    ok = false;
+  }
+
+  core::ScrubReport after;
+  RunScrub(env.get(), kParallelism, 0, &after);
+  if (!after.clean() || Errors(after) != 0) {
+    std::fprintf(stderr, "FAIL: scrub not clean after repair\n");
+    ok = false;
+  }
+
+  std::printf("repair cycle (%zu of %zu objects rotten):\n", kRotten, kFiles);
+  std::printf("  scrub found %zu errors; repair quarantined %zu, rebuilt %zu "
+              "(%llu rows) in %.3f s end-to-end; post-repair scrub clean: %s\n",
+              Errors(found), repaired.quarantined.size(),
+              repaired.rebuilt.size(),
+              static_cast<unsigned long long>(repaired.rebuilt_rows),
+              repair.EndToEndSeconds(), after.clean() ? "yes" : "NO");
+
+  Json::Object o;
+  o["rotten"] = Json(static_cast<uint64_t>(kRotten));
+  o["errors_found"] = Json(static_cast<uint64_t>(Errors(found)));
+  o["quarantined"] = Json(static_cast<uint64_t>(repaired.quarantined.size()));
+  o["rebuilt"] = Json(static_cast<uint64_t>(repaired.rebuilt.size()));
+  o["rebuilt_rows"] = Json(repaired.rebuilt_rows);
+  o["repair_s"] = Json(repair.EndToEndSeconds());
+  o["clean_after"] = Json(after.clean());
+  (*root)["repair_cycle"] = Json(o);
+  return ok;
+}
+
+}  // namespace
+}  // namespace rottnest::bench
+
+int main() {
+  using namespace rottnest;
+  using namespace rottnest::bench;
+
+  PrintHeader("BENCH_scrub",
+              "anti-entropy: serial vs parallel Scrub, repair cycle");
+  std::printf("workload: %zu index objects (%zu rows each, UUID/trie)\n\n",
+              kFiles, kRowsPerFile);
+
+  // Fresh env per width so neither run reuses the other's audit state.
+  Run serial, parallel;
+  {
+    auto env = BuildIncrementalEnv();
+    serial = RunScrub(env.get(), 1, kFiles, nullptr);
+  }
+  {
+    auto env = BuildIncrementalEnv();
+    parallel = RunScrub(env.get(), kParallelism, kFiles, nullptr);
+  }
+  Print("deep scrub (48 index objects)", serial, parallel);
+
+  Json::Object root;
+  root["files"] = Json(static_cast<uint64_t>(kFiles));
+  root["rows_per_file"] = Json(static_cast<uint64_t>(kRowsPerFile));
+  root["parallelism"] = Json(static_cast<uint64_t>(kParallelism));
+  Record(&root, "scrub", serial, parallel);
+
+  bool ok = Gate("deep scrub", serial, parallel);
+  ok = RunRepairCycle(&root) && ok;
+
+  std::FILE* f = std::fopen("BENCH_scrub.json", "w");
+  if (f != nullptr) {
+    std::string text = Json(root).Dump();
+    std::fputs(text.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_scrub.json\n");
+  }
+  return ok ? 0 : 1;
+}

@@ -248,8 +248,9 @@ class DegradedIndexes {
     ok_covered_.insert(e.covered_files.begin(), e.covered_files.end());
   }
 
-  void RecordFailure(const IndexEntry& e, SearchResult* result) {
-    failed_.push_back(&e);
+  void RecordFailure(const IndexEntry& e, Status status,
+                     SearchResult* result) {
+    failures_.emplace_back(&e, std::move(status));
     ++result->indexes_degraded;
     result->degraded_indexes.push_back(e.index_path);
   }
@@ -259,7 +260,7 @@ class DegradedIndexes {
   std::vector<const DataFile*> FilesToScan(const Snapshot& snapshot) const {
     std::vector<const DataFile*> out;
     std::set<std::string> emitted;
-    for (const IndexEntry* e : failed_) {
+    for (const auto& [e, status] : failures_) {
       for (const std::string& f : e->covered_files) {
         if (ok_covered_.count(f) != 0) continue;  // Still covered elsewhere.
         const DataFile* df = snapshot.FindFile(f);
@@ -270,9 +271,14 @@ class DegradedIndexes {
     return out;
   }
 
+  /// The failures with their statuses, for Rottnest::HandleSearchFailures.
+  const std::vector<std::pair<const IndexEntry*, Status>>& failures() const {
+    return failures_;
+  }
+
  private:
   std::set<std::string> ok_covered_;
-  std::vector<const IndexEntry*> failed_;
+  std::vector<std::pair<const IndexEntry*, Status>> failures_;
 };
 
 /// Scans one file's column row by row, honoring the RangeFilter's row-group
@@ -336,12 +342,16 @@ std::vector<Status> FanOutIndexQueries(
   return statuses;
 }
 
-/// Merges per-item IoTraces into `trace` the way the maintenance pipeline
-/// actually overlaps them: waves of `parallelism` concurrent chains, waves
-/// paid sequentially. At width 1 this degenerates to appending every chain
-/// back to back, so the recorded depth — and the projected latency derived
-/// from it — honestly reflects the resolved pipeline width. Width changes
-/// the trace, never the bytes; request/byte totals are width-invariant.
+}  // namespace
+
+namespace internal {
+
+// Merges per-item IoTraces into `trace` the way the maintenance pipeline
+// actually overlaps them: waves of `parallelism` concurrent chains, waves
+// paid sequentially. At width 1 this degenerates to appending every chain
+// back to back, so the recorded depth — and the projected latency derived
+// from it — honestly reflects the resolved pipeline width. Width changes
+// the trace, never the bytes; request/byte totals are width-invariant.
 void MergeWaves(objectstore::IoTrace* trace,
                 const std::vector<objectstore::IoTrace>& children,
                 size_t parallelism) {
@@ -356,7 +366,7 @@ void MergeWaves(objectstore::IoTrace* trace,
   }
 }
 
-}  // namespace
+}  // namespace internal
 
 Rottnest::Rottnest(objectstore::ObjectStore* store, lake::Table* table,
                    RottnestOptions options)
@@ -389,6 +399,31 @@ void Rottnest::ReportCacheDelta(const CacheCounters& before,
   result->cache_hits = cache_store_->stats().cache_hits.load() - before.hits;
   result->cache_misses =
       cache_store_->stats().cache_misses.load() - before.misses;
+}
+
+void Rottnest::InvalidateCachedIndex(const std::string& key) {
+  if (cache_store_ != nullptr) cache_store_->Invalidate(key);
+}
+
+size_t Rottnest::HandleSearchFailures(
+    const SearchOptions& opts,
+    const std::vector<std::pair<const IndexEntry*, Status>>& failed) {
+  if (failed.empty()) return 0;
+  std::vector<std::string> quarantine;
+  for (const auto& [entry, status] : failed) {
+    // A checksum mismatch may have come off the client cache — drop the
+    // poisoned blocks so the next read observes the bucket, not the cache.
+    if (status.IsCorruption()) InvalidateCachedIndex(entry->index_path);
+    if (opts.auto_quarantine &&
+        (status.IsCorruption() || status.IsNotFound())) {
+      quarantine.push_back(entry->index_path);
+    }
+  }
+  if (quarantine.empty()) return 0;
+  // Best-effort: losing the CommitNext race just leaves quarantining to
+  // the next degraded query (or Scrub + Repair).
+  auto committed = metadata_.Update({}, quarantine);
+  return committed.ok() ? quarantine.size() : 0;
 }
 
 std::string Rottnest::NewIndexName() {
@@ -704,7 +739,7 @@ Result<IndexReport> Rottnest::BuildIndexFile(
   // Merge per-file traces in file order — also on failure, so aborted ops
   // still account for the IO they did. Waves of plan.parallelism chains
   // overlap; serial builds pay the chains back to back.
-  MergeWaves(trace, child_traces, plan.parallelism);
+  internal::MergeWaves(trace, child_traces, plan.parallelism);
   ROTTNEST_RETURN_NOT_OK(pipeline_status);
 
   Buffer image;
@@ -890,10 +925,12 @@ Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
       fetches.insert(fetches.end(), per_index[i].begin(),
                      per_index[i].end());
     } else {
-      degraded.RecordFailure(plan.indexes[i], &result);
+      degraded.RecordFailure(plan.indexes[i], statuses[i], &result);
     }
   }
   result.indexes_queried = plan.indexes.size() - result.indexes_degraded;
+  result.indexes_quarantined =
+      HandleSearchFailures(opts, degraded.failures());
 
   // In-situ probing: verify candidate pages against the actual value.
   std::vector<ColumnVector> probed;
@@ -1000,10 +1037,12 @@ Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
       fetches.insert(fetches.end(), per_index[i].begin(),
                      per_index[i].end());
     } else {
-      degraded.RecordFailure(plan.indexes[i], &result);
+      degraded.RecordFailure(plan.indexes[i], statuses[i], &result);
     }
   }
   result.indexes_queried = plan.indexes.size() - result.indexes_degraded;
+  result.indexes_quarantined =
+      HandleSearchFailures(opts, degraded.failures());
 
   std::vector<ColumnVector> probed;
   ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
@@ -1125,10 +1164,12 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
       candidates.insert(candidates.end(), per_index[i].begin(),
                         per_index[i].end());
     } else {
-      degraded.RecordFailure(plan.indexes[i], &result);
+      degraded.RecordFailure(plan.indexes[i], statuses[i], &result);
     }
   }
   result.indexes_queried = plan.indexes.size() - result.indexes_degraded;
+  result.indexes_quarantined =
+      HandleSearchFailures(opts, degraded.failures());
 
   // Keep the globally best `refine` candidates for exact reranking.
   std::sort(candidates.begin(), candidates.end(),
@@ -1229,6 +1270,7 @@ Result<SearchResult> Rottnest::SearchRegex(const std::string& column,
     result.degraded_indexes = std::move(candidates.degraded_indexes);
     result.cache_hits = candidates.cache_hits;
     result.cache_misses = candidates.cache_misses;
+    result.indexes_quarantined = candidates.indexes_quarantined;
     for (RowMatch& m : candidates.matches) {
       if (std::regex_search(m.value, re)) {
         result.matches.push_back(std::move(m));
@@ -1319,6 +1361,7 @@ Result<uint64_t> Rottnest::CountSubstring(const std::string& column,
   uint64_t total = 0;
   std::set<std::string> exact_counted;   // Files counted via an index.
   std::set<std::string> degraded_files;  // Covered by failed indexes only.
+  std::vector<std::pair<const IndexEntry*, Status>> failed;
   for (size_t i = 0; i < exact_entries.size(); ++i) {
     const IndexEntry& entry = *exact_entries[i];
     if (!statuses[i].ok()) {
@@ -1326,12 +1369,14 @@ Result<uint64_t> Rottnest::CountSubstring(const std::string& column,
       for (const std::string& f : entry.covered_files) {
         if (plan.snapshot.ContainsFile(f)) degraded_files.insert(f);
       }
+      failed.emplace_back(&entry, statuses[i]);
       continue;
     }
     total += counts[i];
     exact_counted.insert(entry.covered_files.begin(),
                          entry.covered_files.end());
   }
+  HandleSearchFailures(opts, failed);
   // Files already counted through a healthy index must not be re-counted by
   // the degraded-scan path.
   for (const std::string& f : degraded_files) {
@@ -1475,7 +1520,7 @@ Result<CompactReport> Rottnest::Compact(const std::string& column,
           readers[i]->ComponentNames(), nullptr, &child_traces[i], &ignored);
     }
   });
-  MergeWaves(&local, child_traces, plan.parallelism);
+  internal::MergeWaves(&local, child_traces, plan.parallelism);
   for (size_t i = 0; i < k; ++i) {
     if (!open_statuses[i].ok()) return open_statuses[i];
   }
@@ -1653,44 +1698,6 @@ Result<VacuumReport> Rottnest::Vacuum(lake::Version min_snapshot,
   return report;
 }
 
-// ---------------------------------------------------------------------------
-// invariants
-
-Status Rottnest::CheckInvariants(const SearchOptions& opts) {
-  if (opts.trace != nullptr) opts.trace->RecordList();
-  ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
-                            metadata_.ReadAll());
-  for (const IndexEntry& e : entries) {
-    // Existence: every referenced index file is in the bucket. This probe
-    // deliberately bypasses the client cache — the audit must observe the
-    // bucket itself, not a cached copy of it.
-    objectstore::ObjectMeta meta;
-    Status s = store_->Head(e.index_path, &meta);
-    if (!s.ok()) {
-      return Status::Internal("existence invariant violated for " +
-                              e.index_path + ": " + s.ToString());
-    }
-    // Consistency (structural): the file parses and its embedded page
-    // table names exactly the covered files. Immutable content, so the
-    // cached read path is sound here.
-    auto reader =
-        ComponentFileReader::Open(read_store(), e.index_path, opts.trace);
-    if (!reader.ok()) {
-      return Status::Internal("index file unreadable: " + e.index_path);
-    }
-    format::PageTable pages;
-    ROTTNEST_RETURN_NOT_OK(index::LoadPageTable(reader.value().get(), &pool_,
-                                                opts.trace, &pages));
-    std::set<std::string> in_table(pages.files().begin(),
-                                   pages.files().end());
-    std::set<std::string> in_entry(e.covered_files.begin(),
-                                   e.covered_files.end());
-    if (in_table != in_entry) {
-      return Status::Internal("consistency invariant violated for " +
-                              e.index_path);
-    }
-  }
-  return Status::OK();
-}
+// CheckInvariants, Scrub and Repair live in scrub.cc.
 
 }  // namespace rottnest::core

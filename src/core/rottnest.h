@@ -139,6 +139,9 @@ struct SearchResult {
   /// correctness.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Degraded indexes removed from the metadata table by this query
+  /// (only with SearchOptions::auto_quarantine; best-effort).
+  size_t indexes_quarantined = 0;
 };
 
 /// Optional knobs common to all maintenance calls (the one options
@@ -210,6 +213,96 @@ struct VacuumReport {
   MaintenanceStats stats;
 };
 
+/// How bad one Scrub finding is.
+enum class ScrubSeverity {
+  kWarning,  ///< Legal but untidy state (e.g. an uncommitted orphan object).
+  kError,    ///< Invariant violation: queries over this index degrade.
+};
+
+/// What kind of damage a Scrub finding describes.
+enum class ScrubFindingKind {
+  kMissingIndex,          ///< Committed entry, object absent (Existence).
+  kCorruptIndex,          ///< Directory/magic/structure fails to open.
+  kCorruptComponent,      ///< A component payload fails its Hash64 checksum.
+  kUnreadableIndex,       ///< Open failed for a non-corruption reason (IO).
+  kInconsistentPageTable, ///< Page table names files outside covered set.
+  kOrphanObject,          ///< Index object in the bucket, not in metadata.
+};
+
+const char* ScrubFindingKindName(ScrubFindingKind k);
+
+/// One finding of a Scrub audit.
+struct ScrubFinding {
+  ScrubFindingKind kind = ScrubFindingKind::kCorruptIndex;
+  ScrubSeverity severity = ScrubSeverity::kError;
+  std::string index_path;  ///< The index object concerned.
+  std::string component;   ///< Blamed component (kCorruptComponent only).
+  std::string detail;      ///< Human-readable explanation.
+  /// The damaged entry's (column, index type), from its metadata entry —
+  /// what Repair re-Indexes. Empty for orphan findings. Carrying these in
+  /// the finding (not re-derived from metadata at Repair time) makes a
+  /// retried Repair converge even when a crashed attempt already
+  /// quarantined the entry.
+  std::string column;
+  std::string index_type;
+  Micros age_micros = 0;   ///< Object age at scrub time (orphans only).
+};
+
+/// Knobs for Scrub.
+struct ScrubOptions {
+  /// Indexes audited concurrently. 0 = RottnestOptions::num_threads.
+  size_t parallelism = 0;
+  /// Deep verification stops re-fetching component payloads once this many
+  /// bytes have been read (0 = unbounded). Components already verified in
+  /// the open tail read are free and never skipped.
+  uint64_t byte_budget = 0;
+  /// Re-fetch and checksum every component payload (the expensive part).
+  /// false = structural audit only: existence, directory, page table.
+  bool deep = true;
+  objectstore::IoTrace* trace = nullptr;  ///< Access-pattern recording.
+};
+
+/// Outcome of one Scrub: ALL findings, not just the first.
+struct ScrubReport {
+  std::vector<ScrubFinding> findings;  ///< Sorted; empty = pristine.
+  size_t indexes_checked = 0;
+  size_t components_verified = 0;
+  size_t components_skipped = 0;  ///< Deep checks skipped by byte_budget.
+  uint64_t bytes_verified = 0;
+  MaintenanceStats stats;
+
+  /// True when no finding is an error (warnings — orphans — allowed).
+  bool clean() const {
+    for (const auto& f : findings) {
+      if (f.severity == ScrubSeverity::kError) return false;
+    }
+    return true;
+  }
+};
+
+/// Knobs for Repair.
+struct RepairOptions {
+  size_t parallelism = 0;      ///< 0 = RottnestOptions::num_threads.
+  bool quarantine = true;      ///< Remove damaged entries from metadata.
+  bool reindex = true;         ///< Re-Index columns uncovered by quarantine.
+  bool gc_orphans = true;      ///< Delete orphan objects past the grace period.
+  /// Orphans younger than this are left alone — they may be an in-flight
+  /// Index upload that has not committed yet. 0 = the client's
+  /// index_timeout_micros (the same guard Vacuum uses).
+  Micros orphan_grace_micros = 0;
+  bool dry_run = false;        ///< Plan and report without mutating anything.
+  objectstore::IoTrace* trace = nullptr;
+};
+
+/// Outcome of one Repair.
+struct RepairReport {
+  std::vector<std::string> quarantined;      ///< Entries removed from metadata.
+  std::vector<std::string> rebuilt;          ///< New index objects committed.
+  std::vector<std::string> orphans_deleted;  ///< Orphan objects deleted.
+  uint64_t rebuilt_rows = 0;
+  MaintenanceStats stats;
+};
+
 /// An inclusive range predicate on an int64 column (e.g. a timestamp),
 /// the paper's "structured attribute" filter (§VI): searches prune data
 /// files and row groups via the format's min/max statistics and verify the
@@ -237,6 +330,12 @@ struct SearchOptions {
   objectstore::IoTrace* trace = nullptr;   ///< Access-pattern recording.
   std::optional<ScanRange> range;          ///< Structured-attribute filter.
   VectorSearchParams vector;               ///< SearchVector only.
+  /// When a query degrades on a corrupt or missing index, also remove that
+  /// index from the metadata table (transactional CommitNext), so later
+  /// queries re-plan without it and Index can re-cover the files. Safe
+  /// because indexes are disposable; best-effort — a lost race with a
+  /// concurrent committer leaves quarantining to the next query or Scrub.
+  bool auto_quarantine = false;
 };
 
 /// One committed index entry plus its physical size — `DescribeIndexes`.
@@ -322,11 +421,38 @@ class Rottnest {
   Result<VacuumReport> Vacuum(lake::Version min_snapshot,
                               const MaintenanceOptions& opts = {});
 
+  /// Anti-entropy audit: checks every committed index for existence,
+  /// directory integrity, (deep) all component payload checksums and
+  /// page-table↔metadata consistency, and lists orphaned index objects.
+  /// Never fails fast — every problem becomes a ScrubFinding with a
+  /// severity; the call itself only errors when the audit cannot run at
+  /// all (metadata unreadable). Indexes are audited concurrently on
+  /// `opts.parallelism` threads with wave-merged IoTraces, like Compact.
+  /// Existence and component reads deliberately bypass the client cache —
+  /// an audit must observe the bucket. Cached blocks of any index found
+  /// corrupt are invalidated as a side effect.
+  Result<ScrubReport> Scrub(const ScrubOptions& opts = {});
+
+  /// Heals the findings of a Scrub: (1) quarantines damaged index entries
+  /// — one transactional CommitNext removing them from the metadata table,
+  /// so searches fall back to brute scans of the uncovered files; (2)
+  /// re-`Index`es each affected (column, type), re-covering those files
+  /// with fresh index objects; (3) deletes orphan objects older than the
+  /// grace period (Vacuum's timeout rule). The order makes every prefix
+  /// crash-safe: quarantine is one atomic commit, re-indexing is the
+  /// ordinary crash-safe Index protocol, and orphan deletion only touches
+  /// objects provably outside the protocol window.
+  Result<RepairReport> Repair(const ScrubReport& report,
+                              const RepairOptions& opts = {});
+
   /// Verifies the Existence invariant (and basic consistency) — used by
-  /// protocol crash tests after every injected failure. Shares the
-  /// SearchOptions plumbing (`opts.trace` records the audit's reads); the
-  /// invariants themselves are global, so `opts.snapshot` does not narrow
-  /// them, and existence probes deliberately bypass the client cache.
+  /// protocol crash tests after every injected failure. Implemented on
+  /// Scrub (shallow audit): reports ALL violations joined into one Status
+  /// instead of failing on the first. Shares the SearchOptions plumbing
+  /// (`opts.trace` records the audit's reads); the invariants themselves
+  /// are global, so `opts.snapshot` does not narrow them, and existence
+  /// probes deliberately bypass the client cache. Orphan warnings — legal
+  /// under the protocol — do not fail the check.
   Status CheckInvariants(const SearchOptions& opts = {});
 
   lake::MetadataTable& metadata() { return metadata_; }
@@ -399,6 +525,17 @@ class Rottnest {
   CacheCounters SnapshotCacheCounters() const;
   void ReportCacheDelta(const CacheCounters& before, SearchResult* result);
 
+  /// Post-fan-out handling of per-index failures: invalidates poisoned
+  /// cache entries for corrupt indexes and, with opts.auto_quarantine,
+  /// removes corrupt/missing entries from the metadata table. Returns how
+  /// many entries were quarantined.
+  size_t HandleSearchFailures(
+      const SearchOptions& opts,
+      const std::vector<std::pair<const lake::IndexEntry*, Status>>& failed);
+
+  /// Invalidates every cached block of `key` (no-op when caching is off).
+  void InvalidateCachedIndex(const std::string& key);
+
   objectstore::ObjectStore* store_;
   lake::Table* table_;
   RottnestOptions options_;
@@ -407,6 +544,19 @@ class Rottnest {
   ThreadPool pool_;
   uint64_t name_counter_ = 0;
 };
+
+namespace internal {
+
+/// Merges per-item IoTraces into `trace` in waves of `parallelism`
+/// concurrent chains (waves sequential) — the convention every parallel
+/// maintenance op (Index, Compact, Vacuum, Scrub) uses so the recorded
+/// depth honestly reflects the requested width while request/byte totals
+/// stay width-invariant. Shared between rottnest.cc and scrub.cc.
+void MergeWaves(objectstore::IoTrace* trace,
+                const std::vector<objectstore::IoTrace>& children,
+                size_t parallelism);
+
+}  // namespace internal
 
 }  // namespace rottnest::core
 

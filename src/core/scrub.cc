@@ -1,0 +1,367 @@
+// Anti-entropy: Scrub (deep parallel audit), Repair (quarantine + rebuild
+// + orphan GC) and the Scrub-based CheckInvariants (see DESIGN.md §4f).
+//
+// Scrub never fails fast: every problem becomes a ScrubFinding and the
+// audit keeps going, so one rotten object cannot hide another. Repair
+// heals in an order that keeps every crash prefix legal under the paper's
+// invariants: quarantine is one atomic metadata commit (Existence is
+// preserved — entries are only ever *removed*), re-indexing is the
+// ordinary crash-safe Index protocol (upload before commit), and orphan
+// deletion reuses Vacuum's timeout rule (only unreferenced objects older
+// than the protocol window are touched).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <set>
+
+#include "core/rottnest.h"
+#include "format/reader.h"
+#include "index/trie/trie_index.h"
+
+namespace rottnest::core {
+
+namespace {
+
+using index::ComponentFileReader;
+using lake::IndexEntry;
+
+/// Shared deep-verify byte budget: admission control across the parallel
+/// per-index audit tasks. 0 at construction = unbounded.
+class ByteBudget {
+ public:
+  explicit ByteBudget(uint64_t budget)
+      : bounded_(budget != 0), left_(static_cast<int64_t>(budget)) {}
+
+  /// True if `bytes` more may be fetched (and reserves them).
+  bool Admit(uint64_t bytes) {
+    if (!bounded_) return true;
+    int64_t prev = left_.fetch_sub(static_cast<int64_t>(bytes),
+                                   std::memory_order_relaxed);
+    return prev >= static_cast<int64_t>(bytes);
+  }
+
+ private:
+  bool bounded_;
+  std::atomic<int64_t> left_;
+};
+
+}  // namespace
+
+const char* ScrubFindingKindName(ScrubFindingKind k) {
+  switch (k) {
+    case ScrubFindingKind::kMissingIndex:
+      return "missing-index";
+    case ScrubFindingKind::kCorruptIndex:
+      return "corrupt-index";
+    case ScrubFindingKind::kCorruptComponent:
+      return "corrupt-component";
+    case ScrubFindingKind::kUnreadableIndex:
+      return "unreadable-index";
+    case ScrubFindingKind::kInconsistentPageTable:
+      return "inconsistent-page-table";
+    case ScrubFindingKind::kOrphanObject:
+      return "orphan-object";
+  }
+  return "unknown";
+}
+
+Result<ScrubReport> Rottnest::Scrub(const ScrubOptions& opts) {
+  auto wall_start = std::chrono::steady_clock::now();
+  Micros start = store_->clock().NowMicros();
+  MaintenanceOptions mopts;
+  mopts.parallelism = opts.parallelism;
+  mopts.trace = opts.trace;
+  MaintenancePlan plan = ResolveMaintenance(mopts, start);
+  objectstore::IoTrace local;
+  ScrubReport report;
+
+  local.RecordList();
+  ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
+                            metadata_.ReadAll());
+  report.indexes_checked = entries.size();
+
+  // Audit every committed index concurrently; each task appends findings
+  // to its own slot and records IO into its own trace, so aggregation is
+  // deterministic in entry order regardless of scheduling. All reads go
+  // through store_, not the cache: an audit must observe the bucket.
+  ByteBudget budget(opts.byte_budget);
+  std::atomic<uint64_t> components_verified{0};
+  std::atomic<uint64_t> components_skipped{0};
+  std::atomic<uint64_t> bytes_verified{0};
+  std::vector<std::vector<ScrubFinding>> per_entry(entries.size());
+  std::vector<objectstore::IoTrace> child_traces(entries.size());
+  pool_.ParallelFor(entries.size(), plan.parallelism, [&](size_t i) {
+    const IndexEntry& e = entries[i];
+    std::vector<ScrubFinding>& out = per_entry[i];
+    objectstore::IoTrace* t = &child_traces[i];
+    auto add = [&](ScrubFindingKind kind, std::string component,
+                   std::string detail) {
+      ScrubFinding f;
+      f.kind = kind;
+      f.severity = ScrubSeverity::kError;
+      f.index_path = e.index_path;
+      f.component = std::move(component);
+      f.detail = std::move(detail);
+      f.column = e.column;
+      f.index_type = e.index_type;
+      out.push_back(std::move(f));
+    };
+
+    // Existence (invariant 1): the committed object is in the bucket.
+    objectstore::ObjectMeta meta;
+    Status head = store_->Head(e.index_path, &meta);
+    if (!head.ok()) {
+      add(head.IsNotFound() ? ScrubFindingKind::kMissingIndex
+                            : ScrubFindingKind::kUnreadableIndex,
+          "", head.ToString());
+      return;
+    }
+
+    // Structure: magic, directory checksum, directory parse. Components in
+    // the open tail read are payload-checksummed here too.
+    auto reader_r = ComponentFileReader::Open(store_, e.index_path, t);
+    if (!reader_r.ok()) {
+      const Status& s = reader_r.status();
+      add(s.IsCorruption()  ? ScrubFindingKind::kCorruptIndex
+          : s.IsNotFound()  ? ScrubFindingKind::kMissingIndex
+                            : ScrubFindingKind::kUnreadableIndex,
+          "", s.ToString());
+      return;
+    }
+    ComponentFileReader* reader = reader_r.value().get();
+
+    // Consistency: the embedded page table names exactly the covered set.
+    format::PageTable pages;
+    Status pt = index::LoadPageTable(reader, nullptr, t, &pages);
+    if (!pt.ok()) {
+      add(ScrubFindingKind::kCorruptComponent, "pagetable", pt.ToString());
+    } else {
+      std::set<std::string> in_table(pages.files().begin(),
+                                     pages.files().end());
+      std::set<std::string> in_entry(e.covered_files.begin(),
+                                     e.covered_files.end());
+      if (in_table != in_entry) {
+        add(ScrubFindingKind::kInconsistentPageTable, "",
+            "page table names do not match covered_files");
+      }
+    }
+
+    // Deep verification: re-fetch every component payload not already
+    // verified in the tail and check its directory checksum, under the
+    // shared byte budget. Collects ALL damage, never fails fast.
+    if (opts.deep) {
+      std::vector<std::string> to_verify;
+      for (const index::ComponentInfo& c : reader->Components()) {
+        if (c.verified_at_open) {
+          components_verified.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (!budget.Admit(c.compressed_size)) {
+          components_skipped.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        to_verify.push_back(c.name);
+      }
+      std::vector<index::ComponentDamage> damage;
+      uint64_t fetched = 0;
+      Status v = reader->VerifyComponents(to_verify, t, &damage, &fetched);
+      bytes_verified.fetch_add(fetched, std::memory_order_relaxed);
+      if (!v.ok()) {
+        add(ScrubFindingKind::kUnreadableIndex, "", v.ToString());
+      } else {
+        components_verified.fetch_add(to_verify.size() - damage.size(),
+                                      std::memory_order_relaxed);
+        for (index::ComponentDamage& d : damage) {
+          add(ScrubFindingKind::kCorruptComponent, d.name,
+              d.status.ToString());
+        }
+      }
+    }
+  });
+  internal::MergeWaves(&local, child_traces, plan.parallelism);
+
+  for (size_t i = 0; i < entries.size(); ++i) {
+    bool corrupt = false;
+    for (ScrubFinding& f : per_entry[i]) {
+      corrupt |= f.kind == ScrubFindingKind::kCorruptIndex ||
+                 f.kind == ScrubFindingKind::kCorruptComponent;
+      report.findings.push_back(std::move(f));
+    }
+    // A corruption verdict may have been served out of the client cache
+    // before this audit ran; drop the poisoned blocks either way.
+    if (corrupt) InvalidateCachedIndex(entries[i].index_path);
+  }
+
+  // Orphans: index objects in the bucket with no metadata entry. Legal
+  // (an in-flight Index uploads before committing; crashes strand them),
+  // so a warning — Repair deletes only past the protocol grace period.
+  std::set<std::string> referenced;
+  for (const IndexEntry& e : entries) referenced.insert(e.index_path);
+  local.RecordList();
+  std::vector<objectstore::ObjectMeta> listing;
+  ROTTNEST_RETURN_NOT_OK(store_->List(options_.index_dir + "/", &listing));
+  Micros now = store_->clock().NowMicros();
+  for (const auto& obj : listing) {
+    if (obj.key.size() < 6 ||
+        obj.key.compare(obj.key.size() - 6, 6, ".index") != 0) {
+      continue;
+    }
+    if (referenced.count(obj.key) != 0) continue;
+    ScrubFinding f;
+    f.kind = ScrubFindingKind::kOrphanObject;
+    f.severity = ScrubSeverity::kWarning;
+    f.index_path = obj.key;
+    f.detail = "index object not referenced by the metadata table";
+    f.age_micros = now > obj.created_micros ? now - obj.created_micros : 0;
+    report.findings.push_back(std::move(f));
+  }
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const ScrubFinding& a, const ScrubFinding& b) {
+              if (a.index_path != b.index_path) {
+                return a.index_path < b.index_path;
+              }
+              if (a.kind != b.kind) {
+                return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+              }
+              return a.component < b.component;
+            });
+  report.components_verified = components_verified.load();
+  report.components_skipped = components_skipped.load();
+  report.bytes_verified = bytes_verified.load();
+  FinishMaintenanceStats(&local, mopts, plan, wall_start, &report.stats);
+  return report;
+}
+
+Result<RepairReport> Rottnest::Repair(const ScrubReport& scrub,
+                                      const RepairOptions& opts) {
+  auto wall_start = std::chrono::steady_clock::now();
+  Micros start = store_->clock().NowMicros();
+  MaintenanceOptions mopts;
+  mopts.parallelism = opts.parallelism;
+  mopts.dry_run = opts.dry_run;
+  mopts.trace = opts.trace;
+  MaintenancePlan plan = ResolveMaintenance(mopts, start);
+  objectstore::IoTrace local;
+  RepairReport report;
+
+  // Step 1 — quarantine: remove every damaged entry from the metadata
+  // table in ONE transactional commit. The report's paths are re-checked
+  // against current metadata, so a stale report (another repairer won the
+  // race) quarantines nothing and the call stays idempotent.
+  std::set<std::string> damaged;
+  // The rebuild targets come from the FINDINGS, not from current metadata:
+  // if a previous Repair attempt crashed after its quarantine commit, the
+  // damaged entry is no longer in the table, but the report still knows
+  // which (column, type) lost coverage — so a retry converges.
+  std::set<std::pair<std::string, std::string>> affected;
+  for (const ScrubFinding& f : scrub.findings) {
+    if (f.severity == ScrubSeverity::kError &&
+        f.kind != ScrubFindingKind::kOrphanObject) {
+      damaged.insert(f.index_path);
+      if (!f.column.empty()) affected.insert({f.column, f.index_type});
+    }
+  }
+  local.RecordList();
+  ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
+                            metadata_.ReadAll());
+  std::vector<std::string> quarantine;
+  for (const IndexEntry& e : entries) {
+    if (damaged.count(e.index_path) == 0) continue;
+    quarantine.push_back(e.index_path);
+  }
+  if (opts.quarantine && !quarantine.empty()) {
+    if (!opts.dry_run) {
+      auto committed = metadata_.Update({}, quarantine);
+      if (!committed.ok()) return committed.status();
+      for (const std::string& path : quarantine) InvalidateCachedIndex(path);
+    }
+    report.quarantined = quarantine;
+  }
+
+  // Step 2 — rebuild: re-Index each affected (column, type); the files the
+  // quarantined entries covered are now uncovered, so the ordinary Index
+  // protocol (upload before commit, timeout guard) re-covers them. A crash
+  // here strands at most an orphan upload — exactly the state step 3 and
+  // Vacuum already know how to collect.
+  if (opts.reindex && !opts.dry_run) {
+    for (const auto& [column, type_name] : affected) {
+      index::IndexType type;
+      if (!index::IndexTypeFromName(type_name, &type)) continue;
+      MaintenanceOptions iopts;
+      iopts.parallelism = opts.parallelism;
+      iopts.trace = &local;
+      auto rebuilt = Index(column, type, iopts);
+      if (!rebuilt.ok()) {
+        // Timeouts / vanished files abort the protocol cleanly; a retry of
+        // Repair (or plain Index) finishes the job.
+        if (rebuilt.status().IsAborted()) continue;
+        return rebuilt.status();
+      }
+      if (!rebuilt.value().index_path.empty()) {
+        report.rebuilt.push_back(rebuilt.value().index_path);
+        report.rebuilt_rows += rebuilt.value().rows;
+      }
+    }
+  }
+
+  // Step 3 — orphan GC, by Vacuum's rule: delete index objects that are
+  // unreferenced AND older than the grace period. Referenced-ness is
+  // re-read post-rebuild so a concurrent commit can never lose an object.
+  if (opts.gc_orphans) {
+    Micros grace = opts.orphan_grace_micros != 0
+                       ? opts.orphan_grace_micros
+                       : options_.index_timeout_micros;
+    local.RecordList();
+    ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> remaining,
+                              metadata_.ReadAll());
+    std::set<std::string> referenced;
+    for (const IndexEntry& e : remaining) referenced.insert(e.index_path);
+    Micros cutoff = store_->clock().NowMicros() - grace;
+    std::vector<std::string> deletable;
+    for (const ScrubFinding& f : scrub.findings) {
+      if (f.kind != ScrubFindingKind::kOrphanObject) continue;
+      if (referenced.count(f.index_path) != 0) continue;
+      objectstore::ObjectMeta meta;
+      Status head = store_->Head(f.index_path, &meta);
+      if (!head.ok()) continue;  // Already gone: nothing to collect.
+      if (meta.created_micros > cutoff) continue;
+      deletable.push_back(f.index_path);
+    }
+    if (opts.dry_run) {
+      report.orphans_deleted = deletable;
+    } else {
+      std::vector<Status> statuses(deletable.size(), Status::OK());
+      pool_.ParallelFor(deletable.size(), plan.parallelism, [&](size_t i) {
+        statuses[i] = store_->Delete(deletable[i]);
+      });
+      for (size_t i = 0; i < deletable.size(); ++i) {
+        if (!statuses[i].ok()) return statuses[i];
+        report.orphans_deleted.push_back(deletable[i]);
+      }
+    }
+  }
+
+  FinishMaintenanceStats(&local, mopts, plan, wall_start, &report.stats);
+  return report;
+}
+
+Status Rottnest::CheckInvariants(const SearchOptions& opts) {
+  ScrubOptions sopts;
+  sopts.deep = false;  // Structural audit — the old CheckInvariants depth.
+  sopts.trace = opts.trace;
+  ROTTNEST_ASSIGN_OR_RETURN(ScrubReport report, Scrub(sopts));
+  if (report.clean()) return Status::OK();
+  std::string msg = "invariant violations:";
+  for (const ScrubFinding& f : report.findings) {
+    if (f.severity != ScrubSeverity::kError) continue;
+    msg += std::string("\n  [") + ScrubFindingKindName(f.kind) + "] " +
+           f.index_path;
+    if (!f.component.empty()) msg += " (" + f.component + ")";
+    msg += ": " + f.detail;
+  }
+  return Status::Internal(msg);
+}
+
+}  // namespace rottnest::core

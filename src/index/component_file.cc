@@ -36,6 +36,16 @@ const char* IndexTypeName(IndexType t) {
   return "unknown";
 }
 
+bool IndexTypeFromName(const std::string& name, IndexType* out) {
+  for (IndexType t : {IndexType::kTrie, IndexType::kFm, IndexType::kIvfPq}) {
+    if (name == IndexTypeName(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
 Status ComponentFileWriter::AppendCompressed(const std::string& name,
                                              size_t uncompressed_size,
                                              Buffer compressed,
@@ -130,6 +140,13 @@ Result<std::unique_ptr<ComponentFileReader>> ComponentFileReader::Open(
                   4) != 0) {
     return Status::Corruption("bad index magic: " + key);
   }
+  // When the tail read happens to cover the whole file, verifying the
+  // LEADING magic is free. (For larger files it goes unchecked: no read
+  // path depends on it — the directory checksum is the integrity root.)
+  if (tail_len == meta.size &&
+      std::memcmp(tail.data(), ComponentFileWriter::kMagic, 4) != 0) {
+    return Status::Corruption("bad leading index magic: " + key);
+  }
   uint32_t dir_len = DecodeFixed32(tail.data() + tail.size() - 8);
   if (static_cast<uint64_t>(dir_len) + 20 > meta.size) {
     return Status::Corruption("directory length exceeds file");
@@ -186,6 +203,7 @@ Result<std::unique_ptr<ComponentFileReader>> ComponentFileReader::Open(
           static_cast<compress::Codec>(e.codec), payload, e.uncompressed_size,
           &raw));
       reader->cache_.emplace(e.name, std::move(raw));
+      reader->verified_open_.insert(e.name);
     }
     std::string name = e.name;
     reader->directory_.emplace(std::move(name), std::move(e));
@@ -253,6 +271,46 @@ Status ComponentFileReader::ReadComponent(const std::string& name,
   std::vector<Buffer> results;
   ROTTNEST_RETURN_NOT_OK(ReadComponents({name}, pool, trace, &results));
   *out = std::move(results[0]);
+  return Status::OK();
+}
+
+std::vector<ComponentInfo> ComponentFileReader::Components() const {
+  std::vector<ComponentInfo> infos;
+  infos.reserve(directory_.size());
+  for (const auto& [name, e] : directory_) {
+    ComponentInfo info;
+    info.name = name;
+    info.compressed_size = e.compressed_size;
+    info.verified_at_open = verified_open_.count(name) != 0;
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+Status ComponentFileReader::VerifyComponents(
+    const std::vector<std::string>& names, objectstore::IoTrace* trace,
+    std::vector<ComponentDamage>* damage, uint64_t* bytes_fetched) {
+  for (const std::string& name : names) {
+    if (directory_.count(name) == 0) {
+      return Status::InvalidArgument("no such component: " + name);
+    }
+  }
+  if (names.empty()) return Status::OK();
+  if (trace != nullptr) trace->BeginRound();
+  for (const std::string& name : names) {
+    const Entry& e = directory_.at(name);
+    Buffer raw;
+    Status s = store_->GetRange(key_, e.offset, e.compressed_size, &raw);
+    if (s.ok()) {
+      if (trace != nullptr) trace->RecordGet(raw.size());
+      if (bytes_fetched != nullptr) *bytes_fetched += raw.size();
+      if (Hash64(Slice(raw)) != e.checksum) {
+        s = Status::Corruption("component checksum mismatch: " + name +
+                               " in " + key_);
+      }
+    }
+    if (!s.ok()) damage->push_back({name, std::move(s)});
+  }
   return Status::OK();
 }
 

@@ -27,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,25 @@ enum class IndexType : uint8_t {
 };
 
 const char* IndexTypeName(IndexType t);
+
+/// Inverse of IndexTypeName. Returns false for unknown names.
+bool IndexTypeFromName(const std::string& name, IndexType* out);
+
+/// One damaged component found by ComponentFileReader::VerifyComponents:
+/// which component, and the Corruption/IO status explaining how it failed.
+struct ComponentDamage {
+  std::string name;
+  Status status;
+};
+
+/// Per-component audit metadata exposed by ComponentFileReader::Components.
+struct ComponentInfo {
+  std::string name;
+  uint64_t compressed_size = 0;
+  /// True when the component landed in the Open tail read and its payload
+  /// checksum was already verified there — a deep scrub can skip it.
+  bool verified_at_open = false;
+};
 
 /// Builds one index file image in memory.
 class ComponentFileWriter {
@@ -129,6 +149,21 @@ class ComponentFileReader {
   Status ReadComponent(const std::string& name, ThreadPool* pool,
                        objectstore::IoTrace* trace, Buffer* out);
 
+  /// Audit metadata for every component, in name order.
+  std::vector<ComponentInfo> Components() const;
+
+  /// Deep audit: re-fetches the raw compressed bytes of `names` from the
+  /// store (one IoTrace round, bypassing the decompressed cache) and checks
+  /// each against its directory checksum. Does NOT fail fast — every fetch
+  /// error or checksum mismatch is appended to `damage` and the scan
+  /// continues; the return Status is only for invalid arguments (unknown
+  /// component name). `bytes_fetched` (optional) accumulates compressed
+  /// bytes actually read, for scrub byte budgets.
+  Status VerifyComponents(const std::vector<std::string>& names,
+                          objectstore::IoTrace* trace,
+                          std::vector<ComponentDamage>* damage,
+                          uint64_t* bytes_fetched);
+
   /// Drops one component from the decompressed cache. Streaming merges
   /// bound their working set by evicting leaves after consuming them.
   void Evict(const std::string& name) { cache_.erase(name); }
@@ -145,6 +180,7 @@ class ComponentFileReader {
   std::string column_;
   std::map<std::string, Entry> directory_;
   std::map<std::string, Buffer> cache_;
+  std::set<std::string> verified_open_;  ///< Checksum-verified in Open's tail.
 };
 
 }  // namespace rottnest::index

@@ -1,5 +1,7 @@
 #include "objectstore/fault_injection.h"
 
+#include "common/hash.h"
+
 namespace rottnest::objectstore {
 
 namespace {
@@ -11,11 +13,14 @@ Status CrashStatus(const char* op) {
 }  // namespace
 
 Status FaultInjectingStore::Apply(const char* op, const std::string& key,
-                                  bool is_write,
+                                  bool is_write, Buffer* read_payload,
                                   const std::function<Status()>& fn) {
   FailurePoint hook;
   Status injected;       // OK means no fault drawn.
   bool execute = true;   // Whether the backing operation runs at all.
+  bool corrupt = false;  // Flip one bit of the payload after the read.
+  uint64_t corrupt_salt = 0;
+  std::optional<uint64_t> truncate_to;
   {
     std::lock_guard<std::mutex> lock(mu_);
     uint64_t my_index = op_counter_++;
@@ -51,12 +56,41 @@ Status FaultInjectingStore::Apply(const char* op, const std::string& key,
       execute = true;
       fault_stats_.ambiguous_injected.fetch_add(1, std::memory_order_relaxed);
     }
+    // Latent corruption only damages reads that will otherwise succeed —
+    // the caller gets OK plus bad bytes, never an error.
+    if (read_payload != nullptr && injected.ok() && execute) {
+      auto trunc = truncation_schedule_.find(my_index);
+      if (trunc != truncation_schedule_.end()) {
+        truncate_to = trunc->second;
+        fault_stats_.truncations_injected.fetch_add(1,
+                                                    std::memory_order_relaxed);
+      }
+      if (options_.corrupt_read_rate > 0 &&
+          (options_.corrupt_key_filter.empty() ||
+           key.find(options_.corrupt_key_filter) != std::string::npos) &&
+          rng_.NextDouble() < options_.corrupt_read_rate) {
+        corrupt = true;
+        corrupt_salt = rng_.Next();
+        fault_stats_.corrupt_reads_injected.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
   }
 
   // Hook and backing store run lock-free so they may re-enter this store.
   if (hook) ROTTNEST_RETURN_NOT_OK(hook(op, key));
   if (!execute) return injected;
   Status real = fn();
+  if (real.ok() && read_payload != nullptr) {
+    if (truncate_to.has_value() && read_payload->size() > *truncate_to) {
+      read_payload->resize(*truncate_to);
+    }
+    if (corrupt && !read_payload->empty()) {
+      size_t pos = corrupt_salt % read_payload->size();
+      (*read_payload)[pos] ^=
+          static_cast<uint8_t>(1u << ((corrupt_salt >> 32) % 8));
+    }
+  }
   if (!injected.ok()) {
     // An ambiguous fault only masks a *successful* operation; a genuine
     // failure (e.g. PutIfAbsent conflict) is reported truthfully.
@@ -65,40 +99,63 @@ Status FaultInjectingStore::Apply(const char* op, const std::string& key,
   return real;
 }
 
+Status FaultInjectingStore::RotObject(const std::string& key, RotKind kind) {
+  if (kind == RotKind::kDrop) {
+    ROTTNEST_RETURN_NOT_OK(inner_->Delete(key));
+    fault_stats_.rot_injected.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  Buffer data;
+  ROTTNEST_RETURN_NOT_OK(inner_->Get(key, &data));
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot rot empty object: " + key);
+  }
+  uint64_t h = Hash64(Slice(key));
+  if (kind == RotKind::kFlipBit) {
+    data[h % data.size()] ^= static_cast<uint8_t>(1u << ((h >> 32) % 8));
+  } else {
+    data.resize(h % data.size());  // kTruncate: lose a hash-chosen tail.
+  }
+  ROTTNEST_RETURN_NOT_OK(inner_->Put(key, Slice(data)));
+  fault_stats_.rot_injected.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 Status FaultInjectingStore::Put(const std::string& key, Slice data) {
-  return Apply("put", key, /*is_write=*/true,
+  return Apply("put", key, /*is_write=*/true, /*read_payload=*/nullptr,
                [&] { return inner_->Put(key, data); });
 }
 
 Status FaultInjectingStore::PutIfAbsent(const std::string& key, Slice data) {
   return Apply("put_if_absent", key, /*is_write=*/true,
+               /*read_payload=*/nullptr,
                [&] { return inner_->PutIfAbsent(key, data); });
 }
 
 Status FaultInjectingStore::Get(const std::string& key, Buffer* out) {
-  return Apply("get", key, /*is_write=*/false,
+  return Apply("get", key, /*is_write=*/false, /*read_payload=*/out,
                [&] { return inner_->Get(key, out); });
 }
 
 Status FaultInjectingStore::GetRange(const std::string& key, uint64_t offset,
                                      uint64_t length, Buffer* out) {
-  return Apply("get", key, /*is_write=*/false,
+  return Apply("get", key, /*is_write=*/false, /*read_payload=*/out,
                [&] { return inner_->GetRange(key, offset, length, out); });
 }
 
 Status FaultInjectingStore::Head(const std::string& key, ObjectMeta* out) {
-  return Apply("head", key, /*is_write=*/false,
+  return Apply("head", key, /*is_write=*/false, /*read_payload=*/nullptr,
                [&] { return inner_->Head(key, out); });
 }
 
 Status FaultInjectingStore::List(const std::string& prefix,
                                  std::vector<ObjectMeta>* out) {
-  return Apply("list", prefix, /*is_write=*/false,
+  return Apply("list", prefix, /*is_write=*/false, /*read_payload=*/nullptr,
                [&] { return inner_->List(prefix, out); });
 }
 
 Status FaultInjectingStore::Delete(const std::string& key) {
-  return Apply("delete", key, /*is_write=*/true,
+  return Apply("delete", key, /*is_write=*/true, /*read_payload=*/nullptr,
                [&] { return inner_->Delete(key); });
 }
 

@@ -11,7 +11,14 @@
 //                           operation; every later operation fails too, so a
 //                           truncated run looks exactly like a crashed one;
 //   * scripted faults     — a schedule pinning specific op indices to
-//                           specific outcomes, for directed tests.
+//                           specific outcomes, for directed tests;
+//   * latent corruption   — reads that SUCCEED but return damaged bytes:
+//                           seeded bit-flips (corrupt_read_rate), scripted
+//                           payload truncation, and post-commit "object
+//                           rot" (RotObject: a stored object is mutated,
+//                           truncated or dropped in the backing store after
+//                           the fact). The store reports no error — only
+//                           checksums above it can tell.
 //
 // All randomized decisions come from one seeded PRNG: the same seed over the
 // same operation sequence reproduces the same injected faults, so any chaos
@@ -48,6 +55,13 @@ struct FaultOptions {
   uint64_t seed = 0;                 ///< PRNG seed; same seed ⇒ same faults.
   double transient_fault_rate = 0;   ///< Unavailable on any op, no effect.
   double ambiguous_put_rate = 0;     ///< Put/PutIfAbsent lands, caller errors.
+  /// Silent payload damage: a Get/GetRange that SUCCEEDS but returns the
+  /// payload with one deterministically chosen bit flipped. Models wire /
+  /// medium bit rot that object stores do not surface as an error.
+  double corrupt_read_rate = 0;
+  /// When non-empty, corrupt_read_rate only applies to keys containing this
+  /// substring (e.g. ".index" to rot index files but spare the txn log).
+  std::string corrupt_key_filter;
 };
 
 /// Counters of injected faults (monotonic; for assertions and reporting).
@@ -57,6 +71,16 @@ struct FaultStats {
   std::atomic<uint64_t> ambiguous_injected{0};  ///< Landed-but-errored puts.
   std::atomic<uint64_t> scheduled_injected{0};  ///< Scripted faults served.
   std::atomic<uint64_t> crash_refusals{0};      ///< Ops refused post-crash.
+  std::atomic<uint64_t> corrupt_reads_injected{0};  ///< Bit-flipped reads.
+  std::atomic<uint64_t> truncations_injected{0};    ///< Truncated reads.
+  std::atomic<uint64_t> rot_injected{0};  ///< Post-commit object rot events.
+};
+
+/// How RotObject damages a stored object.
+enum class RotKind {
+  kFlipBit,    ///< One bit of the stored bytes flips.
+  kTruncate,   ///< The object loses its tail.
+  kDrop,       ///< The object disappears entirely.
 };
 
 /// ObjectStore decorator injecting deterministic faults. Thread-safe; the
@@ -123,6 +147,30 @@ class FaultInjectingStore : public ObjectStore {
     schedule_[op_index] = {std::move(status), side_effect_lands};
   }
 
+  /// Scripts silent truncation: the read (Get/GetRange) at absolute op
+  /// index `op_index` succeeds but returns only the first `keep_bytes`
+  /// bytes of its payload. No-op for non-read ops at that index.
+  void ScheduleTruncation(uint64_t op_index, uint64_t keep_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    truncation_schedule_[op_index] = keep_bytes;
+  }
+
+  /// Adjusts the latent-corruption knob mid-run (directed tests corrupt a
+  /// window of reads, then turn it off). An empty `key_filter` corrupts
+  /// reads of every key; otherwise only keys containing the substring.
+  void SetCorruptReadRate(double rate, std::string key_filter = "") {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_.corrupt_read_rate = rate;
+    options_.corrupt_key_filter = std::move(key_filter);
+  }
+
+  /// Post-commit object rot: damages `key` directly in the backing store —
+  /// the entropy happens inside the storage medium, not on the request
+  /// path, so it consumes no op index, draws nothing from the PRNG, and no
+  /// later read reports an error for it. The damage site is derived from
+  /// Hash64(key), so a given key always rots the same way.
+  Status RotObject(const std::string& key, RotKind kind);
+
   /// Total operations intercepted so far.
   uint64_t op_count() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -141,8 +189,11 @@ class FaultInjectingStore : public ObjectStore {
 
   /// Runs one operation through the fault model. `is_write` enables
   /// ambiguous-outcome injection; `fn` performs the backing operation.
+  /// `read_payload` (non-null for Get/GetRange) is the buffer latent
+  /// corruption — scheduled truncation and corrupt_read_rate bit-flips —
+  /// applies to after a successful backing read.
   Status Apply(const char* op, const std::string& key, bool is_write,
-               const std::function<Status()>& fn);
+               Buffer* read_payload, const std::function<Status()>& fn);
 
   ObjectStore* inner_;
   FaultOptions options_;
@@ -154,6 +205,7 @@ class FaultInjectingStore : public ObjectStore {
   CrashMode crash_mode_ = CrashMode::kBeforeOp;
   bool crashed_ = false;
   std::map<uint64_t, ScheduledFault> schedule_;
+  std::map<uint64_t, uint64_t> truncation_schedule_;  ///< op index → keep.
   FaultStats fault_stats_;
 };
 

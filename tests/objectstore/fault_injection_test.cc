@@ -184,6 +184,104 @@ TEST_F(FaultInjectionTest, HookMayReenterTheStore) {
   ASSERT_TRUE(inner_.Get("concurrent", &out).ok());
 }
 
+TEST_F(FaultInjectionTest, CorruptReadFlipsOneBitButReportsSuccess) {
+  ASSERT_TRUE(inner_.Put("k", Slice(Bytes("hello world payload"))).ok());
+  FaultOptions opts;
+  opts.seed = 11;
+  opts.corrupt_read_rate = 1.0;
+  FaultInjectingStore store(&inner_, opts);
+  Buffer out;
+  ASSERT_TRUE(store.Get("k", &out).ok());  // SUCCESS — that is the point.
+  Buffer truth = Bytes("hello world payload");
+  EXPECT_NE(out, truth);
+  // Exactly one bit differs.
+  ASSERT_EQ(out.size(), truth.size());
+  int flipped_bits = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    flipped_bits += __builtin_popcount(out[i] ^ truth[i]);
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  EXPECT_EQ(store.fault_stats().corrupt_reads_injected.load(), 1u);
+  // The stored object itself is untouched.
+  ASSERT_TRUE(inner_.Get("k", &out).ok());
+  EXPECT_EQ(out, truth);
+}
+
+TEST_F(FaultInjectionTest, CorruptReadsAreDeterministicPerSeed) {
+  ASSERT_TRUE(inner_.Put("k", Slice(Bytes("the same damaged bytes"))).ok());
+  auto read_once = [&](uint64_t seed) {
+    FaultOptions opts;
+    opts.seed = seed;
+    opts.corrupt_read_rate = 1.0;
+    FaultInjectingStore store(&inner_, opts);
+    Buffer out;
+    EXPECT_TRUE(store.Get("k", &out).ok());
+    return out;
+  };
+  EXPECT_EQ(read_once(5), read_once(5));
+  EXPECT_NE(read_once(5), read_once(6));
+}
+
+TEST_F(FaultInjectionTest, CorruptKeyFilterSparesOtherKeys) {
+  ASSERT_TRUE(inner_.Put("idx/a.index", Slice(Bytes("index bytes"))).ok());
+  ASSERT_TRUE(inner_.Put("meta/log", Slice(Bytes("txn log bytes"))).ok());
+  FaultInjectingStore store(&inner_);
+  store.SetCorruptReadRate(1.0, ".index");
+  Buffer out;
+  ASSERT_TRUE(store.Get("meta/log", &out).ok());
+  EXPECT_EQ(out, Bytes("txn log bytes"));  // Filtered out: pristine.
+  ASSERT_TRUE(store.Get("idx/a.index", &out).ok());
+  EXPECT_NE(out, Bytes("index bytes"));  // Matching key: damaged.
+  store.SetCorruptReadRate(0);
+  ASSERT_TRUE(store.Get("idx/a.index", &out).ok());
+  EXPECT_EQ(out, Bytes("index bytes"));  // Knob off: pristine again.
+}
+
+TEST_F(FaultInjectionTest, ScheduledTruncationShortensOneRead) {
+  ASSERT_TRUE(inner_.Put("k", Slice(Bytes("0123456789"))).ok());
+  FaultInjectingStore store(&inner_);
+  store.ScheduleTruncation(store.op_count(), 4);
+  Buffer out;
+  ASSERT_TRUE(store.Get("k", &out).ok());
+  EXPECT_EQ(out, Bytes("0123"));
+  ASSERT_TRUE(store.Get("k", &out).ok());  // Only the scheduled op.
+  EXPECT_EQ(out, Bytes("0123456789"));
+  EXPECT_EQ(store.fault_stats().truncations_injected.load(), 1u);
+}
+
+TEST_F(FaultInjectionTest, RotObjectDamagesTheBackingStore) {
+  Buffer truth = Bytes("some committed index object bytes");
+  ASSERT_TRUE(inner_.Put("a", Slice(truth)).ok());
+  ASSERT_TRUE(inner_.Put("b", Slice(truth)).ok());
+  ASSERT_TRUE(inner_.Put("c", Slice(truth)).ok());
+  FaultInjectingStore store(&inner_);
+  uint64_t ops_before = store.op_count();
+
+  ASSERT_TRUE(store.RotObject("a", RotKind::kFlipBit).ok());
+  Buffer out;
+  ASSERT_TRUE(inner_.Get("a", &out).ok());
+  EXPECT_NE(out, truth);
+  EXPECT_EQ(out.size(), truth.size());
+
+  ASSERT_TRUE(store.RotObject("b", RotKind::kTruncate).ok());
+  ASSERT_TRUE(inner_.Get("b", &out).ok());
+  EXPECT_LT(out.size(), truth.size());
+
+  ASSERT_TRUE(store.RotObject("c", RotKind::kDrop).ok());
+  EXPECT_TRUE(inner_.Get("c", &out).IsNotFound());
+
+  // Rot happens inside the medium: no op index consumed, reads report OK.
+  EXPECT_EQ(store.op_count(), ops_before);
+  EXPECT_EQ(store.fault_stats().rot_injected.load(), 3u);
+  ASSERT_TRUE(store.Get("a", &out).ok());
+  EXPECT_NE(out, truth);
+
+  // Deterministic: rotting the same key twice undoes the same bit flip.
+  ASSERT_TRUE(store.RotObject("a", RotKind::kFlipBit).ok());
+  ASSERT_TRUE(inner_.Get("a", &out).ok());
+  EXPECT_EQ(out, truth);
+}
+
 TEST_F(FaultInjectionTest, WorksOverLocalDiskStore) {
   auto root = std::filesystem::temp_directory_path() /
               ("rottnest_fault_test_" + std::to_string(::getpid()));

@@ -147,6 +147,34 @@ TEST_F(RetryTest, FirstAttemptConflictIsGenuine) {
   EXPECT_EQ(store.retry_stats().ambiguous_resolved.load(), 0u);
 }
 
+TEST_F(RetryTest, CorruptionAndNotFoundAreNeverRetried) {
+  // Anti-entropy contract: rot is an ANSWER about the object's state, not a
+  // transient fault — a backoff loop must never mask Corruption or NotFound
+  // (retrying would re-read the same damaged bytes and waste the budget).
+  ASSERT_TRUE(inner_.Put("k", Slice(Bytes("v"))).ok());
+  FaultInjectingStore faulty(&inner_);
+  RetryingStore store(&faulty, FastPolicy(), SimulatedSleeper(&clock_));
+
+  faulty.ScheduleFault(faulty.op_count(), Status::Corruption("bit rot"),
+                       /*side_effect_lands=*/false);
+  Buffer out;
+  EXPECT_TRUE(store.Get("k", &out).IsCorruption());
+  EXPECT_EQ(store.retry_stats().attempts.load(), 1u);
+  EXPECT_EQ(store.retry_stats().retries.load(), 0u);
+
+  faulty.ScheduleFault(faulty.op_count(), Status::NotFound("dropped"),
+                       /*side_effect_lands=*/false);
+  EXPECT_TRUE(store.Get("k", &out).IsNotFound());
+  EXPECT_EQ(store.retry_stats().attempts.load(), 2u);
+  EXPECT_EQ(store.retry_stats().retries.load(), 0u);
+
+  // Control: Unavailable on the same key IS retried.
+  faulty.ScheduleFault(faulty.op_count(), Status::Unavailable("throttled"),
+                       /*side_effect_lands=*/false);
+  EXPECT_TRUE(store.Get("k", &out).ok());
+  EXPECT_EQ(store.retry_stats().retries.load(), 1u);
+}
+
 TEST_F(RetryTest, HighFaultRateStillCompletesEventually) {
   // Determinism + budget: a 30% fault rate over many ops completes with
   // zero exhausted budgets under an 8-attempt policy.
