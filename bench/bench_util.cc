@@ -225,4 +225,25 @@ void PrintHeader(const std::string& figure, const std::string& title) {
   std::printf("==============================================================\n");
 }
 
+bool WriteBenchJson(const std::string& path, Json::Object root,
+                    const obs::MetricsRegistry* registry) {
+  if (registry != nullptr) {
+    root["metrics_snapshot"] = registry->SnapshotJson();
+  } else {
+    obs::MetricsRegistry empty;
+    root["metrics_snapshot"] = empty.SnapshotJson();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::string text = Json(root).Dump();
+  std::fputs(text.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace rottnest::bench

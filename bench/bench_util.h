@@ -13,8 +13,10 @@
 
 #include "baseline/brute_force.h"
 #include "baseline/dedicated_service.h"
+#include "common/json.h"
 #include "core/rottnest.h"
 #include "objectstore/object_store.h"
+#include "obs/metrics.h"
 #include "tco/tco.h"
 #include "workload/generators.h"
 
@@ -93,6 +95,14 @@ std::vector<std::vector<std::pair<std::string, uint64_t>>> VectorGroundTruth(
 
 /// Prints a section header so bench output reads as a report.
 void PrintHeader(const std::string& figure, const std::string& title);
+
+/// Writes `root` to `path` as a BENCH_*.json payload, folding the
+/// registry's SnapshotJson() in under "metrics_snapshot" — the block the
+/// bench-JSON schema check (tools/check_bench_json.py, a ctest) requires
+/// of every emitted BENCH_*.json. A null registry writes an empty
+/// snapshot. Returns false if the file could not be written.
+bool WriteBenchJson(const std::string& path, Json::Object root,
+                    const obs::MetricsRegistry* registry);
 
 }  // namespace rottnest::bench
 

@@ -16,6 +16,7 @@
 
 #include "bench/bench_util.h"
 #include "common/json.h"
+#include "obs/obs_context.h"
 #include "workload/generators.h"
 
 namespace rottnest::bench {
@@ -118,6 +119,14 @@ int main() {
   // cache layer's own IoStats count physical reads through the cache —
   // both must be zero when hot.
   auto w = BuildWorld(kFiles, 256 << 20);
+  // Mirror the measured world's store + cache counters into the registry
+  // snapshotted at the bottom of BENCH_cache.json, and give the measured
+  // queries an ObsContext so op.search_uuid.count lands there too.
+  obs::MetricsRegistry registry;
+  w->store->AttachMetrics(&registry);
+  w->client->cache()->AttachMetrics(&registry);
+  obs::ObsContext obs;
+  obs.metrics = &registry;
   std::atomic<uint64_t> index_object_gets{0};
   w->store->SetFailurePoint(
       [&index_object_gets](const std::string& op, const std::string& key) {
@@ -138,6 +147,7 @@ int main() {
       IoTrace trace;
       core::SearchOptions opts;
       opts.trace = &trace;
+      opts.obs = &obs;
       uint64_t before = w->store->stats().gets.load();
       core::SearchResult result;
       double cpu = TimeSeconds([&] {
@@ -146,19 +156,21 @@ int main() {
         result = std::move(r).value();
       });
       cold_gets += w->store->stats().gets.load() - before;
-      cold_misses += result.cache_misses;
+      cold_misses += result.stats.cache_misses;
       cold_ms += trace.ProjectedLatencyMs(s3) + cpu * 1000.0;
     }
     // Hot: identical query again; all immutable reads served locally, so
     // the S3 projection drops to the snapshot-resolution metadata reads
     // (a constant 2 dependent rounds: txn log, then metadata log).
     {
+      core::SearchOptions opts;
+      opts.obs = &obs;
       uint64_t before = w->store->stats().gets.load();
       uint64_t idx_before = index_object_gets.load();
       uint64_t cache_before = w->client->cache()->stats().gets.load();
       core::SearchResult result;
       double cpu = TimeSeconds([&] {
-        auto r = w->client->SearchUuid("uuid", Slice(value), 5);
+        auto r = w->client->SearchUuid("uuid", Slice(value), 5, opts);
         if (!r.ok() || r.value().matches.empty()) std::abort();
         result = std::move(r).value();
       });
@@ -166,8 +178,8 @@ int main() {
       hot_index_gets += index_object_gets.load() - idx_before;
       hot_cached_reads += w->client->cache()->stats().gets.load() -
                           cache_before;
-      hot_hits += result.cache_hits;
-      hot_misses += result.cache_misses;
+      hot_hits += result.stats.cache_hits;
+      hot_misses += result.stats.cache_misses;
       hot_ms += cpu * 1000.0 + 2.0 * s3.ttfb_ms;
     }
   }
@@ -210,13 +222,6 @@ int main() {
   root["depth_single_index"] = Json(static_cast<uint64_t>(depth_single));
   root["depth_fanout"] = Json(static_cast<uint64_t>(depth_fanout));
   root["depth_serial_projection"] = Json(static_cast<uint64_t>(depth_serial));
-  std::FILE* f = std::fopen("BENCH_cache.json", "w");
-  if (f != nullptr) {
-    std::string text = Json(root).Dump();
-    std::fputs(text.c_str(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    std::printf("wrote BENCH_cache.json\n");
-  }
+  WriteBenchJson("BENCH_cache.json", std::move(root), &registry);
   return 0;
 }

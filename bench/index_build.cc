@@ -17,6 +17,7 @@
 
 #include "bench/bench_util.h"
 #include "common/json.h"
+#include "obs/obs_context.h"
 
 namespace rottnest::bench {
 namespace {
@@ -71,10 +72,11 @@ format::WriterOptions WriterOpts() {
 }
 
 /// (1) One Index() call over kFiles fresh files at the given width.
-Run RunIndexBuild(size_t parallelism) {
+Run RunIndexBuild(size_t parallelism, obs::ObsContext* obs) {
   auto env = Env::Create(SpecFor(kFiles), Options(), WriterOpts());
   core::MaintenanceOptions opts;
   opts.parallelism = parallelism;
+  opts.obs = obs;
   core::IndexReport report;
   double cpu = TimeSeconds([&] {
     auto r = env->client->Index("uuid", IndexType::kTrie, opts);
@@ -87,7 +89,7 @@ Run RunIndexBuild(size_t parallelism) {
 
 /// (2) Compact() over kFiles single-increment index files (the Fig 13
 /// steady-state: append + index per increment, then one merge).
-Run RunCompact(size_t parallelism) {
+Run RunCompact(size_t parallelism, obs::ObsContext* obs) {
   auto env = Env::Create(SpecFor(1), Options(), WriterOpts());
   if (!env->client->Index("uuid", IndexType::kTrie).ok()) std::abort();
   workload::TextGenerator text(env->spec.seed + 1);
@@ -123,6 +125,7 @@ Run RunCompact(size_t parallelism) {
 
   core::MaintenanceOptions opts;
   opts.parallelism = parallelism;
+  opts.obs = obs;
   core::CompactReport report;
   double cpu = TimeSeconds([&] {
     auto r = env->client->Compact("uuid", IndexType::kTrie, opts);
@@ -206,13 +209,19 @@ int main() {
   std::printf("workload: %zu data files x %zu rows (Fig 13 UUID/trie)\n\n",
               kFiles, kRowsPerFile);
 
-  Run index_serial = RunIndexBuild(1);
-  Run index_parallel = RunIndexBuild(kParallelism);
+  // Op-level metrics from every measured run land in the registry
+  // snapshotted into BENCH_index.json.
+  obs::MetricsRegistry registry;
+  obs::ObsContext obs;
+  obs.metrics = &registry;
+
+  Run index_serial = RunIndexBuild(1, &obs);
+  Run index_parallel = RunIndexBuild(kParallelism, &obs);
   Print("index build (one call, 48 fresh files)", index_serial,
         index_parallel);
 
-  Run compact_serial = RunCompact(1);
-  Run compact_parallel = RunCompact(kParallelism);
+  Run compact_serial = RunCompact(1, &obs);
+  Run compact_parallel = RunCompact(kParallelism, &obs);
   Print("compact (merge 48 small index files)", compact_serial,
         compact_parallel);
 
@@ -225,13 +234,7 @@ int main() {
   root["parallelism"] = Json(static_cast<uint64_t>(kParallelism));
   Record(&root, "index_build", index_serial, index_parallel);
   Record(&root, "compact", compact_serial, compact_parallel);
-  std::FILE* f = std::fopen("BENCH_index.json", "w");
-  if (f != nullptr) {
-    std::string text = Json(root).Dump();
-    std::fputs(text.c_str(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    std::printf("\nwrote BENCH_index.json\n");
-  }
+  std::printf("\n");
+  WriteBenchJson("BENCH_index.json", std::move(root), &registry);
   return ok ? 0 : 1;
 }

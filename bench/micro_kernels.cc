@@ -1,16 +1,43 @@
 // google-benchmark microbenchmarks of the CPU kernels underneath Rottnest:
 // compression, suffix-array construction, page encode/decode, k-means,
 // hashing and varint coding. These bound the compute side of ic_r and
-// cpq_r in the TCO model.
+// cpq_r in the TCO model. Also verifies the observability layer's
+// off-by-default contract: with no ObsContext, the instrumented hot paths
+// perform ZERO heap allocations (counted via a global operator new
+// override in this TU).
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "common/coding.h"
 #include "common/hash.h"
 #include "common/random.h"
 #include "compress/lz.h"
+#include "core/obs_internal.h"
 #include "format/page.h"
 #include "index/fm/suffix_array.h"
 #include "index/ivfpq/kmeans.h"
+#include "objectstore/object_store.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+// Counts every heap allocation in the process — the obs-off benchmark
+// below asserts the instrumented paths add none.
+static std::atomic<uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace rottnest {
 namespace {
@@ -126,6 +153,48 @@ void BM_VarintRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VarintRoundTrip);
+
+// The off-by-default acceptance gate: one pass over every instrumented
+// primitive with observability OFF — null metric handles, null tracer,
+// null ObsContext through OpObs/OpPhase, and a store GET with no metrics
+// attached — must touch the heap zero times per iteration.
+void BM_ObsOffHotPathZeroAlloc(benchmark::State& state) {
+  SimulatedClock clock;
+  objectstore::InMemoryObjectStore store(&clock);
+  const std::string key = "k";
+  Buffer payload(256, 0x5a);
+  if (!store.Put(key, Slice(payload)).ok()) std::abort();
+  Buffer out;
+  if (!store.Get(key, &out).ok()) std::abort();  // Warm `out`'s capacity.
+
+  uint64_t allocs = 0;
+  for (auto _ : state) {
+    uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+    // Null-safe emission helpers (the store/retry/fault emission sites).
+    obs::Add(static_cast<obs::Counter*>(nullptr), 42);
+    obs::Increment(static_cast<obs::Counter*>(nullptr));
+    obs::Record(static_cast<obs::Histogram*>(nullptr), 4096);
+    // A span with tracing off.
+    obs::ScopedSpan span(nullptr, &clock, "op", obs::kNoSpan);
+    span.AddIo(obs::SpanIo{});
+    // A whole operation's instrumentation under a null ObsContext.
+    {
+      core::internal::OpObs op(&store, nullptr, nullptr, "bench");
+      core::internal::OpPhase phase(&op, "plan");
+      op.Finish();
+    }
+    // An instrumented physical read with no metrics attached.
+    if (!store.Get(key, &out).ok()) std::abort();
+    benchmark::DoNotOptimize(out.data());
+    allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+  }
+  state.counters["heap_allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
+  if (allocs != 0) {
+    state.SkipWithError("obs-off hot path allocated on the heap");
+  }
+}
+BENCHMARK(BM_ObsOffHotPathZeroAlloc);
 
 }  // namespace
 }  // namespace rottnest

@@ -21,6 +21,7 @@
 
 #include "bench/bench_util.h"
 #include "common/json.h"
+#include "obs/obs_context.h"
 
 namespace rottnest::bench {
 namespace {
@@ -115,9 +116,10 @@ std::unique_ptr<Env> BuildIncrementalEnv() {
 /// Deep scrub at the given width; aborts unless it audited
 /// `expect_indexes` committed entries (0 = don't care).
 Run RunScrub(Env* env, size_t parallelism, size_t expect_indexes,
-             core::ScrubReport* out) {
+             core::ScrubReport* out, obs::ObsContext* obs) {
   core::ScrubOptions opts;
   opts.parallelism = parallelism;
+  opts.obs = obs;
   core::ScrubReport report;
   double cpu = TimeSeconds([&] {
     auto r = env->client->Scrub(opts);
@@ -201,7 +203,7 @@ size_t Errors(const core::ScrubReport& r) {
 
 /// (2) Rot kRotten objects, scrub, repair, scrub again. Returns false if
 /// the scrub misreports or the repair does not converge.
-bool RunRepairCycle(Json::Object* root) {
+bool RunRepairCycle(Json::Object* root, obs::ObsContext* obs) {
   auto env = BuildIncrementalEnv();
   auto entries = env->client->metadata().ReadAll();
   if (!entries.ok() || entries.value().size() != kFiles) std::abort();
@@ -218,7 +220,7 @@ bool RunRepairCycle(Json::Object* root) {
   }
 
   core::ScrubReport found;
-  RunScrub(env.get(), kParallelism, kFiles, &found);
+  RunScrub(env.get(), kParallelism, kFiles, &found, obs);
   bool ok = true;
   if (Errors(found) != kRotten) {
     std::fprintf(stderr, "FAIL: scrub reported %zu errors, injected %zu\n",
@@ -229,6 +231,7 @@ bool RunRepairCycle(Json::Object* root) {
   core::RepairReport repaired;
   core::RepairOptions ropts;
   ropts.parallelism = kParallelism;
+  ropts.obs = obs;
   double repair_cpu = TimeSeconds([&] {
     auto r = env->client->Repair(found, ropts);
     if (!r.ok()) std::abort();
@@ -242,7 +245,7 @@ bool RunRepairCycle(Json::Object* root) {
   }
 
   core::ScrubReport after;
-  RunScrub(env.get(), kParallelism, 0, &after);
+  RunScrub(env.get(), kParallelism, 0, &after, obs);
   if (!after.clean() || Errors(after) != 0) {
     std::fprintf(stderr, "FAIL: scrub not clean after repair\n");
     ok = false;
@@ -280,15 +283,21 @@ int main() {
   std::printf("workload: %zu index objects (%zu rows each, UUID/trie)\n\n",
               kFiles, kRowsPerFile);
 
+  // Op-level metrics from every measured run land in the registry
+  // snapshotted into BENCH_scrub.json.
+  obs::MetricsRegistry registry;
+  obs::ObsContext obs;
+  obs.metrics = &registry;
+
   // Fresh env per width so neither run reuses the other's audit state.
   Run serial, parallel;
   {
     auto env = BuildIncrementalEnv();
-    serial = RunScrub(env.get(), 1, kFiles, nullptr);
+    serial = RunScrub(env.get(), 1, kFiles, nullptr, &obs);
   }
   {
     auto env = BuildIncrementalEnv();
-    parallel = RunScrub(env.get(), kParallelism, kFiles, nullptr);
+    parallel = RunScrub(env.get(), kParallelism, kFiles, nullptr, &obs);
   }
   Print("deep scrub (48 index objects)", serial, parallel);
 
@@ -299,15 +308,9 @@ int main() {
   Record(&root, "scrub", serial, parallel);
 
   bool ok = Gate("deep scrub", serial, parallel);
-  ok = RunRepairCycle(&root) && ok;
+  ok = RunRepairCycle(&root, &obs) && ok;
 
-  std::FILE* f = std::fopen("BENCH_scrub.json", "w");
-  if (f != nullptr) {
-    std::string text = Json(root).Dump();
-    std::fputs(text.c_str(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    std::printf("\nwrote BENCH_scrub.json\n");
-  }
+  std::printf("\n");
+  WriteBenchJson("BENCH_scrub.json", std::move(root), &registry);
   return ok ? 0 : 1;
 }

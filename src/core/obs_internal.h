@@ -1,0 +1,229 @@
+// Internal instrumentation helpers shared by rottnest.cc and scrub.cc —
+// the glue between one Rottnest operation and its ObsContext (DESIGN.md
+// §4g). Not part of the public API.
+//
+// The attribution model: every span carries I/O EXCLUSIVE of its
+// descendants, so summing SpanIo over a whole tree telescopes to the
+// operation's total physical IoStats delta.
+//   * Serial phases (plan, probe, commit, ...) are measured as
+//     before/after deltas of the operation counters — phases within one
+//     operation are serial, so the deltas telescope exactly.
+//   * Fan-out children carry their per-task IoTrace totals. A traced total
+//     can only UNDER-claim the physical counters (failed attempts are
+//     retried below the trace, untraced metadata reads stay with the
+//     parent), never over-claim them — except through the client cache,
+//     whose hits satisfy traced reads without physical requests. The root
+//     keeps the saturating remainder, so the tree aggregate is exact
+//     whenever the cache is off and an upper bound otherwise.
+#ifndef ROTTNEST_CORE_OBS_INTERNAL_H_
+#define ROTTNEST_CORE_OBS_INTERNAL_H_
+
+#include <atomic>
+#include <string>
+
+#include "objectstore/caching_store.h"
+#include "objectstore/fault_injection.h"
+#include "objectstore/io_trace.h"
+#include "objectstore/retry.h"
+#include "obs/obs_context.h"
+#include "obs/stats.h"
+
+namespace rottnest::core::internal {
+
+/// Converts an op-local IoTrace's totals into exclusive span I/O (the
+/// accounting a fan-out child claims for itself).
+inline obs::SpanIo SpanIoFromTrace(const objectstore::IoTrace& t) {
+  obs::SpanIo io;
+  io.gets = t.total_gets();
+  io.lists = t.total_lists();
+  io.bytes_read = t.total_bytes();
+  io.compute_micros = t.compute_micros();
+  return io;
+}
+
+/// Point-in-time snapshot of every counter an operation attributes deltas
+/// from: the physical store IoStats, the client cache's cache events, and
+/// the ObsContext's optional retry/fault stat hooks.
+struct OpSnapshot {
+  uint64_t gets = 0, puts = 0, lists = 0, deletes = 0, heads = 0;
+  uint64_t bytes_read = 0, bytes_written = 0;
+  uint64_t cache_hits = 0, cache_misses = 0;
+  uint64_t retries = 0, faults = 0;
+};
+
+/// Instruments ONE Rottnest operation: bumps the `op.<name>.count`
+/// registry counter, opens the root span (under obs->parent), and
+/// attributes counter deltas to spans per the model above. Null-safe: with
+/// a null ObsContext (or one without a tracer) every span path is a no-op
+/// and nothing allocates; the counter snapshots are plain atomic loads.
+class OpObs {
+ public:
+  OpObs(const objectstore::ObjectStore* store,
+        const objectstore::CachingStore* cache, const obs::ObsContext* obs,
+        const char* name)
+      : store_(store), cache_(cache), clock_(&store->clock()) {
+    if (obs != nullptr) {
+      tracer_ = obs->tracer;
+      retry_stats_ = obs->retry_stats;
+      fault_stats_ = obs->fault_stats;
+      if (obs->metrics != nullptr) {
+        obs->metrics->GetCounter(std::string("op.") + name + ".count")
+            ->Increment();
+      }
+      root_ = obs::ScopedSpan(tracer_, clock_, name, obs->parent);
+    }
+    begin_ = Snap();
+  }
+  OpObs(const OpObs&) = delete;
+  OpObs& operator=(const OpObs&) = delete;
+  ~OpObs() { Finish(); }
+
+  bool tracing() const { return tracer_ != nullptr; }
+  obs::Tracer* tracer() { return tracer_; }
+  obs::SpanId root_id() const { return root_.id(); }
+  Micros NowMicros() const { return clock_->NowMicros(); }
+
+  OpSnapshot Snap() const {
+    OpSnapshot s;
+    const objectstore::IoStats& io = store_->stats();
+    s.gets = io.gets.load(std::memory_order_relaxed);
+    s.puts = io.puts.load(std::memory_order_relaxed);
+    s.lists = io.lists.load(std::memory_order_relaxed);
+    s.deletes = io.deletes.load(std::memory_order_relaxed);
+    s.heads = io.heads.load(std::memory_order_relaxed);
+    s.bytes_read = io.bytes_read.load(std::memory_order_relaxed);
+    s.bytes_written = io.bytes_written.load(std::memory_order_relaxed);
+    if (cache_ != nullptr) {
+      const objectstore::IoStats& c = cache_->stats();
+      s.cache_hits = c.cache_hits.load(std::memory_order_relaxed);
+      s.cache_misses = c.cache_misses.load(std::memory_order_relaxed);
+    }
+    if (retry_stats_ != nullptr) {
+      s.retries = retry_stats_->retries.load(std::memory_order_relaxed);
+    }
+    if (fault_stats_ != nullptr) {
+      const objectstore::FaultStats& f = *fault_stats_;
+      s.faults =
+          f.transient_injected.load(std::memory_order_relaxed) +
+          f.ambiguous_injected.load(std::memory_order_relaxed) +
+          f.scheduled_injected.load(std::memory_order_relaxed) +
+          f.crash_refusals.load(std::memory_order_relaxed) +
+          f.corrupt_reads_injected.load(std::memory_order_relaxed) +
+          f.truncations_injected.load(std::memory_order_relaxed) +
+          f.rot_injected.load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  static obs::SpanIo Delta(const OpSnapshot& a, const OpSnapshot& b) {
+    obs::SpanIo d;
+    d.gets = b.gets - a.gets;
+    d.puts = b.puts - a.puts;
+    d.lists = b.lists - a.lists;
+    d.deletes = b.deletes - a.deletes;
+    d.heads = b.heads - a.heads;
+    d.bytes_read = b.bytes_read - a.bytes_read;
+    d.bytes_written = b.bytes_written - a.bytes_written;
+    d.cache_hits = b.cache_hits - a.cache_hits;
+    d.cache_misses = b.cache_misses - a.cache_misses;
+    d.retries = b.retries - a.retries;
+    d.faults = b.faults - a.faults;
+    return d;
+  }
+
+  /// Credits `io` exclusively to span `id` and remembers it as attributed,
+  /// so the root's remainder in Finish() does not count it again.
+  void Attribute(obs::SpanId id, const obs::SpanIo& io) {
+    if (tracer_ == nullptr) return;
+    tracer_->AddIo(id, io);
+    attributed_.Add(io);
+  }
+
+  /// Marks the counter delta since `before` as attributed by NESTED
+  /// operations' own spans (Repair's rebuilt Index calls): excluded from
+  /// the root's remainder without crediting any span here.
+  void AttributeElsewhere(const OpSnapshot& before) {
+    if (tracer_ == nullptr) return;
+    attributed_.Add(Delta(before, Snap()));
+  }
+
+  /// Fills the delta-derived fields of `stats`: physical request/byte
+  /// totals plus cache/retry/fault deltas. Works with observability off
+  /// (hook-less fields stay zero). No allocation.
+  void FillDeltaStats(obs::Stats* stats) const {
+    OpSnapshot now = Snap();
+    stats->gets = now.gets - begin_.gets;
+    stats->lists = now.lists - begin_.lists;
+    stats->bytes_read = now.bytes_read - begin_.bytes_read;
+    FillResilienceStats(stats);
+  }
+
+  /// Fills only the cache/retry/fault deltas (maintenance ops take their
+  /// request totals from the width-invariant op-local IoTrace instead).
+  void FillResilienceStats(obs::Stats* stats) const {
+    OpSnapshot now = Snap();
+    stats->cache_hits = now.cache_hits - begin_.cache_hits;
+    stats->cache_misses = now.cache_misses - begin_.cache_misses;
+    stats->retries = now.retries - begin_.retries;
+    stats->faults = now.faults - begin_.faults;
+  }
+
+  /// Ends the root span, crediting it with the remainder of the op's total
+  /// delta no child span claimed (saturating per field — see the header
+  /// comment for why children can under- but not over-claim, cache aside).
+  void Finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (tracer_ == nullptr) return;
+    obs::SpanIo total = Delta(begin_, Snap());
+    root_.AddIo(total.MinusSaturating(attributed_));
+    root_.End();
+  }
+
+ private:
+  const objectstore::ObjectStore* store_;
+  const objectstore::CachingStore* cache_;
+  const Clock* clock_;
+  obs::Tracer* tracer_ = nullptr;
+  const objectstore::RetryStats* retry_stats_ = nullptr;
+  const objectstore::FaultStats* fault_stats_ = nullptr;
+  obs::ScopedSpan root_;
+  OpSnapshot begin_;
+  obs::SpanIo attributed_;
+  bool finished_ = false;
+};
+
+/// RAII serial phase of an operation: one child span under the root whose
+/// exclusive I/O is the operation counters' delta across the phase. Only
+/// valid for phases that do not overlap other spans' I/O (phases within
+/// one op run serially on the op's thread).
+class OpPhase {
+ public:
+  OpPhase(OpObs* op, const char* name) : op_(op) {
+    if (op_ == nullptr || !op_->tracing()) {
+      op_ = nullptr;
+      return;
+    }
+    begin_ = op_->Snap();
+    id_ = op_->tracer()->StartSpan(name, op_->root_id(), op_->NowMicros());
+  }
+  OpPhase(const OpPhase&) = delete;
+  OpPhase& operator=(const OpPhase&) = delete;
+  ~OpPhase() { End(); }
+
+  void End() {
+    if (op_ == nullptr) return;
+    op_->Attribute(id_, OpObs::Delta(begin_, op_->Snap()));
+    op_->tracer()->EndSpan(id_, op_->NowMicros());
+    op_ = nullptr;
+  }
+
+ private:
+  OpObs* op_ = nullptr;
+  obs::SpanId id_ = obs::kNoSpan;
+  OpSnapshot begin_;
+};
+
+}  // namespace rottnest::core::internal
+
+#endif  // ROTTNEST_CORE_OBS_INTERNAL_H_

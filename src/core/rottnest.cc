@@ -9,6 +9,7 @@
 #include <set>
 
 #include "common/hash.h"
+#include "core/obs_internal.h"
 #include "format/reader.h"
 #include "index/ivfpq/kmeans.h"
 #include "index/trie/trie_index.h"
@@ -313,33 +314,99 @@ Status ScanFileRows(
 
 /// Runs `task(i, trace_i)` for every applicable index of a plan
 /// concurrently on `pool` — fan-out ACROSS indexes, on top of whatever
-/// within-index parallelism each task already uses. Per-task IoTraces are
-/// zipped into `trace` via MergeParallel, so the recorded dependent-round
-/// depth is the depth of the deepest single index chain rather than the
-/// sum over indexes (§V-B: width is cheap, depth is not). Statuses come
-/// back positionally so the caller can apply its degraded-index policy per
-/// entry in plan order — aggregation stays deterministic regardless of how
-/// the tasks interleave.
+/// within-index parallelism each task already uses. `max_width` bounds the
+/// concurrency (0 = all n at once, the §V-B default); at a bound the
+/// per-task IoTraces are merged in waves of `max_width` chains, otherwise
+/// zipped via MergeParallel, so the recorded dependent-round depth honestly
+/// reflects the width actually run — the deepest single chain at full
+/// width, not the sum over indexes (§V-B: width is cheap, depth is not).
+/// When `op` is tracing, every task also gets a `label(i)` child span under
+/// the op root carrying its trace totals as exclusive I/O; spans are
+/// created and attributed in plan order on the calling thread, so the span
+/// tree is deterministic regardless of how the tasks interleave. Statuses
+/// come back positionally so the caller can apply its degraded-index
+/// policy per entry in plan order.
 std::vector<Status> FanOutIndexQueries(
-    ThreadPool* pool, size_t n, objectstore::IoTrace* trace,
+    ThreadPool* pool, size_t n, size_t max_width, objectstore::IoTrace* trace,
+    internal::OpObs* op, const std::function<std::string(size_t)>& label,
     const std::function<Status(size_t, objectstore::IoTrace*)>& task) {
   std::vector<Status> statuses(n);
   if (n == 0) return statuses;
-  if (n == 1) {  // Nothing concurrent to model; record into the parent.
+  const bool spans = op != nullptr && op->tracing();
+  if (n == 1 && !spans) {  // Nothing concurrent to model; record into parent.
     statuses[0] = task(0, trace);
     return statuses;
   }
-  std::vector<objectstore::IoTrace> children(trace != nullptr ? n : 0);
-  pool->ParallelFor(n, [&](size_t i) {
-    statuses[i] = task(i, trace != nullptr ? &children[i] : nullptr);
-  });
+  std::vector<obs::SpanId> span_ids;
+  if (spans) {
+    span_ids.reserve(n);
+    Micros now = op->NowMicros();
+    for (size_t i = 0; i < n; ++i) {
+      span_ids.push_back(
+          op->tracer()->StartSpan(label(i), op->root_id(), now));
+    }
+  }
+  const bool need_children = trace != nullptr || spans;
+  std::vector<objectstore::IoTrace> children(need_children ? n : 0);
+  const size_t width = max_width == 0 ? n : std::min(max_width, n);
+  auto run = [&](size_t i) {
+    statuses[i] = task(i, need_children ? &children[i] : nullptr);
+  };
+  if (n == 1) {
+    run(0);
+  } else if (width >= n) {
+    pool->ParallelFor(n, run);
+  } else {
+    pool->ParallelFor(n, width, run);
+  }
+  if (spans) {
+    Micros now = op->NowMicros();
+    for (size_t i = 0; i < n; ++i) {
+      op->Attribute(span_ids[i], internal::SpanIoFromTrace(children[i]));
+      op->tracer()->EndSpan(span_ids[i], now);
+    }
+  }
   if (trace != nullptr) {
-    std::vector<const objectstore::IoTrace*> ptrs;
-    ptrs.reserve(children.size());
-    for (const auto& c : children) ptrs.push_back(&c);
-    trace->MergeParallel(ptrs);
+    if (width >= n) {
+      std::vector<const objectstore::IoTrace*> ptrs;
+      ptrs.reserve(children.size());
+      for (const auto& c : children) ptrs.push_back(&c);
+      trace->MergeParallel(ptrs);
+    } else {
+      internal::MergeWaves(trace, children, width);
+    }
   }
   return statuses;
+}
+
+/// Resolved fan-out width of a search (reported in Stats::parallelism).
+size_t ResolvedFanOut(size_t n, size_t max_width) {
+  if (n == 0) return 1;
+  return max_width == 0 ? n : std::min(max_width, n);
+}
+
+/// Fills SearchResult::stats at the end of a search: physical store deltas
+/// (requests, bytes, cache/retry/fault events) from the op's snapshots,
+/// IoTrace-derived depth and S3 projections when the caller traced, wall
+/// time, and the resolved fan-out width. Also syncs the deprecated
+/// cache_hits/cache_misses aliases.
+void FinishSearchStats(const SearchOptions& opts, const internal::OpObs& op,
+                       std::chrono::steady_clock::time_point wall_start,
+                       size_t fanout, SearchResult* result) {
+  op.FillDeltaStats(&result->stats);
+  if (opts.trace != nullptr) {
+    objectstore::S3Model s3;
+    result->stats.io_depth = opts.trace->depth();
+    result->stats.simulated_latency_ms = opts.trace->ProjectedLatencyMs(s3);
+    result->stats.simulated_cost_usd = opts.trace->RequestCostUsd(s3);
+  }
+  result->stats.wall_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  result->stats.parallelism = fanout;
+  result->cache_hits = result->stats.cache_hits;
+  result->cache_misses = result->stats.cache_misses;
 }
 
 }  // namespace
@@ -382,23 +449,6 @@ Rottnest::Rottnest(objectstore::ObjectStore* store, lake::Table* table,
     cache_store_ =
         std::make_unique<objectstore::CachingStore>(store_, copts);
   }
-}
-
-Rottnest::CacheCounters Rottnest::SnapshotCacheCounters() const {
-  CacheCounters c;
-  if (cache_store_ != nullptr) {
-    c.hits = cache_store_->stats().cache_hits.load();
-    c.misses = cache_store_->stats().cache_misses.load();
-  }
-  return c;
-}
-
-void Rottnest::ReportCacheDelta(const CacheCounters& before,
-                                SearchResult* result) {
-  if (cache_store_ == nullptr) return;
-  result->cache_hits = cache_store_->stats().cache_hits.load() - before.hits;
-  result->cache_misses =
-      cache_store_->stats().cache_misses.load() - before.misses;
 }
 
 void Rottnest::InvalidateCachedIndex(const std::string& key) {
@@ -462,8 +512,9 @@ void Rottnest::FinishMaintenanceStats(
     objectstore::IoTrace* local, const MaintenanceOptions& opts,
     const MaintenancePlan& plan,
     std::chrono::steady_clock::time_point wall_start,
-    MaintenanceStats* stats) const {
+    const internal::OpObs* op, MaintenanceStats* stats) const {
   objectstore::S3Model s3;
+  if (op != nullptr) op->FillResilienceStats(stats);
   stats->gets = local->total_gets();
   stats->lists = local->total_lists();
   stats->bytes_read = local->total_bytes();
@@ -580,7 +631,7 @@ Status StageFile(objectstore::ObjectStore* store, const DataFile& f,
 Result<IndexReport> Rottnest::BuildIndexFile(
     const std::string& column, IndexType type,
     const std::vector<DataFile>& files, const MaintenancePlan& plan,
-    objectstore::IoTrace* trace) {
+    objectstore::IoTrace* trace, internal::OpObs* op) {
   int col_idx = table_->schema().FindColumn(column);
   if (col_idx < 0) return Status::InvalidArgument("no such column: " + column);
   const ColumnSchema& col_schema = table_->schema().columns[col_idx];
@@ -738,22 +789,40 @@ Result<IndexReport> Rottnest::BuildIndexFile(
 
   // Merge per-file traces in file order — also on failure, so aborted ops
   // still account for the IO they did. Waves of plan.parallelism chains
-  // overlap; serial builds pay the chains back to back.
+  // overlap; serial builds pay the chains back to back. The span tree
+  // mirrors the same structure: one `stage:<file>` child per staged file,
+  // carrying its chain's trace totals as exclusive I/O. (No enclosing
+  // phase span around the pipeline — the staging I/O is already claimed by
+  // the stage spans, and a phase delta would claim it a second time.)
   internal::MergeWaves(trace, child_traces, plan.parallelism);
+  if (op != nullptr && op->tracing()) {
+    Micros now = op->NowMicros();
+    for (size_t i = 0; i < n; ++i) {
+      obs::SpanId sid = op->tracer()->StartSpan("stage:" + files[i].path,
+                                                op->root_id(), now);
+      op->Attribute(sid, internal::SpanIoFromTrace(child_traces[i]));
+      op->tracer()->EndSpan(sid, now);
+    }
+  }
   ROTTNEST_RETURN_NOT_OK(pipeline_status);
 
   Buffer image;
-  ThreadPool* finish_pool = plan.parallelism > 1 ? &pool_ : nullptr;
-  switch (type) {
-    case IndexType::kTrie:
-      ROTTNEST_RETURN_NOT_OK(trie_builder.Finish(pages, finish_pool, &image));
-      break;
-    case IndexType::kFm:
-      ROTTNEST_RETURN_NOT_OK(fm_builder.Finish(pages, finish_pool, &image));
-      break;
-    case IndexType::kIvfPq:
-      ROTTNEST_RETURN_NOT_OK(ivf_builder->Finish(pages, finish_pool, &image));
-      break;
+  {
+    internal::OpPhase phase(op, "build");
+    ThreadPool* finish_pool = plan.parallelism > 1 ? &pool_ : nullptr;
+    switch (type) {
+      case IndexType::kTrie:
+        ROTTNEST_RETURN_NOT_OK(
+            trie_builder.Finish(pages, finish_pool, &image));
+        break;
+      case IndexType::kFm:
+        ROTTNEST_RETURN_NOT_OK(fm_builder.Finish(pages, finish_pool, &image));
+        break;
+      case IndexType::kIvfPq:
+        ROTTNEST_RETURN_NOT_OK(
+            ivf_builder->Finish(pages, finish_pool, &image));
+        break;
+    }
   }
   if (store_->clock().NowMicros() >= plan.deadline) {
     return Status::Aborted("index operation exceeded timeout");
@@ -761,7 +830,10 @@ Result<IndexReport> Rottnest::BuildIndexFile(
 
   // Upload, then commit (upload-before-commit preserves Existence).
   report.index_path = NewIndexName();
-  ROTTNEST_RETURN_NOT_OK(store_->Put(report.index_path, Slice(image)));
+  {
+    internal::OpPhase phase(op, "upload");
+    ROTTNEST_RETURN_NOT_OK(store_->Put(report.index_path, Slice(image)));
+  }
   return report;
 }
 
@@ -770,31 +842,36 @@ Result<IndexReport> Rottnest::Index(const std::string& column, IndexType type,
   auto wall_start = std::chrono::steady_clock::now();
   Micros start = store_->clock().NowMicros();
   MaintenancePlan plan = ResolveMaintenance(opts, start);
+  internal::OpObs op(store_, cache_store_.get(), opts.obs, "index");
   objectstore::IoTrace local;
 
   // Plan: snapshot files not yet indexed for (column, type). Cost model:
   // one manifest read + one metadata-table read.
-  local.RecordList();
-  ROTTNEST_ASSIGN_OR_RETURN(Snapshot snapshot, table_->GetSnapshot());
-  local.RecordList();
-  ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
-                            metadata_.ReadAll());
-  std::set<std::string> indexed;
-  for (const IndexEntry& e : entries) {
-    if (e.column != column || e.index_type != IndexTypeName(type)) continue;
-    indexed.insert(e.covered_files.begin(), e.covered_files.end());
-  }
   std::vector<DataFile> fresh;
   uint64_t fresh_rows = 0;
-  for (const DataFile& f : snapshot.files) {
-    if (indexed.count(f.path) == 0) {
-      fresh.push_back(f);
-      fresh_rows += f.rows;
+  {
+    internal::OpPhase phase(&op, "plan");
+    local.RecordList();
+    ROTTNEST_ASSIGN_OR_RETURN(Snapshot snapshot, table_->GetSnapshot());
+    local.RecordList();
+    ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
+                              metadata_.ReadAll());
+    std::set<std::string> indexed;
+    for (const IndexEntry& e : entries) {
+      if (e.column != column || e.index_type != IndexTypeName(type)) continue;
+      indexed.insert(e.covered_files.begin(), e.covered_files.end());
+    }
+    for (const DataFile& f : snapshot.files) {
+      if (indexed.count(f.path) == 0) {
+        fresh.push_back(f);
+        fresh_rows += f.rows;
+      }
     }
   }
   IndexReport report;
   if (fresh.empty()) {  // Nothing to do.
-    FinishMaintenanceStats(&local, opts, plan, wall_start, &report.stats);
+    FinishMaintenanceStats(&local, opts, plan, wall_start, &op,
+                           &report.stats);
     return report;
   }
   if (type == IndexType::kIvfPq &&
@@ -805,24 +882,28 @@ Result<IndexReport> Rottnest::Index(const std::string& column, IndexType type,
   if (opts.dry_run) {
     for (const DataFile& f : fresh) report.covered_files.push_back(f.path);
     report.rows = fresh_rows;
-    FinishMaintenanceStats(&local, opts, plan, wall_start, &report.stats);
+    FinishMaintenanceStats(&local, opts, plan, wall_start, &op,
+                           &report.stats);
     return report;
   }
 
-  ROTTNEST_ASSIGN_OR_RETURN(report,
-                            BuildIndexFile(column, type, fresh, plan, &local));
+  ROTTNEST_ASSIGN_OR_RETURN(
+      report, BuildIndexFile(column, type, fresh, plan, &local, &op));
 
   // Commit.
-  IndexEntry entry;
-  entry.index_path = report.index_path;
-  entry.index_type = IndexTypeName(type);
-  entry.column = column;
-  entry.covered_files = report.covered_files;
-  entry.rows = report.rows;
-  entry.created_micros = store_->clock().NowMicros();
-  auto committed = metadata_.Update({entry}, {});
-  if (!committed.ok()) return committed.status();
-  FinishMaintenanceStats(&local, opts, plan, wall_start, &report.stats);
+  {
+    internal::OpPhase phase(&op, "commit");
+    IndexEntry entry;
+    entry.index_path = report.index_path;
+    entry.index_type = IndexTypeName(type);
+    entry.column = column;
+    entry.covered_files = report.covered_files;
+    entry.rows = report.rows;
+    entry.created_micros = store_->clock().NowMicros();
+    auto committed = metadata_.Update({entry}, {});
+    if (!committed.ok()) return committed.status();
+  }
+  FinishMaintenanceStats(&local, opts, plan, wall_start, &op, &report.stats);
   return report;
 }
 
@@ -876,10 +957,14 @@ Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
                                           Slice value, size_t k,
                                           const SearchOptions& opts) {
   objectstore::IoTrace* trace = opts.trace;
-  CacheCounters cache_before = SnapshotCacheCounters();
+  auto wall_start = std::chrono::steady_clock::now();
+  internal::OpObs op(store_, cache_store_.get(), opts.obs, "search_uuid");
   Plan plan;
-  ROTTNEST_RETURN_NOT_OK(
-      MakePlan(column, IndexType::kTrie, opts.snapshot, trace, &plan));
+  {
+    internal::OpPhase phase(&op, "plan");
+    ROTTNEST_RETURN_NOT_OK(
+        MakePlan(column, IndexType::kTrie, opts.snapshot, trace, &plan));
+  }
   const ColumnSchema& col_schema =
       table_->schema().columns[plan.column_index];
   RangeFilter rf(read_store(), table_->schema(), opts.range);
@@ -896,7 +981,8 @@ Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
   // covered files (below) rather than failing the whole query.
   std::vector<std::vector<PageFetch>> per_index(plan.indexes.size());
   std::vector<Status> statuses = FanOutIndexQueries(
-      &pool_, plan.indexes.size(), trace,
+      &pool_, plan.indexes.size(), opts.parallelism, trace, &op,
+      [&](size_t i) { return "index:" + plan.indexes[i].index_path; },
       [&](size_t i, objectstore::IoTrace* t) -> Status {
         const IndexEntry& entry = plan.indexes[i];
         ROTTNEST_ASSIGN_OR_RETURN(
@@ -933,57 +1019,66 @@ Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
       HandleSearchFailures(opts, degraded.failures());
 
   // In-situ probing: verify candidate pages against the actual value.
-  std::vector<ColumnVector> probed;
-  ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
-  result.pages_probed = fetches.size();
-  for (size_t i = 0; i < fetches.size(); ++i) {
-    for (size_t r = 0; r < probed[i].size(); ++r) {
-      std::string v = ValueAt(probed[i], r);
-      if (Slice(v) == value) {
-        uint64_t row = fetches[i].page.first_row + r;
-        ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
-                                  dvs.IsDeleted(fetches[i].key, row));
-        if (deleted) continue;
-        if (seen.insert({fetches[i].key, row}).second) {
-          result.matches.push_back({fetches[i].key, row, v, 0});
+  {
+    internal::OpPhase phase(&op, "probe");
+    std::vector<ColumnVector> probed;
+    ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
+    result.pages_probed = fetches.size();
+    for (size_t i = 0; i < fetches.size(); ++i) {
+      for (size_t r = 0; r < probed[i].size(); ++r) {
+        std::string v = ValueAt(probed[i], r);
+        if (Slice(v) == value) {
+          uint64_t row = fetches[i].page.first_row + r;
+          ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
+                                    dvs.IsDeleted(fetches[i].key, row));
+          if (deleted) continue;
+          if (seen.insert({fetches[i].key, row}).second) {
+            result.matches.push_back({fetches[i].key, row, v, 0});
+          }
         }
       }
     }
-  }
-  ROTTNEST_RETURN_NOT_OK(rf.FilterMatches(&result.matches, trace));
-
-  // Degraded fallback: files whose only index coverage failed are scanned
-  // unconditionally (a fault-free query would have consulted their index
-  // regardless of k).
-  auto scan_for_value = [&](const std::string& file) -> Status {
-    bool scanned = false;
-    ROTTNEST_RETURN_NOT_OK(ScanFileRows(
-        read_store(), file, plan.column_index, &rf, trace, &scanned,
-        [&](uint64_t row, const std::string& v) -> Status {
-          if (!(Slice(v) == value)) return Status::OK();
-          ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(file, row));
-          if (deleted) return Status::OK();
-          if (seen.insert({file, row}).second) {
-            result.matches.push_back({file, row, v, 0});
-          }
-          return Status::OK();
-        }));
-    if (scanned) ++result.files_scanned;
-    return Status::OK();
-  };
-  for (const DataFile* f : degraded.FilesToScan(plan.snapshot)) {
-    ROTTNEST_RETURN_NOT_OK(scan_for_value(f->path));
+    ROTTNEST_RETURN_NOT_OK(rf.FilterMatches(&result.matches, trace));
   }
 
-  // Unindexed fallback: scan only if the exact-match top-k is unsatisfied.
-  if (result.matches.size() < k) {
-    for (const DataFile& f : plan.unindexed) {
-      ROTTNEST_RETURN_NOT_OK(scan_for_value(f.path));
-      if (result.matches.size() >= k) break;
+  {
+    internal::OpPhase phase(&op, "scan");
+    // Degraded fallback: files whose only index coverage failed are
+    // scanned unconditionally (a fault-free query would have consulted
+    // their index regardless of k).
+    auto scan_for_value = [&](const std::string& file) -> Status {
+      bool scanned = false;
+      ROTTNEST_RETURN_NOT_OK(ScanFileRows(
+          read_store(), file, plan.column_index, &rf, trace, &scanned,
+          [&](uint64_t row, const std::string& v) -> Status {
+            if (!(Slice(v) == value)) return Status::OK();
+            ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(file, row));
+            if (deleted) return Status::OK();
+            if (seen.insert({file, row}).second) {
+              result.matches.push_back({file, row, v, 0});
+            }
+            return Status::OK();
+          }));
+      if (scanned) ++result.files_scanned;
+      return Status::OK();
+    };
+    for (const DataFile* f : degraded.FilesToScan(plan.snapshot)) {
+      ROTTNEST_RETURN_NOT_OK(scan_for_value(f->path));
+    }
+
+    // Unindexed fallback: scan only if the exact-match top-k is
+    // unsatisfied.
+    if (result.matches.size() < k) {
+      for (const DataFile& f : plan.unindexed) {
+        ROTTNEST_RETURN_NOT_OK(scan_for_value(f.path));
+        if (result.matches.size() >= k) break;
+      }
     }
   }
   if (result.matches.size() > k) result.matches.resize(k);
-  ReportCacheDelta(cache_before, &result);
+  FinishSearchStats(opts, op, wall_start,
+                    ResolvedFanOut(plan.indexes.size(), opts.parallelism),
+                    &result);
   return result;
 }
 
@@ -992,10 +1087,15 @@ Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
                                                size_t k,
                                                const SearchOptions& opts) {
   objectstore::IoTrace* trace = opts.trace;
-  CacheCounters cache_before = SnapshotCacheCounters();
+  auto wall_start = std::chrono::steady_clock::now();
+  internal::OpObs op(store_, cache_store_.get(), opts.obs,
+                     "search_substring");
   Plan plan;
-  ROTTNEST_RETURN_NOT_OK(
-      MakePlan(column, IndexType::kFm, opts.snapshot, trace, &plan));
+  {
+    internal::OpPhase phase(&op, "plan");
+    ROTTNEST_RETURN_NOT_OK(
+        MakePlan(column, IndexType::kFm, opts.snapshot, trace, &plan));
+  }
   const ColumnSchema& col_schema =
       table_->schema().columns[plan.column_index];
   RangeFilter rf(read_store(), table_->schema(), opts.range);
@@ -1009,7 +1109,8 @@ Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
   // per-task fetch slots, plan-order aggregation, per-entry degradation.
   std::vector<std::vector<PageFetch>> per_index(plan.indexes.size());
   std::vector<Status> statuses = FanOutIndexQueries(
-      &pool_, plan.indexes.size(), trace,
+      &pool_, plan.indexes.size(), opts.parallelism, trace, &op,
+      [&](size_t i) { return "index:" + plan.indexes[i].index_path; },
       [&](size_t i, objectstore::IoTrace* t) -> Status {
         const IndexEntry& entry = plan.indexes[i];
         ROTTNEST_ASSIGN_OR_RETURN(
@@ -1044,54 +1145,62 @@ Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
   result.indexes_quarantined =
       HandleSearchFailures(opts, degraded.failures());
 
-  std::vector<ColumnVector> probed;
-  ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
-  result.pages_probed = fetches.size();
-  for (size_t i = 0; i < fetches.size(); ++i) {
-    for (size_t r = 0; r < probed[i].size(); ++r) {
-      std::string v = ValueAt(probed[i], r);
-      if (v.find(pattern) == std::string::npos) continue;
-      uint64_t row = fetches[i].page.first_row + r;
-      ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
-                                dvs.IsDeleted(fetches[i].key, row));
-      if (deleted) continue;
-      if (seen.insert({fetches[i].key, row}).second) {
-        result.matches.push_back({fetches[i].key, row, v, 0});
+  {
+    internal::OpPhase phase(&op, "probe");
+    std::vector<ColumnVector> probed;
+    ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
+    result.pages_probed = fetches.size();
+    for (size_t i = 0; i < fetches.size(); ++i) {
+      for (size_t r = 0; r < probed[i].size(); ++r) {
+        std::string v = ValueAt(probed[i], r);
+        if (v.find(pattern) == std::string::npos) continue;
+        uint64_t row = fetches[i].page.first_row + r;
+        ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
+                                  dvs.IsDeleted(fetches[i].key, row));
+        if (deleted) continue;
+        if (seen.insert({fetches[i].key, row}).second) {
+          result.matches.push_back({fetches[i].key, row, v, 0});
+        }
+      }
+    }
+    ROTTNEST_RETURN_NOT_OK(rf.FilterMatches(&result.matches, trace));
+  }
+
+  {
+    internal::OpPhase phase(&op, "scan");
+    // Degraded fallback first (unconditional), then the unindexed
+    // fallback (only if top-k is unsatisfied).
+    auto scan_for_pattern = [&](const std::string& file) -> Status {
+      bool scanned = false;
+      ROTTNEST_RETURN_NOT_OK(ScanFileRows(
+          read_store(), file, plan.column_index, &rf, trace, &scanned,
+          [&](uint64_t row, const std::string& v) -> Status {
+            if (v.find(pattern) == std::string::npos) return Status::OK();
+            ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(file, row));
+            if (deleted) return Status::OK();
+            if (seen.insert({file, row}).second) {
+              result.matches.push_back({file, row, v, 0});
+            }
+            return Status::OK();
+          }));
+      if (scanned) ++result.files_scanned;
+      return Status::OK();
+    };
+    for (const DataFile* f : degraded.FilesToScan(plan.snapshot)) {
+      ROTTNEST_RETURN_NOT_OK(scan_for_pattern(f->path));
+    }
+
+    if (result.matches.size() < k) {
+      for (const DataFile& f : plan.unindexed) {
+        ROTTNEST_RETURN_NOT_OK(scan_for_pattern(f.path));
+        if (result.matches.size() >= k) break;
       }
     }
   }
-  ROTTNEST_RETURN_NOT_OK(rf.FilterMatches(&result.matches, trace));
-
-  // Degraded fallback first (unconditional), then the unindexed fallback
-  // (only if top-k is unsatisfied).
-  auto scan_for_pattern = [&](const std::string& file) -> Status {
-    bool scanned = false;
-    ROTTNEST_RETURN_NOT_OK(ScanFileRows(
-        read_store(), file, plan.column_index, &rf, trace, &scanned,
-        [&](uint64_t row, const std::string& v) -> Status {
-          if (v.find(pattern) == std::string::npos) return Status::OK();
-          ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(file, row));
-          if (deleted) return Status::OK();
-          if (seen.insert({file, row}).second) {
-            result.matches.push_back({file, row, v, 0});
-          }
-          return Status::OK();
-        }));
-    if (scanned) ++result.files_scanned;
-    return Status::OK();
-  };
-  for (const DataFile* f : degraded.FilesToScan(plan.snapshot)) {
-    ROTTNEST_RETURN_NOT_OK(scan_for_pattern(f->path));
-  }
-
-  if (result.matches.size() < k) {
-    for (const DataFile& f : plan.unindexed) {
-      ROTTNEST_RETURN_NOT_OK(scan_for_pattern(f.path));
-      if (result.matches.size() >= k) break;
-    }
-  }
   if (result.matches.size() > k) result.matches.resize(k);
-  ReportCacheDelta(cache_before, &result);
+  FinishSearchStats(opts, op, wall_start,
+                    ResolvedFanOut(plan.indexes.size(), opts.parallelism),
+                    &result);
   return result;
 }
 
@@ -1100,7 +1209,8 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
                                             size_t k,
                                             const SearchOptions& opts) {
   objectstore::IoTrace* trace = opts.trace;
-  CacheCounters cache_before = SnapshotCacheCounters();
+  auto wall_start = std::chrono::steady_clock::now();
+  internal::OpObs op(store_, cache_store_.get(), opts.obs, "search_vector");
   // Per-query knobs default from the client's IvfPqOptions (v2 API).
   const uint32_t nprobe = opts.vector.nprobe != 0
                               ? opts.vector.nprobe
@@ -1109,8 +1219,11 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
                               ? opts.vector.refine
                               : options_.ivfpq.default_refine;
   Plan plan;
-  ROTTNEST_RETURN_NOT_OK(
-      MakePlan(column, IndexType::kIvfPq, opts.snapshot, trace, &plan));
+  {
+    internal::OpPhase phase(&op, "plan");
+    ROTTNEST_RETURN_NOT_OK(
+        MakePlan(column, IndexType::kIvfPq, opts.snapshot, trace, &plan));
+  }
   const ColumnSchema& col_schema =
       table_->schema().columns[plan.column_index];
   if (col_schema.fixed_len != dim * 4) {
@@ -1134,7 +1247,8 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
   };
   std::vector<std::vector<Cand>> per_index(plan.indexes.size());
   std::vector<Status> statuses = FanOutIndexQueries(
-      &pool_, plan.indexes.size(), trace,
+      &pool_, plan.indexes.size(), opts.parallelism, trace, &op,
+      [&](size_t i) { return "index:" + plan.indexes[i].index_path; },
       [&](size_t i, objectstore::IoTrace* t) -> Status {
         const IndexEntry& entry = plan.indexes[i];
         ROTTNEST_ASSIGN_OR_RETURN(
@@ -1176,58 +1290,64 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
             [](const Cand& a, const Cand& b) { return a.approx < b.approx; });
   if (candidates.size() > refine) candidates.resize(refine);
 
-  // Fetch candidate pages (deduplicated) in one round.
-  std::map<std::pair<std::string, uint64_t>, size_t> fetch_index;
-  std::vector<PageFetch> fetches;
-  for (const Cand& c : candidates) {
-    auto key = std::make_pair(c.fetch.key, c.fetch.page.offset);
-    if (fetch_index.emplace(key, fetches.size()).second) {
-      fetches.push_back(c.fetch);
-    }
-  }
-  std::vector<ColumnVector> probed;
-  ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
-  result.pages_probed = fetches.size();
-
   std::set<std::pair<std::string, uint64_t>> seen;
   std::vector<RowMatch> matches;
-  for (const Cand& c : candidates) {
-    size_t fi = fetch_index.at({c.fetch.key, c.fetch.page.offset});
-    if (c.row_in_page >= probed[fi].size()) continue;
-    Slice raw = probed[fi].fixed().at(c.row_in_page);
-    float dist =
-        index::SquaredL2(query, index::VectorFromValue(raw), dim);
-    uint64_t row = c.fetch.page.first_row + c.row_in_page;
-    ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(c.file, row));
-    if (deleted) continue;
-    if (!seen.insert({c.file, row}).second) continue;
-    matches.push_back({c.file, row, raw.ToString(), dist});
-  }
-  ROTTNEST_RETURN_NOT_OK(rf.FilterMatches(&matches, trace));
+  {
+    internal::OpPhase phase(&op, "probe");
+    // Fetch candidate pages (deduplicated) in one round.
+    std::map<std::pair<std::string, uint64_t>, size_t> fetch_index;
+    std::vector<PageFetch> fetches;
+    for (const Cand& c : candidates) {
+      auto key = std::make_pair(c.fetch.key, c.fetch.page.offset);
+      if (fetch_index.emplace(key, fetches.size()).second) {
+        fetches.push_back(c.fetch);
+      }
+    }
+    std::vector<ColumnVector> probed;
+    ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
+    result.pages_probed = fetches.size();
 
-  // Scoring queries must rank ALL data: unindexed files are always scanned
-  // exhaustively (paper §IV-B step 3), and so are files whose only index
-  // coverage degraded.
-  std::vector<const DataFile*> to_scan;
-  for (const DataFile& f : plan.unindexed) to_scan.push_back(&f);
-  for (const DataFile* f : degraded.FilesToScan(plan.snapshot)) {
-    to_scan.push_back(f);
+    for (const Cand& c : candidates) {
+      size_t fi = fetch_index.at({c.fetch.key, c.fetch.page.offset});
+      if (c.row_in_page >= probed[fi].size()) continue;
+      Slice raw = probed[fi].fixed().at(c.row_in_page);
+      float dist =
+          index::SquaredL2(query, index::VectorFromValue(raw), dim);
+      uint64_t row = c.fetch.page.first_row + c.row_in_page;
+      ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(c.file, row));
+      if (deleted) continue;
+      if (!seen.insert({c.file, row}).second) continue;
+      matches.push_back({c.file, row, raw.ToString(), dist});
+    }
+    ROTTNEST_RETURN_NOT_OK(rf.FilterMatches(&matches, trace));
   }
-  for (const DataFile* f : to_scan) {
-    const std::string& path = f->path;
-    bool scanned = false;
-    ROTTNEST_RETURN_NOT_OK(ScanFileRows(
-        read_store(), path, plan.column_index, &rf, trace, &scanned,
-        [&](uint64_t row, const std::string& v) -> Status {
-          float dist = index::SquaredL2(
-              query, reinterpret_cast<const float*>(v.data()), dim);
-          ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(path, row));
-          if (deleted) return Status::OK();
-          if (!seen.insert({path, row}).second) return Status::OK();
-          matches.push_back({path, row, v, dist});
-          return Status::OK();
-        }));
-    if (scanned) ++result.files_scanned;
+
+  {
+    internal::OpPhase phase(&op, "scan");
+    // Scoring queries must rank ALL data: unindexed files are always
+    // scanned exhaustively (paper §IV-B step 3), and so are files whose
+    // only index coverage degraded.
+    std::vector<const DataFile*> to_scan;
+    for (const DataFile& f : plan.unindexed) to_scan.push_back(&f);
+    for (const DataFile* f : degraded.FilesToScan(plan.snapshot)) {
+      to_scan.push_back(f);
+    }
+    for (const DataFile* f : to_scan) {
+      const std::string& path = f->path;
+      bool scanned = false;
+      ROTTNEST_RETURN_NOT_OK(ScanFileRows(
+          read_store(), path, plan.column_index, &rf, trace, &scanned,
+          [&](uint64_t row, const std::string& v) -> Status {
+            float dist = index::SquaredL2(
+                query, reinterpret_cast<const float*>(v.data()), dim);
+            ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(path, row));
+            if (deleted) return Status::OK();
+            if (!seen.insert({path, row}).second) return Status::OK();
+            matches.push_back({path, row, v, dist});
+            return Status::OK();
+          }));
+      if (scanned) ++result.files_scanned;
+    }
   }
 
   std::sort(matches.begin(), matches.end(),
@@ -1236,7 +1356,9 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
             });
   if (matches.size() > k) matches.resize(k);
   result.matches = std::move(matches);
-  ReportCacheDelta(cache_before, &result);
+  FinishSearchStats(opts, op, wall_start,
+                    ResolvedFanOut(plan.indexes.size(), opts.parallelism),
+                    &result);
   return result;
 }
 
@@ -1268,6 +1390,7 @@ Result<SearchResult> Rottnest::SearchRegex(const std::string& column,
     result.pages_probed = candidates.pages_probed;
     result.indexes_degraded = candidates.indexes_degraded;
     result.degraded_indexes = std::move(candidates.degraded_indexes);
+    result.stats = candidates.stats;
     result.cache_hits = candidates.cache_hits;
     result.cache_misses = candidates.cache_misses;
     result.indexes_quarantined = candidates.indexes_quarantined;
@@ -1281,30 +1404,38 @@ Result<SearchResult> Rottnest::SearchRegex(const std::string& column,
   }
 
   // No usable literal: brute-force scan every file in the snapshot.
-  CacheCounters cache_before = SnapshotCacheCounters();
+  auto wall_start = std::chrono::steady_clock::now();
+  internal::OpObs op(store_, cache_store_.get(), opts.obs, "search_regex");
   Plan plan;
-  ROTTNEST_RETURN_NOT_OK(
-      MakePlan(column, IndexType::kFm, opts.snapshot, opts.trace, &plan));
+  {
+    internal::OpPhase phase(&op, "plan");
+    ROTTNEST_RETURN_NOT_OK(
+        MakePlan(column, IndexType::kFm, opts.snapshot, opts.trace, &plan));
+  }
   RangeFilter rf(read_store(), table_->schema(), opts.range);
   ROTTNEST_RETURN_NOT_OK(rf.Validate());
   DvCache dvs(table_, plan.snapshot);
   SearchResult result;
-  for (const DataFile& f : plan.snapshot.files) {
-    bool scanned = false;
-    ROTTNEST_RETURN_NOT_OK(ScanFileRows(
-        read_store(), f.path, plan.column_index, &rf, opts.trace, &scanned,
-        [&](uint64_t row, const std::string& v) -> Status {
-          if (result.matches.size() >= k) return Status::OK();
-          if (!std::regex_search(v, re)) return Status::OK();
-          ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(f.path, row));
-          if (deleted) return Status::OK();
-          result.matches.push_back({f.path, row, v, 0});
-          return Status::OK();
-        }));
-    if (scanned) ++result.files_scanned;
-    if (result.matches.size() >= k) break;
+  {
+    internal::OpPhase phase(&op, "scan");
+    for (const DataFile& f : plan.snapshot.files) {
+      bool scanned = false;
+      ROTTNEST_RETURN_NOT_OK(ScanFileRows(
+          read_store(), f.path, plan.column_index, &rf, opts.trace, &scanned,
+          [&](uint64_t row, const std::string& v) -> Status {
+            if (result.matches.size() >= k) return Status::OK();
+            if (!std::regex_search(v, re)) return Status::OK();
+            ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
+                                      dvs.IsDeleted(f.path, row));
+            if (deleted) return Status::OK();
+            result.matches.push_back({f.path, row, v, 0});
+            return Status::OK();
+          }));
+      if (scanned) ++result.files_scanned;
+      if (result.matches.size() >= k) break;
+    }
   }
-  ReportCacheDelta(cache_before, &result);
+  FinishSearchStats(opts, op, wall_start, 1, &result);
   return result;
 }
 
@@ -1315,9 +1446,14 @@ Result<uint64_t> Rottnest::CountSubstring(const std::string& column,
     return Status::NotSupported(
         "CountSubstring does not support ScanRange; use SearchSubstring");
   }
+  internal::OpObs op(store_, cache_store_.get(), opts.obs,
+                     "count_substring");
   Plan plan;
-  ROTTNEST_RETURN_NOT_OK(
-      MakePlan(column, IndexType::kFm, opts.snapshot, opts.trace, &plan));
+  {
+    internal::OpPhase phase(&op, "plan");
+    ROTTNEST_RETURN_NOT_OK(
+        MakePlan(column, IndexType::kFm, opts.snapshot, opts.trace, &plan));
+  }
 
   // An index count is exact only when everything it covers is live and
   // deletion-free; otherwise those files are counted by scanning.
@@ -1348,7 +1484,8 @@ Result<uint64_t> Rottnest::CountSubstring(const std::string& column,
   // Fan out the FM-index backward-search counts across the exact indexes.
   std::vector<uint64_t> counts(exact_entries.size(), 0);
   std::vector<Status> statuses = FanOutIndexQueries(
-      &pool_, exact_entries.size(), opts.trace,
+      &pool_, exact_entries.size(), opts.parallelism, opts.trace, &op,
+      [&](size_t i) { return "index:" + exact_entries[i]->index_path; },
       [&](size_t i, objectstore::IoTrace* t) -> Status {
         ROTTNEST_ASSIGN_OR_RETURN(
             std::unique_ptr<ComponentFileReader> reader,
@@ -1384,6 +1521,7 @@ Result<uint64_t> Rottnest::CountSubstring(const std::string& column,
   }
 
   // Scan path: exact occurrence counting with deletion vectors applied.
+  internal::OpPhase scan_phase(&op, "scan");
   DvCache dvs(table_, plan.snapshot);
   for (const std::string& file : scan_files) {
     auto reader_r = format::FileReader::Open(read_store(), file, opts.trace);
@@ -1408,6 +1546,8 @@ Result<uint64_t> Rottnest::CountSubstring(const std::string& column,
 Result<std::vector<IndexDescription>> Rottnest::DescribeIndexes(
     const SearchOptions& opts) {
   // Same plan-state cost model as a search: metadata table + manifest.
+  internal::OpObs op(store_, cache_store_.get(), opts.obs,
+                     "describe_indexes");
   if (opts.trace != nullptr) opts.trace->RecordList();
   ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
                             metadata_.ReadAll());
@@ -1442,23 +1582,27 @@ Result<CompactReport> Rottnest::Compact(const std::string& column,
   auto wall_start = std::chrono::steady_clock::now();
   Micros start = store_->clock().NowMicros();
   MaintenancePlan plan = ResolveMaintenance(opts, start);
+  internal::OpObs op(store_, cache_store_.get(), opts.obs, "compact");
   objectstore::IoTrace local;
-
-  local.RecordList();
-  ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
-                            metadata_.ReadAll());
 
   // Plan: bin-pack all small index files of (column, type) into one merge.
   std::vector<IndexEntry> small;
-  for (const IndexEntry& e : entries) {
-    if (e.column != column || e.index_type != IndexTypeName(type)) continue;
-    objectstore::ObjectMeta meta;
-    ROTTNEST_RETURN_NOT_OK(store_->Head(e.index_path, &meta));
-    if (meta.size < opts.small_index_bytes) small.push_back(e);
+  {
+    internal::OpPhase phase(&op, "plan");
+    local.RecordList();
+    ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
+                              metadata_.ReadAll());
+    for (const IndexEntry& e : entries) {
+      if (e.column != column || e.index_type != IndexTypeName(type)) continue;
+      objectstore::ObjectMeta meta;
+      ROTTNEST_RETURN_NOT_OK(store_->Head(e.index_path, &meta));
+      if (meta.size < opts.small_index_bytes) small.push_back(e);
+    }
   }
   CompactReport report;
   if (small.size() < 2) {
-    FinishMaintenanceStats(&local, opts, plan, wall_start, &report.stats);
+    FinishMaintenanceStats(&local, opts, plan, wall_start, &op,
+                           &report.stats);
     return report;
   }
 
@@ -1482,7 +1626,8 @@ Result<CompactReport> Rottnest::Compact(const std::string& column,
 
   if (opts.dry_run) {
     for (const IndexEntry& e : small) report.replaced.push_back(e.index_path);
-    FinishMaintenanceStats(&local, opts, plan, wall_start, &report.stats);
+    FinishMaintenanceStats(&local, opts, plan, wall_start, &op,
+                           &report.stats);
     return report;
   }
 
@@ -1521,6 +1666,15 @@ Result<CompactReport> Rottnest::Compact(const std::string& column,
     }
   });
   internal::MergeWaves(&local, child_traces, plan.parallelism);
+  if (op.tracing()) {  // One `input:<path>` span per prefetched merge input.
+    Micros now = op.NowMicros();
+    for (size_t i = 0; i < k; ++i) {
+      obs::SpanId sid = op.tracer()->StartSpan(
+          "input:" + small[i].index_path, op.root_id(), now);
+      op.Attribute(sid, internal::SpanIoFromTrace(child_traces[i]));
+      op.tracer()->EndSpan(sid, now);
+    }
+  }
   for (size_t i = 0; i < k; ++i) {
     if (!open_statuses[i].ok()) return open_statuses[i];
   }
@@ -1532,24 +1686,29 @@ Result<CompactReport> Rottnest::Compact(const std::string& column,
   // prefetched merge performs no further rounds).
   ThreadPool* merge_pool = plan.parallelism > 1 ? &pool_ : nullptr;
   Buffer merged;
-  switch (type) {
-    case IndexType::kTrie:
-      ROTTNEST_RETURN_NOT_OK(
-          index::TrieMerge(raw_readers, merge_pool, &local, column, &merged));
-      break;
-    case IndexType::kFm:
-      ROTTNEST_RETURN_NOT_OK(index::FmMerge(raw_readers, merge_pool, &local,
-                                            column, options_.fm, &merged));
-      break;
-    case IndexType::kIvfPq:
-      ROTTNEST_RETURN_NOT_OK(index::IvfPqMerge(raw_readers, merge_pool,
-                                               &local, column, &merged));
-      break;
+  {
+    internal::OpPhase phase(&op, "merge");
+    switch (type) {
+      case IndexType::kTrie:
+        ROTTNEST_RETURN_NOT_OK(index::TrieMerge(raw_readers, merge_pool,
+                                                &local, column, &merged));
+        break;
+      case IndexType::kFm:
+        ROTTNEST_RETURN_NOT_OK(index::FmMerge(raw_readers, merge_pool,
+                                              &local, column, options_.fm,
+                                              &merged));
+        break;
+      case IndexType::kIvfPq:
+        ROTTNEST_RETURN_NOT_OK(index::IvfPqMerge(raw_readers, merge_pool,
+                                                 &local, column, &merged));
+        break;
+    }
   }
   if (store_->clock().NowMicros() >= plan.deadline) {
     return Status::Aborted("compact operation exceeded timeout");
   }
 
+  internal::OpPhase commit_phase(&op, "commit");
   // Upload, then commit the swap transactionally.
   report.merged_path = NewIndexName();
   ROTTNEST_RETURN_NOT_OK(store_->Put(report.merged_path, Slice(merged)));
@@ -1570,7 +1729,8 @@ Result<CompactReport> Rottnest::Compact(const std::string& column,
   merged_entry.created_micros = store_->clock().NowMicros();
   auto committed = metadata_.Update({merged_entry}, report.replaced);
   if (!committed.ok()) return committed.status();
-  FinishMaintenanceStats(&local, opts, plan, wall_start, &report.stats);
+  commit_phase.End();
+  FinishMaintenanceStats(&local, opts, plan, wall_start, &op, &report.stats);
   return report;
 }
 
@@ -1582,64 +1742,70 @@ Result<VacuumReport> Rottnest::Vacuum(lake::Version min_snapshot,
   auto wall_start = std::chrono::steady_clock::now();
   Micros start = store_->clock().NowMicros();
   MaintenancePlan plan = ResolveMaintenance(opts, start);
+  internal::OpObs op(store_, cache_store_.get(), opts.obs, "vacuum");
   objectstore::IoTrace local;
   VacuumReport report;
 
-  // Plan: data files live in any snapshot >= min_snapshot.
-  local.RecordList();
-  ROTTNEST_ASSIGN_OR_RETURN(Snapshot latest, table_->GetSnapshot());
-  std::set<std::string> active;
-  for (lake::Version v = std::max<lake::Version>(min_snapshot, 0);
-       v <= latest.version; ++v) {
-    local.RecordList();
-    auto snap = table_->GetSnapshot(v);
-    if (!snap.ok()) return snap.status();
-    for (const DataFile& f : snap.value().files) active.insert(f.path);
-  }
-
-  // Greedy cover: repeatedly keep the index file covering the most not-yet
-  // covered active data files; stop when coverage cannot grow. Coverage is
-  // tracked per (column, index_type): an fm index on one column cannot
-  // shadow a trie on another just because both span the same data files —
-  // treating them as interchangeable would vacuum away a live index
-  // (which ReadAll's name-sorted order made nondeterministic to boot).
-  local.RecordList();
-  ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
-                            metadata_.ReadAll());
-  auto cover_key = [](const IndexEntry& e, const std::string& f) {
-    return e.column + '\x1f' + e.index_type + '\x1f' + f;
-  };
-  std::set<std::string> covered;
+  std::vector<std::string> remove;
   std::set<std::string> keep;
-  for (;;) {
-    const IndexEntry* best = nullptr;
-    size_t best_gain = 0;
-    for (const IndexEntry& e : entries) {
-      if (keep.count(e.index_path)) continue;
-      size_t gain = 0;
-      for (const std::string& f : e.covered_files) {
-        if (active.count(f) != 0 && covered.count(cover_key(e, f)) == 0) {
-          ++gain;
+  {
+    internal::OpPhase phase(&op, "plan");
+    // Plan: data files live in any snapshot >= min_snapshot.
+    local.RecordList();
+    ROTTNEST_ASSIGN_OR_RETURN(Snapshot latest, table_->GetSnapshot());
+    std::set<std::string> active;
+    for (lake::Version v = std::max<lake::Version>(min_snapshot, 0);
+         v <= latest.version; ++v) {
+      local.RecordList();
+      auto snap = table_->GetSnapshot(v);
+      if (!snap.ok()) return snap.status();
+      for (const DataFile& f : snap.value().files) active.insert(f.path);
+    }
+
+    // Greedy cover: repeatedly keep the index file covering the most
+    // not-yet covered active data files; stop when coverage cannot grow.
+    // Coverage is tracked per (column, index_type): an fm index on one
+    // column cannot shadow a trie on another just because both span the
+    // same data files — treating them as interchangeable would vacuum away
+    // a live index (which ReadAll's name-sorted order made
+    // nondeterministic to boot).
+    local.RecordList();
+    ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
+                              metadata_.ReadAll());
+    auto cover_key = [](const IndexEntry& e, const std::string& f) {
+      return e.column + '\x1f' + e.index_type + '\x1f' + f;
+    };
+    std::set<std::string> covered;
+    for (;;) {
+      const IndexEntry* best = nullptr;
+      size_t best_gain = 0;
+      for (const IndexEntry& e : entries) {
+        if (keep.count(e.index_path)) continue;
+        size_t gain = 0;
+        for (const std::string& f : e.covered_files) {
+          if (active.count(f) != 0 && covered.count(cover_key(e, f)) == 0) {
+            ++gain;
+          }
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = &e;
         }
       }
-      if (gain > best_gain) {
-        best_gain = gain;
-        best = &e;
+      if (best == nullptr) break;
+      keep.insert(best->index_path);
+      for (const std::string& f : best->covered_files) {
+        if (active.count(f)) covered.insert(cover_key(*best, f));
       }
     }
-    if (best == nullptr) break;
-    keep.insert(best->index_path);
-    for (const std::string& f : best->covered_files) {
-      if (active.count(f)) covered.insert(cover_key(*best, f));
+    for (const IndexEntry& e : entries) {
+      if (keep.count(e.index_path) == 0) remove.push_back(e.index_path);
     }
   }
 
   // Commit: delete metadata rows for unselected entries (reported but not
   // applied under dry_run).
-  std::vector<std::string> remove;
-  for (const IndexEntry& e : entries) {
-    if (keep.count(e.index_path) == 0) remove.push_back(e.index_path);
-  }
+  internal::OpPhase commit_phase(&op, "commit");
   report.removed_entries = remove;
   report.metadata_entries_removed = remove.size();
   if (!remove.empty() && !opts.dry_run) {
@@ -1680,21 +1846,26 @@ Result<VacuumReport> Rottnest::Vacuum(lake::Version min_snapshot,
   if (opts.dry_run) {
     report.deleted_objects = deletable;
     report.objects_deleted = deletable.size();
-    FinishMaintenanceStats(&local, opts, plan, wall_start, &report.stats);
+    FinishMaintenanceStats(&local, opts, plan, wall_start, &op,
+                           &report.stats);
     return report;
   }
+  commit_phase.End();
 
-  // Physical deletes are independent: fan out on the pipeline width.
-  std::vector<Status> delete_statuses(deletable.size(), Status::OK());
-  pool_.ParallelFor(deletable.size(), plan.parallelism, [&](size_t i) {
-    delete_statuses[i] = store_->Delete(deletable[i]);
-  });
-  for (size_t i = 0; i < deletable.size(); ++i) {
-    if (!delete_statuses[i].ok()) return delete_statuses[i];
-    report.deleted_objects.push_back(deletable[i]);
-    ++report.objects_deleted;
+  {
+    internal::OpPhase phase(&op, "delete");
+    // Physical deletes are independent: fan out on the pipeline width.
+    std::vector<Status> delete_statuses(deletable.size(), Status::OK());
+    pool_.ParallelFor(deletable.size(), plan.parallelism, [&](size_t i) {
+      delete_statuses[i] = store_->Delete(deletable[i]);
+    });
+    for (size_t i = 0; i < deletable.size(); ++i) {
+      if (!delete_statuses[i].ok()) return delete_statuses[i];
+      report.deleted_objects.push_back(deletable[i]);
+      ++report.objects_deleted;
+    }
   }
-  FinishMaintenanceStats(&local, opts, plan, wall_start, &report.stats);
+  FinishMaintenanceStats(&local, opts, plan, wall_start, &op, &report.stats);
   return report;
 }
 

@@ -90,8 +90,14 @@
 #include "lake/table.h"
 #include "objectstore/caching_store.h"
 #include "objectstore/io_trace.h"
+#include "obs/obs_context.h"
+#include "obs/stats.h"
 
 namespace rottnest::core {
+
+namespace internal {
+class OpObs;  // Per-operation instrumentation glue (core/obs_internal.h).
+}  // namespace internal
 
 /// Client configuration.
 struct RottnestOptions {
@@ -122,6 +128,45 @@ struct RowMatch {
   float distance = 0;  ///< Exact distance (vector search only).
 };
 
+/// Knobs shared by EVERY options struct of the v2 API — searches,
+/// maintenance (Index/Compact/Vacuum) and anti-entropy (Scrub/Repair) all
+/// derive their options from this base, so the cross-cutting concerns have
+/// exactly one spelling:
+///
+///   parallelism        — fan-out / pipeline width (0 = client default);
+///   byte_budget        — bounded-memory staging / prefetch / verification;
+///   time_budget_micros — per-call deadline override;
+///   trace              — IoTrace access-pattern recording;
+///   obs                — the opt-in observability context (metrics
+///                        registry + hierarchical span tracer + store-stack
+///                        stat hooks). nullptr = observability off, and
+///                        every instrumented path is allocation-free.
+struct CommonOptions {
+  /// Parallel width: index fan-out for searches, staging/prefetch pipeline
+  /// width for maintenance. 0 = the operation's natural default (full
+  /// index fan-out for searches, RottnestOptions::num_threads for
+  /// maintenance); 1 = fully serial. Maintenance output bytes are
+  /// identical at ANY setting.
+  size_t parallelism = 0;
+  /// Cap on bytes staged ahead of the consumer (Index), prefetched
+  /// (Compact) or deep-verified (Scrub). 0 = unbounded. The head-of-line
+  /// item is always admitted, so any budget still makes progress.
+  uint64_t byte_budget = 0;
+  /// Overrides RottnestOptions::index_timeout_micros for this call
+  /// (0 = use the client default). Enforced per page batch.
+  Micros time_budget_micros = 0;
+  /// Access-pattern recording. Per-item parallel chains are merged in
+  /// waves of `parallelism` concurrent chains (waves sequential), so the
+  /// recorded depth — and the simulated latency derived from it — reflects
+  /// the width actually requested. Request/byte totals are width-invariant.
+  objectstore::IoTrace* trace = nullptr;
+  /// Observability: when non-null, the operation emits registry metrics,
+  /// opens a root span (under obs->parent) with phase/fan-out children
+  /// carrying exclusive per-span I/O, and fills the retry/fault fields of
+  /// its obs::Stats from the context's stat hooks.
+  obs::ObsContext* obs = nullptr;
+};
+
 /// Search outcome plus plan accounting (used by the TCO benches).
 struct SearchResult {
   std::vector<RowMatch> matches;
@@ -133,10 +178,14 @@ struct SearchResult {
   /// answered through the brute-scan path instead of failing the query.
   size_t indexes_degraded = 0;                ///< Unreadable indexes skipped.
   std::vector<std::string> degraded_indexes;  ///< Their object keys.
-  /// Per-query client-cache accounting (0 when the cache is off). Under
-  /// concurrent searches on one client these are deltas of shared counters,
-  /// so a query may be attributed a neighbour's hits — accounting, not
-  /// correctness.
+  /// The unified cost surface (obs::Stats): physical request/byte totals,
+  /// cache deltas, retries/faults absorbed below the query, wall time and —
+  /// when `opts.trace` is set — the IoTrace-derived depth and simulated S3
+  /// latency/cost projections.
+  obs::Stats stats;
+  /// DEPRECATED aliases of stats.cache_hits / stats.cache_misses, kept in
+  /// sync for one release so pre-obs callers keep compiling; migrate to
+  /// `result.stats.cache_*`.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   /// Degraded indexes removed from the metadata table by this query
@@ -145,49 +194,20 @@ struct SearchResult {
 };
 
 /// Optional knobs common to all maintenance calls (the one options
-/// argument of the v2 write-side API — see the header comment).
-struct MaintenanceOptions {
-  /// Pipeline width: staging/prefetch threads plus parallel component
-  /// builds. 0 = RottnestOptions::num_threads; 1 = fully serial. The
-  /// emitted index objects are byte-identical at any setting.
-  size_t parallelism = 0;
-  /// Cap on bytes staged ahead of the consumer (Index) or prefetched
-  /// (Compact). 0 = unbounded. The head-of-line file is always admitted,
-  /// so any budget still makes progress.
-  uint64_t byte_budget = 0;
-  /// Overrides RottnestOptions::index_timeout_micros for this call
-  /// (0 = use the client default). Enforced per page batch.
-  Micros time_budget_micros = 0;
+/// argument of the v2 write-side API — see the header comment). The
+/// cross-cutting knobs live in CommonOptions.
+struct MaintenanceOptions : CommonOptions {
   /// Plan and report (covered files, rows, merge inputs, deletions)
   /// without writing objects or committing metadata.
   bool dry_run = false;
-  /// Access-pattern recording. Per-file / per-input chains are merged in
-  /// waves of `parallelism` concurrent chains (waves sequential), so the
-  /// recorded depth — and the simulated latency derived from it — reflects
-  /// the pipeline width actually requested. Request/byte totals and the
-  /// emitted bytes are width-invariant.
-  objectstore::IoTrace* trace = nullptr;
   /// Compact only: merge committed index files smaller than this.
   uint64_t small_index_bytes = UINT64_MAX;
 };
 
-/// IO/cost accounting attached to every maintenance report.
-struct MaintenanceStats {
-  uint64_t gets = 0;
-  uint64_t lists = 0;
-  uint64_t bytes_read = 0;
-  /// Dependent-request depth: parallel chains overlap in waves of
-  /// `parallelism`, so depth shrinks as the pipeline widens.
-  size_t io_depth = 0;
-  /// End-to-end simulated latency (S3Model: rounds + compute) and request
-  /// cost for this operation's reads.
-  double simulated_latency_ms = 0;
-  double simulated_cost_usd = 0;
-  /// Measured wall-clock of the call.
-  uint64_t wall_micros = 0;
-  size_t parallelism = 0;  ///< Resolved pipeline width actually used.
-  bool dry_run = false;
-};
+/// IO/cost accounting attached to every maintenance report — the unified
+/// obs::Stats surface (the pre-obs MaintenanceStats fields are a strict
+/// subset, so existing `.stats.gets` call sites keep compiling).
+using MaintenanceStats = obs::Stats;
 
 /// Outcome of one `Index` call.
 struct IndexReport {
@@ -248,18 +268,14 @@ struct ScrubFinding {
   Micros age_micros = 0;   ///< Object age at scrub time (orphans only).
 };
 
-/// Knobs for Scrub.
-struct ScrubOptions {
-  /// Indexes audited concurrently. 0 = RottnestOptions::num_threads.
-  size_t parallelism = 0;
-  /// Deep verification stops re-fetching component payloads once this many
-  /// bytes have been read (0 = unbounded). Components already verified in
-  /// the open tail read are free and never skipped.
-  uint64_t byte_budget = 0;
+/// Knobs for Scrub. parallelism = indexes audited concurrently;
+/// byte_budget = deep verification stops re-fetching component payloads
+/// once this many bytes have been read (components already verified in the
+/// open tail read are free and never skipped).
+struct ScrubOptions : CommonOptions {
   /// Re-fetch and checksum every component payload (the expensive part).
   /// false = structural audit only: existence, directory, page table.
   bool deep = true;
-  objectstore::IoTrace* trace = nullptr;  ///< Access-pattern recording.
 };
 
 /// Outcome of one Scrub: ALL findings, not just the first.
@@ -280,9 +296,8 @@ struct ScrubReport {
   }
 };
 
-/// Knobs for Repair.
-struct RepairOptions {
-  size_t parallelism = 0;      ///< 0 = RottnestOptions::num_threads.
+/// Knobs for Repair (parallelism = rebuild/delete fan-out width).
+struct RepairOptions : CommonOptions {
   bool quarantine = true;      ///< Remove damaged entries from metadata.
   bool reindex = true;         ///< Re-Index columns uncovered by quarantine.
   bool gc_orphans = true;      ///< Delete orphan objects past the grace period.
@@ -291,7 +306,6 @@ struct RepairOptions {
   /// index_timeout_micros (the same guard Vacuum uses).
   Micros orphan_grace_micros = 0;
   bool dry_run = false;        ///< Plan and report without mutating anything.
-  objectstore::IoTrace* trace = nullptr;
 };
 
 /// Outcome of one Repair.
@@ -324,10 +338,11 @@ struct VectorSearchParams {
 };
 
 /// Optional knobs common to all search calls (the one options argument of
-/// the v2 API — see the header comment).
-struct SearchOptions {
+/// the v2 API — see the header comment). `parallelism` bounds the index
+/// fan-out width (0 = all applicable indexes concurrently, the default
+/// §V-B behaviour); trace/obs live in CommonOptions.
+struct SearchOptions : CommonOptions {
   lake::Version snapshot{-1};              ///< -1 = latest.
-  objectstore::IoTrace* trace = nullptr;   ///< Access-pattern recording.
   std::optional<ScanRange> range;          ///< Structured-attribute filter.
   VectorSearchParams vector;               ///< SearchVector only.
   /// When a query degrades on a corrupt or missing index, also remove that
@@ -459,10 +474,12 @@ class Rottnest {
   const RottnestOptions& options() const { return options_; }
 
   /// The client-side cache, or nullptr when cache_bytes == 0. Exposes
-  /// hit/miss/evict/bytes counters through its IoStats.
+  /// hit/miss/evict/bytes counters through its IoStats; the non-const
+  /// overload additionally allows AttachMetrics(&registry).
   const objectstore::CachingStore* cache() const {
     return cache_store_.get();
   }
+  objectstore::CachingStore* cache() { return cache_store_.get(); }
 
  private:
   struct Plan;
@@ -476,22 +493,27 @@ class Rottnest {
   MaintenancePlan ResolveMaintenance(const MaintenanceOptions& opts,
                                      Micros start) const;
 
-  /// Fills `stats` from the op-local trace + wall clock and appends the
-  /// local trace to `opts.trace` (if any).
+  /// Fills `stats` from the op-local trace + wall clock + the op's
+  /// cache/retry/fault deltas (`op` may be null) and appends the local
+  /// trace to `opts.trace` (if any).
   void FinishMaintenanceStats(objectstore::IoTrace* local,
                               const MaintenanceOptions& opts,
                               const MaintenancePlan& plan,
                               std::chrono::steady_clock::time_point wall_start,
+                              const internal::OpObs* op,
                               MaintenanceStats* stats) const;
 
   /// Builds one index file covering `files` and returns its object key.
   /// Stages per-file extraction on up to `plan.parallelism` threads while
   /// the calling thread feeds builders in file order (see header comment).
+  /// Per-file staging spans and build/upload phases attach to `op` (may be
+  /// null).
   Result<IndexReport> BuildIndexFile(const std::string& column,
                                      index::IndexType type,
                                      const std::vector<lake::DataFile>& files,
                                      const MaintenancePlan& plan,
-                                     objectstore::IoTrace* trace);
+                                     objectstore::IoTrace* trace,
+                                     internal::OpObs* op);
 
   /// Computes which committed index entries apply to the snapshot and
   /// which snapshot files are unindexed.
@@ -515,15 +537,6 @@ class Rottnest {
                ? static_cast<objectstore::ObjectStore*>(cache_store_.get())
                : store_;
   }
-
-  /// Captures the cache counters before a query so the delta can be
-  /// reported in SearchResult.
-  struct CacheCounters {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-  };
-  CacheCounters SnapshotCacheCounters() const;
-  void ReportCacheDelta(const CacheCounters& before, SearchResult* result);
 
   /// Post-fan-out handling of per-index failures: invalidates poisoned
   /// cache entries for corrupt indexes and, with opts.auto_quarantine,

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <set>
 
+#include "core/obs_internal.h"
 #include "core/rottnest.h"
 #include "format/reader.h"
 #include "index/trie/trie_index.h"
@@ -70,15 +71,18 @@ Result<ScrubReport> Rottnest::Scrub(const ScrubOptions& opts) {
   auto wall_start = std::chrono::steady_clock::now();
   Micros start = store_->clock().NowMicros();
   MaintenanceOptions mopts;
-  mopts.parallelism = opts.parallelism;
-  mopts.trace = opts.trace;
+  static_cast<CommonOptions&>(mopts) = opts;  // Shared CommonOptions base.
   MaintenancePlan plan = ResolveMaintenance(mopts, start);
+  internal::OpObs op(store_, cache_store_.get(), opts.obs, "scrub");
   objectstore::IoTrace local;
   ScrubReport report;
 
-  local.RecordList();
-  ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
-                            metadata_.ReadAll());
+  std::vector<IndexEntry> entries;
+  {
+    internal::OpPhase phase(&op, "plan");
+    local.RecordList();
+    ROTTNEST_ASSIGN_OR_RETURN(entries, metadata_.ReadAll());
+  }
   report.indexes_checked = entries.size();
 
   // Audit every committed index concurrently; each task appends findings
@@ -91,6 +95,17 @@ Result<ScrubReport> Rottnest::Scrub(const ScrubOptions& opts) {
   std::atomic<uint64_t> bytes_verified{0};
   std::vector<std::vector<ScrubFinding>> per_entry(entries.size());
   std::vector<objectstore::IoTrace> child_traces(entries.size());
+  // One `audit:<path>` span per entry, mirroring the wave-merged traces;
+  // created and attributed in entry order on the calling thread.
+  std::vector<obs::SpanId> audit_spans;
+  if (op.tracing()) {
+    audit_spans.reserve(entries.size());
+    Micros span_now = op.NowMicros();
+    for (const IndexEntry& e : entries) {
+      audit_spans.push_back(op.tracer()->StartSpan("audit:" + e.index_path,
+                                                   op.root_id(), span_now));
+    }
+  }
   pool_.ParallelFor(entries.size(), plan.parallelism, [&](size_t i) {
     const IndexEntry& e = entries[i];
     std::vector<ScrubFinding>& out = per_entry[i];
@@ -180,6 +195,14 @@ Result<ScrubReport> Rottnest::Scrub(const ScrubOptions& opts) {
     }
   });
   internal::MergeWaves(&local, child_traces, plan.parallelism);
+  if (op.tracing()) {
+    Micros span_now = op.NowMicros();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      op.Attribute(audit_spans[i],
+                   internal::SpanIoFromTrace(child_traces[i]));
+      op.tracer()->EndSpan(audit_spans[i], span_now);
+    }
+  }
 
   for (size_t i = 0; i < entries.size(); ++i) {
     bool corrupt = false;
@@ -196,25 +219,28 @@ Result<ScrubReport> Rottnest::Scrub(const ScrubOptions& opts) {
   // Orphans: index objects in the bucket with no metadata entry. Legal
   // (an in-flight Index uploads before committing; crashes strand them),
   // so a warning — Repair deletes only past the protocol grace period.
-  std::set<std::string> referenced;
-  for (const IndexEntry& e : entries) referenced.insert(e.index_path);
-  local.RecordList();
-  std::vector<objectstore::ObjectMeta> listing;
-  ROTTNEST_RETURN_NOT_OK(store_->List(options_.index_dir + "/", &listing));
-  Micros now = store_->clock().NowMicros();
-  for (const auto& obj : listing) {
-    if (obj.key.size() < 6 ||
-        obj.key.compare(obj.key.size() - 6, 6, ".index") != 0) {
-      continue;
+  {
+    internal::OpPhase phase(&op, "orphans");
+    std::set<std::string> referenced;
+    for (const IndexEntry& e : entries) referenced.insert(e.index_path);
+    local.RecordList();
+    std::vector<objectstore::ObjectMeta> listing;
+    ROTTNEST_RETURN_NOT_OK(store_->List(options_.index_dir + "/", &listing));
+    Micros now = store_->clock().NowMicros();
+    for (const auto& obj : listing) {
+      if (obj.key.size() < 6 ||
+          obj.key.compare(obj.key.size() - 6, 6, ".index") != 0) {
+        continue;
+      }
+      if (referenced.count(obj.key) != 0) continue;
+      ScrubFinding f;
+      f.kind = ScrubFindingKind::kOrphanObject;
+      f.severity = ScrubSeverity::kWarning;
+      f.index_path = obj.key;
+      f.detail = "index object not referenced by the metadata table";
+      f.age_micros = now > obj.created_micros ? now - obj.created_micros : 0;
+      report.findings.push_back(std::move(f));
     }
-    if (referenced.count(obj.key) != 0) continue;
-    ScrubFinding f;
-    f.kind = ScrubFindingKind::kOrphanObject;
-    f.severity = ScrubSeverity::kWarning;
-    f.index_path = obj.key;
-    f.detail = "index object not referenced by the metadata table";
-    f.age_micros = now > obj.created_micros ? now - obj.created_micros : 0;
-    report.findings.push_back(std::move(f));
   }
 
   std::sort(report.findings.begin(), report.findings.end(),
@@ -230,7 +256,8 @@ Result<ScrubReport> Rottnest::Scrub(const ScrubOptions& opts) {
   report.components_verified = components_verified.load();
   report.components_skipped = components_skipped.load();
   report.bytes_verified = bytes_verified.load();
-  FinishMaintenanceStats(&local, mopts, plan, wall_start, &report.stats);
+  FinishMaintenanceStats(&local, mopts, plan, wall_start, &op,
+                         &report.stats);
   return report;
 }
 
@@ -239,10 +266,10 @@ Result<RepairReport> Rottnest::Repair(const ScrubReport& scrub,
   auto wall_start = std::chrono::steady_clock::now();
   Micros start = store_->clock().NowMicros();
   MaintenanceOptions mopts;
-  mopts.parallelism = opts.parallelism;
+  static_cast<CommonOptions&>(mopts) = opts;  // Shared CommonOptions base.
   mopts.dry_run = opts.dry_run;
-  mopts.trace = opts.trace;
   MaintenancePlan plan = ResolveMaintenance(mopts, start);
+  internal::OpObs op(store_, cache_store_.get(), opts.obs, "repair");
   objectstore::IoTrace local;
   RepairReport report;
 
@@ -263,21 +290,24 @@ Result<RepairReport> Rottnest::Repair(const ScrubReport& scrub,
       if (!f.column.empty()) affected.insert({f.column, f.index_type});
     }
   }
-  local.RecordList();
-  ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
-                            metadata_.ReadAll());
-  std::vector<std::string> quarantine;
-  for (const IndexEntry& e : entries) {
-    if (damaged.count(e.index_path) == 0) continue;
-    quarantine.push_back(e.index_path);
-  }
-  if (opts.quarantine && !quarantine.empty()) {
-    if (!opts.dry_run) {
-      auto committed = metadata_.Update({}, quarantine);
-      if (!committed.ok()) return committed.status();
-      for (const std::string& path : quarantine) InvalidateCachedIndex(path);
+  {
+    internal::OpPhase phase(&op, "quarantine");
+    local.RecordList();
+    ROTTNEST_ASSIGN_OR_RETURN(std::vector<IndexEntry> entries,
+                              metadata_.ReadAll());
+    std::vector<std::string> quarantine;
+    for (const IndexEntry& e : entries) {
+      if (damaged.count(e.index_path) == 0) continue;
+      quarantine.push_back(e.index_path);
     }
-    report.quarantined = quarantine;
+    if (opts.quarantine && !quarantine.empty()) {
+      if (!opts.dry_run) {
+        auto committed = metadata_.Update({}, quarantine);
+        if (!committed.ok()) return committed.status();
+        for (const std::string& path : quarantine) InvalidateCachedIndex(path);
+      }
+      report.quarantined = quarantine;
+    }
   }
 
   // Step 2 — rebuild: re-Index each affected (column, type); the files the
@@ -286,12 +316,22 @@ Result<RepairReport> Rottnest::Repair(const ScrubReport& scrub,
   // here strands at most an orphan upload — exactly the state step 3 and
   // Vacuum already know how to collect.
   if (opts.reindex && !opts.dry_run) {
+    // The nested Index calls open their own root spans; re-parent them
+    // under the repair root, and mark the whole window's counter delta as
+    // attributed elsewhere so the repair root does not claim it again.
+    obs::ObsContext nested;
+    if (opts.obs != nullptr) {
+      nested = *opts.obs;
+      nested.parent = op.root_id();
+    }
+    internal::OpSnapshot before_reindex = op.Snap();
     for (const auto& [column, type_name] : affected) {
       index::IndexType type;
       if (!index::IndexTypeFromName(type_name, &type)) continue;
       MaintenanceOptions iopts;
       iopts.parallelism = opts.parallelism;
       iopts.trace = &local;
+      iopts.obs = opts.obs != nullptr ? &nested : nullptr;
       auto rebuilt = Index(column, type, iopts);
       if (!rebuilt.ok()) {
         // Timeouts / vanished files abort the protocol cleanly; a retry of
@@ -304,12 +344,14 @@ Result<RepairReport> Rottnest::Repair(const ScrubReport& scrub,
         report.rebuilt_rows += rebuilt.value().rows;
       }
     }
+    op.AttributeElsewhere(before_reindex);
   }
 
   // Step 3 — orphan GC, by Vacuum's rule: delete index objects that are
   // unreferenced AND older than the grace period. Referenced-ness is
   // re-read post-rebuild so a concurrent commit can never lose an object.
   if (opts.gc_orphans) {
+    internal::OpPhase phase(&op, "gc");
     Micros grace = opts.orphan_grace_micros != 0
                        ? opts.orphan_grace_micros
                        : options_.index_timeout_micros;
@@ -343,14 +385,15 @@ Result<RepairReport> Rottnest::Repair(const ScrubReport& scrub,
     }
   }
 
-  FinishMaintenanceStats(&local, mopts, plan, wall_start, &report.stats);
+  FinishMaintenanceStats(&local, mopts, plan, wall_start, &op,
+                         &report.stats);
   return report;
 }
 
 Status Rottnest::CheckInvariants(const SearchOptions& opts) {
   ScrubOptions sopts;
+  static_cast<CommonOptions&>(sopts) = opts;  // Forward trace/obs/limits.
   sopts.deep = false;  // Structural audit — the old CheckInvariants depth.
-  sopts.trace = opts.trace;
   ROTTNEST_ASSIGN_OR_RETURN(ScrubReport report, Scrub(sopts));
   if (report.clean()) return Status::OK();
   std::string msg = "invariant violations:";

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "obs/metrics.h"
 
 namespace rottnest::objectstore {
 
@@ -78,6 +79,7 @@ void CachingStore::EvictLocked(Shard& shard) {
     shard.bytes -= victim.charge;
     stats_.cache_bytes.fetch_sub(victim.charge);
     stats_.cache_evictions.fetch_add(1);
+    obs::Increment(metrics_.cache_evictions);
     shard.index.erase(victim.key);
     shard.lru.pop_back();
   }
@@ -87,12 +89,17 @@ Status CachingStore::Get(const std::string& key, Buffer* out) {
   EntryKey k{key, 0, kWholeObject};
   if (Lookup(k, out, nullptr)) {
     stats_.cache_hits.fetch_add(1);
+    obs::Increment(metrics_.cache_hits);
     return Status::OK();
   }
   stats_.cache_misses.fetch_add(1);
+  obs::Increment(metrics_.cache_misses);
   ROTTNEST_RETURN_NOT_OK(inner_->Get(key, out));
   stats_.gets.fetch_add(1);
   stats_.bytes_read.fetch_add(out->size());
+  obs::Increment(metrics_.gets);
+  obs::Add(metrics_.bytes_read, out->size());
+  obs::Record(metrics_.get_bytes, out->size());
   Insert(std::move(k), out, nullptr);
   return Status::OK();
 }
@@ -102,12 +109,17 @@ Status CachingStore::GetRange(const std::string& key, uint64_t offset,
   EntryKey k{key, offset, length};
   if (Lookup(k, out, nullptr)) {
     stats_.cache_hits.fetch_add(1);
+    obs::Increment(metrics_.cache_hits);
     return Status::OK();
   }
   stats_.cache_misses.fetch_add(1);
+  obs::Increment(metrics_.cache_misses);
   ROTTNEST_RETURN_NOT_OK(inner_->GetRange(key, offset, length, out));
   stats_.gets.fetch_add(1);
   stats_.bytes_read.fetch_add(out->size());
+  obs::Increment(metrics_.gets);
+  obs::Add(metrics_.bytes_read, out->size());
+  obs::Record(metrics_.get_bytes, out->size());
   Insert(std::move(k), out, nullptr);
   return Status::OK();
 }
@@ -115,16 +127,20 @@ Status CachingStore::GetRange(const std::string& key, uint64_t offset,
 Status CachingStore::Head(const std::string& key, ObjectMeta* out) {
   if (!options_.cache_heads) {
     stats_.heads.fetch_add(1);
+    obs::Increment(metrics_.heads);
     return inner_->Head(key, out);
   }
   EntryKey k{key, kHeadEntry, 0};
   if (Lookup(k, nullptr, out)) {
     stats_.cache_hits.fetch_add(1);
+    obs::Increment(metrics_.cache_hits);
     return Status::OK();
   }
   stats_.cache_misses.fetch_add(1);
+  obs::Increment(metrics_.cache_misses);
   ROTTNEST_RETURN_NOT_OK(inner_->Head(key, out));
   stats_.heads.fetch_add(1);
+  obs::Increment(metrics_.heads);
   Insert(std::move(k), nullptr, out);
   return Status::OK();
 }
@@ -135,6 +151,8 @@ Status CachingStore::Put(const std::string& key, Slice data) {
   if (s.ok()) {
     stats_.puts.fetch_add(1);
     stats_.bytes_written.fetch_add(data.size());
+    obs::Increment(metrics_.puts);
+    obs::Add(metrics_.bytes_written, data.size());
   }
   return s;
 }
@@ -144,6 +162,8 @@ Status CachingStore::PutIfAbsent(const std::string& key, Slice data) {
   if (s.ok()) {
     stats_.puts.fetch_add(1);
     stats_.bytes_written.fetch_add(data.size());
+    obs::Increment(metrics_.puts);
+    obs::Add(metrics_.bytes_written, data.size());
   }
   return s;
 }
@@ -151,13 +171,17 @@ Status CachingStore::PutIfAbsent(const std::string& key, Slice data) {
 Status CachingStore::List(const std::string& prefix,
                           std::vector<ObjectMeta>* out) {
   stats_.lists.fetch_add(1);
+  obs::Increment(metrics_.lists);
   return inner_->List(prefix, out);
 }
 
 Status CachingStore::Delete(const std::string& key) {
   Invalidate(key);  // A vacuumed key must not resurrect from cache.
   Status s = inner_->Delete(key);
-  if (s.ok()) stats_.deletes.fetch_add(1);
+  if (s.ok()) {
+    stats_.deletes.fetch_add(1);
+    obs::Increment(metrics_.deletes);
+  }
   return s;
 }
 

@@ -88,6 +88,13 @@ class CachingStore : public ObjectStore {
   const CacheOptions& options() const { return options_; }
   ObjectStore* inner() { return inner_; }
 
+  /// Mirrors every IoStats increment (including cache hit/miss/eviction
+  /// events) into `registry` under `store.<name>.*`. Attach before use.
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     const std::string& name = "cache") {
+    metrics_ = ResolveStoreMetrics(registry, name);
+  }
+
  private:
   /// Sentinel length marking a whole-object Get() entry.
   static constexpr uint64_t kWholeObject = ~0ull;
@@ -132,6 +139,7 @@ class CachingStore : public ObjectStore {
   uint64_t shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable IoStats stats_;
+  StoreMetrics metrics_;
 };
 
 }  // namespace rottnest::objectstore

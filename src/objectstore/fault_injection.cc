@@ -1,6 +1,7 @@
 #include "objectstore/fault_injection.h"
 
 #include "common/hash.h"
+#include "obs/metrics.h"
 
 namespace rottnest::objectstore {
 
@@ -11,6 +12,22 @@ Status CrashStatus(const char* op) {
 }
 
 }  // namespace
+
+FaultMetrics ResolveFaultMetrics(obs::MetricsRegistry* registry,
+                                 const std::string& name) {
+  FaultMetrics m;
+  if (registry == nullptr) return m;
+  const std::string p = "fault." + name + ".";
+  m.ops = registry->GetCounter(p + "ops");
+  m.transient_injected = registry->GetCounter(p + "transient_injected");
+  m.ambiguous_injected = registry->GetCounter(p + "ambiguous_injected");
+  m.scheduled_injected = registry->GetCounter(p + "scheduled_injected");
+  m.crash_refusals = registry->GetCounter(p + "crash_refusals");
+  m.corrupt_reads_injected = registry->GetCounter(p + "corrupt_reads_injected");
+  m.truncations_injected = registry->GetCounter(p + "truncations_injected");
+  m.rot_injected = registry->GetCounter(p + "rot_injected");
+  return m;
+}
 
 Status FaultInjectingStore::Apply(const char* op, const std::string& key,
                                   bool is_write, Buffer* read_payload,
@@ -25,11 +42,13 @@ Status FaultInjectingStore::Apply(const char* op, const std::string& key,
     std::lock_guard<std::mutex> lock(mu_);
     uint64_t my_index = op_counter_++;
     fault_stats_.ops.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(metrics_.ops);
     hook = failure_point_;
 
     if (crashed_) {
       // The process is "dead": refuse everything until ClearCrash.
       fault_stats_.crash_refusals.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(metrics_.crash_refusals);
       return CrashStatus(op);
     }
     auto it = schedule_.find(my_index);
@@ -37,6 +56,7 @@ Status FaultInjectingStore::Apply(const char* op, const std::string& key,
       injected = it->second.status;
       execute = it->second.side_effect_lands;
       fault_stats_.scheduled_injected.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(metrics_.scheduled_injected);
     } else if (crash_at_.has_value() && *crash_at_ == my_index) {
       crashed_ = true;
       injected = CrashStatus(op);
@@ -47,6 +67,7 @@ Status FaultInjectingStore::Apply(const char* op, const std::string& key,
                                      op + " " + key + ")");
       execute = false;
       fault_stats_.transient_injected.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(metrics_.transient_injected);
     } else if (is_write && options_.ambiguous_put_rate > 0 &&
                rng_.NextDouble() < options_.ambiguous_put_rate) {
       // The write will land but the caller sees an error — as when an S3
@@ -55,6 +76,7 @@ Status FaultInjectingStore::Apply(const char* op, const std::string& key,
                                      op + " " + key + ")");
       execute = true;
       fault_stats_.ambiguous_injected.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(metrics_.ambiguous_injected);
     }
     // Latent corruption only damages reads that will otherwise succeed —
     // the caller gets OK plus bad bytes, never an error.
@@ -64,6 +86,7 @@ Status FaultInjectingStore::Apply(const char* op, const std::string& key,
         truncate_to = trunc->second;
         fault_stats_.truncations_injected.fetch_add(1,
                                                     std::memory_order_relaxed);
+        obs::Increment(metrics_.truncations_injected);
       }
       if (options_.corrupt_read_rate > 0 &&
           (options_.corrupt_key_filter.empty() ||
@@ -73,6 +96,7 @@ Status FaultInjectingStore::Apply(const char* op, const std::string& key,
         corrupt_salt = rng_.Next();
         fault_stats_.corrupt_reads_injected.fetch_add(
             1, std::memory_order_relaxed);
+        obs::Increment(metrics_.corrupt_reads_injected);
       }
     }
   }
@@ -103,6 +127,7 @@ Status FaultInjectingStore::RotObject(const std::string& key, RotKind kind) {
   if (kind == RotKind::kDrop) {
     ROTTNEST_RETURN_NOT_OK(inner_->Delete(key));
     fault_stats_.rot_injected.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(metrics_.rot_injected);
     return Status::OK();
   }
   Buffer data;
@@ -118,6 +143,7 @@ Status FaultInjectingStore::RotObject(const std::string& key, RotKind kind) {
   }
   ROTTNEST_RETURN_NOT_OK(inner_->Put(key, Slice(data)));
   fault_stats_.rot_injected.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.rot_injected);
   return Status::OK();
 }
 

@@ -64,6 +64,22 @@ struct FaultOptions {
   std::string corrupt_key_filter;
 };
 
+/// Pre-resolved metric handles mirroring FaultStats (see StoreMetrics).
+struct FaultMetrics {
+  obs::Counter* ops = nullptr;
+  obs::Counter* transient_injected = nullptr;
+  obs::Counter* ambiguous_injected = nullptr;
+  obs::Counter* scheduled_injected = nullptr;
+  obs::Counter* crash_refusals = nullptr;
+  obs::Counter* corrupt_reads_injected = nullptr;
+  obs::Counter* truncations_injected = nullptr;
+  obs::Counter* rot_injected = nullptr;
+};
+
+/// Resolves the `fault.<name>.*` handle set (nullptr-safe).
+FaultMetrics ResolveFaultMetrics(obs::MetricsRegistry* registry,
+                                 const std::string& name);
+
 /// Counters of injected faults (monotonic; for assertions and reporting).
 struct FaultStats {
   std::atomic<uint64_t> ops{0};                 ///< Operations intercepted.
@@ -179,6 +195,13 @@ class FaultInjectingStore : public ObjectStore {
 
   const FaultStats& fault_stats() const { return fault_stats_; }
 
+  /// Mirrors every FaultStats increment into `registry` under
+  /// `fault.<name>.*`. Attach before use.
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     const std::string& name = "store") {
+    metrics_ = ResolveFaultMetrics(registry, name);
+  }
+
   ObjectStore* inner() { return inner_; }
 
  private:
@@ -207,6 +230,7 @@ class FaultInjectingStore : public ObjectStore {
   std::map<uint64_t, ScheduledFault> schedule_;
   std::map<uint64_t, uint64_t> truncation_schedule_;  ///< op index → keep.
   FaultStats fault_stats_;
+  FaultMetrics metrics_;
 };
 
 }  // namespace rottnest::objectstore

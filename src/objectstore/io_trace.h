@@ -14,6 +14,7 @@
 #define ROTTNEST_OBJECTSTORE_IO_TRACE_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -101,7 +102,10 @@ class IoTrace {
   /// depths — the §V-B width/depth model for parallel dependent chains —
   /// instead of their sum, which is what recording children sequentially
   /// would claim. Child compute is folded as the max too (the chains
-  /// overlap in wall-clock). Children must be quiescent when merged.
+  /// overlap in wall-clock). Children must be quiescent when merged, and
+  /// each child may be folded into a parent at most once per Reset() —
+  /// merging one twice double-counts its requests in the parent's totals
+  /// (debug-asserted; see merged_into_parent()).
   void MergeParallel(const std::vector<const IoTrace*>& children) {
     std::vector<std::vector<IoRound>> snaps;
     Micros max_compute = 0;
@@ -109,6 +113,9 @@ class IoTrace {
     size_t max_depth = 0;
     for (const IoTrace* c : children) {
       if (c == nullptr) continue;
+      const bool already_merged = c->MarkMerged();
+      (void)already_merged;
+      assert(!already_merged && "IoTrace child merged into a parent twice");
       snaps.push_back(c->rounds());
       max_depth = std::max(max_depth, snaps.back().size());
       max_compute = std::max(max_compute, c->compute_micros());
@@ -192,15 +199,32 @@ class IoTrace {
     rounds_.clear();
     total_gets_ = total_lists_ = total_bytes_ = 0;
     compute_micros_ = 0;
+    merged_into_parent_ = false;
+  }
+
+  /// True once this trace has been folded into a parent via MergeParallel.
+  /// Cleared by Reset(). Guards the "merge a child at most once" contract.
+  bool merged_into_parent() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return merged_into_parent_;
   }
 
  private:
+  /// Marks this trace as merged; returns whether it already was.
+  bool MarkMerged() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool was = merged_into_parent_;
+    merged_into_parent_ = true;
+    return was;
+  }
+
   mutable std::mutex mu_;
   std::vector<IoRound> rounds_;
   uint64_t total_gets_ = 0;
   uint64_t total_lists_ = 0;
   uint64_t total_bytes_ = 0;
   Micros compute_micros_ = 0;
+  mutable bool merged_into_parent_ = false;
 };
 
 /// ObjectStore decorator that records reads/lists into an IoTrace.

@@ -1,5 +1,7 @@
 #include "objectstore/local_disk_store.h"
 
+#include "obs/metrics.h"
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -38,6 +40,8 @@ Status LocalDiskObjectStore::Put(const std::string& key, Slice data) {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
+  obs::Increment(metrics_.puts);
+  obs::Add(metrics_.bytes_written, data.size());
   fs::path p = PathFor(key);
   std::error_code ec;
   fs::create_directories(p.parent_path(), ec);
@@ -62,6 +66,7 @@ Status LocalDiskObjectStore::PutIfAbsent(const std::string& key, Slice data) {
     std::lock_guard<std::mutex> lock(mu_);
     if (fs::exists(PathFor(key))) {
       stats_.puts.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(metrics_.puts);
       return Status::AlreadyExists("object exists: " + key);
     }
   }
@@ -70,6 +75,7 @@ Status LocalDiskObjectStore::PutIfAbsent(const std::string& key, Slice data) {
 
 Status LocalDiskObjectStore::Get(const std::string& key, Buffer* out) {
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.gets);
   std::ifstream in(PathFor(key), std::ios::binary | std::ios::ate);
   if (!in) return Status::NotFound("no such object: " + key);
   std::streamsize size = in.tellg();
@@ -78,12 +84,15 @@ Status LocalDiskObjectStore::Get(const std::string& key, Buffer* out) {
   in.read(reinterpret_cast<char*>(out->data()), size);
   if (!in) return Status::IOError("short read: " + key);
   stats_.bytes_read.fetch_add(out->size(), std::memory_order_relaxed);
+  obs::Add(metrics_.bytes_read, out->size());
+  obs::Record(metrics_.get_bytes, out->size());
   return Status::OK();
 }
 
 Status LocalDiskObjectStore::GetRange(const std::string& key, uint64_t offset,
                                       uint64_t length, Buffer* out) {
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.gets);
   std::ifstream in(PathFor(key), std::ios::binary | std::ios::ate);
   if (!in) return Status::NotFound("no such object: " + key);
   uint64_t size = static_cast<uint64_t>(in.tellg());
@@ -102,11 +111,14 @@ Status LocalDiskObjectStore::GetRange(const std::string& key, uint64_t offset,
           static_cast<std::streamsize>(n));
   if (!in) return Status::IOError("short range read: " + key);
   stats_.bytes_read.fetch_add(n, std::memory_order_relaxed);
+  obs::Add(metrics_.bytes_read, n);
+  obs::Record(metrics_.get_bytes, n);
   return Status::OK();
 }
 
 Status LocalDiskObjectStore::Head(const std::string& key, ObjectMeta* out) {
   stats_.heads.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.heads);
   std::error_code ec;
   fs::path p = PathFor(key);
   auto size = fs::file_size(p, ec);
@@ -126,6 +138,7 @@ Status LocalDiskObjectStore::List(const std::string& prefix,
                                   std::vector<ObjectMeta>* out) {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.lists.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.lists);
   out->clear();
   std::error_code ec;
   fs::path root(root_);
@@ -159,6 +172,7 @@ Status LocalDiskObjectStore::List(const std::string& prefix,
 Status LocalDiskObjectStore::Delete(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.deletes.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.deletes);
   std::error_code ec;
   fs::remove(PathFor(key), ec);
   return Status::OK();

@@ -30,6 +30,13 @@ class LocalDiskObjectStore : public ObjectStore {
   const Clock& clock() const override { return *clock_; }
   const IoStats& stats() const override { return stats_; }
 
+  /// Mirrors every IoStats increment into `registry` under
+  /// `store.<name>.*`. Attach before use (not thread-safe vs in-flight ops).
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     const std::string& name = "disk") {
+    metrics_ = ResolveStoreMetrics(registry, name);
+  }
+
  private:
   std::string PathFor(const std::string& key) const;
 
@@ -38,6 +45,7 @@ class LocalDiskObjectStore : public ObjectStore {
   // Serializes PutIfAbsent (existence check + write) and key-space scans.
   mutable std::mutex mu_;
   IoStats stats_;
+  StoreMetrics metrics_;
 };
 
 }  // namespace rottnest::objectstore

@@ -1,6 +1,27 @@
 #include "objectstore/object_store.h"
 
+#include "obs/metrics.h"
+
 namespace rottnest::objectstore {
+
+StoreMetrics ResolveStoreMetrics(obs::MetricsRegistry* registry,
+                                 const std::string& name) {
+  StoreMetrics m;
+  if (registry == nullptr) return m;
+  const std::string p = "store." + name + ".";
+  m.gets = registry->GetCounter(p + "gets");
+  m.puts = registry->GetCounter(p + "puts");
+  m.lists = registry->GetCounter(p + "lists");
+  m.deletes = registry->GetCounter(p + "deletes");
+  m.heads = registry->GetCounter(p + "heads");
+  m.bytes_read = registry->GetCounter(p + "bytes_read");
+  m.bytes_written = registry->GetCounter(p + "bytes_written");
+  m.cache_hits = registry->GetCounter(p + "cache_hits");
+  m.cache_misses = registry->GetCounter(p + "cache_misses");
+  m.cache_evictions = registry->GetCounter(p + "cache_evictions");
+  m.get_bytes = registry->GetHistogram(p + "get_bytes");
+  return m;
+}
 
 Status InMemoryObjectStore::MaybeFail(const char* op, const std::string& key) {
   // Caller holds mu_.
@@ -13,6 +34,8 @@ Status InMemoryObjectStore::Put(const std::string& key, Slice data) {
   ROTTNEST_RETURN_NOT_OK(MaybeFail("put", key));
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
+  obs::Increment(metrics_.puts);
+  obs::Add(metrics_.bytes_written, data.size());
   Entry& e = objects_[key];
   e.data = data.ToBuffer();
   e.created_micros = clock_->NowMicros();
@@ -23,10 +46,12 @@ Status InMemoryObjectStore::PutIfAbsent(const std::string& key, Slice data) {
   std::lock_guard<std::mutex> lock(mu_);
   ROTTNEST_RETURN_NOT_OK(MaybeFail("put_if_absent", key));
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.puts);
   if (objects_.count(key) != 0) {
     return Status::AlreadyExists("object exists: " + key);
   }
   stats_.bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
+  obs::Add(metrics_.bytes_written, data.size());
   Entry& e = objects_[key];
   e.data = data.ToBuffer();
   e.created_micros = clock_->NowMicros();
@@ -37,10 +62,13 @@ Status InMemoryObjectStore::Get(const std::string& key, Buffer* out) {
   std::lock_guard<std::mutex> lock(mu_);
   ROTTNEST_RETURN_NOT_OK(MaybeFail("get", key));
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.gets);
   auto it = objects_.find(key);
   if (it == objects_.end()) return Status::NotFound("no such object: " + key);
   *out = it->second.data;
   stats_.bytes_read.fetch_add(out->size(), std::memory_order_relaxed);
+  obs::Add(metrics_.bytes_read, out->size());
+  obs::Record(metrics_.get_bytes, out->size());
   return Status::OK();
 }
 
@@ -49,6 +77,7 @@ Status InMemoryObjectStore::GetRange(const std::string& key, uint64_t offset,
   std::lock_guard<std::mutex> lock(mu_);
   ROTTNEST_RETURN_NOT_OK(MaybeFail("get", key));
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.gets);
   auto it = objects_.find(key);
   if (it == objects_.end()) return Status::NotFound("no such object: " + key);
   const Buffer& data = it->second.data;
@@ -64,6 +93,8 @@ Status InMemoryObjectStore::GetRange(const std::string& key, uint64_t offset,
   uint64_t n = std::min<uint64_t>(length, avail);
   out->assign(data.begin() + offset, data.begin() + offset + n);
   stats_.bytes_read.fetch_add(n, std::memory_order_relaxed);
+  obs::Add(metrics_.bytes_read, n);
+  obs::Record(metrics_.get_bytes, n);
   return Status::OK();
 }
 
@@ -71,6 +102,7 @@ Status InMemoryObjectStore::Head(const std::string& key, ObjectMeta* out) {
   std::lock_guard<std::mutex> lock(mu_);
   ROTTNEST_RETURN_NOT_OK(MaybeFail("head", key));
   stats_.heads.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.heads);
   auto it = objects_.find(key);
   if (it == objects_.end()) return Status::NotFound("no such object: " + key);
   out->key = key;
@@ -84,6 +116,7 @@ Status InMemoryObjectStore::List(const std::string& prefix,
   std::lock_guard<std::mutex> lock(mu_);
   ROTTNEST_RETURN_NOT_OK(MaybeFail("list", prefix));
   stats_.lists.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.lists);
   out->clear();
   for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -100,6 +133,7 @@ Status InMemoryObjectStore::Delete(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   ROTTNEST_RETURN_NOT_OK(MaybeFail("delete", key));
   stats_.deletes.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.deletes);
   objects_.erase(key);
   return Status::OK();
 }

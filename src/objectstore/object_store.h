@@ -25,6 +25,12 @@
 #include "common/slice.h"
 #include "common/status.h"
 
+namespace rottnest::obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace rottnest::obs
+
 namespace rottnest::objectstore {
 
 /// Metadata for a stored object.
@@ -60,6 +66,30 @@ struct IoStats {
     cache_hits = cache_misses = cache_evictions = 0;
   }
 };
+
+/// Pre-resolved metric handles mirroring IoStats, emitted at the exact
+/// sites the stats counters increment — so for any store the registry's
+/// `store.<name>.*` counters exactly equal its IoStats (the reconciliation
+/// property tests assert). All handles null when metrics are off; emission
+/// is then a single branch, no allocation (see obs/metrics.h).
+struct StoreMetrics {
+  obs::Counter* gets = nullptr;
+  obs::Counter* puts = nullptr;
+  obs::Counter* lists = nullptr;
+  obs::Counter* deletes = nullptr;
+  obs::Counter* heads = nullptr;
+  obs::Counter* bytes_read = nullptr;
+  obs::Counter* bytes_written = nullptr;
+  obs::Counter* cache_hits = nullptr;
+  obs::Counter* cache_misses = nullptr;
+  obs::Counter* cache_evictions = nullptr;
+  obs::Histogram* get_bytes = nullptr;  ///< Per-GET payload distribution.
+};
+
+/// Resolves the `store.<name>.*` handle set in `registry` (nullptr-safe:
+/// returns all-null handles for a null registry).
+StoreMetrics ResolveStoreMetrics(obs::MetricsRegistry* registry,
+                                 const std::string& name);
 
 /// Abstract object store. Implementations must be thread-safe.
 class ObjectStore {
@@ -137,6 +167,14 @@ class InMemoryObjectStore : public ObjectStore {
     failure_point_ = std::move(fp);
   }
 
+  /// Starts mirroring every IoStats increment into `registry` under
+  /// `store.<name>.*` (pass nullptr to stop). Not thread-safe against
+  /// in-flight operations; attach before use.
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     const std::string& name = "memory") {
+    metrics_ = ResolveStoreMetrics(registry, name);
+  }
+
   /// Total bytes currently stored (for storage-cost accounting).
   uint64_t TotalBytes() const;
 
@@ -156,6 +194,7 @@ class InMemoryObjectStore : public ObjectStore {
   std::map<std::string, Entry> objects_;
   FailurePoint failure_point_;
   IoStats stats_;
+  StoreMetrics metrics_;
 };
 
 }  // namespace rottnest::objectstore

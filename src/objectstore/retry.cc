@@ -3,7 +3,23 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace rottnest::objectstore {
+
+RetryMetrics ResolveRetryMetrics(obs::MetricsRegistry* registry,
+                                 const std::string& name) {
+  RetryMetrics m;
+  if (registry == nullptr) return m;
+  const std::string p = "retry." + name + ".";
+  m.operations = registry->GetCounter(p + "operations");
+  m.attempts = registry->GetCounter(p + "attempts");
+  m.retries = registry->GetCounter(p + "retries");
+  m.budget_exhausted = registry->GetCounter(p + "budget_exhausted");
+  m.ambiguous_resolved = registry->GetCounter(p + "ambiguous_resolved");
+  m.backoff_micros = registry->GetCounter(p + "backoff_micros");
+  return m;
+}
 
 SleepFn SimulatedSleeper(SimulatedClock* clock) {
   return [clock](Micros wait) { clock->Advance(wait); };
@@ -28,22 +44,27 @@ void RetryingStore::Backoff(int retry) {
     wait = policy_.BackoffFor(retry, &rng_);
   }
   retry_stats_.backoff_micros.fetch_add(wait, std::memory_order_relaxed);
+  obs::Add(metrics_.backoff_micros, wait);
   if (sleep_) sleep_(wait);
 }
 
 Status RetryingStore::RetryLoop(const std::function<Status()>& attempt) {
   retry_stats_.operations.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.operations);
   Status last;
   for (int i = 0; i < policy_.max_attempts; ++i) {
     if (i > 0) {
       retry_stats_.retries.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(metrics_.retries);
       Backoff(i);
     }
     retry_stats_.attempts.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(metrics_.attempts);
     last = attempt();
     if (!last.IsUnavailable()) return last;
   }
   retry_stats_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.budget_exhausted);
   return last;
 }
 
@@ -54,6 +75,7 @@ Status RetryingStore::Put(const std::string& key, Slice data) {
 
 Status RetryingStore::PutIfAbsent(const std::string& key, Slice data) {
   retry_stats_.operations.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.operations);
   // Conditional puts cannot be blindly retried: an ambiguous failure may
   // mean our write landed, and a naive retry would then read AlreadyExists
   // and report a successful commit as a conflict. Once any attempt ends
@@ -69,6 +91,7 @@ Status RetryingStore::PutIfAbsent(const std::string& key, Slice data) {
       if (ours) {
         retry_stats_.ambiguous_resolved.fetch_add(1,
                                                   std::memory_order_relaxed);
+        obs::Increment(metrics_.ambiguous_resolved);
         *out = Status::OK();
       } else {
         *out = Status::AlreadyExists("object exists: " + key);
@@ -87,9 +110,11 @@ Status RetryingStore::PutIfAbsent(const std::string& key, Slice data) {
   for (int i = 0; i < policy_.max_attempts; ++i) {
     if (i > 0) {
       retry_stats_.retries.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(metrics_.retries);
       Backoff(i);
     }
     retry_stats_.attempts.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(metrics_.attempts);
     last = inner_->PutIfAbsent(key, data);
     if (last.ok()) return last;
     if (last.IsAlreadyExists()) {
@@ -105,6 +130,7 @@ Status RetryingStore::PutIfAbsent(const std::string& key, Slice data) {
     if (resolve(&resolved)) return resolved;
   }
   retry_stats_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.budget_exhausted);
   return last;
 }
 

@@ -53,6 +53,20 @@ struct RetryPolicy {
   Micros BackoffFor(int retry, Random* rng) const;
 };
 
+/// Pre-resolved metric handles mirroring RetryStats (see StoreMetrics).
+struct RetryMetrics {
+  obs::Counter* operations = nullptr;
+  obs::Counter* attempts = nullptr;
+  obs::Counter* retries = nullptr;
+  obs::Counter* budget_exhausted = nullptr;
+  obs::Counter* ambiguous_resolved = nullptr;
+  obs::Counter* backoff_micros = nullptr;
+};
+
+/// Resolves the `retry.<name>.*` handle set (nullptr-safe).
+RetryMetrics ResolveRetryMetrics(obs::MetricsRegistry* registry,
+                                 const std::string& name);
+
 /// Cumulative retry accounting across all operations of one RetryingStore.
 struct RetryStats {
   std::atomic<uint64_t> operations{0};          ///< Logical ops issued.
@@ -94,6 +108,13 @@ class RetryingStore : public ObjectStore {
   const RetryPolicy& policy() const { return policy_; }
   ObjectStore* inner() { return inner_; }
 
+  /// Mirrors every RetryStats increment into `registry` under
+  /// `retry.<name>.*`. Attach before use.
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     const std::string& name = "store") {
+    metrics_ = ResolveRetryMetrics(registry, name);
+  }
+
  private:
   /// Runs `attempt` under the retry budget, waiting between tries.
   /// Only Unavailable triggers a retry.
@@ -108,6 +129,7 @@ class RetryingStore : public ObjectStore {
   std::mutex rng_mu_;
   Random rng_;
   RetryStats retry_stats_;
+  RetryMetrics metrics_;
 };
 
 }  // namespace rottnest::objectstore

@@ -1,0 +1,127 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+namespace rottnest::obs {
+
+size_t Histogram::BucketFor(uint64_t v) {
+  if (v == 0) return 0;
+  size_t octave = static_cast<size_t>(std::bit_width(v)) - 1;
+  if (octave >= kOctaves) return kBuckets - 1;  // Overflow bucket.
+  // v in [2^octave, 2^(octave+1)): the offset above the octave base is
+  // < 2^octave, so (offset * kSubBuckets) >> octave is always < kSubBuckets.
+  size_t sub = static_cast<size_t>(
+      ((v - (uint64_t{1} << octave)) * kSubBuckets) >> octave);
+  return 1 + octave * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketLowerBound(size_t b) {
+  if (b == 0) return 0;
+  if (b >= kBuckets - 1) return uint64_t{1} << kOctaves;
+  size_t octave = (b - 1) / kSubBuckets;
+  size_t sub = (b - 1) % kSubBuckets;
+  uint64_t base = uint64_t{1} << octave;
+  return base + ((base * sub) / kSubBuckets);
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  uint64_t total = Count();
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target value, 1-based: ceil(q * total), at least 1.
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketLowerBound(b);
+  }
+  return BucketLowerBound(kBuckets - 1);
+}
+
+Json Histogram::ToJson() const {
+  Json::Object o;
+  o["count"] = Json(Count());
+  o["sum"] = Json(Sum());
+  o["p50"] = Json(Quantile(0.50));
+  o["p95"] = Json(Quantile(0.95));
+  o["p99"] = Json(Quantile(0.99));
+  return Json(std::move(o));
+}
+
+MetricsRegistry::Shard& MetricsRegistry::ShardFor(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % kShards];
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.histograms[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+Json MetricsRegistry::SnapshotJson() const {
+  // Json objects are std::map-backed, so collecting across shards lands in
+  // sorted name order regardless of shard layout.
+  Json::Object counters, gauges, histograms;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, c] : shard.counters) {
+      counters[name] = Json(c->value());
+    }
+    for (const auto& [name, g] : shard.gauges) {
+      gauges[name] = Json(g->value());
+    }
+    for (const auto& [name, h] : shard.histograms) {
+      histograms[name] = h->ToJson();
+    }
+  }
+  Json::Object root;
+  root["counters"] = Json(std::move(counters));
+  root["gauges"] = Json(std::move(gauges));
+  root["histograms"] = Json(std::move(histograms));
+  return Json(std::move(root));
+}
+
+std::string MetricsRegistry::DumpText() const {
+  Json snap = SnapshotJson();
+  std::string out;
+  for (const auto& [name, c] : snap.AsObject().at("counters").AsObject()) {
+    out += name + " = " + std::to_string(c.AsInt()) + "\n";
+  }
+  for (const auto& [name, g] : snap.AsObject().at("gauges").AsObject()) {
+    out += name + " = " + std::to_string(g.AsInt()) + " (gauge)\n";
+  }
+  for (const auto& [name, h] : snap.AsObject().at("histograms").AsObject()) {
+    const Json::Object& o = h.AsObject();
+    out += name + " = {count " + std::to_string(o.at("count").AsInt()) +
+           ", sum " + std::to_string(o.at("sum").AsInt()) + ", p50 " +
+           std::to_string(o.at("p50").AsInt()) + ", p95 " +
+           std::to_string(o.at("p95").AsInt()) + ", p99 " +
+           std::to_string(o.at("p99").AsInt()) + "}\n";
+  }
+  return out;
+}
+
+}  // namespace rottnest::obs

@@ -1,0 +1,145 @@
+// MetricsRegistry: the process-wide (or per-test) metric substrate of the
+// observability layer (DESIGN.md §4g).
+//
+// Three instrument kinds, all lock-free to EMIT once resolved:
+//   * Counter   — monotonic uint64 (requests, bytes, faults);
+//   * Gauge     — settable int64 (resident cache bytes, queue depth);
+//   * Histogram — log-linear distribution (per-GET bytes, latencies) with
+//                 deterministic quantiles: octaves (powers of two) split
+//                 into linear sub-buckets, so Record() is a couple of shifts
+//                 and one atomic add, and Quantile() returns the lower bound
+//                 of the target bucket — a pure function of the recorded
+//                 multiset, independent of arrival order or thread count.
+//
+// Registration (name → instrument) is sharded by name hash with one mutex
+// per shard; callers resolve a handle once (AttachMetrics-style) and emit
+// through the raw pointer forever after — handles are never invalidated.
+// Everything is null-safe by convention: instrumented code holds possibly
+// null handles and skips emission when observability is off, adding zero
+// allocations to the hot path (verified by bench/micro_kernels.cc).
+//
+// Exporters: SnapshotJson() (common/json objects keep keys sorted, so the
+// dump is byte-stable for identical contents — the determinism tests diff
+// snapshots across thread widths) and DumpText() for humans.
+#ifndef ROTTNEST_OBS_METRICS_H_
+#define ROTTNEST_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/json.h"
+
+namespace rottnest::obs {
+
+/// Monotonic counter. Thread-safe, lock-free.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Settable gauge. Thread-safe, lock-free.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-linear histogram over uint64 values. Bucket layout: one bucket for
+/// zero, then kSubBuckets linear sub-buckets per octave [2^o, 2^(o+1)).
+/// Record() is wait-free; Count/Sum/Quantile read the atomics directly, so
+/// a snapshot taken while emitters run is approximate (each field is
+/// individually consistent) — quiesce emitters for exact reads.
+class Histogram {
+ public:
+  static constexpr size_t kOctaves = 48;     ///< Covers up to 2^48 - 1.
+  static constexpr size_t kSubBuckets = 8;   ///< Linear splits per octave.
+  static constexpr size_t kBuckets = 1 + kOctaves * kSubBuckets + 1;
+
+  void Record(uint64_t value) {
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// The smallest value representable by the bucket holding the q-th
+  /// (q in [0, 1]) recorded value — deterministic for a given multiset.
+  uint64_t Quantile(double q) const;
+
+  /// {count, sum, p50, p95, p99} — the exporter payload.
+  Json ToJson() const;
+
+ private:
+  static size_t BucketFor(uint64_t v);
+  static uint64_t BucketLowerBound(size_t b);
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Lock-sharded name → instrument registry. Getters return a stable handle,
+/// registering the instrument on first use; emission through the handle
+/// never takes the registry lock. Thread-safe.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with names
+  /// sorted — Dump() of the result is byte-stable for identical contents.
+  Json SnapshotJson() const;
+
+  /// Human-readable listing, one instrument per line, sorted by name.
+  std::string DumpText() const;
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Shard& ShardFor(const std::string& name);
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// Null-safe emission helpers: instrumented hot paths hold possibly null
+/// handles and pay one branch when observability is off.
+inline void Add(Counter* c, uint64_t n) {
+  if (c != nullptr) c->Add(n);
+}
+inline void Increment(Counter* c) {
+  if (c != nullptr) c->Add(1);
+}
+inline void Record(Histogram* h, uint64_t v) {
+  if (h != nullptr) h->Record(v);
+}
+
+}  // namespace rottnest::obs
+
+#endif  // ROTTNEST_OBS_METRICS_H_

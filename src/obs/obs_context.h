@@ -1,0 +1,42 @@
+// ObsContext: the one opt-in handle callers thread through SearchOptions /
+// MaintenanceOptions / ScrubOptions to turn observability on — no global
+// state anywhere. A default-constructed options struct carries obs ==
+// nullptr and every instrumented path stays allocation-free (verified by
+// bench/micro_kernels.cc).
+//
+// The context bundles:
+//   * metrics — the registry operation- and store-level counters land in;
+//   * tracer  — the span tree of each operation run under this context;
+//   * parent  — span to parent new ROOT spans under, which is how
+//               cross-operation nesting works (Repair parents the Index
+//               root spans of its rebuilds under its own repair span);
+//   * retry_stats / fault_stats — optional hooks into the store stack's
+//     RetryingStore/FaultInjectingStore counters, so per-op Stats can
+//     report the retries absorbed and faults injected below it.
+#ifndef ROTTNEST_OBS_OBS_CONTEXT_H_
+#define ROTTNEST_OBS_OBS_CONTEXT_H_
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace rottnest::objectstore {
+struct RetryStats;
+struct FaultStats;
+}  // namespace rottnest::objectstore
+
+namespace rottnest::obs {
+
+struct ObsContext {
+  MetricsRegistry* metrics = nullptr;  ///< May be null (spans only).
+  Tracer* tracer = nullptr;            ///< May be null (metrics only).
+  /// Span new root spans attach under (kNoSpan = true roots). Operations
+  /// that invoke other operations re-point this at their own span.
+  SpanId parent = kNoSpan;
+  /// Optional stat hooks from the store stack, for Stats::retries/faults.
+  const objectstore::RetryStats* retry_stats = nullptr;
+  const objectstore::FaultStats* fault_stats = nullptr;
+};
+
+}  // namespace rottnest::obs
+
+#endif  // ROTTNEST_OBS_OBS_CONTEXT_H_

@@ -1,0 +1,189 @@
+#include "obs/span.h"
+
+#include <algorithm>
+
+namespace rottnest::obs {
+
+void SpanIo::Add(const SpanIo& o) {
+  gets += o.gets;
+  puts += o.puts;
+  lists += o.lists;
+  deletes += o.deletes;
+  heads += o.heads;
+  bytes_read += o.bytes_read;
+  bytes_written += o.bytes_written;
+  cache_hits += o.cache_hits;
+  cache_misses += o.cache_misses;
+  retries += o.retries;
+  faults += o.faults;
+  compute_micros += o.compute_micros;
+}
+
+namespace {
+uint64_t SatSub(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
+}  // namespace
+
+SpanIo SpanIo::MinusSaturating(const SpanIo& o) const {
+  SpanIo r;
+  r.gets = SatSub(gets, o.gets);
+  r.puts = SatSub(puts, o.puts);
+  r.lists = SatSub(lists, o.lists);
+  r.deletes = SatSub(deletes, o.deletes);
+  r.heads = SatSub(heads, o.heads);
+  r.bytes_read = SatSub(bytes_read, o.bytes_read);
+  r.bytes_written = SatSub(bytes_written, o.bytes_written);
+  r.cache_hits = SatSub(cache_hits, o.cache_hits);
+  r.cache_misses = SatSub(cache_misses, o.cache_misses);
+  r.retries = SatSub(retries, o.retries);
+  r.faults = SatSub(faults, o.faults);
+  r.compute_micros =
+      compute_micros > o.compute_micros ? compute_micros - o.compute_micros
+                                        : 0;
+  return r;
+}
+
+bool SpanIo::IsZero() const {
+  return requests() == 0 && bytes_read == 0 && bytes_written == 0 &&
+         cache_hits == 0 && cache_misses == 0 && retries == 0 &&
+         faults == 0 && compute_micros == 0;
+}
+
+Json SpanIo::ToJson() const {
+  Json::Object o;
+  o["gets"] = Json(gets);
+  o["puts"] = Json(puts);
+  o["lists"] = Json(lists);
+  o["deletes"] = Json(deletes);
+  o["heads"] = Json(heads);
+  o["bytes_read"] = Json(bytes_read);
+  o["bytes_written"] = Json(bytes_written);
+  o["cache_hits"] = Json(cache_hits);
+  o["cache_misses"] = Json(cache_misses);
+  o["retries"] = Json(retries);
+  o["faults"] = Json(faults);
+  o["compute_micros"] = Json(compute_micros);
+  return Json(std::move(o));
+}
+
+SpanId Tracer::StartSpan(std::string name, SpanId parent, Micros now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanData s;
+  s.name = std::move(name);
+  s.id = static_cast<SpanId>(spans_.size());
+  s.parent = parent;
+  s.start_micros = now;
+  s.end_micros = now;
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(SpanId id, Micros now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  SpanData& s = spans_[static_cast<size_t>(id)];
+  s.end_micros = std::max(s.start_micros, now);
+  s.ended = true;
+}
+
+void Tracer::AddIo(SpanId id, const SpanIo& io) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  spans_[static_cast<size_t>(id)].io.Add(io);
+}
+
+std::vector<SpanData> Tracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+SpanIo Tracer::AggregateIo() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanIo total;
+  for (const SpanData& s : spans_) total.Add(s.io);
+  return total;
+}
+
+Json Tracer::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json::Array arr;
+  arr.reserve(spans_.size());
+  for (const SpanData& s : spans_) {
+    Json::Object o;
+    o["id"] = Json(s.id);
+    o["parent"] = Json(s.parent);
+    o["name"] = Json(s.name);
+    o["start_micros"] = Json(s.start_micros);
+    o["end_micros"] = Json(s.end_micros);
+    o["io"] = s.io.ToJson();
+    arr.push_back(Json(std::move(o)));
+  }
+  Json::Object root;
+  root["spans"] = Json(std::move(arr));
+  return Json(std::move(root));
+}
+
+std::string Tracer::DumpTree() const {
+  std::vector<SpanData> spans = Spans();
+  // Children of each span, in id order (ids are append order, so this is
+  // also creation order).
+  std::vector<std::vector<size_t>> children(spans.size());
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    SpanId p = spans[i].parent;
+    if (p >= 0 && static_cast<size_t>(p) < spans.size()) {
+      children[static_cast<size_t>(p)].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::string out;
+  // Iterative preorder walk (spans can nest arbitrarily deep).
+  struct Frame {
+    size_t span;
+    size_t depth;
+  };
+  std::vector<Frame> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.push_back({*it, 0});
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const SpanData& s = spans[f.span];
+    out.append(f.depth * 2, ' ');
+    out += s.name;
+    out += " [" + std::to_string(s.end_micros - s.start_micros) + "us";
+    if (!s.io.IsZero()) {
+      out += ", " + std::to_string(s.io.requests()) + " req, " +
+             std::to_string(s.io.bytes_read) + " B";
+      if (s.io.cache_hits != 0 || s.io.cache_misses != 0) {
+        out += ", cache " + std::to_string(s.io.cache_hits) + "/" +
+               std::to_string(s.io.cache_hits + s.io.cache_misses);
+      }
+      if (s.io.retries != 0) {
+        out += ", " + std::to_string(s.io.retries) + " retries";
+      }
+      if (s.io.faults != 0) {
+        out += ", " + std::to_string(s.io.faults) + " faults";
+      }
+    }
+    out += "]\n";
+    const auto& kids = children[f.span];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, f.depth + 1});
+    }
+  }
+  return out;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+}  // namespace rottnest::obs

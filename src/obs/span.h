@@ -1,0 +1,167 @@
+// Hierarchical span tracer: the "where did this operation's cost go"
+// half of the observability layer (DESIGN.md §4g).
+//
+// A Span is one phase of one logical operation — "plan", "index:<path>",
+// "probe" — with an explicit parent handle, so spans nest correctly even
+// when children are created across a ThreadPool fan-out: the parent id is
+// captured by value before the fan-out and every task attaches under it,
+// regardless of which thread runs it. SpanIds are indices into a single
+// append-only vector, which gives two cheap invariants the tests lean on:
+// a parent's id is always smaller than its children's, and creating spans
+// upfront in plan order (before launching tasks) makes the tree shape
+// deterministic at any thread width.
+//
+// Each span carries a SpanIo: the I/O EXCLUSIVELY attributed to that span
+// (never including descendants), so summing SpanIo over every span of a
+// tree telescopes to the whole operation's I/O — the reconciliation
+// property the integration tests assert against IoStats. Serial phases are
+// measured as before/after IoStats deltas; fan-out children carry their
+// per-task IoTrace totals and the enclosing span keeps the remainder.
+//
+// Timestamps come from the caller-provided Clock — under SimulatedClock a
+// span tree is bit-for-bit reproducible; wall time lives in obs::Stats,
+// never here.
+#ifndef ROTTNEST_OBS_SPAN_H_
+#define ROTTNEST_OBS_SPAN_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/json.h"
+
+namespace rottnest::obs {
+
+using SpanId = int64_t;
+inline constexpr SpanId kNoSpan = -1;
+
+/// I/O and fault accounting exclusively attributed to one span.
+struct SpanIo {
+  uint64_t gets = 0;
+  uint64_t puts = 0;
+  uint64_t lists = 0;
+  uint64_t deletes = 0;
+  uint64_t heads = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t retries = 0;
+  uint64_t faults = 0;
+  int64_t compute_micros = 0;
+
+  void Add(const SpanIo& o);
+  /// Per-field saturating subtraction (never wraps below zero): used to
+  /// compute the remainder a fan-out wrapper keeps after its children took
+  /// their per-task shares.
+  SpanIo MinusSaturating(const SpanIo& o) const;
+  uint64_t requests() const {
+    return gets + puts + lists + deletes + heads;
+  }
+  bool IsZero() const;
+  Json ToJson() const;
+};
+
+/// One recorded span. `end_micros < start_micros` never happens; an
+/// unfinished span has end_micros == start_micros at snapshot time.
+struct SpanData {
+  std::string name;
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;  ///< kNoSpan = a root span.
+  Micros start_micros = 0;
+  Micros end_micros = 0;
+  bool ended = false;
+  SpanIo io;  ///< Exclusive — descendants' io is NOT included.
+};
+
+/// Collects the span forest of one ObsContext. Thread-safe: fan-out tasks
+/// may start/end/annotate spans concurrently. Span handles (ids) stay valid
+/// for the Tracer's lifetime.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span under `parent` (kNoSpan = root) at store-clock time
+  /// `now`. Returns its id.
+  SpanId StartSpan(std::string name, SpanId parent, Micros now);
+
+  void EndSpan(SpanId id, Micros now);
+
+  /// Folds `io` into the span's exclusive accounting.
+  void AddIo(SpanId id, const SpanIo& io);
+
+  std::vector<SpanData> Spans() const;
+  size_t span_count() const;
+
+  /// Sum of every span's exclusive SpanIo — the tree-aggregate the
+  /// reconciliation tests compare against IoStats.
+  SpanIo AggregateIo() const;
+
+  /// {"spans": [{id, parent, name, start, end, io...} ...]} in id order —
+  /// byte-stable for identical trees.
+  Json SnapshotJson() const;
+
+  /// Indented human-readable tree, children under parents in id order.
+  std::string DumpTree() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanData> spans_;
+};
+
+/// RAII span. Null-safe: with a null tracer every method is a no-op and the
+/// constructor performs no allocation (the name stays a const char* unless
+/// a span is actually opened).
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* tracer, const Clock* clock, const char* name,
+             SpanId parent) {
+    if (tracer == nullptr) return;
+    tracer_ = tracer;
+    clock_ = clock;
+    id_ = tracer->StartSpan(name, parent, clock->NowMicros());
+  }
+  ScopedSpan(ScopedSpan&& o) noexcept { *this = std::move(o); }
+  ScopedSpan& operator=(ScopedSpan&& o) noexcept {
+    tracer_ = o.tracer_;
+    clock_ = o.clock_;
+    id_ = o.id_;
+    o.tracer_ = nullptr;
+    o.id_ = kNoSpan;
+    return *this;
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() { End(); }
+
+  /// Ends the span now (idempotent; the destructor calls it too).
+  void End() {
+    if (tracer_ == nullptr) return;
+    tracer_->EndSpan(id_, clock_->NowMicros());
+    tracer_ = nullptr;
+  }
+
+  void AddIo(const SpanIo& io) {
+    if (tracer_ != nullptr) tracer_->AddIo(id_, io);
+  }
+
+  /// The span's id, for parenting children. kNoSpan when tracing is off.
+  SpanId id() const { return id_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const Clock* clock_ = nullptr;
+  SpanId id_ = kNoSpan;
+};
+
+}  // namespace rottnest::obs
+
+#endif  // ROTTNEST_OBS_SPAN_H_

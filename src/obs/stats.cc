@@ -1,0 +1,23 @@
+#include "obs/stats.h"
+
+namespace rottnest::obs {
+
+Json Stats::ToJson() const {
+  Json::Object o;
+  o["gets"] = Json(gets);
+  o["lists"] = Json(lists);
+  o["bytes_read"] = Json(bytes_read);
+  o["io_depth"] = Json(static_cast<uint64_t>(io_depth));
+  o["simulated_latency_ms"] = Json(simulated_latency_ms);
+  o["simulated_cost_usd"] = Json(simulated_cost_usd);
+  o["cache_hits"] = Json(cache_hits);
+  o["cache_misses"] = Json(cache_misses);
+  o["retries"] = Json(retries);
+  o["faults"] = Json(faults);
+  o["wall_micros"] = Json(wall_micros);
+  o["parallelism"] = Json(static_cast<uint64_t>(parallelism));
+  o["dry_run"] = Json(dry_run);
+  return Json(std::move(o));
+}
+
+}  // namespace rottnest::obs

@@ -1,0 +1,58 @@
+// obs::Stats — the ONE cost surface every Rottnest operation reports
+// (DESIGN.md §4g). Searches, maintenance ops (Index/Compact/Vacuum) and
+// anti-entropy (Scrub/Repair) all attach this same aggregate to their
+// results, replacing the bespoke per-report stat structs that had drifted
+// apart: io (requests/bytes plus the IoTrace-derived depth and S3
+// latency/cost projection), cache accounting, retry/fault absorption and
+// timings, in one flat struct with one JSON exporter.
+#ifndef ROTTNEST_OBS_STATS_H_
+#define ROTTNEST_OBS_STATS_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/json.h"
+
+namespace rottnest::obs {
+
+/// IO/cost accounting attached to every operation result. Fields default to
+/// zero; an operation fills what it can measure (e.g. io_depth and the
+/// simulated projections need an IoTrace, cache fields need the client
+/// cache, retries/faults need the ObsContext stat hooks).
+struct Stats {
+  // --- io ---
+  uint64_t gets = 0;
+  uint64_t lists = 0;
+  uint64_t bytes_read = 0;
+  /// Dependent-request depth: parallel chains overlap in waves of
+  /// `parallelism`, so depth shrinks as the pipeline widens.
+  size_t io_depth = 0;
+  /// End-to-end simulated latency (S3Model: rounds + compute) and request
+  /// cost for this operation's reads.
+  double simulated_latency_ms = 0;
+  double simulated_cost_usd = 0;
+  // --- cache ---
+  /// Per-operation client-cache deltas (0 when the cache is off). Under
+  /// concurrent operations on one client these are deltas of shared
+  /// counters, so an op may be attributed a neighbour's hits — accounting,
+  /// not correctness.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  // --- resilience ---
+  /// Retries absorbed and faults injected below this operation, measured as
+  /// deltas of the ObsContext's RetryStats/FaultStats hooks (0 without an
+  /// ObsContext wiring them up).
+  uint64_t retries = 0;
+  uint64_t faults = 0;
+  // --- timings / shape ---
+  /// Measured wall-clock of the call.
+  uint64_t wall_micros = 0;
+  size_t parallelism = 0;  ///< Resolved pipeline/fan-out width actually used.
+  bool dry_run = false;
+
+  Json ToJson() const;
+};
+
+}  // namespace rottnest::obs
+
+#endif  // ROTTNEST_OBS_STATS_H_

@@ -174,8 +174,8 @@ TEST(CacheFanoutTest, CachedAndUncachedSearchesAreByteIdentical) {
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     ExpectSameMatches(a.value(), b.value());
-    EXPECT_GT(b.value().cache_hits, 0u);
-    EXPECT_EQ(b.value().cache_misses, 0u);
+    EXPECT_GT(b.value().stats.cache_hits, 0u);
+    EXPECT_EQ(b.value().stats.cache_misses, 0u);
   }
 }
 
@@ -189,7 +189,7 @@ TEST(CacheFanoutTest, HotCacheQueriesNeverTouchIndexObjects) {
   auto cold = client.SearchUuid("uuid", Slice(u), 5);
   ASSERT_TRUE(cold.ok());
   ASSERT_EQ(cold.value().matches.size(), 1u);
-  EXPECT_GT(cold.value().cache_misses, 0u);
+  EXPECT_GT(cold.value().stats.cache_misses, 0u);
 
   // From now on, ANY object-store read of an index object fails hard. A hot
   // query must not notice: every index component comes from the cache.
@@ -204,8 +204,8 @@ TEST(CacheFanoutTest, HotCacheQueriesNeverTouchIndexObjects) {
   auto hot = client.SearchUuid("uuid", Slice(u), 5);
   ASSERT_TRUE(hot.ok()) << hot.status().ToString();
   ExpectSameMatches(cold.value(), hot.value());
-  EXPECT_GT(hot.value().cache_hits, 0u);
-  EXPECT_EQ(hot.value().cache_misses, 0u);
+  EXPECT_GT(hot.value().stats.cache_hits, 0u);
+  EXPECT_EQ(hot.value().stats.cache_misses, 0u);
   w.store.SetFailurePoint({});
 
   // Counter view of the same fact: a repeat query adds zero physical GETs

@@ -195,6 +195,40 @@ TEST(ReadBatchTest, EmptyBatchIsNoop) {
   EXPECT_EQ(trace.depth(), 0u);
 }
 
+TEST(IoTraceMergeTest, MergingAnEmptyWaveIsANoop) {
+  IoTrace trace;
+  trace.RecordGet(100);
+  trace.MergeParallel({});
+  // No children: depth, totals and compute stay exactly as they were.
+  EXPECT_EQ(trace.depth(), 1u);
+  EXPECT_EQ(trace.total_gets(), 1u);
+  EXPECT_EQ(trace.total_bytes(), 100u);
+  EXPECT_EQ(trace.compute_micros(), 0);
+  // Null children are skipped, not dereferenced.
+  trace.MergeParallel({nullptr, nullptr});
+  EXPECT_EQ(trace.total_gets(), 1u);
+}
+
+TEST(IoTraceMergeTest, ChildIsFlaggedAfterMergeAndResetClears) {
+  IoTrace parent, child;
+  child.RecordGet(64);
+  EXPECT_FALSE(child.merged_into_parent());
+  parent.MergeParallel({&child});
+  // The merged-once contract: a child folded into a parent is flagged so a
+  // second merge (which would double-count its requests in the parent's
+  // totals) trips the debug assert.
+  EXPECT_TRUE(child.merged_into_parent());
+  EXPECT_EQ(parent.total_gets(), 1u);
+  EXPECT_EQ(parent.total_bytes(), 64u);
+  child.Reset();
+  EXPECT_FALSE(child.merged_into_parent());
+  // After Reset the child is a fresh trace and may be merged again.
+  child.RecordGet(32);
+  parent.MergeParallel({&child});
+  EXPECT_EQ(parent.total_gets(), 2u);
+  EXPECT_EQ(parent.total_bytes(), 96u);
+}
+
 TEST(ThreadPoolTest, ParallelForRunsAllIterations) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(100);

@@ -1,0 +1,150 @@
+// MetricsRegistry unit tests: instrument semantics, deterministic
+// histogram quantiles, handle stability, byte-stable snapshots, and
+// exactness under concurrent emitters (this binary runs in the TSAN CI
+// job under the `obs` label).
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rottnest::obs {
+namespace {
+
+TEST(CounterTest, AddAndIncrement) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAddSigned) {
+  Gauge g;
+  g.Set(100);
+  g.Add(-30);
+  EXPECT_EQ(g.value(), 70);
+  g.Set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(HistogramTest, CountSumAndZeroBucket) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  h.Record(0);
+  h.Record(0);
+  h.Record(1000);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Sum(), 1000u);
+  // Two thirds of the mass sits in the zero bucket.
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, QuantileIsBucketLowerBound) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  // The bucket lower bound never exceeds the true quantile, and the
+  // log-linear layout keeps it within one sub-bucket (12.5% per octave).
+  uint64_t p50 = h.Quantile(0.5);
+  EXPECT_LE(p50, 500u);
+  EXPECT_GE(p50, 400u);
+  uint64_t p99 = h.Quantile(0.99);
+  EXPECT_LE(p99, 990u);
+  EXPECT_GE(p99, 850u);
+  EXPECT_LE(h.Quantile(0.0), h.Quantile(1.0));
+}
+
+TEST(HistogramTest, QuantileDeterministicAcrossArrivalOrder) {
+  Histogram fwd, rev;
+  for (uint64_t v = 0; v < 500; ++v) fwd.Record(v * 7);
+  for (uint64_t v = 500; v-- > 0;) rev.Record(v * 7);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(fwd.Quantile(q), rev.Quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(fwd.ToJson().Dump(), rev.ToJson().Dump());
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndShared) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("op.search.count");
+  Counter* b = reg.GetCounter("op.search.count");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(b->value(), 1u);
+  // Same name, different kinds: independent instruments.
+  EXPECT_NE(static_cast<void*>(reg.GetGauge("op.search.count")),
+            static_cast<void*>(a));
+  Histogram* h = reg.GetHistogram("store.get_bytes");
+  EXPECT_EQ(h, reg.GetHistogram("store.get_bytes"));
+}
+
+TEST(MetricsRegistryTest, SnapshotIsByteStableAcrossInsertionOrder) {
+  MetricsRegistry a, b;
+  a.GetCounter("z.last")->Add(3);
+  a.GetCounter("a.first")->Add(7);
+  a.GetGauge("mid")->Set(-2);
+  a.GetHistogram("h")->Record(128);
+  b.GetHistogram("h")->Record(128);
+  b.GetGauge("mid")->Set(-2);
+  b.GetCounter("a.first")->Add(7);
+  b.GetCounter("z.last")->Add(3);
+  EXPECT_EQ(a.SnapshotJson().Dump(), b.SnapshotJson().Dump());
+}
+
+TEST(MetricsRegistryTest, DumpTextListsEveryInstrument) {
+  MetricsRegistry reg;
+  reg.GetCounter("store.memory.gets")->Add(5);
+  reg.GetGauge("cache.resident_bytes")->Set(1024);
+  reg.GetHistogram("store.memory.get_bytes")->Record(64);
+  std::string text = reg.DumpText();
+  EXPECT_NE(text.find("store.memory.gets"), std::string::npos);
+  EXPECT_NE(text.find("cache.resident_bytes"), std::string::npos);
+  EXPECT_NE(text.find("store.memory.get_bytes"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, NullSafeEmissionHelpers) {
+  Add(static_cast<Counter*>(nullptr), 3);
+  Increment(static_cast<Counter*>(nullptr));
+  Record(static_cast<Histogram*>(nullptr), 9);
+  Counter c;
+  Add(&c, 2);
+  Increment(&c);
+  EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(MetricsRegistryTest, ExactUnderConcurrentEmitters) {
+  // Many threads resolving AND emitting through the same names: the
+  // registry must stay exact (and TSAN-clean — this test runs in the
+  // sanitizer CI job). Half the names collide across threads to exercise
+  // shard-lock contention on resolution.
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < kIters; ++i) {
+        reg.GetCounter("shared.count")->Increment();
+        reg.GetCounter("per_thread." + std::to_string(t))->Add(2);
+        reg.GetHistogram("shared.hist")->Record(
+            static_cast<uint64_t>(i % 257));
+        reg.GetGauge("shared.gauge")->Add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.GetCounter("shared.count")->value(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.GetCounter("per_thread." + std::to_string(t))->value(),
+              2u * kIters);
+  }
+  EXPECT_EQ(reg.GetHistogram("shared.hist")->Count(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.GetGauge("shared.gauge")->value(), kThreads * kIters);
+}
+
+}  // namespace
+}  // namespace rottnest::obs

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Schema check for the committed BENCH_*.json artifacts.
+
+Every bench emitter writes its report through WriteBenchJson(), which
+appends the observability registry snapshot under "metrics_snapshot".
+This check fails if any BENCH_*.json in the given directory (default:
+cwd, CI runs it from the repo root) is unparseable or lacks that block,
+so a bench that bypasses the emitter cannot land silently.
+"""
+import glob
+import json
+import os
+import sys
+
+
+def main() -> int:
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    if not paths:
+        print(f"FAIL: no BENCH_*.json found under {os.path.abspath(root)}",
+              file=sys.stderr)
+        return 1
+    failed = False
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"FAIL: {path}: unreadable or invalid JSON: {e}",
+                  file=sys.stderr)
+            failed = True
+            continue
+        if not isinstance(doc, dict) or "metrics_snapshot" not in doc:
+            print(f"FAIL: {path}: missing 'metrics_snapshot' block "
+                  "(was it written via WriteBenchJson?)", file=sys.stderr)
+            failed = True
+            continue
+        snap = doc["metrics_snapshot"]
+        if not isinstance(snap, dict):
+            print(f"FAIL: {path}: 'metrics_snapshot' is not an object",
+                  file=sys.stderr)
+            failed = True
+            continue
+        print(f"ok: {path} ({len(snap)} metric(s))")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
