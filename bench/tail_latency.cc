@@ -1,0 +1,204 @@
+// Tail-latency bench for the hedged-read path: the same point-lookup
+// workload against a heavy-tailed store (FaultInjectingStore with REAL
+// sleeps — hedging races wall clocks, so simulated time would measure
+// nothing), once bare and once through HedgingStore.
+//
+// Acceptance gates (exit non-zero on failure):
+//   * hedging cuts the p99 search latency by >= 2x, and
+//   * costs <= 1.2x the physical GETs of the unhedged run
+// — the classic tail-at-scale trade: a few percent duplicate requests buy
+// back the tail. Results land in BENCH_tail.json (schema-checked by
+// tools/check_bench_json.py).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+#include "objectstore/fault_injection.h"
+#include "objectstore/hedging_store.h"
+#include "workload/driver.h"
+
+namespace rottnest::bench {
+namespace {
+
+using objectstore::FaultInjectingStore;
+using objectstore::FaultOptions;
+using objectstore::HedgeOptions;
+using objectstore::HedgingStore;
+using objectstore::InMemoryObjectStore;
+using workload::DatasetSpec;
+
+constexpr size_t kQueries = 300;
+constexpr Micros kBaseLatency = 100;        ///< Every store op (real).
+constexpr double kSlowReadRate = 0.03;      ///< Heavy tail fraction.
+constexpr Micros kSlowReadLatency = 20'000; ///< The tail: 20ms reads.
+
+DatasetSpec Spec() {
+  DatasetSpec spec;
+  spec.total_rows = 8000;
+  spec.num_files = 4;
+  spec.doc_chars = 24;
+  spec.vector_dim = 8;
+  return spec;
+}
+
+core::RottnestOptions Options() {
+  core::RottnestOptions options;
+  options.index_dir = "idx/tail";
+  return options;
+}
+
+FaultOptions Faults() {
+  FaultOptions fopts;
+  fopts.seed = 20260809;
+  fopts.base_latency_micros = kBaseLatency;
+  fopts.slow_read_rate = kSlowReadRate;
+  fopts.slow_read_latency_micros = kSlowReadLatency;
+  return fopts;
+}
+
+struct RunResult {
+  std::vector<uint64_t> latencies_micros;
+  uint64_t physical_gets = 0;
+  uint64_t p50 = 0;
+  uint64_t p99 = 0;
+};
+
+/// `kQueries` point lookups of known rows through `client`, wall-timed.
+RunResult RunLookups(core::Rottnest* client, InMemoryObjectStore* mem,
+                     const DatasetSpec& spec) {
+  workload::UuidGenerator ids(spec.seed, spec.uuid_bytes);
+  RunResult run;
+  uint64_t gets_before = mem->stats().gets.load();
+  for (size_t i = 0; i < kQueries; ++i) {
+    uint64_t row = (i * 37) % spec.total_rows;
+    std::string id = ids.IdFor(row);
+    auto start = std::chrono::steady_clock::now();
+    auto r = client->SearchUuid("uuid", Slice(id), 4);
+    auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    if (!r.ok() || r.value().matches.size() != 1) {
+      std::fprintf(stderr, "FAIL: lookup %zu wrong (%s, %zu matches)\n", i,
+                   r.status().ToString().c_str(),
+                   r.ok() ? r.value().matches.size() : 0);
+      std::exit(1);
+    }
+    run.latencies_micros.push_back(static_cast<uint64_t>(micros));
+  }
+  run.physical_gets = mem->stats().gets.load() - gets_before;
+  run.p50 = workload::PercentileMicros(run.latencies_micros, 0.5);
+  run.p99 = workload::PercentileMicros(run.latencies_micros, 0.99);
+  return run;
+}
+
+}  // namespace
+
+int Main() {
+  PrintHeader("tail", "hedged reads vs the heavy tail");
+
+  SimulatedClock clock;
+  InMemoryObjectStore mem(&clock);
+  auto table_r = workload::BuildDataset(&mem, "lake/tail", Spec());
+  if (!table_r.ok()) {
+    std::fprintf(stderr, "FAIL: dataset: %s\n",
+                 table_r.status().ToString().c_str());
+    return 1;
+  }
+  auto table = std::move(table_r).value();
+  {
+    // Build the index against the bare store: setup pays no tail.
+    core::Rottnest setup(&mem, table.get(), Options());
+    Status s = setup.Index("uuid", index::IndexType::kTrie).status();
+    if (!s.ok()) {
+      std::fprintf(stderr, "FAIL: index: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Unhedged: lookups straight through the heavy-tailed store.
+  FaultInjectingStore slow_bare(&mem, Faults());
+  core::Rottnest bare(&slow_bare, table.get(), Options());
+  RunResult unhedged = RunLookups(&bare, &mem, Spec());
+
+  // Hedged: the same tail, with HedgingStore racing a second request once
+  // a read overstays the observed-latency quantile.
+  obs::MetricsRegistry registry;
+  FaultInjectingStore slow_hedged(&mem, Faults());
+  HedgeOptions hopts;
+  hopts.initial_delay_micros = 2'000;  // Until the quantile warms up.
+  HedgingStore hedging(&slow_hedged, hopts);
+  hedging.AttachMetrics(&registry, "tail");
+  core::Rottnest hedged_client(&hedging, table.get(), Options());
+  RunResult hedged = RunLookups(&hedged_client, &mem, Spec());
+  hedging.Quiesce();
+
+  const auto& hs = hedging.hedge_stats();
+  double p99_gain = static_cast<double>(unhedged.p99) /
+                    static_cast<double>(hedged.p99 > 0 ? hedged.p99 : 1);
+  double get_cost = static_cast<double>(hedged.physical_gets) /
+                    static_cast<double>(unhedged.physical_gets > 0
+                                            ? unhedged.physical_gets
+                                            : 1);
+
+  std::printf("  queries: %zu per run, tail: %.0f%% of reads +%lldus\n",
+              kQueries, kSlowReadRate * 100,
+              static_cast<long long>(kSlowReadLatency));
+  std::printf("  unhedged: p50 %llu us, p99 %llu us, %llu GETs\n",
+              static_cast<unsigned long long>(unhedged.p50),
+              static_cast<unsigned long long>(unhedged.p99),
+              static_cast<unsigned long long>(unhedged.physical_gets));
+  std::printf("  hedged:   p50 %llu us, p99 %llu us, %llu GETs\n",
+              static_cast<unsigned long long>(hedged.p50),
+              static_cast<unsigned long long>(hedged.p99),
+              static_cast<unsigned long long>(hedged.physical_gets));
+  std::printf("  hedges: %llu issued / %llu won (delay now %lld us)\n",
+              static_cast<unsigned long long>(hs.hedges_issued.load()),
+              static_cast<unsigned long long>(hs.hedges_won.load()),
+              static_cast<long long>(hedging.CurrentHedgeDelayMicros()));
+  std::printf("  p99 improvement: %.2fx at %.3fx request cost\n", p99_gain,
+              get_cost);
+
+  Json::Object root;
+  root["queries"] = Json(static_cast<uint64_t>(kQueries));
+  root["slow_read_rate"] = Json(kSlowReadRate);
+  root["slow_read_latency_micros"] =
+      Json(static_cast<uint64_t>(kSlowReadLatency));
+  root["unhedged_p50_micros"] = Json(unhedged.p50);
+  root["unhedged_p99_micros"] = Json(unhedged.p99);
+  root["unhedged_gets"] = Json(unhedged.physical_gets);
+  root["hedged_p50_micros"] = Json(hedged.p50);
+  root["hedged_p99_micros"] = Json(hedged.p99);
+  root["hedged_gets"] = Json(hedged.physical_gets);
+  root["hedges_issued"] = Json(hs.hedges_issued.load());
+  root["hedges_won"] = Json(hs.hedges_won.load());
+  root["hedge_delay_micros"] =
+      Json(static_cast<uint64_t>(hedging.CurrentHedgeDelayMicros()));
+  root["p99_improvement"] = Json(p99_gain);
+  root["get_cost_ratio"] = Json(get_cost);
+  WriteBenchJson("BENCH_tail.json", std::move(root), &registry);
+
+  bool ok = true;
+  if (p99_gain < 2.0) {
+    std::fprintf(stderr, "FAIL: hedging improved p99 only %.2fx (want >= 2x)\n",
+                 p99_gain);
+    ok = false;
+  }
+  if (get_cost > 1.2) {
+    std::fprintf(stderr,
+                 "FAIL: hedged run cost %.3fx the GETs (want <= 1.2x)\n",
+                 get_cost);
+    ok = false;
+  }
+  if (hs.hedges_issued.load() == 0) {
+    std::fprintf(stderr, "FAIL: no hedges were ever issued\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace rottnest::bench
+
+int main() { return rottnest::bench::Main(); }

@@ -1,0 +1,120 @@
+// Deadline: a value-type cancellation token shared by every stage of one
+// operation. Carries an absolute expiry on a Clock plus an explicit cancel
+// flag; copies share the flag, so cancelling one copy cancels them all.
+//
+// A thread-local "ambient" deadline lets layers that were written before
+// deadlines existed (RetryingStore's backoff loop, HedgingStore's hedge
+// tasks) observe the operation deadline without threading a parameter
+// through every ObjectStore signature: the operation entry point installs
+// the deadline with ScopedOpDeadline, fan-out tasks re-install a copy on
+// their worker thread, and any layer may consult CurrentDeadline(). The
+// ambient value is stored BY VALUE so a hedge task that outlives its
+// caller's frame never dereferences a dead stack slot.
+#ifndef ROTTNEST_COMMON_DEADLINE_H_
+#define ROTTNEST_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace rottnest {
+
+/// Absolute deadline + cooperative cancellation flag. Default-constructed
+/// deadlines never expire and cannot be cancelled-by-expiry (Cancel() still
+/// works). Cheap to copy; copies share the cancel flag.
+class Deadline {
+ public:
+  static constexpr Micros kInfinite = std::numeric_limits<Micros>::max();
+
+  /// Never expires; Cancel() is still honored.
+  Deadline() = default;
+
+  /// Expires when `clock->NowMicros() >= deadline_micros`.
+  Deadline(const Clock* clock, Micros deadline_micros)
+      : clock_(clock),
+        deadline_micros_(deadline_micros),
+        cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Convenience: expires `budget_micros` from now; budget <= 0 means no
+  /// deadline (matches the CommonOptions::time_budget_micros contract on
+  /// search paths, where 0 disables the budget).
+  static Deadline After(const Clock* clock, Micros budget_micros) {
+    if (clock == nullptr || budget_micros <= 0) return Deadline();
+    return Deadline(clock, clock->NowMicros() + budget_micros);
+  }
+
+  bool infinite() const { return clock_ == nullptr; }
+
+  /// True once the clock passed the deadline or Cancel() was called.
+  bool expired() const {
+    if (cancelled_ && cancelled_->load(std::memory_order_relaxed)) return true;
+    if (clock_ == nullptr) return false;
+    return clock_->NowMicros() >= deadline_micros_;
+  }
+
+  /// Micros until expiry; kInfinite for a default deadline, 0 if expired.
+  Micros remaining_micros() const {
+    if (cancelled_ && cancelled_->load(std::memory_order_relaxed)) return 0;
+    if (clock_ == nullptr) return kInfinite;
+    Micros left = deadline_micros_ - clock_->NowMicros();
+    return left > 0 ? left : 0;
+  }
+
+  /// OK while live, DeadlineExceeded once expired.
+  Status Check(const char* what = "operation") const {
+    if (!expired()) return Status::OK();
+    return Status::DeadlineExceeded(std::string(what) +
+                                    " deadline expired before completion");
+  }
+
+  /// Cooperatively cancels every copy of this deadline.
+  void Cancel() {
+    if (cancelled_) cancelled_->store(true, std::memory_order_relaxed);
+  }
+
+  Micros deadline_micros() const { return deadline_micros_; }
+  const Clock* clock() const { return clock_; }
+
+ private:
+  const Clock* clock_ = nullptr;
+  Micros deadline_micros_ = kInfinite;
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+namespace internal {
+inline Deadline& AmbientDeadlineSlot() {
+  thread_local Deadline ambient;
+  return ambient;
+}
+}  // namespace internal
+
+/// The deadline installed on this thread by the innermost ScopedOpDeadline
+/// (a by-value copy — safe to hold past the installer's frame). Infinite
+/// when no operation deadline is active.
+inline Deadline CurrentDeadline() { return internal::AmbientDeadlineSlot(); }
+
+/// RAII: installs `d` as the thread's ambient deadline, restoring the
+/// previous one on destruction. Fan-out tasks must install their own copy —
+/// thread-locals do not follow work onto pool threads.
+class ScopedOpDeadline {
+ public:
+  explicit ScopedOpDeadline(Deadline d)
+      : saved_(internal::AmbientDeadlineSlot()) {
+    internal::AmbientDeadlineSlot() = std::move(d);
+  }
+  ~ScopedOpDeadline() { internal::AmbientDeadlineSlot() = std::move(saved_); }
+
+  ScopedOpDeadline(const ScopedOpDeadline&) = delete;
+  ScopedOpDeadline& operator=(const ScopedOpDeadline&) = delete;
+
+ private:
+  Deadline saved_;
+};
+
+}  // namespace rottnest
+
+#endif  // ROTTNEST_COMMON_DEADLINE_H_

@@ -24,6 +24,8 @@ enum class StatusCode {
   kInternal = 8,        ///< Invariant violation inside the library.
   kUnavailable = 9,     ///< Transient storage fault (S3 503 SlowDown); safe
                         ///< to retry with backoff.
+  kDeadlineExceeded = 10,  ///< Operation deadline expired before completion.
+  kResourceExhausted = 11, ///< Admission control shed the request (overload).
 };
 
 /// Returns a human-readable name for `code` ("NotFound", "IOError", ...).
@@ -67,6 +69,12 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -80,6 +88,12 @@ class Status {
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -1,0 +1,135 @@
+#include "core/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace rottnest::core {
+
+namespace {
+// EWMA smoothing for observed service times: new = α·sample + (1-α)·old.
+constexpr double kEwmaAlpha = 0.2;
+// Queue waiters poll at this cadence so deadline expiry (possibly driven by
+// a SimulatedClock no cv can watch) is noticed promptly.
+constexpr auto kWaitSlice = std::chrono::microseconds(500);
+}  // namespace
+
+AdmissionMetrics ResolveAdmissionMetrics(obs::MetricsRegistry* registry,
+                                         const std::string& name) {
+  AdmissionMetrics m;
+  if (registry == nullptr) return m;
+  const std::string p = "admission." + name + ".";
+  m.admitted = registry->GetCounter(p + "admitted");
+  m.queued = registry->GetCounter(p + "queued");
+  m.shed_queue_full = registry->GetCounter(p + "shed_queue_full");
+  m.shed_deadline = registry->GetCounter(p + "shed_deadline");
+  m.expired_waiting = registry->GetCounter(p + "expired_waiting");
+  m.running = registry->GetGauge(p + "running");
+  m.waiting = registry->GetGauge(p + "waiting");
+  return m;
+}
+
+void AdmissionTicket::Release() {
+  if (controller_ != nullptr) {
+    controller_->Release(admitted_at_);
+    controller_ = nullptr;
+  }
+}
+
+AdmissionController::AdmissionController(const Clock* clock,
+                                         AdmissionOptions options)
+    : clock_(clock),
+      options_(options),
+      ewma_service_micros_(
+          static_cast<double>(options.initial_service_micros)) {}
+
+void AdmissionController::AttachMetrics(obs::MetricsRegistry* registry,
+                                        const std::string& name) {
+  metrics_ = ResolveAdmissionMetrics(registry, name);
+}
+
+int AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+int AdmissionController::waiting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+Micros AdmissionController::EwmaServiceMicros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<Micros>(ewma_service_micros_);
+}
+
+Result<AdmissionTicket> AdmissionController::Admit(const Deadline& deadline) {
+  if (!enabled()) return AdmissionTicket();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_ < options_.max_concurrent) {
+    ++running_;
+    stats_.admitted.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(metrics_.admitted);
+    obs::Set(metrics_.running, running_);
+    return AdmissionTicket(this, clock_->NowMicros());
+  }
+  if (waiting_ >= options_.max_queue) {
+    stats_.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(metrics_.shed_queue_full);
+    return Status::ResourceExhausted("admission queue full (" +
+                                     std::to_string(waiting_) + " waiting)");
+  }
+  // Deadline-aware shed: with `waiting_` callers ahead of us and slots
+  // freeing roughly every service-time/max_concurrent, a caller whose
+  // remaining budget is smaller than its predicted wait is doomed — reject
+  // it NOW so it can route elsewhere, instead of queueing dead work.
+  if (!deadline.infinite()) {
+    Micros predicted_wait = static_cast<Micros>(
+        ewma_service_micros_ * (waiting_ + 1) /
+        std::max(1, options_.max_concurrent));
+    if (predicted_wait > deadline.remaining_micros()) {
+      stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(metrics_.shed_deadline);
+      return Status::ResourceExhausted(
+          "predicted queue wait exceeds deadline budget");
+    }
+  }
+  ++waiting_;
+  stats_.queued.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.queued);
+  obs::Set(metrics_.waiting, waiting_);
+  while (running_ >= options_.max_concurrent) {
+    if (deadline.expired()) {
+      --waiting_;
+      obs::Set(metrics_.waiting, waiting_);
+      stats_.expired_waiting.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(metrics_.expired_waiting);
+      return Status::DeadlineExceeded("deadline expired in admission queue");
+    }
+    cv_.wait_for(lock, kWaitSlice);
+  }
+  --waiting_;
+  ++running_;
+  stats_.admitted.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.admitted);
+  obs::Set(metrics_.running, running_);
+  obs::Set(metrics_.waiting, waiting_);
+  return AdmissionTicket(this, clock_->NowMicros());
+}
+
+void AdmissionController::Release(Micros admitted_at) {
+  Micros service = clock_->NowMicros() - admitted_at;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+    if (service >= 0) {
+      ewma_service_micros_ = kEwmaAlpha * static_cast<double>(service) +
+                             (1 - kEwmaAlpha) * ewma_service_micros_;
+    }
+    obs::Set(metrics_.running, running_);
+  }
+  cv_.notify_one();
+}
+
+}  // namespace rottnest::core

@@ -1,0 +1,148 @@
+// Admission control for the query path: the seed of the multi-tenant
+// serving layer (ROADMAP item 1). A fixed concurrency cap plus a bounded
+// wait queue, with deadline-aware shedding — a query that would blow its
+// deadline just WAITING is rejected immediately with ResourceExhausted
+// instead of queueing doomed work (the "don't serve the dead" rule from
+// overload-control literature).
+//
+// Sizing signals:
+//   * max_concurrent: searches running at once; excess callers queue.
+//   * max_queue: callers allowed to wait; beyond that, immediate shed.
+//   * predicted wait: queue_position × EWMA(service time). If a caller's
+//     deadline budget is smaller, it is shed on arrival — an instant,
+//     honest "try later" beats a slow DeadlineExceeded.
+//
+// Deterministic under SimulatedClock: waiting uses short real cv waits but
+// all decisions (shed, expire) read the injected clock.
+#ifndef ROTTNEST_CORE_ADMISSION_H_
+#define ROTTNEST_CORE_ADMISSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/deadline.h"
+#include "common/status.h"
+
+namespace rottnest::obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace rottnest::obs
+
+namespace rottnest::core {
+
+struct AdmissionOptions {
+  /// Operations allowed to run concurrently. 0 disables admission control
+  /// entirely (Admit always succeeds and tracks nothing).
+  int max_concurrent = 0;
+  /// Callers allowed to wait for a slot; arrivals beyond this shed.
+  int max_queue = 16;
+  /// Seed for the service-time EWMA before any operation completes.
+  Micros initial_service_micros = 50'000;
+};
+
+/// Pre-resolved metric handles mirroring AdmissionStats.
+struct AdmissionMetrics {
+  obs::Counter* admitted = nullptr;
+  obs::Counter* queued = nullptr;
+  obs::Counter* shed_queue_full = nullptr;
+  obs::Counter* shed_deadline = nullptr;
+  obs::Counter* expired_waiting = nullptr;
+  obs::Gauge* running = nullptr;
+  obs::Gauge* waiting = nullptr;
+};
+
+/// Resolves the `admission.<name>.*` handle set (nullptr-safe).
+AdmissionMetrics ResolveAdmissionMetrics(obs::MetricsRegistry* registry,
+                                         const std::string& name);
+
+/// Cumulative admission accounting.
+struct AdmissionStats {
+  std::atomic<uint64_t> admitted{0};         ///< Ops granted a slot.
+  std::atomic<uint64_t> queued{0};           ///< Ops that had to wait first.
+  std::atomic<uint64_t> shed_queue_full{0};  ///< Rejected: queue at cap.
+  std::atomic<uint64_t> shed_deadline{0};    ///< Rejected: predicted wait
+                                             ///< exceeds deadline budget.
+  std::atomic<uint64_t> expired_waiting{0};  ///< Deadline died in the queue.
+};
+
+class AdmissionController;
+
+/// RAII slot handle: releases the slot (and feeds the service-time EWMA)
+/// on destruction. Move-only.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  AdmissionTicket(AdmissionController* controller, Micros admitted_at)
+      : controller_(controller), admitted_at_(admitted_at) {}
+  AdmissionTicket(AdmissionTicket&& o) noexcept
+      : controller_(o.controller_), admitted_at_(o.admitted_at_) {
+    o.controller_ = nullptr;
+  }
+  AdmissionTicket& operator=(AdmissionTicket&& o) noexcept {
+    Release();
+    controller_ = o.controller_;
+    admitted_at_ = o.admitted_at_;
+    o.controller_ = nullptr;
+    return *this;
+  }
+  ~AdmissionTicket() { Release(); }
+
+  void Release();
+
+ private:
+  AdmissionController* controller_ = nullptr;
+  Micros admitted_at_ = 0;
+};
+
+/// Thread-safe concurrency gate. Admit() blocks (bounded by the caller's
+/// deadline) until a slot frees; the returned ticket releases it.
+class AdmissionController {
+ public:
+  /// `clock` must outlive the controller.
+  AdmissionController(const Clock* clock, AdmissionOptions options);
+
+  /// Acquires a slot or explains why not:
+  ///   OK                 — slot held; destroy/Release the ticket when done.
+  ///   ResourceExhausted  — shed: queue full, or the predicted wait would
+  ///                        exceed `deadline`'s remaining budget.
+  ///   DeadlineExceeded   — the deadline expired while waiting in queue.
+  Result<AdmissionTicket> Admit(const Deadline& deadline);
+
+  const AdmissionStats& admission_stats() const { return stats_; }
+  const AdmissionOptions& options() const { return options_; }
+  bool enabled() const { return options_.max_concurrent > 0; }
+
+  int running() const;
+  int waiting() const;
+
+  /// Smoothed observed service time (for tests and sizing).
+  Micros EwmaServiceMicros() const;
+
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     const std::string& name = "search");
+
+ private:
+  friend class AdmissionTicket;
+  void Release(Micros admitted_at);
+
+  const Clock* clock_;
+  AdmissionOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int running_ = 0;
+  int waiting_ = 0;
+  double ewma_service_micros_;
+
+  AdmissionStats stats_;
+  AdmissionMetrics metrics_;
+};
+
+}  // namespace rottnest::core
+
+#endif  // ROTTNEST_CORE_ADMISSION_H_

@@ -282,12 +282,34 @@ class DegradedIndexes {
   std::vector<std::pair<const IndexEntry*, Status>> failures_;
 };
 
+/// The failures the tail-tolerance contract degrades into a partial result
+/// rather than a hard error or a brute-scan fallback: an expired deadline
+/// (keeping going is exactly what the deadline forbids) and an unavailable
+/// dependency (circuit breaker open or store down — scanning through the
+/// same broken store would only dig the hole deeper). Everything else keeps
+/// its existing handling: Corruption/NotFound degrade with a scan fallback,
+/// other codes fail the query.
+bool IsCutShort(const Status& s) {
+  return s.IsDeadlineExceeded() || s.IsUnavailable();
+}
+
+/// Records `what` (an index object key or a phase name) as cut short. The
+/// first cut supplies partial_reason; later ones only extend the list.
+void MarkCutShort(SearchResult* result, std::string what, const Status& s) {
+  result->partial = true;
+  result->cut_short.push_back(std::move(what));
+  if (result->partial_reason.empty()) result->partial_reason = s.ToString();
+}
+
 /// Scans one file's column row by row, honoring the RangeFilter's row-group
 /// pruning and per-row attribute check. `visit(row, value)` runs for rows
-/// passing the range. *scanned reports whether any row group was read.
+/// passing the range. *scanned reports whether any row group was read. The
+/// operation deadline is checked per row group (page batch), so one huge
+/// file cannot blow past the time budget.
 Status ScanFileRows(
     objectstore::ObjectStore* store, const std::string& file, int col_idx,
-    RangeFilter* rf, objectstore::IoTrace* trace, bool* scanned,
+    RangeFilter* rf, const Deadline& deadline, objectstore::IoTrace* trace,
+    bool* scanned,
     const std::function<Status(uint64_t, const std::string&)>& visit) {
   *scanned = false;
   ROTTNEST_ASSIGN_OR_RETURN(
@@ -295,6 +317,7 @@ Status ScanFileRows(
       format::FileReader::Open(store, file, trace));
   const format::FileMeta& meta = reader->meta();
   for (size_t g = 0; g < meta.row_groups.size(); ++g) {
+    ROTTNEST_RETURN_NOT_OK(deadline.Check("scan"));
     const format::RowGroupMeta& rg = meta.row_groups[g];
     if (!rf->RowGroupMayMatch(rg)) continue;  // Min/max pruning.
     ColumnVector col;
@@ -326,15 +349,28 @@ Status ScanFileRows(
 /// tree is deterministic regardless of how the tasks interleave. Statuses
 /// come back positionally so the caller can apply its degraded-index
 /// policy per entry in plan order.
+///
+/// `deadline` is the operation deadline: every task re-installs a copy as
+/// its pool thread's ambient deadline (thread-locals do not follow work
+/// onto pool threads), so the store stack below — retry backoff, hedging —
+/// observes it; a task whose start finds the deadline already expired is
+/// cut short with DeadlineExceeded without running, so an expired fan-out
+/// drains at task granularity instead of paying n full index queries.
 std::vector<Status> FanOutIndexQueries(
-    ThreadPool* pool, size_t n, size_t max_width, objectstore::IoTrace* trace,
-    internal::OpObs* op, const std::function<std::string(size_t)>& label,
+    ThreadPool* pool, size_t n, size_t max_width, const Deadline& deadline,
+    objectstore::IoTrace* trace, internal::OpObs* op,
+    const std::function<std::string(size_t)>& label,
     const std::function<Status(size_t, objectstore::IoTrace*)>& task) {
   std::vector<Status> statuses(n);
   if (n == 0) return statuses;
+  auto guarded_task = [&](size_t i, objectstore::IoTrace* t) -> Status {
+    ROTTNEST_RETURN_NOT_OK(deadline.Check("index query"));
+    ScopedOpDeadline ambient(deadline);
+    return task(i, t);
+  };
   const bool spans = op != nullptr && op->tracing();
   if (n == 1 && !spans) {  // Nothing concurrent to model; record into parent.
-    statuses[0] = task(0, trace);
+    statuses[0] = guarded_task(0, trace);
     return statuses;
   }
   std::vector<obs::SpanId> span_ids;
@@ -350,7 +386,7 @@ std::vector<Status> FanOutIndexQueries(
   std::vector<objectstore::IoTrace> children(need_children ? n : 0);
   const size_t width = max_width == 0 ? n : std::min(max_width, n);
   auto run = [&](size_t i) {
-    statuses[i] = task(i, need_children ? &children[i] : nullptr);
+    statuses[i] = guarded_task(i, need_children ? &children[i] : nullptr);
   };
   if (n == 1) {
     run(0);
@@ -448,6 +484,13 @@ Rottnest::Rottnest(objectstore::ObjectStore* store, lake::Table* table,
     copts.shards = options_.cache_shards;
     cache_store_ =
         std::make_unique<objectstore::CachingStore>(store_, copts);
+  }
+  if (options_.max_concurrent_searches > 0) {
+    AdmissionOptions aopts;
+    aopts.max_concurrent = options_.max_concurrent_searches;
+    aopts.max_queue = options_.max_queued_searches;
+    admission_ =
+        std::make_unique<AdmissionController>(&store_->clock(), aopts);
   }
 }
 
@@ -958,6 +1001,15 @@ Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
                                           const SearchOptions& opts) {
   objectstore::IoTrace* trace = opts.trace;
   auto wall_start = std::chrono::steady_clock::now();
+  // End-to-end deadline (0 = none) and admission gate: overload is shed
+  // HERE, before any planning I/O, so a saturated client answers cheaply.
+  Deadline deadline =
+      Deadline::After(&store_->clock(), opts.time_budget_micros);
+  AdmissionTicket ticket;
+  if (admission_ != nullptr) {
+    ROTTNEST_ASSIGN_OR_RETURN(ticket, admission_->Admit(deadline));
+  }
+  ScopedOpDeadline ambient(deadline);
   internal::OpObs op(store_, cache_store_.get(), opts.obs, "search_uuid");
   Plan plan;
   {
@@ -981,7 +1033,7 @@ Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
   // covered files (below) rather than failing the whole query.
   std::vector<std::vector<PageFetch>> per_index(plan.indexes.size());
   std::vector<Status> statuses = FanOutIndexQueries(
-      &pool_, plan.indexes.size(), opts.parallelism, trace, &op,
+      &pool_, plan.indexes.size(), opts.parallelism, deadline, trace, &op,
       [&](size_t i) { return "index:" + plan.indexes[i].index_path; },
       [&](size_t i, objectstore::IoTrace* t) -> Status {
         const IndexEntry& entry = plan.indexes[i];
@@ -1005,40 +1057,56 @@ Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
       });
   std::vector<PageFetch> fetches;
   DegradedIndexes degraded;
+  size_t indexes_cut = 0;
   for (size_t i = 0; i < plan.indexes.size(); ++i) {
     if (statuses[i].ok()) {
       degraded.RecordSuccess(plan.indexes[i]);
       fetches.insert(fetches.end(), per_index[i].begin(),
                      per_index[i].end());
+    } else if (IsCutShort(statuses[i])) {
+      // Deadline/breaker cuts degrade to a partial result, NOT to the
+      // brute-scan fallback a corrupt index gets.
+      MarkCutShort(&result, plan.indexes[i].index_path, statuses[i]);
+      ++indexes_cut;
     } else {
       degraded.RecordFailure(plan.indexes[i], statuses[i], &result);
     }
   }
-  result.indexes_queried = plan.indexes.size() - result.indexes_degraded;
+  result.indexes_queried =
+      plan.indexes.size() - result.indexes_degraded - indexes_cut;
   result.indexes_quarantined =
       HandleSearchFailures(opts, degraded.failures());
 
   // In-situ probing: verify candidate pages against the actual value.
   {
     internal::OpPhase phase(&op, "probe");
-    std::vector<ColumnVector> probed;
-    ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
-    result.pages_probed = fetches.size();
-    for (size_t i = 0; i < fetches.size(); ++i) {
-      for (size_t r = 0; r < probed[i].size(); ++r) {
-        std::string v = ValueAt(probed[i], r);
-        if (Slice(v) == value) {
-          uint64_t row = fetches[i].page.first_row + r;
-          ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
-                                    dvs.IsDeleted(fetches[i].key, row));
-          if (deleted) continue;
-          if (seen.insert({fetches[i].key, row}).second) {
-            result.matches.push_back({fetches[i].key, row, v, 0});
+    auto probe = [&]() -> Status {
+      ROTTNEST_RETURN_NOT_OK(deadline.Check("probe"));
+      std::vector<ColumnVector> probed;
+      ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
+      result.pages_probed = fetches.size();
+      for (size_t i = 0; i < fetches.size(); ++i) {
+        for (size_t r = 0; r < probed[i].size(); ++r) {
+          std::string v = ValueAt(probed[i], r);
+          if (Slice(v) == value) {
+            uint64_t row = fetches[i].page.first_row + r;
+            ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
+                                      dvs.IsDeleted(fetches[i].key, row));
+            if (deleted) continue;
+            if (seen.insert({fetches[i].key, row}).second) {
+              result.matches.push_back({fetches[i].key, row, v, 0});
+            }
           }
         }
       }
+      return rf.FilterMatches(&result.matches, trace);
+    };
+    Status probe_status = probe();
+    if (IsCutShort(probe_status)) {
+      MarkCutShort(&result, "probe", probe_status);
+    } else {
+      ROTTNEST_RETURN_NOT_OK(probe_status);
     }
-    ROTTNEST_RETURN_NOT_OK(rf.FilterMatches(&result.matches, trace));
   }
 
   {
@@ -1049,7 +1117,8 @@ Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
     auto scan_for_value = [&](const std::string& file) -> Status {
       bool scanned = false;
       ROTTNEST_RETURN_NOT_OK(ScanFileRows(
-          read_store(), file, plan.column_index, &rf, trace, &scanned,
+          read_store(), file, plan.column_index, &rf, deadline, trace,
+          &scanned,
           [&](uint64_t row, const std::string& v) -> Status {
             if (!(Slice(v) == value)) return Status::OK();
             ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(file, row));
@@ -1062,17 +1131,26 @@ Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
       if (scanned) ++result.files_scanned;
       return Status::OK();
     };
-    for (const DataFile* f : degraded.FilesToScan(plan.snapshot)) {
-      ROTTNEST_RETURN_NOT_OK(scan_for_value(f->path));
-    }
-
-    // Unindexed fallback: scan only if the exact-match top-k is
-    // unsatisfied.
-    if (result.matches.size() < k) {
-      for (const DataFile& f : plan.unindexed) {
-        ROTTNEST_RETURN_NOT_OK(scan_for_value(f.path));
-        if (result.matches.size() >= k) break;
+    auto scan = [&]() -> Status {
+      ROTTNEST_RETURN_NOT_OK(deadline.Check("scan"));
+      for (const DataFile* f : degraded.FilesToScan(plan.snapshot)) {
+        ROTTNEST_RETURN_NOT_OK(scan_for_value(f->path));
       }
+      // Unindexed fallback: scan only if the exact-match top-k is
+      // unsatisfied.
+      if (result.matches.size() < k) {
+        for (const DataFile& f : plan.unindexed) {
+          ROTTNEST_RETURN_NOT_OK(scan_for_value(f.path));
+          if (result.matches.size() >= k) break;
+        }
+      }
+      return Status::OK();
+    };
+    Status scan_status = scan();
+    if (IsCutShort(scan_status)) {
+      MarkCutShort(&result, "scan", scan_status);
+    } else {
+      ROTTNEST_RETURN_NOT_OK(scan_status);
     }
   }
   if (result.matches.size() > k) result.matches.resize(k);
@@ -1088,6 +1166,13 @@ Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
                                                const SearchOptions& opts) {
   objectstore::IoTrace* trace = opts.trace;
   auto wall_start = std::chrono::steady_clock::now();
+  Deadline deadline =
+      Deadline::After(&store_->clock(), opts.time_budget_micros);
+  AdmissionTicket ticket;
+  if (admission_ != nullptr) {
+    ROTTNEST_ASSIGN_OR_RETURN(ticket, admission_->Admit(deadline));
+  }
+  ScopedOpDeadline ambient(deadline);
   internal::OpObs op(store_, cache_store_.get(), opts.obs,
                      "search_substring");
   Plan plan;
@@ -1109,7 +1194,7 @@ Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
   // per-task fetch slots, plan-order aggregation, per-entry degradation.
   std::vector<std::vector<PageFetch>> per_index(plan.indexes.size());
   std::vector<Status> statuses = FanOutIndexQueries(
-      &pool_, plan.indexes.size(), opts.parallelism, trace, &op,
+      &pool_, plan.indexes.size(), opts.parallelism, deadline, trace, &op,
       [&](size_t i) { return "index:" + plan.indexes[i].index_path; },
       [&](size_t i, objectstore::IoTrace* t) -> Status {
         const IndexEntry& entry = plan.indexes[i];
@@ -1132,38 +1217,54 @@ Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
       });
   std::vector<PageFetch> fetches;
   DegradedIndexes degraded;
+  size_t indexes_cut = 0;
   for (size_t i = 0; i < plan.indexes.size(); ++i) {
     if (statuses[i].ok()) {
       degraded.RecordSuccess(plan.indexes[i]);
       fetches.insert(fetches.end(), per_index[i].begin(),
                      per_index[i].end());
+    } else if (IsCutShort(statuses[i])) {
+      // Deadline/breaker cuts degrade to a partial result, NOT to the
+      // brute-scan fallback a corrupt index gets.
+      MarkCutShort(&result, plan.indexes[i].index_path, statuses[i]);
+      ++indexes_cut;
     } else {
       degraded.RecordFailure(plan.indexes[i], statuses[i], &result);
     }
   }
-  result.indexes_queried = plan.indexes.size() - result.indexes_degraded;
+  result.indexes_queried =
+      plan.indexes.size() - result.indexes_degraded - indexes_cut;
   result.indexes_quarantined =
       HandleSearchFailures(opts, degraded.failures());
 
   {
     internal::OpPhase phase(&op, "probe");
-    std::vector<ColumnVector> probed;
-    ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
-    result.pages_probed = fetches.size();
-    for (size_t i = 0; i < fetches.size(); ++i) {
-      for (size_t r = 0; r < probed[i].size(); ++r) {
-        std::string v = ValueAt(probed[i], r);
-        if (v.find(pattern) == std::string::npos) continue;
-        uint64_t row = fetches[i].page.first_row + r;
-        ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
-                                  dvs.IsDeleted(fetches[i].key, row));
-        if (deleted) continue;
-        if (seen.insert({fetches[i].key, row}).second) {
-          result.matches.push_back({fetches[i].key, row, v, 0});
+    auto probe = [&]() -> Status {
+      ROTTNEST_RETURN_NOT_OK(deadline.Check("probe"));
+      std::vector<ColumnVector> probed;
+      ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
+      result.pages_probed = fetches.size();
+      for (size_t i = 0; i < fetches.size(); ++i) {
+        for (size_t r = 0; r < probed[i].size(); ++r) {
+          std::string v = ValueAt(probed[i], r);
+          if (v.find(pattern) == std::string::npos) continue;
+          uint64_t row = fetches[i].page.first_row + r;
+          ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
+                                    dvs.IsDeleted(fetches[i].key, row));
+          if (deleted) continue;
+          if (seen.insert({fetches[i].key, row}).second) {
+            result.matches.push_back({fetches[i].key, row, v, 0});
+          }
         }
       }
+      return rf.FilterMatches(&result.matches, trace);
+    };
+    Status probe_status = probe();
+    if (IsCutShort(probe_status)) {
+      MarkCutShort(&result, "probe", probe_status);
+    } else {
+      ROTTNEST_RETURN_NOT_OK(probe_status);
     }
-    ROTTNEST_RETURN_NOT_OK(rf.FilterMatches(&result.matches, trace));
   }
 
   {
@@ -1173,7 +1274,8 @@ Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
     auto scan_for_pattern = [&](const std::string& file) -> Status {
       bool scanned = false;
       ROTTNEST_RETURN_NOT_OK(ScanFileRows(
-          read_store(), file, plan.column_index, &rf, trace, &scanned,
+          read_store(), file, plan.column_index, &rf, deadline, trace,
+          &scanned,
           [&](uint64_t row, const std::string& v) -> Status {
             if (v.find(pattern) == std::string::npos) return Status::OK();
             ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(file, row));
@@ -1186,15 +1288,24 @@ Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
       if (scanned) ++result.files_scanned;
       return Status::OK();
     };
-    for (const DataFile* f : degraded.FilesToScan(plan.snapshot)) {
-      ROTTNEST_RETURN_NOT_OK(scan_for_pattern(f->path));
-    }
-
-    if (result.matches.size() < k) {
-      for (const DataFile& f : plan.unindexed) {
-        ROTTNEST_RETURN_NOT_OK(scan_for_pattern(f.path));
-        if (result.matches.size() >= k) break;
+    auto scan = [&]() -> Status {
+      ROTTNEST_RETURN_NOT_OK(deadline.Check("scan"));
+      for (const DataFile* f : degraded.FilesToScan(plan.snapshot)) {
+        ROTTNEST_RETURN_NOT_OK(scan_for_pattern(f->path));
       }
+      if (result.matches.size() < k) {
+        for (const DataFile& f : plan.unindexed) {
+          ROTTNEST_RETURN_NOT_OK(scan_for_pattern(f.path));
+          if (result.matches.size() >= k) break;
+        }
+      }
+      return Status::OK();
+    };
+    Status scan_status = scan();
+    if (IsCutShort(scan_status)) {
+      MarkCutShort(&result, "scan", scan_status);
+    } else {
+      ROTTNEST_RETURN_NOT_OK(scan_status);
     }
   }
   if (result.matches.size() > k) result.matches.resize(k);
@@ -1210,6 +1321,13 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
                                             const SearchOptions& opts) {
   objectstore::IoTrace* trace = opts.trace;
   auto wall_start = std::chrono::steady_clock::now();
+  Deadline deadline =
+      Deadline::After(&store_->clock(), opts.time_budget_micros);
+  AdmissionTicket ticket;
+  if (admission_ != nullptr) {
+    ROTTNEST_ASSIGN_OR_RETURN(ticket, admission_->Admit(deadline));
+  }
+  ScopedOpDeadline ambient(deadline);
   internal::OpObs op(store_, cache_store_.get(), opts.obs, "search_vector");
   // Per-query knobs default from the client's IvfPqOptions (v2 API).
   const uint32_t nprobe = opts.vector.nprobe != 0
@@ -1247,7 +1365,7 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
   };
   std::vector<std::vector<Cand>> per_index(plan.indexes.size());
   std::vector<Status> statuses = FanOutIndexQueries(
-      &pool_, plan.indexes.size(), opts.parallelism, trace, &op,
+      &pool_, plan.indexes.size(), opts.parallelism, deadline, trace, &op,
       [&](size_t i) { return "index:" + plan.indexes[i].index_path; },
       [&](size_t i, objectstore::IoTrace* t) -> Status {
         const IndexEntry& entry = plan.indexes[i];
@@ -1272,16 +1390,21 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
       });
   std::vector<Cand> candidates;
   DegradedIndexes degraded;
+  size_t indexes_cut = 0;
   for (size_t i = 0; i < plan.indexes.size(); ++i) {
     if (statuses[i].ok()) {
       degraded.RecordSuccess(plan.indexes[i]);
       candidates.insert(candidates.end(), per_index[i].begin(),
                         per_index[i].end());
+    } else if (IsCutShort(statuses[i])) {
+      MarkCutShort(&result, plan.indexes[i].index_path, statuses[i]);
+      ++indexes_cut;
     } else {
       degraded.RecordFailure(plan.indexes[i], statuses[i], &result);
     }
   }
-  result.indexes_queried = plan.indexes.size() - result.indexes_degraded;
+  result.indexes_queried =
+      plan.indexes.size() - result.indexes_degraded - indexes_cut;
   result.indexes_quarantined =
       HandleSearchFailures(opts, degraded.failures());
 
@@ -1294,32 +1417,41 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
   std::vector<RowMatch> matches;
   {
     internal::OpPhase phase(&op, "probe");
-    // Fetch candidate pages (deduplicated) in one round.
-    std::map<std::pair<std::string, uint64_t>, size_t> fetch_index;
-    std::vector<PageFetch> fetches;
-    for (const Cand& c : candidates) {
-      auto key = std::make_pair(c.fetch.key, c.fetch.page.offset);
-      if (fetch_index.emplace(key, fetches.size()).second) {
-        fetches.push_back(c.fetch);
+    auto probe = [&]() -> Status {
+      ROTTNEST_RETURN_NOT_OK(deadline.Check("probe"));
+      // Fetch candidate pages (deduplicated) in one round.
+      std::map<std::pair<std::string, uint64_t>, size_t> fetch_index;
+      std::vector<PageFetch> fetches;
+      for (const Cand& c : candidates) {
+        auto key = std::make_pair(c.fetch.key, c.fetch.page.offset);
+        if (fetch_index.emplace(key, fetches.size()).second) {
+          fetches.push_back(c.fetch);
+        }
       }
-    }
-    std::vector<ColumnVector> probed;
-    ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
-    result.pages_probed = fetches.size();
+      std::vector<ColumnVector> probed;
+      ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
+      result.pages_probed = fetches.size();
 
-    for (const Cand& c : candidates) {
-      size_t fi = fetch_index.at({c.fetch.key, c.fetch.page.offset});
-      if (c.row_in_page >= probed[fi].size()) continue;
-      Slice raw = probed[fi].fixed().at(c.row_in_page);
-      float dist =
-          index::SquaredL2(query, index::VectorFromValue(raw), dim);
-      uint64_t row = c.fetch.page.first_row + c.row_in_page;
-      ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(c.file, row));
-      if (deleted) continue;
-      if (!seen.insert({c.file, row}).second) continue;
-      matches.push_back({c.file, row, raw.ToString(), dist});
+      for (const Cand& c : candidates) {
+        size_t fi = fetch_index.at({c.fetch.key, c.fetch.page.offset});
+        if (c.row_in_page >= probed[fi].size()) continue;
+        Slice raw = probed[fi].fixed().at(c.row_in_page);
+        float dist =
+            index::SquaredL2(query, index::VectorFromValue(raw), dim);
+        uint64_t row = c.fetch.page.first_row + c.row_in_page;
+        ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(c.file, row));
+        if (deleted) continue;
+        if (!seen.insert({c.file, row}).second) continue;
+        matches.push_back({c.file, row, raw.ToString(), dist});
+      }
+      return rf.FilterMatches(&matches, trace);
+    };
+    Status probe_status = probe();
+    if (IsCutShort(probe_status)) {
+      MarkCutShort(&result, "probe", probe_status);
+    } else {
+      ROTTNEST_RETURN_NOT_OK(probe_status);
     }
-    ROTTNEST_RETURN_NOT_OK(rf.FilterMatches(&matches, trace));
   }
 
   {
@@ -1327,26 +1459,38 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
     // Scoring queries must rank ALL data: unindexed files are always
     // scanned exhaustively (paper §IV-B step 3), and so are files whose
     // only index coverage degraded.
-    std::vector<const DataFile*> to_scan;
-    for (const DataFile& f : plan.unindexed) to_scan.push_back(&f);
-    for (const DataFile* f : degraded.FilesToScan(plan.snapshot)) {
-      to_scan.push_back(f);
-    }
-    for (const DataFile* f : to_scan) {
-      const std::string& path = f->path;
-      bool scanned = false;
-      ROTTNEST_RETURN_NOT_OK(ScanFileRows(
-          read_store(), path, plan.column_index, &rf, trace, &scanned,
-          [&](uint64_t row, const std::string& v) -> Status {
-            float dist = index::SquaredL2(
-                query, reinterpret_cast<const float*>(v.data()), dim);
-            ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(path, row));
-            if (deleted) return Status::OK();
-            if (!seen.insert({path, row}).second) return Status::OK();
-            matches.push_back({path, row, v, dist});
-            return Status::OK();
-          }));
-      if (scanned) ++result.files_scanned;
+    auto scan = [&]() -> Status {
+      ROTTNEST_RETURN_NOT_OK(deadline.Check("scan"));
+      std::vector<const DataFile*> to_scan;
+      for (const DataFile& f : plan.unindexed) to_scan.push_back(&f);
+      for (const DataFile* f : degraded.FilesToScan(plan.snapshot)) {
+        to_scan.push_back(f);
+      }
+      for (const DataFile* f : to_scan) {
+        const std::string& path = f->path;
+        bool scanned = false;
+        ROTTNEST_RETURN_NOT_OK(ScanFileRows(
+            read_store(), path, plan.column_index, &rf, deadline, trace,
+            &scanned,
+            [&](uint64_t row, const std::string& v) -> Status {
+              float dist = index::SquaredL2(
+                  query, reinterpret_cast<const float*>(v.data()), dim);
+              ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
+                                        dvs.IsDeleted(path, row));
+              if (deleted) return Status::OK();
+              if (!seen.insert({path, row}).second) return Status::OK();
+              matches.push_back({path, row, v, dist});
+              return Status::OK();
+            }));
+        if (scanned) ++result.files_scanned;
+      }
+      return Status::OK();
+    };
+    Status scan_status = scan();
+    if (IsCutShort(scan_status)) {
+      MarkCutShort(&result, "scan", scan_status);
+    } else {
+      ROTTNEST_RETURN_NOT_OK(scan_status);
     }
   }
 
@@ -1394,6 +1538,9 @@ Result<SearchResult> Rottnest::SearchRegex(const std::string& column,
     result.cache_hits = candidates.cache_hits;
     result.cache_misses = candidates.cache_misses;
     result.indexes_quarantined = candidates.indexes_quarantined;
+    result.partial = candidates.partial;
+    result.cut_short = std::move(candidates.cut_short);
+    result.partial_reason = std::move(candidates.partial_reason);
     for (RowMatch& m : candidates.matches) {
       if (std::regex_search(m.value, re)) {
         result.matches.push_back(std::move(m));
@@ -1405,6 +1552,13 @@ Result<SearchResult> Rottnest::SearchRegex(const std::string& column,
 
   // No usable literal: brute-force scan every file in the snapshot.
   auto wall_start = std::chrono::steady_clock::now();
+  Deadline deadline =
+      Deadline::After(&store_->clock(), opts.time_budget_micros);
+  AdmissionTicket ticket;
+  if (admission_ != nullptr) {
+    ROTTNEST_ASSIGN_OR_RETURN(ticket, admission_->Admit(deadline));
+  }
+  ScopedOpDeadline ambient(deadline);
   internal::OpObs op(store_, cache_store_.get(), opts.obs, "search_regex");
   Plan plan;
   {
@@ -1418,21 +1572,31 @@ Result<SearchResult> Rottnest::SearchRegex(const std::string& column,
   SearchResult result;
   {
     internal::OpPhase phase(&op, "scan");
-    for (const DataFile& f : plan.snapshot.files) {
-      bool scanned = false;
-      ROTTNEST_RETURN_NOT_OK(ScanFileRows(
-          read_store(), f.path, plan.column_index, &rf, opts.trace, &scanned,
-          [&](uint64_t row, const std::string& v) -> Status {
-            if (result.matches.size() >= k) return Status::OK();
-            if (!std::regex_search(v, re)) return Status::OK();
-            ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
-                                      dvs.IsDeleted(f.path, row));
-            if (deleted) return Status::OK();
-            result.matches.push_back({f.path, row, v, 0});
-            return Status::OK();
-          }));
-      if (scanned) ++result.files_scanned;
-      if (result.matches.size() >= k) break;
+    auto scan = [&]() -> Status {
+      for (const DataFile& f : plan.snapshot.files) {
+        bool scanned = false;
+        ROTTNEST_RETURN_NOT_OK(ScanFileRows(
+            read_store(), f.path, plan.column_index, &rf, deadline,
+            opts.trace, &scanned,
+            [&](uint64_t row, const std::string& v) -> Status {
+              if (result.matches.size() >= k) return Status::OK();
+              if (!std::regex_search(v, re)) return Status::OK();
+              ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
+                                        dvs.IsDeleted(f.path, row));
+              if (deleted) return Status::OK();
+              result.matches.push_back({f.path, row, v, 0});
+              return Status::OK();
+            }));
+        if (scanned) ++result.files_scanned;
+        if (result.matches.size() >= k) break;
+      }
+      return Status::OK();
+    };
+    Status scan_status = scan();
+    if (IsCutShort(scan_status)) {
+      MarkCutShort(&result, "scan", scan_status);
+    } else {
+      ROTTNEST_RETURN_NOT_OK(scan_status);
     }
   }
   FinishSearchStats(opts, op, wall_start, 1, &result);
@@ -1482,9 +1646,13 @@ Result<uint64_t> Rottnest::CountSubstring(const std::string& column,
   }
 
   // Fan out the FM-index backward-search counts across the exact indexes.
+  // No deadline: a count has no partial-result surface — it is exact or it
+  // is an error — so the tail-tolerance contract does not apply here and
+  // time_budget_micros is deliberately not plumbed through.
   std::vector<uint64_t> counts(exact_entries.size(), 0);
   std::vector<Status> statuses = FanOutIndexQueries(
-      &pool_, exact_entries.size(), opts.parallelism, opts.trace, &op,
+      &pool_, exact_entries.size(), opts.parallelism, Deadline(), opts.trace,
+      &op,
       [&](size_t i) { return "index:" + exact_entries[i]->index_path; },
       [&](size_t i, objectstore::IoTrace* t) -> Status {
         ROTTNEST_ASSIGN_OR_RETURN(

@@ -82,7 +82,9 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/thread_pool.h"
+#include "core/admission.h"
 #include "index/component_file.h"
 #include "index/fm/fm_index.h"
 #include "index/ivfpq/ivfpq_index.h"
@@ -118,6 +120,13 @@ struct RottnestOptions {
   uint64_t cache_bytes = 0;
   /// Shards of the cache (mutex-per-shard; contention knob, not capacity).
   size_t cache_shards = 16;
+  /// Admission control over the Search* entry points (the seed of the
+  /// serving layer): searches allowed to run concurrently. 0 = no
+  /// admission control (the default; single-tenant embedding).
+  int max_concurrent_searches = 0;
+  /// Searches allowed to queue for a slot; arrivals beyond this are shed
+  /// with ResourceExhausted. Only meaningful with max_concurrent_searches.
+  int max_queued_searches = 16;
 };
 
 /// One verified search hit.
@@ -152,8 +161,12 @@ struct CommonOptions {
   /// (Compact) or deep-verified (Scrub). 0 = unbounded. The head-of-line
   /// item is always admitted, so any budget still makes progress.
   uint64_t byte_budget = 0;
-  /// Overrides RottnestOptions::index_timeout_micros for this call
-  /// (0 = use the client default). Enforced per page batch.
+  /// Maintenance: overrides RottnestOptions::index_timeout_micros for this
+  /// call (0 = use the client default). Searches: an END-TO-END deadline —
+  /// 0 means no deadline at all (searches have no implicit timeout). On
+  /// expiry the query stops cooperatively at page-batch granularity and
+  /// returns a structured partial result (SearchResult::partial/cut_short)
+  /// instead of hanging or erroring. Enforced per page batch.
   Micros time_budget_micros = 0;
   /// Access-pattern recording. Per-item parallel chains are merged in
   /// waves of `parallelism` concurrent chains (waves sequential), so the
@@ -191,6 +204,19 @@ struct SearchResult {
   /// Degraded indexes removed from the metadata table by this query
   /// (only with SearchOptions::auto_quarantine; best-effort).
   size_t indexes_quarantined = 0;
+  /// Tail-tolerance degradation surface (mirrors the corrupt-index
+  /// contract above): when the operation deadline expires mid-query or a
+  /// store's circuit breaker is open, the query returns what it has
+  /// instead of hanging or failing. `partial` is set, `cut_short` lists
+  /// the index children (by object key) — or phases, for the scan/probe
+  /// stages — that were stopped early, and `partial_reason` says why.
+  /// Unlike corrupt-index degradation, cut-short children get NO brute-
+  /// scan fallback: the deadline is exactly the promise not to keep going.
+  /// A partial result may be missing matches; matches present are still
+  /// verified exact.
+  bool partial = false;
+  std::vector<std::string> cut_short;
+  std::string partial_reason;
 };
 
 /// Optional knobs common to all maintenance calls (the one options
@@ -481,6 +507,12 @@ class Rottnest {
   }
   objectstore::CachingStore* cache() { return cache_store_.get(); }
 
+  /// The search admission controller, or nullptr when
+  /// max_concurrent_searches == 0. The non-const overload allows
+  /// AttachMetrics(&registry).
+  const AdmissionController* admission() const { return admission_.get(); }
+  AdmissionController* admission() { return admission_.get(); }
+
  private:
   struct Plan;
 
@@ -553,6 +585,7 @@ class Rottnest {
   lake::Table* table_;
   RottnestOptions options_;
   std::unique_ptr<objectstore::CachingStore> cache_store_;
+  std::unique_ptr<AdmissionController> admission_;
   lake::MetadataTable metadata_;
   ThreadPool pool_;
   uint64_t name_counter_ = 0;

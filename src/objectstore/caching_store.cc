@@ -85,6 +85,67 @@ void CachingStore::EvictLocked(Shard& shard) {
   }
 }
 
+Status CachingStore::MissFetch(
+    EntryKey k, Buffer* data_out, ObjectMeta* meta_out,
+    const std::function<Status(Buffer*, ObjectMeta*)>& fetch) {
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    auto it = flights_.find(k);
+    if (it != flights_.end()) {
+      flight = it->second;
+    } else {
+      flight = std::make_shared<InFlight>();
+      flights_.emplace(k, flight);
+      leader = true;
+    }
+  }
+
+  if (!leader) {
+    // Coalesce onto the leader's in-flight fetch: one physical GET serves
+    // every concurrent misser of this range.
+    stats_.cache_coalesced.fetch_add(1);
+    obs::Increment(metrics_.cache_coalesced);
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (flight->status.ok()) {
+      if (data_out != nullptr) *data_out = flight->data;
+      if (meta_out != nullptr) *meta_out = flight->meta;
+    }
+    return flight->status;
+  }
+
+  stats_.cache_misses.fetch_add(1);
+  obs::Increment(metrics_.cache_misses);
+  Buffer data;
+  ObjectMeta meta;
+  Status s = fetch(&data, &meta);
+  if (s.ok()) {
+    Insert(k, data_out != nullptr ? &data : nullptr,
+           meta_out != nullptr ? &meta : nullptr);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->status = s;
+    if (s.ok()) {
+      flight->data = data;  // Copy: followers may still need it after we
+      flight->meta = meta;  // move our own result out below.
+    }
+    flight->done = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    flights_.erase(k);
+  }
+  flight->cv.notify_all();
+  if (s.ok()) {
+    if (data_out != nullptr) *data_out = std::move(data);
+    if (meta_out != nullptr) *meta_out = meta;
+  }
+  return s;
+}
+
 Status CachingStore::Get(const std::string& key, Buffer* out) {
   EntryKey k{key, 0, kWholeObject};
   if (Lookup(k, out, nullptr)) {
@@ -92,16 +153,16 @@ Status CachingStore::Get(const std::string& key, Buffer* out) {
     obs::Increment(metrics_.cache_hits);
     return Status::OK();
   }
-  stats_.cache_misses.fetch_add(1);
-  obs::Increment(metrics_.cache_misses);
-  ROTTNEST_RETURN_NOT_OK(inner_->Get(key, out));
-  stats_.gets.fetch_add(1);
-  stats_.bytes_read.fetch_add(out->size());
-  obs::Increment(metrics_.gets);
-  obs::Add(metrics_.bytes_read, out->size());
-  obs::Record(metrics_.get_bytes, out->size());
-  Insert(std::move(k), out, nullptr);
-  return Status::OK();
+  return MissFetch(std::move(k), out, nullptr,
+                   [this, &key](Buffer* data, ObjectMeta*) {
+                     ROTTNEST_RETURN_NOT_OK(inner_->Get(key, data));
+                     stats_.gets.fetch_add(1);
+                     stats_.bytes_read.fetch_add(data->size());
+                     obs::Increment(metrics_.gets);
+                     obs::Add(metrics_.bytes_read, data->size());
+                     obs::Record(metrics_.get_bytes, data->size());
+                     return Status::OK();
+                   });
 }
 
 Status CachingStore::GetRange(const std::string& key, uint64_t offset,
@@ -112,16 +173,17 @@ Status CachingStore::GetRange(const std::string& key, uint64_t offset,
     obs::Increment(metrics_.cache_hits);
     return Status::OK();
   }
-  stats_.cache_misses.fetch_add(1);
-  obs::Increment(metrics_.cache_misses);
-  ROTTNEST_RETURN_NOT_OK(inner_->GetRange(key, offset, length, out));
-  stats_.gets.fetch_add(1);
-  stats_.bytes_read.fetch_add(out->size());
-  obs::Increment(metrics_.gets);
-  obs::Add(metrics_.bytes_read, out->size());
-  obs::Record(metrics_.get_bytes, out->size());
-  Insert(std::move(k), out, nullptr);
-  return Status::OK();
+  return MissFetch(
+      std::move(k), out, nullptr,
+      [this, &key, offset, length](Buffer* data, ObjectMeta*) {
+        ROTTNEST_RETURN_NOT_OK(inner_->GetRange(key, offset, length, data));
+        stats_.gets.fetch_add(1);
+        stats_.bytes_read.fetch_add(data->size());
+        obs::Increment(metrics_.gets);
+        obs::Add(metrics_.bytes_read, data->size());
+        obs::Record(metrics_.get_bytes, data->size());
+        return Status::OK();
+      });
 }
 
 Status CachingStore::Head(const std::string& key, ObjectMeta* out) {
@@ -136,13 +198,13 @@ Status CachingStore::Head(const std::string& key, ObjectMeta* out) {
     obs::Increment(metrics_.cache_hits);
     return Status::OK();
   }
-  stats_.cache_misses.fetch_add(1);
-  obs::Increment(metrics_.cache_misses);
-  ROTTNEST_RETURN_NOT_OK(inner_->Head(key, out));
-  stats_.heads.fetch_add(1);
-  obs::Increment(metrics_.heads);
-  Insert(std::move(k), nullptr, out);
-  return Status::OK();
+  return MissFetch(std::move(k), nullptr, out,
+                   [this, &key](Buffer*, ObjectMeta* meta) {
+                     ROTTNEST_RETURN_NOT_OK(inner_->Head(key, meta));
+                     stats_.heads.fetch_add(1);
+                     obs::Increment(metrics_.heads);
+                     return Status::OK();
+                   });
 }
 
 Status CachingStore::Put(const std::string& key, Slice data) {

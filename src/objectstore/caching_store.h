@@ -34,7 +34,9 @@
 #ifndef ROTTNEST_OBJECTSTORE_CACHING_STORE_H_
 #define ROTTNEST_OBJECTSTORE_CACHING_STORE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -126,9 +128,28 @@ class CachingStore : public ObjectStore {
     uint64_t bytes = 0;
   };
 
+  /// One in-flight backing fetch, shared by every concurrent miss on the
+  /// same EntryKey (single-flight dedup): the first misser becomes the
+  /// leader and fetches; the rest wait here and are served the leader's
+  /// result without issuing their own GET. Fixes the thundering herd a
+  /// hedge-amplified fan-out would otherwise send through a cold cache.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    Buffer data;
+    ObjectMeta meta;
+  };
+
   Shard& ShardFor(const EntryKey& k);
   /// Looks `k` up in its shard; on hit promotes to MRU and copies out.
   bool Lookup(const EntryKey& k, Buffer* data, ObjectMeta* meta);
+  /// Runs the miss path for `k` with single-flight dedup. The leader calls
+  /// `fetch` (which does its own physical-stats accounting) and populates
+  /// the cache; coalesced followers wait and copy the leader's result.
+  Status MissFetch(EntryKey k, Buffer* data_out, ObjectMeta* meta_out,
+                   const std::function<Status(Buffer*, ObjectMeta*)>& fetch);
   /// Inserts (or refreshes) `k`, charging its payload and evicting LRU
   /// entries past the shard budget.
   void Insert(EntryKey k, const Buffer* data, const ObjectMeta* meta);
@@ -138,6 +159,9 @@ class CachingStore : public ObjectStore {
   CacheOptions options_;
   uint64_t shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::mutex flights_mu_;
+  std::unordered_map<EntryKey, std::shared_ptr<InFlight>, EntryKeyHash>
+      flights_;
   mutable IoStats stats_;
   StoreMetrics metrics_;
 };

@@ -1,0 +1,185 @@
+#include "objectstore/circuit_breaker.h"
+
+#include "obs/metrics.h"
+
+namespace rottnest::objectstore {
+
+namespace {
+// The fail-fast message carries a fixed marker so IsCircuitOpen can
+// distinguish breaker verdicts from genuine store Unavailable errors
+// without widening the StatusCode enum for one decorator.
+constexpr char kOpenMarker[] = "circuit breaker open";
+}  // namespace
+
+BreakerMetrics ResolveBreakerMetrics(obs::MetricsRegistry* registry,
+                                     const std::string& name) {
+  BreakerMetrics m;
+  if (registry == nullptr) return m;
+  const std::string p = "breaker." + name + ".";
+  m.outcomes = registry->GetCounter(p + "outcomes");
+  m.failures_observed = registry->GetCounter(p + "failures_observed");
+  m.opened = registry->GetCounter(p + "opened");
+  m.fast_failures = registry->GetCounter(p + "fast_failures");
+  m.probes = registry->GetCounter(p + "probes");
+  m.reclosed = registry->GetCounter(p + "reclosed");
+  m.state = registry->GetGauge(p + "state");
+  return m;
+}
+
+bool IsCircuitOpen(const Status& status) {
+  return status.IsUnavailable() &&
+         status.message().find(kOpenMarker) != std::string::npos;
+}
+
+CircuitBreaker::CircuitBreaker(const Clock* clock, BreakerOptions options,
+                               std::string name)
+    : clock_(clock), options_(options), name_(std::move(name)) {
+  ring_.resize(options_.window > 0 ? options_.window : 1, false);
+}
+
+void CircuitBreaker::AttachMetrics(obs::MetricsRegistry* registry,
+                                   const std::string& name) {
+  metrics_ = ResolveBreakerMetrics(registry, name);
+  obs::Set(metrics_.state, static_cast<int64_t>(state()));
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+bool CircuitBreaker::IsFailure(const Status& status,
+                               Micros latency_micros) const {
+  // DeadlineExceeded reports the CALLER's budget, not store health, and
+  // NotFound/AlreadyExists/Corruption are answers about object state.
+  if (status.IsUnavailable() || status.IsIOError()) return true;
+  return options_.latency_threshold_micros > 0 &&
+         latency_micros > options_.latency_threshold_micros;
+}
+
+void CircuitBreaker::OpenLocked() {
+  state_ = State::kOpen;
+  opened_at_ = clock_->NowMicros();
+  probe_inflight_ = false;
+  probe_successes_ = 0;
+  stats_.opened.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.opened);
+  obs::Set(metrics_.state, static_cast<int64_t>(state_));
+}
+
+Status CircuitBreaker::Admit(bool* is_probe) {
+  *is_probe = false;
+  if (!options_.enabled) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kOpen) {
+    if (clock_->NowMicros() - opened_at_ <
+        static_cast<Micros>(options_.cooldown_micros)) {
+      stats_.fast_failures.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(metrics_.fast_failures);
+      return Status::Unavailable(std::string(kOpenMarker) + ": " + name_);
+    }
+    state_ = State::kHalfOpen;
+    probe_successes_ = 0;
+    probe_inflight_ = false;
+    obs::Set(metrics_.state, static_cast<int64_t>(state_));
+  }
+  if (state_ == State::kHalfOpen) {
+    if (probe_inflight_) {
+      // One probe at a time; everyone else keeps failing fast.
+      stats_.fast_failures.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(metrics_.fast_failures);
+      return Status::Unavailable(std::string(kOpenMarker) + ": " + name_ +
+                                 " (probing)");
+    }
+    probe_inflight_ = true;
+    *is_probe = true;
+    stats_.probes.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(metrics_.probes);
+  }
+  return Status::OK();
+}
+
+void CircuitBreaker::Record(const Status& status, Micros latency_micros,
+                            bool was_probe) {
+  if (!options_.enabled) return;
+  bool failure = IsFailure(status, latency_micros);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.outcomes.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.outcomes);
+  if (failure) {
+    stats_.failures_observed.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(metrics_.failures_observed);
+  }
+  if (was_probe) {
+    probe_inflight_ = false;
+    if (state_ != State::kHalfOpen) return;  // A transition raced us.
+    if (failure) {
+      OpenLocked();
+      return;
+    }
+    if (++probe_successes_ >= options_.half_open_probes) {
+      state_ = State::kClosed;
+      ring_.assign(ring_.size(), false);
+      ring_next_ = ring_count_ = ring_failures_ = 0;
+      stats_.reclosed.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(metrics_.reclosed);
+      obs::Set(metrics_.state, static_cast<int64_t>(state_));
+    }
+    return;
+  }
+  if (state_ != State::kClosed) return;  // Straggler from before a trip.
+  if (ring_count_ == ring_.size()) {
+    if (ring_[ring_next_]) --ring_failures_;
+  } else {
+    ++ring_count_;
+  }
+  ring_[ring_next_] = failure;
+  if (failure) ++ring_failures_;
+  ring_next_ = (ring_next_ + 1) % ring_.size();
+  if (ring_count_ >= options_.min_samples &&
+      static_cast<double>(ring_failures_) >=
+          options_.failure_threshold * static_cast<double>(ring_count_)) {
+    OpenLocked();
+  }
+}
+
+Status BreakerStore::Run(const std::function<Status()>& fn) {
+  bool is_probe = false;
+  ROTTNEST_RETURN_NOT_OK(breaker_.Admit(&is_probe));
+  Micros start = inner_->clock().NowMicros();
+  Status s = fn();
+  breaker_.Record(s, inner_->clock().NowMicros() - start, is_probe);
+  return s;
+}
+
+Status BreakerStore::Put(const std::string& key, Slice data) {
+  return Run([&] { return inner_->Put(key, data); });
+}
+
+Status BreakerStore::PutIfAbsent(const std::string& key, Slice data) {
+  return Run([&] { return inner_->PutIfAbsent(key, data); });
+}
+
+Status BreakerStore::Get(const std::string& key, Buffer* out) {
+  return Run([&] { return inner_->Get(key, out); });
+}
+
+Status BreakerStore::GetRange(const std::string& key, uint64_t offset,
+                              uint64_t length, Buffer* out) {
+  return Run([&] { return inner_->GetRange(key, offset, length, out); });
+}
+
+Status BreakerStore::Head(const std::string& key, ObjectMeta* out) {
+  return Run([&] { return inner_->Head(key, out); });
+}
+
+Status BreakerStore::List(const std::string& prefix,
+                          std::vector<ObjectMeta>* out) {
+  return Run([&] { return inner_->List(prefix, out); });
+}
+
+Status BreakerStore::Delete(const std::string& key) {
+  return Run([&] { return inner_->Delete(key); });
+}
+
+}  // namespace rottnest::objectstore

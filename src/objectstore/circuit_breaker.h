@@ -1,0 +1,170 @@
+// Circuit breaker for object storage: when a store is failing or slow
+// enough that requests are mostly wasted work, fail FAST instead — callers
+// get an immediate typed Unavailable and route around the store (the search
+// planner records the index child as cut short) rather than each burning a
+// full retry budget against a dead endpoint.
+//
+// Classic three-state machine over a rolling outcome window:
+//
+//   Closed ──(failure fraction ≥ threshold over ≥ min_samples)──► Open
+//   Open ──(cooldown elapsed on the STORE clock)──► Half-open
+//   Half-open ──(half_open_probes consecutive successes)──► Closed
+//   Half-open ──(any probe failure)──► Open (cooldown restarts)
+//
+// "Failure" means Unavailable/IOError, or — when latency_threshold_micros
+// is set — an op slower than the threshold. DeadlineExceeded is explicitly
+// NOT a failure: it reports the caller's budget, not the store's health.
+// All timing uses the store clock, so the machine is fully deterministic
+// under SimulatedClock.
+//
+// Stack position: ABOVE RetryingStore (breaker verdicts reflect post-retry
+// outcomes — a fault the retry layer absorbed is not an incident — and a
+// fast-fail skips the whole backoff loop), BELOW CachingStore (cache hits
+// need no admission).
+#ifndef ROTTNEST_OBJECTSTORE_CIRCUIT_BREAKER_H_
+#define ROTTNEST_OBJECTSTORE_CIRCUIT_BREAKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "objectstore/object_store.h"
+
+namespace rottnest::objectstore {
+
+struct BreakerOptions {
+  size_t window = 64;        ///< Rolling outcome window size.
+  size_t min_samples = 16;   ///< Outcomes required before the breaker may
+                             ///< trip (a cold start is not an incident).
+  double failure_threshold = 0.5;  ///< Failure fraction that opens.
+  /// An op slower than this counts as a failure even when it succeeds
+  /// (brown-out detection). 0 disables latency-based failures.
+  Micros latency_threshold_micros = 0;
+  Micros cooldown_micros = 5'000'000;  ///< Open → half-open, store clock.
+  int half_open_probes = 3;  ///< Consecutive probe successes to close.
+  bool enabled = true;       ///< Off = transparent pass-through.
+};
+
+/// Pre-resolved metric handles mirroring BreakerStats.
+struct BreakerMetrics {
+  obs::Counter* outcomes = nullptr;
+  obs::Counter* failures_observed = nullptr;
+  obs::Counter* opened = nullptr;
+  obs::Counter* fast_failures = nullptr;
+  obs::Counter* probes = nullptr;
+  obs::Counter* reclosed = nullptr;
+  obs::Gauge* state = nullptr;  ///< 0 closed, 1 half-open, 2 open.
+};
+
+/// Resolves the `breaker.<name>.*` handle set (nullptr-safe).
+BreakerMetrics ResolveBreakerMetrics(obs::MetricsRegistry* registry,
+                                     const std::string& name);
+
+/// Cumulative breaker accounting.
+struct BreakerStats {
+  std::atomic<uint64_t> outcomes{0};           ///< Outcomes recorded.
+  std::atomic<uint64_t> failures_observed{0};  ///< Failing outcomes.
+  std::atomic<uint64_t> opened{0};             ///< Closed/half-open → open.
+  std::atomic<uint64_t> fast_failures{0};      ///< Requests refused open.
+  std::atomic<uint64_t> probes{0};             ///< Half-open probes admitted.
+  std::atomic<uint64_t> reclosed{0};           ///< Half-open → closed.
+};
+
+/// The state machine itself, usable standalone. Thread-safe (one mutex;
+/// transitions are cheap).
+class CircuitBreaker {
+ public:
+  enum class State { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+
+  /// `clock` must outlive the breaker (pass the store clock).
+  CircuitBreaker(const Clock* clock, BreakerOptions options,
+                 std::string name = "store");
+
+  /// Gate for one request. OK admits it (setting *is_probe in half-open:
+  /// exactly one probe flies at a time); otherwise a typed Unavailable
+  /// fail-fast the caller returns without touching the store. Every
+  /// admitted request MUST be reported via Record().
+  Status Admit(bool* is_probe);
+
+  /// Reports an admitted request's outcome. `latency_micros` is measured on
+  /// the store clock by the caller.
+  void Record(const Status& status, Micros latency_micros, bool was_probe);
+
+  State state() const;
+  const BreakerStats& breaker_stats() const { return stats_; }
+  const BreakerOptions& options() const { return options_; }
+
+  void AttachMetrics(obs::MetricsRegistry* registry, const std::string& name);
+
+ private:
+  /// Caller holds mu_. Transitions to open and stamps the cooldown.
+  void OpenLocked();
+
+  bool IsFailure(const Status& status, Micros latency_micros) const;
+
+  const Clock* clock_;
+  BreakerOptions options_;
+  std::string name_;
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  std::vector<bool> ring_;  ///< true = failure.
+  size_t ring_next_ = 0;
+  size_t ring_count_ = 0;
+  size_t ring_failures_ = 0;
+  Micros opened_at_ = 0;
+  bool probe_inflight_ = false;
+  int probe_successes_ = 0;
+
+  BreakerStats stats_;
+  BreakerMetrics metrics_;
+};
+
+/// True iff `status` is the breaker's fail-fast verdict (as opposed to a
+/// genuine transient from the store) — callers that must distinguish
+/// "the store said no" from "we refused to ask" branch on this.
+bool IsCircuitOpen(const Status& status);
+
+/// ObjectStore decorator gating every operation through a CircuitBreaker.
+/// `inner` must outlive the decorator.
+class BreakerStore : public ObjectStore {
+ public:
+  BreakerStore(ObjectStore* inner, BreakerOptions options = {},
+               std::string name = "store")
+      : inner_(inner), breaker_(&inner->clock(), options, std::move(name)) {}
+
+  Status Put(const std::string& key, Slice data) override;
+  Status PutIfAbsent(const std::string& key, Slice data) override;
+  Status Get(const std::string& key, Buffer* out) override;
+  Status GetRange(const std::string& key, uint64_t offset, uint64_t length,
+                  Buffer* out) override;
+  Status Head(const std::string& key, ObjectMeta* out) override;
+  Status List(const std::string& prefix,
+              std::vector<ObjectMeta>* out) override;
+  Status Delete(const std::string& key) override;
+
+  const Clock& clock() const override { return inner_->clock(); }
+  const IoStats& stats() const override { return inner_->stats(); }
+
+  CircuitBreaker& breaker() { return breaker_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+  ObjectStore* inner() { return inner_; }
+
+  /// Mirrors breaker accounting into `registry` under `breaker.<name>.*`.
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     const std::string& name = "store") {
+    breaker_.AttachMetrics(registry, name);
+  }
+
+ private:
+  Status Run(const std::function<Status()>& fn);
+
+  ObjectStore* inner_;
+  CircuitBreaker breaker_;
+};
+
+}  // namespace rottnest::objectstore
+
+#endif  // ROTTNEST_OBJECTSTORE_CIRCUIT_BREAKER_H_

@@ -1,5 +1,8 @@
 #include "objectstore/fault_injection.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/hash.h"
 #include "obs/metrics.h"
 
@@ -26,6 +29,10 @@ FaultMetrics ResolveFaultMetrics(obs::MetricsRegistry* registry,
   m.corrupt_reads_injected = registry->GetCounter(p + "corrupt_reads_injected");
   m.truncations_injected = registry->GetCounter(p + "truncations_injected");
   m.rot_injected = registry->GetCounter(p + "rot_injected");
+  m.slow_reads_injected = registry->GetCounter(p + "slow_reads_injected");
+  m.brownout_ops = registry->GetCounter(p + "brownout_ops");
+  m.latency_injected_micros =
+      registry->GetCounter(p + "latency_injected_micros");
   return m;
 }
 
@@ -38,6 +45,9 @@ Status FaultInjectingStore::Apply(const char* op, const std::string& key,
   bool corrupt = false;  // Flip one bit of the payload after the read.
   uint64_t corrupt_salt = 0;
   std::optional<uint64_t> truncate_to;
+  Micros delay = 0;      // Injected latency, slept outside the lock.
+  bool crash_fired = false;  // This op triggered the crash point.
+  SleepFn sleeper;
   {
     std::lock_guard<std::mutex> lock(mu_);
     uint64_t my_index = op_counter_++;
@@ -59,6 +69,7 @@ Status FaultInjectingStore::Apply(const char* op, const std::string& key,
       obs::Increment(metrics_.scheduled_injected);
     } else if (crash_at_.has_value() && *crash_at_ == my_index) {
       crashed_ = true;
+      crash_fired = true;
       injected = CrashStatus(op);
       execute = (crash_mode_ == CrashMode::kAfterOp);
     } else if (options_.transient_fault_rate > 0 &&
@@ -99,8 +110,51 @@ Status FaultInjectingStore::Apply(const char* op, const std::string& key,
         obs::Increment(metrics_.corrupt_reads_injected);
       }
     }
+    // Latency model: a per-op base, a seeded heavy tail on reads that will
+    // otherwise succeed, and clock-windowed brown-outs. Decisions (and PRNG
+    // draws) stay under the lock for determinism; the sleep happens below,
+    // outside it, so concurrent slow requests overlap like real ones.
+    // An op that fires the crash point answers instantly — like every
+    // refusal after it, it models a closed socket, not a slow disk.
+    if (!crash_fired) delay += options_.base_latency_micros;
+    if (read_payload != nullptr && options_.slow_read_rate > 0 &&
+        injected.ok() && execute &&
+        rng_.NextDouble() < options_.slow_read_rate) {
+      delay += options_.slow_read_latency_micros;
+      fault_stats_.slow_reads_injected.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(metrics_.slow_reads_injected);
+    }
+    if (!crash_fired && !options_.brownouts.empty()) {
+      Micros now = inner_->clock().NowMicros();
+      bool browned = false;
+      for (const BrownOut& w : options_.brownouts) {
+        if (now >= w.start_micros && now < w.end_micros &&
+            (w.key_filter.empty() ||
+             key.find(w.key_filter) != std::string::npos)) {
+          delay += w.extra_micros;
+          browned = true;
+        }
+      }
+      if (browned) {
+        fault_stats_.brownout_ops.fetch_add(1, std::memory_order_relaxed);
+        obs::Increment(metrics_.brownout_ops);
+      }
+    }
+    if (delay > 0) {
+      fault_stats_.latency_injected_micros.fetch_add(
+          delay, std::memory_order_relaxed);
+      obs::Add(metrics_.latency_injected_micros, delay);
+      sleeper = sleep_;
+    }
   }
 
+  if (delay > 0) {
+    if (sleeper) {
+      sleeper(delay);
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
+  }
   // Hook and backing store run lock-free so they may re-enter this store.
   if (hook) ROTTNEST_RETURN_NOT_OK(hook(op, key));
   if (!execute) return injected;

@@ -19,6 +19,11 @@
 //                           truncated or dropped in the backing store after
 //                           the fact). The store reports no error — only
 //                           checksums above it can tell.
+//   * slow requests       — injected latency: a per-op base, a seeded
+//                           heavy tail on reads (slow_read_rate), and
+//                           clock-windowed brown-outs keyed by key filter.
+//                           The op SUCCEEDS, it just takes long — what
+//                           hedging and deadlines exist to survive.
 //
 // All randomized decisions come from one seeded PRNG: the same seed over the
 // same operation sequence reproduces the same injected faults, so any chaos
@@ -34,6 +39,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "objectstore/object_store.h"
@@ -50,6 +56,16 @@ enum class CrashMode {
   kAfterOp,
 };
 
+/// A store-clock window during which matching operations see extra injected
+/// latency — models a partition-level brown-out (one throttled S3 prefix,
+/// a degraded availability zone) rather than uniformly slow storage.
+struct BrownOut {
+  Micros start_micros = 0;  ///< Window start on the store clock (inclusive).
+  Micros end_micros = 0;    ///< Window end (exclusive).
+  std::string key_filter;   ///< Empty = every key; else substring match.
+  Micros extra_micros = 0;  ///< Latency added to each matching op.
+};
+
 /// Randomized fault configuration. Rates are probabilities in [0, 1].
 struct FaultOptions {
   uint64_t seed = 0;                 ///< PRNG seed; same seed ⇒ same faults.
@@ -62,6 +78,15 @@ struct FaultOptions {
   /// When non-empty, corrupt_read_rate only applies to keys containing this
   /// substring (e.g. ".index" to rot index files but spare the txn log).
   std::string corrupt_key_filter;
+  /// Latency injection (all zero = off). The delay is DECIDED under the
+  /// store mutex with the same seeded PRNG as the fault draws — same seed,
+  /// same slow ops — but SLEPT outside it via the pluggable sleeper
+  /// (SetSleeper), so simulated-clock tests stay instant while benches see
+  /// real wall time.
+  Micros base_latency_micros = 0;       ///< Added to every operation.
+  double slow_read_rate = 0;            ///< Fraction of reads in the tail.
+  Micros slow_read_latency_micros = 0;  ///< Extra latency for a slow read.
+  std::vector<BrownOut> brownouts;      ///< Clock-windowed slowdowns.
 };
 
 /// Pre-resolved metric handles mirroring FaultStats (see StoreMetrics).
@@ -74,6 +99,9 @@ struct FaultMetrics {
   obs::Counter* corrupt_reads_injected = nullptr;
   obs::Counter* truncations_injected = nullptr;
   obs::Counter* rot_injected = nullptr;
+  obs::Counter* slow_reads_injected = nullptr;
+  obs::Counter* brownout_ops = nullptr;
+  obs::Counter* latency_injected_micros = nullptr;
 };
 
 /// Resolves the `fault.<name>.*` handle set (nullptr-safe).
@@ -90,6 +118,9 @@ struct FaultStats {
   std::atomic<uint64_t> corrupt_reads_injected{0};  ///< Bit-flipped reads.
   std::atomic<uint64_t> truncations_injected{0};    ///< Truncated reads.
   std::atomic<uint64_t> rot_injected{0};  ///< Post-commit object rot events.
+  std::atomic<uint64_t> slow_reads_injected{0};  ///< Heavy-tail reads served.
+  std::atomic<uint64_t> brownout_ops{0};  ///< Ops slowed by a brown-out.
+  std::atomic<uint64_t> latency_injected_micros{0};  ///< Total delay added.
 };
 
 /// How RotObject damages a stored object.
@@ -180,6 +211,28 @@ class FaultInjectingStore : public ObjectStore {
     options_.corrupt_key_filter = std::move(key_filter);
   }
 
+  /// Installs the sleeper that serves injected latency. Empty (the default)
+  /// blocks the calling thread for real — what benches want; simulated-time
+  /// tests pass SimulatedSleeper(&clock) so delays are instant. The sleeper
+  /// runs OUTSIDE the store mutex, like the backing operation.
+  void SetSleeper(SleepFn sleep) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sleep_ = std::move(sleep);
+  }
+
+  /// Adds a brown-out window mid-run (directed tests open and close
+  /// slowdowns around specific protocol points).
+  void AddBrownOut(BrownOut window) {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_.brownouts.push_back(std::move(window));
+  }
+
+  /// Clears all brown-out windows.
+  void ClearBrownOuts() {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_.brownouts.clear();
+  }
+
   /// Post-commit object rot: damages `key` directly in the backing store —
   /// the entropy happens inside the storage medium, not on the request
   /// path, so it consumes no op index, draws nothing from the PRNG, and no
@@ -229,6 +282,7 @@ class FaultInjectingStore : public ObjectStore {
   bool crashed_ = false;
   std::map<uint64_t, ScheduledFault> schedule_;
   std::map<uint64_t, uint64_t> truncation_schedule_;  ///< op index → keep.
+  SleepFn sleep_;  ///< Serves injected latency; empty = real thread sleep.
   FaultStats fault_stats_;
   FaultMetrics metrics_;
 };

@@ -1,0 +1,263 @@
+#include "objectstore/hedging_store.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace rottnest::objectstore {
+
+namespace {
+
+// Hedge waits and latency observations are WALL time by construction: the
+// point of a hedge is to react to a request that is physically slow, which
+// a simulated store clock cannot express. Tests therefore inject real
+// (small) latencies when exercising this layer.
+Micros WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+HedgeMetrics ResolveHedgeMetrics(obs::MetricsRegistry* registry,
+                                 const std::string& name) {
+  HedgeMetrics m;
+  if (registry == nullptr) return m;
+  const std::string p = "hedge." + name + ".";
+  m.reads = registry->GetCounter(p + "reads");
+  m.hedges_issued = registry->GetCounter(p + "hedges_issued");
+  m.hedges_won = registry->GetCounter(p + "hedges_won");
+  m.primary_won_after_hedge =
+      registry->GetCounter(p + "primary_won_after_hedge");
+  m.failures = registry->GetCounter(p + "failures");
+  m.read_latency_micros = registry->GetHistogram(p + "read_latency_micros");
+  m.hedge_delay_micros = registry->GetGauge(p + "hedge_delay_micros");
+  return m;
+}
+
+HedgingStore::HedgingStore(ObjectStore* inner, HedgeOptions options)
+    : inner_(inner), options_(options) {
+  if (!options_.enabled) return;
+  window_.resize(256);
+  int threads = std::max(1, options_.threads);
+  workers_.reserve(threads);
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+HedgingStore::~HedgingStore() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void HedgingStore::AttachMetrics(obs::MetricsRegistry* registry,
+                                 const std::string& name) {
+  metrics_ = ResolveHedgeMetrics(registry, name);
+}
+
+void HedgingStore::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Even under shutdown the queue drains fully: a queued attempt has a
+      // caller blocked on its flight.
+      if (queue_.empty()) return;
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_;
+    }
+    inflight_cv_.notify_all();
+  }
+}
+
+void HedgingStore::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++inflight_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+void HedgingStore::Quiesce() {
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+Micros HedgingStore::CurrentHedgeDelayMicros() const {
+  std::lock_guard<std::mutex> lock(window_mu_);
+  if (window_count_ < options_.min_samples) {
+    return options_.initial_delay_micros;
+  }
+  size_t n = static_cast<size_t>(
+      std::min<uint64_t>(window_count_, window_.size()));
+  std::vector<Micros> samples(window_.begin(), window_.begin() + n);
+  size_t rank = static_cast<size_t>(options_.hedge_quantile * (n - 1));
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  Micros delay = samples[rank];
+  return std::clamp(delay, options_.min_delay_micros,
+                    options_.max_delay_micros);
+}
+
+void HedgingStore::RecordLatency(Micros latency) {
+  {
+    std::lock_guard<std::mutex> lock(window_mu_);
+    window_[window_next_] = latency;
+    window_next_ = (window_next_ + 1) % window_.size();
+    ++window_count_;
+  }
+  obs::Record(metrics_.read_latency_micros,
+              static_cast<uint64_t>(std::max<Micros>(latency, 0)));
+  obs::Set(metrics_.hedge_delay_micros, CurrentHedgeDelayMicros());
+}
+
+Status HedgingStore::HedgedRead(const AttemptFn& attempt, Buffer* out) {
+  if (!options_.enabled) return attempt(out);
+  hedge_stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.reads);
+
+  auto flight = std::make_shared<Flight>();
+  // The hedge task may start after this frame's deadline scope unwinds, so
+  // it carries a by-value copy of the ambient deadline.
+  Deadline deadline = CurrentDeadline();
+
+  auto run_attempt = [this, flight, attempt, deadline](bool is_hedge) {
+    Buffer buf;  // Private: a loser never touches the winner's output.
+    ScopedOpDeadline scoped(deadline);
+    Status s = attempt(&buf);
+    {
+      std::lock_guard<std::mutex> lock(flight->mu);
+      --flight->outstanding;
+      if (!flight->settled) {
+        if (s.ok()) {
+          flight->settled = true;
+          flight->result = s;
+          flight->winner = std::move(buf);
+          flight->hedge_won = is_hedge;
+        } else {
+          // Remember the error; if no attempt succeeds the caller reports
+          // the first one (the primary's, in the common ordering).
+          if (flight->first_error.ok()) flight->first_error = s;
+          flight->result = s;
+        }
+      }
+    }
+    flight->cv.notify_all();
+  };
+
+  Micros start = WallMicros();
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->outstanding = 1;
+  }
+  Submit([run_attempt] { run_attempt(false); });
+
+  Micros delay = CurrentHedgeDelayMicros();
+  bool hedged = false;
+  {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    bool done = flight->cv.wait_for(
+        lock, std::chrono::microseconds(delay),
+        [&] { return flight->settled || flight->outstanding == 0; });
+    if (!done && !deadline.expired()) {
+      ++flight->outstanding;
+      hedged = true;
+    }
+  }
+  if (hedged) {
+    hedge_stats_.hedges_issued.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(metrics_.hedges_issued);
+    Submit([run_attempt] { run_attempt(true); });
+  }
+
+  Status result;
+  bool hedge_won = false;
+  {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(
+        lock, [&] { return flight->settled || flight->outstanding == 0; });
+    if (flight->settled) {
+      *out = std::move(flight->winner);
+      result = Status::OK();
+      hedge_won = flight->hedge_won;
+    } else {
+      result = flight->first_error.ok() ? flight->result
+                                        : flight->first_error;
+    }
+  }
+
+  if (result.ok()) {
+    RecordLatency(WallMicros() - start);
+    if (hedged) {
+      if (hedge_won) {
+        hedge_stats_.hedges_won.fetch_add(1, std::memory_order_relaxed);
+        obs::Increment(metrics_.hedges_won);
+      } else {
+        hedge_stats_.primary_won_after_hedge.fetch_add(
+            1, std::memory_order_relaxed);
+        obs::Increment(metrics_.primary_won_after_hedge);
+      }
+    }
+  } else {
+    hedge_stats_.failures.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(metrics_.failures);
+  }
+  return result;
+}
+
+// `key` is captured BY VALUE: a losing hedge can outlive the caller's
+// frame, so the attempt must not reference caller-owned storage.
+Status HedgingStore::Get(const std::string& key, Buffer* out) {
+  return HedgedRead([this, key](Buffer* buf) { return inner_->Get(key, buf); },
+                    out);
+}
+
+Status HedgingStore::GetRange(const std::string& key, uint64_t offset,
+                              uint64_t length, Buffer* out) {
+  return HedgedRead(
+      [this, key, offset, length](Buffer* buf) {
+        return inner_->GetRange(key, offset, length, buf);
+      },
+      out);
+}
+
+// Writes and metadata ops pass through: hedging a Put would double-apply
+// side effects, and Head/List are cheap enough to leave to the retry layer.
+Status HedgingStore::Put(const std::string& key, Slice data) {
+  return inner_->Put(key, data);
+}
+
+Status HedgingStore::PutIfAbsent(const std::string& key, Slice data) {
+  return inner_->PutIfAbsent(key, data);
+}
+
+Status HedgingStore::Head(const std::string& key, ObjectMeta* out) {
+  return inner_->Head(key, out);
+}
+
+Status HedgingStore::List(const std::string& prefix,
+                          std::vector<ObjectMeta>* out) {
+  return inner_->List(prefix, out);
+}
+
+Status HedgingStore::Delete(const std::string& key) {
+  return inner_->Delete(key);
+}
+
+}  // namespace rottnest::objectstore

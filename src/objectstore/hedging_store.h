@@ -1,0 +1,186 @@
+// Hedged reads: the classic tail-tolerance move (Dean & Barroso, "The Tail
+// at Scale"). A read that has not completed after a hedge delay gets a
+// second, identical request; the first success wins and the loser's result
+// is discarded. Under a heavy-tailed store this converts p99 ≈ tail into
+// p99 ≈ p(quantile)+tail², at the cost of a small fraction of duplicate
+// GETs (bounded by the hedge quantile: hedging at p95 adds ≤5% requests).
+//
+// Design notes:
+//   * Only Get/GetRange are hedged — they are idempotent reads. Writes,
+//     Head and List pass straight through.
+//   * The hedge delay is DERIVED, not configured: it tracks a quantile
+//     (default p95) of this store's own observed read latencies, clamped to
+//     [min, max]. Until enough samples accumulate, initial_delay applies.
+//   * First-WINS cancellation is cooperative: object stores give us no way
+//     to abort an in-flight GET, so the loser runs to completion against a
+//     private buffer and then discards itself — it never touches the
+//     winner's output buffer, the caller's IoTrace, or the caller's stack
+//     (the flight state is shared_ptr-owned; TSAN tests pin this down).
+//   * IoTrace stays LOGICAL: the layers above record one read per read.
+//     Physical duplicates are visible as hedge_stats().hedges_issued, so
+//     the request-cost invariant `physical gets == traced gets + hedges`
+//     stays checkable (with the cache off and retries quiet).
+//   * The operation deadline propagates: each worker task re-installs the
+//     caller's ambient Deadline, so a hedged read under an expired deadline
+//     short-circuits inside layers below that check it.
+#ifndef ROTTNEST_OBJECTSTORE_HEDGING_STORE_H_
+#define ROTTNEST_OBJECTSTORE_HEDGING_STORE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "objectstore/object_store.h"
+
+namespace rottnest::obs {
+class Gauge;
+}  // namespace rottnest::obs
+
+namespace rottnest::objectstore {
+
+struct HedgeOptions {
+  /// Reads outstanding longer than this quantile of observed read latency
+  /// get a hedge.
+  double hedge_quantile = 0.95;
+  /// Hedge delay before enough samples accumulate to trust the quantile.
+  Micros initial_delay_micros = 50'000;
+  /// Observed-latency samples required before the quantile takes over.
+  uint64_t min_samples = 32;
+  /// Clamp on the derived delay — a floor so a fast store doesn't hedge
+  /// everything, a ceiling so one straggler burst can't disable hedging.
+  Micros min_delay_micros = 1'000;
+  Micros max_delay_micros = 500'000;
+  /// Worker threads serving primary + hedge requests.
+  int threads = 8;
+  /// Master switch; off = transparent pass-through (no worker hop).
+  bool enabled = true;
+};
+
+/// Pre-resolved metric handles mirroring HedgeStats.
+struct HedgeMetrics {
+  obs::Counter* reads = nullptr;
+  obs::Counter* hedges_issued = nullptr;
+  obs::Counter* hedges_won = nullptr;
+  obs::Counter* primary_won_after_hedge = nullptr;
+  obs::Counter* failures = nullptr;
+  obs::Histogram* read_latency_micros = nullptr;
+  obs::Gauge* hedge_delay_micros = nullptr;
+};
+
+/// Resolves the `hedge.<name>.*` handle set (nullptr-safe).
+HedgeMetrics ResolveHedgeMetrics(obs::MetricsRegistry* registry,
+                                 const std::string& name);
+
+/// Cumulative hedging accounting.
+struct HedgeStats {
+  std::atomic<uint64_t> reads{0};          ///< Logical hedgeable reads.
+  std::atomic<uint64_t> hedges_issued{0};  ///< Second requests sent.
+  std::atomic<uint64_t> hedges_won{0};     ///< Hedge finished first with OK.
+  std::atomic<uint64_t> primary_won_after_hedge{0};  ///< Hedge wasted.
+  std::atomic<uint64_t> failures{0};       ///< Both attempts failed.
+};
+
+/// ObjectStore decorator issuing hedged Get/GetRange requests.
+/// Thread-safe. `inner` must be thread-safe too (both attempts may run
+/// concurrently against it) and must outlive the decorator.
+class HedgingStore : public ObjectStore {
+ public:
+  explicit HedgingStore(ObjectStore* inner, HedgeOptions options = {});
+  ~HedgingStore() override;
+
+  Status Put(const std::string& key, Slice data) override;
+  Status PutIfAbsent(const std::string& key, Slice data) override;
+  Status Get(const std::string& key, Buffer* out) override;
+  Status GetRange(const std::string& key, uint64_t offset, uint64_t length,
+                  Buffer* out) override;
+  Status Head(const std::string& key, ObjectMeta* out) override;
+  Status List(const std::string& prefix,
+              std::vector<ObjectMeta>* out) override;
+  Status Delete(const std::string& key) override;
+
+  const Clock& clock() const override { return inner_->clock(); }
+  const IoStats& stats() const override { return inner_->stats(); }
+
+  const HedgeStats& hedge_stats() const { return hedge_stats_; }
+  const HedgeOptions& options() const { return options_; }
+  ObjectStore* inner() { return inner_; }
+
+  /// The hedge delay the next read would use (quantile-derived once
+  /// min_samples observed latencies accumulate, clamped to [min, max]).
+  Micros CurrentHedgeDelayMicros() const;
+
+  /// Blocks until every in-flight request (including losing hedges) has
+  /// drained. Call before reconciling obs counters against IoStats — a
+  /// loser still in flight would otherwise move physical counters after
+  /// the snapshot.
+  void Quiesce();
+
+  /// Mirrors every HedgeStats increment into `registry` under
+  /// `hedge.<name>.*`. Attach before use.
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     const std::string& name = "store");
+
+ private:
+  /// Shared state of one logical read: both attempts write private buffers
+  /// and the first SUCCESS settles the flight. shared_ptr-owned so a loser
+  /// outliving the caller's frame touches only this block.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool settled = false;      ///< A winner committed its result.
+    int outstanding = 0;       ///< Attempts not yet finished.
+    Status first_error;        ///< Primary's error (reported if all fail).
+    Status result;             ///< Winner's status.
+    Buffer winner;             ///< Winner's payload.
+    bool hedge_won = false;    ///< The settling attempt was the hedge.
+  };
+
+  using AttemptFn = std::function<Status(Buffer*)>;
+
+  /// Runs the hedged read protocol for one Get/GetRange.
+  Status HedgedRead(const AttemptFn& attempt, Buffer* out);
+
+  /// Records one observed read latency and returns the updated delay.
+  void RecordLatency(Micros latency);
+
+  void WorkerLoop();
+  void Submit(std::function<void()> task);
+
+  ObjectStore* inner_;
+  HedgeOptions options_;
+
+  // Latency sample window for the quantile derivation: a fixed-size ring of
+  // recent read latencies (wall micros). Small enough to scan on demand.
+  mutable std::mutex window_mu_;
+  std::vector<Micros> window_;
+  size_t window_next_ = 0;
+  uint64_t window_count_ = 0;
+
+  // Minimal internal worker pool. The shared ThreadPool is not reused here:
+  // hedged waits must never be blocked behind the caller's own fan-out
+  // tasks (priority inversion), so the hedging layer owns its threads.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::vector<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+
+  // In-flight accounting for Quiesce().
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  int inflight_ = 0;
+
+  HedgeStats hedge_stats_;
+  HedgeMetrics metrics_;
+};
+
+}  // namespace rottnest::objectstore
+
+#endif  // ROTTNEST_OBJECTSTORE_HEDGING_STORE_H_

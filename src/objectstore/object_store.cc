@@ -4,6 +4,10 @@
 
 namespace rottnest::objectstore {
 
+SleepFn SimulatedSleeper(SimulatedClock* clock) {
+  return [clock](Micros wait) { clock->Advance(wait); };
+}
+
 StoreMetrics ResolveStoreMetrics(obs::MetricsRegistry* registry,
                                  const std::string& name) {
   StoreMetrics m;
@@ -19,6 +23,7 @@ StoreMetrics ResolveStoreMetrics(obs::MetricsRegistry* registry,
   m.cache_hits = registry->GetCounter(p + "cache_hits");
   m.cache_misses = registry->GetCounter(p + "cache_misses");
   m.cache_evictions = registry->GetCounter(p + "cache_evictions");
+  m.cache_coalesced = registry->GetCounter(p + "coalesced");
   m.get_bytes = registry->GetHistogram(p + "get_bytes");
   return m;
 }

@@ -27,6 +27,7 @@
 
 namespace rottnest::obs {
 class Counter;
+class Gauge;
 class Histogram;
 class MetricsRegistry;
 }  // namespace rottnest::obs
@@ -56,6 +57,9 @@ struct IoStats {
   std::atomic<uint64_t> cache_hits{0};       ///< Reads served from cache.
   std::atomic<uint64_t> cache_misses{0};     ///< Reads that hit the store.
   std::atomic<uint64_t> cache_evictions{0};  ///< Entries aged out by budget.
+  /// Concurrent misses coalesced onto another client's in-flight fetch
+  /// (single-flight dedup in CachingStore); each saved one backing GET.
+  std::atomic<uint64_t> cache_coalesced{0};
   /// Resident cache payload bytes — a gauge owned by the cache, not a
   /// monotonic counter; excluded from Reset().
   std::atomic<uint64_t> cache_bytes{0};
@@ -63,7 +67,7 @@ struct IoStats {
   void Reset() {
     gets = puts = lists = deletes = heads = 0;
     bytes_read = bytes_written = 0;
-    cache_hits = cache_misses = cache_evictions = 0;
+    cache_hits = cache_misses = cache_evictions = cache_coalesced = 0;
   }
 };
 
@@ -83,6 +87,7 @@ struct StoreMetrics {
   obs::Counter* cache_hits = nullptr;
   obs::Counter* cache_misses = nullptr;
   obs::Counter* cache_evictions = nullptr;
+  obs::Counter* cache_coalesced = nullptr;
   obs::Histogram* get_bytes = nullptr;  ///< Per-GET payload distribution.
 };
 
@@ -135,6 +140,14 @@ class ObjectStore {
 /// operation fail with that status. Used by protocol crash tests.
 using FailurePoint =
     std::function<Status(const std::string& op, const std::string& key)>;
+
+/// Advances time during a wait (retry backoff, injected latency).
+/// Simulations pass SimulatedSleeper(&clock); production blocks the thread.
+using SleepFn = std::function<void(Micros)>;
+
+/// A SleepFn that advances `clock` instead of blocking — waits consume
+/// simulated time, keeping chaos tests instant and deterministic.
+SleepFn SimulatedSleeper(SimulatedClock* clock);
 
 /// In-memory object store with strong read-after-write consistency.
 ///

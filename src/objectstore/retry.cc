@@ -21,10 +21,6 @@ RetryMetrics ResolveRetryMetrics(obs::MetricsRegistry* registry,
   return m;
 }
 
-SleepFn SimulatedSleeper(SimulatedClock* clock) {
-  return [clock](Micros wait) { clock->Advance(wait); };
-}
-
 Micros RetryPolicy::BackoffFor(int retry, Random* rng) const {
   double wait = static_cast<double>(initial_backoff_micros) *
                 std::pow(multiplier, retry - 1);
@@ -37,27 +33,35 @@ Micros RetryPolicy::BackoffFor(int retry, Random* rng) const {
   return std::max<Micros>(static_cast<Micros>(wait), 1);
 }
 
-void RetryingStore::Backoff(int retry) {
+Status RetryingStore::Backoff(int retry, const Deadline& deadline) {
   Micros wait;
   {
     std::lock_guard<std::mutex> lock(rng_mu_);
     wait = policy_.BackoffFor(retry, &rng_);
   }
+  if (!deadline.infinite() && wait >= deadline.remaining_micros()) {
+    // Sleeping past the deadline cannot help — the next attempt would start
+    // already expired. Hand the remaining budget back to the caller.
+    return Status::DeadlineExceeded("retry backoff would outlive deadline");
+  }
   retry_stats_.backoff_micros.fetch_add(wait, std::memory_order_relaxed);
   obs::Add(metrics_.backoff_micros, wait);
   if (sleep_) sleep_(wait);
+  return Status::OK();
 }
 
 Status RetryingStore::RetryLoop(const std::function<Status()>& attempt) {
   retry_stats_.operations.fetch_add(1, std::memory_order_relaxed);
   obs::Increment(metrics_.operations);
+  Deadline deadline = CurrentDeadline();
   Status last;
   for (int i = 0; i < policy_.max_attempts; ++i) {
     if (i > 0) {
       retry_stats_.retries.fetch_add(1, std::memory_order_relaxed);
       obs::Increment(metrics_.retries);
-      Backoff(i);
+      ROTTNEST_RETURN_NOT_OK(Backoff(i, deadline));
     }
+    ROTTNEST_RETURN_NOT_OK(deadline.Check("retry"));
     retry_stats_.attempts.fetch_add(1, std::memory_order_relaxed);
     obs::Increment(metrics_.attempts);
     last = attempt();
@@ -105,14 +109,16 @@ Status RetryingStore::PutIfAbsent(const std::string& key, Slice data) {
     return false;  // NotFound (didn't land) or transient: keep trying.
   };
 
+  Deadline deadline = CurrentDeadline();
   bool ambiguous = false;
   Status last;
   for (int i = 0; i < policy_.max_attempts; ++i) {
     if (i > 0) {
       retry_stats_.retries.fetch_add(1, std::memory_order_relaxed);
       obs::Increment(metrics_.retries);
-      Backoff(i);
+      ROTTNEST_RETURN_NOT_OK(Backoff(i, deadline));
     }
+    ROTTNEST_RETURN_NOT_OK(deadline.Check("retry"));
     retry_stats_.attempts.fetch_add(1, std::memory_order_relaxed);
     obs::Increment(metrics_.attempts);
     last = inner_->PutIfAbsent(key, data);

@@ -27,20 +27,14 @@
 #include <string>
 
 #include "common/clock.h"
+#include "common/deadline.h"
 #include "common/random.h"
 #include "objectstore/object_store.h"
 
 namespace rottnest::objectstore {
 
-/// Advances time during a backoff wait. Simulations pass
-/// SimulatedSleeper(&clock); production would block the thread.
-using SleepFn = std::function<void(Micros)>;
-
-/// A SleepFn that advances `clock` instead of blocking — backoff consumes
-/// simulated time, keeping chaos tests instant and deterministic.
-SleepFn SimulatedSleeper(SimulatedClock* clock);
-
-/// Capped exponential backoff with deterministic jitter.
+/// Capped exponential backoff with deterministic jitter. SleepFn and
+/// SimulatedSleeper live in object_store.h (shared with latency injection).
 struct RetryPolicy {
   int max_attempts = 8;                       ///< Total tries per operation.
   Micros initial_backoff_micros = 10'000;     ///< Wait before 2nd attempt.
@@ -117,11 +111,15 @@ class RetryingStore : public ObjectStore {
 
  private:
   /// Runs `attempt` under the retry budget, waiting between tries.
-  /// Only Unavailable triggers a retry.
+  /// Only Unavailable triggers a retry. Honors the ambient operation
+  /// deadline (CurrentDeadline()): an expired deadline fails the op with
+  /// DeadlineExceeded before the next attempt, and a backoff that would
+  /// sleep past the deadline returns DeadlineExceeded instead of sleeping.
   Status RetryLoop(const std::function<Status()>& attempt);
 
-  /// Waits out the backoff before 1-based retry number `retry`.
-  void Backoff(int retry);
+  /// Waits out the backoff before 1-based retry number `retry`, unless the
+  /// wait would outlive `deadline` (then: no sleep, DeadlineExceeded).
+  Status Backoff(int retry, const Deadline& deadline);
 
   ObjectStore* inner_;
   RetryPolicy policy_;

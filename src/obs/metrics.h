@@ -139,6 +139,9 @@ inline void Increment(Counter* c) {
 inline void Record(Histogram* h, uint64_t v) {
   if (h != nullptr) h->Record(v);
 }
+inline void Set(Gauge* g, int64_t v) {
+  if (g != nullptr) g->Set(v);
+}
 
 }  // namespace rottnest::obs
 

@@ -1,0 +1,66 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+namespace rottnest::workload {
+
+uint64_t PercentileMicros(std::vector<uint64_t> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  double rank = q * static_cast<double>(samples.size() - 1);
+  size_t idx = static_cast<size_t>(std::llround(std::ceil(rank)));
+  if (idx >= samples.size()) idx = samples.size() - 1;
+  return samples[idx];
+}
+
+DriverReport RunClosedLoop(const DriverOptions& options,
+                           const RequestFn& request) {
+  DriverReport report;
+  std::mutex mu;
+  auto client_loop = [&](int client) {
+    for (int r = 0; r < options.requests_per_client; ++r) {
+      auto start = std::chrono::steady_clock::now();
+      Result<bool> outcome = request(client, r);
+      uint64_t micros = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      std::lock_guard<std::mutex> lock(mu);
+      report.latencies_micros.push_back(micros);
+      if (outcome.ok()) {
+        if (outcome.value()) {
+          ++report.partial;
+        } else {
+          ++report.ok;
+        }
+      } else if (outcome.status().IsResourceExhausted()) {
+        ++report.shed;
+      } else if (outcome.status().IsDeadlineExceeded()) {
+        ++report.deadline;
+      } else {
+        ++report.errors;
+      }
+    }
+  };
+
+  std::vector<std::thread> clients;
+  clients.reserve(options.clients);
+  for (int c = 0; c < options.clients; ++c) {
+    clients.emplace_back(client_loop, c);
+  }
+  for (std::thread& t : clients) t.join();
+
+  report.p50_micros = PercentileMicros(report.latencies_micros, 0.5);
+  report.p99_micros = PercentileMicros(report.latencies_micros, 0.99);
+  if (!report.latencies_micros.empty()) {
+    report.max_micros = *std::max_element(report.latencies_micros.begin(),
+                                          report.latencies_micros.end());
+  }
+  return report;
+}
+
+}  // namespace rottnest::workload

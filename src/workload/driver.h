@@ -1,0 +1,57 @@
+// Closed-loop multi-client driver for serving-path experiments: N client
+// threads each issue requests back to back (a new request only after the
+// previous one finished — the closed-loop model under which admission
+// control and tail-latency hedging are classically studied), wall latencies
+// and outcome classes are aggregated across clients. Used by the overload /
+// tail-latency tests and bench/tail_latency.
+#ifndef ROTTNEST_WORKLOAD_DRIVER_H_
+#define ROTTNEST_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rottnest::workload {
+
+struct DriverOptions {
+  int clients = 4;               ///< Concurrent closed-loop client threads.
+  int requests_per_client = 25;  ///< Requests each client issues in series.
+};
+
+/// Aggregated outcome of one closed-loop run. Latencies cover EVERY request
+/// (including shed ones — an instant rejection is a real, fast answer).
+struct DriverReport {
+  uint64_t ok = 0;        ///< Completed with a full result.
+  uint64_t partial = 0;   ///< Completed, but cut short (partial result).
+  uint64_t shed = 0;      ///< ResourceExhausted (admission shed).
+  uint64_t deadline = 0;  ///< DeadlineExceeded (died waiting/working).
+  uint64_t errors = 0;    ///< Any other failure.
+
+  std::vector<uint64_t> latencies_micros;  ///< Per request, arrival order.
+  uint64_t p50_micros = 0;
+  uint64_t p99_micros = 0;
+  uint64_t max_micros = 0;
+
+  uint64_t total() const { return ok + partial + shed + deadline + errors; }
+};
+
+/// One request, issued by `client` as its `request`-th call. Returns
+/// OK(false) for a full result, OK(true) for a partial one, or the error
+/// status (ResourceExhausted / DeadlineExceeded / anything else).
+using RequestFn = std::function<Result<bool>(int client, int request)>;
+
+/// Runs the closed loop and aggregates. Thread-safe aggregation; `request`
+/// is called concurrently from `options.clients` threads and must be
+/// thread-safe itself.
+DriverReport RunClosedLoop(const DriverOptions& options,
+                           const RequestFn& request);
+
+/// Nearest-rank percentile of a latency sample (q in [0,1]; copies and
+/// sorts). Returns 0 on an empty sample.
+uint64_t PercentileMicros(std::vector<uint64_t> samples, double q);
+
+}  // namespace rottnest::workload
+
+#endif  // ROTTNEST_WORKLOAD_DRIVER_H_

@@ -217,7 +217,14 @@ TEST(ChaosCycleTest, FullCycleMatchesFaultFreeRun) {
   fopts.seed = 20260806;
   fopts.transient_fault_rate = 0.1;
   fopts.ambiguous_put_rate = 0.1;
+  // Latency injection on top of the faults (simulated-time sleeper, so the
+  // run stays wall-instant): the cycle must stay byte-identical on a slow,
+  // heavy-tailed store, not just an instant one.
+  fopts.base_latency_micros = 200;
+  fopts.slow_read_rate = 0.05;
+  fopts.slow_read_latency_micros = 20'000;
   FaultInjectingStore faulty(&inner, fopts);
+  faulty.SetSleeper(SimulatedSleeper(&clock));
   RetryPolicy policy;  // 8 attempts: P(8 consecutive faults) ~ 1e-8.
   policy.initial_backoff_micros = 1000;
   policy.max_backoff_micros = 8000;
@@ -255,7 +262,11 @@ TEST(ChaosCycleTest, CachedCycleMatchesUncachedUnderChaos) {
     fopts.seed = 20260806;
     fopts.transient_fault_rate = 0.1;
     fopts.ambiguous_put_rate = 0.1;
+    fopts.base_latency_micros = 200;  // Latency chaos rides along here too.
+    fopts.slow_read_rate = 0.05;
+    fopts.slow_read_latency_micros = 20'000;
     FaultInjectingStore faulty(&inner, fopts);
+    faulty.SetSleeper(SimulatedSleeper(&clock));
     RetryPolicy policy;
     policy.initial_backoff_micros = 1000;
     policy.max_backoff_micros = 8000;

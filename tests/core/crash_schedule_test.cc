@@ -52,14 +52,30 @@ RottnestOptions Options() {
 /// One isolated universe: a fresh lake + client over a fault-injecting
 /// store. Rebuilt per crash schedule so every run starts from the same
 /// deterministic state.
+/// Latency injection stays ON during crash exploration (served through the
+/// simulated clock, so runs are wall-instant): crash recovery must be
+/// correct on a slow store, not just a fast one.
+objectstore::FaultOptions LatencyOpts() {
+  objectstore::FaultOptions fopts;
+  fopts.seed = 77;
+  fopts.base_latency_micros = 200;
+  fopts.slow_read_rate = 0.05;
+  fopts.slow_read_latency_micros = 20'000;
+  return fopts;
+}
+
 struct World {
   SimulatedClock clock;
   InMemoryObjectStore inner{&clock};
-  FaultInjectingStore store{&inner};
+  FaultInjectingStore store;
   std::unique_ptr<Table> table;
   std::unique_ptr<Rottnest> client;
 
-  World() {
+  /// Tests that do exact clock arithmetic (vacuum age boundaries) pass a
+  /// latency-free FaultOptions{}; everything else keeps the slow store.
+  explicit World(objectstore::FaultOptions fopts = LatencyOpts())
+      : store(&inner, fopts) {
+    store.SetSleeper(objectstore::SimulatedSleeper(&clock));
     table = Table::Create(&store, "lake/p", MakeSchema()).MoveValue();
     client = std::make_unique<Rottnest>(&store, table.get(), Options());
   }
@@ -220,8 +236,9 @@ TEST(VacuumBoundaryTest, ObjectExactlyAtTimeoutAgeIsDeletable) {
   // The timeout rule's boundary: an index op aborts once elapsed >= timeout,
   // so an uncommitted object whose age is EXACTLY the timeout can no longer
   // be committed — vacuum may delete it. One microsecond younger, it must
-  // survive.
-  World w;
+  // survive. Latency injection is off: the 2us age gap below is exact, and
+  // per-op injected delay would advance the clock during vacuum itself.
+  World w{objectstore::FaultOptions{}};
   w.Append(0, 40);
   ASSERT_TRUE(w.client->Index("uuid", IndexType::kTrie).ok());
 

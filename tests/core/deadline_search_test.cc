@@ -1,0 +1,281 @@
+// End-to-end tail-tolerance tests for the query path:
+//   * an expired time budget returns a STRUCTURED partial result (OK
+//     status, partial=true, cut_short populated) — never a hang, never a
+//     bare error;
+//   * an unavailable store (outage / open breaker verdict) cuts the
+//     affected index children short with NO brute-scan fallback;
+//   * CountSubstring has no partial surface: exact or error;
+//   * admission control sheds overload with typed ResourceExhausted,
+//     observed through the closed-loop multi-client driver;
+//   * concurrent deadline-expired searches are race-free (TSAN).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/rottnest.h"
+#include "objectstore/fault_injection.h"
+#include "workload/driver.h"
+
+namespace rottnest::core {
+namespace {
+
+using format::ColumnVector;
+using format::PhysicalType;
+using format::RowBatch;
+using format::Schema;
+using index::IndexType;
+using lake::Table;
+using objectstore::BrownOut;
+using objectstore::FaultInjectingStore;
+using objectstore::InMemoryObjectStore;
+using objectstore::SimulatedSleeper;
+
+Schema MakeSchema() {
+  Schema s;
+  s.columns.push_back({"uuid", PhysicalType::kFixedLenByteArray, 16});
+  s.columns.push_back({"body", PhysicalType::kByteArray, 0});
+  return s;
+}
+
+std::string UuidFor(uint64_t id) {
+  std::string u(16, '\0');
+  uint64_t hi = Mix64(id), lo = Mix64(id ^ 0xabcdef);
+  for (int i = 0; i < 8; ++i) {
+    u[i] = static_cast<char>(hi >> (56 - 8 * i));
+    u[8 + i] = static_cast<char>(lo >> (56 - 8 * i));
+  }
+  return u;
+}
+
+RottnestOptions Options() {
+  RottnestOptions options;
+  options.index_dir = "idx/t";
+  options.fm.block_size = 2048;
+  options.fm.sample_rate = 8;
+  return options;
+}
+
+/// A lake whose every store operation flows through a FaultInjectingStore,
+/// so tests can inject latency (advancing the SimulatedClock through the
+/// injected sleeper — wall-instant) and outages around the search path.
+struct World {
+  SimulatedClock clock;
+  InMemoryObjectStore mem{&clock};
+  FaultInjectingStore store{&mem};
+  std::unique_ptr<Table> table;
+
+  explicit World(bool simulated_sleep = true) {
+    if (simulated_sleep) store.SetSleeper(SimulatedSleeper(&clock));
+    format::WriterOptions w;
+    w.target_page_bytes = 2048;
+    w.target_row_group_bytes = 32 << 10;
+    table = Table::Create(&store, "lake/t", MakeSchema(), w).MoveValue();
+  }
+
+  void Append(uint64_t first_id, size_t rows) {
+    RowBatch b;
+    b.schema = MakeSchema();
+    format::FlatFixed uuids;
+    uuids.elem_size = 16;
+    ColumnVector::Strings bodies;
+    for (size_t i = 0; i < rows; ++i) {
+      uint64_t id = first_id + i;
+      std::string u = UuidFor(id);
+      uuids.Append(Slice(u));
+      bodies.push_back("row " + std::to_string(id) + " token" +
+                       std::to_string(id % 7) + " payload");
+    }
+    b.columns.emplace_back(std::move(uuids));
+    b.columns.emplace_back(std::move(bodies));
+    ASSERT_TRUE(table->Append(b).ok());
+  }
+
+  /// Two files, each indexed for uuid (trie) and body (FM).
+  void Build(Rottnest* client) {
+    for (size_t f = 0; f < 2; ++f) {
+      Append(f * 200, 200);
+      ASSERT_TRUE(client->Index("uuid", IndexType::kTrie).ok());
+      ASSERT_TRUE(client->Index("body", IndexType::kFm).ok());
+    }
+  }
+
+  /// From now on every store op costs `extra` on the (simulated) clock.
+  void SlowEverything(Micros extra) {
+    store.AddBrownOut(BrownOut{clock.NowMicros(),
+                               clock.NowMicros() + 100LL * 365 * 86'400 *
+                                   1'000'000,
+                               "", extra});
+  }
+};
+
+TEST(DeadlineSearchTest, ExpiredBudgetReturnsStructuredPartial) {
+  World w;
+  Rottnest client(&w.store, w.table.get(), Options());
+  w.Build(&client);
+  // Every store op now advances the clock 2ms; a 1ms budget is exceeded
+  // during planning I/O, so every downstream phase observes expiry.
+  w.SlowEverything(2'000);
+
+  SearchOptions opts;
+  opts.time_budget_micros = 1'000;
+  std::string u = UuidFor(42);
+  auto r = client.SearchUuid("uuid", Slice(u), 5, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();  // Partial, NOT an error.
+  EXPECT_TRUE(r.value().partial);
+  EXPECT_FALSE(r.value().cut_short.empty());
+  EXPECT_FALSE(r.value().partial_reason.empty());
+  // Cut-short children get no brute-scan fallback (the deadline is the
+  // promise not to keep going) and do not count as queried.
+  EXPECT_EQ(r.value().files_scanned, 0u);
+  EXPECT_EQ(r.value().indexes_queried, 0u);
+
+  auto sub = client.SearchSubstring("body", "token3", 100, opts);
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  EXPECT_TRUE(sub.value().partial);
+}
+
+TEST(DeadlineSearchTest, NoBudgetMeansNoDeadline) {
+  World w;
+  Rottnest client(&w.store, w.table.get(), Options());
+  w.Build(&client);
+  w.SlowEverything(2'000);  // Slow, but nobody is counting.
+
+  std::string u = UuidFor(42);
+  auto r = client.SearchUuid("uuid", Slice(u), 5);  // Default budget: none.
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r.value().partial);
+  EXPECT_TRUE(r.value().cut_short.empty());
+  ASSERT_EQ(r.value().matches.size(), 1u);
+  EXPECT_EQ(r.value().matches[0].row, 42u);
+}
+
+TEST(DeadlineSearchTest, GenerousBudgetIsAFullResult) {
+  World w;
+  Rottnest client(&w.store, w.table.get(), Options());
+  w.Build(&client);
+  w.SlowEverything(10);
+
+  SearchOptions opts;
+  opts.time_budget_micros = 60LL * 1'000'000;  // Far beyond the query cost.
+  std::string u = UuidFor(123);
+  auto r = client.SearchUuid("uuid", Slice(u), 5, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r.value().partial);
+  ASSERT_EQ(r.value().matches.size(), 1u);
+}
+
+TEST(DeadlineSearchTest, UnavailableIndexReadsCutShortNotFail) {
+  World w;
+  Rottnest client(&w.store, w.table.get(), Options());
+  w.Build(&client);
+  // Simulate an outage (or an open circuit breaker's fail-fast verdict,
+  // which is the same typed Unavailable) for index objects only — the
+  // planner's metadata reads stay healthy.
+  w.store.SetFailurePoint([](const std::string& op, const std::string& key) {
+    bool read = op == "get" || op == "head";
+    if (read && key.size() >= 6 &&
+        key.compare(key.size() - 6, 6, ".index") == 0) {
+      return Status::Unavailable("circuit breaker open");
+    }
+    return Status::OK();
+  });
+
+  std::string u = UuidFor(7);
+  auto r = client.SearchUuid("uuid", Slice(u), 5);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().partial);
+  EXPECT_EQ(r.value().cut_short.size(), 2u);  // Both trie index children.
+  // UNLIKE corrupt-index degradation there is no brute-scan fallback:
+  // unavailability is (possibly) transient, and scanning every covered
+  // file would turn one slow store into a thundering herd.
+  EXPECT_EQ(r.value().files_scanned, 0u);
+  EXPECT_EQ(r.value().indexes_degraded, 0u);
+  EXPECT_EQ(r.value().indexes_queried, 0u);
+}
+
+TEST(DeadlineSearchTest, CountSubstringIsExactOrError) {
+  World w;
+  Rottnest client(&w.store, w.table.get(), Options());
+  w.Build(&client);
+  auto expected = client.CountSubstring("body", "token5");
+  ASSERT_TRUE(expected.ok());
+  ASSERT_GT(expected.value(), 0u);
+
+  // A count has no partial-result surface, so the budget is deliberately
+  // ignored: the same exact answer comes back even when searches would
+  // have been cut short.
+  w.SlowEverything(2'000);
+  SearchOptions opts;
+  opts.time_budget_micros = 1'000;
+  auto counted = client.CountSubstring("body", "token5", opts);
+  ASSERT_TRUE(counted.ok()) << counted.status().ToString();
+  EXPECT_EQ(counted.value(), expected.value());
+}
+
+TEST(DeadlineSearchTest, AdmissionShedsOverloadThroughClosedLoop) {
+  // REAL sleeper here: searches must occupy wall time so closed-loop
+  // clients genuinely contend for the single slot.
+  World w(/*simulated_sleep=*/false);
+  RottnestOptions ropts = Options();
+  ropts.max_concurrent_searches = 1;
+  ropts.max_queued_searches = 0;  // No waiting room: contention sheds.
+  Rottnest client(&w.store, w.table.get(), ropts);
+  w.Build(&client);
+  w.SlowEverything(2'000);  // ~2ms of real wall per store op.
+
+  workload::DriverOptions dopts;
+  dopts.clients = 4;
+  dopts.requests_per_client = 4;
+  workload::DriverReport report =
+      workload::RunClosedLoop(dopts, [&](int, int) -> Result<bool> {
+        std::string u = UuidFor(42);
+        auto r = client.SearchUuid("uuid", Slice(u), 5);
+        ROTTNEST_RETURN_NOT_OK(r.status());
+        return r.value().partial;
+      });
+
+  EXPECT_EQ(report.total(), 16u);
+  EXPECT_EQ(report.errors, 0u);  // Sheds are typed, never generic errors.
+  EXPECT_GE(report.ok, 1u);      // The slot holder completes normally.
+  EXPECT_GE(report.shed, 1u);    // Contenders are refused, instantly.
+  const AdmissionStats& stats = client.admission()->admission_stats();
+  EXPECT_EQ(stats.shed_queue_full.load(), report.shed);
+  EXPECT_EQ(stats.admitted.load(), report.ok + report.partial);
+  // A shed answer is cheap: it must not cost anything like a search.
+  EXPECT_EQ(client.admission()->running(), 0);
+}
+
+// TSAN: deadline-expired fan-outs from many threads at once. The pool
+// tasks observe cancellation cooperatively; losers must leave no detached
+// work touching freed per-query state (results vector, trace, statuses).
+TEST(DeadlineSearchTest, ConcurrentExpiredSearchesAreRaceFree) {
+  World w;
+  Rottnest client(&w.store, w.table.get(), Options());
+  w.Build(&client);
+  w.SlowEverything(2'000);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 6; ++i) {
+        SearchOptions opts;
+        // Alternate expired and unlimited budgets so cut-short and full
+        // queries interleave on the shared pool.
+        opts.time_budget_micros = (i % 2 == 0) ? 1'000 : 0;
+        std::string u = UuidFor(static_cast<uint64_t>(t * 100 + i));
+        auto r = client.SearchUuid("uuid", Slice(u), 5, opts);
+        if (!r.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace rottnest::core

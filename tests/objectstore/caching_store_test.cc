@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -245,6 +247,73 @@ TEST_F(CachingStoreTest, ConcurrentReadersUnderEvictionPressure) {
                 cache.stats().cache_misses.load(),
             4u * 400u * 2u);
   EXPECT_LE(cache.ResidentBytes(), opts.capacity_bytes);
+}
+
+TEST_F(CachingStoreTest, ConcurrentMissesOnOneKeyCoalesceToOneFetch) {
+  // Single-flight dedup: N readers missing the SAME key at once must cost
+  // ONE physical GET — the leader fetches, followers wait on the flight
+  // and copy its result. The inner fetch is artificially slowed so every
+  // follower provably arrives while the leader is still in flight.
+  PutObject("hot", 256);
+  FaultInjectingStore faulty(&inner_);
+  faulty.SetFailurePoint([](const std::string& op, const std::string&) {
+    if (op == "get") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    return Status::OK();
+  });
+  CachingStore cache(&faulty, {});
+
+  constexpr int kReaders = 8;
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      Buffer out;
+      if (!cache.Get("hot", &out).ok() || out.size() != 256u) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(inner_.stats().gets.load(), 1u);  // ONE physical fetch.
+  EXPECT_EQ(cache.stats().cache_coalesced.load(), kReaders - 1u);
+  EXPECT_EQ(cache.stats().cache_misses.load(), 1u);  // The leader's.
+  // A later read is a plain hit: the flight left a normal cache entry.
+  Buffer out;
+  ASSERT_TRUE(cache.Get("hot", &out).ok());
+  EXPECT_EQ(cache.stats().cache_hits.load(), 1u);
+}
+
+TEST_F(CachingStoreTest, CoalescedFollowersShareTheLeadersError) {
+  // When the leader's fetch fails, followers report the SAME error without
+  // retrying the store themselves (no retry stampede), and nothing is
+  // cached.
+  PutObject("hot", 256);
+  FaultInjectingStore faulty(&inner_);
+  faulty.SetFailurePoint([](const std::string& op, const std::string&) {
+    if (op != "get") return Status::OK();
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    return Status::Unavailable("injected");
+  });
+  CachingStore cache(&faulty, {});
+
+  constexpr int kReaders = 4;
+  std::vector<std::thread> readers;
+  std::atomic<int> unavailable{0};
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      Buffer out;
+      if (cache.Get("hot", &out).IsUnavailable()) unavailable.fetch_add(1);
+    });
+  }
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(unavailable.load(), kReaders);
+  EXPECT_EQ(faulty.op_count(), 1u);  // One attempt served them all.
+  EXPECT_EQ(cache.EntryCount(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,219 @@
+#include "objectstore/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "objectstore/fault_injection.h"
+
+namespace rottnest::objectstore {
+namespace {
+
+Buffer Bytes(const std::string& s) { return Buffer(s.begin(), s.end()); }
+
+Status Unavail() { return Status::Unavailable("backend down"); }
+
+class CircuitBreakerTest : public ::testing::Test {
+ protected:
+  /// Admits and records `n` outcomes with the given status.
+  void Feed(CircuitBreaker* b, int n, const Status& s, Micros latency = 0) {
+    for (int i = 0; i < n; ++i) {
+      bool probe = false;
+      ASSERT_TRUE(b->Admit(&probe).ok());
+      b->Record(s, latency, probe);
+    }
+  }
+
+  SimulatedClock clock_;
+};
+
+TEST_F(CircuitBreakerTest, StaysClosedBelowMinSamples) {
+  BreakerOptions opts;
+  opts.min_samples = 16;
+  CircuitBreaker breaker(&clock_, opts);
+  // 100% failures, but fewer than min_samples: a cold start, not an
+  // incident.
+  Feed(&breaker, 15, Unavail());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.breaker_stats().opened.load(), 0u);
+}
+
+TEST_F(CircuitBreakerTest, TripsAtFailureThreshold) {
+  BreakerOptions opts;
+  opts.min_samples = 16;
+  opts.failure_threshold = 0.5;
+  CircuitBreaker breaker(&clock_, opts);
+  Feed(&breaker, 8, Status::OK());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  Feed(&breaker, 8, Unavail());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.breaker_stats().opened.load(), 1u);
+}
+
+TEST_F(CircuitBreakerTest, OpenFailsFastWithTypedStatus) {
+  BreakerOptions opts;
+  opts.min_samples = 4;
+  CircuitBreaker breaker(&clock_, opts);
+  Feed(&breaker, 4, Unavail());
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  bool probe = false;
+  Status s = breaker.Admit(&probe);
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_TRUE(IsCircuitOpen(s));
+  // A genuine store error is NOT the breaker verdict.
+  EXPECT_FALSE(IsCircuitOpen(Unavail()));
+  EXPECT_EQ(breaker.breaker_stats().fast_failures.load(), 1u);
+}
+
+TEST_F(CircuitBreakerTest, CooldownAdmitsSingleProbe) {
+  BreakerOptions opts;
+  opts.min_samples = 4;
+  opts.cooldown_micros = 1'000'000;
+  CircuitBreaker breaker(&clock_, opts);
+  Feed(&breaker, 4, Unavail());
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  clock_.Advance(999'999);
+  bool probe = false;
+  EXPECT_TRUE(IsCircuitOpen(breaker.Admit(&probe)));  // Not yet.
+
+  clock_.Advance(1);
+  ASSERT_TRUE(breaker.Admit(&probe).ok());
+  EXPECT_TRUE(probe);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  // Only ONE probe flies at a time; a second concurrent request fast-fails.
+  bool probe2 = false;
+  EXPECT_TRUE(IsCircuitOpen(breaker.Admit(&probe2)));
+  breaker.Record(Status::OK(), 0, /*was_probe=*/true);
+  EXPECT_EQ(breaker.breaker_stats().probes.load(), 1u);
+}
+
+TEST_F(CircuitBreakerTest, ProbeFailureReopens) {
+  BreakerOptions opts;
+  opts.min_samples = 4;
+  opts.cooldown_micros = 1'000'000;
+  CircuitBreaker breaker(&clock_, opts);
+  Feed(&breaker, 4, Unavail());
+  clock_.Advance(1'000'000);
+  bool probe = false;
+  ASSERT_TRUE(breaker.Admit(&probe).ok());
+  ASSERT_TRUE(probe);
+  breaker.Record(Unavail(), 0, /*was_probe=*/true);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.breaker_stats().opened.load(), 2u);
+  // The cooldown restarted: still refusing until another full cooldown.
+  clock_.Advance(999'999);
+  EXPECT_TRUE(IsCircuitOpen(breaker.Admit(&probe)));
+}
+
+TEST_F(CircuitBreakerTest, ConsecutiveProbeSuccessesReclose) {
+  BreakerOptions opts;
+  opts.min_samples = 4;
+  opts.cooldown_micros = 1'000'000;
+  opts.half_open_probes = 3;
+  CircuitBreaker breaker(&clock_, opts);
+  Feed(&breaker, 4, Unavail());
+  clock_.Advance(1'000'000);
+  for (int i = 0; i < 3; ++i) {
+    bool probe = false;
+    ASSERT_TRUE(breaker.Admit(&probe).ok());
+    ASSERT_TRUE(probe);
+    breaker.Record(Status::OK(), 0, /*was_probe=*/true);
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.breaker_stats().reclosed.load(), 1u);
+  // The ring was reset on reclose: the old failures cannot instantly
+  // re-trip the breaker.
+  Feed(&breaker, 3, Status::OK());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST_F(CircuitBreakerTest, DeadlineExceededIsNotAFailure) {
+  BreakerOptions opts;
+  opts.min_samples = 4;
+  CircuitBreaker breaker(&clock_, opts);
+  // Callers' budgets expiring says nothing about the store's health.
+  Feed(&breaker, 32, Status::DeadlineExceeded("caller budget"));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.breaker_stats().failures_observed.load(), 0u);
+}
+
+TEST_F(CircuitBreakerTest, SlowSuccessesCountWhenLatencyThresholdSet) {
+  BreakerOptions opts;
+  opts.min_samples = 4;
+  opts.latency_threshold_micros = 10'000;
+  CircuitBreaker breaker(&clock_, opts);
+  // Successful but slower than the threshold: a brown-out, which the
+  // failure-rate machinery alone would never see.
+  Feed(&breaker, 4, Status::OK(), /*latency=*/50'000);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST_F(CircuitBreakerTest, DisabledIsTransparent) {
+  BreakerOptions opts;
+  opts.enabled = false;
+  opts.min_samples = 1;
+  CircuitBreaker breaker(&clock_, opts);
+  Feed(&breaker, 64, Unavail());
+  bool probe = false;
+  EXPECT_TRUE(breaker.Admit(&probe).ok());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST_F(CircuitBreakerTest, MetricsMirrorTransitions) {
+  BreakerOptions opts;
+  opts.min_samples = 4;
+  CircuitBreaker breaker(&clock_, opts);
+  obs::MetricsRegistry registry;
+  breaker.AttachMetrics(&registry, "meta");
+  Feed(&breaker, 4, Unavail());
+  EXPECT_EQ(registry.GetCounter("breaker.meta.opened")->value(), 1u);
+  EXPECT_EQ(registry.GetGauge("breaker.meta.state")->value(), 2);  // Open.
+  bool probe = false;
+  (void)breaker.Admit(&probe);
+  EXPECT_EQ(registry.GetCounter("breaker.meta.fast_failures")->value(), 1u);
+}
+
+// End-to-end: BreakerStore over a FaultInjectingStore. Sustained injected
+// faults trip the breaker; subsequent ops fast-fail WITHOUT reaching the
+// inner store; recovery (faults stop + cooldown) re-closes it.
+TEST_F(CircuitBreakerTest, BreakerStoreEndToEnd) {
+  InMemoryObjectStore mem(&clock_);
+  FaultOptions fopts;
+  fopts.seed = 7;
+  FaultInjectingStore faulty(&mem, fopts);
+  BreakerOptions bopts;
+  bopts.min_samples = 8;
+  bopts.failure_threshold = 0.5;
+  bopts.cooldown_micros = 1'000'000;
+  bopts.half_open_probes = 1;
+  BreakerStore store(&faulty, bopts, "e2e");
+  ASSERT_TRUE(store.Put("k", Slice(Bytes("v"))).ok());
+
+  // Make every op fail and hammer until the breaker opens.
+  faulty.SetFailurePoint([](const std::string&, const std::string&) {
+    return Status::Unavailable("injected outage");
+  });
+  Buffer out;
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(store.Get("k", &out).ok());
+  ASSERT_EQ(store.breaker().state(), CircuitBreaker::State::kOpen);
+
+  // While open, the inner store is never touched.
+  uint64_t inner_ops_before = faulty.op_count();
+  Status s = store.Get("k", &out);
+  EXPECT_TRUE(IsCircuitOpen(s));
+  EXPECT_EQ(faulty.op_count(), inner_ops_before);
+
+  // Recovery: faults stop, cooldown passes, one good probe re-closes.
+  faulty.SetFailurePoint(nullptr);
+  clock_.Advance(1'000'000);
+  ASSERT_TRUE(store.Get("k", &out).ok());
+  EXPECT_EQ(out, Bytes("v"));
+  EXPECT_EQ(store.breaker().state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(store.breaker().breaker_stats().reclosed.load(), 1u);
+}
+
+}  // namespace
+}  // namespace rottnest::objectstore

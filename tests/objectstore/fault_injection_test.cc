@@ -15,6 +15,9 @@ class FaultInjectionTest : public ::testing::Test {
  protected:
   SimulatedClock clock_;
   InMemoryObjectStore inner_{&clock_};
+  /// Per-run slow-read patterns (a member so ASSERT-bearing helper lambdas
+  /// can stay void-returning).
+  std::vector<std::vector<bool>> slow_patterns_;
 };
 
 TEST_F(FaultInjectionTest, NoFaultsIsTransparent) {
@@ -298,6 +301,137 @@ TEST_F(FaultInjectionTest, WorksOverLocalDiskStore) {
     EXPECT_TRUE(disk.Get("k", &out).IsNotFound());
   }
   std::filesystem::remove_all(root);
+}
+
+TEST_F(FaultInjectionTest, BaseLatencyAdvancesTheSimulatedClock) {
+  FaultOptions opts;
+  opts.base_latency_micros = 500;
+  FaultInjectingStore store(&inner_, opts);
+  store.SetSleeper(SimulatedSleeper(&clock_));
+  Micros before = clock_.NowMicros();
+  ASSERT_TRUE(store.Put("k", Slice(Bytes("v"))).ok());
+  Buffer out;
+  ASSERT_TRUE(store.Get("k", &out).ok());
+  EXPECT_EQ(clock_.NowMicros() - before, 1000);  // Two ops, 500 each.
+  EXPECT_EQ(store.fault_stats().latency_injected_micros.load(), 1000u);
+}
+
+TEST_F(FaultInjectionTest, SlowReadTailIsDeterministicPerSeed) {
+  auto run = [this](uint64_t seed) {
+    SimulatedClock clock;
+    InMemoryObjectStore inner(&clock);
+    FaultOptions opts;
+    opts.seed = seed;
+    opts.slow_read_rate = 0.25;
+    opts.slow_read_latency_micros = 10'000;
+    FaultInjectingStore store(&inner, opts);
+    store.SetSleeper(SimulatedSleeper(&clock));
+    ASSERT_TRUE(store.Put("k", Slice(Bytes("v"))).ok());
+    std::vector<bool> slow;
+    for (int i = 0; i < 64; ++i) {
+      uint64_t before = store.fault_stats().slow_reads_injected.load();
+      Buffer out;
+      ASSERT_TRUE(store.Get("k", &out).ok());
+      slow.push_back(store.fault_stats().slow_reads_injected.load() >
+                     before);
+    }
+    slow_patterns_.push_back(std::move(slow));
+  };
+  run(7);
+  run(7);
+  run(8);
+  ASSERT_EQ(slow_patterns_.size(), 3u);
+  EXPECT_EQ(slow_patterns_[0], slow_patterns_[1]);  // Same seed, same tail.
+  EXPECT_NE(slow_patterns_[0], slow_patterns_[2]);  // Seeds differ.
+  // Roughly a quarter of reads drew the tail (loose: just "some, not all").
+  size_t count = 0;
+  for (bool b : slow_patterns_[0]) count += b;
+  EXPECT_GT(count, 4u);
+  EXPECT_LT(count, 32u);
+}
+
+TEST_F(FaultInjectionTest, SlowTailOnlyAppliesToReads) {
+  FaultOptions opts;
+  opts.seed = 3;
+  opts.slow_read_rate = 1.0;  // EVERY read is slow...
+  opts.slow_read_latency_micros = 1'000;
+  FaultInjectingStore store(&inner_, opts);
+  store.SetSleeper(SimulatedSleeper(&clock_));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.Put("k" + std::to_string(i), Slice(Bytes("v"))).ok());
+  }
+  EXPECT_EQ(store.fault_stats().slow_reads_injected.load(), 0u);
+  EXPECT_EQ(clock_.NowMicros(), 0);  // ...but writes never draw the tail.
+  Buffer out;
+  ASSERT_TRUE(store.Get("k0", &out).ok());
+  EXPECT_EQ(store.fault_stats().slow_reads_injected.load(), 1u);
+  EXPECT_EQ(clock_.NowMicros(), 1'000);
+}
+
+TEST_F(FaultInjectionTest, BrownOutWindowSlowsMatchingOpsOnly) {
+  FaultInjectingStore store(&inner_);
+  store.SetSleeper(SimulatedSleeper(&clock_));
+  ASSERT_TRUE(store.Put("idx/a", Slice(Bytes("v"))).ok());
+  ASSERT_TRUE(store.Put("data/b", Slice(Bytes("v"))).ok());
+  // Index keys brown out between t=1000 and t=2000 (store clock).
+  store.AddBrownOut(BrownOut{1'000, 2'000, "idx/", 300});
+
+  Buffer out;
+  // t=0: before the window — full speed.
+  ASSERT_TRUE(store.Get("idx/a", &out).ok());
+  EXPECT_EQ(clock_.NowMicros(), 0);
+
+  clock_.SetMicros(1'000);
+  // Inside the window: matching keys pay, non-matching keys do not.
+  ASSERT_TRUE(store.Get("idx/a", &out).ok());
+  EXPECT_EQ(clock_.NowMicros(), 1'300);
+  ASSERT_TRUE(store.Get("data/b", &out).ok());
+  EXPECT_EQ(clock_.NowMicros(), 1'300);
+  EXPECT_EQ(store.fault_stats().brownout_ops.load(), 1u);
+
+  clock_.SetMicros(2'000);  // End is exclusive: the brown-out has lifted.
+  ASSERT_TRUE(store.Get("idx/a", &out).ok());
+  EXPECT_EQ(clock_.NowMicros(), 2'000);
+  EXPECT_EQ(store.fault_stats().brownout_ops.load(), 1u);
+}
+
+TEST_F(FaultInjectionTest, CrashRefusalsSkipInjectedLatency) {
+  FaultOptions opts;
+  opts.base_latency_micros = 500;
+  FaultInjectingStore store(&inner_, opts);
+  store.SetSleeper(SimulatedSleeper(&clock_));
+  store.SetCrashAtOp(0, CrashMode::kBeforeOp);
+  Buffer out;
+  EXPECT_FALSE(store.Get("k", &out).ok());  // Crashed.
+  EXPECT_FALSE(store.Get("k", &out).ok());  // Dead process stays dead.
+  // A dead store answers instantly — refusals model a closed socket, not a
+  // slow disk.
+  EXPECT_EQ(clock_.NowMicros(), 0);
+  EXPECT_EQ(store.fault_stats().latency_injected_micros.load(), 0u);
+}
+
+TEST_F(FaultInjectionTest, LatencyRatesDoNotPerturbOldSeedSchedules) {
+  // PRNG discipline: latency draws happen only when slow_read_rate > 0, so
+  // a fault schedule recorded under an old seed reproduces exactly when
+  // latency knobs stay off — bisecting a chaos failure cannot be derailed
+  // by unrelated new features.
+  auto fault_ops = [this](FaultOptions opts) {
+    SimulatedClock clock;
+    InMemoryObjectStore inner(&clock);
+    opts.seed = 1234;
+    opts.transient_fault_rate = 0.3;
+    FaultInjectingStore store(&inner, opts);
+    store.SetSleeper(SimulatedSleeper(&clock));
+    std::vector<bool> failed;
+    for (int i = 0; i < 32; ++i) {
+      failed.push_back(!store.Put("k", Slice(Bytes("v"))).ok());
+    }
+    return failed;
+  };
+  FaultOptions plain;
+  FaultOptions with_base_latency;
+  with_base_latency.base_latency_micros = 700;  // No PRNG draw involved.
+  EXPECT_EQ(fault_ops(plain), fault_ops(with_base_latency));
 }
 
 TEST_F(FaultInjectionTest, GetRangeAndListAreInterceptedToo) {

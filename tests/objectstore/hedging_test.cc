@@ -1,0 +1,263 @@
+#include "objectstore/hedging_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rottnest::objectstore {
+namespace {
+
+Buffer Bytes(const std::string& s) { return Buffer(s.begin(), s.end()); }
+
+/// Inner store whose Get/GetRange sleeps for a per-call wall latency —
+/// hedging reacts to physical slowness, so these tests use real (small)
+/// sleeps. `latency_for(n)` maps the 0-based read ordinal to its delay.
+class LatencyStore : public ObjectStore {
+ public:
+  explicit LatencyStore(ObjectStore* inner) : inner_(inner) {}
+
+  std::function<Micros(int)> latency_for;
+
+  Status Put(const std::string& key, Slice data) override {
+    return inner_->Put(key, data);
+  }
+  Status PutIfAbsent(const std::string& key, Slice data) override {
+    return inner_->PutIfAbsent(key, data);
+  }
+  Status Get(const std::string& key, Buffer* out) override {
+    SleepForCall();
+    return inner_->Get(key, out);
+  }
+  Status GetRange(const std::string& key, uint64_t offset, uint64_t length,
+                  Buffer* out) override {
+    SleepForCall();
+    return inner_->GetRange(key, offset, length, out);
+  }
+  Status Head(const std::string& key, ObjectMeta* out) override {
+    return inner_->Head(key, out);
+  }
+  Status List(const std::string& prefix,
+              std::vector<ObjectMeta>* out) override {
+    return inner_->List(prefix, out);
+  }
+  Status Delete(const std::string& key) override {
+    return inner_->Delete(key);
+  }
+  const Clock& clock() const override { return inner_->clock(); }
+  const IoStats& stats() const override { return inner_->stats(); }
+
+  int reads() const { return reads_.load(); }
+
+ private:
+  void SleepForCall() {
+    int n = reads_.fetch_add(1);
+    Micros d = latency_for ? latency_for(n) : 0;
+    if (d > 0) std::this_thread::sleep_for(std::chrono::microseconds(d));
+  }
+
+  ObjectStore* inner_;
+  std::atomic<int> reads_{0};
+};
+
+class HedgingTest : public ::testing::Test {
+ protected:
+  SimulatedClock clock_;
+  InMemoryObjectStore inner_{&clock_};
+  LatencyStore slow_{&inner_};
+};
+
+TEST_F(HedgingTest, DisabledIsTransparent) {
+  HedgeOptions opts;
+  opts.enabled = false;
+  HedgingStore store(&slow_, opts);
+  ASSERT_TRUE(store.Put("k", Slice(Bytes("v"))).ok());
+  Buffer out;
+  ASSERT_TRUE(store.Get("k", &out).ok());
+  EXPECT_EQ(out, Bytes("v"));
+  EXPECT_EQ(store.hedge_stats().reads.load(), 0u);
+  EXPECT_EQ(store.hedge_stats().hedges_issued.load(), 0u);
+}
+
+TEST_F(HedgingTest, FastReadDoesNotHedge) {
+  HedgeOptions opts;
+  opts.initial_delay_micros = 200'000;  // Far beyond an in-memory read.
+  opts.threads = 2;
+  HedgingStore store(&slow_, opts);
+  ASSERT_TRUE(store.Put("k", Slice(Bytes("v"))).ok());
+  Buffer out;
+  ASSERT_TRUE(store.Get("k", &out).ok());
+  EXPECT_EQ(out, Bytes("v"));
+  store.Quiesce();
+  EXPECT_EQ(store.hedge_stats().reads.load(), 1u);
+  EXPECT_EQ(store.hedge_stats().hedges_issued.load(), 0u);
+  EXPECT_EQ(slow_.reads(), 1);
+}
+
+TEST_F(HedgingTest, SlowPrimaryHedgedAndHedgeWins) {
+  // Primary sleeps far beyond the hedge delay; the hedge is instant.
+  slow_.latency_for = [](int n) -> Micros { return n == 0 ? 150'000 : 0; };
+  HedgeOptions opts;
+  opts.initial_delay_micros = 5'000;
+  opts.threads = 2;
+  HedgingStore store(&slow_, opts);
+  ASSERT_TRUE(store.Put("k", Slice(Bytes("v"))).ok());
+  Buffer out;
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(store.Get("k", &out).ok());
+  auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  EXPECT_EQ(out, Bytes("v"));
+  // The hedged read returns well before the 150ms primary completes.
+  EXPECT_LT(wall, 100'000);
+  store.Quiesce();  // Drain the losing primary before checking counters.
+  EXPECT_EQ(store.hedge_stats().reads.load(), 1u);
+  EXPECT_EQ(store.hedge_stats().hedges_issued.load(), 1u);
+  EXPECT_EQ(store.hedge_stats().hedges_won.load(), 1u);
+  // The request-cost invariant: physical reads == logical reads + hedges.
+  EXPECT_EQ(slow_.reads(),
+            static_cast<int>(store.hedge_stats().reads.load() +
+                             store.hedge_stats().hedges_issued.load()));
+}
+
+TEST_F(HedgingTest, PrimaryWinsWhenHedgeIsSlower) {
+  // Primary sleeps past the hedge delay but finishes long before the hedge.
+  slow_.latency_for = [](int n) -> Micros {
+    return n == 0 ? 30'000 : 300'000;
+  };
+  HedgeOptions opts;
+  opts.initial_delay_micros = 5'000;
+  opts.threads = 2;
+  HedgingStore store(&slow_, opts);
+  ASSERT_TRUE(store.Put("k", Slice(Bytes("v"))).ok());
+  Buffer out;
+  ASSERT_TRUE(store.Get("k", &out).ok());
+  EXPECT_EQ(out, Bytes("v"));
+  store.Quiesce();
+  EXPECT_EQ(store.hedge_stats().hedges_issued.load(), 1u);
+  EXPECT_EQ(store.hedge_stats().primary_won_after_hedge.load(), 1u);
+  EXPECT_EQ(store.hedge_stats().hedges_won.load(), 0u);
+}
+
+TEST_F(HedgingTest, BothAttemptsFailingReportsError) {
+  slow_.latency_for = [](int) -> Micros { return 2'000; };
+  HedgeOptions opts;
+  opts.initial_delay_micros = 100;  // Hedge almost immediately.
+  opts.threads = 2;
+  HedgingStore store(&slow_, opts);
+  Buffer out;
+  Status s = store.Get("missing", &out);  // Key does not exist.
+  EXPECT_TRUE(s.IsNotFound());
+  store.Quiesce();
+  EXPECT_EQ(store.hedge_stats().failures.load(), 1u);
+  EXPECT_EQ(store.hedge_stats().hedges_won.load(), 0u);
+}
+
+TEST_F(HedgingTest, HedgeDelayDerivesFromObservedQuantile) {
+  HedgeOptions opts;
+  opts.initial_delay_micros = 80'000;
+  opts.min_samples = 8;
+  opts.min_delay_micros = 2'000;
+  opts.threads = 2;
+  HedgingStore store(&slow_, opts);
+  ASSERT_TRUE(store.Put("k", Slice(Bytes("v"))).ok());
+  // Before any samples: the configured initial delay.
+  EXPECT_EQ(store.CurrentHedgeDelayMicros(), 80'000);
+  Buffer out;
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(store.Get("k", &out).ok());
+  store.Quiesce();
+  // In-memory reads are ~instant, so the p95 clamps up to the floor —
+  // far below the initial delay.
+  EXPECT_EQ(store.CurrentHedgeDelayMicros(), 2'000);
+}
+
+TEST_F(HedgingTest, MetricsMirrorHedgeStats) {
+  slow_.latency_for = [](int n) -> Micros { return n == 0 ? 150'000 : 0; };
+  HedgeOptions opts;
+  opts.initial_delay_micros = 5'000;
+  opts.threads = 2;
+  HedgingStore store(&slow_, opts);
+  obs::MetricsRegistry registry;
+  store.AttachMetrics(&registry, "test");
+  ASSERT_TRUE(store.Put("k", Slice(Bytes("v"))).ok());
+  Buffer out;
+  ASSERT_TRUE(store.Get("k", &out).ok());
+  store.Quiesce();
+  EXPECT_EQ(registry.GetCounter("hedge.test.reads")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("hedge.test.hedges_issued")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("hedge.test.hedges_won")->value(), 1u);
+}
+
+TEST_F(HedgingTest, WritesAndMetadataPassThrough) {
+  HedgeOptions opts;
+  opts.threads = 2;
+  HedgingStore store(&slow_, opts);
+  ASSERT_TRUE(store.Put("k", Slice(Bytes("v"))).ok());
+  ObjectMeta meta;
+  ASSERT_TRUE(store.Head("k", &meta).ok());
+  std::vector<ObjectMeta> listing;
+  ASSERT_TRUE(store.List("", &listing).ok());
+  EXPECT_EQ(listing.size(), 1u);
+  ASSERT_TRUE(store.Delete("k").ok());
+  EXPECT_EQ(store.hedge_stats().reads.load(), 0u);  // None were hedgeable.
+}
+
+// TSAN cancellation hygiene: a losing hedge outlives the caller's frame
+// (the key string and output buffer die immediately after Get returns);
+// the loser must only touch its shared_ptr-owned flight state. Run under
+// `ctest -L tail` in the TSAN job.
+TEST_F(HedgingTest, LosingAttemptNeverTouchesCallerState) {
+  slow_.latency_for = [](int n) -> Micros {
+    return n % 2 == 0 ? 20'000 : 0;  // Every primary slow, every hedge fast.
+  };
+  HedgeOptions opts;
+  opts.initial_delay_micros = 1'000;
+  opts.threads = 4;
+  HedgingStore store(&slow_, opts);
+  ASSERT_TRUE(store.Put("shared", Slice(Bytes("v"))).ok());
+  for (int i = 0; i < 8; ++i) {
+    // Caller-owned state scoped tighter than the losing primary's lifetime.
+    std::string key = "shared";
+    Buffer out;
+    ASSERT_TRUE(store.Get(key, &out).ok());
+    EXPECT_EQ(out, Bytes("v"));
+  }
+  store.Quiesce();
+  EXPECT_EQ(store.hedge_stats().reads.load(), 8u);
+}
+
+// TSAN: concurrent hedged readers against one store — flights, the latency
+// window, and the worker queue are all shared mutable state.
+TEST_F(HedgingTest, ConcurrentHedgedReadsAreClean) {
+  slow_.latency_for = [](int n) -> Micros { return (n % 3) * 2'000; };
+  HedgeOptions opts;
+  opts.initial_delay_micros = 1'000;
+  opts.threads = 4;
+  HedgingStore store(&slow_, opts);
+  ASSERT_TRUE(store.Put("k", Slice(Bytes("v"))).ok());
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) {
+        Buffer out;
+        if (!store.Get("k", &out).ok() || !(out == Bytes("v"))) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  store.Quiesce();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(store.hedge_stats().reads.load(), 40u);
+}
+
+}  // namespace
+}  // namespace rottnest::objectstore

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.h"
+#include "objectstore/hedging_store.h"
 #include "objectstore/read_batch.h"
 
 namespace rottnest::objectstore {
@@ -227,6 +228,36 @@ TEST(IoTraceMergeTest, ChildIsFlaggedAfterMergeAndResetClears) {
   parent.MergeParallel({&child});
   EXPECT_EQ(parent.total_gets(), 2u);
   EXPECT_EQ(parent.total_bytes(), 96u);
+}
+
+TEST(IoTraceMergeTest, HedgedReadsStayLogicalInTheTrace) {
+  // The IoTrace is a LOGICAL access-pattern record: a hedged GET is one
+  // traced request no matter how many physical attempts flew. The hedge
+  // loser finishes after the caller already recorded (and possibly merged)
+  // its trace — it must have no path back into any IoTrace, or the
+  // merged-once contract above would be violated from another thread.
+  SimulatedClock clock;
+  InMemoryObjectStore inner(&clock);
+  HedgeOptions hopts;
+  hopts.initial_delay_micros = 0;  // Hedge EVERY read immediately.
+  hopts.threads = 2;
+  HedgingStore store(&inner, hopts);
+  ASSERT_TRUE(store.Put("k", Slice(Bytes("v"))).ok());
+
+  IoTrace parent, child;
+  for (int i = 0; i < 6; ++i) {
+    Buffer out;
+    ASSERT_TRUE(store.Get("k", &out).ok());
+    child.RecordGet(out.size());  // One LOGICAL record per caller-side Get.
+  }
+  parent.MergeParallel({&child});
+  EXPECT_TRUE(child.merged_into_parent());
+  store.Quiesce();  // All losers drained; none touched either trace.
+  EXPECT_EQ(parent.total_gets(), 6u);
+  // The physical amplification is visible ONLY in the hedge counters:
+  // physical gets == traced (logical) gets + hedges issued.
+  EXPECT_EQ(inner.stats().gets.load(),
+            parent.total_gets() + store.hedge_stats().hedges_issued.load());
 }
 
 TEST(ThreadPoolTest, ParallelForRunsAllIterations) {

@@ -196,5 +196,56 @@ TEST_F(RetryTest, HighFaultRateStillCompletesEventually) {
   EXPECT_GT(store.retry_stats().retries.load(), 0u);
 }
 
+TEST_F(RetryTest, BackoffNeverSleepsPastTheDeadline) {
+  // Every attempt fails; the operation deadline is smaller than the retry
+  // budget's total backoff, so the loop must stop EARLY with
+  // DeadlineExceeded — and the clock must never pass the deadline (the
+  // whole point: no sleep that cannot possibly help).
+  FaultInjectingStore faulty(&inner_);
+  faulty.SetFailurePoint([](const std::string&, const std::string&) {
+    return Status::Unavailable("down for good");
+  });
+  RetryingStore store(&faulty, FastPolicy(), SimulatedSleeper(&clock_));
+
+  Micros budget = 2'500;  // Backoffs are 1000, 2000, 4000... (jittered ≤).
+  Deadline deadline = Deadline::After(&clock_, budget);
+  ScopedOpDeadline ambient(deadline);
+  Buffer out;
+  Status s = store.Get("k", &out);
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+  EXPECT_LT(clock_.NowMicros(), budget);  // Never slept past the deadline.
+  // Fewer attempts than the policy allows: the deadline cut the loop.
+  EXPECT_LT(store.retry_stats().attempts.load(), 5u);
+  EXPECT_GE(store.retry_stats().attempts.load(), 1u);
+}
+
+TEST_F(RetryTest, ExpiredDeadlineFailsBeforeTouchingTheStore) {
+  FaultInjectingStore faulty(&inner_);
+  RetryingStore store(&faulty, FastPolicy(), SimulatedSleeper(&clock_));
+  Deadline deadline = Deadline::After(&clock_, 100);
+  clock_.Advance(101);  // Already expired on entry.
+  ScopedOpDeadline ambient(deadline);
+  uint64_t ops_before = faulty.op_count();
+  Buffer out;
+  Status s = store.Get("k", &out);
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+  EXPECT_EQ(faulty.op_count(), ops_before);  // Zero wasted attempts.
+}
+
+TEST_F(RetryTest, NoAmbientDeadlineMeansFullRetryBudget) {
+  // Without an installed deadline the retry loop behaves exactly as
+  // before deadlines existed: all attempts, then the terminal error.
+  FaultInjectingStore faulty(&inner_);
+  faulty.SetFailurePoint([](const std::string&, const std::string&) {
+    return Status::Unavailable("down for good");
+  });
+  RetryingStore store(&faulty, FastPolicy(), SimulatedSleeper(&clock_));
+  Buffer out;
+  Status s = store.Get("k", &out);
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(store.retry_stats().attempts.load(), 5u);
+  EXPECT_EQ(store.retry_stats().budget_exhausted.load(), 1u);
+}
+
 }  // namespace
 }  // namespace rottnest::objectstore
