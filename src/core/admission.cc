@@ -118,6 +118,68 @@ Result<AdmissionTicket> AdmissionController::Admit(const Deadline& deadline) {
   return AdmissionTicket(this, clock_->NowMicros());
 }
 
+Status AdmissionController::NoteArrival(const Deadline& deadline) {
+  if (!enabled()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  // In the engine model every noted request sits in the engine queue until
+  // a wave picks it, so `waiting_` also covers requests Admit would have
+  // started instantly. An arrival that still fits under the concurrency cap
+  // is about to be waved with no meaningful wait — admit it unchecked, like
+  // Admit's free-slot fast path; only the excess beyond the cap is QUEUE.
+  const int queue_len = running_ + waiting_ - options_.max_concurrent;
+  if (queue_len >= 0) {
+    if (queue_len >= options_.max_queue) {
+      stats_.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(metrics_.shed_queue_full);
+      return Status::ResourceExhausted("admission queue full (" +
+                                       std::to_string(queue_len) +
+                                       " waiting)");
+    }
+    // Same doomed-work rule as Admit: with queue_len requests ahead and
+    // slots freeing every service-time/max_concurrent, a budget smaller
+    // than the predicted wait is dead on arrival.
+    if (!deadline.infinite()) {
+      Micros predicted_wait = static_cast<Micros>(
+          ewma_service_micros_ * (queue_len + 1) /
+          std::max(1, options_.max_concurrent));
+      if (predicted_wait > deadline.remaining_micros()) {
+        stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+        obs::Increment(metrics_.shed_deadline);
+        return Status::ResourceExhausted(
+            "predicted queue wait exceeds deadline budget");
+      }
+    }
+  }
+  ++waiting_;
+  stats_.queued.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.queued);
+  obs::Set(metrics_.waiting, waiting_);
+  return Status::OK();
+}
+
+AdmissionTicket AdmissionController::StartScheduled() {
+  if (!enabled()) return AdmissionTicket();
+  std::lock_guard<std::mutex> lock(mu_);
+  --waiting_;
+  ++running_;
+  stats_.admitted.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics_.admitted);
+  obs::Set(metrics_.running, running_);
+  obs::Set(metrics_.waiting, waiting_);
+  return AdmissionTicket(this, clock_->NowMicros());
+}
+
+void AdmissionController::CancelArrival(bool expired_in_queue) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  --waiting_;
+  obs::Set(metrics_.waiting, waiting_);
+  if (expired_in_queue) {
+    stats_.expired_waiting.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(metrics_.expired_waiting);
+  }
+}
+
 void AdmissionController::Release(Micros admitted_at) {
   Micros service = clock_->NowMicros() - admitted_at;
   {

@@ -113,6 +113,33 @@ class AdmissionController {
   ///   DeadlineExceeded   — the deadline expired while waiting in queue.
   Result<AdmissionTicket> Admit(const Deadline& deadline);
 
+  // ---- Engine-owned-queue protocol (serve::QueryEngine) ----------------
+  // The serving layer owns the WAIT QUEUE itself (per-tenant fair queues,
+  // wave batching) but reuses this controller as the admission POLICY:
+  // shed decisions, queue/slot accounting, the service-time EWMA and the
+  // admission.* metrics. Lifecycle of one queued request:
+  //
+  //   NoteArrival(dl)  -> OK: counted waiting; or typed shed (never blocks)
+  //   StartScheduled() -> the scheduler picked it: waiting -> running,
+  //                       returns the RAII ticket (release feeds the EWMA)
+  //   CancelArrival()  -> it died in the engine queue instead (deadline
+  //                       expiry, shutdown) without ever running.
+  //
+  // The caller must keep running() <= max_concurrent itself (the engine
+  // does: waves are serialized and sized to the concurrency cap).
+
+  /// Non-blocking arrival decision for an externally-owned queue: applies
+  /// the same shed rules as Admit (queue cap, predicted-wait vs deadline)
+  /// and on OK counts the request as waiting.
+  Status NoteArrival(const Deadline& deadline);
+
+  /// Converts one noted arrival into a running slot (scheduler's pick).
+  AdmissionTicket StartScheduled();
+
+  /// Drops one noted arrival that never ran. `expired_in_queue` marks a
+  /// deadline death (counted in AdmissionStats::expired_waiting).
+  void CancelArrival(bool expired_in_queue);
+
   const AdmissionStats& admission_stats() const { return stats_; }
   const AdmissionOptions& options() const { return options_; }
   bool enabled() const { return options_.max_concurrent > 0; }

@@ -424,8 +424,7 @@ size_t ResolvedFanOut(size_t n, size_t max_width) {
 /// Fills SearchResult::stats at the end of a search: physical store deltas
 /// (requests, bytes, cache/retry/fault events) from the op's snapshots,
 /// IoTrace-derived depth and S3 projections when the caller traced, wall
-/// time, and the resolved fan-out width. Also syncs the deprecated
-/// cache_hits/cache_misses aliases.
+/// time, and the resolved fan-out width.
 void FinishSearchStats(const SearchOptions& opts, const internal::OpObs& op,
                        std::chrono::steady_clock::time_point wall_start,
                        size_t fanout, SearchResult* result) {
@@ -441,8 +440,15 @@ void FinishSearchStats(const SearchOptions& opts, const internal::OpObs& op,
           std::chrono::steady_clock::now() - wall_start)
           .count());
   result->stats.parallelism = fanout;
-  result->cache_hits = result->stats.cache_hits;
-  result->cache_misses = result->stats.cache_misses;
+}
+
+/// The deadline a search runs under: a pre-resolved absolute deadline
+/// (SearchOptions::deadline, the serving path — resolved at SUBMIT time so
+/// queue wait already counted against it) takes precedence over a
+/// budget-derived one computed here (the direct-call path).
+Deadline ResolveSearchDeadline(const SearchOptions& opts, const Clock* clock) {
+  if (!opts.deadline.infinite()) return opts.deadline;
+  return Deadline::After(clock, opts.time_budget_micros);
 }
 
 }  // namespace
@@ -482,15 +488,9 @@ Rottnest::Rottnest(objectstore::ObjectStore* store, lake::Table* table,
     objectstore::CacheOptions copts;
     copts.capacity_bytes = options_.cache_bytes;
     copts.shards = options_.cache_shards;
+    copts.cache_heads = options_.cache_heads;
     cache_store_ =
         std::make_unique<objectstore::CachingStore>(store_, copts);
-  }
-  if (options_.max_concurrent_searches > 0) {
-    AdmissionOptions aopts;
-    aopts.max_concurrent = options_.max_concurrent_searches;
-    aopts.max_queue = options_.max_queued_searches;
-    admission_ =
-        std::make_unique<AdmissionController>(&store_->clock(), aopts);
   }
 }
 
@@ -996,19 +996,15 @@ Status Rottnest::ProbePages(const std::vector<PageFetch>& fetches,
                            trace, out);
 }
 
-Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
-                                          Slice value, size_t k,
-                                          const SearchOptions& opts) {
+Result<SearchResult> Rottnest::ExecUuid(const std::string& column,
+                                        Slice value, size_t k,
+                                        const SearchOptions& opts) {
   objectstore::IoTrace* trace = opts.trace;
   auto wall_start = std::chrono::steady_clock::now();
-  // End-to-end deadline (0 = none) and admission gate: overload is shed
-  // HERE, before any planning I/O, so a saturated client answers cheaply.
-  Deadline deadline =
-      Deadline::After(&store_->clock(), opts.time_budget_micros);
-  AdmissionTicket ticket;
-  if (admission_ != nullptr) {
-    ROTTNEST_ASSIGN_OR_RETURN(ticket, admission_->Admit(deadline));
-  }
+  // End-to-end deadline (0 = none, submit-time absolute wins — see
+  // ResolveSearchDeadline). Admission/overload policy lives in the serving
+  // layer; a direct call runs unadmitted.
+  Deadline deadline = ResolveSearchDeadline(opts, &store_->clock());
   ScopedOpDeadline ambient(deadline);
   internal::OpObs op(store_, cache_store_.get(), opts.obs, "search_uuid");
   Plan plan;
@@ -1160,18 +1156,13 @@ Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
   return result;
 }
 
-Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
-                                               const std::string& pattern,
-                                               size_t k,
-                                               const SearchOptions& opts) {
+Result<SearchResult> Rottnest::ExecSubstring(const std::string& column,
+                                             const std::string& pattern,
+                                             size_t k,
+                                             const SearchOptions& opts) {
   objectstore::IoTrace* trace = opts.trace;
   auto wall_start = std::chrono::steady_clock::now();
-  Deadline deadline =
-      Deadline::After(&store_->clock(), opts.time_budget_micros);
-  AdmissionTicket ticket;
-  if (admission_ != nullptr) {
-    ROTTNEST_ASSIGN_OR_RETURN(ticket, admission_->Admit(deadline));
-  }
+  Deadline deadline = ResolveSearchDeadline(opts, &store_->clock());
   ScopedOpDeadline ambient(deadline);
   internal::OpObs op(store_, cache_store_.get(), opts.obs,
                      "search_substring");
@@ -1315,18 +1306,13 @@ Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
   return result;
 }
 
-Result<SearchResult> Rottnest::SearchVector(const std::string& column,
-                                            const float* query, uint32_t dim,
-                                            size_t k,
-                                            const SearchOptions& opts) {
+Result<SearchResult> Rottnest::ExecVector(const std::string& column,
+                                          const float* query, uint32_t dim,
+                                          size_t k,
+                                          const SearchOptions& opts) {
   objectstore::IoTrace* trace = opts.trace;
   auto wall_start = std::chrono::steady_clock::now();
-  Deadline deadline =
-      Deadline::After(&store_->clock(), opts.time_budget_micros);
-  AdmissionTicket ticket;
-  if (admission_ != nullptr) {
-    ROTTNEST_ASSIGN_OR_RETURN(ticket, admission_->Admit(deadline));
-  }
+  Deadline deadline = ResolveSearchDeadline(opts, &store_->clock());
   ScopedOpDeadline ambient(deadline);
   internal::OpObs op(store_, cache_store_.get(), opts.obs, "search_vector");
   // Per-query knobs default from the client's IvfPqOptions (v2 API).
@@ -1506,10 +1492,10 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
   return result;
 }
 
-Result<SearchResult> Rottnest::SearchRegex(const std::string& column,
-                                           const std::string& pattern,
-                                           size_t k,
-                                           const SearchOptions& opts) {
+Result<SearchResult> Rottnest::ExecRegex(const std::string& column,
+                                         const std::string& pattern,
+                                         size_t k,
+                                         const SearchOptions& opts) {
   std::regex re;
   // <regex> throws on bad patterns; confine it here and convert to Status
   // (library code is otherwise exception-free).
@@ -1527,7 +1513,7 @@ Result<SearchResult> Rottnest::SearchRegex(const std::string& column,
     SearchOptions inner = opts;
     ROTTNEST_ASSIGN_OR_RETURN(
         SearchResult candidates,
-        SearchSubstring(column, literal, std::max(k * 8, k + 32), inner));
+        ExecSubstring(column, literal, std::max(k * 8, k + 32), inner));
     SearchResult result;
     result.indexes_queried = candidates.indexes_queried;
     result.files_scanned = candidates.files_scanned;
@@ -1535,8 +1521,6 @@ Result<SearchResult> Rottnest::SearchRegex(const std::string& column,
     result.indexes_degraded = candidates.indexes_degraded;
     result.degraded_indexes = std::move(candidates.degraded_indexes);
     result.stats = candidates.stats;
-    result.cache_hits = candidates.cache_hits;
-    result.cache_misses = candidates.cache_misses;
     result.indexes_quarantined = candidates.indexes_quarantined;
     result.partial = candidates.partial;
     result.cut_short = std::move(candidates.cut_short);
@@ -1552,12 +1536,7 @@ Result<SearchResult> Rottnest::SearchRegex(const std::string& column,
 
   // No usable literal: brute-force scan every file in the snapshot.
   auto wall_start = std::chrono::steady_clock::now();
-  Deadline deadline =
-      Deadline::After(&store_->clock(), opts.time_budget_micros);
-  AdmissionTicket ticket;
-  if (admission_ != nullptr) {
-    ROTTNEST_ASSIGN_OR_RETURN(ticket, admission_->Admit(deadline));
-  }
+  Deadline deadline = ResolveSearchDeadline(opts, &store_->clock());
   ScopedOpDeadline ambient(deadline);
   internal::OpObs op(store_, cache_store_.get(), opts.obs, "search_regex");
   Plan plan;
@@ -1603,9 +1582,9 @@ Result<SearchResult> Rottnest::SearchRegex(const std::string& column,
   return result;
 }
 
-Result<uint64_t> Rottnest::CountSubstring(const std::string& column,
-                                          const std::string& pattern,
-                                          const SearchOptions& opts) {
+Result<uint64_t> Rottnest::ExecCount(const std::string& column,
+                                     const std::string& pattern,
+                                     const SearchOptions& opts) {
   if (opts.range.has_value()) {
     return Status::NotSupported(
         "CountSubstring does not support ScanRange; use SearchSubstring");
@@ -1709,6 +1688,109 @@ Result<uint64_t> Rottnest::CountSubstring(const std::string& column,
     }
   }
   return total;
+}
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kUuid:
+      return "uuid";
+    case QueryKind::kSubstring:
+      return "substring";
+    case QueryKind::kRegex:
+      return "regex";
+    case QueryKind::kVector:
+      return "vector";
+    case QueryKind::kCount:
+      return "count";
+  }
+  return "unknown";
+}
+
+Result<QueryResponse> Rottnest::Execute(const Query& q) {
+  QueryResponse resp;
+  resp.kind = q.kind;
+  switch (q.kind) {
+    case QueryKind::kUuid: {
+      ROTTNEST_ASSIGN_OR_RETURN(
+          resp.result, ExecUuid(q.column, Slice(q.needle), q.k, q.options));
+      return resp;
+    }
+    case QueryKind::kSubstring: {
+      ROTTNEST_ASSIGN_OR_RETURN(
+          resp.result, ExecSubstring(q.column, q.needle, q.k, q.options));
+      return resp;
+    }
+    case QueryKind::kRegex: {
+      ROTTNEST_ASSIGN_OR_RETURN(
+          resp.result, ExecRegex(q.column, q.needle, q.k, q.options));
+      return resp;
+    }
+    case QueryKind::kVector: {
+      if (q.vector.empty()) {
+        return Status::InvalidArgument(
+            "vector query requires a non-empty query vector");
+      }
+      ROTTNEST_ASSIGN_OR_RETURN(
+          resp.result,
+          ExecVector(q.column, q.vector.data(),
+                     static_cast<uint32_t>(q.vector.size()), q.k, q.options));
+      return resp;
+    }
+    case QueryKind::kCount: {
+      ROTTNEST_ASSIGN_OR_RETURN(resp.count,
+                                ExecCount(q.column, q.needle, q.options));
+      return resp;
+    }
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+// The classic per-kind methods: thin Query-building wrappers over Execute,
+// so both spellings of the API share one code path (and one contract).
+
+Result<SearchResult> Rottnest::SearchUuid(const std::string& column,
+                                          Slice value, size_t k,
+                                          const SearchOptions& opts) {
+  ROTTNEST_ASSIGN_OR_RETURN(
+      QueryResponse resp, Execute(Query::Uuid(column, value.ToString(), k, opts)));
+  return std::move(resp.result);
+}
+
+Result<SearchResult> Rottnest::SearchSubstring(const std::string& column,
+                                               const std::string& pattern,
+                                               size_t k,
+                                               const SearchOptions& opts) {
+  ROTTNEST_ASSIGN_OR_RETURN(QueryResponse resp,
+                            Execute(Query::Substring(column, pattern, k, opts)));
+  return std::move(resp.result);
+}
+
+Result<SearchResult> Rottnest::SearchVector(const std::string& column,
+                                            const float* query, uint32_t dim,
+                                            size_t k,
+                                            const SearchOptions& opts) {
+  ROTTNEST_ASSIGN_OR_RETURN(
+      QueryResponse resp,
+      Execute(Query::Vector(column, std::vector<float>(query, query + dim), k,
+                            opts)));
+  return std::move(resp.result);
+}
+
+Result<SearchResult> Rottnest::SearchRegex(const std::string& column,
+                                           const std::string& pattern,
+                                           size_t k,
+                                           const SearchOptions& opts) {
+  ROTTNEST_ASSIGN_OR_RETURN(QueryResponse resp,
+                            Execute(Query::Regex(column, pattern, k, opts)));
+  return std::move(resp.result);
+}
+
+Result<uint64_t> Rottnest::CountSubstring(const std::string& column,
+                                          const std::string& pattern,
+                                          const SearchOptions& opts) {
+  ROTTNEST_ASSIGN_OR_RETURN(QueryResponse resp,
+                            Execute(Query::Count(column, pattern, opts)));
+  return resp.count;
 }
 
 Result<std::vector<IndexDescription>> Rottnest::DescribeIndexes(

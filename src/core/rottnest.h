@@ -13,13 +13,17 @@
 // index files + in-situ page probes; postings referring to files outside
 // the snapshot are filtered; unindexed files fall back to scanning.
 //
-// ## The stable v2 search API
+// ## The unified Query API (v3) and the stable v2 search methods
 //
-// Every read-side entry point takes exactly one optional `SearchOptions`
-// argument carrying the cross-cutting knobs — snapshot pin, IoTrace
-// recording, the structured-attribute ScanRange filter, and the vector
-// search parameters (`SearchOptions::vector`, defaulting from
-// `IvfPqOptions`):
+// The single typed entry point of the query side is
+//
+//   Execute(Query) -> QueryResponse
+//
+// where `Query` (core/query.h) is a variant over the five query kinds —
+// UUID / substring / regex / vector / count — carrying the column, the
+// needle (or query vector), `k` and one `SearchOptions`. The serving layer
+// (`serve::QueryEngine`) consumes exactly this API. The classic per-kind
+// methods are thin wrappers over Execute:
 //
 //   SearchUuid(column, value, k, opts)        — trie exact match
 //   SearchSubstring(column, pattern, k, opts) — FM-index substring
@@ -29,12 +33,20 @@
 //   DescribeIndexes(opts)                     — EXPLAIN-style introspection
 //   CheckInvariants(opts)                     — protocol invariant audit
 //
-// The pre-v2 positional `(snapshot, trace)` overloads are gone; there is
-// exactly one public signature per search kind. Introspection shares the
-// same shape: `DescribeIndexes` computes liveness against `opts.snapshot`
-// and `CheckInvariants` records its reads into `opts.trace` (its existence
+// Every entry point takes exactly one optional `SearchOptions` argument
+// carrying the cross-cutting knobs — snapshot pin, IoTrace recording, the
+// structured-attribute ScanRange filter, and the vector search parameters
+// (`SearchOptions::vector`, defaulting from `IvfPqOptions`). The pre-v2
+// positional `(snapshot, trace)` overloads are gone; there is exactly one
+// public signature per search kind. Introspection shares the same shape:
+// `DescribeIndexes` computes liveness against `opts.snapshot` and
+// `CheckInvariants` records its reads into `opts.trace` (its existence
 // probes intentionally bypass the client cache — an audit must observe the
 // bucket, not the cache).
+//
+// Direct calls are UNADMITTED: overload policy (admission control, fair
+// scheduling, batching) lives in the serving layer's `ServeOptions`, not
+// here — a single-tenant embedding pays nothing for it.
 //
 // ## The v2 maintenance API
 //
@@ -84,7 +96,7 @@
 
 #include "common/deadline.h"
 #include "common/thread_pool.h"
-#include "core/admission.h"
+#include "core/query.h"
 #include "index/component_file.h"
 #include "index/fm/fm_index.h"
 #include "index/ivfpq/ivfpq_index.h"
@@ -120,104 +132,20 @@ struct RottnestOptions {
   uint64_t cache_bytes = 0;
   /// Shards of the cache (mutex-per-shard; contention knob, not capacity).
   size_t cache_shards = 16;
-  /// Admission control over the Search* entry points (the seed of the
-  /// serving layer): searches allowed to run concurrently. 0 = no
-  /// admission control (the default; single-tenant embedding).
-  int max_concurrent_searches = 0;
-  /// Searches allowed to queue for a slot; arrivals beyond this are shed
-  /// with ResourceExhausted. Only meaningful with max_concurrent_searches.
-  int max_queued_searches = 16;
+  /// Also cache Head() metadata (CacheOptions::cache_heads). Disable when
+  /// an exact GET-path reconciliation is wanted: with heads uncached the
+  /// cache's hit/miss/coalesced/wave counters cover byte reads only, so
+  /// per-query traced GETs reconcile exactly against them (the serving
+  /// bench's invariant).
+  bool cache_heads = true;
 };
+// NOTE: the pre-serve admission knobs (`max_concurrent_searches`,
+// `max_queued_searches`) moved to serve::ServeOptions — overload policy
+// lives in the serving layer; direct Search* calls are unadmitted.
 
-/// One verified search hit.
-struct RowMatch {
-  std::string file;    ///< Data file object key.
-  uint64_t row = 0;    ///< File-global row index.
-  std::string value;   ///< The matched column value (raw bytes).
-  float distance = 0;  ///< Exact distance (vector search only).
-};
-
-/// Knobs shared by EVERY options struct of the v2 API — searches,
-/// maintenance (Index/Compact/Vacuum) and anti-entropy (Scrub/Repair) all
-/// derive their options from this base, so the cross-cutting concerns have
-/// exactly one spelling:
-///
-///   parallelism        — fan-out / pipeline width (0 = client default);
-///   byte_budget        — bounded-memory staging / prefetch / verification;
-///   time_budget_micros — per-call deadline override;
-///   trace              — IoTrace access-pattern recording;
-///   obs                — the opt-in observability context (metrics
-///                        registry + hierarchical span tracer + store-stack
-///                        stat hooks). nullptr = observability off, and
-///                        every instrumented path is allocation-free.
-struct CommonOptions {
-  /// Parallel width: index fan-out for searches, staging/prefetch pipeline
-  /// width for maintenance. 0 = the operation's natural default (full
-  /// index fan-out for searches, RottnestOptions::num_threads for
-  /// maintenance); 1 = fully serial. Maintenance output bytes are
-  /// identical at ANY setting.
-  size_t parallelism = 0;
-  /// Cap on bytes staged ahead of the consumer (Index), prefetched
-  /// (Compact) or deep-verified (Scrub). 0 = unbounded. The head-of-line
-  /// item is always admitted, so any budget still makes progress.
-  uint64_t byte_budget = 0;
-  /// Maintenance: overrides RottnestOptions::index_timeout_micros for this
-  /// call (0 = use the client default). Searches: an END-TO-END deadline —
-  /// 0 means no deadline at all (searches have no implicit timeout). On
-  /// expiry the query stops cooperatively at page-batch granularity and
-  /// returns a structured partial result (SearchResult::partial/cut_short)
-  /// instead of hanging or erroring. Enforced per page batch.
-  Micros time_budget_micros = 0;
-  /// Access-pattern recording. Per-item parallel chains are merged in
-  /// waves of `parallelism` concurrent chains (waves sequential), so the
-  /// recorded depth — and the simulated latency derived from it — reflects
-  /// the width actually requested. Request/byte totals are width-invariant.
-  objectstore::IoTrace* trace = nullptr;
-  /// Observability: when non-null, the operation emits registry metrics,
-  /// opens a root span (under obs->parent) with phase/fan-out children
-  /// carrying exclusive per-span I/O, and fills the retry/fault fields of
-  /// its obs::Stats from the context's stat hooks.
-  obs::ObsContext* obs = nullptr;
-};
-
-/// Search outcome plus plan accounting (used by the TCO benches).
-struct SearchResult {
-  std::vector<RowMatch> matches;
-  size_t indexes_queried = 0;
-  size_t files_scanned = 0;   ///< Unindexed files brute-scanned.
-  size_t pages_probed = 0;    ///< In-situ page reads.
-  /// Graceful degradation: index files that could not be read (missing,
-  /// truncated, checksum mismatch) are skipped and their covered files
-  /// answered through the brute-scan path instead of failing the query.
-  size_t indexes_degraded = 0;                ///< Unreadable indexes skipped.
-  std::vector<std::string> degraded_indexes;  ///< Their object keys.
-  /// The unified cost surface (obs::Stats): physical request/byte totals,
-  /// cache deltas, retries/faults absorbed below the query, wall time and —
-  /// when `opts.trace` is set — the IoTrace-derived depth and simulated S3
-  /// latency/cost projections.
-  obs::Stats stats;
-  /// DEPRECATED aliases of stats.cache_hits / stats.cache_misses, kept in
-  /// sync for one release so pre-obs callers keep compiling; migrate to
-  /// `result.stats.cache_*`.
-  uint64_t cache_hits = 0;
-  uint64_t cache_misses = 0;
-  /// Degraded indexes removed from the metadata table by this query
-  /// (only with SearchOptions::auto_quarantine; best-effort).
-  size_t indexes_quarantined = 0;
-  /// Tail-tolerance degradation surface (mirrors the corrupt-index
-  /// contract above): when the operation deadline expires mid-query or a
-  /// store's circuit breaker is open, the query returns what it has
-  /// instead of hanging or failing. `partial` is set, `cut_short` lists
-  /// the index children (by object key) — or phases, for the scan/probe
-  /// stages — that were stopped early, and `partial_reason` says why.
-  /// Unlike corrupt-index degradation, cut-short children get NO brute-
-  /// scan fallback: the deadline is exactly the promise not to keep going.
-  /// A partial result may be missing matches; matches present are still
-  /// verified exact.
-  bool partial = false;
-  std::vector<std::string> cut_short;
-  std::string partial_reason;
-};
+// RowMatch, CommonOptions, SearchResult, ScanRange, VectorSearchParams,
+// SearchOptions and the typed Query/QueryResponse variant live in
+// core/query.h (included above) — the query-side API is one header.
 
 /// Optional knobs common to all maintenance calls (the one options
 /// argument of the v2 write-side API — see the header comment). The
@@ -343,42 +271,6 @@ struct RepairReport {
   MaintenanceStats stats;
 };
 
-/// An inclusive range predicate on an int64 column (e.g. a timestamp),
-/// the paper's "structured attribute" filter (§VI): searches prune data
-/// files and row groups via the format's min/max statistics and verify the
-/// attribute in situ for every match.
-struct ScanRange {
-  std::string column;
-  int64_t min = INT64_MIN;
-  int64_t max = INT64_MAX;
-
-  bool Contains(int64_t v) const { return v >= min && v <= max; }
-};
-
-/// Vector (ANN) search parameters, folded into SearchOptions so every
-/// search kind has one signature. Zero means "use the client's
-/// IvfPqOptions default" (default_nprobe / default_refine).
-struct VectorSearchParams {
-  uint32_t nprobe = 0;  ///< Inverted lists probed.
-  uint32_t refine = 0;  ///< Candidates exactly reranked in situ.
-};
-
-/// Optional knobs common to all search calls (the one options argument of
-/// the v2 API — see the header comment). `parallelism` bounds the index
-/// fan-out width (0 = all applicable indexes concurrently, the default
-/// §V-B behaviour); trace/obs live in CommonOptions.
-struct SearchOptions : CommonOptions {
-  lake::Version snapshot{-1};              ///< -1 = latest.
-  std::optional<ScanRange> range;          ///< Structured-attribute filter.
-  VectorSearchParams vector;               ///< SearchVector only.
-  /// When a query degrades on a corrupt or missing index, also remove that
-  /// index from the metadata table (transactional CommitNext), so later
-  /// queries re-plan without it and Index can re-cover the files. Safe
-  /// because indexes are disposable; best-effort — a lost race with a
-  /// concurrent committer leaves quarantining to the next query or Scrub.
-  bool auto_quarantine = false;
-};
-
 /// One committed index entry plus its physical size — `DescribeIndexes`.
 struct IndexDescription {
   lake::IndexEntry entry;
@@ -401,6 +293,13 @@ class Rottnest {
   /// index object is byte-identical at any `opts.parallelism`.
   Result<IndexReport> Index(const std::string& column, index::IndexType type,
                             const MaintenanceOptions& opts = {});
+
+  /// The single typed entry point of the query side: dispatches `q` to the
+  /// matching search/count implementation and wraps the outcome in a
+  /// QueryResponse. Every Search*/Count* method below is a thin wrapper
+  /// over this. Unadmitted — overload policy lives in serve::QueryEngine,
+  /// which consumes exactly this API.
+  Result<QueryResponse> Execute(const Query& q);
 
   /// Exact-match search on a high-cardinality column via the trie index.
   /// Returns up to k verified matches.
@@ -507,11 +406,13 @@ class Rottnest {
   }
   objectstore::CachingStore* cache() { return cache_store_.get(); }
 
-  /// The search admission controller, or nullptr when
-  /// max_concurrent_searches == 0. The non-const overload allows
-  /// AttachMetrics(&registry).
-  const AdmissionController* admission() const { return admission_.get(); }
-  AdmissionController* admission() { return admission_.get(); }
+  /// The client's shared thread pool — the serving layer runs its GET
+  /// waves on it so one process has ONE compute pool (searches nest their
+  /// own fan-outs on the same pool; ParallelFor is nested-safe).
+  ThreadPool* pool() { return &pool_; }
+
+  /// The store clock (deadlines, admission EWMA, latency accounting).
+  const Clock& clock() const { return store_->clock(); }
 
  private:
   struct Plan;
@@ -581,11 +482,27 @@ class Rottnest {
   /// Invalidates every cached block of `key` (no-op when caching is off).
   void InvalidateCachedIndex(const std::string& key);
 
+  // The per-kind implementations Execute dispatches to (the public
+  // Search*/Count* methods are Query-building wrappers over Execute).
+  Result<SearchResult> ExecUuid(const std::string& column, Slice value,
+                                size_t k, const SearchOptions& opts);
+  Result<SearchResult> ExecSubstring(const std::string& column,
+                                     const std::string& pattern, size_t k,
+                                     const SearchOptions& opts);
+  Result<SearchResult> ExecVector(const std::string& column,
+                                  const float* query, uint32_t dim, size_t k,
+                                  const SearchOptions& opts);
+  Result<SearchResult> ExecRegex(const std::string& column,
+                                 const std::string& pattern, size_t k,
+                                 const SearchOptions& opts);
+  Result<uint64_t> ExecCount(const std::string& column,
+                             const std::string& pattern,
+                             const SearchOptions& opts);
+
   objectstore::ObjectStore* store_;
   lake::Table* table_;
   RottnestOptions options_;
   std::unique_ptr<objectstore::CachingStore> cache_store_;
-  std::unique_ptr<AdmissionController> admission_;
   lake::MetadataTable metadata_;
   ThreadPool pool_;
   uint64_t name_counter_ = 0;

@@ -116,14 +116,28 @@ Status CachingStore::MissFetch(
     return flight->status;
   }
 
-  stats_.cache_misses.fetch_add(1);
-  obs::Increment(metrics_.cache_misses);
   Buffer data;
   ObjectMeta meta;
-  Status s = fetch(&data, &meta);
-  if (s.ok()) {
+  Status s;
+  if (WaveLookup(k, &data, &meta)) {
+    // An earlier member of the current GET wave already fetched this range
+    // (it may have aged out of the LRU since): serve it with no physical
+    // request, and re-insert so the LRU observes the touch.
+    stats_.cache_wave_hits.fetch_add(1);
+    obs::Increment(metrics_.cache_wave_hits);
+    s = Status::OK();
     Insert(k, data_out != nullptr ? &data : nullptr,
            meta_out != nullptr ? &meta : nullptr);
+  } else {
+    stats_.cache_misses.fetch_add(1);
+    obs::Increment(metrics_.cache_misses);
+    s = fetch(&data, &meta);
+    if (s.ok()) {
+      Insert(k, data_out != nullptr ? &data : nullptr,
+             meta_out != nullptr ? &meta : nullptr);
+      WaveRecord(k, data_out != nullptr ? &data : nullptr,
+                 meta_out != nullptr ? &meta : nullptr);
+    }
   }
   {
     std::lock_guard<std::mutex> lock(flight->mu);
@@ -245,6 +259,49 @@ Status CachingStore::Delete(const std::string& key) {
     obs::Increment(metrics_.deletes);
   }
   return s;
+}
+
+void CachingStore::BeginWave() {
+  std::lock_guard<std::mutex> lock(wave_mu_);
+  ++wave_depth_;
+}
+
+void CachingStore::EndWave() {
+  std::lock_guard<std::mutex> lock(wave_mu_);
+  if (wave_depth_ > 0 && --wave_depth_ == 0) {
+    wave_ledger_.clear();
+    wave_bytes_ = 0;
+  }
+}
+
+size_t CachingStore::WaveLedgerEntries() const {
+  std::lock_guard<std::mutex> lock(wave_mu_);
+  return wave_ledger_.size();
+}
+
+bool CachingStore::WaveLookup(const EntryKey& k, Buffer* data,
+                              ObjectMeta* meta) {
+  std::lock_guard<std::mutex> lock(wave_mu_);
+  if (wave_depth_ == 0) return false;
+  auto it = wave_ledger_.find(k);
+  if (it == wave_ledger_.end()) return false;
+  if (data != nullptr) *data = it->second.data;
+  if (meta != nullptr) *meta = it->second.meta;
+  return true;
+}
+
+void CachingStore::WaveRecord(const EntryKey& k, const Buffer* data,
+                              const ObjectMeta* meta) {
+  std::lock_guard<std::mutex> lock(wave_mu_);
+  if (wave_depth_ == 0) return;
+  uint64_t charge =
+      kEntryOverhead + k.key.size() + (data != nullptr ? data->size() : 0);
+  if (wave_bytes_ + charge > options_.wave_ledger_bytes) return;
+  auto [it, inserted] = wave_ledger_.try_emplace(k);
+  if (!inserted) return;  // A racing leader of the same range beat us.
+  if (data != nullptr) it->second.data = *data;
+  if (meta != nullptr) it->second.meta = *meta;
+  wave_bytes_ += charge;
 }
 
 void CachingStore::Clear() {

@@ -53,6 +53,11 @@ struct CacheOptions {
   uint64_t capacity_bytes = 64ull << 20;  ///< Total payload budget.
   size_t shards = 16;                     ///< Independent LRU shards.
   bool cache_heads = true;                ///< Also cache Head() metadata.
+  /// Byte cap on the wave ledger (BeginWave/EndWave); past it, further
+  /// fetches of the wave are simply not recorded (still correct, the
+  /// coalescing just stops growing). Separate from capacity_bytes: the
+  /// ledger must hold a wave's shared blocks even when the LRU is tiny.
+  uint64_t wave_ledger_bytes = 64ull << 20;
 };
 
 /// Sharded read-through LRU cache over an ObjectStore. `inner` must outlive
@@ -76,6 +81,25 @@ class CachingStore : public ObjectStore {
 
   const Clock& clock() const override { return inner_->clock(); }
   const IoStats& stats() const override { return stats_; }
+
+  // ---- Wave-level coalescing (the serving layer's GET batching) --------
+  // Single-flight (above) dedups misses that are in flight at the same
+  // instant; a GET WAVE widens that window to a whole batch of queries.
+  // Between BeginWave() and the matching EndWave() the cache keeps a side
+  // ledger of every payload fetched from the inner store; a miss whose key
+  // is in the ledger is served from it WITHOUT a physical request — even
+  // if the LRU already evicted the entry — and counted in
+  // IoStats::cache_wave_hits. Waves nest (refcounted); the ledger drops
+  // when the last one ends. Failed fetches are never recorded, so a
+  // breaker/outage/deadline failure still propagates to every query that
+  // needed the range (per-query error semantics are unchanged). The
+  // serving engine serializes its waves, so one store-wide ledger IS
+  // wave-scoped coalescing; concurrent non-wave readers simply join it.
+
+  void BeginWave();
+  void EndWave();
+  /// Entries currently held by the wave ledger (0 outside any wave).
+  size_t WaveLedgerEntries() const;
 
   /// Drops every cached entry (budget and shards unchanged).
   void Clear();
@@ -142,6 +166,13 @@ class CachingStore : public ObjectStore {
     ObjectMeta meta;
   };
 
+  /// One wave-ledger record: the payload a leader fetched during the
+  /// current wave (data for Get/GetRange keys, meta for Head keys).
+  struct WaveEntry {
+    Buffer data;
+    ObjectMeta meta;
+  };
+
   Shard& ShardFor(const EntryKey& k);
   /// Looks `k` up in its shard; on hit promotes to MRU and copies out.
   bool Lookup(const EntryKey& k, Buffer* data, ObjectMeta* meta);
@@ -154,6 +185,12 @@ class CachingStore : public ObjectStore {
   /// entries past the shard budget.
   void Insert(EntryKey k, const Buffer* data, const ObjectMeta* meta);
   void EvictLocked(Shard& shard);
+  /// Serves `k` from the wave ledger if a wave is open and holds it.
+  bool WaveLookup(const EntryKey& k, Buffer* data, ObjectMeta* meta);
+  /// Records a successful leader fetch into the open wave's ledger (no-op
+  /// outside a wave or past the ledger byte cap).
+  void WaveRecord(const EntryKey& k, const Buffer* data,
+                  const ObjectMeta* meta);
 
   ObjectStore* inner_;
   CacheOptions options_;
@@ -162,6 +199,10 @@ class CachingStore : public ObjectStore {
   std::mutex flights_mu_;
   std::unordered_map<EntryKey, std::shared_ptr<InFlight>, EntryKeyHash>
       flights_;
+  mutable std::mutex wave_mu_;
+  int wave_depth_ = 0;        ///< Open BeginWave() nestings.
+  uint64_t wave_bytes_ = 0;   ///< Ledger payload bytes held.
+  std::unordered_map<EntryKey, WaveEntry, EntryKeyHash> wave_ledger_;
   mutable IoStats stats_;
   StoreMetrics metrics_;
 };

@@ -24,6 +24,7 @@ StoreMetrics ResolveStoreMetrics(obs::MetricsRegistry* registry,
   m.cache_misses = registry->GetCounter(p + "cache_misses");
   m.cache_evictions = registry->GetCounter(p + "cache_evictions");
   m.cache_coalesced = registry->GetCounter(p + "coalesced");
+  m.cache_wave_hits = registry->GetCounter(p + "wave_hits");
   m.get_bytes = registry->GetHistogram(p + "get_bytes");
   return m;
 }

@@ -60,6 +60,11 @@ struct IoStats {
   /// Concurrent misses coalesced onto another client's in-flight fetch
   /// (single-flight dedup in CachingStore); each saved one backing GET.
   std::atomic<uint64_t> cache_coalesced{0};
+  /// Misses served from the wave ledger (CachingStore::BeginWave/EndWave —
+  /// the serving layer's GET batching): an earlier member of the same GET
+  /// wave already fetched the range, so this read paid no backing request
+  /// even though the LRU had no (or no longer any) entry for it.
+  std::atomic<uint64_t> cache_wave_hits{0};
   /// Resident cache payload bytes — a gauge owned by the cache, not a
   /// monotonic counter; excluded from Reset().
   std::atomic<uint64_t> cache_bytes{0};
@@ -68,6 +73,7 @@ struct IoStats {
     gets = puts = lists = deletes = heads = 0;
     bytes_read = bytes_written = 0;
     cache_hits = cache_misses = cache_evictions = cache_coalesced = 0;
+    cache_wave_hits = 0;
   }
 };
 
@@ -88,6 +94,7 @@ struct StoreMetrics {
   obs::Counter* cache_misses = nullptr;
   obs::Counter* cache_evictions = nullptr;
   obs::Counter* cache_coalesced = nullptr;
+  obs::Counter* cache_wave_hits = nullptr;
   obs::Histogram* get_bytes = nullptr;  ///< Per-GET payload distribution.
 };
 

@@ -1,0 +1,141 @@
+#include "workload/multi_tenant.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "serve/query_engine.h"
+
+namespace rottnest::workload {
+
+MultiTenantWorkload::MultiTenantWorkload(MultiTenantSpec spec)
+    : spec_(std::move(spec)),
+      uuids_(spec_.dataset.seed, spec_.dataset.uuid_bytes),
+      vectors_(spec_.dataset.seed, spec_.dataset.vector_dim) {
+  w_total_ = spec_.w_uuid + spec_.w_substring + spec_.w_count +
+             spec_.w_regex + spec_.w_vector;
+  if (w_total_ <= 0) {
+    spec_.w_uuid = w_total_ = 1;  // Degenerate mix: all-UUID.
+  }
+  // Precompute the hot tables once — TextGenerator sampling is stateful,
+  // so the per-request paths must only READ.
+  const size_t hot = std::max<size_t>(spec_.hot_values, 1);
+  TextGenerator text(spec_.dataset.seed);
+  patterns_.reserve(hot);
+  for (size_t i = 0; i < hot; ++i) {
+    patterns_.push_back(text.SamplePattern(2));
+  }
+  Random rows_rng(Mix64(spec_.seed ^ 0x9e3779b97f4a7c15ull));
+  hot_rows_.reserve(hot);
+  for (size_t i = 0; i < hot; ++i) {
+    hot_rows_.push_back(rows_rng.Uniform(
+        std::max<uint64_t>(spec_.dataset.total_rows, 1)));
+  }
+}
+
+uint64_t MultiTenantWorkload::Slot(int client, int request,
+                                   uint64_t salt) const {
+  uint64_t h = spec_.seed;
+  h = Mix64(h ^ (static_cast<uint64_t>(client) + 1));
+  h = Mix64(h ^ (static_cast<uint64_t>(request) + 1));
+  h = Mix64(h ^ salt);
+  return h;
+}
+
+uint64_t MultiTenantWorkload::ZipfPick(uint64_t slot_hash, uint64_t n,
+                                       double s) const {
+  if (n <= 1) return 0;
+  if (s <= 0) return slot_hash % n;
+  // One Zipf draw from a throwaway PRNG seeded by the slot hash: the pick
+  // is a pure function of the slot, deterministic across threads and runs.
+  Random rng(slot_hash);
+  return rng.NextZipf(n, s);
+}
+
+std::string MultiTenantWorkload::TenantFor(int client, int request) const {
+  uint64_t rank = ZipfPick(Slot(client, request, /*salt=*/1),
+                           std::max(spec_.tenants, 1), spec_.zipf_s);
+  return "tenant-" + std::to_string(rank);
+}
+
+core::Query MultiTenantWorkload::QueryFor(int client, int request) const {
+  core::SearchOptions opts;
+  opts.time_budget_micros = spec_.time_budget_micros;
+
+  // Kind by mix weight (deterministic per slot).
+  Random kind_rng(Slot(client, request, /*salt=*/2));
+  double u = kind_rng.NextDouble() * w_total_;
+  const uint64_t pick = ZipfPick(Slot(client, request, /*salt=*/3),
+                                 patterns_.size(), spec_.value_zipf_s);
+  const uint64_t row_pick = ZipfPick(Slot(client, request, /*salt=*/4),
+                                     hot_rows_.size(), spec_.value_zipf_s);
+
+  core::Query q;
+  if ((u -= spec_.w_uuid) < 0) {
+    q = core::Query::Uuid(spec_.uuid_column, uuids_.IdFor(hot_rows_[row_pick]),
+                          spec_.k, opts);
+  } else if ((u -= spec_.w_substring) < 0) {
+    q = core::Query::Substring(spec_.text_column, patterns_[pick], spec_.k,
+                               opts);
+  } else if ((u -= spec_.w_count) < 0) {
+    q = core::Query::Count(spec_.text_column, patterns_[pick], opts);
+  } else if ((u -= spec_.w_regex) < 0) {
+    // A literal regex: exercises the regex entry point while staying on the
+    // FM-index prefilter path (the planner treats all-literal patterns as
+    // substring queries).
+    q = core::Query::Regex(spec_.text_column, patterns_[pick], spec_.k, opts);
+  } else {
+    q = core::Query::Vector(spec_.vector_column,
+                            vectors_.QueryNear(hot_rows_[row_pick]), spec_.k,
+                            opts);
+  }
+  q.tenant = TenantFor(client, request);
+  return q;
+}
+
+Micros MultiTenantWorkload::PauseBeforeMicros(int client, int request) const {
+  (void)client;
+  if (spec_.burst_size <= 0 || spec_.burst_pause_micros <= 0) return 0;
+  if (request == 0) return 0;
+  return request % spec_.burst_size == 0 ? spec_.burst_pause_micros : 0;
+}
+
+ServeLoopReport RunServeLoop(serve::QueryEngine* engine,
+                             const MultiTenantWorkload& workload,
+                             bool trace_requests) {
+  ServeLoopReport report;
+  std::mutex mu;
+
+  DriverOptions dopts;
+  dopts.clients = workload.spec().clients;
+  dopts.requests_per_client = workload.spec().requests_per_client;
+
+  report.overall = RunClosedLoop(dopts, [&](int client,
+                                            int request) -> Result<bool> {
+    Micros pause = workload.PauseBeforeMicros(client, request);
+    if (pause > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(pause));
+    }
+    core::Query q = workload.QueryFor(client, request);
+    objectstore::IoTrace trace;
+    if (trace_requests) q.options.trace = &trace;
+    Result<core::QueryResponse> resp = engine->Execute(std::move(q));
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      report.traced_gets += trace.total_gets();
+      report.traced_bytes += trace.total_bytes();
+      if (resp.ok()) {
+        ++report.per_tenant_ok[workload.TenantFor(client, request)];
+      }
+    }
+    if (!resp.ok()) return resp.status();
+    return resp.value().result.partial;
+  });
+  return report;
+}
+
+}  // namespace rottnest::workload

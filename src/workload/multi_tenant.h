@@ -1,0 +1,114 @@
+// Closed-loop multi-tenant serving workload: the load shape the QueryEngine
+// is designed for. N client threads issue mixed-kind queries (UUID lookups,
+// substring/regex search, counts, vector ANN) against the canonical dataset
+// schema (generators.h), each request tagged with a tenant drawn from a
+// Zipfian popularity distribution — a few tenants dominate, the long tail
+// trickles — optionally in bursts. Everything is a pure function of
+// (seed, client, request), so two runs — or a batched and an unbatched run
+// in the same bench — issue the IDENTICAL query sequence.
+#ifndef ROTTNEST_WORKLOAD_MULTI_TENANT_H_
+#define ROTTNEST_WORKLOAD_MULTI_TENANT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "workload/driver.h"
+#include "workload/generators.h"
+
+namespace rottnest::serve {
+class QueryEngine;
+}  // namespace rottnest::serve
+
+namespace rottnest::workload {
+
+/// Shape of the multi-tenant serving load.
+struct MultiTenantSpec {
+  /// Dataset the queries target (seeds the value generators; must match the
+  /// spec the table was built with).
+  DatasetSpec dataset;
+  int tenants = 4;        ///< Distinct tenants ("tenant-0" most popular).
+  double zipf_s = 1.0;    ///< Tenant popularity skew (0 = uniform).
+  int clients = 8;              ///< Closed-loop client threads.
+  int requests_per_client = 25; ///< Requests per client, in series.
+  uint64_t seed = 42;     ///< Workload seed (independent of dataset.seed).
+  size_t k = 4;           ///< Match budget per query.
+  /// Per-query deadline budget (0 = none). Resolved by the engine at
+  /// submit, so queue wait counts against it.
+  Micros time_budget_micros = 0;
+  /// Query-kind mix (normalized; zero a weight to drop the kind).
+  double w_uuid = 0.45;
+  double w_substring = 0.35;
+  double w_count = 0.10;
+  double w_regex = 0.05;
+  double w_vector = 0.05;
+  /// Needle popularity skew: queries re-ask the same hot values/patterns
+  /// Zipfian-style — what makes batching coalesce across wave members.
+  double value_zipf_s = 0.9;
+  size_t hot_values = 32;    ///< Distinct hot rows/patterns per kind.
+  /// Bursty arrivals: after every `burst_size` requests a client pauses
+  /// `burst_pause_micros` of real time (0 = steady back-to-back).
+  int burst_size = 0;
+  Micros burst_pause_micros = 0;
+  /// Column names of the canonical dataset schema.
+  std::string uuid_column = "uuid";
+  std::string text_column = "body";
+  std::string vector_column = "vec";
+};
+
+/// Deterministic query source: (client, request) -> tenant + typed Query.
+/// Thread-safe after construction (all sampling is hash-based; the pattern
+/// and needle tables are precomputed).
+class MultiTenantWorkload {
+ public:
+  explicit MultiTenantWorkload(MultiTenantSpec spec);
+
+  /// The tenant issuing request `request` of client `client`.
+  std::string TenantFor(int client, int request) const;
+
+  /// The full typed query (tenant + kind + needle + options) for one
+  /// (client, request) slot. Pure: identical inputs, identical query.
+  core::Query QueryFor(int client, int request) const;
+
+  /// Real-time pause the client should take BEFORE issuing this request
+  /// (burst shaping; 0 when bursts are off).
+  Micros PauseBeforeMicros(int client, int request) const;
+
+  const MultiTenantSpec& spec() const { return spec_; }
+
+ private:
+  uint64_t Slot(int client, int request, uint64_t salt) const;
+  /// Zipf-ranked index in [0, n) for one slot.
+  uint64_t ZipfPick(uint64_t slot_hash, uint64_t n, double s) const;
+
+  MultiTenantSpec spec_;
+  double w_total_ = 1;
+  UuidGenerator uuids_;
+  VectorGenerator vectors_;
+  std::vector<std::string> patterns_;       ///< Hot substring patterns.
+  std::vector<uint64_t> hot_rows_;          ///< Hot row ordinals.
+};
+
+/// Outcome of one serving loop: the overall closed-loop report plus the
+/// per-tenant completion counts and the summed per-query traced GETs (the
+/// logical-read side of the wave-coalescing reconciliation).
+struct ServeLoopReport {
+  DriverReport overall;
+  std::map<std::string, uint64_t> per_tenant_ok;
+  uint64_t traced_gets = 0;   ///< Σ per-query IoTrace::total_gets.
+  uint64_t traced_bytes = 0;  ///< Σ per-query IoTrace::total_bytes.
+};
+
+/// Runs the workload closed-loop through `engine` (spec.clients threads ×
+/// spec.requests_per_client). With `trace_requests` every query carries its
+/// own IoTrace whose totals are summed into the report — the per-query
+/// logical reads that reconcile against the shared cache's physical stats.
+ServeLoopReport RunServeLoop(serve::QueryEngine* engine,
+                             const MultiTenantWorkload& workload,
+                             bool trace_requests = false);
+
+}  // namespace rottnest::workload
+
+#endif  // ROTTNEST_WORKLOAD_MULTI_TENANT_H_

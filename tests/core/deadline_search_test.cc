@@ -18,6 +18,7 @@
 #include "common/random.h"
 #include "core/rottnest.h"
 #include "objectstore/fault_injection.h"
+#include "serve/query_engine.h"
 #include "workload/driver.h"
 
 namespace rottnest::core {
@@ -218,35 +219,40 @@ TEST(DeadlineSearchTest, CountSubstringIsExactOrError) {
 
 TEST(DeadlineSearchTest, AdmissionShedsOverloadThroughClosedLoop) {
   // REAL sleeper here: searches must occupy wall time so closed-loop
-  // clients genuinely contend for the single slot.
+  // clients genuinely contend for the single slot. Admission moved from the
+  // client into the serving layer, so overload is now exercised through a
+  // QueryEngine (direct Search* calls are unadmitted).
   World w(/*simulated_sleep=*/false);
-  RottnestOptions ropts = Options();
-  ropts.max_concurrent_searches = 1;
-  ropts.max_queued_searches = 0;  // No waiting room: contention sheds.
-  Rottnest client(&w.store, w.table.get(), ropts);
+  Rottnest client(&w.store, w.table.get(), Options());
   w.Build(&client);
   w.SlowEverything(2'000);  // ~2ms of real wall per store op.
+
+  serve::ServeOptions sopts;
+  sopts.max_concurrent = 1;
+  sopts.max_queue = 0;  // No waiting room: contention sheds.
+  sopts.batch_max = 1;
+  serve::QueryEngine engine(&client, sopts);
 
   workload::DriverOptions dopts;
   dopts.clients = 4;
   dopts.requests_per_client = 4;
   workload::DriverReport report =
       workload::RunClosedLoop(dopts, [&](int, int) -> Result<bool> {
-        std::string u = UuidFor(42);
-        auto r = client.SearchUuid("uuid", Slice(u), 5);
+        auto r = engine.Execute(Query::Uuid("uuid", UuidFor(42), 5));
         ROTTNEST_RETURN_NOT_OK(r.status());
-        return r.value().partial;
+        return r.value().result.partial;
       });
 
   EXPECT_EQ(report.total(), 16u);
   EXPECT_EQ(report.errors, 0u);  // Sheds are typed, never generic errors.
   EXPECT_GE(report.ok, 1u);      // The slot holder completes normally.
   EXPECT_GE(report.shed, 1u);    // Contenders are refused, instantly.
-  const AdmissionStats& stats = client.admission()->admission_stats();
+  const AdmissionStats& stats = engine.admission().admission_stats();
   EXPECT_EQ(stats.shed_queue_full.load(), report.shed);
   EXPECT_EQ(stats.admitted.load(), report.ok + report.partial);
+  EXPECT_EQ(engine.stats().shed.load(), report.shed);
   // A shed answer is cheap: it must not cost anything like a search.
-  EXPECT_EQ(client.admission()->running(), 0);
+  EXPECT_EQ(engine.admission().running(), 0);
 }
 
 // TSAN: deadline-expired fan-outs from many threads at once. The pool

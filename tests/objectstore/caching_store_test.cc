@@ -243,8 +243,12 @@ TEST_F(CachingStoreTest, ConcurrentReadersUnderEvictionPressure) {
   }
   for (auto& t : readers) t.join();
 
+  // Two threads missing one key at once coalesce onto a single leader
+  // fetch, so the follower counts as `cache_coalesced`, not hit or miss —
+  // the full logical-read identity is what must hold.
   EXPECT_EQ(cache.stats().cache_hits.load() +
-                cache.stats().cache_misses.load(),
+                cache.stats().cache_misses.load() +
+                cache.stats().cache_coalesced.load(),
             4u * 400u * 2u);
   EXPECT_LE(cache.ResidentBytes(), opts.capacity_bytes);
 }
@@ -314,6 +318,99 @@ TEST_F(CachingStoreTest, CoalescedFollowersShareTheLeadersError) {
   EXPECT_EQ(unavailable.load(), kReaders);
   EXPECT_EQ(faulty.op_count(), 1u);  // One attempt served them all.
   EXPECT_EQ(cache.EntryCount(), 0u);
+}
+
+TEST_F(CachingStoreTest, WaveLedgerServesEvictedEntriesWithoutRefetch) {
+  // The wave ledger widens single-flight dedup to a whole GET wave: inside
+  // BeginWave/EndWave a fetched range is re-servable even after the LRU
+  // dropped it — the serving engine's cross-query coalescing.
+  PutObject("a", 100);
+  CachingStore cache(&inner_, {});
+
+  cache.BeginWave();
+  Buffer out;
+  ASSERT_TRUE(cache.Get("a", &out).ok());  // Leader fetch, ledger-recorded.
+  EXPECT_EQ(cache.WaveLedgerEntries(), 1u);
+  cache.Clear();  // The LRU forgets; the wave must not.
+  ASSERT_TRUE(cache.Get("a", &out).ok());
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_EQ(inner_.stats().gets.load(), 1u);  // Still ONE physical GET.
+  EXPECT_EQ(cache.stats().cache_wave_hits.load(), 1u);
+  // The wave hit re-inserted the entry, so a third read is a plain hit.
+  ASSERT_TRUE(cache.Get("a", &out).ok());
+  EXPECT_EQ(cache.stats().cache_hits.load(), 1u);
+  cache.EndWave();
+
+  // Wave-scoped: the ledger dropped with the wave, so once the LRU forgets
+  // too the next read is physical again.
+  EXPECT_EQ(cache.WaveLedgerEntries(), 0u);
+  cache.Clear();
+  ASSERT_TRUE(cache.Get("a", &out).ok());
+  EXPECT_EQ(inner_.stats().gets.load(), 2u);
+  EXPECT_EQ(cache.stats().cache_wave_hits.load(), 1u);
+}
+
+TEST_F(CachingStoreTest, WaveNestingIsRefcounted) {
+  PutObject("a", 100);
+  CachingStore cache(&inner_, {});
+  Buffer out;
+
+  cache.BeginWave();
+  cache.BeginWave();  // Nested (a wave member running its own sub-wave).
+  ASSERT_TRUE(cache.Get("a", &out).ok());
+  cache.EndWave();
+  EXPECT_EQ(cache.WaveLedgerEntries(), 1u);  // Outer wave still open.
+  cache.Clear();
+  ASSERT_TRUE(cache.Get("a", &out).ok());
+  EXPECT_EQ(cache.stats().cache_wave_hits.load(), 1u);
+  cache.EndWave();
+  EXPECT_EQ(cache.WaveLedgerEntries(), 0u);  // Last EndWave drops it.
+}
+
+TEST_F(CachingStoreTest, FailedFetchesAreNeverWaveRecorded) {
+  // A breaker/outage failure inside a wave must propagate to every query
+  // that needs the range — recording it (or any placeholder) would turn
+  // one member's failure into silent data for its wave-mates.
+  PutObject("a", 100);
+  FaultInjectingStore faulty(&inner_);
+  CachingStore cache(&faulty, {});
+  faulty.SetFailurePoint([](const std::string& op, const std::string&) {
+    return op == "get" ? Status::Unavailable("injected") : Status::OK();
+  });
+
+  cache.BeginWave();
+  Buffer out;
+  EXPECT_TRUE(cache.Get("a", &out).IsUnavailable());
+  EXPECT_EQ(cache.WaveLedgerEntries(), 0u);
+  // A retry inside the SAME wave hits the healed store, not a stale error.
+  faulty.SetFailurePoint({});
+  ASSERT_TRUE(cache.Get("a", &out).ok());
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_EQ(cache.WaveLedgerEntries(), 1u);
+  cache.EndWave();
+}
+
+TEST_F(CachingStoreTest, WaveLedgerByteCapStopsRecording) {
+  // Past wave_ledger_bytes further fetches are simply not recorded —
+  // coalescing stops growing, correctness is untouched.
+  PutObject("a", 100);
+  PutObject("b", 100);
+  CacheOptions opts;
+  // Room for exactly one entry (charge = 64 overhead + 1 key + 100 data).
+  opts.wave_ledger_bytes = 200;
+  CachingStore cache(&inner_, opts);
+
+  cache.BeginWave();
+  Buffer out;
+  ASSERT_TRUE(cache.Get("a", &out).ok());  // Recorded: 165 <= 200.
+  ASSERT_TRUE(cache.Get("b", &out).ok());  // Past the cap: not recorded.
+  EXPECT_EQ(cache.WaveLedgerEntries(), 1u);
+  cache.Clear();
+  ASSERT_TRUE(cache.Get("a", &out).ok());  // Wave hit.
+  ASSERT_TRUE(cache.Get("b", &out).ok());  // Physical re-fetch.
+  EXPECT_EQ(cache.stats().cache_wave_hits.load(), 1u);
+  EXPECT_EQ(inner_.stats().gets.load(), 3u);
+  cache.EndWave();
 }
 
 }  // namespace

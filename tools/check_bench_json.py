@@ -12,6 +12,37 @@ import json
 import os
 import sys
 
+# Per-artifact required keys, beyond the universal metrics_snapshot block.
+# The serving bench's committed report must carry both sides of the
+# batched-vs-unbatched comparison and its acceptance numbers, or the
+# comparison cannot be audited from the artifact alone.
+REQUIRED_KEYS = {
+    "BENCH_serve.json": [
+        "queries", "tenants", "clients",
+        "unbatched_gets", "unbatched_p99_micros", "unbatched_traced_gets",
+        "batched_gets", "batched_p99_micros", "batched_traced_gets",
+        "batched_waves", "batched_wave_hits", "batched_coalesced",
+        "get_ratio", "p99_ratio", "reconciled",
+    ],
+}
+
+# Acceptance gates re-checked from the committed artifact (the bench binary
+# enforces them at emit time; this catches a stale or hand-edited file).
+def check_serve_gates(path: str, doc: dict) -> list:
+    problems = []
+    if doc.get("get_ratio", 1.0) > 0.5:
+        problems.append(f"get_ratio {doc.get('get_ratio')} > 0.5")
+    if doc.get("p99_ratio", 1.0) > 1.0:
+        problems.append(f"p99_ratio {doc.get('p99_ratio')} > 1.0")
+    if doc.get("reconciled") is not True:
+        problems.append("traced GETs did not reconcile against the cache")
+    return problems
+
+
+GATE_CHECKS = {
+    "BENCH_serve.json": check_serve_gates,
+}
+
 
 def main() -> int:
     root = sys.argv[1] if len(sys.argv) > 1 else "."
@@ -39,6 +70,19 @@ def main() -> int:
         if not isinstance(snap, dict):
             print(f"FAIL: {path}: 'metrics_snapshot' is not an object",
                   file=sys.stderr)
+            failed = True
+            continue
+        name = os.path.basename(path)
+        missing = [k for k in REQUIRED_KEYS.get(name, []) if k not in doc]
+        if missing:
+            print(f"FAIL: {path}: missing required key(s): "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            failed = True
+            continue
+        problems = GATE_CHECKS.get(name, lambda p, d: [])(path, doc)
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {path}: {problem}", file=sys.stderr)
             failed = True
             continue
         print(f"ok: {path} ({len(snap)} metric(s))")
