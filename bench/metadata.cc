@@ -1,0 +1,176 @@
+// Measures the checkpointed metadata plane (ISSUE 9): the cost of a COLD
+// GetSnapshot on a log with 1000 commits, with and without a checkpoint.
+//
+//   (1) Without checkpoints a cold reader pays one LIST (tail discovery)
+//       plus one dependent GET per committed version — the O(n) replay
+//       chain the paper's metadata plane is built to avoid.
+//   (2) With a checkpoint the same read is the pointer GET, the checkpoint
+//       GET, and the (empty) suffix — constant, independent of history.
+//
+// Every replay GET is a dependent round (version v+1 cannot be requested
+// until v arrived), so the S3-projected latency is the per-request TTFB
+// times the chain depth — the honest cold-start picture, not a fan-out.
+//
+// Results are printed as a report and recorded into BENCH_metadata.json
+// (schema-checked by tools/check_bench_json.py). Exits non-zero if the
+// checkpointed cold read costs more than 0.1x the replay-from-zero GETs.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+#include "lake/table.h"
+#include "objectstore/io_trace.h"
+#include "obs/metrics.h"
+
+namespace rottnest::bench {
+namespace {
+
+using lake::Table;
+using objectstore::InMemoryObjectStore;
+using objectstore::IoTrace;
+using objectstore::S3Model;
+using objectstore::TracedObjectStore;
+
+constexpr size_t kCommits = 1000;
+constexpr double kMaxGetRatio = 0.1;
+
+format::Schema IdSchema() {
+  format::Schema s;
+  s.columns.push_back({"id", format::PhysicalType::kInt64, 0});
+  return s;
+}
+
+format::RowBatch IdBatch(int64_t id) {
+  format::RowBatch b;
+  b.schema = IdSchema();
+  format::ColumnVector::Ints ids;
+  ids.push_back(id);
+  b.columns.emplace_back(std::move(ids));
+  return b;
+}
+
+/// TracedObjectStore that models every GET as its own dependent round:
+/// metadata replay is a version-after-version chain, so request k+1 cannot
+/// be issued before request k returned.
+class SequentialTracedStore : public TracedObjectStore {
+ public:
+  using TracedObjectStore::TracedObjectStore;
+  Status Get(const std::string& key, Buffer* out) override {
+    trace()->BeginRound();
+    return TracedObjectStore::Get(key, out);
+  }
+};
+
+struct ColdRead {
+  uint64_t gets = 0;
+  uint64_t lists = 0;
+  double sim_ms = 0;
+  uint64_t rows = 0;
+};
+
+/// Cold open + GetSnapshot through a fresh traced store — no warm hints,
+/// no shared replay state with the writer.
+ColdRead MeasureCold(InMemoryObjectStore* inner, const std::string& root,
+                     obs::MetricsRegistry* registry) {
+  IoTrace trace;
+  SequentialTracedStore traced(inner, &trace);
+  auto opened = Table::Open(&traced, root);
+  if (!opened.ok()) std::abort();
+  std::unique_ptr<Table> t = std::move(opened).value();
+  t->AttachMetrics(registry);
+  auto snap = t->GetSnapshot();
+  if (!snap.ok()) std::abort();
+  ColdRead r;
+  r.gets = trace.total_gets();
+  r.lists = trace.total_lists();
+  r.sim_ms = trace.ProjectedLatencyMs(S3Model{});
+  r.rows = snap.value().TotalRows();
+  return r;
+}
+
+void Print(const char* what, const ColdRead& r) {
+  std::printf("  %-22s %5llu GETs + %2llu LISTs, %9.1f ms projected "
+              "(%llu rows)\n",
+              what, static_cast<unsigned long long>(r.gets),
+              static_cast<unsigned long long>(r.lists), r.sim_ms,
+              static_cast<unsigned long long>(r.rows));
+}
+
+}  // namespace
+}  // namespace rottnest::bench
+
+int main() {
+  using namespace rottnest;
+  using namespace rottnest::bench;
+
+  PrintHeader("BENCH_metadata",
+              "metadata plane: cold GetSnapshot, checkpointed vs replay");
+  std::printf("workload: %zu one-row commits on one table\n\n", kCommits);
+
+  obs::MetricsRegistry registry;
+  SimulatedClock clock;
+  objectstore::InMemoryObjectStore store{&clock};
+  const std::string root = "lake/m";
+
+  auto created = lake::Table::Create(&store, root, IdSchema());
+  if (!created.ok()) std::abort();
+  std::unique_ptr<lake::Table> writer = std::move(created).value();
+  writer->AttachMetrics(&registry);
+  for (size_t i = 0; i < kCommits; ++i) {
+    if (!writer->Append(IdBatch(static_cast<int64_t>(i))).ok()) std::abort();
+    clock.Advance(1'000);
+  }
+
+  std::printf("cold GetSnapshot at %zu commits:\n", kCommits);
+  // (1) Before any checkpoint exists: the full replay chain.
+  ColdRead replay = MeasureCold(&store, root, &registry);
+  Print("replay-from-zero:", replay);
+
+  // (2) Checkpoint the tail, then the same cold read again.
+  if (!writer->Checkpoint().ok()) std::abort();
+  ColdRead ckpt = MeasureCold(&store, root, &registry);
+  Print("checkpoint+suffix:", ckpt);
+
+  bool ok = true;
+  if (replay.rows != kCommits || ckpt.rows != kCommits) {
+    std::fprintf(stderr, "FAIL: cold snapshots disagree on row count "
+                 "(%llu replay vs %llu checkpointed, want %zu)\n",
+                 static_cast<unsigned long long>(replay.rows),
+                 static_cast<unsigned long long>(ckpt.rows), kCommits);
+    ok = false;
+  }
+  double get_ratio = replay.gets == 0
+                         ? 1.0
+                         : static_cast<double>(ckpt.gets) /
+                               static_cast<double>(replay.gets);
+  double speedup = ckpt.sim_ms > 0 ? replay.sim_ms / ckpt.sim_ms : 0;
+  std::printf("  get ratio: %.4f (gate <= %.2f), projected speedup: %.0fx\n",
+              get_ratio, kMaxGetRatio, speedup);
+  if (get_ratio > kMaxGetRatio) {
+    std::fprintf(stderr,
+                 "FAIL: checkpointed cold read used %llu GETs vs %llu "
+                 "replay (ratio %.4f > %.2f)\n",
+                 static_cast<unsigned long long>(ckpt.gets),
+                 static_cast<unsigned long long>(replay.gets), get_ratio,
+                 kMaxGetRatio);
+    ok = false;
+  }
+
+  Json::Object root_json;
+  root_json["commits"] = Json(static_cast<uint64_t>(kCommits));
+  root_json["replay_gets"] = Json(replay.gets);
+  root_json["replay_lists"] = Json(replay.lists);
+  root_json["replay_sim_ms"] = Json(replay.sim_ms);
+  root_json["checkpoint_gets"] = Json(ckpt.gets);
+  root_json["checkpoint_lists"] = Json(ckpt.lists);
+  root_json["checkpoint_sim_ms"] = Json(ckpt.sim_ms);
+  root_json["get_ratio"] = Json(get_ratio);
+  root_json["speedup"] = Json(speedup);
+  root_json["rows"] = Json(ckpt.rows);
+
+  std::printf("\n");
+  WriteBenchJson("BENCH_metadata.json", std::move(root_json), &registry);
+  return ok ? 0 : 1;
+}

@@ -201,6 +201,11 @@ enum class ScrubFindingKind {
   kUnreadableIndex,       ///< Open failed for a non-corruption reason (IO).
   kInconsistentPageTable, ///< Page table names files outside covered set.
   kOrphanObject,          ///< Index object in the bucket, not in metadata.
+  kCorruptCheckpoint,     ///< Checkpoint object fails parse/checksum (rot).
+  kDanglingCheckpoint,    ///< _last_checkpoint names a missing/unusable
+                          ///< checkpoint, or is itself unparseable.
+  kOrphanCheckpoint,      ///< Valid checkpoint not named by the pointer —
+                          ///< a legal crash residue (warning).
 };
 
 const char* ScrubFindingKindName(ScrubFindingKind k);
@@ -236,6 +241,7 @@ struct ScrubOptions : CommonOptions {
 struct ScrubReport {
   std::vector<ScrubFinding> findings;  ///< Sorted; empty = pristine.
   size_t indexes_checked = 0;
+  size_t checkpoints_checked = 0;  ///< Checkpoint objects audited (deep).
   size_t components_verified = 0;
   size_t components_skipped = 0;  ///< Deep checks skipped by byte_budget.
   uint64_t bytes_verified = 0;
@@ -255,6 +261,8 @@ struct RepairOptions : CommonOptions {
   bool quarantine = true;      ///< Remove damaged entries from metadata.
   bool reindex = true;         ///< Re-Index columns uncovered by quarantine.
   bool gc_orphans = true;      ///< Delete orphan objects past the grace period.
+  /// Rebuild rotten/dangling metadata-plane checkpoints from the log.
+  bool rebuild_checkpoints = true;
   /// Orphans younger than this are left alone — they may be an in-flight
   /// Index upload that has not committed yet. 0 = the client's
   /// index_timeout_micros (the same guard Vacuum uses).
@@ -267,6 +275,8 @@ struct RepairReport {
   std::vector<std::string> quarantined;      ///< Entries removed from metadata.
   std::vector<std::string> rebuilt;          ///< New index objects committed.
   std::vector<std::string> orphans_deleted;  ///< Orphan objects deleted.
+  /// Fresh checkpoint objects written over rotten/dangling ones.
+  std::vector<std::string> checkpoints_rebuilt;
   uint64_t rebuilt_rows = 0;
   MaintenanceStats stats;
 };
@@ -396,6 +406,7 @@ class Rottnest {
   Status CheckInvariants(const SearchOptions& opts = {});
 
   lake::MetadataTable& metadata() { return metadata_; }
+  lake::Table* table() { return table_; }
   const RottnestOptions& options() const { return options_; }
 
   /// The client-side cache, or nullptr when cache_bytes == 0. Exposes

@@ -63,9 +63,83 @@ const char* ScrubFindingKindName(ScrubFindingKind k) {
       return "inconsistent-page-table";
     case ScrubFindingKind::kOrphanObject:
       return "orphan-object";
+    case ScrubFindingKind::kCorruptCheckpoint:
+      return "corrupt-checkpoint";
+    case ScrubFindingKind::kDanglingCheckpoint:
+      return "dangling-checkpoint";
+    case ScrubFindingKind::kOrphanCheckpoint:
+      return "orphan-checkpoint";
   }
   return "unknown";
 }
+
+namespace {
+
+/// Audits one log's checkpoints: pointer readable, pointed-to checkpoint
+/// valid, every checkpoint object parseable, orphans flagged as warnings
+/// (a crash between the checkpoint PutIfAbsent and the pointer move
+/// legally strands one). Appends findings; never fails fast.
+void AuditCheckpoints(lake::TxnLog* log, ScrubReport* report) {
+  lake::Checkpointer& ckpt = log->checkpointer();
+  auto listed = ckpt.List();
+  std::vector<lake::Version> versions =
+      listed.ok() ? listed.value() : std::vector<lake::Version>{};
+  report->checkpoints_checked += versions.size();
+
+  auto add = [&](ScrubFindingKind kind, ScrubSeverity severity,
+                 std::string path, std::string detail) {
+    ScrubFinding f;
+    f.kind = kind;
+    f.severity = severity;
+    f.index_path = std::move(path);
+    f.detail = std::move(detail);
+    report->findings.push_back(std::move(f));
+  };
+
+  lake::Version pointed = -1;
+  auto ptr = ckpt.ReadPointer();
+  if (ptr.ok()) {
+    pointed = ptr.value().version;
+    if (pointed >= 0) {
+      auto data = ckpt.Read(pointed);
+      if (data.status().IsNotFound()) {
+        add(ScrubFindingKind::kDanglingCheckpoint, ScrubSeverity::kError,
+            ckpt.KeyFor(pointed),
+            "_last_checkpoint names a missing checkpoint object");
+      } else if (!data.ok()) {
+        add(ScrubFindingKind::kCorruptCheckpoint, ScrubSeverity::kError,
+            ckpt.KeyFor(pointed), data.status().message());
+      }
+    }
+  } else if (!ptr.status().IsNotFound()) {
+    // Pointer present but unreadable: readers fall back to the LIST walk
+    // (or full replay) — flag it so Repair re-points.
+    add(ScrubFindingKind::kDanglingCheckpoint, ScrubSeverity::kError,
+        ckpt.pointer_key(), ptr.status().message());
+  } else if (!versions.empty()) {
+    // Checkpoints exist but no pointer was ever written — all orphans
+    // (crash after PutIfAbsent, before the first pointer move).
+    for (lake::Version v : versions) {
+      add(ScrubFindingKind::kOrphanCheckpoint, ScrubSeverity::kWarning,
+          ckpt.KeyFor(v), "checkpoint exists but _last_checkpoint does not");
+    }
+    return;
+  }
+
+  for (lake::Version v : versions) {
+    if (v == pointed) continue;  // Audited through the pointer above.
+    auto data = ckpt.Read(v);
+    if (!data.ok()) {
+      add(ScrubFindingKind::kCorruptCheckpoint, ScrubSeverity::kError,
+          ckpt.KeyFor(v), data.status().message());
+    } else {
+      add(ScrubFindingKind::kOrphanCheckpoint, ScrubSeverity::kWarning,
+          ckpt.KeyFor(v), "valid checkpoint not named by _last_checkpoint");
+    }
+  }
+}
+
+}  // namespace
 
 Result<ScrubReport> Rottnest::Scrub(const ScrubOptions& opts) {
   auto wall_start = std::chrono::steady_clock::now();
@@ -243,6 +317,16 @@ Result<ScrubReport> Rottnest::Scrub(const ScrubOptions& opts) {
     }
   }
 
+  // Metadata-plane checkpoints (deep audits only — the shallow
+  // CheckInvariants path keeps its pre-checkpoint cost and semantics).
+  // Both logs are audited: the lake table's and the index registry's.
+  if (opts.deep) {
+    internal::OpPhase phase(&op, "checkpoints");
+    local.RecordList();
+    AuditCheckpoints(&table_->log(), &report);
+    AuditCheckpoints(&metadata_.log(), &report);
+  }
+
   std::sort(report.findings.begin(), report.findings.end(),
             [](const ScrubFinding& a, const ScrubFinding& b) {
               if (a.index_path != b.index_path) {
@@ -382,6 +466,59 @@ Result<RepairReport> Rottnest::Repair(const ScrubReport& scrub,
         if (!statuses[i].ok()) return statuses[i];
         report.orphans_deleted.push_back(deletable[i]);
       }
+    }
+  }
+
+  // Step 4 — checkpoint rebuild: a rotten or dangling metadata-plane
+  // checkpoint is healed by replaying the log (readers already skip the
+  // bad object, so the replay is correct) and writing a fresh checkpoint
+  // at the current tail — overwriting in place when the damage sits at
+  // the tail version — then deleting superseded rotten objects. A crash
+  // anywhere in this step leaves a state Scrub still understands.
+  if (opts.rebuild_checkpoints && !opts.dry_run) {
+    internal::OpPhase phase(&op, "checkpoints");
+    const std::string lake_prefix = table_->log().prefix() + "/";
+    const std::string meta_prefix = metadata_.log().prefix() + "/";
+    bool lake_damaged = false, meta_damaged = false;
+    std::vector<std::pair<lake::TxnLog*, lake::Version>> rotten;
+    for (const ScrubFinding& f : scrub.findings) {
+      if (f.kind != ScrubFindingKind::kCorruptCheckpoint &&
+          f.kind != ScrubFindingKind::kDanglingCheckpoint) {
+        continue;
+      }
+      lake::TxnLog* log = nullptr;
+      if (f.index_path.compare(0, lake_prefix.size(), lake_prefix) == 0) {
+        log = &table_->log();
+        lake_damaged = true;
+      } else if (f.index_path.compare(0, meta_prefix.size(), meta_prefix) ==
+                 0) {
+        log = &metadata_.log();
+        meta_damaged = true;
+      }
+      lake::Version v = -1;
+      if (log != nullptr &&
+          f.kind == ScrubFindingKind::kCorruptCheckpoint &&
+          lake::Checkpointer::ParseCheckpointKey(f.index_path, &v)) {
+        rotten.emplace_back(log, v);
+      }
+    }
+    auto rebuild = [&](lake::TxnLog* log) -> Status {
+      auto fresh = log->WriteCheckpoint(/*overwrite=*/true);
+      if (!fresh.ok()) return fresh.status();
+      report.checkpoints_rebuilt.push_back(
+          log->checkpointer().KeyFor(fresh.value()));
+      return Status::OK();
+    };
+    if (lake_damaged) ROTTNEST_RETURN_NOT_OK(rebuild(&table_->log()));
+    if (meta_damaged) ROTTNEST_RETURN_NOT_OK(rebuild(&metadata_.log()));
+    for (auto& [log, v] : rotten) {
+      const std::string key = log->checkpointer().KeyFor(v);
+      bool rewritten_in_place =
+          std::find(report.checkpoints_rebuilt.begin(),
+                    report.checkpoints_rebuilt.end(),
+                    key) != report.checkpoints_rebuilt.end();
+      if (rewritten_in_place) continue;
+      ROTTNEST_RETURN_NOT_OK(log->checkpointer().Delete(v));
     }
   }
 

@@ -42,6 +42,29 @@ Status EntryFromJson(const Json& obj, IndexEntry* out) {
 
 }  // namespace
 
+Status CompactMetaActions(const std::vector<Json>& in,
+                          std::vector<Json>* out) {
+  std::map<std::string, Json> live;  // index_path -> original addIndex
+  std::vector<Json> unknown;
+  for (const Json& a : in) {
+    Json payload;
+    std::string path;
+    if (a.Get("addIndex", &payload)) {
+      ROTTNEST_RETURN_NOT_OK(payload.GetString("path", &path));
+      live[path] = a;
+    } else if (a.Get("removeIndex", &payload)) {
+      ROTTNEST_RETURN_NOT_OK(payload.GetString("path", &path));
+      live.erase(path);
+    } else {
+      unknown.push_back(a);  // Forward compatibility: pass through.
+    }
+  }
+  out->clear();
+  for (Json& a : unknown) out->push_back(std::move(a));
+  for (auto& [path, a] : live) out->push_back(std::move(a));
+  return Status::OK();
+}
+
 Result<Version> MetadataTable::Update(const std::vector<IndexEntry>& added,
                                       const std::vector<std::string>& removed) {
   std::vector<Json> actions;

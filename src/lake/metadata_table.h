@@ -23,11 +23,18 @@ struct IndexEntry {
   Micros created_micros = 0;               ///< Commit-time store clock.
 };
 
+/// The registry's ActionCompactor: reconciles addIndex/removeIndex into
+/// the live entry set, preserving unknown actions in order.
+Status CompactMetaActions(const std::vector<Json>& in,
+                          std::vector<Json>* out);
+
 /// Transactional index registry under `<prefix>/_meta`.
 class MetadataTable {
  public:
   MetadataTable(objectstore::ObjectStore* store, const std::string& prefix)
-      : store_(store), log_(store, prefix + "/_meta") {}
+      : store_(store), log_(store, prefix + "/_meta") {
+    log_.SetCompactor(CompactMetaActions);
+  }
 
   /// Atomically inserts `added` and deletes the entries whose index_path is
   /// in `removed`. One commit — concurrent calls serialize through the log.
@@ -36,6 +43,19 @@ class MetadataTable {
 
   /// All currently committed entries.
   Result<std::vector<IndexEntry>> ReadAll();
+
+  /// Checkpoints the registry log (see Table::Checkpoint).
+  Result<Version> Checkpoint() { return log_.WriteCheckpoint(); }
+
+  /// Truncates the registry log (see Table::TruncateLog).
+  Result<size_t> TruncateLog(Version keep_versions) {
+    return log_.Truncate(keep_versions);
+  }
+
+  /// Mirrors the log's `meta.*` counters into `registry` (nullptr stops).
+  void AttachMetrics(obs::MetricsRegistry* registry) {
+    log_.AttachMetrics(registry);
+  }
 
   TxnLog& log() { return log_; }
 

@@ -103,6 +103,60 @@ uint64_t Snapshot::TotalBytes() const {
   return total;
 }
 
+std::string Snapshot::DebugString() const {
+  Json::Array arr;
+  for (const DataFile& f : files) {
+    arr.push_back(MakeAddAction(f));
+  }
+  Json::Object obj;
+  obj["version"] = Json(static_cast<int64_t>(version));
+  obj["schema"] = SchemaToJson(schema);
+  obj["files"] = Json(std::move(arr));
+  return Json(std::move(obj)).Dump();
+}
+
+Status CompactTableActions(const std::vector<Json>& in,
+                           std::vector<Json>* out) {
+  std::map<std::string, Json> live;  // path -> original add action
+  Json meta;
+  bool have_meta = false;
+  std::vector<Json> unknown;
+  for (const Json& a : in) {
+    Json payload;
+    if (a.Get("metaData", &payload)) {
+      meta = a;  // Last metaData wins, mirroring replay order.
+      have_meta = true;
+    } else if (a.Get("add", &payload)) {
+      std::string path;
+      ROTTNEST_RETURN_NOT_OK(payload.GetString("path", &path));
+      live[path] = a;
+    } else if (a.Get("remove", &payload)) {
+      std::string path;
+      ROTTNEST_RETURN_NOT_OK(payload.GetString("path", &path));
+      live.erase(path);
+    } else {
+      // Unknown action kinds pass through verbatim, in order — a reader
+      // that understands them must see them after checkpointing too.
+      unknown.push_back(a);
+    }
+  }
+  out->clear();
+  if (have_meta) out->push_back(std::move(meta));
+  for (Json& a : unknown) out->push_back(std::move(a));
+  for (auto& [path, a] : live) out->push_back(std::move(a));
+  return Status::OK();
+}
+
+Table::Table(objectstore::ObjectStore* store, std::string root,
+             format::Schema schema, format::WriterOptions writer_options)
+    : store_(store),
+      root_(std::move(root)),
+      schema_(std::move(schema)),
+      writer_options_(writer_options),
+      log_(store, root_ + "/_log") {
+  log_.SetCompactor(CompactTableActions);
+}
+
 Result<std::unique_ptr<Table>> Table::Create(
     objectstore::ObjectStore* store, std::string root, format::Schema schema,
     format::WriterOptions writer_options) {
@@ -122,7 +176,15 @@ Result<std::unique_ptr<Table>> Table::Open(objectstore::ObjectStore* store,
                                            std::string root) {
   TxnLog log(store, root + "/_log");
   std::vector<Json> actions;
-  ROTTNEST_RETURN_NOT_OK(log.ReadVersion(0, &actions));
+  Status s0 = log.ReadVersion(0, &actions);
+  if (s0.IsNotFound()) {
+    // Entry 0 may have been truncated by log retention; the schema then
+    // lives in the checkpoint (the compactor preserves metaData).
+    auto replayed = log.Replay(-1, &actions);
+    if (!replayed.ok()) return s0;  // Genuinely no table here.
+  } else {
+    ROTTNEST_RETURN_NOT_OK(s0);
+  }
   format::Schema schema;
   bool found = false;
   for (const Json& a : actions) {
@@ -300,6 +362,12 @@ Result<Version> Table::DeleteWhere(
   }
   if (actions.empty()) return snap.version;
   return log_.CommitNext(actions);
+}
+
+Result<Version> Table::Checkpoint() { return log_.WriteCheckpoint(); }
+
+Result<size_t> Table::TruncateLog(Version keep_versions) {
+  return log_.Truncate(keep_versions);
 }
 
 Result<size_t> Table::Vacuum(Micros retention_micros) {

@@ -41,6 +41,10 @@ struct Snapshot {
 
   uint64_t TotalRows() const;
   uint64_t TotalBytes() const;
+
+  /// Canonical byte-stable serialization (version, schema, files in path
+  /// order) — the equivalence oracle for replay-from-0 vs checkpoint+suffix.
+  std::string DebugString() const;
 };
 
 /// A transactional table rooted at `<root>/` in an object store:
@@ -83,6 +87,23 @@ class Table {
   /// Returns the number of objects removed.
   Result<size_t> Vacuum(Micros retention_micros);
 
+  /// Writes a checkpoint of the reconciled table state at the current
+  /// latest version (see lake/checkpoint.h); cold GetSnapshot then reads
+  /// checkpoint + suffix instead of replaying from 0. Returns the
+  /// checkpointed version.
+  Result<Version> Checkpoint();
+
+  /// Deletes log entries covered by the newest checkpoint, keeping at
+  /// least the `keep_versions` most recent. Time travel below the floor
+  /// fails with a typed NotFound("version truncated ..."). Returns the
+  /// number of entries deleted; InvalidArgument without a checkpoint.
+  Result<size_t> TruncateLog(Version keep_versions);
+
+  /// Mirrors the log's `meta.*` counters into `registry` (nullptr stops).
+  void AttachMetrics(obs::MetricsRegistry* registry) {
+    log_.AttachMetrics(registry);
+  }
+
   /// Loads the deletion vector of `file` (empty vector if none).
   Status ReadDeletionVector(const DataFile& file, DeletionVector* out);
 
@@ -96,12 +117,7 @@ class Table {
 
  private:
   Table(objectstore::ObjectStore* store, std::string root,
-        format::Schema schema, format::WriterOptions writer_options)
-      : store_(store),
-        root_(std::move(root)),
-        schema_(std::move(schema)),
-        writer_options_(writer_options),
-        log_(store, root_ + "/_log") {}
+        format::Schema schema, format::WriterOptions writer_options);
 
   /// Writes `batch` as a data file object and returns its DataFile record.
   Result<DataFile> WriteDataFile(const format::RowBatch& batch);
@@ -115,6 +131,12 @@ class Table {
   TxnLog log_;
   uint64_t name_counter_ = 0;
 };
+
+/// The table's ActionCompactor: reconciles add/remove into the live file
+/// set, keeps the latest metaData, and preserves unknown actions in order
+/// (forward compatibility). Replay-equivalent to the input for any suffix.
+Status CompactTableActions(const std::vector<Json>& in,
+                           std::vector<Json>* out);
 
 /// Serializes a schema into the log's metaData action payload.
 Json SchemaToJson(const format::Schema& schema);

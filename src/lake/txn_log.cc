@@ -1,12 +1,45 @@
 #include "lake/txn_log.h"
 
+#include <cctype>
 #include <cstdio>
+
+#include "obs/metrics.h"
 
 namespace rottnest::lake {
 
 namespace {
+
 constexpr int kMaxCommitRetries = 32;
+
+/// Forward HEAD probes past the hint before giving up and LISTing — a
+/// burst of more than this many unseen commits falls back to the LIST.
+constexpr int kMaxTailProbes = 16;
+
+/// Parses a log-entry basename ("<20 digits>.json" exactly — checkpoint
+/// objects share the prefix but carry a ".checkpoint.json" suffix).
+bool ParseEntryBasename(const std::string& base, Version* version) {
+  if (base.size() != 25 || base.compare(20, 5, ".json") != 0) return false;
+  for (int i = 0; i < 20; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(base[i]))) return false;
+  }
+  *version = std::strtoll(base.c_str(), nullptr, 10);
+  return true;
+}
+
 }  // namespace
+
+LogMetrics ResolveLogMetrics(obs::MetricsRegistry* registry) {
+  LogMetrics m;
+  if (!registry) return m;
+  m.checkpoint_writes = registry->GetCounter("meta.checkpoint.writes");
+  m.checkpoint_hits = registry->GetCounter("meta.checkpoint.hits");
+  m.checkpoint_misses = registry->GetCounter("meta.checkpoint.misses");
+  m.checkpoint_fallbacks = registry->GetCounter("meta.checkpoint.fallbacks");
+  m.replay_gets = registry->GetCounter("meta.replay_gets");
+  m.tail_probes = registry->GetCounter("meta.tail_probes");
+  m.truncated_reads = registry->GetCounter("meta.truncated_reads");
+  return m;
+}
 
 std::string TxnLog::KeyFor(Version version) const {
   char buf[32];
@@ -15,17 +48,29 @@ std::string TxnLog::KeyFor(Version version) const {
   return prefix_ + "/" + buf + ".json";
 }
 
+void TxnLog::NoteTail(Version version) {
+  Version cur = tail_hint_.load(std::memory_order_relaxed);
+  while (version > cur &&
+         !tail_hint_.compare_exchange_weak(cur, version,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
 Status TxnLog::Commit(Version version, const std::vector<Json>& actions) {
   std::string body;
   for (const Json& a : actions) {
     body += a.Dump();
     body.push_back('\n');
   }
-  return store_->PutIfAbsent(KeyFor(version), Slice(body));
+  Status s = store_->PutIfAbsent(KeyFor(version), Slice(body));
+  if (s.ok()) NoteTail(version);
+  return s;
 }
 
 Result<Version> TxnLog::CommitNext(const std::vector<Json>& actions) {
-  ROTTNEST_ASSIGN_OR_RETURN(Version latest, LatestVersionOrMinusOne());
+  ROTTNEST_ASSIGN_OR_RETURN(
+      Version latest,
+      LatestVersionOrMinusOne(tail_hint_.load(std::memory_order_relaxed)));
   Version candidate = latest + 1;
   Random rng(commit_policy_.jitter_seed ^ Hash64(Slice(prefix_)));
   for (int attempt = 0; attempt < kMaxCommitRetries; ++attempt) {
@@ -33,25 +78,51 @@ Result<Version> TxnLog::CommitNext(const std::vector<Json>& actions) {
     if (s.ok()) return candidate;
     if (!s.IsAlreadyExists()) return s;
     // Lost the race for `candidate`. Back off (contention signal), then
-    // re-list to land on the real tail rather than probing versions blindly
+    // re-resolve the real tail rather than probing versions blindly
     // — under heavy contention a blind `latest + 1 + attempt` walk issues
     // one failed conditional put per intervening commit.
     if (sleep_) {
       sleep_(commit_policy_.BackoffFor(attempt + 1, &rng));
     }
-    ROTTNEST_ASSIGN_OR_RETURN(latest, LatestVersionOrMinusOne());
+    ROTTNEST_ASSIGN_OR_RETURN(latest, LatestVersionOrMinusOne(candidate));
     candidate = std::max(candidate + 1, latest + 1);
   }
   return Status::Aborted("commit contention exceeded retry budget");
 }
 
 Result<Version> TxnLog::LatestVersion() {
-  ROTTNEST_ASSIGN_OR_RETURN(Version v, LatestVersionOrMinusOne());
+  return LatestVersion(tail_hint_.load(std::memory_order_relaxed));
+}
+
+Result<Version> TxnLog::LatestVersion(Version hint) {
+  ROTTNEST_ASSIGN_OR_RETURN(Version v, LatestVersionOrMinusOne(hint));
   if (v < 0) return Status::NotFound("empty log: " + prefix_);
   return v;
 }
 
-Result<Version> TxnLog::LatestVersionOrMinusOne() {
+Result<Version> TxnLog::LatestVersionOrMinusOne(Version hint) {
+  if (hint >= 0) {
+    objectstore::ObjectMeta meta;
+    Status h = store_->Head(KeyFor(hint), &meta);
+    obs::Increment(metrics_.tail_probes);
+    if (h.ok()) {
+      Version v = hint;
+      for (int probe = 0; probe < kMaxTailProbes; ++probe) {
+        Status next = store_->Head(KeyFor(v + 1), &meta);
+        obs::Increment(metrics_.tail_probes);
+        if (next.IsNotFound()) {
+          NoteTail(v);
+          return v;
+        }
+        ROTTNEST_RETURN_NOT_OK(next);
+        ++v;
+      }
+      // Tail moved more than a probe window past the hint: LIST instead.
+    } else if (!h.IsNotFound()) {
+      return h;
+    }
+    // Hint entry absent (e.g. truncated by retention): fall back to LIST.
+  }
   std::vector<objectstore::ObjectMeta> listing;
   ROTTNEST_RETURN_NOT_OK(store_->List(prefix_ + "/", &listing));
   Version latest = -1;
@@ -60,18 +131,24 @@ Result<Version> TxnLog::LatestVersionOrMinusOne() {
     // the basename defensively anyway.
     size_t slash = obj.key.rfind('/');
     std::string base = obj.key.substr(slash + 1);
-    if (base.size() < 6 || base.compare(base.size() - 5, 5, ".json") != 0) {
+    Version v = -1;
+    // A checkpoint proves its version committed even after the entry was
+    // truncated — a fully truncated log must still report its true tail,
+    // or the next commit would try to reuse a burned version number.
+    if (!ParseEntryBasename(base, &v) &&
+        !Checkpointer::ParseCheckpointKey(base, &v)) {
       continue;
     }
-    Version v = std::strtoll(base.c_str(), nullptr, 10);
     if (v > latest) latest = v;
   }
+  if (latest >= 0) NoteTail(latest);
   return latest;
 }
 
 Status TxnLog::ReadVersion(Version version, std::vector<Json>* actions) {
+  const std::string key = KeyFor(version);
   Buffer body;
-  ROTTNEST_RETURN_NOT_OK(store_->Get(KeyFor(version), &body));
+  ROTTNEST_RETURN_NOT_OK(store_->Get(key, &body));
   actions->clear();
   std::string text(body.begin(), body.end());
   size_t pos = 0;
@@ -81,25 +158,132 @@ Status TxnLog::ReadVersion(Version version, std::vector<Json>* actions) {
     std::string line = text.substr(pos, nl - pos);
     pos = nl + 1;
     if (line.empty()) continue;
-    ROTTNEST_ASSIGN_OR_RETURN(Json j, Json::Parse(line));
-    actions->push_back(std::move(j));
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok()) {
+      // Malformed or short body (torn write, bit rot): surface as typed
+      // Corruption naming the key, never a raw parse error.
+      return Status::Corruption("malformed log entry " + key + ": " +
+                                parsed.status().message());
+    }
+    actions->push_back(std::move(parsed.value()));
   }
   return Status::OK();
 }
 
-Result<Version> TxnLog::Replay(Version version, std::vector<Json>* actions) {
+Result<Version> TxnLog::Replay(Version version, std::vector<Json>* actions,
+                               ReplayStats* stats) {
   actions->clear();
   if (version < 0) {
     auto latest = LatestVersion();
     if (!latest.ok()) return latest.status();
     version = latest.value();
   }
-  for (Version v = 0; v <= version; ++v) {
+  Version start = 0;
+  CheckpointPointer ptr;
+  if (use_checkpoints_.load(std::memory_order_relaxed)) {
+    bool fell_back = false;
+    auto found = ckpt_.FindUsable(version, &ptr, &fell_back);
+    if (found.ok()) {
+      *actions = std::move(found.value().actions);
+      start = found.value().version + 1;
+      if (stats) {
+        stats->used_checkpoint = true;
+        stats->checkpoint_version = found.value().version;
+      }
+      obs::Increment(metrics_.checkpoint_hits);
+    } else if (found.status().IsNotFound()) {
+      obs::Increment(metrics_.checkpoint_misses);
+    } else {
+      // Store-level failure while consulting checkpoints: degrade to full
+      // replay rather than failing the read (never wrong, only slower).
+      fell_back = true;
+    }
+    if (fell_back) obs::Increment(metrics_.checkpoint_fallbacks);
+  }
+  // A readable pointer always names a version >= 0; use it to distinguish
+  // "entry removed by retention" from "version never committed".
+  const bool have_ptr = ptr.version >= 0;
+  for (Version v = start; v <= version; ++v) {
     std::vector<Json> batch;
-    ROTTNEST_RETURN_NOT_OK(ReadVersion(v, &batch));
+    Status s = ReadVersion(v, &batch);
+    if (stats) ++stats->entry_gets;
+    obs::Increment(metrics_.replay_gets);
+    if (s.IsNotFound() && have_ptr && ptr.truncated_before > v) {
+      obs::Increment(metrics_.truncated_reads);
+      return Status::NotFound(
+          "version truncated: " + KeyFor(v) +
+          " removed by log retention (truncated_before=" +
+          std::to_string(ptr.truncated_before) + ")");
+    }
+    ROTTNEST_RETURN_NOT_OK(s);
     for (Json& j : batch) actions->push_back(std::move(j));
   }
+  NoteTail(version);
   return version;
+}
+
+Result<Version> TxnLog::WriteCheckpoint(bool overwrite) {
+  std::vector<Json> actions;
+  ROTTNEST_ASSIGN_OR_RETURN(Version version, Replay(-1, &actions));
+  std::vector<Json> compacted;
+  if (compactor_) {
+    ROTTNEST_RETURN_NOT_OK(compactor_(actions, &compacted));
+  } else {
+    compacted = std::move(actions);
+  }
+  ROTTNEST_RETURN_NOT_OK(overwrite ? ckpt_.Rewrite(version, compacted)
+                                   : ckpt_.Write(version, compacted));
+  obs::Increment(metrics_.checkpoint_writes);
+  return version;
+}
+
+Result<size_t> TxnLog::Truncate(Version keep_versions) {
+  if (keep_versions < 0) {
+    return Status::InvalidArgument("keep_versions must be >= 0");
+  }
+  ROTTNEST_ASSIGN_OR_RETURN(Version latest, LatestVersion());
+  auto pr = ckpt_.ReadPointer();
+  if (!pr.ok() || pr.value().version < 0) {
+    return Status::InvalidArgument(
+        "cannot truncate " + prefix_ +
+        " without a checkpoint (write one first)");
+  }
+  CheckpointPointer ptr = pr.value();
+  // Never delete entries the newest checkpoint does not cover, and keep
+  // the most recent `keep_versions` entries for bounded time travel.
+  Version desired = latest - keep_versions + 1;
+  Version floor = std::min(ptr.version + 1, desired);
+  if (desired < ptr.version + 1) {
+    // The retention window reaches below the newest checkpoint. A version v
+    // is replayable only from a checkpoint at or below it, so the floor must
+    // land on a checkpoint boundary: pick the newest checkpoint cv <= desired
+    // and stop at cv + 1 (version cv itself stays readable checkpoint-only).
+    // No such checkpoint means nothing can be safely deleted yet.
+    ROTTNEST_ASSIGN_OR_RETURN(std::vector<Version> ckpts, ckpt_.List());
+    Version seed = -1;
+    for (Version cv : ckpts) {
+      if (cv <= desired && cv > seed) seed = cv;
+    }
+    if (seed < 0) return size_t{0};
+    floor = std::min(seed + 1, desired);
+  }
+  if (floor <= 0 || floor <= ptr.truncated_before) return size_t{0};
+  // Retention floor moves FIRST: once it lands, readers classify missing
+  // entries below it as truncated, so a crash mid-delete leaves the log
+  // fully readable (some entries just die later).
+  ROTTNEST_RETURN_NOT_OK(ckpt_.AdvancePointer(ptr.version, floor));
+  std::vector<objectstore::ObjectMeta> listing;
+  ROTTNEST_RETURN_NOT_OK(store_->List(prefix_ + "/", &listing));
+  size_t deleted = 0;
+  for (const auto& obj : listing) {
+    size_t slash = obj.key.rfind('/');
+    Version v = -1;
+    if (!ParseEntryBasename(obj.key.substr(slash + 1), &v)) continue;
+    if (v >= floor) continue;
+    ROTTNEST_RETURN_NOT_OK(store_->Delete(obj.key));
+    ++deleted;
+  }
+  return deleted;
 }
 
 }  // namespace rottnest::lake

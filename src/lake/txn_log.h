@@ -4,29 +4,63 @@
 // writer of a version wins and losers retry on the next version. Strong
 // read-after-write consistency (provided by the object store) makes the
 // latest version discoverable with a LIST.
+//
+// Cold-read cost is bounded by checkpoints (see lake/checkpoint.h): Replay
+// resolves the newest usable checkpoint at or below the target version and
+// reads only the log suffix past it, so recovery is O(commits since last
+// checkpoint) instead of O(all commits). Truncate deletes pre-checkpoint
+// entries; reads past the retention floor fail with a typed
+// NotFound("version truncated ...") rather than a half-replayed state.
 #ifndef ROTTNEST_LAKE_TXN_LOG_H_
 #define ROTTNEST_LAKE_TXN_LOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/json.h"
 #include "common/random.h"
+#include "lake/checkpoint.h"
 #include "objectstore/object_store.h"
 #include "objectstore/retry.h"
 
+namespace rottnest::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace rottnest::obs
+
 namespace rottnest::lake {
 
-/// A table/log version number. Version 0 is the first commit.
-using Version = int64_t;
+/// Per-replay accounting, for tests and the metadata bench.
+struct ReplayStats {
+  uint64_t entry_gets = 0;        ///< Log-entry GETs issued.
+  bool used_checkpoint = false;   ///< Replay started from a checkpoint.
+  Version checkpoint_version = -1;
+};
+
+/// Pre-resolved `meta.*` metric handles (see obs/metrics.h); all null when
+/// metrics are off. Shared across logs attached to one registry — the
+/// metadata plane is reported as one surface.
+struct LogMetrics {
+  obs::Counter* checkpoint_writes = nullptr;
+  obs::Counter* checkpoint_hits = nullptr;
+  obs::Counter* checkpoint_misses = nullptr;
+  obs::Counter* checkpoint_fallbacks = nullptr;
+  obs::Counter* replay_gets = nullptr;
+  obs::Counter* tail_probes = nullptr;
+  obs::Counter* truncated_reads = nullptr;
+};
+
+/// Resolves the `meta.*` handle set (nullptr-safe).
+LogMetrics ResolveLogMetrics(obs::MetricsRegistry* registry);
 
 /// Versioned action log under `prefix` in `store`.
 class TxnLog {
  public:
   /// Neither argument is owned; `store` must outlive the log.
   TxnLog(objectstore::ObjectStore* store, std::string prefix)
-      : store_(store), prefix_(std::move(prefix)) {}
+      : store_(store), prefix_(std::move(prefix)), ckpt_(store, prefix_) {}
 
   /// Attempts to commit `actions` as `version`. Fails with AlreadyExists if
   /// another writer committed that version first.
@@ -48,15 +82,63 @@ class TxnLog {
     sleep_ = std::move(sleep);
   }
 
-  /// Highest committed version, or NotFound if the log is empty.
+  /// Highest committed version, or NotFound if the log is empty. Uses the
+  /// last tail this instance observed as a probe hint (see the overload).
   Result<Version> LatestVersion();
 
-  /// Reads the actions of one version.
+  /// Like LatestVersion, but probes forward from `hint` (a version the
+  /// caller believes committed) with HEADs instead of LISTing the whole
+  /// log prefix. A hint miss — entry absent (e.g. truncated) or the tail
+  /// more than a probe window ahead — falls back to the full LIST.
+  Result<Version> LatestVersion(Version hint);
+
+  /// Reads the actions of one version. A malformed or short body fails
+  /// with Corruption naming the offending key.
   Status ReadVersion(Version version, std::vector<Json>* actions);
 
-  /// Reads all actions of versions [0, version] in commit order.
-  /// version < 0 means latest. Returns the version actually read.
-  Result<Version> Replay(Version version, std::vector<Json>* actions);
+  /// Reads all actions of versions [0, version] in commit order, seeding
+  /// from the newest usable checkpoint at or below the target when one
+  /// exists (equivalent by the ActionCompactor contract). version < 0
+  /// means latest. Returns the version actually read. Reading a version
+  /// below the retention floor fails with NotFound("version truncated...").
+  Result<Version> Replay(Version version, std::vector<Json>* actions,
+                         ReplayStats* stats = nullptr);
+
+  /// Writes a checkpoint of the log's compacted state at the current
+  /// latest version and advances the `_last_checkpoint` pointer. Returns
+  /// the checkpointed version. Safe under concurrent commits: the
+  /// checkpoint names the version it replayed, never a moving tail.
+  /// `overwrite` replaces an existing (possibly rotten) checkpoint object
+  /// at that version in place — the Repair path.
+  Result<Version> WriteCheckpoint(bool overwrite = false);
+
+  /// Deletes log entries superseded by the newest checkpoint, keeping at
+  /// least the `keep_versions` most recent versions. The retention floor
+  /// in the `_last_checkpoint` pointer moves first (crash-safe: a partial
+  /// delete pass is indistinguishable from a finished one to readers).
+  /// Returns the number of entries deleted. InvalidArgument if no
+  /// checkpoint exists yet.
+  Result<size_t> Truncate(Version keep_versions);
+
+  /// Installs the action compactor used by WriteCheckpoint (see
+  /// lake/checkpoint.h). Not thread-safe; install before concurrent use.
+  void SetCompactor(ActionCompactor compactor) {
+    compactor_ = std::move(compactor);
+  }
+
+  /// Disables checkpoint consultation in Replay (full replay from 0) —
+  /// for equivalence tests and the metadata bench.
+  void set_use_checkpoints(bool on) {
+    use_checkpoints_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Starts mirroring checkpoint/replay counters into `registry` under
+  /// `meta.*` (pass nullptr to stop). Attach before concurrent use.
+  void AttachMetrics(obs::MetricsRegistry* registry) {
+    metrics_ = ResolveLogMetrics(registry);
+  }
+
+  Checkpointer& checkpointer() { return ckpt_; }
 
   const std::string& prefix() const { return prefix_; }
 
@@ -64,12 +146,19 @@ class TxnLog {
   std::string KeyFor(Version version) const;
 
   /// Like LatestVersion but returns -1 (not an error) for an empty log.
-  Result<Version> LatestVersionOrMinusOne();
+  Result<Version> LatestVersionOrMinusOne(Version hint);
+
+  void NoteTail(Version version);
 
   objectstore::ObjectStore* store_;
   std::string prefix_;
+  Checkpointer ckpt_;
+  ActionCompactor compactor_;
   objectstore::RetryPolicy commit_policy_;
   objectstore::SleepFn sleep_;
+  std::atomic<Version> tail_hint_{-1};
+  std::atomic<bool> use_checkpoints_{true};
+  LogMetrics metrics_;
 };
 
 }  // namespace rottnest::lake

@@ -30,6 +30,8 @@ EngineMetrics ResolveEngineMetrics(obs::MetricsRegistry* registry,
   m.failed = registry->GetCounter(p + "failed");
   m.waves = registry->GetCounter(p + "waves");
   m.wave_queries = registry->GetCounter(p + "wave_queries");
+  m.pinned = registry->GetCounter(p + "pinned");
+  m.pin_conflicts = registry->GetCounter(p + "pin_conflicts");
   m.queue_depth = registry->GetGauge(p + "queue_depth");
   m.wave_size = registry->GetHistogram(p + "wave_size");
   m.latency_micros = registry->GetHistogram(p + "latency_micros");
@@ -65,6 +67,10 @@ void QueryEngine::AttachMetrics(obs::MetricsRegistry* registry,
                                 const std::string& name) {
   metrics_ = ResolveEngineMetrics(registry, name);
   admission_.AttachMetrics(registry, name);
+  // The serving surface owns the metadata-plane counters too: replay /
+  // checkpoint traffic of the client's logs shows up as `meta.*`.
+  client_->table()->AttachMetrics(registry);
+  client_->metadata().AttachMetrics(registry);
 }
 
 Result<core::QueryResponse> QueryEngine::Execute(core::Query q) {
@@ -249,6 +255,25 @@ void QueryEngine::RunWave(std::vector<std::shared_ptr<Request>>& wave) {
   obs::Add(metrics_.wave_queries, wave.size());
   obs::Record(metrics_.wave_size, wave.size());
 
+  // Pin the wave to one snapshot version: every member that asked for
+  // "latest" plans against the same metadata state, resolved once with
+  // hint-accelerated HEAD probes instead of per-query LISTs. Resolution
+  // failure (cold store hiccup, empty table) leaves members unpinned —
+  // Execute resolves latest itself, exactly as before.
+  lake::Version pinned = -1;
+  {
+    auto latest = client_->table()->log().LatestVersion();
+    if (latest.ok()) pinned = latest.value();
+  }
+  for (auto& req : wave) {
+    if (pinned >= 0 && req->query.options.snapshot < 0) {
+      req->query.options.snapshot = pinned;
+      req->engine_pinned = true;
+      stats_.pinned.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(metrics_.pinned);
+    }
+  }
+
   // One RAII slot per member: releasing each ticket feeds the admission
   // EWMA with that query's observed service time.
   std::vector<core::AdmissionTicket> tickets;
@@ -265,6 +290,19 @@ void QueryEngine::RunWave(std::vector<std::shared_ptr<Request>>& wave) {
   // every member that needed the range.
   client_->pool()->ParallelFor(wave.size(), [&](size_t i) {
     Result<core::QueryResponse> result = client_->Execute(wave[i]->query);
+    if (!result.ok() && result.status().IsNotFound() &&
+        wave[i]->engine_pinned) {
+      // The version the ENGINE pinned vanished mid-query (concurrent
+      // TruncateLog/Vacuum won the race). The caller asked for "latest",
+      // so this is not their error — convert to typed retryable
+      // Unavailable; a retry re-pins against the new latest.
+      stats_.pin_conflicts.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(metrics_.pin_conflicts);
+      result = Status::Unavailable(
+          "pinned snapshot " +
+          std::to_string(wave[i]->query.options.snapshot) +
+          " truncated or vacuumed mid-query; retry");
+    }
     tickets[i].Release();
     Complete(wave[i], std::move(result));
   });

@@ -35,6 +35,14 @@
 //     its OWN deadline (the earliest-deadline member cuts itself short
 //     while its wave-mates run on), and a failed shared fetch propagates
 //     per-query (failures are never ledger-cached).
+//   * SNAPSHOT PINNING: each wave resolves the table's latest version once
+//     (hint-accelerated HEAD probes, not a LIST) and pins every member
+//     that asked for "latest" (options.snapshot < 0) to it — wave-mates
+//     plan against one consistent metadata state, and a concurrent
+//     TruncateLog/Vacuum that removes the pinned version mid-query
+//     surfaces as typed retryable Unavailable ("pinned snapshot ...;
+//     retry"), never a spurious NotFound. Queries that pinned their own
+//     snapshot keep their typed NotFound contract.
 //
 // Execute() blocks the calling thread until its query completes — the
 // closed-loop serving model; thousands of callers may block concurrently.
@@ -106,6 +114,9 @@ struct EngineStats {
   std::atomic<uint64_t> failed{0};            ///< Completed with an error.
   std::atomic<uint64_t> waves{0};             ///< GET waves dispatched.
   std::atomic<uint64_t> wave_queries{0};      ///< Queries across all waves.
+  std::atomic<uint64_t> pinned{0};            ///< Snapshot pinned by engine.
+  std::atomic<uint64_t> pin_conflicts{0};     ///< Pinned version vanished
+                                              ///< mid-query (retryable).
 };
 
 /// Pre-resolved `serve.<name>.*` metric handles (nullptr-safe).
@@ -117,6 +128,8 @@ struct EngineMetrics {
   obs::Counter* failed = nullptr;
   obs::Counter* waves = nullptr;
   obs::Counter* wave_queries = nullptr;
+  obs::Counter* pinned = nullptr;
+  obs::Counter* pin_conflicts = nullptr;
   obs::Gauge* queue_depth = nullptr;
   obs::Histogram* wave_size = nullptr;
   obs::Histogram* latency_micros = nullptr;
@@ -167,6 +180,11 @@ class QueryEngine {
     core::Query query;
     Deadline deadline;
     Micros submitted_at = 0;
+    /// The engine pinned this query's snapshot (the query asked for
+    /// "latest"); a mid-flight NotFound then means concurrent retention/
+    /// vacuum removed the pinned version — converted to typed retryable
+    /// Unavailable rather than surfaced as a spurious NotFound.
+    bool engine_pinned = false;
     std::mutex mu;
     std::condition_variable cv;
     bool done = false;

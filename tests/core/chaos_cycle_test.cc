@@ -214,7 +214,7 @@ TEST(ChaosCycleTest, FullCycleMatchesFaultFreeRun) {
   SimulatedClock clock;
   InMemoryObjectStore inner(&clock);
   FaultOptions fopts;
-  fopts.seed = 20260806;
+  fopts.seed = 20260809;
   fopts.transient_fault_rate = 0.1;
   fopts.ambiguous_put_rate = 0.1;
   // Latency injection on top of the faults (simulated-time sleeper, so the

@@ -1,0 +1,543 @@
+// Checkpointed metadata plane (ISSUE 9 tentpole): checkpoint + suffix
+// replay equivalence at several checkpoint widths, torn-pointer / rotten-
+// checkpoint fallbacks (never wrong, only slower), typed truncated time
+// travel, the byte-flip corruption sweep over log entries and checkpoint
+// objects, hint-accelerated tail discovery, crash-schedule exploration of
+// Checkpoint/TruncateLog, and Scrub/Repair of rotten checkpoints.
+#include "lake/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/rottnest.h"
+#include "lake/table.h"
+#include "lake/txn_log.h"
+#include "obs/metrics.h"
+#include "objectstore/fault_injection.h"
+#include "objectstore/object_store.h"
+
+namespace rottnest::lake {
+namespace {
+
+using format::ColumnVector;
+using format::PhysicalType;
+using format::RowBatch;
+using format::Schema;
+using objectstore::CrashMode;
+using objectstore::FaultInjectingStore;
+using objectstore::InMemoryObjectStore;
+
+Schema IdSchema() {
+  Schema s;
+  s.columns.push_back({"id", PhysicalType::kInt64, 0});
+  return s;
+}
+
+RowBatch IdBatch(int64_t first_id, size_t rows) {
+  RowBatch b;
+  b.schema = IdSchema();
+  ColumnVector::Ints ids;
+  for (size_t i = 0; i < rows; ++i) {
+    ids.push_back(first_id + static_cast<int64_t>(i));
+  }
+  b.columns.emplace_back(std::move(ids));
+  return b;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  /// Snapshot DebugStrings at every version, read through `table`.
+  std::vector<std::string> SweepSnapshots(Table* table, Version latest) {
+    std::vector<std::string> out;
+    for (Version v = 0; v <= latest; ++v) {
+      auto snap = table->GetSnapshot(v);
+      EXPECT_TRUE(snap.ok()) << "v" << v << ": " << snap.status().ToString();
+      out.push_back(snap.ok() ? snap.value().DebugString() : "<error>");
+    }
+    return out;
+  }
+
+  SimulatedClock clock_;
+  InMemoryObjectStore store_{&clock_};
+};
+
+// ---------------------------------------------------------------------------
+// Tentpole (a): checkpoint + suffix replay is byte-identical to full replay
+// at EVERY version, for several checkpoint widths and interleaved deletes.
+
+TEST_F(CheckpointTest, EquivalentToFullReplayAtEveryVersionAcrossWidths) {
+  for (int width : {1, 3, 8}) {
+    SCOPED_TRACE("checkpoint width " + std::to_string(width));
+    const std::string root = "t" + std::to_string(width);
+    auto t = Table::Create(&store_, root, IdSchema()).MoveValue();
+    const int kCommits = 12;
+    for (int i = 0; i < kCommits; ++i) {
+      ASSERT_TRUE(t->Append(IdBatch(i * 10, 10)).ok());
+      if (i % 4 == 3) {
+        // Interleave deletes so checkpoints must reconcile remove actions.
+        ASSERT_TRUE(t->DeleteWhere("id",
+                                   [&](const ColumnVector& c, size_t r) {
+                                     return c.ints()[r] % 10 == i % 10;
+                                   })
+                        .ok());
+      }
+      if ((i + 1) % width == 0) {
+        ASSERT_TRUE(t->Checkpoint().ok());
+      }
+    }
+    auto latest = t->log().LatestVersion();
+    ASSERT_TRUE(latest.ok());
+
+    // Two cold readers of the same store: one seeds replay from
+    // checkpoints, the other replays every commit from 0.
+    auto with = Table::Open(&store_, root).MoveValue();
+    auto without = Table::Open(&store_, root).MoveValue();
+    without->log().set_use_checkpoints(false);
+    std::vector<std::string> a = SweepSnapshots(with.get(), latest.value());
+    std::vector<std::string> b =
+        SweepSnapshots(without.get(), latest.value());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t v = 0; v < a.size(); ++v) {
+      EXPECT_EQ(a[v], b[v]) << "divergence at version " << v;
+    }
+  }
+}
+
+TEST_F(CheckpointTest, ColdReplayReadsCheckpointPlusSuffixOnly) {
+  auto t = Table::Create(&store_, "t", IdSchema()).MoveValue();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(t->Append(IdBatch(i, 1)).ok());
+  }
+  auto ckpt_v = t->Checkpoint();
+  ASSERT_TRUE(ckpt_v.ok());
+  for (int i = 20; i < 24; ++i) {
+    ASSERT_TRUE(t->Append(IdBatch(i, 1)).ok());
+  }
+
+  auto cold = Table::Open(&store_, "t").MoveValue();
+  std::vector<Json> actions;
+  ReplayStats stats;
+  auto v = cold->log().Replay(-1, &actions, &stats);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(stats.used_checkpoint);
+  EXPECT_EQ(stats.checkpoint_version, ckpt_v.value());
+  // Only the 4 post-checkpoint commits are fetched entry-by-entry.
+  EXPECT_EQ(stats.entry_gets, static_cast<uint64_t>(v.value() -
+                                                    ckpt_v.value()));
+
+  auto full = Table::Open(&store_, "t").MoveValue();
+  full->log().set_use_checkpoints(false);
+  ReplayStats full_stats;
+  ASSERT_TRUE(full->log().Replay(-1, &actions, &full_stats).ok());
+  EXPECT_FALSE(full_stats.used_checkpoint);
+  EXPECT_EQ(full_stats.entry_gets, static_cast<uint64_t>(v.value() + 1));
+}
+
+// ---------------------------------------------------------------------------
+// Fallback semantics: a torn pointer or rotten checkpoint degrades the read
+// path, never corrupts it.
+
+TEST_F(CheckpointTest, TornPointerFallsBackToListWalkAndStillServes) {
+  auto t = Table::Create(&store_, "t", IdSchema()).MoveValue();
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(t->Append(IdBatch(i, 2)).ok());
+  ASSERT_TRUE(t->Checkpoint().ok());
+  std::string expected = t->GetSnapshot().MoveValue().DebugString();
+
+  // Tear the pointer: unparseable bytes, as a crashed writer would leave.
+  const std::string ptr_key = t->log().checkpointer().pointer_key();
+  const std::string torn = "torn{{{";
+  ASSERT_TRUE(store_.Put(ptr_key, Slice(torn)).ok());
+
+  obs::MetricsRegistry registry;
+  auto cold = Table::Open(&store_, "t").MoveValue();
+  cold->AttachMetrics(&registry);
+  ReplayStats stats;
+  std::vector<Json> actions;
+  ASSERT_TRUE(cold->log().Replay(-1, &actions, &stats).ok());
+  // The LIST walk still discovered the (valid) checkpoint object.
+  EXPECT_TRUE(stats.used_checkpoint);
+  EXPECT_GE(registry.GetCounter("meta.checkpoint.fallbacks")->value(), 1u);
+  EXPECT_EQ(cold->GetSnapshot().MoveValue().DebugString(), expected);
+}
+
+TEST_F(CheckpointTest, RottenCheckpointFallsBackToFullReplay) {
+  auto t = Table::Create(&store_, "t", IdSchema()).MoveValue();
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(t->Append(IdBatch(i, 2)).ok());
+  auto ckpt_v = t->Checkpoint();
+  ASSERT_TRUE(ckpt_v.ok());
+  std::string expected = t->GetSnapshot().MoveValue().DebugString();
+
+  // Rot the checkpoint payload itself; the pointer still names it.
+  const std::string key = t->log().checkpointer().KeyFor(ckpt_v.value());
+  const std::string junk = "{\"not\":\"a checkpoint\"}";
+  ASSERT_TRUE(store_.Put(key, Slice(junk)).ok());
+
+  auto cold = Table::Open(&store_, "t").MoveValue();
+  ReplayStats stats;
+  std::vector<Json> actions;
+  ASSERT_TRUE(cold->log().Replay(-1, &actions, &stats).ok());
+  EXPECT_FALSE(stats.used_checkpoint);  // Degraded to replay-from-0.
+  EXPECT_EQ(cold->GetSnapshot().MoveValue().DebugString(), expected);
+
+  // Read() itself reports typed Corruption naming the offending key.
+  auto read = cold->log().checkpointer().Read(ckpt_v.value());
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsCorruption()) << read.status().ToString();
+  EXPECT_NE(read.status().message().find(key), std::string::npos)
+      << read.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole (b): retention. Time travel below the floor is a typed error;
+// the tail stays fully readable; a fully truncated log still knows its
+// version chain.
+
+TEST_F(CheckpointTest, TimeTravelBelowRetentionFloorIsTypedNotFound) {
+  auto t = Table::Create(&store_, "t", IdSchema()).MoveValue();
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE(t->Append(IdBatch(i, 1)).ok());
+  ASSERT_TRUE(t->Checkpoint().ok());  // Checkpoint at version 7.
+  for (int i = 7; i < 10; ++i) ASSERT_TRUE(t->Append(IdBatch(i, 1)).ok());
+  auto latest = t->log().LatestVersion().MoveValue();
+  std::string expected = t->GetSnapshot().MoveValue().DebugString();
+
+  // A retention window reaching below the newest checkpoint with no older
+  // checkpoint to seed replay from: nothing can be safely deleted, and the
+  // old versions stay readable.
+  auto noop = t->TruncateLog(/*keep_versions=*/5);
+  ASSERT_TRUE(noop.ok()) << noop.status().ToString();
+  EXPECT_EQ(noop.value(), 0u);
+  EXPECT_TRUE(t->GetSnapshot(1).ok());
+
+  // keep_versions=3 lands the floor exactly on the checkpoint boundary
+  // (checkpoint 7 seeds replay of versions 8..10).
+  auto deleted = t->TruncateLog(/*keep_versions=*/3);
+  ASSERT_TRUE(deleted.ok()) << deleted.status().ToString();
+  EXPECT_GT(deleted.value(), 0u);
+
+  // Below the floor: typed, named error — not Corruption, not silence.
+  auto old = t->GetSnapshot(1);
+  ASSERT_FALSE(old.ok());
+  EXPECT_TRUE(old.status().IsNotFound()) << old.status().ToString();
+  EXPECT_NE(old.status().message().find("version truncated"),
+            std::string::npos)
+      << old.status().ToString();
+
+  // The retained window and the tail still serve, cold as well as warm.
+  EXPECT_TRUE(t->GetSnapshot(latest - 2).ok());
+  EXPECT_EQ(t->GetSnapshot().MoveValue().DebugString(), expected);
+  auto cold = Table::Open(&store_, "t").MoveValue();
+  EXPECT_EQ(cold->GetSnapshot().MoveValue().DebugString(), expected);
+}
+
+TEST_F(CheckpointTest, FullyTruncatedLogStillCommitsFreshVersions) {
+  auto t = Table::Create(&store_, "t", IdSchema()).MoveValue();
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(t->Append(IdBatch(i, 1)).ok());
+  ASSERT_TRUE(t->Checkpoint().ok());
+  auto latest = t->log().LatestVersion().MoveValue();
+  ASSERT_TRUE(t->TruncateLog(/*keep_versions=*/0).ok());
+
+  // Every entry is gone; the checkpoint alone carries the state. A cold
+  // open must still resolve the true tail — committing must not reuse a
+  // burned version number.
+  auto cold = Table::Open(&store_, "t").MoveValue();
+  EXPECT_EQ(cold->log().LatestVersion().MoveValue(), latest);
+  auto v = cold->Append(IdBatch(100, 1));
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v.value(), latest + 1);
+  EXPECT_EQ(cold->GetSnapshot().MoveValue().TotalRows(), 7u);
+}
+
+TEST_F(CheckpointTest, TruncateWithoutCheckpointIsRefused) {
+  auto t = Table::Create(&store_, "t", IdSchema()).MoveValue();
+  ASSERT_TRUE(t->Append(IdBatch(0, 1)).ok());
+  auto s = t->TruncateLog(0);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.status().IsInvalidArgument()) << s.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1: byte-flip sweep. Every single-bit flip of a log entry or
+// checkpoint body yields OK (the flip kept the JSON well-formed and the
+// checksum, if any, happened to hold) or typed Corruption naming the key —
+// never a crash, never a silently wrong other status.
+
+TEST_F(CheckpointTest, LogEntryByteFlipSweepYieldsOkOrTypedCorruption) {
+  TxnLog log(&store_, "sweep");
+  std::vector<Json> actions;
+  actions.push_back(Json(Json::Object{
+      {"add", Json(Json::Object{{"path", Json("data/x.lake")},
+                                {"rows", Json(int64_t{42})}})}}));
+  ASSERT_TRUE(log.Commit(0, actions).ok());
+  const std::string key = "sweep/00000000000000000000.json";
+
+  Buffer pristine;
+  ASSERT_TRUE(store_.Get(key, &pristine).ok());
+  size_t corruptions = 0;
+  for (size_t i = 0; i < pristine.size(); ++i) {
+    Buffer flipped = pristine;
+    flipped[i] ^= 0x20;
+    ASSERT_TRUE(store_.Put(key, Slice(flipped.data(), flipped.size())).ok());
+    std::vector<Json> out;
+    Status s = log.ReadVersion(0, &out);
+    if (!s.ok()) {
+      EXPECT_TRUE(s.IsCorruption()) << "byte " << i << ": " << s.ToString();
+      EXPECT_NE(s.message().find(key), std::string::npos)
+          << "byte " << i << ": " << s.ToString();
+      ++corruptions;
+    }
+  }
+  EXPECT_GT(corruptions, 0u);
+  // Short bodies (torn writes) are typed the same way.
+  Buffer torn(pristine.begin(), pristine.begin() + pristine.size() / 2);
+  ASSERT_TRUE(store_.Put(key, Slice(torn.data(), torn.size())).ok());
+  std::vector<Json> out;
+  Status s = log.ReadVersion(0, &out);
+  if (!s.ok()) {
+    EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+    EXPECT_NE(s.message().find(key), std::string::npos);
+  }
+  ASSERT_TRUE(store_.Put(key, Slice(pristine.data(), pristine.size())).ok());
+  EXPECT_TRUE(log.ReadVersion(0, &out).ok());
+}
+
+TEST_F(CheckpointTest, CheckpointByteFlipSweepIsChecksummed) {
+  auto t = Table::Create(&store_, "t", IdSchema()).MoveValue();
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(t->Append(IdBatch(i, 1)).ok());
+  auto v = t->Checkpoint();
+  ASSERT_TRUE(v.ok());
+  Checkpointer& ckpt = t->log().checkpointer();
+  const std::string key = ckpt.KeyFor(v.value());
+  Buffer pristine;
+  ASSERT_TRUE(store_.Get(key, &pristine).ok());
+
+  size_t corruptions = 0;
+  for (size_t i = 0; i < pristine.size(); ++i) {
+    Buffer flipped = pristine;
+    flipped[i] ^= 0x04;
+    ASSERT_TRUE(store_.Put(key, Slice(flipped.data(), flipped.size())).ok());
+    auto read = ckpt.Read(v.value());
+    if (!read.ok()) {
+      EXPECT_TRUE(read.status().IsCorruption())
+          << "byte " << i << ": " << read.status().ToString();
+      EXPECT_NE(read.status().message().find(key), std::string::npos);
+      ++corruptions;
+    }
+  }
+  // The Hash64 checksum catches content damage JSON parsing cannot: the
+  // overwhelming majority of flips must be detected.
+  EXPECT_GT(corruptions, pristine.size() / 2);
+  ASSERT_TRUE(store_.Put(key, Slice(pristine.data(), pristine.size())).ok());
+  EXPECT_TRUE(ckpt.Read(v.value()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 2: hint-accelerated tail discovery — HEAD probes on the steady
+// path, LIST only on big gaps or cold starts.
+
+TEST_F(CheckpointTest, LatestVersionProbesForwardFromHint) {
+  TxnLog writer(&store_, "hint");
+  TxnLog reader(&store_, "hint");
+  std::vector<Json> none;
+  for (Version v = 0; v <= 4; ++v) ASSERT_TRUE(writer.Commit(v, none).ok());
+  std::vector<Json> actions;
+  ASSERT_TRUE(reader.Replay(-1, &actions).ok());  // Hint is now 4.
+
+  // One new commit: the reader finds it with HEADs alone.
+  ASSERT_TRUE(writer.Commit(5, none).ok());
+  uint64_t lists_before = store_.stats().lists.load();
+  EXPECT_EQ(reader.LatestVersion().MoveValue(), 5);
+  EXPECT_EQ(store_.stats().lists.load(), lists_before);
+
+  // A burst far past the probe window falls back to one LIST.
+  for (Version v = 6; v <= 30; ++v) ASSERT_TRUE(writer.Commit(v, none).ok());
+  lists_before = store_.stats().lists.load();
+  EXPECT_EQ(reader.LatestVersion().MoveValue(), 30);
+  EXPECT_EQ(store_.stats().lists.load(), lists_before + 1);
+
+  // Explicit-hint overload: a stale caller-supplied hint converges too.
+  EXPECT_EQ(reader.LatestVersion(28).MoveValue(), 30);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole (b) crash exploration: Checkpoint and TruncateLog survive a
+// crash at EVERY prefix of their storage footprint. After restart, every
+// version either serves the pre-crash bytes or fails typed-truncated.
+
+TEST(CheckpointCrashTest, CheckpointAndTruncateSurviveEveryCrashPoint) {
+  struct Victim {
+    const char* name;
+    std::function<Status(Table*)> op;
+  };
+  const Victim victims[] = {
+      {"checkpoint", [](Table* t) { return t->Checkpoint().status(); }},
+      {"truncate",
+       [](Table* t) {
+         Status s = t->Checkpoint().status();
+         if (!s.ok()) return s;
+         return t->TruncateLog(2).status();
+       }},
+  };
+  for (const Victim& victim : victims) {
+    // Fault-free run: the victim's op-count footprint. (Expected snapshot
+    // bytes are captured inside each crash run — data file names mix
+    // instance identity, so they are not stable across separate builds.)
+    uint64_t num_ops = 0;
+    auto build = [](FaultInjectingStore* store) {
+      auto t = Table::Create(store, "lake/c", IdSchema()).MoveValue();
+      for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(t->Append(IdBatch(i, 2)).ok());
+      }
+      // Mid-stream checkpoint at version 4: gives the truncate victim a
+      // floor to land on (retention can only cut at a checkpoint boundary).
+      EXPECT_TRUE(t->Checkpoint().ok());
+      for (int i = 4; i < 6; ++i) {
+        EXPECT_TRUE(t->Append(IdBatch(i, 2)).ok());
+      }
+      return t;
+    };
+    {
+      SimulatedClock clock;
+      InMemoryObjectStore inner{&clock};
+      FaultInjectingStore store(&inner, {});
+      auto t = build(&store);
+      uint64_t before = store.op_count();
+      ASSERT_TRUE(victim.op(t.get()).ok());
+      num_ops = store.op_count() - before;
+    }
+    ASSERT_GT(num_ops, 0u);
+
+    for (uint64_t n = 0; n < num_ops; ++n) {
+      for (CrashMode mode : {CrashMode::kBeforeOp, CrashMode::kAfterOp}) {
+        SCOPED_TRACE(std::string(victim.name) + " crash at op " +
+                     std::to_string(n) +
+                     (mode == CrashMode::kBeforeOp ? " (before)"
+                                                   : " (after)"));
+        SimulatedClock clock;
+        InMemoryObjectStore inner{&clock};
+        FaultInjectingStore store(&inner, {});
+        auto t = build(&store);
+        Version latest = t->log().LatestVersion().MoveValue();
+        std::vector<std::string> expected;
+        for (Version v = 0; v <= latest; ++v) {
+          expected.push_back(t->GetSnapshot(v).MoveValue().DebugString());
+        }
+        store.SetCrashAtOp(store.op_count() + n, mode);
+        Status s = victim.op(t.get());
+        EXPECT_FALSE(s.ok());
+        EXPECT_TRUE(store.crashed());
+        store.ClearCrash();  // "Restart."
+
+        // Reopen converges: every version serves the exact pre-crash
+        // bytes or fails typed-truncated — never corrupt, never torn.
+        auto cold = Table::Open(&store, "lake/c");
+        ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+        for (Version v = 0; v <= latest; ++v) {
+          auto snap = cold.value()->GetSnapshot(v);
+          if (snap.ok()) {
+            EXPECT_EQ(snap.value().DebugString(), expected[v])
+                << "version " << v;
+          } else {
+            EXPECT_TRUE(snap.status().IsNotFound())
+                << "v" << v << ": " << snap.status().ToString();
+            EXPECT_NE(
+                snap.status().message().find("version truncated"),
+                std::string::npos)
+                << "v" << v << ": " << snap.status().ToString();
+          }
+        }
+        // The retried operation completes and the tail still serves.
+        Status retry = victim.op(cold.value().get());
+        EXPECT_TRUE(retry.ok()) << retry.ToString();
+        EXPECT_EQ(cold.value()->GetSnapshot().MoveValue().DebugString(),
+                  expected[latest]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole (b): Scrub audits checkpoint integrity; Repair rebuilds rotten
+// checkpoints from the log.
+
+core::RottnestOptions ClientOptions() {
+  core::RottnestOptions options;
+  options.index_dir = "idx/p";
+  return options;
+}
+
+TEST(CheckpointScrubTest, ScrubFlagsRottenCheckpointAndRepairRebuilds) {
+  SimulatedClock clock;
+  InMemoryObjectStore store{&clock};
+  auto table = Table::Create(&store, "lake/p", IdSchema()).MoveValue();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(table->Append(IdBatch(i, 2)).ok());
+  }
+  auto v = table->Checkpoint();
+  ASSERT_TRUE(v.ok());
+  core::Rottnest client(&store, table.get(), ClientOptions());
+
+  auto pristine = client.Scrub();
+  ASSERT_TRUE(pristine.ok());
+  EXPECT_TRUE(pristine.value().clean());
+  EXPECT_GE(pristine.value().checkpoints_checked, 1u);
+
+  // Rot the table checkpoint in place.
+  const std::string key = table->log().checkpointer().KeyFor(v.value());
+  const std::string rot = "rotten";
+  ASSERT_TRUE(store.Put(key, Slice(rot)).ok());
+
+  auto scrub = client.Scrub();
+  ASSERT_TRUE(scrub.ok());
+  EXPECT_FALSE(scrub.value().clean());
+  bool flagged = false;
+  for (const auto& f : scrub.value().findings) {
+    if (f.kind == core::ScrubFindingKind::kCorruptCheckpoint &&
+        f.index_path == key) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+
+  auto repair = client.Repair(scrub.value());
+  ASSERT_TRUE(repair.ok()) << repair.status().ToString();
+  ASSERT_EQ(repair.value().checkpoints_rebuilt.size(), 1u);
+  EXPECT_EQ(repair.value().checkpoints_rebuilt[0], key);
+
+  // The rebuilt checkpoint validates and the plane scrubs clean again.
+  EXPECT_TRUE(table->log().checkpointer().Read(v.value()).ok());
+  auto again = client.Scrub();
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().clean()) << again.value().findings.size()
+                                     << " findings";
+}
+
+TEST(CheckpointScrubTest, OrphanCheckpointIsWarningNotError) {
+  SimulatedClock clock;
+  InMemoryObjectStore store{&clock};
+  auto table = Table::Create(&store, "lake/p", IdSchema()).MoveValue();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(table->Append(IdBatch(i, 1)).ok());
+  }
+  ASSERT_TRUE(table->Checkpoint().ok());
+  // Simulate a crash between checkpoint write and pointer move: the
+  // checkpoint object exists but nothing names it.
+  ASSERT_TRUE(store.Delete(table->log().checkpointer().pointer_key()).ok());
+
+  core::Rottnest client(&store, table.get(), ClientOptions());
+  auto scrub = client.Scrub();
+  ASSERT_TRUE(scrub.ok());
+  EXPECT_TRUE(scrub.value().clean());  // Legal crash residue: no error.
+  bool warned = false;
+  for (const auto& f : scrub.value().findings) {
+    if (f.kind == core::ScrubFindingKind::kOrphanCheckpoint) {
+      EXPECT_EQ(f.severity, core::ScrubSeverity::kWarning);
+      warned = true;
+    }
+  }
+  EXPECT_TRUE(warned);
+}
+
+}  // namespace
+}  // namespace rottnest::lake

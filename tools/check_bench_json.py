@@ -24,6 +24,13 @@ REQUIRED_KEYS = {
         "batched_waves", "batched_wave_hits", "batched_coalesced",
         "get_ratio", "p99_ratio", "reconciled",
     ],
+    # The metadata-plane bench must carry both sides of the cold-read
+    # comparison (replay-from-zero vs checkpoint+suffix) and its gate.
+    "BENCH_metadata.json": [
+        "commits", "replay_gets", "replay_sim_ms",
+        "checkpoint_gets", "checkpoint_sim_ms",
+        "get_ratio", "speedup", "rows",
+    ],
 }
 
 # Acceptance gates re-checked from the committed artifact (the bench binary
@@ -39,8 +46,20 @@ def check_serve_gates(path: str, doc: dict) -> list:
     return problems
 
 
+def check_metadata_gates(path: str, doc: dict) -> list:
+    problems = []
+    if doc.get("get_ratio", 1.0) > 0.1:
+        problems.append(f"get_ratio {doc.get('get_ratio')} > 0.1")
+    if doc.get("rows") != doc.get("commits"):
+        problems.append(
+            f"rows {doc.get('rows')} != commits {doc.get('commits')} "
+            "(cold snapshot lost commits)")
+    return problems
+
+
 GATE_CHECKS = {
     "BENCH_serve.json": check_serve_gates,
+    "BENCH_metadata.json": check_metadata_gates,
 }
 
 
