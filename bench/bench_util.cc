@@ -140,7 +140,7 @@ VectorMeasurement MeasureVector(
     objectstore::IoTrace trace;
     core::SearchOptions opts;
     opts.trace = &trace;
-    opts.vector = {nprobe, refine};
+    opts.params.vector = {nprobe, refine};
     std::vector<core::RowMatch> matches;
     double cpu = TimeSeconds([&] {
       auto r = env->client->SearchVector(

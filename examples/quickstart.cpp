@@ -121,8 +121,9 @@ int main() {
   core::Rottnest client(&store, table.get(), options);
   CHECK_OK(client.Index("uuid", index::IndexType::kTrie));
   CHECK_OK(client.Index("message", index::IndexType::kFm));
+  CHECK_OK(client.Index("message", index::IndexType::kKeyword));
   CHECK_OK(client.Index("embedding", index::IndexType::kIvfPq));
-  std::printf("built trie + fm + ivfpq indices\n");
+  std::printf("built trie + fm + keyword + ivfpq indices\n");
 
   // 3a. UUID point lookup.
   std::string needle = UuidFor(1234);
@@ -140,10 +141,19 @@ int main() {
               sub_result.value().matches.size(),
               sub_result.value().matches[0].value.c_str());
 
-  // 3c. Vector search with in-situ refinement.
+  // 3c. Keyword (boolean AND) search over the inverted index. Terms are
+  // tokenized like the data, so case and the "-7" suffix don't matter.
+  auto kw_result =
+      client.SearchKeyword("message", {"Critical", "shard"}, /*k=*/5);
+  CHECK_OK(kw_result);
+  std::printf("keyword critical AND shard: %zu matches, e.g. \"%s\"\n",
+              kw_result.value().matches.size(),
+              kw_result.value().matches[0].value.c_str());
+
+  // 3d. Vector search with in-situ refinement.
   std::vector<float> query = EmbeddingFor(42);
   core::SearchOptions vec_opts;
-  vec_opts.vector = {/*nprobe=*/8, /*refine=*/32};
+  vec_opts.params.vector = {/*nprobe=*/8, /*refine=*/32};
   auto vec_result = client.SearchVector("embedding", query.data(), kDim,
                                         /*k=*/3, vec_opts);
   CHECK_OK(vec_result);

@@ -102,7 +102,7 @@ int main() {
       objectstore::IoTrace trace;
       core::SearchOptions opts;
       opts.trace = &trace;
-      opts.vector = {d.nprobe, d.refine};
+      opts.params.vector = {d.nprobe, d.refine};
       auto r = client.SearchVector("embedding", queries[q].data(), kDim,
                                    kTopK, opts);
       if (!r.ok()) return 1;

@@ -3,13 +3,19 @@
 // variant that is the single entry point of the serving layer
 // (`Rottnest::Execute`, `serve::QueryEngine::Execute`).
 //
-// One `Query` names a kind (UUID / substring / regex / vector / count), the
-// target column, the needle (or query vector), the match budget `k` and a
-// full `SearchOptions`; one `QueryResponse` carries either a `SearchResult`
-// (the search kinds) or a count. The classic `Rottnest::Search*` methods
-// are thin wrappers that build a `Query`, call `Execute`, and unpack the
-// response — so every knob, deadline and stat surface behaves identically
-// whether a caller goes through the typed API or the convenience methods.
+// One `Query` names a kind (UUID / substring / regex / vector / keyword /
+// count), the target column, the needle (query vector, or term list), the
+// match budget `k` and a full `SearchOptions`; one `QueryResponse` carries
+// either a `SearchResult` (the search kinds) or a count. The classic
+// `Rottnest::Search*` methods are thin wrappers that build a `Query`, call
+// `Execute`, and unpack the response — so every knob, deadline and stat
+// surface behaves identically whether a caller goes through the typed API
+// or the convenience methods.
+//
+// Per-kind knobs live in `SearchOptions::params` (`SearchParams`), one
+// sub-struct per kind that has any: `params.vector` (nprobe/refine) and
+// `params.keyword` (boolean mode, term cap). Kinds ignore the other kinds'
+// params, so one `SearchOptions` value can serve a mixed workload.
 #ifndef ROTTNEST_CORE_QUERY_H_
 #define ROTTNEST_CORE_QUERY_H_
 
@@ -126,12 +132,32 @@ struct ScanRange {
   bool Contains(int64_t v) const { return v >= min && v <= max; }
 };
 
-/// Vector (ANN) search parameters, folded into SearchOptions so every
-/// search kind has one signature. Zero means "use the client's
+/// Vector (ANN) search parameters. Zero means "use the client's
 /// IvfPqOptions default" (default_nprobe / default_refine).
 struct VectorSearchParams {
   uint32_t nprobe = 0;  ///< Inverted lists probed.
   uint32_t refine = 0;  ///< Candidates exactly reranked in situ.
+};
+
+/// Boolean combinator for keyword queries.
+enum class KeywordMode {
+  kAnd,  ///< Rows must contain every term.
+  kOr,   ///< Rows must contain at least one term.
+};
+
+/// Keyword (inverted-index) search parameters.
+struct KeywordSearchParams {
+  KeywordMode mode = KeywordMode::kAnd;
+  /// Cap on distinct normalized terms per query; queries exceeding it are
+  /// rejected with InvalidArgument rather than silently truncated.
+  size_t max_terms = 8;
+};
+
+/// Per-kind parameter block, folded into SearchOptions so every search
+/// kind has one signature. Each kind reads only its own sub-struct.
+struct SearchParams {
+  VectorSearchParams vector;    ///< kVector only.
+  KeywordSearchParams keyword;  ///< kKeyword only.
 };
 
 /// Optional knobs common to all search calls (the one options argument of
@@ -141,7 +167,7 @@ struct VectorSearchParams {
 struct SearchOptions : CommonOptions {
   lake::Version snapshot{-1};              ///< -1 = latest.
   std::optional<ScanRange> range;          ///< Structured-attribute filter.
-  VectorSearchParams vector;               ///< SearchVector only.
+  SearchParams params;                     ///< Per-kind knobs.
   /// When a query degrades on a corrupt or missing index, also remove that
   /// index from the metadata table (transactional CommitNext), so later
   /// queries re-plan without it and Index can re-cover the files. Safe
@@ -164,6 +190,7 @@ enum class QueryKind {
   kSubstring,  ///< Exact substring search (FM-index).
   kRegex,      ///< Literal-prefiltered regex search.
   kVector,     ///< IVF-PQ ANN with in-situ exact rerank.
+  kKeyword,    ///< Boolean AND/OR over terms (inverted index).
   kCount,      ///< Substring occurrence count (no page fetches).
 };
 
@@ -175,9 +202,11 @@ struct Query {
   QueryKind kind = QueryKind::kUuid;
   std::string column;
   /// The needle: exact value bytes (kUuid), substring pattern
-  /// (kSubstring/kCount) or regex pattern (kRegex). Unused for kVector.
+  /// (kSubstring/kCount) or regex pattern (kRegex). Unused for
+  /// kVector/kKeyword.
   std::string needle;
-  std::vector<float> vector;  ///< The query vector (kVector only).
+  std::vector<float> vector;        ///< The query vector (kVector only).
+  std::vector<std::string> terms;   ///< The query terms (kKeyword only).
   size_t k = 10;              ///< Match budget (ignored by kCount).
   SearchOptions options;
   /// Serving-layer scheduling key: which tenant's fair queue this query
@@ -222,6 +251,18 @@ struct Query {
     q.vector = std::move(query);
     q.k = k;
     q.options = std::move(options);
+    return q;
+  }
+  static Query MakeKeyword(std::string column, std::vector<std::string> terms,
+                           KeywordMode mode, size_t k,
+                           SearchOptions options = {}) {
+    Query q;
+    q.kind = QueryKind::kKeyword;
+    q.column = std::move(column);
+    q.terms = std::move(terms);
+    q.k = k;
+    q.options = std::move(options);
+    q.options.params.keyword.mode = mode;
     return q;
   }
   static Query Count(std::string column, std::string pattern,

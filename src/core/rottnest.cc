@@ -12,6 +12,7 @@
 #include "core/obs_internal.h"
 #include "format/reader.h"
 #include "index/ivfpq/kmeans.h"
+#include "index/keyword/keyword_index.h"
 #include "index/trie/trie_index.h"
 
 namespace rottnest::core {
@@ -590,6 +591,8 @@ struct StagedFile {
   std::vector<Buffer> fm_page_texts;  ///< One prepared text per page.
   std::vector<float> vectors;         ///< Row-major.
   std::vector<std::pair<PageId, uint32_t>> vector_locations;
+  /// One sorted, deduplicated token set per page (keyword index).
+  std::vector<std::vector<std::string>> keyword_page_tokens;
 };
 
 /// Stage one data file: download + decode its column chunks and extract
@@ -654,6 +657,17 @@ Status StageFile(objectstore::ObjectStore* store, const DataFile& f,
             out->vector_locations.emplace_back(page, i);
           }
           break;
+        case IndexType::kKeyword: {
+          std::vector<std::string> values;
+          values.reserve(pm.num_values);
+          for (uint32_t i = 0; i < pm.num_values; ++i) {
+            values.push_back(ValueAt(chunk, value_index + i));
+          }
+          std::vector<std::string> tokens;
+          index::KeywordIndexBuilder::PreparePageTokens(values, &tokens);
+          out->keyword_page_tokens.push_back(std::move(tokens));
+          break;
+        }
       }
       ++page;
       value_index += pm.num_values;
@@ -665,6 +679,9 @@ Status StageFile(objectstore::ObjectStore* store, const DataFile& f,
       out->vectors.size() * sizeof(float) +
       out->vector_locations.size() * sizeof(std::pair<PageId, uint32_t>);
   for (const Buffer& b : out->fm_page_texts) bytes += b.size();
+  for (const std::vector<std::string>& toks : out->keyword_page_tokens) {
+    for (const std::string& t : toks) bytes += t.size() + sizeof(std::string);
+  }
   out->staged_bytes = std::max<uint64_t>(bytes, 1);
   return Status::OK();
 }
@@ -682,6 +699,7 @@ Result<IndexReport> Rottnest::BuildIndexFile(
   PageTable pages;
   index::TrieIndexBuilder trie_builder(column);
   index::FmIndexBuilder fm_builder(column, options_.fm);
+  index::KeywordIndexBuilder keyword_builder(column);
   std::unique_ptr<index::IvfPqIndexBuilder> ivf_builder;
   uint32_t dim = 0;
   if (type == IndexType::kIvfPq) {
@@ -815,6 +833,14 @@ Result<IndexReport> Rottnest::BuildIndexFile(
                            sf.vector_locations[v].second);
         }
         break;
+      case IndexType::kKeyword:
+        for (size_t p = 0; p < sf.keyword_page_tokens.size(); ++p) {
+          for (std::string& term : sf.keyword_page_tokens[p]) {
+            keyword_builder.Add(std::move(term),
+                                first_page + static_cast<PageId>(p));
+          }
+        }
+        break;
     }
     report.covered_files.push_back(files[i].path);
     report.rows += files[i].rows;
@@ -864,6 +890,10 @@ Result<IndexReport> Rottnest::BuildIndexFile(
       case IndexType::kIvfPq:
         ROTTNEST_RETURN_NOT_OK(
             ivf_builder->Finish(pages, finish_pool, &image));
+        break;
+      case IndexType::kKeyword:
+        ROTTNEST_RETURN_NOT_OK(
+            keyword_builder.Finish(pages, finish_pool, &image));
         break;
     }
   }
@@ -996,6 +1026,24 @@ Status Rottnest::ProbePages(const std::vector<PageFetch>& fetches,
                            trace, out);
 }
 
+namespace {
+
+/// Per-query miss log ("Cracking Vector Search Indexes", PAPERS.md): how
+/// many snapshot data files the planner found covered by NO index of the
+/// queried kind. Recorded on every search so a future query-adaptive
+/// Index/Compact can prioritize hot uncovered partitions. `result` may be
+/// null (counting queries have no SearchResult surface).
+void RecordUncovered(const SearchOptions& opts, size_t uncovered,
+                     SearchResult* result) {
+  if (result != nullptr) result->stats.uncovered_files = uncovered;
+  if (uncovered > 0 && opts.obs != nullptr && opts.obs->metrics != nullptr) {
+    opts.obs->metrics->GetCounter("op.search.uncovered_files")
+        ->Add(uncovered);
+  }
+}
+
+}  // namespace
+
 Result<SearchResult> Rottnest::ExecUuid(const std::string& column,
                                         Slice value, size_t k,
                                         const SearchOptions& opts) {
@@ -1020,6 +1068,7 @@ Result<SearchResult> Rottnest::ExecUuid(const std::string& column,
   index::Key128 key = index::KeyFromValue(value);
 
   SearchResult result;
+  RecordUncovered(opts, plan.unindexed.size(), &result);
   DvCache dvs(table_, plan.snapshot);
   std::set<std::pair<std::string, uint64_t>> seen;
 
@@ -1178,6 +1227,7 @@ Result<SearchResult> Rottnest::ExecSubstring(const std::string& column,
   ROTTNEST_RETURN_NOT_OK(rf.Validate());
 
   SearchResult result;
+  RecordUncovered(opts, plan.unindexed.size(), &result);
   DvCache dvs(table_, plan.snapshot);
   std::set<std::pair<std::string, uint64_t>> seen;
 
@@ -1316,11 +1366,11 @@ Result<SearchResult> Rottnest::ExecVector(const std::string& column,
   ScopedOpDeadline ambient(deadline);
   internal::OpObs op(store_, cache_store_.get(), opts.obs, "search_vector");
   // Per-query knobs default from the client's IvfPqOptions (v2 API).
-  const uint32_t nprobe = opts.vector.nprobe != 0
-                              ? opts.vector.nprobe
+  const uint32_t nprobe = opts.params.vector.nprobe != 0
+                              ? opts.params.vector.nprobe
                               : options_.ivfpq.default_nprobe;
-  const uint32_t refine = opts.vector.refine != 0
-                              ? opts.vector.refine
+  const uint32_t refine = opts.params.vector.refine != 0
+                              ? opts.params.vector.refine
                               : options_.ivfpq.default_refine;
   Plan plan;
   {
@@ -1337,6 +1387,7 @@ Result<SearchResult> Rottnest::ExecVector(const std::string& column,
   ROTTNEST_RETURN_NOT_OK(rf.Validate());
 
   SearchResult result;
+  RecordUncovered(opts, plan.unindexed.size(), &result);
   DvCache dvs(table_, plan.snapshot);
 
   // Gather approximate candidates across all index files — one fan-out
@@ -1549,6 +1600,7 @@ Result<SearchResult> Rottnest::ExecRegex(const std::string& column,
   ROTTNEST_RETURN_NOT_OK(rf.Validate());
   DvCache dvs(table_, plan.snapshot);
   SearchResult result;
+  RecordUncovered(opts, plan.unindexed.size(), &result);
   {
     internal::OpPhase phase(&op, "scan");
     auto scan = [&]() -> Status {
@@ -1582,6 +1634,199 @@ Result<SearchResult> Rottnest::ExecRegex(const std::string& column,
   return result;
 }
 
+Result<SearchResult> Rottnest::ExecKeyword(const std::string& column,
+                                           const std::vector<std::string>& terms,
+                                           size_t k,
+                                           const SearchOptions& opts) {
+  // Normalize the query through the SAME tokenizer the build used. Each
+  // term must normalize to exactly one token — "foo bar" as one term is a
+  // malformed query, not an AND of two.
+  const bool require_all = opts.params.keyword.mode == KeywordMode::kAnd;
+  if (terms.empty()) {
+    return Status::InvalidArgument("keyword query needs at least one term");
+  }
+  std::vector<std::string> norm;
+  norm.reserve(terms.size());
+  for (const std::string& t : terms) {
+    std::string one;
+    if (!index::NormalizeTerm(Slice(t), &one)) {
+      return Status::InvalidArgument(
+          "keyword term must normalize to exactly one token: '" + t + "'");
+    }
+    norm.push_back(std::move(one));
+  }
+  std::sort(norm.begin(), norm.end());
+  norm.erase(std::unique(norm.begin(), norm.end()), norm.end());
+  if (norm.size() > opts.params.keyword.max_terms) {
+    return Status::InvalidArgument("keyword query exceeds max_terms");
+  }
+
+  objectstore::IoTrace* trace = opts.trace;
+  auto wall_start = std::chrono::steady_clock::now();
+  Deadline deadline = ResolveSearchDeadline(opts, &store_->clock());
+  ScopedOpDeadline ambient(deadline);
+  internal::OpObs op(store_, cache_store_.get(), opts.obs, "search_keyword");
+  Plan plan;
+  {
+    internal::OpPhase phase(&op, "plan");
+    ROTTNEST_RETURN_NOT_OK(
+        MakePlan(column, IndexType::kKeyword, opts.snapshot, trace, &plan));
+  }
+  const ColumnSchema& col_schema =
+      table_->schema().columns[plan.column_index];
+  RangeFilter rf(read_store(), table_->schema(), opts.range);
+  ROTTNEST_RETURN_NOT_OK(rf.Validate());
+
+  // The in-situ verification predicate: a row matches when its token set
+  // contains every (AND) / any (OR) query term. Page hits are a superset
+  // signal — a page holds many rows — so verification is what makes the
+  // matches exact.
+  auto row_matches = [&](const std::string& v) {
+    std::vector<std::string> toks;
+    index::Tokenize(Slice(v), &toks);
+    std::sort(toks.begin(), toks.end());
+    if (require_all) {
+      for (const std::string& t : norm) {
+        if (!std::binary_search(toks.begin(), toks.end(), t)) return false;
+      }
+      return true;
+    }
+    for (const std::string& t : norm) {
+      if (std::binary_search(toks.begin(), toks.end(), t)) return true;
+    }
+    return false;
+  };
+
+  SearchResult result;
+  RecordUncovered(opts, plan.unindexed.size(), &result);
+  DvCache dvs(table_, plan.snapshot);
+  std::set<std::pair<std::string, uint64_t>> seen;
+
+  // Fan out across the applicable keyword indexes (same shape as
+  // SearchUuid): per-task fetch slots, plan-order aggregation, per-entry
+  // degradation.
+  std::vector<std::vector<PageFetch>> per_index(plan.indexes.size());
+  std::vector<Status> statuses = FanOutIndexQueries(
+      &pool_, plan.indexes.size(), opts.parallelism, deadline, trace, &op,
+      [&](size_t i) { return "index:" + plan.indexes[i].index_path; },
+      [&](size_t i, objectstore::IoTrace* t) -> Status {
+        const IndexEntry& entry = plan.indexes[i];
+        ROTTNEST_ASSIGN_OR_RETURN(
+            std::unique_ptr<ComponentFileReader> reader,
+            ComponentFileReader::Open(read_store(), entry.index_path, t));
+        std::vector<PageId> hits;
+        ROTTNEST_RETURN_NOT_OK(index::KeywordQueryMany(
+            reader.get(), &pool_, t, norm, require_all, &hits));
+        if (hits.empty()) return Status::OK();
+        PageTable pages;
+        ROTTNEST_RETURN_NOT_OK(
+            index::LoadPageTable(reader.get(), &pool_, t, &pages));
+        for (PageId p : hits) {
+          if (!plan.snapshot.ContainsFile(pages.file_of(p))) continue;
+          per_index[i].push_back(pages.MakeFetch(p));
+        }
+        return Status::OK();
+      });
+  std::vector<PageFetch> fetches;
+  DegradedIndexes degraded;
+  size_t indexes_cut = 0;
+  for (size_t i = 0; i < plan.indexes.size(); ++i) {
+    if (statuses[i].ok()) {
+      degraded.RecordSuccess(plan.indexes[i]);
+      fetches.insert(fetches.end(), per_index[i].begin(),
+                     per_index[i].end());
+    } else if (IsCutShort(statuses[i])) {
+      // Deadline/breaker cuts degrade to a partial result, NOT to the
+      // brute-scan fallback a corrupt index gets.
+      MarkCutShort(&result, plan.indexes[i].index_path, statuses[i]);
+      ++indexes_cut;
+    } else {
+      degraded.RecordFailure(plan.indexes[i], statuses[i], &result);
+    }
+  }
+  result.indexes_queried =
+      plan.indexes.size() - result.indexes_degraded - indexes_cut;
+  result.indexes_quarantined =
+      HandleSearchFailures(opts, degraded.failures());
+
+  {
+    internal::OpPhase phase(&op, "probe");
+    auto probe = [&]() -> Status {
+      ROTTNEST_RETURN_NOT_OK(deadline.Check("probe"));
+      std::vector<ColumnVector> probed;
+      ROTTNEST_RETURN_NOT_OK(ProbePages(fetches, col_schema, trace, &probed));
+      result.pages_probed = fetches.size();
+      for (size_t i = 0; i < fetches.size(); ++i) {
+        for (size_t r = 0; r < probed[i].size(); ++r) {
+          std::string v = ValueAt(probed[i], r);
+          if (!row_matches(v)) continue;
+          uint64_t row = fetches[i].page.first_row + r;
+          ROTTNEST_ASSIGN_OR_RETURN(bool deleted,
+                                    dvs.IsDeleted(fetches[i].key, row));
+          if (deleted) continue;
+          if (seen.insert({fetches[i].key, row}).second) {
+            result.matches.push_back({fetches[i].key, row, v, 0});
+          }
+        }
+      }
+      return rf.FilterMatches(&result.matches, trace);
+    };
+    Status probe_status = probe();
+    if (IsCutShort(probe_status)) {
+      MarkCutShort(&result, "probe", probe_status);
+    } else {
+      ROTTNEST_RETURN_NOT_OK(probe_status);
+    }
+  }
+
+  {
+    internal::OpPhase phase(&op, "scan");
+    // Degraded fallback first (unconditional), then the unindexed
+    // fallback (only if top-k is unsatisfied).
+    auto scan_for_terms = [&](const std::string& file) -> Status {
+      bool scanned = false;
+      ROTTNEST_RETURN_NOT_OK(ScanFileRows(
+          read_store(), file, plan.column_index, &rf, deadline, trace,
+          &scanned,
+          [&](uint64_t row, const std::string& v) -> Status {
+            if (!row_matches(v)) return Status::OK();
+            ROTTNEST_ASSIGN_OR_RETURN(bool deleted, dvs.IsDeleted(file, row));
+            if (deleted) return Status::OK();
+            if (seen.insert({file, row}).second) {
+              result.matches.push_back({file, row, v, 0});
+            }
+            return Status::OK();
+          }));
+      if (scanned) ++result.files_scanned;
+      return Status::OK();
+    };
+    auto scan = [&]() -> Status {
+      ROTTNEST_RETURN_NOT_OK(deadline.Check("scan"));
+      for (const DataFile* f : degraded.FilesToScan(plan.snapshot)) {
+        ROTTNEST_RETURN_NOT_OK(scan_for_terms(f->path));
+      }
+      if (result.matches.size() < k) {
+        for (const DataFile& f : plan.unindexed) {
+          ROTTNEST_RETURN_NOT_OK(scan_for_terms(f.path));
+          if (result.matches.size() >= k) break;
+        }
+      }
+      return Status::OK();
+    };
+    Status scan_status = scan();
+    if (IsCutShort(scan_status)) {
+      MarkCutShort(&result, "scan", scan_status);
+    } else {
+      ROTTNEST_RETURN_NOT_OK(scan_status);
+    }
+  }
+  if (result.matches.size() > k) result.matches.resize(k);
+  FinishSearchStats(opts, op, wall_start,
+                    ResolvedFanOut(plan.indexes.size(), opts.parallelism),
+                    &result);
+  return result;
+}
+
 Result<uint64_t> Rottnest::ExecCount(const std::string& column,
                                      const std::string& pattern,
                                      const SearchOptions& opts) {
@@ -1597,6 +1842,8 @@ Result<uint64_t> Rottnest::ExecCount(const std::string& column,
     ROTTNEST_RETURN_NOT_OK(
         MakePlan(column, IndexType::kFm, opts.snapshot, opts.trace, &plan));
   }
+
+  RecordUncovered(opts, plan.unindexed.size(), nullptr);
 
   // An index count is exact only when everything it covers is live and
   // deletion-free; otherwise those files are counted by scanning.
@@ -1700,6 +1947,8 @@ const char* QueryKindName(QueryKind kind) {
       return "regex";
     case QueryKind::kVector:
       return "vector";
+    case QueryKind::kKeyword:
+      return "keyword";
     case QueryKind::kCount:
       return "count";
   }
@@ -1734,6 +1983,15 @@ Result<QueryResponse> Rottnest::Execute(const Query& q) {
           resp.result,
           ExecVector(q.column, q.vector.data(),
                      static_cast<uint32_t>(q.vector.size()), q.k, q.options));
+      return resp;
+    }
+    case QueryKind::kKeyword: {
+      if (q.terms.empty()) {
+        return Status::InvalidArgument(
+            "keyword query requires at least one term");
+      }
+      ROTTNEST_ASSIGN_OR_RETURN(
+          resp.result, ExecKeyword(q.column, q.terms, q.k, q.options));
       return resp;
     }
     case QueryKind::kCount: {
@@ -1773,6 +2031,17 @@ Result<SearchResult> Rottnest::SearchVector(const std::string& column,
       QueryResponse resp,
       Execute(Query::Vector(column, std::vector<float>(query, query + dim), k,
                             opts)));
+  return std::move(resp.result);
+}
+
+Result<SearchResult> Rottnest::SearchKeyword(const std::string& column,
+                                             const std::vector<std::string>& terms,
+                                             size_t k,
+                                             const SearchOptions& opts) {
+  ROTTNEST_ASSIGN_OR_RETURN(
+      QueryResponse resp,
+      Execute(Query::MakeKeyword(column, terms, opts.params.keyword.mode, k,
+                                 opts)));
   return std::move(resp.result);
 }
 
@@ -1951,6 +2220,10 @@ Result<CompactReport> Rottnest::Compact(const std::string& column,
       case IndexType::kIvfPq:
         ROTTNEST_RETURN_NOT_OK(index::IvfPqMerge(raw_readers, merge_pool,
                                                  &local, column, &merged));
+        break;
+      case IndexType::kKeyword:
+        ROTTNEST_RETURN_NOT_OK(index::KeywordMerge(raw_readers, merge_pool,
+                                                   &local, column, &merged));
         break;
     }
   }

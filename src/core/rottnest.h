@@ -19,26 +19,30 @@
 //
 //   Execute(Query) -> QueryResponse
 //
-// where `Query` (core/query.h) is a variant over the five query kinds —
-// UUID / substring / regex / vector / count — carrying the column, the
-// needle (or query vector), `k` and one `SearchOptions`. The serving layer
-// (`serve::QueryEngine`) consumes exactly this API. The classic per-kind
-// methods are thin wrappers over Execute:
+// where `Query` (core/query.h) is a variant over the six query kinds —
+// UUID / substring / regex / vector / keyword / count — carrying the
+// column, the needle (query vector, or term list), `k` and one
+// `SearchOptions`. The serving layer (`serve::QueryEngine`) consumes
+// exactly this API. The classic per-kind methods are thin wrappers over
+// Execute:
 //
 //   SearchUuid(column, value, k, opts)        — trie exact match
 //   SearchSubstring(column, pattern, k, opts) — FM-index substring
 //   SearchRegex(column, pattern, k, opts)     — literal-prefiltered regex
 //   SearchVector(column, query, dim, k, opts) — IVF-PQ ANN + in-situ rerank
+//   SearchKeyword(column, terms, k, opts)     — boolean AND/OR keyword
 //   CountSubstring(column, pattern, opts)     — occurrence counting
 //   DescribeIndexes(opts)                     — EXPLAIN-style introspection
 //   CheckInvariants(opts)                     — protocol invariant audit
 //
 // Every entry point takes exactly one optional `SearchOptions` argument
 // carrying the cross-cutting knobs — snapshot pin, IoTrace recording, the
-// structured-attribute ScanRange filter, and the vector search parameters
-// (`SearchOptions::vector`, defaulting from `IvfPqOptions`). The pre-v2
-// positional `(snapshot, trace)` overloads are gone; there is exactly one
-// public signature per search kind. Introspection shares the same shape:
+// structured-attribute ScanRange filter, and the per-kind parameter block
+// (`SearchOptions::params`: `params.vector` defaulting from
+// `IvfPqOptions`, `params.keyword` for the boolean mode and term cap). The
+// pre-v2 positional `(snapshot, trace)` overloads are gone; there is
+// exactly one public signature per search kind. Introspection shares the
+// same shape:
 // `DescribeIndexes` computes liveness against `opts.snapshot` and
 // `CheckInvariants` records its reads into `opts.trace` (its existence
 // probes intentionally bypass the client cache — an audit must observe the
@@ -143,9 +147,10 @@ struct RottnestOptions {
 // `max_queued_searches`) moved to serve::ServeOptions — overload policy
 // lives in the serving layer; direct Search* calls are unadmitted.
 
-// RowMatch, CommonOptions, SearchResult, ScanRange, VectorSearchParams,
-// SearchOptions and the typed Query/QueryResponse variant live in
-// core/query.h (included above) — the query-side API is one header.
+// RowMatch, CommonOptions, SearchResult, ScanRange, SearchParams (the
+// per-kind VectorSearchParams/KeywordSearchParams block), SearchOptions
+// and the typed Query/QueryResponse variant live in core/query.h (included
+// above) — the query-side API is one header.
 
 /// Optional knobs common to all maintenance calls (the one options
 /// argument of the v2 write-side API — see the header comment). The
@@ -322,12 +327,23 @@ class Rottnest {
                                        const SearchOptions& opts = {});
 
   /// Approximate nearest-neighbour search via IVF-PQ with in-situ
-  /// refinement: `opts.vector.nprobe` lists probed, `opts.vector.refine`
-  /// full vectors fetched and reranked exactly (0 = the IvfPqOptions
-  /// defaults). Unindexed files are always scanned (scoring query).
+  /// refinement: `opts.params.vector.nprobe` lists probed,
+  /// `opts.params.vector.refine` full vectors fetched and reranked exactly
+  /// (0 = the IvfPqOptions defaults). Unindexed files are always scanned
+  /// (scoring query).
   Result<SearchResult> SearchVector(const std::string& column,
                                     const float* query, uint32_t dim,
                                     size_t k, const SearchOptions& opts = {});
+
+  /// Boolean keyword search over a text column via the tokenized inverted
+  /// index: rows containing every term (`opts.params.keyword.mode` =
+  /// kAnd, the default) or any term (kOr). Terms are normalized through
+  /// the index tokenizer; each must normalize to exactly one token, and at
+  /// most `opts.params.keyword.max_terms` distinct terms are accepted.
+  /// Every candidate row is verified in situ, so matches are exact.
+  Result<SearchResult> SearchKeyword(const std::string& column,
+                                     const std::vector<std::string>& terms,
+                                     size_t k, const SearchOptions& opts = {});
 
   /// Regex search over a text column. The longest literal run (>= 3
   /// chars) inside the pattern is located through the FM-index and every
@@ -506,6 +522,9 @@ class Rottnest {
   Result<SearchResult> ExecRegex(const std::string& column,
                                  const std::string& pattern, size_t k,
                                  const SearchOptions& opts);
+  Result<SearchResult> ExecKeyword(const std::string& column,
+                                   const std::vector<std::string>& terms,
+                                   size_t k, const SearchOptions& opts);
   Result<uint64_t> ExecCount(const std::string& column,
                              const std::string& pattern,
                              const SearchOptions& opts);

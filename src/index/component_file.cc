@@ -32,12 +32,15 @@ const char* IndexTypeName(IndexType t) {
       return "fm";
     case IndexType::kIvfPq:
       return "ivfpq";
+    case IndexType::kKeyword:
+      return "keyword";
   }
   return "unknown";
 }
 
 bool IndexTypeFromName(const std::string& name, IndexType* out) {
-  for (IndexType t : {IndexType::kTrie, IndexType::kFm, IndexType::kIvfPq}) {
+  for (IndexType t : {IndexType::kTrie, IndexType::kFm, IndexType::kIvfPq,
+                      IndexType::kKeyword}) {
     if (name == IndexTypeName(t)) {
       *out = t;
       return true;
@@ -172,7 +175,7 @@ Result<std::unique_ptr<ComponentFileReader>> ComponentFileReader::Open(
   Decoder dec(dir);
   Slice type_byte;
   ROTTNEST_RETURN_NOT_OK(dec.GetBytes(1, &type_byte));
-  if (type_byte[0] > static_cast<uint8_t>(IndexType::kIvfPq)) {
+  if (type_byte[0] > static_cast<uint8_t>(IndexType::kKeyword)) {
     return Status::Corruption("bad index type");
   }
   reader->type_ = static_cast<IndexType>(type_byte[0]);

@@ -44,6 +44,7 @@ enum class IndexType : uint8_t {
   kTrie = 0,
   kFm = 1,
   kIvfPq = 2,
+  kKeyword = 3,
 };
 
 const char* IndexTypeName(IndexType t);

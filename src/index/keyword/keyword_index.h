@@ -1,0 +1,136 @@
+// Tokenized inverted index for boolean keyword search over text columns
+// (ROADMAP item 4a; RISE in PAPERS.md is the shape): a deterministic ASCII
+// tokenizer feeds per-token posting lists of page ids, delta-encoded and
+// bit-packed with the `src/compress/` coders, componentized for object
+// storage:
+//
+//   * posting components ("post.N"): sorted terms, each with its packed
+//     posting list, ~64KB serialized per component;
+//   * dictionary component ("dict", written last so it rides in the
+//     directory tail read): the first term of every posting component,
+//     for routing a term to the one component that can contain it.
+//
+// A k-term boolean query therefore costs two dependent rounds: tail read
+// (directory + dict), then ONE parallel round for exactly the posting
+// component(s) the terms route to. Pages are a superset signal — a page
+// holds many rows — so every candidate row is verified in situ against the
+// data pages (paper §IV-B step 3), exactly like the trie path.
+#ifndef ROTTNEST_INDEX_KEYWORD_KEYWORD_INDEX_H_
+#define ROTTNEST_INDEX_KEYWORD_KEYWORD_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "format/page_table.h"
+#include "index/component_file.h"
+
+namespace rottnest::index {
+
+/// Appends the tokens of `text` to `out`: maximal runs of ASCII
+/// alphanumerics, lowercased. Deterministic and locale-independent — build
+/// and query must agree, so both use this function.
+void Tokenize(Slice text, std::vector<std::string>* out);
+
+/// Normalizes a user-supplied query term through the tokenizer. Returns
+/// false unless the term normalizes to exactly one token (empty or
+/// multi-word input cannot match any posting).
+bool NormalizeTerm(Slice term, std::string* out);
+
+/// Encodes a sorted, deduplicated posting list: varint count, then (when
+/// non-empty) one width byte and the delta gaps bit-packed at that width.
+void EncodePostings(const std::vector<format::PageId>& pages, Buffer* out);
+
+/// Inverse of EncodePostings.
+Status DecodePostings(Decoder* dec, std::vector<format::PageId>* out);
+
+/// One dictionary entry as stored: a term and its posting list.
+struct KeywordEntry {
+  std::string term;
+  std::vector<format::PageId> pages;
+};
+
+/// Accumulates (term, page) postings and emits a keyword index file.
+class KeywordIndexBuilder {
+ public:
+  explicit KeywordIndexBuilder(std::string column)
+      : column_(std::move(column)) {}
+
+  /// Registers that `term` (already tokenizer-normalized) occurs in page
+  /// `page` (of the page table passed to Finish).
+  void Add(std::string term, format::PageId page);
+
+  /// Number of postings added.
+  size_t num_postings() const { return postings_.size(); }
+
+  /// Tokenizes one page's row values into the page's sorted, deduplicated
+  /// token set. Pure, so the staged maintenance pipeline can run it
+  /// off-thread per page without affecting emitted bytes.
+  static void PreparePageTokens(const std::vector<std::string>& values,
+                                std::vector<std::string>* out);
+
+  /// Builds the index file image. `pages` is embedded as the "pagetable"
+  /// component so searches can resolve page ids without other metadata.
+  Status Finish(const format::PageTable& pages, Buffer* out) {
+    return Finish(pages, nullptr, out);
+  }
+
+  /// Parallel variant: posting-component serialization and compression fan
+  /// out on `pool` (nullptr = inline). The emitted image is byte-identical
+  /// at any thread count — the component partition and the append order are
+  /// fixed before any work is distributed.
+  Status Finish(const format::PageTable& pages, ThreadPool* pool, Buffer* out);
+
+ private:
+  std::string column_;
+  std::vector<std::pair<std::string, format::PageId>> postings_;
+};
+
+/// Looks up every term of a boolean query in one parallel component round.
+/// `require_all` selects AND (intersection of the per-term page sets) vs OR
+/// (union). AND over pages is sound for row-level matches: all terms of a
+/// matching row live in that row's single page. Terms must already be
+/// tokenizer-normalized.
+Status KeywordQueryMany(ComponentFileReader* reader, ThreadPool* pool,
+                        objectstore::IoTrace* trace,
+                        const std::vector<std::string>& terms,
+                        bool require_all, std::vector<format::PageId>* pages);
+
+/// Single-term convenience.
+Status KeywordQuery(ComponentFileReader* reader, ThreadPool* pool,
+                    objectstore::IoTrace* trace, const std::string& term,
+                    std::vector<format::PageId>* pages);
+
+/// Merges several keyword index files into one (LSM-style compaction). The
+/// merged file's page table is the concatenation of the inputs' tables;
+/// postings are remapped accordingly and equal terms' lists are unioned.
+///
+/// The merge streams: a k-way merge holds one parsed posting component per
+/// input (components are evicted from the reader cache once consumed) and
+/// emits output components as they fill, replicating the builder's
+/// partition rule so output bytes are independent of `pool`.
+Status KeywordMerge(const std::vector<ComponentFileReader*>& inputs,
+                    ThreadPool* pool, objectstore::IoTrace* trace,
+                    const std::string& column, Buffer* out);
+
+/// Size accounting for the bench's compression-ratio report.
+struct KeywordIndexStats {
+  uint64_t terms = 0;
+  uint64_t postings = 0;
+  /// Bytes of the encoded posting lists alone (count varint + width byte +
+  /// packed gaps), before component-level LZ.
+  uint64_t encoded_posting_bytes = 0;
+};
+
+/// Walks every posting component and tallies terms/postings/encoded bytes.
+Status CollectKeywordStats(ComponentFileReader* reader, ThreadPool* pool,
+                           objectstore::IoTrace* trace,
+                           KeywordIndexStats* out);
+
+/// Internal: parses the entry stream of one posting component. Exposed for
+/// merge and tests.
+Status ParseKeywordPostings(Slice payload, std::vector<KeywordEntry>* out);
+
+}  // namespace rottnest::index
+
+#endif  // ROTTNEST_INDEX_KEYWORD_KEYWORD_INDEX_H_

@@ -16,7 +16,7 @@ namespace rottnest::lake {
 /// One committed index file.
 struct IndexEntry {
   std::string index_path;  ///< Object key of the index file.
-  std::string index_type;  ///< "trie", "fm", or "ivfpq".
+  std::string index_type;  ///< "trie", "fm", "ivfpq", or "keyword".
   std::string column;      ///< Indexed column name.
   std::vector<std::string> covered_files;  ///< Data files it indexes.
   uint64_t rows = 0;                       ///< Rows covered.

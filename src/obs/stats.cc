@@ -14,6 +14,7 @@ Json Stats::ToJson() const {
   o["cache_misses"] = Json(cache_misses);
   o["retries"] = Json(retries);
   o["faults"] = Json(faults);
+  o["uncovered_files"] = Json(uncovered_files);
   o["wall_micros"] = Json(wall_micros);
   o["parallelism"] = Json(static_cast<uint64_t>(parallelism));
   o["dry_run"] = Json(dry_run);

@@ -44,6 +44,12 @@ struct Stats {
   /// ObsContext wiring them up).
   uint64_t retries = 0;
   uint64_t faults = 0;
+  // --- planner ---
+  /// Snapshot data files the planner found covered by NO index of the
+  /// queried kind (searches only). The miss signal a future query-adaptive
+  /// Index/Compact prioritizes hot partitions by; also exported as the
+  /// `op.search.uncovered_files` counter.
+  uint64_t uncovered_files = 0;
   // --- timings / shape ---
   /// Measured wall-clock of the call.
   uint64_t wall_micros = 0;

@@ -32,6 +32,14 @@ class TextGenerator {
   /// A pattern that almost surely does not occur.
   std::string MissingPattern();
 
+  /// The vocabulary word at Zipf rank `rank` (mod vocabulary size). Pure
+  /// accessor — draws nothing from the generator's RNG — so callers can
+  /// pick terms of a known frequency band without perturbing any other
+  /// sampled sequence.
+  const std::string& Word(size_t rank) const {
+    return vocabulary_[rank % vocabulary_.size()];
+  }
+
  private:
   Random rng_;
   std::vector<std::string> vocabulary_;

@@ -17,7 +17,7 @@ MultiTenantWorkload::MultiTenantWorkload(MultiTenantSpec spec)
       uuids_(spec_.dataset.seed, spec_.dataset.uuid_bytes),
       vectors_(spec_.dataset.seed, spec_.dataset.vector_dim) {
   w_total_ = spec_.w_uuid + spec_.w_substring + spec_.w_count +
-             spec_.w_regex + spec_.w_vector;
+             spec_.w_regex + spec_.w_vector + spec_.w_keyword;
   if (w_total_ <= 0) {
     spec_.w_uuid = w_total_ = 1;  // Degenerate mix: all-UUID.
   }
@@ -28,6 +28,12 @@ MultiTenantWorkload::MultiTenantWorkload(MultiTenantSpec spec)
   patterns_.reserve(hot);
   for (size_t i = 0; i < hot; ++i) {
     patterns_.push_back(text.SamplePattern(2));
+  }
+  // Single mid-frequency words: each normalizes to exactly one token, the
+  // keyword API's per-term contract.
+  terms_.reserve(hot);
+  for (size_t i = 0; i < hot; ++i) {
+    terms_.push_back(text.SamplePattern(1));
   }
   Random rows_rng(Mix64(spec_.seed ^ 0x9e3779b97f4a7c15ull));
   hot_rows_.reserve(hot);
@@ -88,10 +94,21 @@ core::Query MultiTenantWorkload::QueryFor(int client, int request) const {
     // FM-index prefilter path (the planner treats all-literal patterns as
     // substring queries).
     q = core::Query::Regex(spec_.text_column, patterns_[pick], spec_.k, opts);
-  } else {
+  } else if ((u -= spec_.w_vector) < 0) {
     q = core::Query::Vector(spec_.vector_column,
                             vectors_.QueryNear(hot_rows_[row_pick]), spec_.k,
                             opts);
+  } else {
+    // Two hot terms; the boolean mode alternates deterministically per slot
+    // so both the AND (intersection) and OR (union) paths see load.
+    const uint64_t second = ZipfPick(Slot(client, request, /*salt=*/5),
+                                     terms_.size(), spec_.value_zipf_s);
+    core::KeywordMode mode = (Slot(client, request, /*salt=*/6) & 1) != 0
+                                 ? core::KeywordMode::kOr
+                                 : core::KeywordMode::kAnd;
+    std::vector<std::string> terms = {terms_[pick], terms_[second]};
+    q = core::Query::MakeKeyword(spec_.text_column, std::move(terms), mode,
+                                 spec_.k, opts);
   }
   q.tenant = TenantFor(client, request);
   return q;

@@ -1,6 +1,7 @@
 // Closed-loop multi-tenant serving workload: the load shape the QueryEngine
 // is designed for. N client threads issue mixed-kind queries (UUID lookups,
-// substring/regex search, counts, vector ANN) against the canonical dataset
+// substring/regex search, counts, vector ANN, boolean keyword search)
+// against the canonical dataset
 // schema (generators.h), each request tagged with a tenant drawn from a
 // Zipfian popularity distribution — a few tenants dominate, the long tail
 // trickles — optionally in bursts. Everything is a pure function of
@@ -44,6 +45,10 @@ struct MultiTenantSpec {
   double w_count = 0.10;
   double w_regex = 0.05;
   double w_vector = 0.05;
+  /// Keyword (inverted-index) queries: off by default so existing mixes are
+  /// byte-for-byte unchanged; the serve bench turns it on to exercise all
+  /// five index-backed kinds.
+  double w_keyword = 0.0;
   /// Needle popularity skew: queries re-ask the same hot values/patterns
   /// Zipfian-style — what makes batching coalesce across wave members.
   double value_zipf_s = 0.9;
@@ -88,6 +93,7 @@ class MultiTenantWorkload {
   UuidGenerator uuids_;
   VectorGenerator vectors_;
   std::vector<std::string> patterns_;       ///< Hot substring patterns.
+  std::vector<std::string> terms_;          ///< Hot single-word keyword terms.
   std::vector<uint64_t> hot_rows_;          ///< Hot row ordinals.
 };
 

@@ -160,7 +160,7 @@ void RunCycle(objectstore::ObjectStore* store, SimulatedClock* clock,
     answers->substring_count = c.value();
     std::vector<float> q = VecFor(5);
     SearchOptions vopts;
-    vopts.vector = {/*nprobe=*/16, /*refine=*/64};
+    vopts.params.vector = {/*nprobe=*/16, /*refine=*/64};
     auto v = client.SearchVector("vec", q.data(), kDim, 10, vopts);
     ASSERT_TRUE(v.ok()) << v.status().ToString();
     answers->vector_hits = Reduce(v.value());
@@ -392,7 +392,7 @@ TEST_F(DegradationTest, VectorSearchSurvivesCorruption) {
 
   std::vector<float> q = VecFor(9);
   SearchOptions vopts;
-  vopts.vector = {/*nprobe=*/16, /*refine=*/32};
+  vopts.params.vector = {/*nprobe=*/16, /*refine=*/32};
   auto r = client_->SearchVector("vec", q.data(), kDim, 5, vopts);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r.value().indexes_degraded, 1u);

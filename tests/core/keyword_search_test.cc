@@ -1,0 +1,421 @@
+// End-to-end keyword (inverted-index) search: exact boolean AND/OR matches
+// with in-situ verification, query-term normalization and validation, the
+// planner's uncovered-file accounting, maintenance byte-identity at any
+// parallelism (the PR 3 contract extended to the fourth index type), and
+// the unified Query API — direct SearchKeyword, typed Execute and the
+// serving engine must return byte-identical results with identical traced
+// I/O.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/rottnest.h"
+#include "objectstore/object_store.h"
+#include "obs/metrics.h"
+#include "obs/obs_context.h"
+#include "serve/query_engine.h"
+
+namespace rottnest::core {
+namespace {
+
+using format::ColumnVector;
+using format::PhysicalType;
+using format::RowBatch;
+using format::Schema;
+using index::IndexType;
+using lake::Table;
+using objectstore::InMemoryObjectStore;
+using objectstore::IoTrace;
+
+constexpr uint32_t kDim = 16;
+
+Schema MakeSchema() {
+  Schema s;
+  s.columns.push_back({"uuid", PhysicalType::kFixedLenByteArray, 16});
+  s.columns.push_back({"body", PhysicalType::kByteArray, 0});
+  s.columns.push_back({"vec", PhysicalType::kFixedLenByteArray, kDim * 4});
+  return s;
+}
+
+std::string UuidFor(uint64_t id) {
+  std::string u(16, '\0');
+  uint64_t hi = Mix64(id), lo = Mix64(id ^ 0x77aa55);
+  for (int i = 0; i < 8; ++i) {
+    u[i] = static_cast<char>(hi >> (56 - 8 * i));
+    u[8 + i] = static_cast<char>(lo >> (56 - 8 * i));
+  }
+  return u;
+}
+
+RottnestOptions Options() {
+  RottnestOptions options;
+  options.index_dir = "idx/kw";
+  options.index_timeout_micros = 600LL * 1'000'000;
+  return options;
+}
+
+format::WriterOptions WriterOpts() {
+  format::WriterOptions w;
+  w.target_page_bytes = 1024;
+  w.target_row_group_bytes = 8 << 10;
+  return w;
+}
+
+/// Body text "row <id> token<id%7> payload": every row carries the shared
+/// terms "row"/"payload", its own id as a token, and one of seven rotating
+/// token<M> terms — known exact answer sets for AND and OR.
+void AppendRows(Table* table, uint64_t first_id, size_t rows) {
+  RowBatch b;
+  b.schema = MakeSchema();
+  format::FlatFixed uuids;
+  uuids.elem_size = 16;
+  ColumnVector::Strings bodies;
+  format::FlatFixed vecs;
+  vecs.elem_size = kDim * 4;
+  for (size_t i = 0; i < rows; ++i) {
+    uint64_t id = first_id + i;
+    std::string u = UuidFor(id);
+    uuids.Append(Slice(u));
+    bodies.push_back("row " + std::to_string(id) + " token" +
+                     std::to_string(id % 7) + " payload");
+    std::vector<float> v(kDim, static_cast<float>(id % 8));
+    vecs.Append(Slice(reinterpret_cast<const uint8_t*>(v.data()), kDim * 4));
+  }
+  b.columns.emplace_back(std::move(uuids));
+  b.columns.emplace_back(std::move(bodies));
+  b.columns.emplace_back(std::move(vecs));
+  ASSERT_TRUE(table->Append(b).ok());
+}
+
+struct World {
+  SimulatedClock clock;
+  InMemoryObjectStore store{&clock};
+  std::unique_ptr<Table> table;
+  std::unique_ptr<Rottnest> client;
+  uint64_t total_rows = 0;
+
+  World() {
+    table = Table::Create(&store, "lake/kw", MakeSchema(), WriterOpts())
+                .MoveValue();
+    client = std::make_unique<Rottnest>(&store, table.get(), Options());
+  }
+
+  void Append(size_t rows) {
+    AppendRows(table.get(), total_rows, rows);
+    total_rows += rows;
+  }
+
+  Buffer ObjectBytes(const std::string& key) {
+    Buffer b;
+    EXPECT_TRUE(store.Get(key, &b).ok()) << key;
+    return b;
+  }
+
+  /// The ids the dataset's construction says match: every term must be one
+  /// of "row"/"payload"/"token<M>"/"<id>".
+  std::set<uint64_t> ExpectedIds(const std::vector<std::string>& terms,
+                                 bool require_all) const {
+    std::set<uint64_t> out;
+    for (uint64_t id = 0; id < total_rows; ++id) {
+      std::set<std::string> row_terms = {"row", "payload",
+                                         "token" + std::to_string(id % 7),
+                                         std::to_string(id)};
+      bool all = true, any = false;
+      for (const std::string& t : terms) {
+        bool has = row_terms.count(t) != 0;
+        all = all && has;
+        any = any || has;
+      }
+      if (require_all ? all : any) out.insert(id);
+    }
+    return out;
+  }
+};
+
+std::set<uint64_t> MatchedIds(const SearchResult& r) {
+  std::set<uint64_t> ids;
+  for (const RowMatch& m : r.matches) {
+    // "row <id> ..." — recover the id from the matched value.
+    size_t sp = m.value.find(' ', 4);
+    ids.insert(std::stoull(m.value.substr(4, sp - 4)));
+  }
+  return ids;
+}
+
+TEST(KeywordSearchTest, AndFindsExactlyTheRowsWithAllTerms) {
+  World w;
+  w.Append(200);
+  w.Append(200);
+  ASSERT_TRUE(w.client->Index("body", IndexType::kKeyword).ok());
+
+  auto r = w.client->SearchKeyword("body", {"token3"}, 1000);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(MatchedIds(r.value()), w.ExpectedIds({"token3"}, true));
+  EXPECT_EQ(r.value().stats.uncovered_files, 0u);
+  EXPECT_GT(r.value().pages_probed, 0u);
+  EXPECT_EQ(r.value().files_scanned, 0u);
+
+  // AND with a shared term narrows nothing; AND of two disjoint rotating
+  // terms is provably empty.
+  auto both = w.client->SearchKeyword("body", {"token3", "payload"}, 1000);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(MatchedIds(both.value()), w.ExpectedIds({"token3"}, true));
+  auto none = w.client->SearchKeyword("body", {"token3", "token4"}, 1000);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none.value().matches.empty());
+
+  // A term unique to one row.
+  auto one = w.client->SearchKeyword("body", {"271", "payload"}, 10);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(MatchedIds(one.value()), (std::set<uint64_t>{271}));
+}
+
+TEST(KeywordSearchTest, OrUnionsTheTermSets) {
+  World w;
+  w.Append(300);
+  ASSERT_TRUE(w.client->Index("body", IndexType::kKeyword).ok());
+  SearchOptions opts;
+  opts.params.keyword.mode = KeywordMode::kOr;
+  auto r =
+      w.client->SearchKeyword("body", {"token2", "token5", "absent"}, 1000,
+                              opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(MatchedIds(r.value()),
+            w.ExpectedIds({"token2", "token5"}, false));
+}
+
+TEST(KeywordSearchTest, QueryTermsAreNormalizedLikeTheBuild) {
+  World w;
+  w.Append(100);
+  ASSERT_TRUE(w.client->Index("body", IndexType::kKeyword).ok());
+  // Case and surrounding punctuation normalize away; duplicates collapse.
+  auto r =
+      w.client->SearchKeyword("body", {"  Token3! ", "token3", "PAYLOAD"},
+                              1000);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(MatchedIds(r.value()), w.ExpectedIds({"token3"}, true));
+}
+
+TEST(KeywordSearchTest, MalformedQueriesFailTyped) {
+  World w;
+  w.Append(50);
+  ASSERT_TRUE(w.client->Index("body", IndexType::kKeyword).ok());
+  // No terms (typed path), a multi-word term, a punctuation-only term, and
+  // a query over the max_terms cap all fail InvalidArgument.
+  auto none = w.client->Execute(
+      Query::MakeKeyword("body", {}, KeywordMode::kAnd, 10));
+  ASSERT_FALSE(none.ok());
+  EXPECT_TRUE(none.status().IsInvalidArgument());
+  for (const std::string& bad : {std::string("two words"), std::string("?!"),
+                                 std::string()}) {
+    auto r = w.client->SearchKeyword("body", {bad}, 10);
+    ASSERT_FALSE(r.ok()) << "'" << bad << "'";
+    EXPECT_TRUE(r.status().IsInvalidArgument());
+  }
+  SearchOptions tight;
+  tight.params.keyword.max_terms = 2;
+  auto over =
+      w.client->SearchKeyword("body", {"token1", "token2", "token3"}, 10,
+                              tight);
+  ASSERT_FALSE(over.ok());
+  EXPECT_TRUE(over.status().IsInvalidArgument());
+  // Exactly at the cap (after dedup) is fine.
+  auto at = w.client->SearchKeyword("body", {"token1", "token1", "payload"},
+                                    10, tight);
+  EXPECT_TRUE(at.ok()) << at.status().ToString();
+}
+
+TEST(KeywordSearchTest, UncoveredFilesAreCountedAndScanned) {
+  World w;
+  w.Append(100);
+  w.Append(100);
+  obs::MetricsRegistry registry;
+  obs::ObsContext ctx;
+  ctx.metrics = &registry;
+  SearchOptions opts;
+  opts.obs = &ctx;
+
+  // No keyword index yet: both data files are uncovered; the brute-scan
+  // fallback still answers exactly.
+  auto r = w.client->SearchKeyword("body", {"token6"}, 1000, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().stats.uncovered_files, 2u);
+  EXPECT_EQ(registry.GetCounter("op.search.uncovered_files")->value(), 2u);
+  EXPECT_EQ(r.value().indexes_queried, 0u);
+  EXPECT_EQ(r.value().files_scanned, 2u);
+  EXPECT_EQ(MatchedIds(r.value()), w.ExpectedIds({"token6"}, true));
+
+  // Indexing clears the signal (and stops incrementing the counter).
+  ASSERT_TRUE(w.client->Index("body", IndexType::kKeyword).ok());
+  auto covered = w.client->SearchKeyword("body", {"token6"}, 1000, opts);
+  ASSERT_TRUE(covered.ok());
+  EXPECT_EQ(covered.value().stats.uncovered_files, 0u);
+  EXPECT_EQ(registry.GetCounter("op.search.uncovered_files")->value(), 2u);
+  EXPECT_EQ(MatchedIds(covered.value()), w.ExpectedIds({"token6"}, true));
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance determinism, mirroring maintenance_test.cc: the keyword index
+// emits byte-identical objects at any parallelism and byte budget, for both
+// Index and Compact.
+// ---------------------------------------------------------------------------
+
+TEST(KeywordSearchTest, IndexByteIdenticalAtAnyParallelism) {
+  World w;
+  w.Append(200);
+  w.Append(200);
+  auto rebuild = [&](size_t parallelism, uint64_t byte_budget) -> Buffer {
+    MaintenanceOptions opts;
+    opts.parallelism = parallelism;
+    opts.byte_budget = byte_budget;
+    auto r = w.client->Index("body", IndexType::kKeyword, opts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok() || r.value().index_path.empty()) return Buffer();
+    Buffer bytes = w.ObjectBytes(r.value().index_path);
+    EXPECT_TRUE(w.client->metadata().Update({}, {r.value().index_path}).ok());
+    EXPECT_TRUE(w.store.Delete(r.value().index_path).ok());
+    return bytes;
+  };
+  Buffer serial = rebuild(1, 0);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, rebuild(2, 0));
+  EXPECT_EQ(serial, rebuild(8, 0));
+  EXPECT_EQ(serial, rebuild(8, 1));
+}
+
+TEST(KeywordSearchTest, CompactByteIdenticalAtAnyParallelism) {
+  World w;
+  for (int round = 0; round < 3; ++round) {
+    w.Append(150);
+    ASSERT_TRUE(w.client->Index("body", IndexType::kKeyword).ok());
+    w.clock.Advance(1'000'000);
+  }
+  auto recompact = [&](size_t parallelism, uint64_t byte_budget) -> Buffer {
+    auto before = w.client->metadata().ReadAll();
+    EXPECT_TRUE(before.ok());
+    MaintenanceOptions opts;
+    opts.parallelism = parallelism;
+    opts.byte_budget = byte_budget;
+    auto c = w.client->Compact("body", IndexType::kKeyword, opts);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    if (!c.ok() || c.value().merged_path.empty()) return Buffer();
+    EXPECT_EQ(c.value().replaced.size(), 3u);
+    Buffer bytes = w.ObjectBytes(c.value().merged_path);
+    std::vector<lake::IndexEntry> readd;
+    for (const lake::IndexEntry& e : before.value()) {
+      if (std::find(c.value().replaced.begin(), c.value().replaced.end(),
+                    e.index_path) != c.value().replaced.end()) {
+        readd.push_back(e);
+      }
+    }
+    EXPECT_EQ(readd.size(), 3u);
+    EXPECT_TRUE(
+        w.client->metadata().Update(readd, {c.value().merged_path}).ok());
+    EXPECT_TRUE(w.store.Delete(c.value().merged_path).ok());
+    return bytes;
+  };
+  Buffer serial = recompact(1, 0);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, recompact(2, 0));
+  EXPECT_EQ(serial, recompact(8, 0));
+  EXPECT_EQ(serial, recompact(8, 1));
+}
+
+TEST(KeywordSearchTest, CompactedIndexAnswersLikeTheInputs) {
+  World w;
+  for (int round = 0; round < 3; ++round) {
+    w.Append(120);
+    ASSERT_TRUE(w.client->Index("body", IndexType::kKeyword).ok());
+    w.clock.Advance(1'000'000);
+  }
+  auto before = w.client->SearchKeyword("body", {"token5"}, 1000);
+  ASSERT_TRUE(before.ok());
+  auto c = w.client->Compact("body", IndexType::kKeyword);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c.value().replaced.size(), 3u);
+  auto after = w.client->SearchKeyword("body", {"token5"}, 1000);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(MatchedIds(after.value()), MatchedIds(before.value()));
+  EXPECT_EQ(after.value().indexes_queried, 1u);
+  auto latest = w.table->GetSnapshot();
+  ASSERT_TRUE(latest.ok());
+  ASSERT_TRUE(w.client->Vacuum(latest.value().version).ok());
+  EXPECT_TRUE(w.client->CheckInvariants().ok());
+  auto vacuumed = w.client->SearchKeyword("body", {"token5"}, 1000);
+  ASSERT_TRUE(vacuumed.ok());
+  EXPECT_EQ(MatchedIds(vacuumed.value()), MatchedIds(before.value()));
+}
+
+// ---------------------------------------------------------------------------
+// Unified API: direct wrapper, typed Execute and the serving engine return
+// byte-identical results with identical traced I/O.
+// ---------------------------------------------------------------------------
+
+TEST(KeywordSearchTest, ExecuteAndEngineMatchDirectExactly) {
+  World w;
+  w.Append(200);
+  w.Append(200);
+  ASSERT_TRUE(w.client->Index("body", IndexType::kKeyword).ok());
+
+  struct Traced {
+    SearchResult result;
+    uint64_t gets = 0;
+    uint64_t bytes = 0;
+  };
+  auto run = [&](auto&& call) -> Traced {
+    IoTrace trace;
+    SearchOptions opts;
+    opts.trace = &trace;
+    opts.params.keyword.mode = KeywordMode::kOr;
+    Result<SearchResult> r = call(opts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) return {};
+    return {std::move(r).value(), trace.total_gets(), trace.total_bytes()};
+  };
+  const std::vector<std::string> terms = {"token1", "token4"};
+
+  Traced direct = run([&](const SearchOptions& opts) {
+    return w.client->SearchKeyword("body", terms, 500, opts);
+  });
+  Traced typed = run([&](const SearchOptions& opts) {
+    auto resp = w.client->Execute(
+        Query::MakeKeyword("body", terms, KeywordMode::kOr, 500, opts));
+    if (!resp.ok()) return Result<SearchResult>(resp.status());
+    return Result<SearchResult>(std::move(resp.value().result));
+  });
+  serve::QueryEngine engine(w.client.get(), serve::ServeOptions{});
+  Traced served = run([&](const SearchOptions& opts) {
+    auto resp = engine.Execute(
+        Query::MakeKeyword("body", terms, KeywordMode::kOr, 500, opts));
+    if (!resp.ok()) return Result<SearchResult>(resp.status());
+    return Result<SearchResult>(std::move(resp.value().result));
+  });
+
+  ASSERT_FALSE(direct.result.matches.empty());
+  EXPECT_EQ(MatchedIds(direct.result),
+            w.ExpectedIds({"token1", "token4"}, false));
+  for (const Traced* other : {&typed, &served}) {
+    ASSERT_EQ(other->result.matches.size(), direct.result.matches.size());
+    for (size_t i = 0; i < direct.result.matches.size(); ++i) {
+      EXPECT_EQ(other->result.matches[i].file, direct.result.matches[i].file);
+      EXPECT_EQ(other->result.matches[i].row, direct.result.matches[i].row);
+      EXPECT_EQ(other->result.matches[i].value,
+                direct.result.matches[i].value);
+    }
+    EXPECT_EQ(other->result.indexes_queried, direct.result.indexes_queried);
+    EXPECT_EQ(other->result.pages_probed, direct.result.pages_probed);
+    // Exact IoTrace reconciliation: all three paths are the same planner
+    // and the same reads — request and byte totals must agree exactly.
+    EXPECT_EQ(other->gets, direct.gets);
+    EXPECT_EQ(other->bytes, direct.bytes);
+  }
+}
+
+}  // namespace
+}  // namespace rottnest::core

@@ -216,7 +216,7 @@ TEST_F(RottnestSearchTest, VectorSearchFindsNearestNeighbours) {
   // first with distance ~0.
   std::vector<float> q = VecFor(42);
   SearchOptions opts;
-  opts.vector = {/*nprobe=*/16, /*refine=*/50};
+  opts.params.vector = {/*nprobe=*/16, /*refine=*/50};
   auto result = client_->SearchVector("vec", q.data(), kDim, 10, opts);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_GE(result.value().matches.size(), 10u);
@@ -235,7 +235,7 @@ TEST_F(RottnestSearchTest, VectorSearchAlwaysScansUnindexed) {
 
   std::vector<float> q = VecFor(450);  // Lives in the unindexed file.
   SearchOptions opts;
-  opts.vector = {/*nprobe=*/16, /*refine=*/50};
+  opts.params.vector = {/*nprobe=*/16, /*refine=*/50};
   auto result = client_->SearchVector("vec", q.data(), kDim, 5, opts);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value().files_scanned, 1u);  // Scoring queries must scan.

@@ -31,6 +31,15 @@ REQUIRED_KEYS = {
         "checkpoint_gets", "checkpoint_sim_ms",
         "get_ratio", "speedup", "rows",
     ],
+    # The keyword bench must carry both sides of the cold-GET comparison
+    # (inverted index vs brute page scan) and the postings codec numbers.
+    "BENCH_keyword.json": [
+        "queries", "rows", "data_bytes", "index_bytes",
+        "brute_gets", "brute_bytes", "indexed_gets", "indexed_bytes",
+        "matches", "get_bytes_ratio",
+        "terms", "postings", "encoded_posting_bytes",
+        "postings_compression_ratio",
+    ],
 }
 
 # Acceptance gates re-checked from the committed artifact (the bench binary
@@ -57,9 +66,23 @@ def check_metadata_gates(path: str, doc: dict) -> list:
     return problems
 
 
+def check_keyword_gates(path: str, doc: dict) -> list:
+    problems = []
+    if doc.get("get_bytes_ratio", 1.0) > 0.2:
+        problems.append(f"get_bytes_ratio {doc.get('get_bytes_ratio')} > 0.2")
+    if doc.get("postings_compression_ratio", 0.0) <= 1.0:
+        problems.append(
+            f"postings_compression_ratio "
+            f"{doc.get('postings_compression_ratio')} <= 1.0")
+    if not doc.get("matches"):
+        problems.append("keyword queries found no matches")
+    return problems
+
+
 GATE_CHECKS = {
     "BENCH_serve.json": check_serve_gates,
     "BENCH_metadata.json": check_metadata_gates,
+    "BENCH_keyword.json": check_keyword_gates,
 }
 
 
